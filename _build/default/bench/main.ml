@@ -1,0 +1,119 @@
+(** The benchmark harness: regenerates every table and figure of the
+    paper's evaluation (see DESIGN.md's per-experiment index), plus
+    Bechamel timing benchmarks of the sampler (E9).
+
+    Usage:
+      dune exec bench/main.exe                 (all experiments, quick sizes)
+      dune exec bench/main.exe -- --full       (paper-scale sizes)
+      dune exec bench/main.exe -- e2 e6        (a subset)
+      dune exec bench/main.exe -- --tiny e1    (smoke test) *)
+
+module H = Scenic_harness
+
+let experiments = [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10" ]
+
+let () = Scenic_worlds.Scenic_worlds_init.init ()
+
+(* --- E9: sampler timing (Bechamel) -------------------------------------- *)
+
+let sampling_tests () =
+  let mk name src =
+    (* a persistent sampler: each run draws one scene *)
+    let sampler = Scenic_sampler.Sampler.of_source ~seed:5 ~file:name src in
+    Bechamel.Test.make ~name
+      (Bechamel.Staged.stage (fun () ->
+           ignore (Scenic_sampler.Sampler.sample sampler)))
+  in
+  Bechamel.Test.make_grouped ~name:"sample"
+    [
+      mk "simplest" H.Scenarios.simplest;
+      mk "badly-parked" H.Scenarios.badly_parked;
+      mk "oncoming" H.Scenarios.oncoming;
+      mk "overlapping" H.Scenarios.overlapping;
+      mk "platoon" H.Scenarios.platoon;
+      mk "bumper-to-bumper" H.Scenarios.bumper_to_bumper;
+      mk "mars-bottleneck" H.Scenarios.mars_bottleneck;
+    ]
+
+let run_e9 () =
+  H.Report.section
+    "E9 (Sec. 5.2): sampling speed — \"a sample within a few seconds\"";
+  let ols =
+    Bechamel.Analyze.ols ~bootstrap:0 ~r_square:true
+      ~predictors:[| Bechamel.Measure.run |]
+  in
+  let instance = Bechamel.Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Bechamel.Benchmark.cfg ~limit:500
+      ~quota:(Bechamel.Time.second 2.0)
+      ~kde:None ()
+  in
+  let raw = Bechamel.Benchmark.all cfg [ instance ] (sampling_tests ()) in
+  let results = Bechamel.Analyze.all ols instance raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      match Bechamel.Analyze.OLS.estimates ols with
+      | Some (t :: _) ->
+          rows := (name, Printf.sprintf "%.3f" (t /. 1e6)) :: !rows
+      | _ -> ())
+    results;
+  H.Report.print_table ~title:"Time per scene (monotonic clock)"
+    ~columns:[ "scenario"; "ms/scene" ]
+    (List.map (fun (n, v) -> [ n; v ]) (List.sort compare !rows));
+  H.Report.note
+    "paper: reasonable scenarios need at most a few hundred rejection \
+     iterations, yielding a sample within a few seconds"
+
+(* --- driver --------------------------------------------------------------- *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let cfg =
+    if List.mem "--full" args then H.Exp_config.full
+    else if List.mem "--tiny" args then H.Exp_config.tiny
+    else H.Exp_config.quick
+  in
+  let selected = List.filter (fun a -> List.mem a experiments) args in
+  let want e = selected = [] || List.mem e selected in
+  Printf.printf
+    "Scenic reproduction benchmark harness (scale=%.2f, runs=%d, \
+     iterations=%d)\n\
+     %s\n%!"
+    cfg.scale cfg.runs cfg.iterations
+    (String.concat " " ("running:" :: List.filter want experiments));
+  let t0 = Unix.gettimeofday () in
+  (* E1 provides M_generic and X_generic for E3/E4. *)
+  let e1 =
+    if want "e1" || want "e3" || want "e4" then begin
+      let r = H.Exp_conditions.run cfg in
+      if want "e1" then H.Exp_conditions.report r;
+      Some r
+    end
+    else None
+  in
+  (match e1 with
+  | Some e1 when want "e3" || want "e4" ->
+      let t7 = H.Exp_debug.run_table7 ~cfg e1.H.Exp_conditions.model in
+      if want "e3" then H.Exp_debug.report_table7 t7;
+      if want "e4" then begin
+        let t8 =
+          H.Exp_debug.run_table8 ~cfg
+            ~x_generic:e1.H.Exp_conditions.train_set
+            ~failure:t7.H.Exp_debug.failure
+        in
+        H.Exp_debug.report_table8 t8
+      end
+  | _ -> ());
+  if want "e2" || want "e5" then begin
+    let r = H.Exp_rare.run cfg in
+    H.Exp_rare.report r
+  end;
+  if want "e6" || want "e7" then begin
+    let r = H.Exp_twocar.run cfg in
+    H.Exp_twocar.report r
+  end;
+  if want "e8" then H.Exp_pruning.report (H.Exp_pruning.run cfg);
+  if want "e9" then run_e9 ();
+  if want "e10" then H.Exp_mcmc.report (H.Exp_mcmc.run cfg);
+  Printf.printf "\ntotal wall time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,206 @@
+(** The [scenic] command-line tool.
+
+    - [scenic parse FILE]       — parse and pretty-print a scenario
+    - [scenic check FILE]       — compile it (static + construction errors)
+    - [scenic sample FILE]      — sample scenes, print or export them
+    - [scenic render FILE]      — sample and render through the camera
+    - [scenic worlds]           — list registered world models *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let init () = Scenic_worlds.Scenic_worlds_init.init ()
+
+let handle_errors f =
+  try f () with
+  | Scenic_lang.Lexer.Error (msg, loc) ->
+      Fmt.epr "lexical error: %s at %a@." msg Scenic_lang.Loc.pp loc;
+      exit 1
+  | Scenic_lang.Parser.Error (msg, loc) ->
+      Fmt.epr "syntax error: %s at %a@." msg Scenic_lang.Loc.pp loc;
+      exit 1
+  | Scenic_core.Errors.Scenic_error (kind, loc) ->
+      Fmt.epr "error: %s@." (Scenic_core.Errors.to_string (kind, loc));
+      exit 1
+
+(* --- arguments ---------------------------------------------------------- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Scenic source file")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"random seed")
+
+let count_arg =
+  Arg.(value & opt int 1 & info [ "n"; "count" ] ~docv:"N" ~doc:"number of scenes")
+
+let no_prune_arg =
+  Arg.(value & flag & info [ "no-prune" ] ~doc:"disable domain-specific pruning")
+
+let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"emit scenes as JSON")
+
+let map_arg =
+  Arg.(value & flag & info [ "map" ] ~doc:"show a bird's-eye ASCII map per scene")
+
+(* --- commands ----------------------------------------------------------- *)
+
+let parse_cmd =
+  let run file =
+    handle_errors (fun () ->
+        let prog = Scenic_lang.Parser.parse ~file (read_file file) in
+        print_string (Scenic_lang.Pretty.program_to_string prog))
+  in
+  Cmd.v (Cmd.info "parse" ~doc:"parse a scenario and print its AST")
+    Term.(const run $ file_arg)
+
+let check_cmd =
+  let run file =
+    init ();
+    handle_errors (fun () ->
+        let scenario = Scenic_core.Eval.compile ~file (read_file file) in
+        Printf.printf "ok: %d objects, %d requirements, %d parameters\n"
+          (List.length scenario.Scenic_core.Scenario.objects)
+          (List.length scenario.requirements)
+          (List.length scenario.params))
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"compile a scenario, reporting static errors")
+    Term.(const run $ file_arg)
+
+let make_sampler ~no_prune ~seed file =
+  Scenic_sampler.Sampler.of_source ~prune:(not no_prune) ~seed ~file
+    (read_file file)
+
+let sample_cmd =
+  let run file seed n no_prune json map =
+    init ();
+    handle_errors (fun () ->
+        let sampler = make_sampler ~no_prune ~seed file in
+        for i = 1 to n do
+          let scene, stats = Scenic_sampler.Sampler.sample_with_stats sampler in
+          if json then print_endline (Scenic_render.Export.json_of_scene scene)
+          else begin
+            Printf.printf "--- scene %d (%d iterations)\n" i
+              stats.Scenic_sampler.Rejection.iterations;
+            print_string (Scenic_core.Scene.to_string scene);
+            print_newline ()
+          end;
+          if map then
+            print_string (Scenic_render.Ascii.scene_top_view scene)
+        done)
+  in
+  Cmd.v (Cmd.info "sample" ~doc:"sample scenes from a scenario")
+    Term.(const run $ file_arg $ seed_arg $ count_arg $ no_prune_arg $ json_arg $ map_arg)
+
+let render_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"DIR" ~doc:"write PGM images to DIR")
+  in
+  let run file seed n no_prune out =
+    init ();
+    handle_errors (fun () ->
+        let sampler = make_sampler ~no_prune ~seed file in
+        let rng = Scenic_prob.Rng.create (seed lxor 0xbeef) in
+        (match out with
+        | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+        | _ -> ());
+        for i = 1 to n do
+          let scene = Scenic_sampler.Sampler.sample sampler in
+          let r = Scenic_render.Raster.render ~rng scene in
+          match out with
+          | Some dir ->
+              let path = Filename.concat dir (Printf.sprintf "scene_%03d.pgm" i) in
+              Scenic_render.Image.save_pgm r.Scenic_render.Raster.image path;
+              Printf.printf "%s (%d labels)\n" path
+                (List.length r.Scenic_render.Raster.labels)
+          | None ->
+              Printf.printf "--- scene %d (%s, %d labels)\n" i
+                r.Scenic_render.Raster.r_weather
+                (List.length r.Scenic_render.Raster.labels);
+              print_string
+                (Scenic_render.Ascii.image_view_with_boxes
+                   r.Scenic_render.Raster.image
+                   (List.map
+                      (fun (l : Scenic_render.Raster.label) -> l.box)
+                      r.Scenic_render.Raster.labels))
+        done)
+  in
+  Cmd.v
+    (Cmd.info "render" ~doc:"sample scenes and render them through the camera")
+    Term.(const run $ file_arg $ seed_arg $ count_arg $ no_prune_arg $ out_arg)
+
+let lint_cmd =
+  let run file =
+    handle_errors (fun () ->
+        let prog = Scenic_lang.Parser.parse ~file (read_file file) in
+        let diags = Scenic_lang.Lint.lint prog in
+        List.iter (fun d -> Fmt.pr "%a@." Scenic_lang.Lint.pp_diagnostic d) diags;
+        if Scenic_lang.Lint.has_errors diags then exit 1
+        else if diags = [] then print_endline "no issues found")
+  in
+  Cmd.v
+    (Cmd.info "lint" ~doc:"static diagnostics without evaluating the scenario")
+    Term.(const run $ file_arg)
+
+let falsify_cmd =
+  let seeds_arg =
+    Arg.(value & opt int 30 & info [ "seeds" ] ~docv:"N" ~doc:"seed scenes to try")
+  in
+  let duration_arg =
+    Arg.(value & opt float 8. & info [ "duration" ] ~docv:"S" ~doc:"rollout seconds")
+  in
+  let run file seed n_seeds duration =
+    init ();
+    handle_errors (fun () ->
+        let result =
+          Scenic_dynamics.Falsify.run ~n_seeds ~n_refine:(n_seeds / 2) ~seed
+            ~duration
+            ~formula:(Scenic_dynamics.Monitor.no_collision ())
+            (read_file file)
+        in
+        Printf.printf "%d / %d seed scenes violate 'always no collision'\n"
+          result.Scenic_dynamics.Falsify.counterexamples n_seeds;
+        List.iteri
+          (fun i (o : Scenic_dynamics.Falsify.outcome) ->
+            if i < 5 then
+              Printf.printf "  #%d robustness %+.2f m\n" (i + 1)
+                o.Scenic_dynamics.Falsify.rob)
+          result.outcomes;
+        let refined_bad =
+          List.length
+            (List.filter
+               (fun (o : Scenic_dynamics.Falsify.outcome) -> o.rob <= 0.)
+               result.refined)
+        in
+        Printf.printf
+          "mutation refinement around the worst seed: %d / %d variants violate\n"
+          refined_bad
+          (List.length result.refined))
+  in
+  Cmd.v
+    (Cmd.info "falsify"
+       ~doc:
+         "sample scenes as falsification seeds, roll them out under the \
+          collision-avoidance controller, and report violations")
+    Term.(const run $ file_arg $ seed_arg $ seeds_arg $ duration_arg)
+
+let worlds_cmd =
+  let run () =
+    init ();
+    List.iter print_endline (Scenic_core.Module_registry.registered ())
+  in
+  Cmd.v (Cmd.info "worlds" ~doc:"list registered world models") Term.(const run $ const ())
+
+let () =
+  let doc = "Scenic: a language for scenario specification and scene generation" in
+  let info = Cmd.info "scenic" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ parse_cmd; check_cmd; lint_cmd; sample_cmd; render_cmd; falsify_cmd; worlds_cmd ]))

@@ -1,0 +1,1 @@
+examples/badly_parked.ml: List Printf Scenic_harness Scenic_prob Scenic_render Scenic_sampler Scenic_worlds

@@ -1,0 +1,1 @@
+examples/badly_parked.mli:

@@ -1,0 +1,1 @@
+examples/bumper_traffic.mli:

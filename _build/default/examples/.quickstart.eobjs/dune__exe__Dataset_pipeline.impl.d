@@ -1,0 +1,1 @@
+examples/dataset_pipeline.ml: Array Buffer Filename List Printf Scenic_harness Scenic_prob Scenic_render Scenic_sampler Scenic_worlds Sys

@@ -1,0 +1,1 @@
+examples/falsification.ml: List Printf Scenic_core Scenic_dynamics Scenic_geometry Scenic_prob Scenic_worlds String

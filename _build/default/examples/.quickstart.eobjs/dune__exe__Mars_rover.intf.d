@@ -1,0 +1,1 @@
+examples/mars_rover.mli:

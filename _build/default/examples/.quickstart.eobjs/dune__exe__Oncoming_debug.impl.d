@@ -1,0 +1,1 @@
+examples/oncoming_debug.ml: Format Printf Scenic_detector Scenic_harness Scenic_worlds

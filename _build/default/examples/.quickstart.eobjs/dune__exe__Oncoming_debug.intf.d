@@ -1,0 +1,1 @@
+examples/oncoming_debug.mli:

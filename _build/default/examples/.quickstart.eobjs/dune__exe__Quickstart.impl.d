@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf Scenic_core Scenic_geometry Scenic_render Scenic_sampler Scenic_worlds

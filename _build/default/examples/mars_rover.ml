@@ -1,0 +1,27 @@
+(** The Mars-rover motion-planning workspace of Sec. 3 / App. A.12
+    (Fig. 4): a rubble field with a bottleneck between the rover and
+    its goal, forcing a planner to consider climbing over a rock —
+    Scenic driving a different domain and simulator.
+
+    Run with:  dune exec examples/mars_rover.exe *)
+
+let () =
+  Scenic_worlds.Scenic_worlds_init.init ();
+  let sampler =
+    Scenic_sampler.Sampler.of_source ~seed:23 ~file:"mars.scenic"
+      Scenic_harness.Scenarios.mars_bottleneck
+  in
+  for i = 1 to 2 do
+    let scene = Scenic_sampler.Sampler.sample sampler in
+    Printf.printf "--- workspace %d: %d objects\n" i
+      (List.length scene.Scenic_core.Scene.objs);
+    let ground =
+      Scenic_geometry.Region.of_polygon
+        (Scenic_geometry.Polygon.rectangle ~min_x:(-4.) ~min_y:(-4.) ~max_x:4.
+           ~max_y:4.)
+    in
+    (* R = rover (ego), G = goal, B = big rock, P = pipe *)
+    print_string
+      (Scenic_render.Ascii.scene_top_view ~cols:60 ~rows:30 ~radius:4.5
+         ~region:ground scene)
+  done

@@ -1,0 +1,37 @@
+(** The debugging workflow of Sec. 6.4 in miniature: train a small
+    detector, find an input it fails on, rebuild that exact scene as a
+    Scenic program, and explore its neighbourhood with the mutation
+    feature (App. A.6).
+
+    Run with:  dune exec examples/oncoming_debug.exe
+    (trains a small model; takes ~a minute) *)
+
+module D = Scenic_detector
+module H = Scenic_harness
+
+let () =
+  Scenic_worlds.Scenic_worlds_init.init ();
+  let cfg = { H.Exp_config.tiny with iterations = 300; scale = 0.1 } in
+  Printf.printf "training a small M_generic...\n%!";
+  let x =
+    H.Datasets.dataset_union ~tag:"x" ~seed:1 ~n_each:(H.Exp_config.n cfg 1000)
+      (H.Datasets.generic_family ())
+  in
+  let model = D.Train.train ~config:(H.Exp_config.train_config cfg ~seed:1) x in
+  Printf.printf "hunting for a failure case...\n%!";
+  let failure = H.Exp_debug.find_failure ~cfg model in
+  Printf.printf
+    "worst single-car failure: %s car at (%.1f, %.1f), %s — rebuilt as a \
+     Scenic program:\n\n%s\n"
+    failure.H.Scenarios.model failure.car_x failure.car_y failure.weather
+    (H.Scenarios.variant_exact failure);
+  (* generalize it with mutation and measure the model in that
+     neighbourhood *)
+  let neighbourhood =
+    H.Datasets.dataset ~tag:"mutated" ~seed:5 ~n:60
+      (H.Scenarios.variant_mutate failure)
+  in
+  let s = D.Metrics.evaluate model neighbourhood in
+  Format.printf
+    "model on 60 mutated variants of the failure: %a@."
+    D.Metrics.pp_summary s

@@ -1,0 +1,42 @@
+(** Quickstart: compile a Scenic scenario, sample scenes from it, and
+    look at them.
+
+    Run with:  dune exec examples/quickstart.exe *)
+
+let scenario =
+  {|# A car 20-40 m ahead of the camera, roughly facing it
+import gtaLib
+ego = Car
+car2 = Car offset by (-10, 10) @ (20, 40), with viewAngle 30 deg
+require car2 can see ego
+|}
+
+let () =
+  (* 1. register the bundled world models (gtaLib, mars) *)
+  Scenic_worlds.Scenic_worlds_init.init ();
+  (* 2. compile the program once: this builds the random-value DAG *)
+  let sampler =
+    Scenic_sampler.Sampler.of_source ~seed:42 ~file:"quickstart.scenic"
+      scenario
+  in
+  (* 3. draw scenes; each one satisfies every requirement *)
+  for i = 1 to 3 do
+    let scene, stats = Scenic_sampler.Sampler.sample_with_stats sampler in
+    Printf.printf "--- scene %d (%d rejection iterations)\n" i
+      stats.Scenic_sampler.Rejection.iterations;
+    List.iter
+      (fun o ->
+        let p = Scenic_core.Scene.position o in
+        Printf.printf "  %-8s at (%7.1f, %7.1f) facing %6.1f deg\n"
+          o.Scenic_core.Scene.c_class
+          (Scenic_geometry.Vec.x p) (Scenic_geometry.Vec.y p)
+          (Scenic_geometry.Angle.to_degrees (Scenic_core.Scene.heading o)))
+      scene.Scenic_core.Scene.objs;
+    (* 4. a bird's-eye look, centered on the ego ('E', tick = heading) *)
+    let world = Scenic_worlds.Gta_lib.get_network () in
+    print_string
+      (Scenic_render.Ascii.scene_top_view
+         ~region:world.Scenic_worlds.Road_network.road_region scene);
+    (* 5. and the scene exported as JSON for a simulator plugin *)
+    if i = 1 then print_endline (Scenic_render.Export.json_of_scene scene)
+  done

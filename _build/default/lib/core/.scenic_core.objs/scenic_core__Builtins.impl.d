@@ -1,0 +1,1 @@
+lib/core/builtins.ml: Env Errors Float List Objects Ops String Value

@@ -1,0 +1,1 @@
+lib/core/eval.ml: Builtins Env Errors Filename List Module_registry Objects Ops Option Printf Scenario Scenic_geometry Scenic_lang Specifier String Sys Value

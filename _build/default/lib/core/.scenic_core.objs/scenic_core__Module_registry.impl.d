@@ -1,0 +1,1 @@
+lib/core/module_registry.ml: Hashtbl List Value

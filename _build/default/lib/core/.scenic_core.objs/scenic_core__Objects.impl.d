@@ -1,0 +1,1 @@
+lib/core/objects.ml: Errors Hashtbl List Ops Resolve Scenic_geometry Specifier Value

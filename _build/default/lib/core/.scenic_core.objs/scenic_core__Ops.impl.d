@@ -1,0 +1,1 @@
+lib/core/ops.ml: Errors Float List Scenic_geometry Scenic_lang Value

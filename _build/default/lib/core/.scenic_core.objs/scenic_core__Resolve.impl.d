@@ -1,0 +1,1 @@
+lib/core/resolve.ml: Errors Hashtbl List Option Specifier Value

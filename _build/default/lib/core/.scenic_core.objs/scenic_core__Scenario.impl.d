@@ -1,0 +1,1 @@
+lib/core/scenario.ml: List Ops Printf Scenic_geometry Value

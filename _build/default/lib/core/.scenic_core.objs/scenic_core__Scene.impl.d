@@ -1,0 +1,1 @@
+lib/core/scene.ml: Fmt List Ops Option Printf Scenic_geometry Value

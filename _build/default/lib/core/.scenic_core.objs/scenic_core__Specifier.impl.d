@@ -1,0 +1,1 @@
+lib/core/specifier.ml: Errors Fmt Ops Scenic_geometry Scenic_lang Value

@@ -1,0 +1,1 @@
+lib/core/value.ml: Fmt Hashtbl List Printf Scenic_geometry Scenic_lang

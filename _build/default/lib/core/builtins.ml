@@ -1,0 +1,147 @@
+(** Built-in functions and distribution constructors (Table 1), plus
+    the small Python-ish standard library the paper's examples rely on
+    ([range], [abs], [min], [max], …).
+
+    All numeric builtins lift over random arguments via {!Ops.lift}, so
+    e.g. [abs((angle to goal) - (angle to bottleneck))] builds a DAG
+    node rather than failing. *)
+
+open Value
+
+let err = Errors.type_error
+
+let no_kw name kwargs =
+  if kwargs <> [] then err "%s does not accept keyword arguments" name
+
+let float_fold name f init args =
+  match args with
+  | [] -> err "%s expects at least one argument" name
+  | _ ->
+      Ops.lift ~ty:Tfloat name args (fun vs ->
+          Vfloat (List.fold_left (fun acc v -> f acc (Ops.as_float v)) init vs))
+
+(* Uniform over explicitly listed values: [Uniform(v, ...)]. *)
+let uniform_values args kwargs =
+  no_kw "Uniform" kwargs;
+  match args with
+  | [] -> err "Uniform expects at least one value"
+  | _ -> random ~ty:(join_types (List.map value_type args)) (R_choice args)
+
+(* [Discrete({value: weight, ...})]. *)
+let discrete args kwargs =
+  no_kw "Discrete" kwargs;
+  match args with
+  | [ Vdict pairs ] when pairs <> [] ->
+      random
+        ~ty:(join_types (List.map (fun (v, _) -> value_type v) pairs))
+        (R_discrete pairs)
+  | _ -> err "Discrete expects a non-empty {value: weight} dict"
+
+let normal args kwargs =
+  no_kw "Normal" kwargs;
+  match args with
+  | [ mean; std ] -> random ~ty:Tfloat (R_normal (mean, std))
+  | _ -> err "Normal expects (mean, stdDev)"
+
+(** [resample(D)]: an independent sample from the same primitive
+    distribution, {e conditioned on the values of the distribution's
+    parameters} (Sec. 4.2 fn. 2) — the fresh node shares the parameter
+    values of the original node. *)
+let resample args kwargs =
+  no_kw "resample" kwargs;
+  match args with
+  | [ Vrandom n ] -> (
+      match n.rkind with
+      | R_interval _ | R_choice _ | R_discrete _ | R_normal _ | R_uniform_in _
+        ->
+          Vrandom (fresh_node ~ty:n.rty n.rkind)
+      | R_op _ ->
+          err "resample expects a primitive distribution, not a derived value")
+  | [ (Vfloat _ as v) ] -> v (* resampling a constant is the constant *)
+  | _ -> err "resample expects a single distribution argument"
+
+let range args kwargs =
+  no_kw "range" kwargs;
+  let as_int v =
+    let f = Ops.as_float v in
+    if Float.is_integer f then int_of_float f else err "range expects integers"
+  in
+  let mk lo hi = Vlist (List.init (max 0 (hi - lo)) (fun i -> Vfloat (float_of_int (lo + i)))) in
+  match args with
+  | [ n ] -> mk 0 (as_int n)
+  | [ a; b ] -> mk (as_int a) (as_int b)
+  | _ -> err "range expects 1 or 2 arguments"
+
+let len args kwargs =
+  no_kw "len" kwargs;
+  match args with
+  | [ Vlist l ] -> Vfloat (float_of_int (List.length l))
+  | [ Vdict d ] -> Vfloat (float_of_int (List.length d))
+  | [ Vstr s ] -> Vfloat (float_of_int (String.length s))
+  | _ -> err "len expects a list, dict or string"
+
+let float_fn name f args kwargs =
+  no_kw name kwargs;
+  match args with
+  | [ v ] -> Ops.lift1 ~ty:Tfloat name v (fun x -> Vfloat (f (Ops.as_float x)))
+  | _ -> err "%s expects one argument" name
+
+let two_float_fn name f args kwargs =
+  no_kw name kwargs;
+  match args with
+  | [ a; b ] ->
+      Ops.lift2 ~ty:Tfloat name a b (fun x y ->
+          Vfloat (f (Ops.as_float x) (Ops.as_float y)))
+  | _ -> err "%s expects two arguments" name
+
+let table : (string * Value.value) list =
+  [
+    ("Uniform", Vbuiltin ("Uniform", uniform_values));
+    ("Discrete", Vbuiltin ("Discrete", discrete));
+    ("Normal", Vbuiltin ("Normal", normal));
+    ("resample", Vbuiltin ("resample", resample));
+    ("range", Vbuiltin ("range", range));
+    ("len", Vbuiltin ("len", len));
+    ( "abs",
+      Vbuiltin
+        ( "abs",
+          fun args kwargs ->
+            no_kw "abs" kwargs;
+            match args with
+            | [ v ] ->
+                Ops.lift1 ~ty:Tfloat "abs" v (fun x -> Vfloat (Float.abs (Ops.as_float x)))
+            | _ -> err "abs expects one argument" ) );
+    ( "min",
+      Vbuiltin ("min", fun args kw -> no_kw "min" kw; float_fold "min" Float.min infinity args) );
+    ( "max",
+      Vbuiltin
+        ("max", fun args kw -> no_kw "max" kw; float_fold "max" Float.max neg_infinity args) );
+    ("sqrt", Vbuiltin ("sqrt", float_fn "sqrt" sqrt));
+    ("sin", Vbuiltin ("sin", float_fn "sin" sin));
+    ("cos", Vbuiltin ("cos", float_fn "cos" cos));
+    ("tan", Vbuiltin ("tan", float_fn "tan" tan));
+    ("round", Vbuiltin ("round", float_fn "round" Float.round));
+    ("floor", Vbuiltin ("floor", float_fn "floor" Float.floor));
+    ("ceil", Vbuiltin ("ceil", float_fn "ceil" Float.ceil));
+    ("atan2", Vbuiltin ("atan2", two_float_fn "atan2" atan2));
+    ("hypot", Vbuiltin ("hypot", two_float_fn "hypot" Float.hypot));
+    ("pow", Vbuiltin ("pow", two_float_fn "pow" Float.pow));
+    ( "str",
+      Vbuiltin
+        ( "str",
+          fun args kw ->
+            no_kw "str" kw;
+            match args with
+            | [ v ] -> Vstr (Value.to_string v)
+            | _ -> err "str expects one argument" ) );
+  ]
+
+(** Environment pre-populated with builtins and the three built-in
+    classes. *)
+let base_env () =
+  let env = Env.create () in
+  List.iter (fun (n, v) -> Env.set env n v) table;
+  List.iter
+    (fun c -> Env.set env c.cname (Vclass c))
+    Objects.builtin_classes;
+  env

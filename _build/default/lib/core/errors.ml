@@ -1,0 +1,55 @@
+(** Error types raised by the Scenic runtime.
+
+    The static errors mirror the paper exactly: the specifier-resolution
+    failures of Algorithm 1, the undefined-ego rule (Sec. 3), and the
+    no-random-control-flow restriction (Sec. 4). *)
+
+type kind =
+  | Type_error of string
+  | Name_error of string  (** undefined variable / property / module *)
+  | Specified_twice of string  (** Alg. 1 line 6 / 14 *)
+  | Cyclic_dependencies of string list  (** Alg. 1 line 27 *)
+  | Missing_dependency of { property : string; specifier : string }
+      (** Alg. 1 line 24 *)
+  | Random_control_flow
+      (** conditional branching depending on a random variable (Sec. 4) *)
+  | Undefined_ego  (** "it is a syntax error to leave ego undefined" *)
+  | Invalid_argument_error of string
+  | Import_error of string
+  | Zero_probability
+      (** rejection sampling exhausted its iteration budget (Sec. 5.2) *)
+
+let pp_kind ppf = function
+  | Type_error m -> Fmt.pf ppf "type error: %s" m
+  | Name_error m -> Fmt.pf ppf "name error: %s" m
+  | Specified_twice p -> Fmt.pf ppf "property '%s' specified twice" p
+  | Cyclic_dependencies ps ->
+      Fmt.pf ppf "specifiers have cyclic dependencies involving %a"
+        (Fmt.list ~sep:Fmt.comma Fmt.string)
+        ps
+  | Missing_dependency { property; specifier } ->
+      Fmt.pf ppf "missing property '%s' required by specifier '%s'" property
+        specifier
+  | Random_control_flow ->
+      Fmt.string ppf "conditional control flow may not depend on a random value"
+  | Undefined_ego -> Fmt.string ppf "the ego object is not defined"
+  | Invalid_argument_error m -> Fmt.pf ppf "invalid argument: %s" m
+  | Import_error m -> Fmt.pf ppf "import error: %s" m
+  | Zero_probability ->
+      Fmt.string ppf
+        "rejection sampling exceeded its iteration budget; the requirements \
+         may have zero probability of being satisfied"
+
+exception Scenic_error of kind * Scenic_lang.Loc.span
+
+let raise_at ?(loc = Scenic_lang.Loc.dummy) kind = raise (Scenic_error (kind, loc))
+
+let type_error ?loc fmt =
+  Format.kasprintf (fun m -> raise_at ?loc (Type_error m)) fmt
+
+let name_error ?loc fmt =
+  Format.kasprintf (fun m -> raise_at ?loc (Name_error m)) fmt
+
+let to_string (kind, loc) =
+  if loc == Scenic_lang.Loc.dummy then Fmt.str "%a" pp_kind kind
+  else Fmt.str "%a: %a" Scenic_lang.Loc.pp loc pp_kind kind

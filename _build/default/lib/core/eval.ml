@@ -1,0 +1,520 @@
+(** The Scenic interpreter (Sec. 5.1, App. B).
+
+    Evaluates a program {e once}, building a {!Scenario.t}: every
+    distribution expression becomes a random-DAG node and operators
+    over random values are lifted, while control flow must remain
+    concrete — branching on a random value raises
+    {!Errors.Random_control_flow}, the restriction the paper imposes
+    "in order to allow more efficient sampling" (Sec. 4). *)
+
+open Value
+module Ast = Scenic_lang.Ast
+module Loc = Scenic_lang.Loc
+
+type ctx = {
+  globals : Env.t;
+  mutable objects : Value.obj list;  (** scene objects, reverse order *)
+  mutable requirements : Scenario.requirement list;  (** reverse order *)
+  mutable params : (string * Value.value) list;
+  mutable loaded : string list;  (** modules already imported *)
+  search_path : string list;
+}
+
+exception Return_exc of Value.value
+exception Break_exc
+exception Continue_exc
+
+let create_ctx ?(search_path = [ "." ]) () =
+  {
+    globals = Builtins.base_env ();
+    objects = [];
+    requirements = [];
+    params = [];
+    loaded = [];
+    search_path;
+  }
+
+let err = Errors.type_error
+
+let located loc f =
+  try f ()
+  with Errors.Scenic_error (k, l) when l == Loc.dummy ->
+    raise (Errors.Scenic_error (k, loc))
+
+(* The ego object, required as the implicit reference point of many
+   operators and specifiers. *)
+let ego_value env loc =
+  match Env.lookup env "ego" with
+  | Some (Vobj _ as v) -> v
+  | Some v ->
+      Errors.type_error ~loc "ego must be an object, got %s" (type_name v)
+  | None -> Errors.raise_at ~loc Errors.Undefined_ego
+
+let concrete_bool ~what v =
+  if deeply_random v then Errors.raise_at Errors.Random_control_flow
+  else (
+    ignore what;
+    Ops.truthy v)
+
+let rec eval_expr ctx env (e : Ast.expr) : Value.value =
+  located e.loc (fun () -> eval_desc ctx env e)
+
+and eval_desc ctx env (e : Ast.expr) : Value.value =
+  let loc = e.loc in
+  let ev x = eval_expr ctx env x in
+  let ev_opt = Option.map ev in
+  match e.desc with
+  | Num f -> Vfloat f
+  | Str s -> Vstr s
+  | Bool b -> Vbool b
+  | None_lit -> Vnone
+  | Var name -> (
+      match Env.lookup env name with
+      | Some (Vclass c) ->
+          (* a bare class reference constructs an instance with default
+             properties ("ego = Car" / "Car", Sec. 3) *)
+          instantiate ctx env ~loc c []
+      | Some v -> v
+      | None -> Errors.name_error ~loc "undefined name '%s'" name)
+  | Attr (obj, a) -> (
+      let v = ev obj in
+      match v with
+      | Voriented o -> (
+          (* operator-produced oriented points expose position/heading *)
+          match a with
+          | "position" -> o.opos
+          | "heading" -> o.ohead
+          | _ ->
+              Errors.name_error ~loc "oriented points have no property '%s'" a)
+      | Vobj o -> (
+          match get_prop o a with
+          | Some pv -> pv
+          | None -> (
+              (* fall back to methods, bound to the receiver *)
+              match find_method o.cls a with
+              | Some make -> Vclosure (make o)
+              | None ->
+                  Errors.name_error ~loc "%s object has no property '%s'"
+                    o.cls.cname a))
+      | Vdict kvs -> (
+          match
+            List.find_opt (fun (k, _) -> Value.equal k (Vstr a)) kvs
+          with
+          | Some (_, pv) -> pv
+          | None -> Errors.name_error ~loc "dict has no key '%s'" a)
+      | Vrandom _ ->
+          (* e.g. [self.model.width] with a random model: lift the
+             attribute lookup into the DAG *)
+          Ops.lift1 ~ty:Tany ("attr:" ^ a) v (fun c ->
+              match c with
+              | Vdict kvs -> (
+                  match
+                    List.find_opt (fun (k, _) -> Value.equal k (Vstr a)) kvs
+                  with
+                  | Some (_, pv) -> pv
+                  | None -> Errors.name_error "dict has no key '%s'" a)
+              | Vobj o -> get_prop_exn o a
+              | v -> err "cannot access attribute '%s' of %s" a (type_name v))
+      | v -> err ~loc "cannot access attribute '%s' of %s" a (type_name v))
+  | Call (f, args) ->
+      let fv = eval_callee ctx env f in
+      let pos =
+        List.filter_map (function Ast.Pos_arg a -> Some (ev a) | _ -> None) args
+      in
+      let kw =
+        List.filter_map
+          (function Ast.Kw_arg (n, a) -> Some (n, ev a) | _ -> None)
+          args
+      in
+      call_value ctx ~loc fv pos kw
+  | Index (x, i) -> (
+      let xv = ev x and iv = ev i in
+      match (xv, iv) with
+      | Vlist l, Vfloat f ->
+          let n = int_of_float f in
+          let n = if n < 0 then List.length l + n else n in
+          if n < 0 || n >= List.length l then
+            err ~loc "list index %d out of range (length %d)" n (List.length l)
+          else List.nth l n
+      | Vdict kvs, key -> (
+          match List.find_opt (fun (k, _) -> Value.equal k key) kvs with
+          | Some (_, v) -> v
+          | None -> Errors.name_error ~loc "dict has no key %s" (Value.to_string key))
+      | Vstr s, Vfloat f ->
+          let n = int_of_float f in
+          if n < 0 || n >= String.length s then err ~loc "string index out of range"
+          else Vstr (String.make 1 s.[n])
+      | v, _ -> err ~loc "%s is not indexable" (type_name v))
+  | List_lit es -> Vlist (List.map ev es)
+  | Dict_lit kvs -> Vdict (List.map (fun (k, v) -> (ev k, ev v)) kvs)
+  | Interval (a, b) ->
+      let lo = ev a and hi = ev b in
+      random ~ty:Tfloat (R_interval (lo, hi))
+  | Binop (op, a, b) -> eval_binop ctx env op a b
+  | Unop (Neg, a) -> Ops.neg (ev a)
+  | Unop (Not, a) -> Ops.not_ (ev a)
+  | If_expr (c, t, f) ->
+      let cv = ev c in
+      if deeply_random cv then
+        (* data-flow conditional over a random condition: strict select *)
+        let tv = ev t and fv = ev f in
+        Ops.lift3 ~ty:(join_types [ value_type tv; value_type fv ]) "select" cv
+          tv fv (fun c t f -> if Ops.truthy c then t else f)
+      else if Ops.truthy cv then ev t
+      else ev f
+  | Vector (x, y) -> Ops.vector (ev x) (ev y)
+  | Deg x -> Ops.deg (ev x)
+  | Instance (cname, specs) -> (
+      match Env.lookup env cname with
+      | Some (Vclass c) -> instantiate ctx env ~loc c specs
+      | Some v ->
+          err ~loc "'%s' is not a class (it is %s), so it cannot take specifiers"
+            cname (type_name v)
+      | None -> Errors.name_error ~loc "undefined class '%s'" cname)
+  | Relative_to (a, b) -> Ops.relative_to (ev a) (ev b)
+  | Offset_by (a, b) -> Ops.offset_by (ev a) (ev b)
+  | Offset_along (a, d, v) -> Ops.offset_along (ev a) (ev d) (ev v)
+  | Field_at (f, v) -> (
+      let fv = ev f in
+      match fv with
+      | Vfield _ -> Ops.field_at fv (ev v)
+      | _ -> err ~loc "'at' expects a vector field, got %s" (type_name fv))
+  | Can_see (a, b) -> Ops.can_see (ev a) (ev b)
+  | Is_in (a, b) -> Ops.is_in (ev a) (ev b)
+  | Is (a, b) -> (
+      let av = ev a and bv = ev b in
+      match (av, bv) with
+      | Vnone, Vnone -> Vbool true
+      | Vnone, _ | _, Vnone -> Vbool false
+      | Vobj x, Vobj y -> Vbool (x.oid = y.oid)
+      | _ -> Ops.eq av bv)
+  | Distance_to (from, x) ->
+      let f = match ev_opt from with Some v -> v | None -> ego_value env loc in
+      Ops.distance_between f (ev x)
+  | Angle_to (from, x) ->
+      let f = match ev_opt from with Some v -> v | None -> ego_value env loc in
+      Ops.angle_between f (ev x)
+  | Relative_heading (h, from) ->
+      let f = match ev_opt from with Some v -> v | None -> ego_value env loc in
+      Ops.relative_heading (ev h) f
+  | Apparent_heading (op, from) ->
+      let f = match ev_opt from with Some v -> v | None -> ego_value env loc in
+      Ops.apparent_heading (ev op) f
+  | Follow (field, from, dist) ->
+      let f = match ev_opt from with Some v -> v | None -> ego_value env loc in
+      Ops.follow (ev field) f (ev dist)
+  | Visible_op r -> Ops.visible_region (ev r) (ego_value env loc)
+  | Visible_from_op (r, p) -> Ops.visible_region (ev r) (ev p)
+  | Side_of (side, o) -> Ops.side_of side (ev o)
+
+(* Callee evaluation must not auto-instantiate bare classes: calling a
+   class constructs an instance explicitly. *)
+and eval_callee ctx env (f : Ast.expr) =
+  match f.desc with
+  | Var name -> (
+      match Env.lookup env name with
+      | Some v -> v
+      | None -> Errors.name_error ~loc:f.loc "undefined name '%s'" name)
+  | _ -> eval_expr ctx env f
+
+and eval_binop ctx env op a b =
+  let ev x = eval_expr ctx env x in
+  match op with
+  | Ast.And -> (
+      let av = ev a in
+      if not (deeply_random av) then if Ops.truthy av then ev b else Vbool false
+      else Ops.and_ av (ev b))
+  | Ast.Or -> (
+      let av = ev a in
+      if not (deeply_random av) then if Ops.truthy av then Vbool true else ev b
+      else Ops.or_ av (ev b))
+  | Ast.Add -> Ops.add (ev a) (ev b)
+  | Ast.Sub -> Ops.sub (ev a) (ev b)
+  | Ast.Mul -> Ops.mul (ev a) (ev b)
+  | Ast.Div -> Ops.div (ev a) (ev b)
+  | Ast.Mod -> Ops.modulo (ev a) (ev b)
+  | Ast.Eq -> Ops.eq (ev a) (ev b)
+  | Ast.Ne -> Ops.ne (ev a) (ev b)
+  | Ast.Lt -> Ops.lt (ev a) (ev b)
+  | Ast.Gt -> Ops.gt (ev a) (ev b)
+  | Ast.Le -> Ops.le (ev a) (ev b)
+  | Ast.Ge -> Ops.ge (ev a) (ev b)
+
+and call_value ctx ~loc fv pos kw =
+  match fv with
+  | Vbuiltin (_, fn) -> located loc (fun () -> fn pos kw)
+  | Vclosure c ->
+      let fenv = Env.create ~parent:c.fn_env () in
+      let params = c.fn_params in
+      if List.length pos > List.length params then
+        err ~loc "%s expects at most %d arguments, got %d" c.fn_name
+          (List.length params) (List.length pos);
+      List.iteri
+        (fun i (name, _) ->
+          if i < List.length pos then Env.set fenv name (List.nth pos i))
+        params;
+      List.iter
+        (fun (n, v) ->
+          if not (List.mem_assoc n params) then
+            err ~loc "%s has no parameter '%s'" c.fn_name n
+          else if Env.mem_local fenv n then
+            err ~loc "duplicate argument '%s' in call to %s" n c.fn_name
+          else Env.set fenv n v)
+        kw;
+      List.iter
+        (fun (n, default) ->
+          if not (Env.mem_local fenv n) then
+            match default with
+            | Some v -> Env.set fenv n v
+            | None -> err ~loc "missing argument '%s' in call to %s" n c.fn_name)
+        params;
+      (try
+         exec_block ctx fenv c.fn_body;
+         Vnone
+       with Return_exc v -> v)
+  | Vclass c ->
+      (* Calling a class with no arguments constructs a default
+         instance (Python-style [Car()]). *)
+      if pos <> [] || kw <> [] then
+        err ~loc "class %s does not take constructor arguments; use specifiers"
+          c.cname
+      else instantiate ctx (ctx : ctx).globals ~loc c []
+  | v -> err ~loc "%s is not callable" (type_name v)
+
+(* --- object construction ---------------------------------------------- *)
+
+and instantiate ctx env ~loc cls (ast_specs : Ast.specifier list) =
+  let ev x = eval_expr ctx env x in
+  let ev_opt = Option.map ev in
+  let ego () = ego_value env loc in
+  let rspecs =
+    List.map
+      (fun (s : Ast.specifier) ->
+        located s.sp_loc (fun () ->
+            match s.sp_desc with
+            | Ast.S_with (p, e) -> Specifier.with_prop p (ev e)
+            | Ast.S_at e -> Specifier.at (ev e)
+            | Ast.S_offset_by e -> Specifier.offset_by ~ego:(ego ()) (ev e)
+            | Ast.S_offset_along (d, v) ->
+                Specifier.offset_along ~ego:(ego ()) (ev d) (ev v)
+            | Ast.S_left_of (e, by) -> Specifier.lateral `Left (ev e) (ev_opt by)
+            | Ast.S_right_of (e, by) ->
+                Specifier.lateral `Right (ev e) (ev_opt by)
+            | Ast.S_ahead_of (e, by) ->
+                Specifier.lateral `Ahead (ev e) (ev_opt by)
+            | Ast.S_behind (e, by) -> Specifier.lateral `Behind (ev e) (ev_opt by)
+            | Ast.S_beyond (a, b, from) ->
+                Specifier.beyond ~ego:(Vnone) (ev a) (ev b)
+                  (match ev_opt from with
+                  | Some f -> Some f
+                  | None -> Some (ego ()))
+            | Ast.S_visible from -> Specifier.visible_spec ~ego:(ego ()) (ev_opt from)
+            | Ast.S_in e | Ast.S_on e -> Specifier.on_region (ev e)
+            | Ast.S_following (f, from, d) ->
+                let from =
+                  match ev_opt from with Some v -> Some v | None -> Some (ego ())
+                in
+                Specifier.following ~ego:Vnone (ev f) from (ev d)
+            | Ast.S_facing e -> Specifier.facing (ev e)
+            | Ast.S_facing_toward e -> Specifier.facing_toward (ev e)
+            | Ast.S_facing_away e -> Specifier.facing_away (ev e)
+            | Ast.S_apparently_facing (h, from) ->
+                Specifier.apparently_facing ~ego:(ego ()) (ev h) (ev_opt from)))
+      ast_specs
+  in
+  let obj = located loc (fun () -> Objects.instantiate ~cls ~specs:rspecs) in
+  if Objects.is_scene_object obj then ctx.objects <- obj :: ctx.objects;
+  Vobj obj
+
+(* --- statements --------------------------------------------------------- *)
+
+and exec_stmt ctx env (s : Ast.stmt) : unit =
+  let loc = s.sloc in
+  let ev e = eval_expr ctx env e in
+  match s.sdesc with
+  | Expr_stmt e -> ignore (ev e)
+  | Assign (n, e) -> Env.set env n (ev e)
+  | Attr_assign (o, a, e) -> (
+      match ev o with
+      | Vobj obj -> set_prop obj a (ev e)
+      | v -> err ~loc "cannot assign attribute of %s" (type_name v))
+  | Param_stmt ps ->
+      List.iter
+        (fun (n, e) ->
+          let v = ev e in
+          ctx.params <- (n, v) :: List.remove_assoc n ctx.params)
+        ps
+  | Require cond ->
+      let v = ev cond in
+      let label = Scenic_lang.Pretty.expr_to_string cond in
+      ctx.requirements <- Scenario.user_requirement ~label v :: ctx.requirements
+  | Require_p (prob, cond) ->
+      let pv = ev prob in
+      if deeply_random pv then
+        err ~loc "the probability of a soft requirement must be a constant";
+      let p = Ops.as_float pv in
+      if p < 0. || p > 1. then err ~loc "soft requirement probability %g not in [0, 1]" p;
+      let v = ev cond in
+      let label = Scenic_lang.Pretty.expr_to_string cond in
+      ctx.requirements <-
+        Scenario.user_requirement ~prob:p ~label v :: ctx.requirements
+  | Mutate (names, scale) ->
+      let sv = match scale with Some e -> ev e | None -> Vfloat 1. in
+      let targets =
+        match names with
+        | [] -> List.rev ctx.objects
+        | ns ->
+            List.map
+              (fun n ->
+                match Env.lookup env n with
+                | Some (Vobj o) -> o
+                | Some v -> err ~loc "cannot mutate %s" (type_name v)
+                | None -> Errors.name_error ~loc "undefined name '%s'" n)
+              ns
+      in
+      List.iter (fun o -> set_prop o "mutationScale" sv) targets
+  | Import name -> import_module ctx env ~loc name
+  | Class_def { cname; superclass; props; methods } ->
+      let super =
+        match superclass with
+        | None -> Objects.object_cls
+        | Some sname -> (
+            match Env.lookup env sname with
+            | Some (Vclass c) -> c
+            | Some v -> err ~loc "superclass %s is not a class (%s)" sname (type_name v)
+            | None -> Errors.name_error ~loc "undefined superclass '%s'" sname)
+      in
+      let defaults =
+        List.map
+          (fun (p, expr) ->
+            let deps = List.sort_uniq compare (Ast.self_deps expr) in
+            let dd_eval obj =
+              let denv = Env.create ~parent:env () in
+              Env.set denv "self" (Vobj obj);
+              eval_expr ctx denv expr
+            in
+            (p, { dd_deps = deps; dd_eval }))
+          props
+      in
+      let methods =
+        List.map
+          (fun (mname, params, body) ->
+            let fn_params =
+              List.map
+                (fun (p : Ast.param) -> (p.pname, Option.map (eval_expr ctx env) p.pdefault))
+                params
+            in
+            ( mname,
+              fun obj ->
+                (* bind the receiver lexically as [self] *)
+                let menv = Env.create ~parent:env () in
+                Env.set menv "self" (Vobj obj);
+                { fn_name = mname; fn_params; fn_body = body; fn_env = menv } ))
+          methods
+      in
+      Env.set env cname (Vclass { cname; super = Some super; defaults; methods })
+  | Func_def { fname; params; body } ->
+      let fn_params =
+        List.map (fun (p : Ast.param) -> (p.pname, Option.map ev p.pdefault)) params
+      in
+      Env.set env fname
+        (Vclosure { fn_name = fname; fn_params; fn_body = body; fn_env = env })
+  | Return e ->
+      let v = match e with Some e -> ev e | None -> Vnone in
+      raise (Return_exc v)
+  | If (branches, els) ->
+      let rec go = function
+        | [] -> exec_block ctx env els
+        | (c, body) :: rest ->
+            if concrete_bool ~what:"if condition" (ev c) then
+              exec_block ctx env body
+            else go rest
+      in
+      go branches
+  | For (v, e, body) -> (
+      match ev e with
+      | Vlist items ->
+          (try
+             List.iter
+               (fun item ->
+                 Env.set env v item;
+                 try exec_block ctx env body with Continue_exc -> ())
+               items
+           with Break_exc -> ())
+      | x when deeply_random x -> Errors.raise_at ~loc Errors.Random_control_flow
+      | x -> err ~loc "cannot iterate over %s" (type_name x))
+  | While (c, body) -> (
+      try
+        while concrete_bool ~what:"while condition" (ev c) do
+          try exec_block ctx env body with Continue_exc -> ()
+        done
+      with Break_exc -> ())
+  | Pass -> ()
+  | Break -> raise Break_exc
+  | Continue -> raise Continue_exc
+
+and exec_block ctx env stmts = List.iter (exec_stmt ctx env) stmts
+
+(* --- imports ------------------------------------------------------------- *)
+
+and import_module ctx env ~loc name =
+  if List.mem name ctx.loaded then ()
+  else begin
+    ctx.loaded <- name :: ctx.loaded;
+    let entry =
+      match Module_registry.find name with
+      | Some e -> e
+      | None -> (
+          let candidates =
+            List.map (fun d -> Filename.concat d (name ^ ".scenic")) ctx.search_path
+          in
+          match List.find_opt Sys.file_exists candidates with
+          | Some path ->
+              let ic = open_in path in
+              let n = in_channel_length ic in
+              let src = really_input_string ic n in
+              close_in ic;
+              { Module_registry.native = (fun () -> []); source = src }
+          | None ->
+              Errors.raise_at ~loc
+                (Errors.Import_error
+                   (Printf.sprintf "module '%s' not found (registry: %s)" name
+                      (String.concat ", " (Module_registry.registered ())))))
+    in
+    let menv = Env.create ~parent:ctx.globals () in
+    List.iter (fun (n, v) -> Env.set menv n v) (entry.native ());
+    if entry.source <> "" then begin
+      let prog = Scenic_lang.Parser.parse ~file:(name ^ ".scenic") entry.source in
+      exec_block ctx menv prog
+    end;
+    (* Import the module's names into the importing scope. *)
+    List.iter (fun (n, v) -> Env.set env n v) (Env.bindings menv)
+  end
+
+(* --- top level ------------------------------------------------------------ *)
+
+(** Evaluate a parsed program into a scenario. *)
+let compile_program ?search_path (prog : Ast.program) : Scenario.t =
+  let ctx = create_ctx ?search_path () in
+  exec_block ctx ctx.globals prog;
+  let ego =
+    match Env.lookup ctx.globals "ego" with
+    | Some (Vobj o) when Objects.is_scene_object o -> o
+    | Some (Vobj o) ->
+        err "ego must be an Object instance, got %s" o.cls.cname
+    | Some v -> err "ego must be an object, got %s" (type_name v)
+    | None -> Errors.raise_at Errors.Undefined_ego
+  in
+  let workspace =
+    match Env.lookup ctx.globals "workspace" with
+    | Some (Vregion r) -> r
+    | _ -> Scenic_geometry.Region.everywhere
+  in
+  Scenario.finalize ~objects:(List.rev ctx.objects) ~ego
+    ~params:(List.rev ctx.params)
+    ~user_requirements:(List.rev ctx.requirements)
+    ~workspace
+
+(** Parse and evaluate Scenic source into a scenario. *)
+let compile ?file ?search_path src : Scenario.t =
+  compile_program ?search_path (Scenic_lang.Parser.parse ?file src)

@@ -1,0 +1,27 @@
+(** Registry of importable Scenic modules.
+
+    A module ("world model" in the paper's terminology, e.g. [gtaLib]
+    or [mars]) is a set of native OCaml bindings — regions, vector
+    fields, helper builtins — plus optional Scenic source defining
+    classes and helper functions on top of them.  This mirrors the
+    paper's two-step simulator-interface recipe (Sec. 1): "(1) writing
+    a small Scenic library defining the types of objects supported by
+    the simulator, as well as the geometry of the workspace".
+
+    [import name] first consults this registry, then falls back to a
+    [name.scenic] file on the evaluator's search path. *)
+
+type entry = {
+  native : unit -> (string * Value.value) list;
+      (** evaluated lazily so worlds can be (re)built per import *)
+  source : string;  (** Scenic source evaluated after injecting natives *)
+}
+
+let table : (string, entry) Hashtbl.t = Hashtbl.create 8
+
+let register ?(native = fun () -> []) ?(source = "") name =
+  Hashtbl.replace table name { native; source }
+
+let find name = Hashtbl.find_opt table name
+
+let registered () = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) table [])

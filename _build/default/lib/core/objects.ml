@@ -1,0 +1,94 @@
+(** The built-in classes Point, OrientedPoint and Object with the
+    default property values of Table 2, plus object instantiation
+    (Sec. 5.1 "Specifiers and Object Definitions"). *)
+
+open Value
+module G = Scenic_geometry
+
+let const v : default_def = { dd_deps = []; dd_eval = (fun _ -> v) }
+
+let point_cls =
+  {
+    cname = "Point";
+    super = None;
+    methods = [];
+    defaults =
+      [
+        ("position", const (Vvec G.Vec.zero));
+        ("viewDistance", const (Vfloat 50.));
+        ("mutationScale", const (Vfloat 0.));
+        ("positionStdDev", const (Vfloat 1.));
+        (* Points have no extent; Object overrides these with 1
+           (Table 2).  Giving them a zero default lets the lateral
+           specifiers ("left of P by D"), whose offsets involve
+           self.width/height, apply to OrientedPoints — as the paper's
+           own platoon helper (App. A.10) relies on. *)
+        ("width", const (Vfloat 0.));
+        ("height", const (Vfloat 0.));
+      ];
+  }
+
+let oriented_point_cls =
+  {
+    cname = "OrientedPoint";
+    super = Some point_cls;
+    methods = [];
+    defaults =
+      [
+        ("heading", const (Vfloat 0.));
+        ("viewAngle", const (Vfloat (2. *. G.Angle.pi)));
+        ("headingStdDev", const (Vfloat (G.Angle.of_degrees 5.)));
+      ];
+  }
+
+let object_cls =
+  {
+    cname = "Object";
+    super = Some oriented_point_cls;
+    methods = [];
+    defaults =
+      [
+        ("width", const (Vfloat 1.));
+        ("height", const (Vfloat 1.));
+        ("allowCollisions", const (Vbool false));
+        ("requireVisible", const (Vbool true));
+      ];
+  }
+
+let builtin_classes = [ point_cls; oriented_point_cls; object_cls ]
+
+(** Instantiate [cls] with the given runtime specifiers: resolve them
+    with Algorithm 1, then evaluate in topological order, accumulating
+    the properties on the new object. *)
+let instantiate ~cls ~(specs : Specifier.t list) : obj =
+  let defaults = all_defaults cls in
+  let ordered = Resolve.resolve ~defaults specs in
+  let obj = { oid = fresh_oid (); cls; props = Hashtbl.create 16 } in
+  List.iter
+    (fun (s, props) ->
+      let bindings = s.Specifier.eval obj in
+      List.iter
+        (fun p ->
+          match List.assoc_opt p bindings with
+          | Some v ->
+              (* The fundamental geometric properties are normalised on
+                 assignment, so e.g. a default of [Point on road]
+                 stores the Point's position vector. *)
+              let v =
+                match p with
+                | "position" -> Ops.to_vector v
+                | "heading" -> Ops.to_heading v
+                | _ -> v
+              in
+              set_prop obj p v
+          | None ->
+              Errors.type_error
+                "specifier '%s' did not produce a value for property '%s'"
+                s.Specifier.name p)
+        props)
+    ordered;
+  obj
+
+(** Is this object part of the physical scene (an [Object] instance,
+    as opposed to a Point/OrientedPoint helper)? *)
+let is_scene_object o = descends_from o.cls "Object"

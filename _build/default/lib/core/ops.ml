@@ -1,0 +1,435 @@
+(** The operators of Fig. 7, with the exact semantics of App. C.
+
+    Every operator has a concrete implementation on fully-evaluated
+    values; {!lift} wraps it into an [R_op] DAG node whenever any
+    argument is (transitively) random, so the same code serves both
+    construction-time evaluation and per-sample re-evaluation.  The
+    static type carried by random nodes ({!Value.rtype}) disambiguates
+    the polymorphic operators ([relative to], [offset by]) over random
+    operands, mirroring the paper's "simple type system". *)
+
+open Value
+module G = Scenic_geometry
+
+let err fmt = Errors.type_error fmt
+
+(* --- coercions on concrete values ------------------------------------ *)
+
+let as_float = function
+  | Vfloat f -> f
+  | Vbool b -> if b then 1. else 0.
+  | v -> err "expected a scalar, got %s" (type_name v)
+
+let as_bool = function
+  | Vbool b -> b
+  | v -> err "expected a boolean, got %s" (type_name v)
+
+let as_region = function
+  | Vregion r -> r
+  | v -> err "expected a region, got %s" (type_name v)
+
+let as_field = function
+  | Vfield f -> f
+  | v -> err "expected a vector field, got %s" (type_name v)
+
+let cvec v =
+  match v with
+  | Vvec x -> x
+  | Voriented { opos = Vvec x; _ } -> x
+  | Vlist [ Vfloat x; Vfloat y ] -> G.Vec.make x y
+  | _ -> err "expected a vector, got %s" (type_name v)
+
+let chead v =
+  match v with
+  | Vfloat h -> h
+  | Voriented { ohead = Vfloat h; _ } -> h
+  | _ -> err "expected a heading, got %s" (type_name v)
+
+(* --- type-directed views (Sec. 4.1 coercions) ------------------------- *)
+
+let is_oriented_point = function
+  | Voriented _ -> true
+  | Vobj o -> descends_from o.cls "OrientedPoint"
+  | _ -> false
+
+let is_point_like = function
+  | Vobj o -> descends_from o.cls "Point"
+  | Voriented _ -> true
+  | _ -> false
+
+(** Point and OrientedPoint values are automatically interpreted as
+    vectors in contexts expecting vectors. *)
+let to_vector v =
+  match v with
+  | Vvec _ -> v
+  | Voriented o -> o.opos
+  | Vobj o when descends_from o.cls "Point" -> get_prop_exn o "position"
+  | Vrandom n when n.rty = Tvec || n.rty = Tany -> v
+  | Vlist [ _; _ ] -> v
+  | _ -> err "cannot interpret %s as a vector" (type_name v)
+
+let to_heading v =
+  match v with
+  | Vfloat _ -> v
+  | Voriented o -> o.ohead
+  | Vobj o when descends_from o.cls "OrientedPoint" -> get_prop_exn o "heading"
+  | Vobj o when descends_from o.cls "Point" ->
+      err "cannot interpret %s as a heading (Point has no orientation)"
+        o.cls.cname
+  | Vrandom n when n.rty = Tfloat || n.rty = Tany -> v
+  | _ -> err "cannot interpret %s as a heading" (type_name v)
+
+(** Is the value a vector, or a Point object (but not an
+    OrientedPoint, which is ambiguous between vector and heading)? *)
+let statically_vector v =
+  match v with
+  | Vvec _ -> true
+  | Vobj o -> descends_from o.cls "Point" && not (descends_from o.cls "OrientedPoint")
+  | Vrandom n -> n.rty = Tvec
+  | _ -> false
+
+let statically_heading v =
+  match v with
+  | Vfloat _ -> true
+  | Vrandom n -> n.rty = Tfloat
+  | _ -> false
+
+(* --- lifting ---------------------------------------------------------- *)
+
+let lift ~ty name args fn =
+  if List.exists deeply_random args then random ~ty (R_op (name, args, fn))
+  else fn args
+
+let lift1 ~ty name a fn =
+  lift ~ty name [ a ] (function [ x ] -> fn x | _ -> assert false)
+
+let lift2 ~ty name a b fn =
+  lift ~ty name [ a; b ] (function [ x; y ] -> fn x y | _ -> assert false)
+
+let lift3 ~ty name a b c fn =
+  lift ~ty name [ a; b; c ] (function [ x; y; z ] -> fn x y z | _ -> assert false)
+
+(* --- scalar operators -------------------------------------------------- *)
+
+let neg v = lift1 ~ty:Tfloat "neg" v (fun x -> Vfloat (-.as_float x))
+let add a b = lift2 ~ty:Tfloat "add" a b (fun x y -> Vfloat (as_float x +. as_float y))
+let sub a b = lift2 ~ty:Tfloat "sub" a b (fun x y -> Vfloat (as_float x -. as_float y))
+let mul a b = lift2 ~ty:Tfloat "mul" a b (fun x y -> Vfloat (as_float x *. as_float y))
+
+let div a b =
+  lift2 ~ty:Tfloat "div" a b (fun x y ->
+      let d = as_float y in
+      if d = 0. then err "division by zero" else Vfloat (as_float x /. d))
+
+let modulo a b =
+  lift2 ~ty:Tfloat "mod" a b (fun x y ->
+      let d = as_float y in
+      if d = 0. then err "modulo by zero" else Vfloat (Float.rem (as_float x) d))
+
+let deg v = lift1 ~ty:Tfloat "deg" v (fun x -> Vfloat (G.Angle.of_degrees (as_float x)))
+
+(* --- comparisons and booleans ------------------------------------------ *)
+
+let cmp_op name op a b =
+  lift2 ~ty:Tbool name a b (fun x y -> Vbool (op (as_float x) (as_float y)))
+
+let lt = cmp_op "lt" ( < )
+let gt = cmp_op "gt" ( > )
+let le = cmp_op "le" ( <= )
+let ge = cmp_op "ge" ( >= )
+let eq a b = lift2 ~ty:Tbool "eq" a b (fun x y -> Vbool (Value.equal x y))
+let ne a b = lift2 ~ty:Tbool "ne" a b (fun x y -> Vbool (not (Value.equal x y)))
+
+let truthy = function
+  | Vbool b -> b
+  | Vfloat f -> f <> 0.
+  | Vnone -> false
+  | Vstr s -> s <> ""
+  | Vlist l -> l <> []
+  | _ -> true
+
+let not_ v = lift1 ~ty:Tbool "not" v (fun x -> Vbool (not (truthy x)))
+
+(* [and]/[or] short-circuit on concrete values and become strict lifted
+   ops over random ones (sound: Scenic expressions are effect-free). *)
+let and_ a b = lift2 ~ty:Tbool "and" a b (fun x y -> Vbool (truthy x && truthy y))
+let or_ a b = lift2 ~ty:Tbool "or" a b (fun x y -> Vbool (truthy x || truthy y))
+
+(* --- vectors ------------------------------------------------------------ *)
+
+let vector x y =
+  lift2 ~ty:Tvec "vector" x y (fun a b -> Vvec (G.Vec.make (as_float a) (as_float b)))
+
+let vec_add a b =
+  lift2 ~ty:Tvec "vec_add" (to_vector a) (to_vector b) (fun x y ->
+      Vvec (G.Vec.add (cvec x) (cvec y)))
+
+let heading_add a b =
+  lift2 ~ty:Tfloat "heading_add" (to_heading a) (to_heading b) (fun x y ->
+      Vfloat (chead x +. chead y))
+
+(** [F at V]: the heading of the field at a point (App. C Fig. 32). *)
+let field_at f v =
+  lift2 ~ty:Tfloat "field_at" f (to_vector v) (fun fld p ->
+      Vfloat (G.Vectorfield.at (as_field fld) (cvec p)))
+
+(** Offset [v] within the local frame of an oriented point given by
+    position [bpos] / heading [bhead]: the paper's [offsetLocal]. *)
+let offset_local bpos bhead v =
+  lift3 ~ty:Tvec "offset_local" bpos bhead v (fun p h v ->
+      Vvec (G.Vec.add (cvec p) (G.Vec.rotate (cvec v) (chead h))))
+
+(** [X relative to Y] — the polymorphic local-coordinate operator
+    (Sec. 3; App. C Figs. 32/33/35).  Field-involving forms depend on
+    the position of the object being specified and therefore produce a
+    delayed {!Value.dep}. *)
+let relative_to a b =
+  match (a, b) with
+  | Vfield _, _ | _, Vfield _ ->
+      let fn lookup =
+        let pos = lookup "position" in
+        let resolve = function Vfield _ as f -> field_at f pos | h -> to_heading h in
+        let ha = resolve a and hb = resolve b in
+        lift2 ~ty:Tfloat "heading_add" ha hb (fun x y -> Vfloat (chead x +. chead y))
+      in
+      Vdep { d_deps = [ "position" ]; d_fn = fn }
+  | _, _ when is_oriented_point a && is_oriented_point b ->
+      err "'X relative to Y' with two OrientedPoint values is ambiguous: use \
+           .position or .heading explicitly"
+  | _, _ when is_oriented_point b && statically_vector a ->
+      (* V relative to OP: local-frame offset keeping OP's heading *)
+      let bhead = to_heading b in
+      Voriented
+        { opos = offset_local (to_vector b) bhead (to_vector a); ohead = bhead }
+  | _, _ when statically_vector a || statically_vector b -> vec_add a b
+  | _ ->
+      (* scalars, OrientedPoints on one side, and unknown-typed random
+         values are all interpreted as headings *)
+      heading_add a b
+
+(** [V1 offset by V2] on vectors; [OP offset by V] yields the locally
+    offset OrientedPoint (App. C Figs. 33/35). *)
+let offset_by a b =
+  if is_oriented_point a then relative_to b a else vec_add a b
+
+(** [V1 offset along H/F by V2] (App. C Fig. 33). *)
+let offset_along v dir off =
+  let vv = to_vector v and ov = to_vector off in
+  match dir with
+  | Vfield _ ->
+      lift3 ~ty:Tvec "offset_along_field" vv dir ov (fun p f o ->
+          let h = G.Vectorfield.at (as_field f) (cvec p) in
+          Vvec (G.Vec.add (cvec p) (G.Vec.rotate (cvec o) h)))
+  | _ ->
+      let h = to_heading dir in
+      lift3 ~ty:Tvec "offset_along" vv h ov (fun p h o ->
+          Vvec (G.Vec.add (cvec p) (G.Vec.rotate (cvec o) (chead h))))
+
+(* --- distances and angles ------------------------------------------------ *)
+
+let distance_between a b =
+  lift2 ~ty:Tfloat "distance" (to_vector a) (to_vector b) (fun x y ->
+      Vfloat (G.Vec.dist (cvec x) (cvec y)))
+
+(** [angle from V1 to V2] = arctan(V2 - V1) (App. C Fig. 30). *)
+let angle_between a b =
+  lift2 ~ty:Tfloat "angle" (to_vector a) (to_vector b) (fun x y ->
+      Vfloat (G.Vec.heading_of (G.Vec.sub (cvec y) (cvec x))))
+
+let relative_heading h1 h2 =
+  lift2 ~ty:Tfloat "relative_heading" (to_heading h1) (to_heading h2) (fun x y ->
+      Vfloat (G.Angle.normalize (chead x -. chead y)))
+
+(** [apparent heading of OP from V] = OP.heading − arctan(OP.position − V). *)
+let apparent_heading op from =
+  lift3 ~ty:Tfloat "apparent_heading" (to_heading op) (to_vector op)
+    (to_vector from) (fun h p f ->
+      Vfloat
+        (G.Angle.normalize
+           (chead h -. G.Vec.heading_of (G.Vec.sub (cvec p) (cvec f)))))
+
+(* --- visibility ------------------------------------------------------------ *)
+
+(** Extract the view-cone parameters of a Point/OrientedPoint/Object
+    value; components reference the object's property DAG nodes, so the
+    resulting ops track mutation noise and pruning rewrites. *)
+let viewer_components v =
+  match v with
+  | Vobj o when descends_from o.cls "OrientedPoint" ->
+      ( get_prop_exn o "position",
+        get_prop_exn o "heading",
+        get_prop_exn o "viewDistance",
+        get_prop_exn o "viewAngle" )
+  | Vobj o when descends_from o.cls "Point" ->
+      (get_prop_exn o "position", Vnone, get_prop_exn o "viewDistance", Vnone)
+  | Voriented { opos; ohead } ->
+      (opos, ohead, Vfloat 50., Vfloat (2. *. G.Angle.pi))
+  | Vvec _ -> (v, Vnone, Vfloat 50., Vnone)
+  | _ -> err "expected a Point or OrientedPoint viewer, got %s" (type_name v)
+
+let make_viewer pos head dist angle =
+  G.Visibility.viewer
+    ?heading:(match head with Vnone -> None | h -> Some (chead h))
+    ?view_angle:(match angle with Vnone -> None | a -> Some (as_float a))
+    ~position:(cvec pos) ~view_distance:(as_float dist) ()
+
+let box_components v =
+  match v with
+  | Vobj o when descends_from o.cls "Object" ->
+      Some
+        ( get_prop_exn o "position",
+          get_prop_exn o "heading",
+          get_prop_exn o "width",
+          get_prop_exn o "height" )
+  | _ -> None
+
+let make_box pos head w h =
+  G.Rect.make ~center:(cvec pos) ~heading:(chead head) ~width:(as_float w)
+    ~height:(as_float h)
+
+(** [X can see Y] (App. C Fig. 31). *)
+let can_see viewer target =
+  let vp, vh, vd, va = viewer_components viewer in
+  match box_components target with
+  | Some (tp, th, tw, thh) ->
+      lift ~ty:Tbool "can_see_box" [ vp; vh; vd; va; tp; th; tw; thh ] (function
+        | [ vp; vh; vd; va; tp; th; tw; thh ] ->
+            Vbool
+              (G.Visibility.sees_box (make_viewer vp vh vd va)
+                 (make_box tp th tw thh))
+        | _ -> assert false)
+  | None ->
+      let tp = to_vector target in
+      lift ~ty:Tbool "can_see_point" [ vp; vh; vd; va; tp ] (function
+        | [ vp; vh; vd; va; tp ] ->
+            Vbool (G.Visibility.sees_point (make_viewer vp vh vd va) (cvec tp))
+        | _ -> assert false)
+
+(** [visible R] / [R visible from P] (App. C Fig. 34). *)
+let visible_region region viewer =
+  let vp, vh, vd, va = viewer_components viewer in
+  lift ~ty:Tregion "visible_region" [ region; vp; vh; vd; va ] (function
+    | [ r; vp; vh; vd; va ] ->
+        let r = as_region r in
+        let viewer = make_viewer vp vh vd va in
+        Vregion (G.Region.intersect r (G.Visibility.view_region viewer))
+    | _ -> assert false)
+
+(** [X is in R] (App. C Fig. 31): point membership, or bounding-box
+    containment for Objects (corners + center + edge midpoints — exact
+    for convex regions). *)
+let is_in x region =
+  match box_components x with
+  | Some (tp, th, tw, thh) ->
+      lift ~ty:Tbool "box_in_region" [ tp; th; tw; thh; region ] (function
+        | [ tp; th; tw; thh; r ] ->
+            let box = make_box tp th tw thh in
+            let reg = as_region r in
+            let corners = G.Rect.corners box in
+            let mids =
+              match corners with
+              | [ a; b; c; d ] ->
+                  [
+                    G.Vec.midpoint a b; G.Vec.midpoint b c; G.Vec.midpoint c d;
+                    G.Vec.midpoint d a;
+                  ]
+              | _ -> []
+            in
+            Vbool
+              (List.for_all (G.Region.contains reg)
+                 ((G.Rect.center box :: corners) @ mids))
+        | _ -> assert false)
+  | None ->
+      lift2 ~ty:Tbool "point_in_region" (to_vector x) region (fun p r ->
+          Vbool (G.Region.contains (as_region r) (cvec p)))
+
+(* --- OrientedPoint operators ---------------------------------------------- *)
+
+(** [follow F [from V] for S] (App. C Fig. 35). *)
+let follow field from dist =
+  let fv = to_vector from in
+  let combined =
+    lift3 ~ty:Toriented "follow" field fv dist (fun f v d ->
+        let fld = as_field f in
+        let y = G.Vectorfield.follow fld ~from:(cvec v) ~dist:(as_float d) in
+        Voriented { opos = Vvec y; ohead = Vfloat (G.Vectorfield.at fld y) })
+  in
+  match combined with
+  | Voriented _ -> combined
+  | Vrandom _ ->
+      let comp ty name extract =
+        lift1 ~ty name combined (function
+          | Voriented o -> extract o
+          | v -> err "follow: expected an oriented point, got %s" (type_name v))
+      in
+      Voriented
+        {
+          opos = comp Tvec "follow_pos" (fun o -> o.opos);
+          ohead = comp Tfloat "follow_head" (fun o -> o.ohead);
+        }
+  | _ -> assert false
+
+(** [front of O], [back left of O], … (App. C Fig. 35). *)
+let side_of (side : Scenic_lang.Ast.side) obj =
+  match obj with
+  | Vobj o when descends_from o.cls "Object" ->
+      let pos = get_prop_exn o "position"
+      and head = get_prop_exn o "heading"
+      and w = get_prop_exn o "width"
+      and h = get_prop_exn o "height" in
+      let fx, fy =
+        match side with
+        | Scenic_lang.Ast.Front -> (0., 0.5)
+        | Back -> (0., -0.5)
+        | Left_side -> (-0.5, 0.)
+        | Right_side -> (0.5, 0.)
+        | Front_left -> (-0.5, 0.5)
+        | Front_right -> (0.5, 0.5)
+        | Back_left -> (-0.5, -0.5)
+        | Back_right -> (0.5, -0.5)
+      in
+      let p =
+        lift ~ty:Tvec
+          ("side_of:" ^ Scenic_lang.Ast.side_to_string side)
+          [ pos; head; w; h ]
+          (function
+          | [ p; hd; w; h ] ->
+              let local = G.Vec.make (fx *. as_float w) (fy *. as_float h) in
+              Vvec (G.Vec.add (cvec p) (G.Vec.rotate local (chead hd)))
+          | _ -> assert false)
+      in
+      Voriented { opos = p; ohead = head }
+  | v ->
+      err "'%s of' expects an Object, got %s"
+        (Scenic_lang.Ast.side_to_string side)
+        (type_name v)
+
+(** [beyond A by O from B] (App. C Fig. 27). *)
+let beyond a o b =
+  lift3 ~ty:Tvec "beyond" (to_vector a) (to_vector o) (to_vector b) (fun a o b ->
+      let line = G.Vec.heading_of (G.Vec.sub (cvec a) (cvec b)) in
+      Vvec (G.Vec.add (cvec a) (G.Vec.rotate (cvec o) line)))
+
+(* --- misc ------------------------------------------------------------------ *)
+
+(** Resolve a delayed field-relative value against the object under
+    construction. *)
+let resolve_dep v lookup = match v with Vdep d -> d.d_fn lookup | v -> v
+
+(** Orientation field of a region value, determined statically when
+    possible (decides whether [on R] optionally specifies [heading]);
+    looks through [visible_region] nodes. *)
+let rec static_region_orientation v =
+  match v with
+  | Vregion r -> G.Region.orientation r
+  | Vrandom { rkind = R_op ("visible_region", r :: _, _); _ } ->
+      static_region_orientation r
+  | _ -> None
+
+(** Orientation heading of a (possibly random) region at a (possibly
+    random) point. *)
+let region_orientation_at region point =
+  lift2 ~ty:Tfloat "region_orientation_at" region point (fun r p ->
+      match G.Region.orientation (as_region r) with
+      | Some field -> Vfloat (G.Vectorfield.at field (cvec p))
+      | None -> Vfloat 0.)

@@ -1,0 +1,109 @@
+(** Algorithm 1 of the paper: [resolveSpecifiers].
+
+    Given the class of the object being constructed and the specifiers
+    written by the user, determine which specifier provides each
+    property (priority: non-optional specifier > optional specifier >
+    most-derived default value), check the static errors the paper
+    defines (property specified twice, ambiguous optional
+    specifications, missing dependencies, cyclic dependencies), and
+    return the specifiers in a dependency-respecting evaluation order
+    together with the properties each one actually sets. *)
+
+module S = Specifier
+
+type resolved = (S.t * string list) list
+(** specifiers in evaluation order, each paired with the properties it
+    is responsible for *)
+
+let raise_err kind = Errors.raise_at kind
+
+let resolve ~(defaults : (string * Value.default_def) list)
+    (specifiers : S.t list) : resolved =
+  (* 1–9: gather specified properties. *)
+  let spec_for_property : (string, S.t) Hashtbl.t = Hashtbl.create 16 in
+  let optional_specs : (string, S.t list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun p ->
+          if Hashtbl.mem spec_for_property p then
+            raise_err (Errors.Specified_twice p)
+          else Hashtbl.add spec_for_property p s)
+        s.S.specifies;
+      List.iter
+        (fun p ->
+          let cur = Option.value ~default:[] (Hashtbl.find_opt optional_specs p) in
+          Hashtbl.replace optional_specs p (cur @ [ s ]))
+        s.S.optionally)
+    specifiers;
+  (* 10–15: filter optional specifications. *)
+  Hashtbl.iter
+    (fun p ss ->
+      if not (Hashtbl.mem spec_for_property p) then
+        match ss with
+        | [ s ] -> Hashtbl.add spec_for_property p s
+        | _ :: _ :: _ -> raise_err (Errors.Specified_twice p)
+        | [] -> ())
+    (Hashtbl.copy optional_specs);
+  (* 16–19: add default specifiers as needed. *)
+  List.iter
+    (fun (p, dd) ->
+      if not (Hashtbl.mem spec_for_property p) then
+        Hashtbl.add spec_for_property p (S.of_default p dd))
+    defaults;
+  (* 20–25: build the dependency graph over the chosen specifiers. *)
+  let by_id : (int, S.t) Hashtbl.t = Hashtbl.create 16 in
+  Hashtbl.iter (fun _ s -> Hashtbl.replace by_id s.S.id s) spec_for_property;
+  let props_of s =
+    Hashtbl.fold
+      (fun p s' acc -> if s'.S.id = s.S.id then p :: acc else acc)
+      spec_for_property []
+    |> List.sort compare
+  in
+  (* edges: spec providing dependency D -> spec S needing D *)
+  let preds : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+  Hashtbl.iter (fun id _ -> Hashtbl.replace preds id []) by_id;
+  Hashtbl.iter
+    (fun id s ->
+      List.iter
+        (fun d ->
+          match Hashtbl.find_opt spec_for_property d with
+          | None ->
+              raise_err
+                (Errors.Missing_dependency { property = d; specifier = s.S.name })
+          | Some provider ->
+              if provider.S.id <> id then
+                Hashtbl.replace preds id
+                  (provider.S.id :: Hashtbl.find preds id))
+        s.S.deps)
+    by_id;
+  (* 26–30: topological sort (Kahn); leftovers indicate a cycle. *)
+  let order = ref [] in
+  let remaining = Hashtbl.copy preds in
+  let progressed = ref true in
+  while Hashtbl.length remaining > 0 && !progressed do
+    progressed := false;
+    let ready =
+      Hashtbl.fold
+        (fun id ps acc ->
+          if List.for_all (fun p -> not (Hashtbl.mem remaining p)) ps then
+            id :: acc
+          else acc)
+        remaining []
+      |> List.sort compare
+    in
+    List.iter
+      (fun id ->
+        progressed := true;
+        Hashtbl.remove remaining id;
+        order := id :: !order)
+      ready
+  done;
+  if Hashtbl.length remaining > 0 then begin
+    let stuck =
+      Hashtbl.fold (fun id _ acc -> (Hashtbl.find by_id id).S.name :: acc) remaining []
+      |> List.sort compare
+    in
+    raise_err (Errors.Cyclic_dependencies stuck)
+  end;
+  List.rev_map (fun id -> let s = Hashtbl.find by_id id in (s, props_of s)) !order

@@ -1,0 +1,161 @@
+(** Compiled scenarios: the output of evaluating a Scenic program once.
+
+    A scenario holds the objects (whose properties are value DAGs), the
+    global parameters, and all requirements — the user's [require]
+    statements plus the three built-in default requirements of Sec. 3
+    ("all objects must be contained in the workspace, must not
+    intersect each other, and must be visible from the ego object"),
+    materialised per the Termination rules of App. B (Fig. 25). *)
+
+open Value
+module G = Scenic_geometry
+
+type req_kind =
+  | User
+  | Containment  (** object inside the workspace *)
+  | No_collision  (** pairwise bounding-box disjointness *)
+  | Visible_from_ego
+
+type requirement = {
+  kind : req_kind;
+  prob : float option;  (** [Some p] for soft requirements *)
+  cond : Value.value;  (** boolean-valued, possibly random *)
+  label : string;
+}
+
+type t = {
+  objects : Value.obj list;  (** scene objects, in creation order *)
+  ego : Value.obj;
+  params : (string * Value.value) list;
+  requirements : requirement list;
+  workspace : G.Region.t;
+}
+
+let user_requirement ?prob ?(label = "require") cond =
+  { kind = User; prob; cond; label }
+
+(* --- mutation (App. B.3, Termination Step 1) -------------------------- *)
+
+(* Statically-zero mutation scales skip noise entirely. *)
+let mutation_enabled obj =
+  match get_prop obj "mutationScale" with
+  | Some (Vfloat 0.) | None -> false
+  | Some _ -> true
+
+(** Add Gaussian noise to [position] and [heading] of every object with
+    nonzero [mutationScale].  New property values wrap the old ones, so
+    requirement DAGs built {e after} this step (the built-in defaults)
+    observe the noisy values, while user requirements — evaluated at
+    their program point, per the operational semantics of Fig. 25 —
+    reference the pre-noise values. *)
+let apply_mutations objects =
+  List.iter
+    (fun obj ->
+      if mutation_enabled obj then begin
+        let scale = get_prop_exn obj "mutationScale" in
+        let pos_std = Ops.mul scale (get_prop_exn obj "positionStdDev") in
+        let head_std = Ops.mul scale (get_prop_exn obj "headingStdDev") in
+        let noise std = random ~ty:Tfloat (R_normal (Vfloat 0., std)) in
+        let noise_vec = Ops.vector (noise pos_std) (noise pos_std) in
+        set_prop obj "position"
+          (Ops.vec_add (get_prop_exn obj "position") noise_vec);
+        set_prop obj "heading"
+          (Ops.add (get_prop_exn obj "heading") (noise head_std))
+      end)
+    objects
+
+(* --- built-in requirements (App. B.3, Termination Step 2) -------------- *)
+
+let box_args o =
+  [
+    get_prop_exn o "position";
+    get_prop_exn o "heading";
+    get_prop_exn o "width";
+    get_prop_exn o "height";
+  ]
+
+let containment_req ~workspace obj =
+  match G.Region.shape workspace with
+  | G.Region.Everywhere -> None
+  | _ ->
+      let cond = Ops.is_in (Vobj obj) (Vregion workspace) in
+      Some
+        {
+          kind = Containment;
+          prob = None;
+          cond;
+          label = Printf.sprintf "%s#%d in workspace" obj.cls.cname obj.oid;
+        }
+
+let no_collision_req a b =
+  let statically_allowed o =
+    match get_prop o "allowCollisions" with Some (Vbool true) -> true | _ -> false
+  in
+  if statically_allowed a || statically_allowed b then None
+  else
+    let allow_a = get_prop_exn a "allowCollisions"
+    and allow_b = get_prop_exn b "allowCollisions" in
+    let cond =
+      Ops.lift ~ty:Tbool "no_collision"
+        ((allow_a :: allow_b :: box_args a) @ box_args b)
+        (function
+          | [ aa; ab; p1; h1; w1; hh1; p2; h2; w2; hh2 ] ->
+              if Ops.truthy aa || Ops.truthy ab then Vbool true
+              else
+                Vbool
+                  (not
+                     (G.Rect.intersects
+                        (Ops.make_box p1 h1 w1 hh1)
+                        (Ops.make_box p2 h2 w2 hh2)))
+          | _ -> assert false)
+    in
+    Some
+      {
+        kind = No_collision;
+        prob = None;
+        cond;
+        label = Printf.sprintf "#%d and #%d disjoint" a.oid b.oid;
+      }
+
+let visibility_req ~ego obj =
+  match get_prop obj "requireVisible" with
+  | Some (Vbool false) -> None
+  | rv ->
+      let base = Ops.can_see (Vobj ego) (Vobj obj) in
+      let cond =
+        match rv with
+        | Some (Vbool true) | None -> base
+        | Some v -> Ops.or_ (Ops.not_ v) base
+      in
+      Some
+        {
+          kind = Visible_from_ego;
+          prob = None;
+          cond;
+          label = Printf.sprintf "#%d visible from ego" obj.oid;
+        }
+
+(** Finalise a scenario: apply mutations, then append the built-in
+    default requirements over the (post-noise) object properties. *)
+let finalize ~objects ~ego ~params ~user_requirements ~workspace =
+  apply_mutations objects;
+  let containment = List.filter_map (containment_req ~workspace) objects in
+  let rec pairs = function
+    | [] -> []
+    | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+  in
+  let collisions =
+    List.filter_map (fun (a, b) -> no_collision_req a b) (pairs objects)
+  in
+  let visibility =
+    List.filter_map
+      (fun o -> if o.oid = ego.oid then None else visibility_req ~ego o)
+      objects
+  in
+  {
+    objects;
+    ego;
+    params;
+    requirements = user_requirements @ containment @ collisions @ visibility;
+    workspace;
+  }

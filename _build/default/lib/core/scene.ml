@@ -1,0 +1,62 @@
+(** Concrete scenes: the output type of Scenic (Sec. 5.1).
+
+    "The output of a Scenic program is a scene consisting of the
+    assignment to all the properties of each Object defined in the
+    scenario, plus any global parameters defined with param." *)
+
+(* values *)
+module G = Scenic_geometry
+
+type cobj = {
+  c_class : string;
+  c_oid : int;
+  c_props : (string * Value.value) list;  (** all values concrete *)
+}
+
+type t = {
+  objs : cobj list;  (** creation order; the ego is [ego_index] *)
+  params : (string * Value.value) list;
+  ego_index : int;
+}
+
+let prop o name =
+  match List.assoc_opt name o.c_props with
+  | Some v -> v
+  | None ->
+      invalid_arg (Printf.sprintf "scene object %s has no property %s" o.c_class name)
+
+let prop_float o name = Ops.as_float (prop o name)
+let prop_vec o name = Ops.cvec (prop o name)
+let prop_bool o name = Ops.as_bool (prop o name)
+
+let position o = prop_vec o "position"
+let heading o = prop_float o "heading"
+let width o = prop_float o "width"
+let height o = prop_float o "height"
+
+let bounding_box o =
+  G.Rect.make ~center:(position o) ~heading:(heading o) ~width:(width o)
+    ~height:(height o)
+
+let ego t = List.nth t.objs t.ego_index
+
+let param t name = List.assoc_opt name t.params
+
+let param_float t name = Option.map Ops.as_float (param t name)
+
+(** Scene objects other than the ego. *)
+let non_ego t = List.filteri (fun i _ -> i <> t.ego_index) t.objs
+
+let pp_cobj ppf o =
+  Fmt.pf ppf "@[<v2>%s #%d:%a@]" o.c_class o.c_oid
+    (Fmt.list ~sep:Fmt.nop (fun ppf (k, v) -> Fmt.pf ppf "@,%s = %a" k Value.pp v))
+    (List.sort compare o.c_props)
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@,params: %a@]"
+    (Fmt.list ~sep:Fmt.cut pp_cobj)
+    t.objs
+    (Fmt.list ~sep:Fmt.comma (fun ppf (k, v) -> Fmt.pf ppf "%s=%a" k Value.pp v))
+    (List.sort compare t.params)
+
+let to_string t = Fmt.str "%a" pp t

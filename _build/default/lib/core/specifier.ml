@@ -1,0 +1,231 @@
+(** Runtime specifiers (Sec. 4.3, Tables 3 and 4, App. C Figs. 27–29).
+
+    A specifier is "a function taking in values for zero or more
+    properties, its dependencies, and returning values for one or more
+    other properties, some of which can be specified optionally".  The
+    argument expressions of a specifier are evaluated {e eagerly} when
+    the object construction is evaluated; the closure stored here only
+    combines those values with the dependency properties of the object
+    under construction. *)
+
+open Value
+module G = Scenic_geometry
+
+type t = {
+  id : int;
+  name : string;  (** for error messages, e.g. "left of X by S" *)
+  specifies : string list;
+  optionally : string list;
+  deps : string list;
+  eval : Value.obj -> (string * Value.value) list;
+      (** evaluate against the partially-constructed object (its
+          dependency properties are guaranteed assigned); returns
+          bindings for everything in [specifies @ optionally] *)
+}
+
+let counter = ref 0
+
+let make ~name ~specifies ?(optionally = []) ?(deps = []) eval =
+  incr counter;
+  { id = !counter; name; specifies; optionally; deps; eval }
+
+let prop_lookup obj name =
+  match get_prop obj name with
+  | Some v -> v
+  | None ->
+      Errors.raise_at
+        (Errors.Missing_dependency { property = name; specifier = "<internal>" })
+
+(* Resolve a possibly-delayed (field-relative) argument value against
+   the object under construction. *)
+let resolve_arg obj v = Ops.resolve_dep v (prop_lookup obj)
+
+(* --- position specifiers (Table 3, App. C Fig. 27/28) ----------------- *)
+
+let at v = make ~name:"at" ~specifies:[ "position" ] (fun _ -> [ ("position", Ops.to_vector v) ])
+
+(** [offset by V]: relative to the ego's local coordinate frame.  The
+    ego value is captured at construction time (App. C: "V relative to
+    ego.position" — but note Fig. 6 shows ego-frame rotation; we follow
+    the formal semantics of Fig. 27, which uses plain vector addition
+    to ego.position). *)
+let offset_by ~ego v =
+  let pos = Ops.vec_add (Ops.to_vector ego) (Ops.to_vector v) in
+  make ~name:"offset by" ~specifies:[ "position" ] (fun _ -> [ ("position", pos) ])
+
+let offset_along ~ego dir v =
+  let pos = Ops.offset_along (Ops.to_vector ego) dir v in
+  make ~name:"offset along" ~specifies:[ "position" ] (fun _ -> [ ("position", pos) ])
+
+(* [left of X by D] and friends dispatch on the type of X: for a plain
+   vector the object's own heading orients the offset (deps: heading +
+   width/height); for an OrientedPoint / Object the target's heading is
+   used and optionally inherited. *)
+
+type lateral = [ `Left | `Right | `Ahead | `Behind ]
+
+let lateral_name = function
+  | `Left -> "left of"
+  | `Right -> "right of"
+  | `Ahead -> "ahead of"
+  | `Behind -> "behind"
+
+(* Offset factors: the object is placed so the midpoint of the
+   corresponding edge of ITS bounding box lands on the anchor. *)
+let lateral_offset (dir : lateral) ~self_w ~self_h ~amount =
+  let half v = Ops.div v (Vfloat 2.) in
+  match dir with
+  | `Left -> Ops.vector (Ops.neg (Ops.add (half self_w) amount)) (Vfloat 0.)
+  | `Right -> Ops.vector (Ops.add (half self_w) amount) (Vfloat 0.)
+  | `Ahead -> Ops.vector (Vfloat 0.) (Ops.add (half self_h) amount)
+  | `Behind -> Ops.vector (Vfloat 0.) (Ops.neg (Ops.add (half self_h) amount))
+
+let size_dep (dir : lateral) =
+  match dir with `Left | `Right -> "width" | `Ahead | `Behind -> "height"
+
+(** The OrientedPoint flavour: [left of OP by D] — also handles
+    Objects, via the corresponding edge OrientedPoint (Fig. 28). *)
+let lateral_of_op (dir : lateral) target amount =
+  let anchor =
+    match target with
+    | Vobj o when descends_from o.cls "Object" ->
+        (* left of O = left of (left edge OP of O), etc. *)
+        let side : Scenic_lang.Ast.side =
+          match dir with
+          | `Left -> Left_side
+          | `Right -> Right_side
+          | `Ahead -> Front
+          | `Behind -> Back
+        in
+        Ops.side_of side target
+    | _ -> target
+  in
+  let apos = Ops.to_vector anchor and ahead = Ops.to_heading anchor in
+  let sdep = size_dep dir in
+  make
+    ~name:(lateral_name dir)
+    ~specifies:[ "position" ] ~optionally:[ "heading" ] ~deps:[ sdep ]
+    (fun obj ->
+      let self_w, self_h =
+        match dir with
+        | `Left | `Right -> (prop_lookup obj "width", Vfloat 0.)
+        | `Ahead | `Behind -> (Vfloat 0., prop_lookup obj "height")
+      in
+      let off = lateral_offset dir ~self_w ~self_h ~amount in
+      [ ("position", Ops.offset_local apos ahead off); ("heading", ahead) ])
+
+(** The vector flavour: [left of V by D] — orients using the object's
+    own heading (App. C Fig. 27), hence deps on [heading]. *)
+let lateral_of_vector (dir : lateral) target amount =
+  let tv = Ops.to_vector target in
+  let sdep = size_dep dir in
+  make
+    ~name:(lateral_name dir)
+    ~specifies:[ "position" ] ~deps:[ "heading"; sdep ]
+    (fun obj ->
+      let self_w, self_h =
+        match dir with
+        | `Left | `Right -> (prop_lookup obj "width", Vfloat 0.)
+        | `Ahead | `Behind -> (Vfloat 0., prop_lookup obj "height")
+      in
+      let off = lateral_offset dir ~self_w ~self_h ~amount in
+      let h = prop_lookup obj "heading" in
+      [ ("position", Ops.offset_local tv h off) ])
+
+let lateral dir target amount =
+  let amount = match amount with Some a -> a | None -> Vfloat 0. in
+  if Ops.is_oriented_point target then lateral_of_op dir target amount
+  else lateral_of_vector dir target amount
+
+let beyond ~ego a o from =
+  let b = match from with Some f -> f | None -> ego in
+  let pos = Ops.beyond a o b in
+  make ~name:"beyond" ~specifies:[ "position" ] (fun _ -> [ ("position", pos) ])
+
+(** [visible [from P]]: uniform over the view region of P (default
+    ego). *)
+let visible_spec ~ego from =
+  let viewer = match from with Some p -> p | None -> ego in
+  let vp, vh, vd, va = Ops.viewer_components viewer in
+  let region =
+    Ops.lift ~ty:Tregion "view_region" [ vp; vh; vd; va ] (function
+      | [ vp; vh; vd; va ] ->
+          Vregion (G.Visibility.view_region (Ops.make_viewer vp vh vd va))
+      | _ -> assert false)
+  in
+  let pos = random ~ty:Tvec (R_uniform_in region) in
+  make ~name:"visible" ~specifies:[ "position" ] (fun _ -> [ ("position", pos) ])
+
+(** [in R] / [on R]: uniform point in the region; optionally specifies
+    [heading] when the region has a preferred orientation. *)
+let on_region region =
+  let pos = random ~ty:Tvec (R_uniform_in region) in
+  let oriented = Ops.static_region_orientation region <> None in
+  if oriented then
+    let heading = Ops.region_orientation_at region pos in
+    make ~name:"on" ~specifies:[ "position" ] ~optionally:[ "heading" ]
+      (fun _ -> [ ("position", pos); ("heading", heading) ])
+  else make ~name:"on" ~specifies:[ "position" ] (fun _ -> [ ("position", pos) ])
+
+(** [following F [from V] for S]: optionally specifies heading (that of
+    the field at the resulting position). *)
+let following ~ego field from dist =
+  let from = match from with Some v -> v | None -> ego in
+  let op = Ops.follow field from dist in
+  match op with
+  | Voriented { opos; ohead } ->
+      make ~name:"following" ~specifies:[ "position" ] ~optionally:[ "heading" ]
+        (fun _ -> [ ("position", opos); ("heading", ohead) ])
+  | _ -> assert false
+
+(* --- heading specifiers (Table 4, App. C Fig. 29) ---------------------- *)
+
+let facing v =
+  match v with
+  | Vfield _ ->
+      make ~name:"facing (field)" ~specifies:[ "heading" ] ~deps:[ "position" ]
+        (fun obj ->
+          [ ("heading", Ops.field_at v (prop_lookup obj "position")) ])
+  | Vdep d ->
+      make ~name:"facing" ~specifies:[ "heading" ] ~deps:d.d_deps (fun obj ->
+          [ ("heading", resolve_arg obj v) ])
+  | _ ->
+      let h = Ops.to_heading v in
+      make ~name:"facing" ~specifies:[ "heading" ] (fun _ -> [ ("heading", h) ])
+
+let facing_toward v =
+  let tv = Ops.to_vector v in
+  make ~name:"facing toward" ~specifies:[ "heading" ] ~deps:[ "position" ]
+    (fun obj -> [ ("heading", Ops.angle_between (prop_lookup obj "position") tv) ])
+
+let facing_away v =
+  let tv = Ops.to_vector v in
+  make ~name:"facing away from" ~specifies:[ "heading" ] ~deps:[ "position" ]
+    (fun obj -> [ ("heading", Ops.angle_between tv (prop_lookup obj "position")) ])
+
+(** [apparently facing H [from V]]: heading H within the local
+    coordinate system of the line of sight from V (default ego). *)
+let apparently_facing ~ego h from =
+  let v = Ops.to_vector (match from with Some f -> f | None -> ego) in
+  let h = Ops.to_heading h in
+  make ~name:"apparently facing" ~specifies:[ "heading" ] ~deps:[ "position" ]
+    (fun obj ->
+      let pos = prop_lookup obj "position" in
+      [ ("heading", Ops.add h (Ops.angle_between v pos)) ])
+
+(* --- generic and default specifiers ------------------------------------ *)
+
+let with_prop name v =
+  match v with
+  | Vdep d ->
+      make ~name:("with " ^ name) ~specifies:[ name ] ~deps:d.d_deps (fun obj ->
+          [ (name, resolve_arg obj v) ])
+  | _ -> make ~name:("with " ^ name) ~specifies:[ name ] (fun _ -> [ (name, v) ])
+
+(** Wrap a class default-value definition as a lowest-priority
+    specifier (Alg. 1 "add default specifiers as needed"). *)
+let of_default prop (dd : Value.default_def) =
+  make ~name:("default " ^ prop) ~specifies:[ prop ] ~deps:dd.dd_deps (fun obj ->
+      [ (prop, dd.dd_eval obj) ])
+
+let pp ppf t = Fmt.pf ppf "%s" t.name

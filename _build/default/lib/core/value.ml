@@ -1,0 +1,253 @@
+(** Runtime values of Scenic, including the random-variable DAG.
+
+    Scenic evaluation is two-phase (Sec. 5.1, App. B.4):
+
+    + running the imperative part of the program once produces a
+      {e scenario} — objects whose properties are {e value DAGs} — with
+      every distribution expression becoming a {!rnode} and every
+      operator applied to a random value becoming a lifted [R_op] node;
+    + sampling then repeatedly draws all base nodes and memoises the
+      deterministic ones ({!Scenic_sampler.Rejection}).
+
+    The [rkind] field of a node is mutable: the pruning algorithms
+    (Sec. 5.2) rewrite [R_uniform_in] regions in place, and mutation
+    (App. B.3) splices Gaussian-noise nodes over [position]/[heading]
+    nodes at scenario finalisation. *)
+
+module G = Scenic_geometry
+
+type value =
+  | Vbool of bool
+  | Vfloat of float
+  | Vstr of string
+  | Vnone
+  | Vvec of G.Vec.t
+  | Vregion of G.Region.t
+  | Vfield of G.Vectorfield.t
+  | Vlist of value list
+  | Vdict of (value * value) list
+  | Voriented of oriented  (** lightweight OrientedPoint produced by operators *)
+  | Vdep of dep  (** value depending on properties of the object being specified *)
+  | Vobj of obj
+  | Vclass of cls
+  | Vclosure of closure
+  | Vbuiltin of string * (value list -> (string * value) list -> value)
+  | Vrandom of rnode
+
+and oriented = { opos : value; ohead : value }
+
+(** A value that cannot be computed until some properties of the object
+    under construction are known — e.g. [30 deg relative to
+    roadDirection] inside a specifier needs [self.position]
+    (Sec. 3, "Local Coordinate Systems"). *)
+and dep = { d_deps : string list; d_fn : (string -> value) -> value }
+
+and obj = { oid : int; cls : cls; props : (string, value) Hashtbl.t }
+
+and cls = {
+  cname : string;
+  super : cls option;
+  (* own default-value definitions, outermost first *)
+  defaults : (string * default_def) list;
+  (* methods: name -> closure factory given the receiver *)
+  methods : (string * (obj -> closure)) list;
+}
+
+and default_def = { dd_deps : string list; dd_eval : obj -> value }
+
+and closure = {
+  fn_name : string;
+  fn_params : (string * value option) list;
+  fn_body : Scenic_lang.Ast.stmt list;
+  fn_env : env;
+}
+
+and env = { vars : (string, value) Hashtbl.t; parent : env option }
+
+and rnode = { rid : int; rty : rtype; mutable rkind : rkind }
+
+(** Static type of the value a random node evaluates to — Scenic's
+    "simple type system" (Sec. 4.1), used to disambiguate polymorphic
+    operators such as [relative to] over random operands. *)
+and rtype = Tfloat | Tvec | Tbool | Tstr | Tregion | Toriented | Tlist | Tany
+
+and rkind =
+  | R_interval of value * value  (** uniform on [(low, high)] *)
+  | R_choice of value list  (** [Uniform(v, ...)] *)
+  | R_discrete of (value * value) list  (** [(value, weight)] pairs *)
+  | R_normal of value * value  (** mean, std *)
+  | R_uniform_in of value  (** uniform point in a region *)
+  | R_op of string * value list * (value list -> value)
+      (** deterministic function of (deeply forced) arguments *)
+
+let node_counter = ref 0
+
+let fresh_node ?(ty = Tany) rkind =
+  incr node_counter;
+  { rid = !node_counter; rty = ty; rkind }
+
+let random ?ty rkind = Vrandom (fresh_node ?ty rkind)
+
+(** Static type of any value. *)
+let value_type = function
+  | Vbool _ -> Tbool
+  | Vfloat _ -> Tfloat
+  | Vstr _ -> Tstr
+  | Vvec _ -> Tvec
+  | Vregion _ -> Tregion
+  | Vlist _ -> Tlist
+  | Voriented _ -> Toriented
+  | Vrandom n -> n.rty
+  | _ -> Tany
+
+(** Least upper bound of value types (for choice distributions). *)
+let join_types ts =
+  match ts with
+  | [] -> Tany
+  | t :: rest -> List.fold_left (fun acc u -> if acc = u then acc else Tany) t rest
+
+let obj_counter = ref 0
+
+let fresh_oid () =
+  incr obj_counter;
+  !obj_counter
+
+(* --- environments --------------------------------------------------- *)
+
+module Env = struct
+  type t = env
+
+  let create ?parent () = { vars = Hashtbl.create 16; parent }
+
+  let rec lookup t name =
+    match Hashtbl.find_opt t.vars name with
+    | Some v -> Some v
+    | None -> ( match t.parent with Some p -> lookup p name | None -> None)
+
+  (* Python-style: assignment binds in the current scope. *)
+  let set t name v = Hashtbl.replace t.vars name v
+  let mem_local t name = Hashtbl.mem t.vars name
+  let bindings t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.vars []
+end
+
+(* --- class helpers --------------------------------------------------- *)
+
+let rec class_ancestors c =
+  c.cname :: (match c.super with Some s -> class_ancestors s | None -> [])
+
+let descends_from c name = List.mem name (class_ancestors c)
+
+(** Method lookup along the inheritance chain (most-derived first). *)
+let rec find_method c name =
+  match List.assoc_opt name c.methods with
+  | Some m -> Some m
+  | None -> ( match c.super with Some s -> find_method s name | None -> None)
+
+(** All defaults visible on a class, most-derived first; a property
+    defined in a subclass shadows the superclass definition, giving
+    the "most-derived default value" rule of Alg. 1. *)
+let rec all_defaults c =
+  let inherited = match c.super with Some s -> all_defaults s | None -> [] in
+  let own_names = List.map fst c.defaults in
+  c.defaults @ List.filter (fun (n, _) -> not (List.mem n own_names)) inherited
+
+let get_prop obj name = Hashtbl.find_opt obj.props name
+
+let get_prop_exn obj name =
+  match get_prop obj name with
+  | Some v -> v
+  | None ->
+      invalid_arg
+        (Printf.sprintf "object of class %s has no property '%s'" obj.cls.cname
+           name)
+
+let set_prop obj name v = Hashtbl.replace obj.props name v
+
+(* --- randomness predicates ------------------------------------------ *)
+
+let rec is_random = function
+  | Vrandom _ -> true
+  | Vlist vs -> List.exists is_random vs
+  | Vdict kvs -> List.exists (fun (k, v) -> is_random k || is_random v) kvs
+  | Voriented { opos; ohead } -> is_random opos || is_random ohead
+  | _ -> false
+
+(** Does the value transitively contain a random node, looking through
+    object properties?  Used to enforce the ban on random control flow
+    and to decide whether expressions over objects must be lifted. *)
+let deeply_random v =
+  let seen = Hashtbl.create 8 in
+  let rec go = function
+    | Vrandom _ -> true
+    | Vlist vs -> List.exists go vs
+    | Vdict kvs -> List.exists (fun (k, v) -> go k || go v) kvs
+    | Voriented { opos; ohead } -> go opos || go ohead
+    | Vdep _ -> true
+    | Vobj o ->
+        if Hashtbl.mem seen o.oid then false
+        else begin
+          Hashtbl.add seen o.oid ();
+          Hashtbl.fold (fun _ v acc -> acc || go v) o.props false
+        end
+    | _ -> false
+  in
+  go v
+
+(* --- printing -------------------------------------------------------- *)
+
+let type_name = function
+  | Vbool _ -> "boolean"
+  | Vfloat _ -> "scalar"
+  | Vstr _ -> "string"
+  | Vnone -> "None"
+  | Vvec _ -> "vector"
+  | Vregion _ -> "region"
+  | Vfield _ -> "vector field"
+  | Vlist _ -> "list"
+  | Vdict _ -> "dict"
+  | Voriented _ -> "oriented point"
+  | Vdep _ -> "delayed value"
+  | Vobj o -> o.cls.cname
+  | Vclass c -> "class " ^ c.cname
+  | Vclosure f -> "function " ^ f.fn_name
+  | Vbuiltin (n, _) -> "builtin " ^ n
+  | Vrandom _ -> "random value"
+
+let rec pp ppf = function
+  | Vbool b -> Fmt.bool ppf b
+  | Vfloat f -> Fmt.pf ppf "%g" f
+  | Vstr s -> Fmt.pf ppf "%S" s
+  | Vnone -> Fmt.string ppf "None"
+  | Vvec v -> G.Vec.pp ppf v
+  | Vregion r -> G.Region.pp ppf r
+  | Vfield f -> G.Vectorfield.pp ppf f
+  | Vlist vs -> Fmt.pf ppf "[%a]" (Fmt.list ~sep:Fmt.comma pp) vs
+  | Vdict kvs ->
+      Fmt.pf ppf "{%a}"
+        (Fmt.list ~sep:Fmt.comma (fun ppf (k, v) -> Fmt.pf ppf "%a: %a" pp k pp v))
+        kvs
+  | Voriented { opos; ohead } ->
+      Fmt.pf ppf "OrientedPoint(%a, %a)" pp opos pp ohead
+  | Vdep d ->
+      Fmt.pf ppf "<delayed: needs %a>" (Fmt.list ~sep:Fmt.comma Fmt.string) d.d_deps
+  | Vobj o -> Fmt.pf ppf "<%s #%d>" o.cls.cname o.oid
+  | Vclass c -> Fmt.pf ppf "<class %s>" c.cname
+  | Vclosure f -> Fmt.pf ppf "<function %s>" f.fn_name
+  | Vbuiltin (n, _) -> Fmt.pf ppf "<builtin %s>" n
+  | Vrandom n -> Fmt.pf ppf "<random #%d>" n.rid
+
+let to_string v = Fmt.str "%a" pp v
+
+(* --- structural equality (concrete values only) --------------------- *)
+
+let rec equal a b =
+  match (a, b) with
+  | Vbool a, Vbool b -> a = b
+  | Vfloat a, Vfloat b -> a = b
+  | Vstr a, Vstr b -> a = b
+  | Vnone, Vnone -> true
+  | Vvec a, Vvec b -> G.Vec.equal ~eps:0. a b
+  | Vlist a, Vlist b -> List.length a = List.length b && List.for_all2 equal a b
+  | Vobj a, Vobj b -> a.oid = b.oid
+  | Vclass a, Vclass b -> a.cname = b.cname
+  | _ -> false

@@ -1,0 +1,1 @@
+lib/detector/data.ml: Augment Camera Image List Raster Scenic_render

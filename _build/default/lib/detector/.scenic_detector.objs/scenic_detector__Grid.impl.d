@@ -1,0 +1,1 @@
+lib/detector/grid.ml: Array Camera Float Image Scenic_prob Scenic_render

@@ -1,0 +1,1 @@
+lib/detector/metrics.ml: Array Camera Data Float Fmt List Model Scenic_render

@@ -1,0 +1,1 @@
+lib/detector/model.ml: Array Camera Data Float Grid Hashtbl Image List Nms Option Scenic_prob Scenic_render

@@ -1,0 +1,1 @@
+lib/detector/nms.ml: Camera List Scenic_render

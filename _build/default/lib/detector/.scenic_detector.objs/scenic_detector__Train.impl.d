@@ -1,0 +1,1 @@
+lib/detector/train.ml: Array Data List Metrics Model Scenic_prob

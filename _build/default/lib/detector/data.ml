@@ -1,0 +1,19 @@
+(** Detector datasets: labeled images. *)
+
+open Scenic_render
+
+type example = {
+  img : Image.t;
+  gts : Camera.bbox list;  (** ground-truth boxes, image coordinates *)
+  tag : string;  (** provenance, e.g. the generating scenario *)
+}
+
+let of_rendered ?(tag = "") (r : Raster.rendered) : example =
+  {
+    img = r.Raster.image;
+    gts = List.map (fun (l : Raster.label) -> l.Raster.box) r.Raster.labels;
+    tag;
+  }
+
+let of_augmented ?(tag = "aug") (l : Augment.labeled) : example =
+  { img = l.Augment.image; gts = l.Augment.boxes; tag }

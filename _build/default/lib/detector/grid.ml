@@ -1,0 +1,158 @@
+(** Grid geometry and per-cell feature extraction for the single-shot
+    detector (the squeezeDet/ConvDet stand-in; see DESIGN.md).
+
+    The image is tiled into square cells; each cell predicts an
+    objectness score and a bounding box, from features of its pixel
+    patch plus local context: a wide downsampled window, column/row
+    edge profiles, and neighbourhood statistics.  Weights are shared
+    across cells (convolutionally), so the detector is
+    translation-equivariant. *)
+
+open Scenic_render
+
+let cell = 8
+let n_random_features = 0
+
+type t = {
+  img_w : int;
+  img_h : int;
+  gw : int;  (** cells across *)
+  gh : int;  (** cells down *)
+  n_features : int;
+  proj : float array array;  (** fixed random projection for ReLU features *)
+  proj_bias : float array;
+}
+
+let n_patch = cell * cell
+
+let create ?(img_w = Camera.default_img_w) ?(img_h = Camera.default_img_h) () =
+  let rng = Scenic_prob.Rng.create 7717 in
+  let n_proj_in = n_patch + 16 in
+  let proj =
+    Array.init n_random_features (fun _ ->
+        Array.init n_proj_in (fun _ ->
+            Scenic_prob.Distribution.sample_normal rng ~mean:0.
+              ~std:(1. /. sqrt (float_of_int n_proj_in))))
+  in
+  let proj_bias =
+    Array.init n_random_features (fun _ ->
+        Scenic_prob.Distribution.sample_normal rng ~mean:0. ~std:0.3)
+  in
+  let gw = img_w / cell and gh = img_h / cell in
+  (* patch pixels + 4x4 context-block means + 8 neighbour means +
+     column/row mean profiles of the context window + patch mean/std +
+     context mean/std + row prior + ReLU random features *)
+  let n_features = n_patch + 16 + 8 + 32 + 32 + 2 + 2 + 1 + n_random_features in
+  { img_w; img_h; gw; gh; n_features; proj; proj_bias }
+
+let n_cells t = t.gw * t.gh
+
+let cell_center t ci =
+  let cx = ci mod t.gw and cy = ci / t.gw in
+  ( (float_of_int cx +. 0.5) *. float_of_int cell,
+    (float_of_int cy +. 0.5) *. float_of_int cell )
+
+(** Cell index containing an image point, or [None] if out of bounds. *)
+let cell_of_point t x y =
+  (* floor, not truncation: negative coordinates must not land in cell 0 *)
+  let cx = int_of_float (Float.floor (x /. float_of_int cell))
+  and cy = int_of_float (Float.floor (y /. float_of_int cell)) in
+  if cx < 0 || cx >= t.gw || cy < 0 || cy >= t.gh then None
+  else Some ((cy * t.gw) + cx)
+
+(** Feature vector of one cell. *)
+let features t (img : Image.t) ci : float array =
+  let cx = ci mod t.gw and cy = ci / t.gw in
+  let x0 = cx * cell and y0 = cy * cell in
+  let out = Array.make t.n_features 0. in
+  let patch = Array.make n_patch 0. in
+  for dy = 0 to cell - 1 do
+    for dx = 0 to cell - 1 do
+      let v = Image.get img (x0 + dx) (y0 + dy) in
+      patch.((dy * cell) + dx) <- v
+    done
+  done;
+  (* normalise the patch to zero mean (lighting invariance) *)
+  let mean = Array.fold_left ( +. ) 0. patch /. float_of_int n_patch in
+  let std =
+    sqrt
+      (Array.fold_left (fun acc v -> acc +. ((v -. mean) ** 2.)) 0. patch
+      /. float_of_int n_patch)
+  in
+  let inv = 1. /. (std +. 0.05) in
+  Array.iteri (fun i v -> out.(i) <- (v -. mean) *. inv) patch;
+  (* 32x32 context window around the cell, as 4x4 block means: a wide
+     receptive field, so cells see whole cars, not just their own
+     8x8 patch *)
+  let k = ref n_patch in
+  let ctx_x0 = x0 - (3 * cell / 2) and ctx_y0 = y0 - (3 * cell / 2) in
+  let ctx_mean =
+    Image.window_mean img ~x0:ctx_x0 ~y0:ctx_y0 ~x1:(ctx_x0 + 31) ~y1:(ctx_y0 + 31)
+  in
+  let ctx_vals = Array.make 16 0. in
+  for by = 0 to 3 do
+    for bx = 0 to 3 do
+      let wx0 = ctx_x0 + (bx * 8) and wy0 = ctx_y0 + (by * 8) in
+      ctx_vals.((by * 4) + bx) <-
+        Image.window_mean img ~x0:wx0 ~y0:wy0 ~x1:(wx0 + 7) ~y1:(wy0 + 7)
+    done
+  done;
+  let ctx_std =
+    sqrt
+      (Array.fold_left (fun acc v -> acc +. ((v -. ctx_mean) ** 2.)) 0. ctx_vals
+      /. 16.)
+  in
+  let cinv = 1. /. (ctx_std +. 0.05) in
+  Array.iteri
+    (fun i v ->
+      out.(!k + i) <- (v -. ctx_mean) *. cinv)
+    ctx_vals;
+  k := !k + 16;
+  (* column/row mean profiles of the context window: box edges appear
+     as transitions, giving the regression head direct localisation
+     signal *)
+  for c = 0 to 31 do
+    out.(!k + c) <-
+      (Image.window_mean img ~x0:(ctx_x0 + c) ~y0:ctx_y0 ~x1:(ctx_x0 + c)
+         ~y1:(ctx_y0 + 31)
+      -. ctx_mean)
+      *. cinv
+  done;
+  k := !k + 32;
+  for r = 0 to 31 do
+    out.(!k + r) <-
+      (Image.window_mean img ~x0:ctx_x0 ~y0:(ctx_y0 + r) ~x1:(ctx_x0 + 31)
+         ~y1:(ctx_y0 + r)
+      -. ctx_mean)
+      *. cinv
+  done;
+  k := !k + 32;
+  for ny = -1 to 1 do
+    for nx = -1 to 1 do
+      if not (nx = 0 && ny = 0) then begin
+        let bx0 = x0 + (nx * cell) and by0 = y0 + (ny * cell) in
+        out.(!k) <-
+          Image.window_mean img ~x0:bx0 ~y0:by0 ~x1:(bx0 + cell - 1)
+            ~y1:(by0 + cell - 1)
+          -. mean;
+        incr k
+      end
+    done
+  done;
+  out.(!k) <- mean;
+  out.(!k + 1) <- std;
+  out.(!k + 2) <- ctx_mean;
+  out.(!k + 3) <- ctx_std;
+  (* vertical position prior: cars live near the horizon band *)
+  out.(!k + 4) <- float_of_int cy /. float_of_int t.gh;
+  let base = !k + 5 in
+  for j = 0 to n_random_features - 1 do
+    let acc = ref t.proj_bias.(j) in
+    let row = t.proj.(j) in
+    (* project the normalised patch and context blocks *)
+    for i = 0 to n_patch + 15 do
+      acc := !acc +. (row.(i) *. out.(i))
+    done;
+    out.(base + j) <- Float.max 0. !acc
+  done;
+  out

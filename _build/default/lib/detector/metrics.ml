@@ -1,0 +1,136 @@
+(** Detection metrics, as defined in Sec. 6.1 and App. D:
+
+    "IoU(Bgt, Bŷ) = area(Bgt ∩ Bŷ) / area(Bgt ∪ Bŷ) … we consider Bŷ a
+    detection for Bgt if IoU > 0.5 … precision is tp/(tp+fp) and recall
+    tp/(tp+fn) … We use average precision and recall to evaluate the
+    performance of a model on a collection of images."
+
+    AP follows the all-point interpolation of the [Cartucho 2019] mAP
+    tool the paper cites, computed over score-ranked detections. *)
+
+open Scenic_render
+
+let iou_threshold = 0.5
+
+type counts = { tp : int; fp : int; fn : int }
+
+(** Greedy matching (by score) of detections to ground truths. *)
+let match_image ~(dets : Model.detection list) ~(gts : Camera.bbox list) :
+    counts * (Model.detection * bool) list =
+  let dets =
+    List.sort (fun (a : Model.detection) b -> compare b.score a.score) dets
+  in
+  let matched = Array.make (List.length gts) false in
+  let gts_arr = Array.of_list gts in
+  let flagged =
+    List.map
+      (fun (d : Model.detection) ->
+        let best = ref (-1) and best_iou = ref iou_threshold in
+        Array.iteri
+          (fun i g ->
+            if not matched.(i) then begin
+              let iou = Camera.bbox_iou d.Model.box g in
+              if iou > !best_iou then begin
+                best := i;
+                best_iou := iou
+              end
+            end)
+          gts_arr;
+        if !best >= 0 then begin
+          matched.(!best) <- true;
+          (d, true)
+        end
+        else (d, false))
+      dets
+  in
+  let tp = List.length (List.filter snd flagged) in
+  let fp = List.length flagged - tp in
+  let fn = Array.length gts_arr - tp in
+  ({ tp; fp; fn }, flagged)
+
+type summary = {
+  precision : float;  (** mean per-image precision, in percent *)
+  recall : float;  (** mean per-image recall, in percent *)
+  ap : float;  (** dataset-level average precision, in percent *)
+  images : int;
+}
+
+(** Evaluate a model on a test set. *)
+let evaluate ?(threshold = 0.5) (model : Model.t) (test : Data.example list) :
+    summary =
+  let per_image =
+    List.map
+      (fun (ex : Data.example) ->
+        let dets = Model.detect ~threshold model ex.Data.img in
+        let counts, flagged = match_image ~dets ~gts:ex.Data.gts in
+        (counts, flagged))
+      test
+  in
+  (* mean per-image precision/recall; images where the metric is
+     undefined (no detections / no ground truth) are skipped *)
+  let precs =
+    List.filter_map
+      (fun ({ tp; fp; _ }, _) ->
+        if tp + fp = 0 then None
+        else Some (float_of_int tp /. float_of_int (tp + fp)))
+      per_image
+  in
+  let recalls =
+    List.filter_map
+      (fun ({ tp; fn; _ }, _) ->
+        if tp + fn = 0 then None
+        else Some (float_of_int tp /. float_of_int (tp + fn)))
+      per_image
+  in
+  let mean = function
+    | [] -> 0.
+    | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+  in
+  (* dataset-level AP: rank all detections by score, sweep the PR
+     curve, integrate with all-point interpolation *)
+  let total_gt =
+    List.fold_left (fun acc (ex : Data.example) -> acc + List.length ex.Data.gts) 0 test
+  in
+  let all_flagged =
+    List.concat_map (fun (_, flagged) -> flagged) per_image
+    |> List.sort (fun ((a : Model.detection), _) (b, _) -> compare b.score a.score)
+  in
+  let ap =
+    if total_gt = 0 then 0.
+    else begin
+      let tp = ref 0 and fp = ref 0 in
+      let points =
+        List.map
+          (fun (_, is_tp) ->
+            if is_tp then incr tp else incr fp;
+            ( float_of_int !tp /. float_of_int (!tp + !fp),
+              float_of_int !tp /. float_of_int total_gt ))
+          all_flagged
+      in
+      (* all-point interpolation: max precision at recall >= r *)
+      let arr = Array.of_list points in
+      let n = Array.length arr in
+      (* make precision monotone non-increasing from the right *)
+      for i = n - 2 downto 0 do
+        let p, r = arr.(i) and p', _ = arr.(i + 1) in
+        arr.(i) <- (Float.max p p', r)
+      done;
+      let acc = ref 0. and prev_r = ref 0. in
+      Array.iter
+        (fun (p, r) ->
+          acc := !acc +. (p *. (r -. !prev_r));
+          prev_r := r)
+        arr;
+      !acc
+    end
+  in
+  {
+    precision = 100. *. mean precs;
+    recall = 100. *. mean recalls;
+    ap = 100. *. ap;
+    images = List.length test;
+  }
+
+let pp_summary ppf s =
+  Fmt.pf ppf "precision %.1f%%  recall %.1f%%  AP %.1f%% (%d images)"
+    s.precision s.recall s.ap s.images

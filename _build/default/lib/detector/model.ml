@@ -1,0 +1,387 @@
+(** The detector model: a small multi-layer perceptron applied at every
+    grid cell with shared weights (a convolutional detection head in
+    the squeezeDet/ConvDet mould).  Each cell predicts an objectness
+    logit and four box-regression outputs from a shared ReLU hidden
+    layer, trained end-to-end with BCE + L2 losses by minibatch SGD
+    with momentum. *)
+
+open Scenic_render
+
+(* anchor dimensions for the log-scale box parametrisation *)
+let anchor_w = 24.
+let anchor_h = 12.
+
+(* anchors per cell: the second anchor catches a second object whose
+   center falls in an already-occupied cell (heavily overlapping cars),
+   as squeezeDet's multiple anchors do *)
+let n_anchors = 2
+
+type t = {
+  grid : Grid.t;
+  n_hidden : int;
+  w1 : float array array;  (** n_hidden × n_features *)
+  b1 : float array;
+  w_obj : float array array;  (** n_anchors × n_hidden *)
+  b_obj : float array;
+  w_box : float array array;  (** (n_anchors·4) × n_hidden *)
+  b_box : float array;
+  (* momentum buffers *)
+  m1 : float array array;
+  mb1 : float array;
+  m_obj : float array array;
+  mb_obj : float array;
+  m_box : float array array;
+  mb_box : float array;
+}
+
+let default_hidden = 32
+
+let create ?(seed = 31337) ?(n_hidden = default_hidden) () =
+  let grid = Grid.create () in
+  let rng = Scenic_prob.Rng.create seed in
+  let nf = grid.Grid.n_features in
+  let mat rows cols std =
+    Array.init rows (fun _ ->
+        Array.init cols (fun _ ->
+            Scenic_prob.Distribution.sample_normal rng ~mean:0. ~std))
+  in
+  {
+    grid;
+    n_hidden;
+    w1 = mat n_hidden nf (sqrt (2. /. float_of_int nf));
+    b1 = Array.make n_hidden 0.;
+    w_obj = mat n_anchors n_hidden (1. /. sqrt (float_of_int n_hidden));
+    (* start pessimistic: most cells are background *)
+    b_obj = Array.make n_anchors (-2.0);
+    w_box = mat (n_anchors * 4) n_hidden (0.1 /. sqrt (float_of_int n_hidden));
+    b_box = Array.make (n_anchors * 4) 0.;
+    m1 = Array.make_matrix n_hidden nf 0.;
+    mb1 = Array.make n_hidden 0.;
+    m_obj = Array.make_matrix n_anchors n_hidden 0.;
+    mb_obj = Array.make n_anchors 0.;
+    m_box = Array.make_matrix (n_anchors * 4) n_hidden 0.;
+    mb_box = Array.make (n_anchors * 4) 0.;
+  }
+
+let copy t =
+  {
+    t with
+    w1 = Array.map Array.copy t.w1;
+    b1 = Array.copy t.b1;
+    w_obj = Array.map Array.copy t.w_obj;
+    b_obj = Array.copy t.b_obj;
+    w_box = Array.map Array.copy t.w_box;
+    b_box = Array.copy t.b_box;
+    m1 = Array.map Array.copy t.m1;
+    mb1 = Array.copy t.mb1;
+    m_obj = Array.map Array.copy t.m_obj;
+    mb_obj = Array.copy t.mb_obj;
+    m_box = Array.map Array.copy t.m_box;
+    mb_box = Array.copy t.mb_box;
+  }
+
+let dot w x =
+  let acc = ref 0. in
+  for i = 0 to Array.length w - 1 do
+    acc := !acc +. (w.(i) *. x.(i))
+  done;
+  !acc
+
+let sigmoid z = 1. /. (1. +. exp (-.z))
+
+(* shared hidden layer *)
+let hidden t x =
+  Array.init t.n_hidden (fun j ->
+      Float.max 0. (dot t.w1.(j) x +. t.b1.(j)))
+
+(** Forward pass at a cell: per-anchor objectness probabilities, box
+    parameters ((n_anchors·4)), and hidden activations. *)
+let forward t x =
+  let h = hidden t x in
+  let p = Array.init n_anchors (fun a -> sigmoid (dot t.w_obj.(a) h +. t.b_obj.(a))) in
+  let box =
+    Array.init (n_anchors * 4) (fun k -> dot t.w_box.(k) h +. t.b_box.(k))
+  in
+  (p, box, h)
+
+type detection = { box : Camera.bbox; score : float }
+
+(* decode a cell's box prediction *)
+let decode_box t ci (p : float array) : Camera.bbox =
+  let cx, cy = Grid.cell_center t.grid ci in
+  let bx = cx +. (p.(0) *. float_of_int Grid.cell) in
+  let by = cy +. (p.(1) *. float_of_int Grid.cell) in
+  let w = anchor_w *. exp (Float.max (-2.5) (Float.min 2.5 p.(2))) in
+  let h = anchor_h *. exp (Float.max (-2.5) (Float.min 2.5 p.(3))) in
+  {
+    Camera.x0 = bx -. (w /. 2.);
+    x1 = bx +. (w /. 2.);
+    y0 = by -. (h /. 2.);
+    y1 = by +. (h /. 2.);
+  }
+
+(* encode a ground-truth box as regression targets for cell [ci] *)
+let encode_box t ci (b : Camera.bbox) : float array =
+  let cx, cy = Grid.cell_center t.grid ci in
+  let bx = (b.Camera.x0 +. b.Camera.x1) /. 2. in
+  let by = (b.Camera.y0 +. b.Camera.y1) /. 2. in
+  let w = Float.max 1. (b.Camera.x1 -. b.Camera.x0) in
+  let h = Float.max 1. (b.Camera.y1 -. b.Camera.y0) in
+  [|
+    (bx -. cx) /. float_of_int Grid.cell;
+    (by -. cy) /. float_of_int Grid.cell;
+    log (w /. anchor_w);
+    log (h /. anchor_h);
+  |]
+
+(** Cell-level targets for an example: each positive cell maps to the
+    ground-truth boxes whose centers fall in it (largest first; at most
+    [n_anchors] are learnable — a third center in one cell remains a
+    genuine failure mode). *)
+let targets t (ex : Data.example) : (int, Camera.bbox list) Hashtbl.t =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (b : Camera.bbox) ->
+      let bx = (b.Camera.x0 +. b.Camera.x1) /. 2. in
+      let by = (b.Camera.y0 +. b.Camera.y1) /. 2. in
+      match Grid.cell_of_point t.grid bx by with
+      | None -> ()
+      | Some ci ->
+          let cur = Option.value ~default:[] (Hashtbl.find_opt tbl ci) in
+          Hashtbl.replace tbl ci (b :: cur))
+    ex.Data.gts;
+  Hashtbl.iter
+    (fun ci bs ->
+      let sorted =
+        List.sort (fun a b -> compare (Camera.bbox_area b) (Camera.bbox_area a)) bs
+      in
+      Hashtbl.replace tbl ci sorted)
+    tbl;
+  tbl
+
+(** Cells adjacent to a positive cell (8-neighbourhood): excluded from
+    the objectness loss — they lie on the same car, and labelling them
+    negative would poison the classifier (duplicates they produce at
+    inference are removed by NMS). *)
+let ignore_cells t (tgt : (int, Camera.bbox list) Hashtbl.t) : (int, unit) Hashtbl.t
+    =
+  let ign = Hashtbl.create 16 in
+  let gw = t.grid.Grid.gw and gh = t.grid.Grid.gh in
+  Hashtbl.iter
+    (fun ci _ ->
+      let cx = ci mod gw and cy = ci / gw in
+      for dy = -1 to 1 do
+        for dx = -1 to 1 do
+          let nx = cx + dx and ny = cy + dy in
+          if nx >= 0 && nx < gw && ny >= 0 && ny < gh then begin
+            let ni = (ny * gw) + nx in
+            if not (Hashtbl.mem tgt ni) then Hashtbl.replace ign ni ()
+          end
+        done
+      done)
+    tgt;
+  ign
+
+(* the ground-truth box whose responsible cell is nearest to [ci] *)
+let nearest_gt t (tgt : (int, Camera.bbox list) Hashtbl.t) ci =
+  let cx, cy = Grid.cell_center t.grid ci in
+  Hashtbl.fold
+    (fun _ bs acc ->
+      match bs with
+      | [] -> acc
+      | (b : Camera.bbox) :: _ ->
+      let bx = (b.Camera.x0 +. b.Camera.x1) /. 2. in
+      let by = (b.Camera.y0 +. b.Camera.y1) /. 2. in
+      let d = ((bx -. cx) ** 2.) +. ((by -. cy) ** 2.) in
+      (match acc with
+      | Some (d', _) when d' <= d -> acc
+      | _ -> Some (d, b)))
+    tgt None
+  |> Option.map snd
+
+(* --- training --------------------------------------------------------- *)
+
+type hyper = {
+  lr : float;
+  momentum : float;
+  pos_weight : float;  (** weight of positive-cell BCE terms *)
+  box_weight : float;
+  l2 : float;
+  neg_per_image : int;  (** sampled background cells per image *)
+}
+
+let default_hyper =
+  {
+    lr = 0.05;
+    momentum = 0.9;
+    pos_weight = 4.;
+    box_weight = 0.8;
+    l2 = 1e-5;
+    neg_per_image = 28;
+  }
+
+(** One SGD step on a minibatch; returns the mean per-cell loss. *)
+let train_batch ?(hyper = default_hyper) ~rng t (batch : Data.example list) :
+    float =
+  let nf = t.grid.Grid.n_features and nh = t.n_hidden in
+  let g1 = Array.make_matrix nh nf 0. in
+  let gb1 = Array.make nh 0. in
+  let g_obj = Array.make_matrix n_anchors nh 0. in
+  let gb_obj = Array.make n_anchors 0. in
+  let g_box = Array.make_matrix (n_anchors * 4) nh 0. in
+  let gb_box = Array.make (n_anchors * 4) 0. in
+  let loss = ref 0. in
+  let count = ref 0 in
+  (* dz_obj.(a) and dbox.(a*4+k) are the output-layer gradients; zero
+     entries carry no loss for that output *)
+  let backprop x h (dz_obj : float array) (dbox : float array) =
+    Array.iteri
+      (fun a dz ->
+        if dz <> 0. then begin
+          let ga = g_obj.(a) in
+          for j = 0 to nh - 1 do
+            ga.(j) <- ga.(j) +. (dz *. h.(j))
+          done;
+          gb_obj.(a) <- gb_obj.(a) +. dz
+        end)
+      dz_obj;
+    Array.iteri
+      (fun k d ->
+        if d <> 0. then begin
+          let gk = g_box.(k) in
+          for j = 0 to nh - 1 do
+            gk.(j) <- gk.(j) +. (d *. h.(j))
+          done;
+          gb_box.(k) <- gb_box.(k) +. d
+        end)
+      dbox;
+    (* hidden layer *)
+    for j = 0 to nh - 1 do
+      if h.(j) > 0. then begin
+        let dh = ref 0. in
+        Array.iteri
+          (fun a dz -> if dz <> 0. then dh := !dh +. (dz *. t.w_obj.(a).(j)))
+          dz_obj;
+        Array.iteri
+          (fun k d -> if d <> 0. then dh := !dh +. (d *. t.w_box.(k).(j)))
+          dbox;
+        if !dh <> 0. then begin
+          let gj = g1.(j) in
+          for i = 0 to nf - 1 do
+            gj.(i) <- gj.(i) +. (!dh *. x.(i))
+          done;
+          gb1.(j) <- gb1.(j) +. !dh
+        end
+      end
+    done
+  in
+  List.iter
+    (fun ex ->
+      let tgt = targets t ex in
+      let ign = ignore_cells t tgt in
+      (* [gts] = boxes assigned to this cell (largest first, one per
+         anchor); [classify] = whether the objectness loss applies *)
+      let process ci (gts : Camera.bbox list) ~classify =
+        incr count;
+        let x = Grid.features t.grid ex.Data.img ci in
+        let p, box_pred, h = forward t x in
+        let dz_obj = Array.make n_anchors 0. in
+        let dbox = Array.make (n_anchors * 4) 0. in
+        for a = 0 to n_anchors - 1 do
+          let gt = List.nth_opt gts a in
+          if classify then begin
+            let y = if gt <> None then 1. else 0. in
+            let w_bce = if gt <> None then hyper.pos_weight else 1. in
+            loss :=
+              !loss
+              -. (w_bce
+                 *. ((y *. log (p.(a) +. 1e-9))
+                    +. ((1. -. y) *. log (1. -. p.(a) +. 1e-9))));
+            dz_obj.(a) <- w_bce *. (p.(a) -. y)
+          end;
+          match gt with
+          | Some gt ->
+              let enc = encode_box t ci gt in
+              for k = 0 to 3 do
+                let idx = (a * 4) + k in
+                let diff = box_pred.(idx) -. enc.(k) in
+                loss := !loss +. (hyper.box_weight *. diff *. diff);
+                dbox.(idx) <- 2. *. hyper.box_weight *. diff
+              done
+          | None -> ()
+        done;
+        backprop x h dz_obj dbox
+      in
+      (* positive cells: objectness + box losses on every anchor *)
+      Hashtbl.iter (fun ci gts -> process ci gts ~classify:true) tgt;
+      (* ignore-zone cells: no objectness loss, but the primary
+         anchor's box head learns to point at the nearby ground truth,
+         so duplicates they produce at inference are NMS-merged *)
+      Hashtbl.iter
+        (fun ci _ ->
+          match nearest_gt t tgt ci with
+          | None -> ()
+          | Some gt -> process ci [ gt ] ~classify:false)
+        ign;
+      (* a random sample of background cells (negative mining keeps the
+         step cost bounded on large grids) *)
+      let n_cells = Grid.n_cells t.grid in
+      let drawn = ref 0 and tries = ref 0 in
+      while !drawn < hyper.neg_per_image && !tries < hyper.neg_per_image * 5 do
+        incr tries;
+        let ci = Scenic_prob.Rng.int rng n_cells in
+        if not (Hashtbl.mem tgt ci || Hashtbl.mem ign ci) then begin
+          incr drawn;
+          process ci [] ~classify:true
+        end
+      done)
+    batch;
+  let scale = 1. /. float_of_int (max 1 !count) in
+  let step w m g =
+    for i = 0 to Array.length w - 1 do
+      m.(i) <-
+        (hyper.momentum *. m.(i))
+        -. (hyper.lr *. ((g.(i) *. scale) +. (hyper.l2 *. w.(i))));
+      w.(i) <- w.(i) +. m.(i)
+    done
+  in
+  for j = 0 to nh - 1 do
+    step t.w1.(j) t.m1.(j) g1.(j)
+  done;
+  step t.b1 t.mb1 gb1;
+  for a = 0 to n_anchors - 1 do
+    step t.w_obj.(a) t.m_obj.(a) g_obj.(a)
+  done;
+  (let g = Array.map (fun v -> v *. scale) gb_obj in
+   for a = 0 to n_anchors - 1 do
+     t.mb_obj.(a) <- (hyper.momentum *. t.mb_obj.(a)) -. (hyper.lr *. g.(a));
+     t.b_obj.(a) <- t.b_obj.(a) +. t.mb_obj.(a)
+   done);
+  for k = 0 to (n_anchors * 4) - 1 do
+    step t.w_box.(k) t.m_box.(k) g_box.(k)
+  done;
+  step t.b_box t.mb_box gb_box;
+  !loss *. scale
+
+(* --- inference --------------------------------------------------------- *)
+
+(** Raw per-cell, per-anchor detections above [threshold], before NMS. *)
+let detect_raw ?(threshold = 0.5) t (img : Image.t) : detection list =
+  let out = ref [] in
+  for ci = 0 to Grid.n_cells t.grid - 1 do
+    let x = Grid.features t.grid img ci in
+    let p, box_pred, _ = forward t x in
+    for a = 0 to n_anchors - 1 do
+      if p.(a) >= threshold then begin
+        let sub = Array.sub box_pred (a * 4) 4 in
+        out := { box = decode_box t ci sub; score = p.(a) } :: !out
+      end
+    done
+  done;
+  !out
+
+let detect ?(threshold = 0.5) ?(nms_iou = 0.4) t img : detection list =
+  Nms.apply_by ~iou:nms_iou
+    ~box:(fun d -> d.box)
+    ~score:(fun d -> d.score)
+    (detect_raw ~threshold t img)

@@ -1,0 +1,16 @@
+(** Non-maximum suppression over scored boxes. *)
+
+open Scenic_render
+
+(** Keep the highest-scoring items, discarding any whose box overlaps
+    an already-kept one with IoU above [iou]. *)
+let apply_by ~iou ~box ~score items =
+  let sorted = List.sort (fun a b -> compare (score b) (score a)) items in
+  let rec go kept = function
+    | [] -> List.rev kept
+    | d :: rest ->
+        if List.exists (fun k -> Camera.bbox_iou (box k) (box d) > iou) kept
+        then go kept rest
+        else go (d :: kept) rest
+  in
+  go [] sorted

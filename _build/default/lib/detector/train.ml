@@ -1,0 +1,68 @@
+(** Training loop: minibatch SGD with the jitter-reduction protocol of
+    Sec. 6.3 ("saving the last 10 models in steps of 10 iterations and
+    picking the one achieving the best total precision and recall"). *)
+
+module P = Scenic_prob
+
+type config = {
+  iterations : int;  (** minibatch steps *)
+  batch_size : int;
+  hyper : Model.hyper;
+  seed : int;
+  snapshot_tail : int;  (** how many tail snapshots to keep *)
+  snapshot_step : int;
+}
+
+let default_config =
+  {
+    iterations = 1200;
+    batch_size = 16;
+    hyper = Model.default_hyper;
+    seed = 1;
+    snapshot_tail = 5;
+    snapshot_step = 10;
+  }
+
+(** Train a fresh model on [train_set].  When [selection_set] is given,
+    the tail snapshots are evaluated on it and the best one (by
+    precision + recall) is returned — the paper's anti-jitter
+    technique; otherwise the final model is returned. *)
+let train ?(config = default_config) ?selection_set
+    (train_set : Data.example list) : Model.t =
+  let rng = P.Rng.create config.seed in
+  let model = Model.create ~seed:config.seed () in
+  let pool = Array.of_list train_set in
+  if Array.length pool = 0 then invalid_arg "Train.train: empty training set";
+  let snapshots = ref [] in
+  let lr0 = config.hyper.lr in
+  for it = 1 to config.iterations do
+    (* 1/t learning-rate decay *)
+    let lr = lr0 /. (1. +. (2. *. float_of_int it /. float_of_int config.iterations)) in
+    let hyper = { config.hyper with lr } in
+    let batch =
+      List.init config.batch_size (fun _ ->
+          pool.(P.Rng.int rng (Array.length pool)))
+    in
+    ignore (Model.train_batch ~hyper ~rng model batch);
+    let tail_start =
+      config.iterations - (config.snapshot_tail * config.snapshot_step)
+    in
+    if
+      selection_set <> None && it > tail_start
+      && (config.iterations - it) mod config.snapshot_step = 0
+    then snapshots := Model.copy model :: !snapshots
+  done;
+  match (selection_set, !snapshots) with
+  | Some sel, (_ :: _ as snaps) when sel <> [] ->
+      let scored =
+        List.map
+          (fun m ->
+            let s = Metrics.evaluate m sel in
+            (s.Metrics.precision +. s.Metrics.recall, m))
+          snaps
+      in
+      snd
+        (List.fold_left
+           (fun (bs, bm) (s, m) -> if s > bs then (s, m) else (bs, bm))
+           (List.hd scored) (List.tl scored))
+  | _ -> model

@@ -1,0 +1,1 @@
+lib/dynamics/falsify.ml: Buffer Float List Monitor Printf Scenic_core Scenic_geometry Scenic_sampler Scenic_worlds Simulate

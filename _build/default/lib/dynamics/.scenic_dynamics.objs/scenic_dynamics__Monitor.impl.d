@@ -1,0 +1,1 @@
+lib/dynamics/monitor.ml: Array Float Scenic_geometry Simulate

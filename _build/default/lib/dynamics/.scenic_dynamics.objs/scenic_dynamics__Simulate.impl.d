@@ -1,0 +1,1 @@
+lib/dynamics/simulate.ml: Array Float List Scenic_core Scenic_geometry

@@ -1,0 +1,98 @@
+(** VerifAI-style falsification driven by Scenic (paper Sec. 8):
+    sample scenes from a Scenic scenario as seed inputs, roll each out
+    under the controller, monitor a temporal property, and refine
+    around the lowest-robustness seed using Scenic's own [mutate]
+    feature — the same generalize-a-failure loop as Sec. 6.4, but for
+    dynamic behavior. *)
+
+module G = Scenic_geometry
+module C = Scenic_core
+
+type outcome = {
+  scene : C.Scene.t;
+  trace : Monitor.trace;
+  rob : float;  (** robustness; negative = property violated *)
+}
+
+type result = {
+  outcomes : outcome list;  (** sorted by robustness, worst first *)
+  counterexamples : int;
+  refined : outcome list;  (** rollouts of the mutated worst seed *)
+}
+
+let default_world () =
+  { Simulate.field = (Scenic_worlds.Gta_lib.get_network ()).road_direction }
+
+let evaluate ?controller ?(duration = 8.) ~world ~formula scene : outcome =
+  let sim = Simulate.of_scene ~world scene in
+  let trace = Simulate.rollout ?controller ~duration sim in
+  { scene; trace; rob = Monitor.robustness formula trace }
+
+(** Re-encode a sampled scene as a concrete Scenic scenario with
+    mutation enabled — the refinement step (cf. App. A.6). *)
+let mutation_scenario ?(scale = 1.0) (scene : C.Scene.t) : string =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "import gtaLib\n";
+  List.iter
+    (fun (k, v) ->
+      match (k, v) with
+      | "time", C.Value.Vfloat t -> Buffer.add_string b (Printf.sprintf "param time = %g\n" t)
+      | "weather", C.Value.Vstr w ->
+          Buffer.add_string b (Printf.sprintf "param weather = '%s'\n" w)
+      | _ -> ())
+    scene.C.Scene.params;
+  let emit ~is_ego (o : C.Scene.cobj) =
+    let p = C.Scene.position o and h = C.Scene.heading o in
+    let fprop name d =
+      match List.assoc_opt name o.C.Scene.c_props with
+      | Some v -> ( try C.Ops.as_float v with _ -> d)
+      | None -> d
+    in
+    Buffer.add_string b
+      (Printf.sprintf
+         "%sCar at %.4f @ %.4f, facing %.4f deg, with speed %.3f, with \
+          requireVisible False, with allowCollisions True\n"
+         (if is_ego then "ego = " else "")
+         (G.Vec.x p) (G.Vec.y p)
+         (h *. 180. /. Float.pi)
+         (fprop "speed" Simulate.default_speed))
+  in
+  emit ~is_ego:true (C.Scene.ego scene);
+  List.iter (emit ~is_ego:false) (C.Scene.non_ego scene);
+  Buffer.add_string b (Printf.sprintf "mutate by %g\n" scale);
+  Buffer.contents b
+
+(** Run the falsification loop: [n_seeds] scenes from [source], plus
+    [n_refine] mutated variants of the worst seed. *)
+let run ?controller ?world ?(duration = 8.) ?(n_seeds = 30) ?(n_refine = 15)
+    ?(seed = 1) ~formula source : result =
+  Scenic_worlds.Scenic_worlds_init.init ();
+  let world = match world with Some w -> w | None -> default_world () in
+  let sampler =
+    Scenic_sampler.Sampler.of_source ~seed ~file:"falsify.scenic" source
+  in
+  let outcomes =
+    List.init n_seeds (fun _ ->
+        evaluate ?controller ~duration ~world ~formula
+          (Scenic_sampler.Sampler.sample sampler))
+    |> List.sort (fun a b -> compare a.rob b.rob)
+  in
+  let refined =
+    match outcomes with
+    | worst :: _ when n_refine > 0 ->
+        let src = mutation_scenario worst.scene in
+        let refine_sampler =
+          Scenic_sampler.Sampler.of_source ~seed:(seed + 1)
+            ~file:"refine.scenic" src
+        in
+        List.init n_refine (fun _ ->
+            evaluate ?controller ~duration ~world ~formula
+              (Scenic_sampler.Sampler.sample refine_sampler))
+        |> List.sort (fun a b -> compare a.rob b.rob)
+    | _ -> []
+  in
+  {
+    outcomes;
+    counterexamples = List.length (List.filter (fun o -> o.rob <= 0.) outcomes);
+    refined;
+  }

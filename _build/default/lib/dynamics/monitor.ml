@@ -1,0 +1,79 @@
+(** Temporal-logic monitoring over trajectories: a small STL-style
+    fragment with quantitative (robustness) semantics, as used by
+    VerifAI-style falsification (paper Sec. 8). *)
+
+module G = Scenic_geometry
+
+type trace = Simulate.frame list
+
+(** A quantitative atomic proposition: positive when satisfied, with
+    magnitude measuring margin. *)
+type atom = Simulate.frame -> float
+
+(** Formulas with robustness semantics: [rho(Always f) = min over time],
+    [rho(Eventually f) = max over time]. *)
+type formula =
+  | Atom of string * atom
+  | Not of formula
+  | And of formula * formula
+  | Or of formula * formula
+  | Always of formula
+  | Eventually of formula
+
+let atom name f = Atom (name, f)
+
+let rec robustness (f : formula) (trace : trace) : float =
+  match f with
+  | Atom (_, a) -> ( match trace with [] -> neg_infinity | fr :: _ -> a fr)
+  | Not f -> -.robustness f trace
+  | And (a, b) -> Float.min (robustness a trace) (robustness b trace)
+  | Or (a, b) -> Float.max (robustness a trace) (robustness b trace)
+  | Always f ->
+      let rec go acc = function
+        | [] -> acc
+        | _ :: rest as tr -> go (Float.min acc (robustness f tr)) rest
+      in
+      go infinity trace
+  | Eventually f ->
+      let rec go acc = function
+        | [] -> acc
+        | _ :: rest as tr -> go (Float.max acc (robustness f tr)) rest
+      in
+      go neg_infinity trace
+
+let satisfied f trace = robustness f trace > 0.
+
+(* --- standard atoms ------------------------------------------------------ *)
+
+(* separation between two oriented boxes: distance between centers
+   minus the sum of circumradii (conservative), or the negative
+   penetration indicator when the boxes intersect *)
+let box_separation a b =
+  if G.Rect.intersects a b then
+    -.(1.
+      +. (G.Rect.circumradius a +. G.Rect.circumradius b
+         -. G.Vec.dist (G.Rect.center a) (G.Rect.center b)))
+  else
+    G.Vec.dist (G.Rect.center a) (G.Rect.center b)
+    -. G.Rect.circumradius a -. G.Rect.circumradius b
+
+(** Margin (meters, conservative) between the ego and its nearest
+    vehicle; negative on collision. *)
+let ego_separation : atom =
+ fun fr ->
+  let ego = fr.Simulate.f_boxes.(0) in
+  let best = ref infinity in
+  Array.iteri
+    (fun i b -> if i > 0 then best := Float.min !best (box_separation ego b))
+    fr.Simulate.f_boxes;
+  !best
+
+(** "The ego never gets within [margin] of another vehicle" — the
+    collision-avoidance safety property. *)
+let no_collision ?(margin = 0.) () =
+  Always (atom "separation" (fun fr -> ego_separation fr -. margin))
+
+(** "The ego eventually reaches speed [v]" — a liveness property (the
+    controller must not satisfy safety by refusing to drive). *)
+let reaches_speed v =
+  Eventually (atom "speed" (fun fr -> fr.Simulate.f_speeds.(0) -. v))

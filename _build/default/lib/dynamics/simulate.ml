@@ -1,0 +1,160 @@
+(** A kinematic traffic simulator: rolls sampled Scenic scenes forward
+    in time.
+
+    This is the dynamical-simulation substrate for the paper's Sec. 8
+    use case: "we have integrated Scenic as the environment modeling
+    language for VerifAI … and used it to generate seed inputs for
+    temporal-logic falsification of an automated collision-avoidance
+    system".  Scenic samples the initial scene ("trajectories from
+    dynamical simulations" are listed in Sec. 1 as a supported data
+    type); this module supplies the dynamics.
+
+    Vehicles follow the world's traffic-direction field at their
+    individual speeds (the scene's [speed] property when present); a
+    vehicle with a [brakeAt] property decelerates hard from that time
+    on — the classic cut-in/brake scenario for collision-avoidance
+    testing.  The ego runs a pluggable controller. *)
+
+module G = Scenic_geometry
+module C = Scenic_core
+
+type vehicle = {
+  mutable position : G.Vec.t;
+  mutable heading : float;
+  mutable speed : float;
+  width : float;
+  length : float;
+  brake_at : float option;  (** seconds; then decelerate at [brake_rate] *)
+  is_ego : bool;
+}
+
+type world = { field : G.Vectorfield.t }
+
+type t = {
+  vehicles : vehicle array;  (** index 0 is the ego *)
+  world : world;
+  mutable time : float;
+  dt : float;
+}
+
+let brake_rate = 6.0 (* m/s² *)
+let default_speed = 8.0
+
+let box v =
+  G.Rect.make ~center:v.position ~heading:v.heading ~width:v.width
+    ~height:v.length
+
+(** Build the simulation from a sampled scene.  Speeds come from each
+    object's [speed] property when present (settable in Scenic with
+    [with speed (6, 12)]), else [default_speed]; [brakeAt] likewise. *)
+let of_scene ?(dt = 0.1) ~(world : world) (scene : C.Scene.t) : t =
+  let mk is_ego (o : C.Scene.cobj) =
+    let fprop name d =
+      match List.assoc_opt name o.C.Scene.c_props with
+      | Some v -> ( try C.Ops.as_float v with _ -> d)
+      | None -> d
+    in
+    {
+      position = C.Scene.position o;
+      heading = C.Scene.heading o;
+      speed = fprop "speed" default_speed;
+      width = C.Scene.width o;
+      length = C.Scene.height o;
+      brake_at =
+        (match List.assoc_opt "brakeAt" o.C.Scene.c_props with
+        | Some v -> ( try Some (C.Ops.as_float v) with _ -> None)
+        | None -> None);
+      is_ego;
+    }
+  in
+  let ego = mk true (C.Scene.ego scene) in
+  let others = List.map (mk false) (C.Scene.non_ego scene) in
+  { vehicles = Array.of_list (ego :: others); world; time = 0.; dt }
+
+(** A controller maps the simulation state to an ego acceleration
+    (m/s², negative = braking). *)
+type controller = t -> float
+
+(** The lead vehicle in the ego's lane corridor: nearest vehicle ahead
+    (in the ego frame) within a lateral half-width. *)
+let lead_vehicle ?(half_width = 1.8) t : (vehicle * float) option =
+  let ego = t.vehicles.(0) in
+  let best = ref None in
+  Array.iteri
+    (fun i v ->
+      if i > 0 then begin
+        let rel = G.Vec.rotate (G.Vec.sub v.position ego.position) (-.ego.heading) in
+        let lateral = G.Vec.x rel and ahead = G.Vec.y rel in
+        if ahead > 0. && Float.abs lateral <= half_width then
+          match !best with
+          | Some (_, d) when d <= ahead -> ()
+          | _ -> best := Some (v, ahead)
+      end)
+    t.vehicles;
+  !best
+
+(** The collision-avoidance controller under test: accelerate toward a
+    target speed, but brake when the time-gap to the lead vehicle drops
+    below a headway threshold.  (Deliberately imperfect — late
+    reaction, bounded braking — so falsification has something to
+    find.) *)
+let acc_controller ?(target_speed = 10.) ?(headway = 1.0) ?(max_brake = 5.)
+    ?(max_accel = 2.5) () : controller =
+ fun t ->
+  let ego = t.vehicles.(0) in
+  match lead_vehicle t with
+  | Some (lead, dist) ->
+      let closing = ego.speed -. lead.speed in
+      let gap = dist -. (lead.length /. 2.) -. (ego.length /. 2.) in
+      let time_gap = if ego.speed > 0.1 then gap /. ego.speed else infinity in
+      if gap < 2.0 || time_gap < headway || (closing > 0. && gap /. Float.max closing 0.1 < 1.5)
+      then -.max_brake
+      else if ego.speed < target_speed then max_accel
+      else 0.
+  | None -> if ego.speed < target_speed then max_accel else 0.
+
+(** Advance one time step. *)
+let step ?(controller = acc_controller ()) t =
+  let accel_of v =
+    if v.is_ego then controller t
+    else
+      match v.brake_at with
+      | Some at when t.time >= at -> -.brake_rate
+      | _ -> 0.
+  in
+  Array.iter
+    (fun v ->
+      let a = accel_of v in
+      v.speed <- Float.max 0. (v.speed +. (a *. t.dt));
+      (* follow the traffic field: heading relaxes toward the field *)
+      let desired = G.Vectorfield.at t.world.field v.position in
+      let err = G.Angle.diff desired v.heading in
+      v.heading <- v.heading +. (Float.max (-0.5) (Float.min 0.5 err) *. t.dt *. 2.);
+      v.position <-
+        G.Vec.add v.position (G.Vec.scale (v.speed *. t.dt) (G.Vec.of_heading v.heading)))
+    t.vehicles;
+  t.time <- t.time +. t.dt
+
+(** Snapshot of all vehicle poses at one instant. *)
+type frame = {
+  f_time : float;
+  f_boxes : G.Rect.t array;  (** index 0 = ego *)
+  f_speeds : float array;
+}
+
+let frame t =
+  {
+    f_time = t.time;
+    f_boxes = Array.map box t.vehicles;
+    f_speeds = Array.map (fun v -> v.speed) t.vehicles;
+  }
+
+(** Roll out for [duration] seconds, returning the trajectory. *)
+let rollout ?controller ?(duration = 8.) t : frame list =
+  let steps = int_of_float (duration /. t.dt) in
+  let frames = ref [ frame t ] in
+  for _ = 1 to steps do
+    step ?controller t;
+    frames := frame t :: !frames
+  done;
+  List.rev !frames

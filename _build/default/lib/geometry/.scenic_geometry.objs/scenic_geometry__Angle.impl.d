@@ -1,0 +1,1 @@
+lib/geometry/angle.ml: Float Fmt Vec

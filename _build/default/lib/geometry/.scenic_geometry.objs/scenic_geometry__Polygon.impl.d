@@ -1,0 +1,1 @@
+lib/geometry/polygon.ml: Array Float Fmt Fun List Option Seg Vec

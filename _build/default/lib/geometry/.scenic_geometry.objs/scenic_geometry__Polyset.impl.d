@@ -1,0 +1,1 @@
+lib/geometry/polyset.ml: Array Float Fmt Lazy List Polygon Seg Seq

@@ -1,0 +1,1 @@
+lib/geometry/rect.ml: Angle Float Fmt List Polygon Vec

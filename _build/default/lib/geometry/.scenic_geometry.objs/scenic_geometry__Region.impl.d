@@ -1,0 +1,1 @@
+lib/geometry/region.ml: Angle Fmt Polyset Printf Rect Vec Vectorfield

@@ -1,0 +1,1 @@
+lib/geometry/seg.ml: Float Fmt Vec

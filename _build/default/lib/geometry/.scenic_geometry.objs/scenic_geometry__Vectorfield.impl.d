@@ -1,0 +1,1 @@
+lib/geometry/vectorfield.ml: Fmt List Polygon Vec

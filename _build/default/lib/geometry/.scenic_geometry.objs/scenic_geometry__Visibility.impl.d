@@ -1,0 +1,1 @@
+lib/geometry/visibility.ml: Angle List Rect Region Seg Vec

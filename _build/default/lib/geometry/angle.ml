@@ -1,0 +1,43 @@
+(** Headings and angle arithmetic.
+
+    A heading is a single angle in radians, anticlockwise from North
+    (the +y axis), as in Sec. 4.1 of the paper.  Heading [0.] faces
+    North, [pi /. 2.] faces West. *)
+
+type t = float
+
+let pi = 4.0 *. atan 1.0
+let two_pi = 2.0 *. pi
+
+let of_degrees d = d *. pi /. 180.
+let to_degrees r = r *. 180. /. pi
+
+(** Normalize into the interval [(-pi, pi]]. *)
+let normalize h =
+  let h = Float.rem h two_pi in
+  if h > pi then h -. two_pi else if h <= -.pi then h +. two_pi else h
+
+(** Smallest signed difference [a - b], normalized. *)
+let diff a b = normalize (a -. b)
+
+(** Absolute angular distance in [[0, pi]]. *)
+let dist a b = Float.abs (diff a b)
+
+(** [within a b tol] holds when [a] and [b] differ by at most [tol]
+    (circularly). *)
+let within a b tol = dist a b <= tol +. 1e-12
+
+(** Heading of the line of sight from [src] to [dst]. *)
+let to_point ~src ~dst = Vec.heading_of (Vec.sub dst src)
+
+(** Interval arithmetic on headings: does normalized [h] lie within
+    [tol] of the (closed) interval [[lo, hi]] (given [lo <= hi],
+    measured as a sweep anticlockwise from [lo] to [hi])? *)
+let in_interval ?(tol = 0.) h ~lo ~hi =
+  if hi -. lo >= two_pi -. 1e-12 then true
+  else
+    let span = hi -. lo in
+    let rel = Float.rem (normalize (h -. lo) +. two_pi) two_pi in
+    rel <= span +. tol || rel >= two_pi -. tol
+
+let pp ppf h = Fmt.pf ppf "%g deg" (to_degrees h)

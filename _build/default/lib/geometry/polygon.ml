@@ -1,0 +1,324 @@
+(** Convex polygons.
+
+    The map substrates (road networks) and the pruning algorithms of
+    App. B.5 operate on unions of convex polygons with
+    piecewise-constant vector fields.  Vertices are stored in
+    anticlockwise (CCW) order. *)
+
+type t = { vertices : Vec.t array }
+
+exception Degenerate of string
+
+let signed_area_of verts =
+  let n = Array.length verts in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    let a = verts.(i) and b = verts.((i + 1) mod n) in
+    acc := !acc +. Vec.cross a b
+  done;
+  !acc /. 2.
+
+(** Build from a vertex list; reorients to CCW.  Raises {!Degenerate}
+    on fewer than 3 vertices or (near-)zero area. *)
+let make vertices =
+  let verts = Array.of_list vertices in
+  if Array.length verts < 3 then raise (Degenerate "fewer than 3 vertices");
+  let a = signed_area_of verts in
+  if Float.abs a < 1e-12 then raise (Degenerate "zero area");
+  let verts =
+    if a < 0. then (
+      let v = Array.copy verts in
+      let n = Array.length v in
+      Array.init n (fun i -> v.(n - 1 - i)))
+    else verts
+  in
+  { vertices = verts }
+
+let vertices t = Array.to_list t.vertices
+let num_vertices t = Array.length t.vertices
+let area t = signed_area_of t.vertices
+
+let centroid t =
+  let n = Array.length t.vertices in
+  let a = ref 0. and cx = ref 0. and cy = ref 0. in
+  for i = 0 to n - 1 do
+    let p = t.vertices.(i) and q = t.vertices.((i + 1) mod n) in
+    let c = Vec.cross p q in
+    a := !a +. c;
+    cx := !cx +. ((Vec.x p +. Vec.x q) *. c);
+    cy := !cy +. ((Vec.y p +. Vec.y q) *. c)
+  done;
+  let a = !a /. 2. in
+  Vec.make (!cx /. (6. *. a)) (!cy /. (6. *. a))
+
+let edges t =
+  let n = Array.length t.vertices in
+  List.init n (fun i -> Seg.make t.vertices.(i) t.vertices.((i + 1) mod n))
+
+(** Axis-aligned rectangle helper. *)
+let rectangle ~min_x ~min_y ~max_x ~max_y =
+  make
+    [
+      Vec.make min_x min_y;
+      Vec.make max_x min_y;
+      Vec.make max_x max_y;
+      Vec.make min_x max_y;
+    ]
+
+(** CCW containment: [p] is inside iff it is on the left of (or on)
+    every edge. *)
+let contains t p =
+  let n = Array.length t.vertices in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    let a = t.vertices.(i) and b = t.vertices.((i + 1) mod n) in
+    if Vec.cross (Vec.sub b a) (Vec.sub p a) < -1e-9 then ok := false
+  done;
+  !ok
+
+(** Strict interior test (margin [eps] inside every edge). *)
+let contains_strict ?(eps = 1e-9) t p =
+  let n = Array.length t.vertices in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    let a = t.vertices.(i) and b = t.vertices.((i + 1) mod n) in
+    let e = Vec.sub b a in
+    let len = Vec.norm e in
+    if len > 0. && Vec.cross e (Vec.sub p a) /. len <= eps then ok := false
+  done;
+  !ok
+
+let dist_to_boundary t p =
+  List.fold_left (fun acc e -> Float.min acc (Seg.dist_to_point e p)) infinity
+    (edges t)
+
+(** Signed distance: negative outside, positive inside. *)
+let signed_dist t p =
+  let d = dist_to_boundary t p in
+  if contains t p then d else -.d
+
+let bounding_box t =
+  Array.fold_left
+    (fun (x0, y0, x1, y1) v ->
+      ( Float.min x0 (Vec.x v),
+        Float.min y0 (Vec.y v),
+        Float.max x1 (Vec.x v),
+        Float.max y1 (Vec.y v) ))
+    (infinity, infinity, neg_infinity, neg_infinity)
+    t.vertices
+
+(** Sutherland–Hodgman clip of [subject] against convex [clip];
+    [None] when the intersection is empty or degenerate.  Exact for
+    convex inputs. *)
+let intersect subject clip =
+  let clip_against poly (a, b) =
+    (* Keep the side to the left of a->b. *)
+    let inside p = Vec.cross (Vec.sub b a) (Vec.sub p a) >= -1e-9 in
+    let cross_point p q =
+      let d1 = Vec.cross (Vec.sub b a) (Vec.sub p a) in
+      let d2 = Vec.cross (Vec.sub b a) (Vec.sub q a) in
+      let t = d1 /. (d1 -. d2) in
+      Vec.lerp p q t
+    in
+    let n = List.length poly in
+    if n = 0 then []
+    else
+      let arr = Array.of_list poly in
+      let out = ref [] in
+      for i = 0 to n - 1 do
+        let p = arr.(i) and q = arr.((i + 1) mod n) in
+        let pin = inside p and qin = inside q in
+        if pin then out := p :: !out;
+        if pin <> qin then out := cross_point p q :: !out
+      done;
+      List.rev !out
+  in
+  let clip_edges =
+    let n = Array.length clip.vertices in
+    List.init n (fun i -> (clip.vertices.(i), clip.vertices.((i + 1) mod n)))
+  in
+  let result =
+    List.fold_left clip_against (Array.to_list subject.vertices) clip_edges
+  in
+  (* Deduplicate near-coincident vertices produced by clipping. *)
+  let dedup pts =
+    let rec go acc = function
+      | [] -> List.rev acc
+      | p :: rest -> (
+          match acc with
+          | q :: _ when Vec.dist p q < 1e-7 -> go acc rest
+          | _ -> go (p :: acc) rest)
+    in
+    match go [] pts with
+    | p :: rest when rest <> [] ->
+        let last = List.nth rest (List.length rest - 1) in
+        if Vec.dist p last < 1e-7 then p :: List.filteri (fun i _ -> i < List.length rest - 1) rest
+        else p :: rest
+    | l -> l
+  in
+  let result = dedup result in
+  if List.length result < 3 then None
+  else match make result with exception Degenerate _ -> None | p -> Some p
+
+let overlaps a b = Option.is_some (intersect a b)
+
+(** Offset every edge outward ([delta > 0], miter joins: a sound
+    superset of Minkowski dilation by a disc of radius [delta] for
+    convex polygons) or inward ([delta < 0]; [None] if the polygon
+    vanishes). *)
+let offset t delta =
+  let n = Array.length t.vertices in
+  (* Each CCW edge a->b has outward normal = rotate(dir, -pi/2). *)
+  let lines =
+    Array.init n (fun i ->
+        let a = t.vertices.(i) and b = t.vertices.((i + 1) mod n) in
+        let d = Vec.normalize (Vec.sub b a) in
+        let nrm = Vec.make (Vec.y d) (-.Vec.x d) in
+        (Vec.add a (Vec.scale delta nrm), d))
+  in
+  let line_intersect (p1, d1) (p2, d2) =
+    let denom = Vec.cross d1 d2 in
+    if Float.abs denom < 1e-12 then None
+    else
+      let t = Vec.cross (Vec.sub p2 p1) d2 /. denom in
+      Some (Vec.add p1 (Vec.scale t d1))
+  in
+  let verts = ref [] in
+  for i = 0 to n - 1 do
+    let prev = lines.((i + n - 1) mod n) and cur = lines.(i) in
+    match line_intersect prev cur with
+    | Some v -> verts := v :: !verts
+    | None ->
+        (* Parallel adjacent edges: reuse the offset vertex directly. *)
+        let p, _ = cur in
+        verts := p :: !verts
+  done;
+  let verts = Array.of_list (List.rev !verts) in
+  (* Inward offsets can invert the polygon: vertex i starts edge i,
+     which must still run along direction d_i.  Any flipped edge means
+     the polygon vanished. *)
+  let flipped = ref false in
+  for i = 0 to n - 1 do
+    let _, d = lines.(i) in
+    if Vec.dot (Vec.sub verts.((i + 1) mod n) verts.(i)) d <= 1e-12 then
+      flipped := true
+  done;
+  if !flipped then None
+  else
+    match make (Array.to_list verts) with
+    | exception Degenerate _ -> None
+    | p -> if area p <= 0. then None else Some p
+
+let dilate t delta =
+  if delta < 0. then invalid_arg "Polygon.dilate: negative delta";
+  match offset t delta with Some p -> p | None -> t
+
+let erode t delta =
+  if delta < 0. then invalid_arg "Polygon.erode: negative delta";
+  offset t (-.delta)
+
+(** Clip a segment to the polygon: the parameter interval of [seg]
+    inside [t], or [None]. *)
+let clip_segment t seg =
+  let p = Seg.a seg and q = Seg.b seg in
+  let d = Vec.sub q p in
+  let t0 = ref 0. and t1 = ref 1. and ok = ref true in
+  let n = Array.length t.vertices in
+  for i = 0 to n - 1 do
+    let a = t.vertices.(i) and b = t.vertices.((i + 1) mod n) in
+    let e = Vec.sub b a in
+    (* Inside = left of edge: cross e (x - a) >= 0. *)
+    let num = Vec.cross e (Vec.sub p a) in
+    let den = Vec.cross e d in
+    if Float.abs den < 1e-12 then begin
+      if num < -1e-9 then ok := false
+    end
+    else
+      let u = -.num /. den in
+      if den > 0. then t0 := Float.max !t0 u else t1 := Float.min !t1 u
+  done;
+  if (not !ok) || !t0 > !t1 +. 1e-12 then None else Some (!t0, !t1)
+
+(** Minimum width of a convex polygon: the smallest distance between
+    two parallel supporting lines (min over edges of the farthest
+    vertex distance to the edge's line). Used by [narrow] in Alg. 3. *)
+let min_width t =
+  let n = Array.length t.vertices in
+  let best = ref infinity in
+  for i = 0 to n - 1 do
+    let a = t.vertices.(i) and b = t.vertices.((i + 1) mod n) in
+    let e = Vec.sub b a in
+    let len = Vec.norm e in
+    if len > 1e-12 then begin
+      let far = ref 0. in
+      Array.iter
+        (fun v ->
+          let d = Vec.cross e (Vec.sub v a) /. len in
+          if d > !far then far := d)
+        t.vertices;
+      if !far < !best then best := !far
+    end
+  done;
+  !best
+
+(** Convex hull (Andrew monotone chain) of at least 3 non-collinear
+    points. *)
+let convex_hull points =
+  let pts = List.sort_uniq Vec.compare points in
+  if List.length pts < 3 then raise (Degenerate "hull of < 3 points");
+  let arr = Array.of_list pts in
+  let build idxs =
+    let stack = ref [] in
+    List.iter
+      (fun i ->
+        let p = arr.(i) in
+        let rec pop () =
+          match !stack with
+          | b :: a :: _ when Vec.cross (Vec.sub b a) (Vec.sub p b) <= 1e-12 ->
+              stack := List.tl !stack;
+              pop ()
+          | _ -> ()
+        in
+        pop ();
+        stack := p :: !stack)
+      idxs;
+    List.rev (List.tl !stack)
+  in
+  let n = Array.length arr in
+  let fwd = List.init n Fun.id in
+  let bwd = List.rev fwd in
+  let lower = build fwd and upper = build bwd in
+  make (lower @ upper)
+
+(** Uniform point sampling via fan triangulation: pick a triangle with
+    probability proportional to area (using two uniforms from
+    [urand]), then a uniform point inside it. *)
+let sample_uniform t ~urand =
+  let n = Array.length t.vertices in
+  let v0 = t.vertices.(0) in
+  let tris =
+    List.init (n - 2) (fun i -> (v0, t.vertices.(i + 1), t.vertices.(i + 2)))
+  in
+  let areas =
+    List.map
+      (fun (a, b, c) ->
+        Float.abs (Vec.cross (Vec.sub b a) (Vec.sub c a)) /. 2.)
+      tris
+  in
+  let total = List.fold_left ( +. ) 0. areas in
+  let r = urand () *. total in
+  let rec pick tris areas acc =
+    match (tris, areas) with
+    | [ t ], _ -> t
+    | t :: ts, a :: as_ -> if r <= acc +. a then t else pick ts as_ (acc +. a)
+    | _ -> assert false
+  in
+  let a, b, c = pick tris areas 0. in
+  let u = urand () and v = urand () in
+  let u, v = if u +. v > 1. then (1. -. u, 1. -. v) else (u, v) in
+  Vec.add a (Vec.add (Vec.scale u (Vec.sub b a)) (Vec.scale v (Vec.sub c a)))
+
+let translate t v = { vertices = Array.map (Vec.add v) t.vertices }
+
+let pp ppf t =
+  Fmt.pf ppf "@[<h>poly[%a]@]" (Fmt.array ~sep:Fmt.sp Vec.pp) t.vertices

@@ -1,0 +1,127 @@
+(** Unions of convex polygons.
+
+    Road maps are represented as polygon unions with, optionally, a
+    preferred orientation per polygon (the piecewise-constant vector
+    fields assumed by the pruning algorithms of Sec. 5.2).  This module
+    provides the geometric machinery those algorithms need:
+
+    - exact union-boundary computation (each polygon edge clipped
+      against every other polygon), giving an *exact* erosion predicate
+      [dist(x, boundary(C)) >= r && x in C];
+    - sound (superset) dilation via convex miter offsets;
+    - area-weighted uniform sampling. *)
+
+type t = { polys : Polygon.t array }
+
+let make polys = { polys = Array.of_list polys }
+let polygons t = Array.to_list t.polys
+let is_empty t = Array.length t.polys = 0
+let cardinal t = Array.length t.polys
+
+let area t = Array.fold_left (fun acc p -> acc +. Polygon.area p) 0. t.polys
+
+let contains t p = Array.exists (fun poly -> Polygon.contains poly p) t.polys
+
+let bounding_box t =
+  Array.fold_left
+    (fun (x0, y0, x1, y1) poly ->
+      let a, b, c, d = Polygon.bounding_box poly in
+      (Float.min x0 a, Float.min y0 b, Float.max x1 c, Float.max y1 d))
+    (infinity, infinity, neg_infinity, neg_infinity)
+    t.polys
+
+(** Edges of the union boundary: every polygon edge, minus the parts
+    strictly inside some other polygon.  Exact for unions of convex
+    polygons. *)
+let union_boundary t =
+  let n = Array.length t.polys in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    List.iter
+      (fun edge ->
+        (* Collect parameter intervals of [edge] covered by other
+           polygons' interiors, then emit the complement. *)
+        let covered = ref [] in
+        for j = 0 to n - 1 do
+          if j <> i then
+            match Polygon.clip_segment t.polys.(j) edge with
+            | Some (u0, u1) when u1 -. u0 > 1e-9 -> covered := (u0, u1) :: !covered
+            | _ -> ()
+        done;
+        let ivals = List.sort compare !covered in
+        (* Merge and walk the gaps. *)
+        let rec gaps pos = function
+          | [] -> if pos < 1. -. 1e-9 then [ (pos, 1.) ] else []
+          | (u0, u1) :: rest ->
+              let before = if u0 > pos +. 1e-9 then [ (pos, u0) ] else [] in
+              before @ gaps (Float.max pos u1) rest
+        in
+        List.iter
+          (fun (u0, u1) -> out := Seg.sub edge u0 u1 :: !out)
+          (gaps 0. ivals))
+      (Polygon.edges t.polys.(i))
+  done;
+  !out
+
+let dist_to_union_boundary t =
+  let boundary = lazy (union_boundary t) in
+  fun p ->
+    List.fold_left
+      (fun acc s -> Float.min acc (Seg.dist_to_point s p))
+      infinity (Lazy.force boundary)
+
+(** Exact erosion predicate: [erode_pred t r] is a function deciding
+    membership in [erode(t, r)] = [{x in t : dist(x, boundary t) >= r}].
+    Sound and complete for convex-polygon unions. *)
+let erode_pred t r =
+  let dist = dist_to_union_boundary t in
+  fun p -> contains t p && dist p >= r -. 1e-12
+
+(** Sound superset of Minkowski dilation by a disc of radius [delta]:
+    each convex polygon is offset outward with miter joins. *)
+let dilate t delta = { polys = Array.map (fun p -> Polygon.dilate p delta) t.polys }
+
+(** Area-weighted uniform point sampling over the union.  Note:
+    overlapping polygons are slightly over-weighted in their shared
+    area; road networks keep overlaps to negligible seam slivers, and
+    the rejection sampler's requirement checks are unaffected by small
+    density perturbations of the *proposal* only when no requirement
+    depends on them — we therefore build road maps with disjoint
+    interiors (see {!Scenic_worlds.Road_network}). *)
+let sample_uniform t ~urand =
+  if is_empty t then invalid_arg "Polyset.sample_uniform: empty";
+  let areas = Array.map Polygon.area t.polys in
+  let total = Array.fold_left ( +. ) 0. areas in
+  let r = urand () *. total in
+  let idx = ref 0 and acc = ref 0. in
+  (try
+     Array.iteri
+       (fun i a ->
+         acc := !acc +. a;
+         if r <= !acc then begin
+           idx := i;
+           raise Exit
+         end)
+       areas
+   with Exit -> ());
+  Polygon.sample_uniform t.polys.(!idx) ~urand
+
+(** Intersection with a convex polygon (clips every member). *)
+let intersect_polygon t clip =
+  {
+    polys =
+      Array.of_list
+        (Array.fold_left
+           (fun acc p ->
+             match Polygon.intersect p clip with
+             | Some q when Polygon.area q > 1e-9 -> q :: acc
+             | _ -> acc)
+           [] t.polys);
+  }
+
+let filter t pred = { polys = Array.of_seq (Seq.filter pred (Array.to_seq t.polys)) }
+
+let union a b = { polys = Array.append a.polys b.polys }
+
+let pp ppf t =
+  Fmt.pf ppf "polyset(%d polys, area %g)" (Array.length t.polys) (area t)

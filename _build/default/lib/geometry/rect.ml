@@ -1,0 +1,75 @@
+(** Oriented rectangles: the bounding boxes of Scenic [Object]s.
+
+    An object has a center [position], a [heading], a [width] (local x
+    extent) and a [height] (local y extent, i.e. its length along its
+    facing direction) — matching Table 2 of the paper. *)
+
+type t = { center : Vec.t; heading : float; width : float; height : float }
+
+let make ~center ~heading ~width ~height = { center; heading; width; height }
+
+let center t = t.center
+let heading t = t.heading
+let width t = t.width
+let height t = t.height
+
+(** Half-diagonal: radius of the circumscribed circle.  The paper's
+    [minRadius] lower bound for containment pruning is the radius of
+    the *inscribed* circle; see {!inradius}. *)
+let circumradius t = 0.5 *. sqrt ((t.width *. t.width) +. (t.height *. t.height))
+
+(** Radius of the largest disc centered at [position] contained in the
+    box: the paper's lower bound on the distance from the center to
+    the bounding box (Sec. 5.2, pruning based on containment). *)
+let inradius t = 0.5 *. Float.min t.width t.height
+
+(** Corners in CCW order: front-right, front-left, back-left,
+    back-right in the object's local frame. *)
+let corners t =
+  let local =
+    [
+      Vec.make (t.width /. 2.) (t.height /. 2.);
+      Vec.make (-.t.width /. 2.) (t.height /. 2.);
+      Vec.make (-.t.width /. 2.) (-.t.height /. 2.);
+      Vec.make (t.width /. 2.) (-.t.height /. 2.);
+    ]
+  in
+  List.map (fun v -> Vec.add t.center (Vec.rotate v t.heading)) local
+
+let to_polygon t = Polygon.make (corners t)
+
+let contains t p =
+  let rel = Vec.rotate (Vec.sub p t.center) (-.t.heading) in
+  Float.abs (Vec.x rel) <= (t.width /. 2.) +. 1e-9
+  && Float.abs (Vec.y rel) <= (t.height /. 2.) +. 1e-9
+
+(** Separating-axis intersection test for two oriented rectangles. *)
+let intersects a b =
+  let ca = corners a and cb = corners b in
+  let axes r =
+    let d = Vec.of_heading r.heading in
+    [ d; Vec.perp d ]
+  in
+  let separated axis =
+    let proj pts =
+      List.fold_left
+        (fun (lo, hi) p ->
+          let v = Vec.dot p axis in
+          (Float.min lo v, Float.max hi v))
+        (infinity, neg_infinity) pts
+    in
+    let la, ha = proj ca and lb, hb = proj cb in
+    ha < lb -. 1e-9 || hb < la -. 1e-9
+  in
+  not (List.exists separated (axes a @ axes b))
+
+(** Area of intersection of two *axis-aligned* boxes given as
+    [(x0, y0, x1, y1)]; used for image-space IoU (App. D). *)
+let aabb_inter_area (ax0, ay0, ax1, ay1) (bx0, by0, bx1, by1) =
+  let w = Float.min ax1 bx1 -. Float.max ax0 bx0 in
+  let h = Float.min ay1 by1 -. Float.max ay0 by0 in
+  if w <= 0. || h <= 0. then 0. else w *. h
+
+let pp ppf t =
+  Fmt.pf ppf "rect(center=%a heading=%a w=%g h=%g)" Vec.pp t.center Angle.pp
+    t.heading t.width t.height

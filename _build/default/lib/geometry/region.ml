@@ -1,0 +1,180 @@
+(** Regions: sets of points in space, optionally carrying a preferred
+    orientation (a vector field) — one of Scenic's primitive types
+    (Sec. 4.1).
+
+    Regions support the three operations the semantics needs:
+    containment testing ([V is in R]), uniform sampling
+    ([Point on R]), and visibility intersection ([visible R]). *)
+
+type shape =
+  | Everywhere
+  | Empty
+  | Circle of { center : Vec.t; radius : float }
+  | Sector of { center : Vec.t; radius : float; heading : float; angle : float }
+      (** the view region of an OrientedPoint (App. C, Fig. 26) *)
+  | Polyset of Polyset.t
+  | Rectangle of Rect.t
+  | Filtered of shape * (Vec.t -> bool) * string
+      (** base shape restricted by a predicate; produced by pruning.
+          The string names the filter for diagnostics. *)
+  | Intersection of shape * shape
+
+type t = { shape : shape; orientation : Vectorfield.t option; name : string }
+
+let v ?orientation ?(name = "region") shape = { shape; orientation; name }
+
+let everywhere = v ~name:"everywhere" Everywhere
+let empty = v ~name:"empty" Empty
+let circle center radius = v ~name:"circle" (Circle { center; radius })
+
+let sector ~center ~radius ~heading ~angle =
+  v ~name:"sector" (Sector { center; radius; heading; angle })
+
+let of_polyset ?orientation ?(name = "polyset") ps =
+  v ?orientation ~name (Polyset ps)
+
+let of_polygon ?orientation ?(name = "polygon") p =
+  of_polyset ?orientation ~name (Polyset.make [ p ])
+
+let of_rect ?orientation ?(name = "rect") r = v ?orientation ~name (Rectangle r)
+
+let orientation t = t.orientation
+let name t = t.name
+let shape t = t.shape
+
+let with_orientation t field = { t with orientation = Some field }
+
+let rec shape_contains shape p =
+  match shape with
+  | Everywhere -> true
+  | Empty -> false
+  | Circle { center; radius } -> Vec.dist center p <= radius +. 1e-9
+  | Sector { center; radius; heading; angle } ->
+      Vec.dist center p <= radius +. 1e-9
+      && (angle >= 2. *. Angle.pi -. 1e-9
+         || Vec.dist center p < 1e-12
+         || Angle.dist (Angle.to_point ~src:center ~dst:p) heading
+            <= (angle /. 2.) +. 1e-9)
+  | Polyset ps -> Polyset.contains ps p
+  | Rectangle r -> Rect.contains r p
+  | Filtered (s, pred, _) -> shape_contains s p && pred p
+  | Intersection (a, b) -> shape_contains a p && shape_contains b p
+
+let contains t p = shape_contains t.shape p
+
+exception Unbounded of string
+exception Empty_region of string
+
+(** Iteration cap for locally-rejected filtered/intersection sampling;
+    a filter that never accepts signals an (effectively) empty region. *)
+let max_local_rejects = 100_000
+
+let rec sample_shape shape ~urand =
+  match shape with
+  | Everywhere -> raise (Unbounded "cannot sample from 'everywhere'")
+  | Empty -> raise (Empty_region "cannot sample from empty region")
+  | Circle { center; radius } ->
+      (* Uniform over the disc via sqrt-radius. *)
+      let r = radius *. sqrt (urand ()) in
+      let th = urand () *. 2. *. Angle.pi in
+      Vec.add center (Vec.make (r *. cos th) (r *. sin th))
+  | Sector { center; radius; heading; angle } ->
+      let r = radius *. sqrt (urand ()) in
+      let a = heading +. ((urand () -. 0.5) *. angle) in
+      Vec.add center (Vec.scale r (Vec.of_heading a))
+  | Polyset ps ->
+      if Polyset.is_empty ps then raise (Empty_region "empty polyset")
+      else Polyset.sample_uniform ps ~urand
+  | Rectangle r ->
+      let u = urand () -. 0.5 and v' = urand () -. 0.5 in
+      let local = Vec.make (u *. Rect.width r) (v' *. Rect.height r) in
+      Vec.add (Rect.center r) (Vec.rotate local (Rect.heading r))
+  | Filtered (s, pred, fname) ->
+      let rec go n =
+        if n = 0 then
+          raise
+            (Empty_region
+               (Printf.sprintf "filter '%s' accepted no point in %d draws"
+                  fname max_local_rejects))
+        else
+          let p = sample_shape s ~urand in
+          if pred p then p else go (n - 1)
+      in
+      go max_local_rejects
+  | Intersection (a, b) ->
+      (* Sample the (likely) smaller side and reject against the other;
+         heuristically sample [a]. *)
+      let rec go n =
+        if n = 0 then raise (Empty_region "empty intersection")
+        else
+          let p = sample_shape a ~urand in
+          if shape_contains b p then p else go (n - 1)
+      in
+      go max_local_rejects
+
+let sample t ~urand = sample_shape t.shape ~urand
+
+(** Analytic area when computable ([None] for filtered/intersection
+    shapes); used by the MCMC sampler's prior densities. *)
+let shape_area = function
+  | Everywhere -> None
+  | Empty -> Some 0.
+  | Circle { radius; _ } -> Some (Angle.pi *. radius *. radius)
+  | Sector { radius; angle; _ } -> Some (0.5 *. radius *. radius *. angle)
+  | Polyset ps -> Some (Polyset.area ps)
+  | Rectangle r -> Some (Rect.width r *. Rect.height r)
+  | Filtered _ | Intersection _ -> None
+
+let area t = shape_area t.shape
+
+(** The part of [t] visible from a view sector — the paper's
+    [visible R] / [R visible from P] operators.  Represented lazily as
+    an intersection. *)
+let intersect_sector t ~center ~radius ~heading ~angle =
+  let sec = Sector { center; radius; heading; angle } in
+  {
+    t with
+    shape = Intersection (t.shape, sec);
+    name = t.name ^ "+visible";
+  }
+
+let intersect a b =
+  {
+    shape = Intersection (a.shape, b.shape);
+    orientation = (match a.orientation with Some _ -> a.orientation | None -> b.orientation);
+    name = a.name ^ "&" ^ b.name;
+  }
+
+(** Restrict by predicate (used by pruning). *)
+let filtered ?(fname = "pred") t pred =
+  { t with shape = Filtered (t.shape, pred, fname); name = t.name ^ "|" ^ fname }
+
+(** Underlying polyset when the region bottoms out in one (possibly
+    under filters/intersections); pruning uses this to rewrite maps. *)
+let rec polyset_of_shape = function
+  | Polyset ps -> Some ps
+  | Filtered (s, _, _) -> polyset_of_shape s
+  | Intersection (a, b) -> (
+      match polyset_of_shape a with
+      | Some ps -> Some ps
+      | None -> polyset_of_shape b)
+  | _ -> None
+
+let polyset t = polyset_of_shape t.shape
+
+(** Replace the innermost polyset (after pruning rewrote it), keeping
+    filters/intersections in place. *)
+let rec replace_polyset_shape shape ps =
+  match shape with
+  | Polyset _ -> Polyset ps
+  | Filtered (s, pred, n) -> Filtered (replace_polyset_shape s ps, pred, n)
+  | Intersection (a, b) -> (
+      match polyset_of_shape a with
+      | Some _ -> Intersection (replace_polyset_shape a ps, b)
+      | None -> Intersection (a, replace_polyset_shape b ps))
+  | s -> s
+
+let replace_polyset t ps =
+  { t with shape = replace_polyset_shape t.shape ps }
+
+let pp ppf t = Fmt.pf ppf "region<%s>" t.name

@@ -1,0 +1,52 @@
+(** Line segments, with the distance and clipping primitives needed by
+    the pruning algorithms (App. B.5). *)
+
+type t = { a : Vec.t; b : Vec.t }
+
+let make a b = { a; b }
+let a t = t.a
+let b t = t.b
+let length t = Vec.dist t.a t.b
+let midpoint t = Vec.midpoint t.a t.b
+let direction t = Vec.normalize (Vec.sub t.b t.a)
+
+(** Point at parameter [u] in [[0,1]] along the segment. *)
+let at t u = Vec.lerp t.a t.b u
+
+(** Closest-point parameter of [p] on the segment, clamped to [[0,1]]. *)
+let closest_param t p =
+  let d = Vec.sub t.b t.a in
+  let l2 = Vec.norm2 d in
+  if l2 = 0. then 0.
+  else
+    let u = Vec.dot (Vec.sub p t.a) d /. l2 in
+    Float.max 0. (Float.min 1. u)
+
+let closest_point t p = at t (closest_param t p)
+let dist_to_point t p = Vec.dist p (closest_point t p)
+
+(** Sub-segment for a parameter interval [[u0, u1]] of this segment. *)
+let sub t u0 u1 = { a = at t u0; b = at t u1 }
+
+(** Proper segment-segment intersection test (shared endpoints count). *)
+let intersects s1 s2 =
+  let d1 = Vec.sub s1.b s1.a and d2 = Vec.sub s2.b s2.a in
+  let denom = Vec.cross d1 d2 in
+  let diff = Vec.sub s2.a s1.a in
+  if Float.abs denom < 1e-12 then
+    (* Parallel: overlap iff collinear and parameter intervals meet. *)
+    if Float.abs (Vec.cross diff d1) > 1e-9 then false
+    else
+      let l2 = Vec.norm2 d1 in
+      if l2 = 0. then Vec.dist s1.a s2.a < 1e-9
+      else
+        let t0 = Vec.dot diff d1 /. l2 in
+        let t1 = t0 +. (Vec.dot d2 d1 /. l2) in
+        let lo = Float.min t0 t1 and hi = Float.max t0 t1 in
+        hi >= -1e-9 && lo <= 1. +. 1e-9
+  else
+    let t = Vec.cross diff d2 /. denom in
+    let u = Vec.cross diff d1 /. denom in
+    t >= -1e-9 && t <= 1. +. 1e-9 && u >= -1e-9 && u <= 1. +. 1e-9
+
+let pp ppf t = Fmt.pf ppf "[%a -- %a]" Vec.pp t.a Vec.pp t.b

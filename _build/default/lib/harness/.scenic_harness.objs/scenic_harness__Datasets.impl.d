@@ -1,0 +1,1 @@
+lib/harness/datasets.ml: Lazy List Scenarios Scenic_core Scenic_detector Scenic_prob Scenic_render Scenic_sampler Scenic_worlds

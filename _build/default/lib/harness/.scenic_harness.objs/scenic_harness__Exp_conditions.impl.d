@@ -1,0 +1,1 @@
+lib/harness/exp_conditions.ml: Datasets Exp_config Report Scenarios Scenic_detector

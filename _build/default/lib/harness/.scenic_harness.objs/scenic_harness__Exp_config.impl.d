@@ -1,0 +1,1 @@
+lib/harness/exp_config.ml: Float Scenic_detector

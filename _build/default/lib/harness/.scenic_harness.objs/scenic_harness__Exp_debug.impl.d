@@ -1,0 +1,1 @@
+lib/harness/exp_debug.ml: Datasets Exp_config Float List Report Scenarios Scenic_core Scenic_detector Scenic_geometry Scenic_prob Scenic_render

@@ -1,0 +1,1 @@
+lib/harness/exp_mcmc.ml: Datasets Exp_config Lazy List Printf Report Scenarios Scenic_core Scenic_prob Scenic_sampler

@@ -1,0 +1,1 @@
+lib/harness/exp_pruning.ml: Datasets Exp_config Fun Lazy List Printf Report Scenarios Scenic_prob Scenic_sampler Scenic_worlds

@@ -1,0 +1,1 @@
+lib/harness/exp_rare.ml: Array Datasets Exp_config List Report Scenarios Scenic_detector Scenic_prob

@@ -1,0 +1,1 @@
+lib/harness/exp_twocar.ml: Array Datasets Exp_config Float List Printf Report Scenarios Scenic_detector Scenic_prob Scenic_render

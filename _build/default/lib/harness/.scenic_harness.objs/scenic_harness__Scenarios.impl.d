@@ -1,0 +1,1 @@
+lib/harness/scenarios.ml: Float List Printf String

@@ -1,0 +1,73 @@
+(** E1 — Sec. 6.2, "Testing under Different Conditions": train
+    M_generic on the 1–4-car generic scenarios, then evaluate it on
+    generic, good-conditions (noon/sunny) and bad-conditions
+    (midnight/rain) test sets.
+
+    Paper numbers: precision 83.1 / 85.7 / 72.8 and recall 92.6 /
+    94.3 / 92.8 on T_generic / T_good / T_bad — better on bright days
+    than rainy nights. *)
+
+module D = Scenic_detector
+
+type result = {
+  model : D.Model.t;  (** M_generic, reused by E3/E4 *)
+  train_set : D.Data.example list;  (** X_generic, reused by E4 *)
+  generic : D.Metrics.summary;
+  good : D.Metrics.summary;
+  bad : D.Metrics.summary;
+}
+
+let paper = [ ("T_generic", 83.1, 92.6); ("T_good", 85.7, 94.3); ("T_bad", 72.8, 92.8) ]
+
+let run (cfg : Exp_config.t) : result =
+  let n_train = Exp_config.n cfg 1000 and n_test = Exp_config.n cfg 50 in
+  let x_generic =
+    Datasets.dataset_union ~tag:"generic" ~seed:cfg.seed ~n_each:n_train
+      (Datasets.generic_family ())
+  in
+  let t_generic =
+    Datasets.dataset_union ~tag:"t_generic" ~seed:(cfg.seed + 17)
+      ~n_each:n_test (Datasets.generic_family ())
+  in
+  let t_good =
+    Datasets.dataset_union ~tag:"t_good" ~seed:(cfg.seed + 29) ~n_each:n_test
+      (Datasets.generic_family ~conditions:Scenarios.good_conditions ())
+  in
+  let t_bad =
+    Datasets.dataset_union ~tag:"t_bad" ~seed:(cfg.seed + 43) ~n_each:n_test
+      (Datasets.generic_family ~conditions:Scenarios.bad_conditions ())
+  in
+  let model =
+    D.Train.train ~config:(Exp_config.train_config cfg ~seed:cfg.seed) x_generic
+  in
+  {
+    model;
+    train_set = x_generic;
+    generic = D.Metrics.evaluate model t_generic;
+    good = D.Metrics.evaluate model t_good;
+    bad = D.Metrics.evaluate model t_bad;
+  }
+
+let report (r : result) =
+  Report.section
+    "E1 (Sec. 6.2): M_generic under different conditions";
+  let row name (s : D.Metrics.summary) (pp, pr) =
+    [
+      name;
+      Report.fmt_pct s.precision;
+      Report.fmt_pct pp;
+      Report.fmt_pct s.recall;
+      Report.fmt_pct pr;
+    ]
+  in
+  Report.print_table ~title:"Test-set performance (percent)"
+    ~columns:
+      [ "test set"; "precision"; "paper"; "recall"; "paper" ]
+    [
+      row "T_generic" r.generic (83.1, 92.6);
+      row "T_good (noon, sunny)" r.good (85.7, 94.3);
+      row "T_bad (midnight, rain)" r.bad (72.8, 92.8);
+    ];
+  Report.note
+    "shape check: good >= generic > bad on precision (paper: 85.7 >= 83.1 > \
+     72.8)"

@@ -1,0 +1,25 @@
+(** Experiment scaling: the paper's dataset sizes and run counts can be
+    scaled down for quick benchmark runs ([quick], the default for
+    [bench/main.exe]) or run at full size ([--full]). *)
+
+type t = {
+  scale : float;  (** multiplier on the paper's dataset sizes *)
+  runs : int;  (** training repetitions for averaged tables *)
+  iterations : int;  (** SGD minibatch steps per training *)
+  seed : int;
+}
+
+let quick = { scale = 0.22; runs = 3; iterations = 1400; seed = 2019 }
+let full = { scale = 1.0; runs = 8; iterations = 2500; seed = 2019 }
+let tiny = { scale = 0.04; runs = 1; iterations = 60; seed = 2019 }
+(* [tiny] exists for smoke tests only *)
+
+(** Scaled count with a sane floor. *)
+let n t base = max 8 (int_of_float (Float.round (float_of_int base *. t.scale)))
+
+let train_config t ~seed =
+  {
+    Scenic_detector.Train.default_config with
+    iterations = t.iterations;
+    seed;
+  }

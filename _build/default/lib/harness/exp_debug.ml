@@ -1,0 +1,241 @@
+(** E3/E4 — Sec. 6.4, "Debugging Failures" (Tables 7 and 8).
+
+    The full debugging workflow of the paper, automated end to end:
+
+    + evaluate M_generic on single-car scenes and pick a {e failure}
+      (an image with spurious extra detections, like the paper's car
+      "wrongly classified as three cars");
+    + encode the failing configuration as a concrete Scenic scenario
+      and generalize it in the nine directions of Table 7, measuring
+      M_generic on each variant set;
+    + generalize the root cause into retraining scenarios (close car /
+      close car at shallow angle), replace 10% of X_generic, retrain,
+      and compare against a classical-augmentation baseline (Table 8). *)
+
+module D = Scenic_detector
+module P = Scenic_prob
+module V = Scenic_core.Value
+module Scene = Scenic_core.Scene
+
+(* --- failure mining ---------------------------------------------------- *)
+
+(** Badness of the model on one example: spurious detections plus
+    misses; used to select the debugging seed failure. *)
+let failure_score model (ex : D.Data.example) =
+  let dets = D.Model.detect model ex.D.Data.img in
+  let counts, _ = D.Metrics.match_image ~dets ~gts:ex.D.Data.gts in
+  counts.D.Metrics.fp + counts.fn
+
+let concrete_of_scene (scene : Scene.t) : Scenarios.concrete option =
+  let ego = Scene.ego scene in
+  match Scene.non_ego scene with
+  | [ car ] ->
+      let model_name =
+        match List.assoc_opt "model" car.Scene.c_props with
+        | Some (V.Vdict kvs) -> (
+            match
+              List.find_opt (fun (k, _) -> V.equal k (V.Vstr "name")) kvs
+            with
+            | Some (_, V.Vstr n) -> n
+            | _ -> "BLISTA")
+        | _ -> "BLISTA"
+      in
+      let color =
+        match List.assoc_opt "color" car.Scene.c_props with
+        | Some (V.Vlist [ V.Vfloat r; V.Vfloat g; V.Vfloat b ]) -> (r, g, b)
+        | _ -> (0.5, 0.5, 0.5)
+      in
+      let deg v = v *. 180. /. Float.pi in
+      Some
+        {
+          Scenarios.ego_x = Scenic_geometry.Vec.x (Scene.position ego);
+          ego_y = Scenic_geometry.Vec.y (Scene.position ego);
+          ego_heading_deg = deg (Scene.heading ego);
+          car_x = Scenic_geometry.Vec.x (Scene.position car);
+          car_y = Scenic_geometry.Vec.y (Scene.position car);
+          car_heading_deg = deg (Scene.heading car);
+          model = model_name;
+          color;
+          time =
+            (match Scene.param_float scene "time" with Some t -> t | None -> 720.);
+          weather =
+            (match Scene.param scene "weather" with
+            | Some (V.Vstr w) -> w
+            | _ -> "CLEAR");
+        }
+  | _ -> None
+
+(** Find the worst single-car failure of [model]. *)
+let find_failure ~(cfg : Exp_config.t) model : Scenarios.concrete =
+  let pool =
+    Datasets.dataset_with_scenes ~tag:"failure_pool" ~seed:(cfg.seed + 301)
+      ~n:(Exp_config.n cfg 150) (Scenarios.generic 1)
+  in
+  let scored =
+    List.filter_map
+      (fun (scene, ex) ->
+        match concrete_of_scene scene with
+        | Some c -> Some (failure_score model ex, c)
+        | None -> None)
+      pool
+  in
+  match List.sort (fun (a, _) (b, _) -> compare b a) scored with
+  | (_, c) :: _ -> c
+  | [] -> invalid_arg "find_failure: empty pool"
+
+(* --- Table 7 ------------------------------------------------------------ *)
+
+type variant_row = {
+  v_name : string;
+  v_precision : float;
+  v_recall : float;
+  v_paper : float * float;
+}
+
+type t7_result = { failure : Scenarios.concrete; variants : variant_row list }
+
+let paper_table7 =
+  [
+    (80.3, 100.); (50.5, 99.3); (62.8, 100.); (53.1, 99.3); (58.9, 98.6);
+    (67.5, 100.); (61.3, 100.); (52.4, 100.); (58.6, 100.);
+  ]
+
+let run_table7 ~(cfg : Exp_config.t) model : t7_result =
+  let failure = find_failure ~cfg model in
+  let n = Exp_config.n cfg 150 in
+  let variants =
+    List.map2
+      (fun (i, (name, src)) paper ->
+        let set = Datasets.dataset ~tag:"t7" ~seed:(cfg.seed + 400 + i) ~n src in
+        let s = D.Metrics.evaluate model set in
+        {
+          v_name = name;
+          v_precision = s.D.Metrics.precision;
+          v_recall = s.recall;
+          v_paper = paper;
+        })
+      (List.mapi (fun i v -> (i, v)) (Scenarios.table7_variants failure))
+      paper_table7
+  in
+  { failure; variants }
+
+let report_table7 (r : t7_result) =
+  Report.section "E3 (Table 7): variant scenarios around one failure";
+  Report.note
+    "seed failure: car %s at (%.1f, %.1f) viewed from (%.1f, %.1f), %s"
+    r.failure.Scenarios.model r.failure.car_x r.failure.car_y r.failure.ego_x
+    r.failure.ego_y r.failure.weather;
+  Report.print_table ~title:"M_generic on each variant set (percent)"
+    ~columns:[ "scenario"; "precision"; "paper P"; "recall"; "paper R" ]
+    (List.map
+       (fun v ->
+         [
+           v.v_name;
+           Report.fmt_pct v.v_precision;
+           Report.fmt_pct (fst v.v_paper);
+           Report.fmt_pct v.v_recall;
+           Report.fmt_pct (snd v.v_paper);
+         ])
+       r.variants)
+
+(* --- Table 8 ------------------------------------------------------------ *)
+
+type t8_row = { r_name : string; r_precision : float; r_recall : float; r_paper : float * float }
+
+type t8_result = { rows : t8_row list }
+
+(** The classical-augmentation baseline: imgaug-style crops/flips/blur
+    of the single misclassified image (Sec. 6.4). *)
+let augmented_failure_set ~cfg ~(failure : Scenarios.concrete) n =
+  let src = Scenarios.variant_exact failure in
+  match
+    Datasets.dataset ~tag:"failure_img" ~seed:(cfg : Exp_config.t).seed ~n:1 src
+  with
+  | [ base ] ->
+      let rng = P.Rng.create (cfg.seed + 611) in
+      List.init n (fun _ ->
+          let labeled =
+            { Scenic_render.Augment.image = base.D.Data.img; boxes = base.gts }
+          in
+          D.Data.of_augmented (Scenic_render.Augment.classic ~rng labeled))
+  | _ -> invalid_arg "augmented_failure_set"
+
+let run_table8 ~(cfg : Exp_config.t) ~(x_generic : D.Data.example list)
+    ~(failure : Scenarios.concrete) : t8_result =
+  let n_replace = max 4 (List.length x_generic / 10) in
+  let n_test = Exp_config.n cfg 400 in
+  let t_generic =
+    Datasets.dataset_union ~tag:"t8_test" ~seed:(cfg.seed + 701)
+      ~n_each:(max 2 (n_test / 4))
+      (Datasets.generic_family ())
+  in
+  let selection =
+    Datasets.dataset_union ~tag:"t8_sel" ~seed:(cfg.seed + 703) ~n_each:10
+      (Datasets.generic_family ())
+  in
+  let retrain name pool paper =
+    let accum_p = ref [] and accum_r = ref [] in
+    for run = 1 to cfg.runs do
+      let rng = P.Rng.create (cfg.seed + (run * 509)) in
+      let train_set =
+        match pool with
+        | None -> x_generic
+        | Some pool ->
+            let fraction =
+              float_of_int n_replace /. float_of_int (List.length x_generic)
+            in
+            Datasets.mixture ~rng ~fraction ~pool x_generic
+      in
+      let model =
+        D.Train.train
+          ~config:(Exp_config.train_config cfg ~seed:(cfg.seed + run + 77))
+          ~selection_set:selection train_set
+      in
+      let s = D.Metrics.evaluate model t_generic in
+      accum_p := s.D.Metrics.precision :: !accum_p;
+      accum_r := s.recall :: !accum_r
+    done;
+    {
+      r_name = name;
+      r_precision = P.Stats.mean !accum_p;
+      r_recall = P.Stats.mean !accum_r;
+      r_paper = paper;
+    }
+  in
+  let aug = augmented_failure_set ~cfg ~failure n_replace in
+  let close =
+    Datasets.dataset ~tag:"close" ~seed:(cfg.seed + 809) ~n:n_replace
+      Scenarios.close_car
+  in
+  let shallow =
+    Datasets.dataset ~tag:"shallow" ~seed:(cfg.seed + 811) ~n:n_replace
+      Scenarios.close_car_shallow
+  in
+  {
+    rows =
+      [
+        retrain "Original (no replacement)" None (82.9, 92.7);
+        retrain "Classical augmentation" (Some aug) (78.7, 92.1);
+        retrain "Close car" (Some close) (87.4, 91.6);
+        retrain "Close car at shallow angle" (Some shallow) (84.0, 92.1);
+      ];
+  }
+
+let report_table8 (r : t8_result) =
+  Report.section "E4 (Table 8): retraining with 10% replacement data";
+  Report.print_table
+    ~title:"M_generic retrained, evaluated on T_generic (percent)"
+    ~columns:[ "replacement data"; "precision"; "paper P"; "recall"; "paper R" ]
+    (List.map
+       (fun row ->
+         [
+           row.r_name;
+           Report.fmt_pct row.r_precision;
+           Report.fmt_pct (fst row.r_paper);
+           Report.fmt_pct row.r_recall;
+           Report.fmt_pct (snd row.r_paper);
+         ])
+       r.rows);
+  Report.note
+    "paper shape: classical augmentation hurts precision (82.9 -> 78.7), \
+     close-car replacement helps (-> 87.4)"

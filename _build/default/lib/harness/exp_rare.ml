@@ -1,0 +1,129 @@
+(** E2/E5 — Sec. 6.3, "Training on Rare Events" (Tables 6 and 9):
+    train on the Matrix-surrogate set alone and on a 95/5 mixture with
+    the overlapping-cars set, evaluating on T_matrix and T_overlap,
+    averaged over several runs with random replacement selections.
+
+    Paper Table 6 (precision / recall):
+      100/0 : T_matrix 72.9±3.7 / 37.1±2.1, T_overlap 62.8±6.1 / 65.7±4.0
+      95/5  : T_matrix 73.1±2.3 / 37.0±1.6, T_overlap 68.9±3.2 / 67.3±2.4
+    Paper Table 9 (AP): T_matrix 36.1±1.1 → 36.0±1.0;
+      T_overlap 61.7±2.2 → 65.8±1.2.
+
+    Shape: mixing in 5% hard-case images improves precision (and AP) on
+    the hard case without hurting the original set. *)
+
+module D = Scenic_detector
+module P = Scenic_prob
+
+type cell = { mean : float; std : float }
+
+type row = {
+  mix_label : string;
+  matrix_precision : cell;
+  matrix_recall : cell;
+  matrix_ap : cell;
+  overlap_precision : cell;
+  overlap_recall : cell;
+  overlap_ap : cell;
+}
+
+type result = { rows : row list }
+
+let cell_of xs =
+  let m, s = Report.mean_std xs in
+  { mean = m; std = s }
+
+let run (cfg : Exp_config.t) : result =
+  let n_matrix = Exp_config.n cfg 5000 in
+  let n_overlap_pool = Exp_config.n cfg 400 in
+  let n_test = Exp_config.n cfg 200 in
+  let x_matrix =
+    Datasets.dataset_union ~tag:"matrix" ~seed:(cfg.seed + 3)
+      ~n_each:(max 2 (n_matrix / 6))
+      (Datasets.matrix_family ())
+  in
+  let x_overlap =
+    Datasets.dataset ~tag:"overlap" ~seed:(cfg.seed + 5) ~n:n_overlap_pool
+      Scenarios.overlapping
+  in
+  let t_matrix =
+    Datasets.dataset_union ~tag:"t_matrix" ~seed:(cfg.seed + 7)
+      ~n_each:(max 2 (n_test / 6))
+      (Datasets.matrix_family ())
+  in
+  let t_overlap =
+    Datasets.dataset ~tag:"t_overlap" ~seed:(cfg.seed + 11) ~n:n_test
+      Scenarios.overlapping
+  in
+  (* held-out selection set for the paper's anti-jitter snapshot pick *)
+  let selection =
+    Datasets.dataset_union ~tag:"sel" ~seed:(cfg.seed + 13) ~n_each:5
+      (Datasets.matrix_family ())
+    @ Datasets.dataset ~tag:"sel_ov" ~seed:(cfg.seed + 17) ~n:20
+        Scenarios.overlapping
+  in
+  let one_mixture label fraction =
+    let accum = Array.init 6 (fun _ -> ref []) in
+    for run = 1 to cfg.runs do
+      let rng = P.Rng.create (cfg.seed + (run * 7919)) in
+      let train_set =
+        if fraction = 0. then x_matrix
+        else Datasets.mixture ~rng ~fraction ~pool:x_overlap x_matrix
+      in
+      let model =
+        D.Train.train
+          ~config:(Exp_config.train_config cfg ~seed:(cfg.seed + run))
+          ~selection_set:selection train_set
+      in
+      let sm = D.Metrics.evaluate model t_matrix in
+      let so = D.Metrics.evaluate model t_overlap in
+      List.iteri
+        (fun i v -> accum.(i) := v :: !(accum.(i)))
+        [
+          sm.D.Metrics.precision; sm.recall; sm.ap; so.precision; so.recall;
+          so.ap;
+        ]
+    done;
+    let c i = cell_of !(accum.(i)) in
+    {
+      mix_label = label;
+      matrix_precision = c 0;
+      matrix_recall = c 1;
+      matrix_ap = c 2;
+      overlap_precision = c 3;
+      overlap_recall = c 4;
+      overlap_ap = c 5;
+    }
+  in
+  { rows = [ one_mixture "100 / 0" 0.0; one_mixture "95 / 5" 0.05 ] }
+
+let fmt c = Report.fmt_mean_std (c.mean, c.std)
+
+let report (r : result) =
+  Report.section "E2 (Table 6): mixing hard-case images into X_matrix";
+  Report.print_table
+    ~title:"Precision / recall on T_matrix and T_overlap (mean ± std over runs)"
+    ~columns:
+      [ "mixture"; "Tmatrix P"; "Tmatrix R"; "Toverlap P"; "Toverlap R" ]
+    (List.map
+       (fun row ->
+         [
+           row.mix_label;
+           fmt row.matrix_precision;
+           fmt row.matrix_recall;
+           fmt row.overlap_precision;
+           fmt row.overlap_recall;
+         ])
+       r.rows);
+  Report.note
+    "paper: 100/0 -> Toverlap P 62.8±6.1; 95/5 -> 68.9±3.2 (improves), \
+     Tmatrix P unchanged (72.9 -> 73.1)";
+  Report.section "E5 (Table 9): the same runs, AP metric";
+  Report.print_table ~title:"AP (mean ± std over runs)"
+    ~columns:[ "mixture"; "Tmatrix AP"; "Toverlap AP" ]
+    (List.map
+       (fun row -> [ row.mix_label; fmt row.matrix_ap; fmt row.overlap_ap ])
+       r.rows);
+  Report.note
+    "paper: Toverlap AP 61.7±2.2 -> 65.8±1.2 (improves), Tmatrix AP \
+     unchanged (36.1 -> 36.0)"

@@ -1,0 +1,147 @@
+(** E6/E7 — App. D (Table 10 and Fig. 36): the cleaner two-car
+    comparison.  Mixtures of the generic two-car set and the
+    overlapping set (100/0 … 70/30), evaluated on both test sets; plus
+    the IoU-overlap histograms showing the overlap set is "untypical"
+    of generic two-car images.
+
+    Paper Table 10 (T_twocar P/R, T_overlap P/R):
+      100/0: 96.5/95.7, 94.6/82.1    90/10: 95.3/96.2, 93.9/86.9
+      80/20: 96.5/96.0, 96.2/89.7    70/30: 96.5/96.5, 96.0/90.1
+    Shape: recall on T_overlap climbs steadily with the overlap share
+    while T_twocar performance is unchanged. *)
+
+module D = Scenic_detector
+module P = Scenic_prob
+module R = Scenic_render
+
+type row = {
+  mix_label : string;
+  two_p : float * float;
+  two_r : float * float;
+  over_p : float * float;
+  over_r : float * float;
+}
+
+type histo_row = { lo : float; hi : float; twocar : int; overlap : int }
+
+type result = { rows : row list; histogram : histo_row list }
+
+(* maximum pairwise IoU between ground-truth boxes of one image *)
+let max_pairwise_iou (ex : D.Data.example) =
+  let rec pairs = function
+    | [] -> []
+    | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+  in
+  List.fold_left
+    (fun acc (a, b) -> Float.max acc (R.Camera.bbox_iou a b))
+    0.
+    (pairs ex.D.Data.gts)
+
+let run (cfg : Exp_config.t) : result =
+  let n_train = Exp_config.n cfg 1000 in
+  let n_test = Exp_config.n cfg 400 in
+  let x_twocar =
+    Datasets.dataset ~tag:"twocar" ~seed:(cfg.seed + 101) ~n:n_train
+      (Scenarios.generic 2)
+  in
+  let x_overlap =
+    Datasets.dataset ~tag:"overlap" ~seed:(cfg.seed + 103) ~n:n_train
+      Scenarios.overlapping
+  in
+  let t_twocar =
+    Datasets.dataset ~tag:"t_twocar" ~seed:(cfg.seed + 107) ~n:n_test
+      (Scenarios.generic 2)
+  in
+  let t_overlap =
+    Datasets.dataset ~tag:"t_overlap" ~seed:(cfg.seed + 109) ~n:n_test
+      Scenarios.overlapping
+  in
+  (* snapshot selection on a mix of both regimes, so the anti-jitter
+     pick does not suppress hard-case learning *)
+  let selection =
+    Datasets.dataset ~tag:"sel" ~seed:(cfg.seed + 113) ~n:20
+      (Scenarios.generic 2)
+    @ Datasets.dataset ~tag:"sel_ov" ~seed:(cfg.seed + 117) ~n:20
+        Scenarios.overlapping
+  in
+  (* Fig. 36: IoU histograms of the two training sets *)
+  let mk_hist set =
+    let h = P.Stats.Histogram.create ~lo:0. ~hi:0.5 ~bins:10 in
+    List.iter (fun ex -> P.Stats.Histogram.add h (max_pairwise_iou ex)) set;
+    h
+  in
+  let h_two = mk_hist x_twocar and h_over = mk_hist x_overlap in
+  let histogram =
+    List.map2
+      (fun (lo, hi, c1, _) (_, _, c2, _) ->
+        { lo; hi; twocar = c1; overlap = c2 })
+      (P.Stats.Histogram.rows h_two)
+      (P.Stats.Histogram.rows h_over)
+  in
+  let one_mixture pct =
+    let fraction = float_of_int (100 - pct) /. 100. in
+    let acc = Array.init 4 (fun _ -> ref []) in
+    for run = 1 to cfg.runs do
+      let rng = P.Rng.create (cfg.seed + (run * 6007) + pct) in
+      let train_set =
+        if fraction = 0. then x_twocar
+        else Datasets.mixture ~rng ~fraction ~pool:x_overlap x_twocar
+      in
+      let model =
+        D.Train.train
+          ~config:(Exp_config.train_config cfg ~seed:(cfg.seed + run + pct))
+          ~selection_set:selection train_set
+      in
+      let s1 = D.Metrics.evaluate model t_twocar in
+      let s2 = D.Metrics.evaluate model t_overlap in
+      List.iteri
+        (fun i v -> acc.(i) := v :: !(acc.(i)))
+        [ s1.D.Metrics.precision; s1.recall; s2.precision; s2.recall ]
+    done;
+    let c i = Report.mean_std !(acc.(i)) in
+    {
+      mix_label = Printf.sprintf "%d/%d" pct (100 - pct);
+      two_p = c 0;
+      two_r = c 1;
+      over_p = c 2;
+      over_r = c 3;
+    }
+  in
+  { rows = List.map one_mixture [ 100; 90; 80; 70 ]; histogram }
+
+let report (r : result) =
+  Report.section "E6 (Table 10): X_twocar / X_overlap mixtures";
+  Report.print_table
+    ~title:"Performance on T_twocar and T_overlap (mean ± std over runs)"
+    ~columns:
+      [ "mixture"; "Ttwocar P"; "Ttwocar R"; "Toverlap P"; "Toverlap R" ]
+    (List.map
+       (fun row ->
+         [
+           row.mix_label;
+           Report.fmt_mean_std row.two_p;
+           Report.fmt_mean_std row.two_r;
+           Report.fmt_mean_std row.over_p;
+           Report.fmt_mean_std row.over_r;
+         ])
+       r.rows);
+  Report.note
+    "paper: Toverlap recall climbs 82.1 -> 86.9 -> 89.7 -> 90.1 while \
+     Ttwocar stays ~96";
+  Report.section "E7 (Fig. 36): IoU-overlap distributions (log scale)";
+  Report.print_table
+    ~title:"Max pairwise ground-truth IoU per training image"
+    ~columns:[ "IoU bin"; "X_twocar"; "log10"; "X_overlap"; "log10" ]
+    (List.map
+       (fun h ->
+         [
+           Printf.sprintf "%.2f-%.2f" h.lo h.hi;
+           string_of_int h.twocar;
+           Printf.sprintf "%.2f" (log10 (float_of_int (h.twocar + 1)));
+           string_of_int h.overlap;
+           Printf.sprintf "%.2f" (log10 (float_of_int (h.overlap + 1)));
+         ])
+       r.histogram);
+  Report.note
+    "paper: the overlap set's mass sits at much higher IoU than the generic \
+     two-car set's (Fig. 36, log scale)"

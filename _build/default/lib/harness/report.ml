@@ -1,0 +1,41 @@
+(** Table rendering for the experiment harness: fixed-width rows with a
+    paper-reported column next to the measured one, so every run prints
+    its own paper-vs-measured comparison (recorded in EXPERIMENTS.md). *)
+
+type cell = string
+
+let fmt_mean_std (m, s) = Printf.sprintf "%.1f ± %.1f" m s
+let fmt_pct v = Printf.sprintf "%.1f" v
+
+let print_table ~title ~columns (rows : cell list list) =
+  let all = columns :: rows in
+  let widths =
+    List.fold_left
+      (fun acc row ->
+        List.mapi
+          (fun i c ->
+            let cur = try List.nth acc i with _ -> 0 in
+            max cur (String.length c))
+          row)
+      (List.map String.length columns)
+      all
+  in
+  let pad s w = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  let line row =
+    "| "
+    ^ String.concat " | " (List.mapi (fun i c -> pad c (List.nth widths i)) row)
+    ^ " |"
+  in
+  let sep =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+"
+  in
+  Printf.printf "\n%s\n%s\n%s\n%s\n" title sep (line columns) sep;
+  List.iter (fun r -> print_endline (line r)) rows;
+  print_endline sep
+
+let section name = Printf.printf "\n=== %s ===\n%!" name
+
+let note fmt = Printf.printf (fmt ^^ "\n%!")
+
+(** Mean and sample standard deviation over per-run metric values. *)
+let mean_std xs = (Scenic_prob.Stats.mean xs, Scenic_prob.Stats.stddev xs)

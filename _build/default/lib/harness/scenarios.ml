@@ -1,0 +1,297 @@
+(** The Scenic scenarios of the paper's case study (Sec. 6 and the
+    App. A gallery), as source strings, parameterised where the
+    experiments need it. *)
+
+let header = "import gtaLib\n"
+
+(** App. A.2: the simplest possible scenario. *)
+let simplest = header ^ "ego = Car\nCar\n"
+
+(** The generic k-car scenario of Sec. 6.2 ("specifying only that the
+    cars face within 10° of the road direction"); k = 1 is App. A.3,
+    k = 2 is App. A.7, k = 4 is App. A.9 without the weather lines. *)
+let generic ?(conditions = "") k =
+  let cars =
+    String.concat ""
+      (List.init k (fun _ ->
+           "Car visible, with roadDeviation resample(wiggle)\n"))
+  in
+  header ^ conditions
+  ^ "wiggle = (-10 deg, 10 deg)\nego = EgoCar with roadDeviation wiggle\n"
+  ^ cars
+
+(** Sec. 6.2's specializations: good = noon + sunny, bad = midnight +
+    rain. *)
+let good_conditions = "param time = 12 * 60\nparam weather = 'EXTRASUNNY'\n"
+let bad_conditions = "param time = 0 * 60\nparam weather = 'RAIN'\n"
+
+(** App. A.8 / Fig. 8: two cars, one partially occluding the other. *)
+let overlapping =
+  header
+  ^ {|wiggle = (-10 deg, 10 deg)
+ego = EgoCar with roadDeviation wiggle
+c = Car visible, with roadDeviation resample(wiggle)
+leftRight = Uniform(1.0, -1.0) * (1.25, 2.75)
+Car beyond c by leftRight @ (4, 10), with roadDeviation resample(wiggle)
+|}
+
+(** App. A.4 / Fig. 3: a badly-parked car. *)
+let badly_parked =
+  header
+  ^ {|ego = Car
+spot = OrientedPoint on visible curb
+badAngle = Uniform(1.0, -1.0) * (10, 20) deg
+Car left of spot by 0.5, facing badAngle relative to roadDirection
+|}
+
+(** App. A.5 / Fig. 12: an oncoming car. *)
+let oncoming =
+  header
+  ^ {|ego = Car
+car2 = Car offset by (-10, 10) @ (20, 40), with viewAngle 30 deg
+require car2 can see ego
+|}
+
+(** Oncoming with an unconstrained position — the variant whose sample
+    space the orientation pruning (Alg. 2) cuts down. *)
+let oncoming_anywhere =
+  header
+  ^ {|ego = Car
+car2 = Car with viewAngle 30 deg
+require car2 can see ego
+|}
+
+(** App. A.10: a platoon, in daytime. *)
+let platoon =
+  header
+  ^ {|param time = (8, 20) * 60
+ego = Car with visibleDistance 60
+c2 = Car visible
+platoon = createPlatoonAt(c2, 5, dist=(2, 8))
+|}
+
+(** App. A.11 / Fig. 1: bumper-to-bumper traffic. *)
+let bumper_to_bumper =
+  header
+  ^ {|depth = 4
+laneGap = 3.5
+carGap = (1, 3)
+laneShift = (-2, 2)
+wiggle = (-5 deg, 5 deg)
+
+def createLaneAt(car):
+    createPlatoonAt(car, depth, dist=carGap, wiggle=wiggle)
+
+ego = Car with visibleDistance 60
+leftCar = carAheadOfCar(ego, laneShift + carGap, offsetX=-laneGap, wiggle=wiggle)
+createLaneAt(leftCar)
+
+midCar = carAheadOfCar(ego, resample(carGap), wiggle=wiggle)
+createLaneAt(midCar)
+
+rightCar = carAheadOfCar(ego, resample(laneShift) + resample(carGap), offsetX=laneGap, wiggle=wiggle)
+createLaneAt(rightCar)
+|}
+
+(** App. A.12 / Fig. 4: the Mars-rover bottleneck workspace. *)
+let mars_bottleneck =
+  {|import mars
+ego = Rover at 0 @ -2
+goal = Goal at (-2, 2) @ (2, 2.5)
+
+halfGapWidth = (1.2 * ego.width) / 2
+bottleneck = OrientedPoint offset by (-1.5, 1.5) @ (0.5, 1.5), facing (-30, 30) deg
+require abs((angle to goal) - (angle to bottleneck)) <= 10 deg
+BigRock at bottleneck
+
+leftEnd = OrientedPoint left of bottleneck by halfGapWidth, facing (60, 120) deg relative to bottleneck
+rightEnd = OrientedPoint right of bottleneck by halfGapWidth, facing (-120, -60) deg relative to bottleneck
+Pipe ahead of leftEnd, with height (1, 2)
+Pipe ahead of rightEnd, with height (1, 2)
+
+BigRock beyond bottleneck by (-0.5, 0.5) @ (0.5, 1)
+BigRock beyond bottleneck by (-0.5, 0.5) @ (0.5, 1)
+Pipe
+Rock
+Rock
+Rock
+|}
+
+(** One slice of the "Driving in the Matrix" surrogate (see DESIGN.md):
+    k cars placed broadly on the visible road with loose alignment —
+    generic data not authored for any particular hard case. *)
+let matrix_slice k =
+  let cars =
+    String.concat ""
+      (List.init k (fun _ ->
+           "Car visible, with roadDeviation resample(spread)\n"))
+  in
+  header
+  ^ "spread = (-25 deg, 25 deg)\nego = EgoCar with roadDeviation (-15 deg, \
+     15 deg)\n" ^ cars
+
+(** Sec. 6.4: the close-car retraining scenario ("we specialized the
+    generic one-car scenario … to produce only cars close to the
+    camera"). *)
+let close_car =
+  header
+  ^ {|wiggle = (-10 deg, 10 deg)
+ego = EgoCar with roadDeviation wiggle
+c = Car visible, with roadDeviation resample(wiggle)
+require (distance to c) <= 12
+|}
+
+(** Sec. 6.4: close car viewed at a shallow angle. *)
+let close_car_shallow =
+  header
+  ^ {|wiggle = (-10 deg, 10 deg)
+ego = EgoCar with roadDeviation wiggle
+c = Car visible, with roadDeviation resample(wiggle)
+require (distance to c) <= 12
+require abs(relative heading of c) <= 20 deg
+|}
+
+(* --- Table 7: variant scenarios around one concrete failure ---------- *)
+
+(** A concrete scene configuration extracted from a failure case:
+    everything needed to rebuild it as a Scenic program (the paper's
+    App. A.6 workflow, where the misclassified image's exact
+    parameters are written into a scenario). *)
+type concrete = {
+  ego_x : float;
+  ego_y : float;
+  ego_heading_deg : float;
+  car_x : float;
+  car_y : float;
+  car_heading_deg : float;
+  model : string;
+  color : float * float * float;
+  time : float;
+  weather : string;
+}
+
+let color_bytes (r, g, b) =
+  Printf.sprintf "[%d, %d, %d]"
+    (int_of_float (r *. 255.))
+    (int_of_float (g *. 255.))
+    (int_of_float (b *. 255.))
+
+let concrete_header c =
+  Printf.sprintf "import gtaLib\nparam time = %g\nparam weather = '%s'\n"
+    c.time c.weather
+
+let ego_fixed c =
+  Printf.sprintf "ego = EgoCar at %g @ %g, facing %g deg\n" c.ego_x c.ego_y
+    c.ego_heading_deg
+
+let car_fixed ?(with_model = true) ?(with_color = true) c =
+  Printf.sprintf "Car at %g @ %g, facing %g deg%s%s\n" c.car_x c.car_y
+    c.car_heading_deg
+    (if with_model then
+       Printf.sprintf ", with model CarModel.models['%s']" c.model
+     else "")
+    (if with_color then
+       Printf.sprintf ", with color CarColor.byteToReal(%s)"
+         (color_bytes c.color)
+     else "")
+
+(** The exact scene, reproduced (sanity anchor for Table 7). *)
+let variant_exact c = concrete_header c ^ ego_fixed c ^ car_fixed c
+
+(* relative pose of the car in the ego's frame *)
+let rel_pose c =
+  let dx = c.car_x -. c.ego_x and dy = c.car_y -. c.ego_y in
+  let h = c.ego_heading_deg *. Float.pi /. 180. in
+  (* rotate into the ego frame: lateral, forward *)
+  let lx = (dx *. cos (-.h)) -. (dy *. sin (-.h)) in
+  let ly = (dx *. sin (-.h)) +. (dy *. cos (-.h)) in
+  (lx, ly, c.car_heading_deg -. c.ego_heading_deg)
+
+(** Table 7 scenario (1): varying model and color. *)
+let variant_model_color c =
+  concrete_header c ^ ego_fixed c
+  ^ Printf.sprintf "Car at %g @ %g, facing %g deg\n" c.car_x c.car_y
+      c.car_heading_deg
+
+(** (2): varying background — same relative pose, anywhere on the map. *)
+let variant_background c =
+  let lx, ly, rh = rel_pose c in
+  concrete_header c
+  ^ Printf.sprintf
+      "ego = EgoCar\n\
+       Car offset by %g @ %g, facing %g deg relative to ego, with model \
+       CarModel.models['%s'], with color CarColor.byteToReal(%s)\n"
+      lx ly rh c.model
+      (color_bytes c.color)
+
+(** (3): mutation noise around the exact scene (App. A.6). *)
+let variant_mutate c = variant_exact c ^ "mutate\n"
+
+(** (4): varying position but staying close. *)
+let variant_close c =
+  concrete_header c
+  ^ Printf.sprintf
+      "ego = EgoCar\n\
+       c = Car visible, with model CarModel.models['%s'], with color \
+       CarColor.byteToReal(%s)\n\
+       require (distance to c) <= 12\n"
+      c.model (color_bytes c.color)
+
+(** (5): any position, same apparent angle. *)
+let variant_same_apparent c =
+  let _, _, rh = rel_pose c in
+  concrete_header c
+  ^ Printf.sprintf
+      "ego = EgoCar\n\
+       c = Car visible, apparently facing %g deg, with model \
+       CarModel.models['%s'], with color CarColor.byteToReal(%s)\n"
+      rh c.model (color_bytes c.color)
+
+(** (6): any position and angle. *)
+let variant_any c =
+  concrete_header c
+  ^ Printf.sprintf
+      "ego = EgoCar\n\
+       c = Car visible, facing (0, 360) deg, with model \
+       CarModel.models['%s'], with color CarColor.byteToReal(%s)\n"
+      c.model (color_bytes c.color)
+
+(** (7): varying background, model and color. *)
+let variant_background_model c =
+  let lx, ly, rh = rel_pose c in
+  concrete_header c
+  ^ Printf.sprintf
+      "ego = EgoCar\nCar offset by %g @ %g, facing %g deg relative to ego\n" lx
+      ly rh
+
+(** (8): staying close, same apparent angle. *)
+let variant_close_apparent c =
+  let _, _, rh = rel_pose c in
+  concrete_header c
+  ^ Printf.sprintf
+      "ego = EgoCar\n\
+       c = Car visible, apparently facing %g deg, with model \
+       CarModel.models['%s'], with color CarColor.byteToReal(%s)\n\
+       require (distance to c) <= 12\n"
+      rh c.model (color_bytes c.color)
+
+(** (9): staying close, varying model. *)
+let variant_close_model c =
+  concrete_header c
+  ^ Printf.sprintf
+      "ego = EgoCar\nc = Car visible, with color CarColor.byteToReal(%s)\n\
+       require (distance to c) <= 12\n"
+      (color_bytes c.color)
+
+let table7_variants c =
+  [
+    ("(1) varying model and color", variant_model_color c);
+    ("(2) varying background", variant_background c);
+    ("(3) varying local position, orientation", variant_mutate c);
+    ("(4) varying position but staying close", variant_close c);
+    ("(5) any position, same apparent angle", variant_same_apparent c);
+    ("(6) any position and angle", variant_any c);
+    ("(7) varying background, model, color", variant_background_model c);
+    ("(8) staying close, same apparent angle", variant_close_apparent c);
+    ("(9) staying close, varying model", variant_close_model c);
+  ]

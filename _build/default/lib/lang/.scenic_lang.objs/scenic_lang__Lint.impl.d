@@ -1,0 +1,1 @@
+lib/lang/lint.ml: Ast Fmt Format Hashtbl List Loc Option String

@@ -1,0 +1,187 @@
+(** Abstract syntax of Scenic (Fig. 5 of the paper, extended with the
+    imperative constructs — functions, loops, conditionals — that the
+    paper inherits from Python). *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Ne
+  | Lt
+  | Gt
+  | Le
+  | Ge
+  | And
+  | Or
+
+type unop = Neg | Not
+
+(** Corners/edges of an Object for the [front of O] family of
+    OrientedPoint operators. *)
+type side =
+  | Front
+  | Back
+  | Left_side
+  | Right_side
+  | Front_left
+  | Front_right
+  | Back_left
+  | Back_right
+
+type expr = { desc : expr_desc; loc : Loc.span }
+
+and expr_desc =
+  | Num of float
+  | Str of string
+  | Bool of bool
+  | None_lit
+  | Var of string
+  | Attr of expr * string
+  | Call of expr * arg list
+  | Index of expr * expr
+  | List_lit of expr list
+  | Dict_lit of (expr * expr) list
+  | Interval of expr * expr  (** [(low, high)]: uniform distribution *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | If_expr of expr * expr * expr  (** [X if C else Y] *)
+  | Vector of expr * expr  (** [X @ Y] *)
+  | Deg of expr  (** [X deg] *)
+  | Instance of string * specifier list  (** object construction *)
+  | Relative_to of expr * expr
+  | Offset_by of expr * expr
+  | Offset_along of expr * expr * expr  (** [X offset along D by V] *)
+  | Field_at of expr * expr  (** [F at V] *)
+  | Can_see of expr * expr
+  | Is_in of expr * expr
+  | Is of expr * expr  (** [x is None] and friends *)
+  | Distance_to of expr option * expr  (** [distance [from X] to Y] *)
+  | Angle_to of expr option * expr
+  | Relative_heading of expr * expr option  (** [relative heading of H [from H]] *)
+  | Apparent_heading of expr * expr option
+  | Follow of expr * expr option * expr  (** [follow F [from V] for S] *)
+  | Visible_op of expr  (** [visible R] *)
+  | Visible_from_op of expr * expr  (** [R visible from P] *)
+  | Side_of of side * expr  (** [front of O] etc. *)
+
+and arg = Pos_arg of expr | Kw_arg of string * expr
+
+and specifier = { sp_desc : spec_desc; sp_loc : Loc.span }
+
+and spec_desc =
+  | S_with of string * expr
+  | S_at of expr
+  | S_offset_by of expr
+  | S_offset_along of expr * expr
+  | S_left_of of expr * expr option  (** [left of X [by S]] *)
+  | S_right_of of expr * expr option
+  | S_ahead_of of expr * expr option
+  | S_behind of expr * expr option
+  | S_beyond of expr * expr * expr option  (** [beyond X by Y [from Z]] *)
+  | S_visible of expr option  (** [visible [from P]] *)
+  | S_in of expr
+  | S_on of expr
+  | S_following of expr * expr option * expr  (** [following F [from V] for S] *)
+  | S_facing of expr
+  | S_facing_toward of expr
+  | S_facing_away of expr
+  | S_apparently_facing of expr * expr option
+
+type param = { pname : string; pdefault : expr option }
+
+type stmt = { sdesc : stmt_desc; sloc : Loc.span }
+
+and stmt_desc =
+  | Expr_stmt of expr
+  | Assign of string * expr
+  | Attr_assign of expr * string * expr
+  | Param_stmt of (string * expr) list
+  | Require of expr
+  | Require_p of expr * expr  (** probability expression, condition *)
+  | Mutate of string list * expr option  (** empty list = all objects *)
+  | Import of string
+  | Class_def of {
+      cname : string;
+      superclass : string option;
+      props : (string * expr) list;
+      methods : (string * param list * stmt list) list;
+    }
+  | Func_def of { fname : string; params : param list; body : stmt list }
+  | Return of expr option
+  | If of (expr * stmt list) list * stmt list  (** branches, else *)
+  | For of string * expr * stmt list
+  | While of expr * stmt list
+  | Pass
+  | Break
+  | Continue
+
+type program = stmt list
+
+let side_to_string = function
+  | Front -> "front"
+  | Back -> "back"
+  | Left_side -> "left"
+  | Right_side -> "right"
+  | Front_left -> "front left"
+  | Front_right -> "front right"
+  | Back_left -> "back left"
+  | Back_right -> "back right"
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Gt -> ">"
+  | Le -> "<="
+  | Ge -> ">="
+  | And -> "and"
+  | Or -> "or"
+
+(** Free [self.p] property references in an expression — the
+    dependencies of a class default-value expression (Sec. 4.1:
+    "Default values may use the special syntax self.property …,
+    which is then a dependency of this default value"). *)
+let rec self_deps e =
+  let of_list es = List.concat_map self_deps es in
+  let of_opt = function Some e -> self_deps e | None -> [] in
+  match e.desc with
+  | Num _ | Str _ | Bool _ | None_lit | Var _ -> []
+  | Attr ({ desc = Var "self"; _ }, p) -> [ p ]
+  | Attr (e, _) -> self_deps e
+  | Call (f, args) ->
+      self_deps f
+      @ List.concat_map (function Pos_arg e | Kw_arg (_, e) -> self_deps e) args
+  | Index (a, b) | Binop (_, a, b) | Vector (a, b) | Relative_to (a, b)
+  | Offset_by (a, b) | Field_at (a, b) | Can_see (a, b) | Is_in (a, b)
+  | Is (a, b) | Visible_from_op (a, b) | Interval (a, b) ->
+      of_list [ a; b ]
+  | List_lit es -> of_list es
+  | Dict_lit kvs -> List.concat_map (fun (k, v) -> of_list [ k; v ]) kvs
+  | Unop (_, a) | Deg a | Visible_op a | Side_of (_, a) -> self_deps a
+  | If_expr (a, b, c) | Offset_along (a, b, c) -> of_list [ a; b; c ]
+  | Distance_to (o, a) | Angle_to (o, a) -> of_opt o @ self_deps a
+  | Relative_heading (a, o) | Apparent_heading (a, o) -> self_deps a @ of_opt o
+  | Follow (a, o, b) -> self_deps a @ of_opt o @ self_deps b
+  | Instance (_, specs) ->
+      List.concat_map
+        (fun s ->
+          match s.sp_desc with
+          | S_with (_, e) | S_at e | S_offset_by e | S_facing e
+          | S_facing_toward e | S_facing_away e | S_in e | S_on e ->
+              self_deps e
+          | S_offset_along (a, b) -> of_list [ a; b ]
+          | S_left_of (a, o) | S_right_of (a, o) | S_ahead_of (a, o)
+          | S_behind (a, o) | S_apparently_facing (a, o) ->
+              self_deps a @ of_opt o
+          | S_beyond (a, b, o) -> of_list [ a; b ] @ of_opt o
+          | S_visible o -> of_opt o
+          | S_following (a, o, b) -> self_deps a @ of_opt o @ self_deps b)
+        specs

@@ -1,0 +1,357 @@
+(** Hand-written lexer for Scenic.
+
+    Layout follows Python's rules: logical lines are delimited by
+    [NEWLINE]; indentation changes emit [INDENT]/[DEDENT]; blank and
+    comment-only lines are skipped; newlines inside brackets and after
+    a trailing backslash do not end the logical line. *)
+
+exception Error of string * Loc.span
+
+type t = {
+  src : string;
+  file : string;
+  mutable pos : int; (* byte offset *)
+  mutable line : int;
+  mutable col : int;
+  mutable indents : int list; (* stack, top first; always ends with 0 *)
+  mutable paren_depth : int;
+  mutable pending : Token.located list; (* queued DEDENTs etc. *)
+  mutable at_line_start : bool;
+  mutable emitted_eof : bool;
+  mutable last_was_newline : bool;
+}
+
+let create ?(file = "<string>") src =
+  {
+    src;
+    file;
+    pos = 0;
+    line = 1;
+    col = 0;
+    indents = [ 0 ];
+    paren_depth = 0;
+    pending = [];
+    at_line_start = true;
+    emitted_eof = false;
+    last_was_newline = true;
+  }
+
+let cur_pos t = Loc.pos ~line:t.line ~col:t.col
+
+let error t msg =
+  let p = cur_pos t in
+  raise (Error (msg, Loc.span ~file:t.file ~start:p ~stop:p))
+
+let peek_char t = if t.pos < String.length t.src then Some t.src.[t.pos] else None
+
+let peek_char2 t =
+  if t.pos + 1 < String.length t.src then Some t.src.[t.pos + 1] else None
+
+let advance t =
+  (match peek_char t with
+  | Some '\n' ->
+      t.line <- t.line + 1;
+      t.col <- 0
+  | Some _ -> t.col <- t.col + 1
+  | None -> ());
+  t.pos <- t.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+let mk t tok start = { Token.tok; span = Loc.span ~file:t.file ~start ~stop:(cur_pos t) }
+
+(* Measure indentation of the current (physical) line; returns [None]
+   if the line is blank or comment-only (and consumes it). *)
+let rec handle_line_start t =
+  let start = t.pos in
+  let width = ref 0 in
+  let rec skip () =
+    match peek_char t with
+    | Some ' ' ->
+        incr width;
+        advance t;
+        skip ()
+    | Some '\t' ->
+        width := (!width / 8 * 8) + 8;
+        advance t;
+        skip ()
+    | _ -> ()
+  in
+  skip ();
+  match peek_char t with
+  | Some '\n' ->
+      advance t;
+      handle_line_start t
+  | Some '#' ->
+      while peek_char t <> Some '\n' && peek_char t <> None do
+        advance t
+      done;
+      if peek_char t = Some '\n' then advance t;
+      handle_line_start t
+  | None ->
+      ignore start;
+      None
+  | Some _ -> Some !width
+
+let emit_indentation t width =
+  let p = cur_pos t in
+  let loc = Loc.span ~file:t.file ~start:p ~stop:p in
+  let top () = match t.indents with i :: _ -> i | [] -> 0 in
+  if width > top () then begin
+    t.indents <- width :: t.indents;
+    t.pending <- t.pending @ [ { Token.tok = INDENT; span = loc } ]
+  end
+  else
+    while width < top () do
+      (match t.indents with
+      | _ :: rest -> t.indents <- rest
+      | [] -> ());
+      if width > top () then error t "inconsistent dedent";
+      t.pending <- t.pending @ [ { Token.tok = DEDENT; span = loc } ]
+    done
+
+let lex_number t =
+  let start = cur_pos t in
+  let b = Buffer.create 8 in
+  let rec digits () =
+    match peek_char t with
+    | Some c when is_digit c ->
+        Buffer.add_char b c;
+        advance t;
+        digits ()
+    | _ -> ()
+  in
+  digits ();
+  (match (peek_char t, peek_char2 t) with
+  | Some '.', Some c when is_digit c ->
+      Buffer.add_char b '.';
+      advance t;
+      digits ()
+  | Some '.', (Some _ | None) when Buffer.length b > 0 -> (
+      (* "1." — allow trailing dot only if not attribute access: we
+         require a digit after the dot, so "x.y" stays attribute. *)
+      match peek_char2 t with
+      | Some c when is_alpha c -> ()
+      | _ ->
+          Buffer.add_char b '.';
+          advance t)
+  | _ -> ());
+  (match peek_char t with
+  | Some ('e' | 'E') -> (
+      let save_pos = t.pos and save_line = t.line and save_col = t.col in
+      Buffer.add_char b 'e';
+      advance t;
+      (match peek_char t with
+      | Some ('+' | '-') ->
+          Buffer.add_char b (Option.get (peek_char t));
+          advance t
+      | _ -> ());
+      match peek_char t with
+      | Some c when is_digit c -> digits ()
+      | _ ->
+          (* not an exponent after all *)
+          t.pos <- save_pos;
+          t.line <- save_line;
+          t.col <- save_col;
+          Buffer.truncate b (Buffer.length b - 1))
+  | _ -> ());
+  let s = Buffer.contents b in
+  match float_of_string_opt s with
+  | Some f -> mk t (Token.NUMBER f) start
+  | None -> error t (Printf.sprintf "invalid number literal %S" s)
+
+let lex_string t quote =
+  let start = cur_pos t in
+  advance t (* opening quote *);
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek_char t with
+    | None -> error t "unterminated string literal"
+    | Some '\n' -> error t "newline in string literal"
+    | Some '\\' -> (
+        advance t;
+        match peek_char t with
+        | Some 'n' ->
+            Buffer.add_char b '\n';
+            advance t;
+            go ()
+        | Some 't' ->
+            Buffer.add_char b '\t';
+            advance t;
+            go ()
+        | Some '\\' ->
+            Buffer.add_char b '\\';
+            advance t;
+            go ()
+        | Some c when c = quote ->
+            Buffer.add_char b c;
+            advance t;
+            go ()
+        | Some c ->
+            Buffer.add_char b c;
+            advance t;
+            go ()
+        | None -> error t "unterminated string literal")
+    | Some c when c = quote -> advance t
+    | Some c ->
+        Buffer.add_char b c;
+        advance t;
+        go ()
+  in
+  go ();
+  mk t (Token.STRING (Buffer.contents b)) start
+
+let lex_ident t =
+  let start = cur_pos t in
+  let b = Buffer.create 8 in
+  let rec go () =
+    match peek_char t with
+    | Some c when is_alnum c ->
+        Buffer.add_char b c;
+        advance t;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  let s = Buffer.contents b in
+  if Token.is_keyword s then mk t (Token.KW s) start
+  else mk t (Token.IDENT s) start
+
+let rec next_token t : Token.located =
+  match t.pending with
+  | tok :: rest ->
+      t.pending <- rest;
+      tok
+  | [] ->
+      if t.emitted_eof then
+        { Token.tok = EOF; span = Loc.span ~file:t.file ~start:(cur_pos t) ~stop:(cur_pos t) }
+      else if t.at_line_start && t.paren_depth = 0 then begin
+        t.at_line_start <- false;
+        match handle_line_start t with
+        | None ->
+            (* End of input: close open blocks, emit final NEWLINE+EOF. *)
+            let p = cur_pos t in
+            let loc = Loc.span ~file:t.file ~start:p ~stop:p in
+            if not t.last_was_newline then
+              t.pending <- t.pending @ [ { Token.tok = NEWLINE; span = loc } ];
+            while List.length t.indents > 1 do
+              t.indents <- List.tl t.indents;
+              t.pending <- t.pending @ [ { Token.tok = DEDENT; span = loc } ]
+            done;
+            t.emitted_eof <- true;
+            t.pending <- t.pending @ [ { Token.tok = EOF; span = loc } ];
+            next_token t
+        | Some width ->
+            emit_indentation t width;
+            next_token t
+      end
+      else begin
+        (* Skip horizontal whitespace and comments. *)
+        let rec skip () =
+          match peek_char t with
+          | Some (' ' | '\t' | '\r') ->
+              advance t;
+              skip ()
+          | Some '#' ->
+              while peek_char t <> Some '\n' && peek_char t <> None do
+                advance t
+              done;
+              skip ()
+          | Some '\\' when peek_char2 t = Some '\n' ->
+              advance t;
+              advance t;
+              skip ()
+          | Some '\\' when peek_char2 t = Some '\r' ->
+              advance t;
+              advance t;
+              if peek_char t = Some '\n' then advance t;
+              skip ()
+          | _ -> ()
+        in
+        skip ();
+        let start = cur_pos t in
+        match peek_char t with
+        | None ->
+            if t.paren_depth > 0 then
+              error t "unexpected end of input (unclosed bracket)"
+            else begin
+              t.at_line_start <- true;
+              next_token t
+            end
+        | Some '\n' ->
+            advance t;
+            if t.paren_depth > 0 then next_token t
+            else begin
+              t.at_line_start <- true;
+              if t.last_was_newline then next_token t
+              else begin
+                t.last_was_newline <- true;
+                mk t Token.NEWLINE start
+              end
+            end
+        | Some c ->
+            t.last_was_newline <- false;
+            if is_digit c then lex_number t
+            else if c = '.' && (match peek_char2 t with Some d -> is_digit d | None -> false)
+            then lex_number t
+            else if is_alpha c then lex_ident t
+            else if c = '\'' || c = '"' then lex_string t c
+            else begin
+              let simple tok =
+                advance t;
+                mk t tok start
+              in
+              let two tok =
+                advance t;
+                advance t;
+                mk t tok start
+              in
+              match (c, peek_char2 t) with
+              | '(', _ ->
+                  t.paren_depth <- t.paren_depth + 1;
+                  simple Token.LPAREN
+              | ')', _ ->
+                  t.paren_depth <- max 0 (t.paren_depth - 1);
+                  simple Token.RPAREN
+              | '[', _ ->
+                  t.paren_depth <- t.paren_depth + 1;
+                  simple Token.LBRACKET
+              | ']', _ ->
+                  t.paren_depth <- max 0 (t.paren_depth - 1);
+                  simple Token.RBRACKET
+              | '{', _ ->
+                  t.paren_depth <- t.paren_depth + 1;
+                  simple Token.LBRACE
+              | '}', _ ->
+                  t.paren_depth <- max 0 (t.paren_depth - 1);
+                  simple Token.RBRACE
+              | ',', _ -> simple Token.COMMA
+              | ':', _ -> simple Token.COLON
+              | '.', _ -> simple Token.DOT
+              | '@', _ -> simple Token.AT_SIGN
+              | '+', _ -> simple Token.PLUS
+              | '-', _ -> simple Token.MINUS
+              | '*', _ -> simple Token.STAR
+              | '/', _ -> simple Token.SLASH
+              | '%', _ -> simple Token.PERCENT
+              | '=', Some '=' -> two Token.EQ
+              | '=', _ -> simple Token.ASSIGN
+              | '!', Some '=' -> two Token.NE
+              | '<', Some '=' -> two Token.LE
+              | '<', _ -> simple Token.LT
+              | '>', Some '=' -> two Token.GE
+              | '>', _ -> simple Token.GT
+              | _ -> error t (Printf.sprintf "unexpected character %C" c)
+            end
+      end
+
+(** Lex the whole input to a token list (ending with EOF). *)
+let tokenize ?file src =
+  let t = create ?file src in
+  let rec go acc =
+    let tok = next_token t in
+    match tok.Token.tok with EOF -> List.rev (tok :: acc) | _ -> go (tok :: acc)
+  in
+  go []

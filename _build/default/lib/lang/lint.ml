@@ -1,0 +1,232 @@
+(** Static diagnostics for Scenic programs — the checks that need no
+    evaluation: scope tracking (use-before-definition, unused
+    bindings), statically-detectable specifier conflicts (the paper's
+    "property specified twice" raised before sampling), malformed soft
+    requirement probabilities, and a missing [ego].
+
+    [scenic check] runs the evaluator (which catches everything
+    dynamically); [scenic lint] runs only this pass, so it also works
+    on scenarios whose world model is not registered. *)
+
+type severity = Error | Warning
+
+type diagnostic = { severity : severity; message : string; loc : Loc.span }
+
+let diag severity loc fmt =
+  Format.kasprintf (fun message -> { severity; message; loc }) fmt
+
+(* Which properties each specifier form provides non-optionally —
+   mirrors the runtime table (core/specifier.ml) but is purely
+   syntactic, so [at X, offset by Y] is flagged without evaluating X. *)
+let specified_props (s : Ast.specifier) : string list =
+  match s.Ast.sp_desc with
+  | Ast.S_with (p, _) -> [ p ]
+  | S_at _ | S_offset_by _ | S_offset_along _ | S_left_of _ | S_right_of _
+  | S_ahead_of _ | S_behind _ | S_beyond _ | S_visible _ | S_in _ | S_on _
+  | S_following _ ->
+      [ "position" ]
+  | S_facing _ | S_facing_toward _ | S_facing_away _ | S_apparently_facing _ ->
+      [ "heading" ]
+
+type scope = {
+  mutable names : (string, Loc.span option ref) Hashtbl.t;
+      (** binding site → first-unused marker ([None] once read) *)
+  parent : scope option;
+}
+
+let new_scope ?parent () = { names = Hashtbl.create 16; parent }
+
+let rec lookup_scope scope name =
+  match Hashtbl.find_opt scope.names name with
+  | Some r -> Some r
+  | None -> ( match scope.parent with Some p -> lookup_scope p name | None -> None)
+
+(* names every program can rely on: builtins and the special [ego];
+   [extra] lets callers add world-model bindings *)
+let initial_names extra =
+  [
+    "Uniform"; "Discrete"; "Normal"; "resample"; "range"; "len"; "abs"; "min";
+    "max"; "sqrt"; "sin"; "cos"; "tan"; "round"; "floor"; "ceil"; "atan2";
+    "hypot"; "pow"; "str"; "Point"; "OrientedPoint"; "Object"; "self";
+  ]
+  @ extra
+
+let lint ?(extra_names = []) (prog : Ast.program) : diagnostic list =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let imported = ref false in
+  let ego_defined = ref false in
+  let global = new_scope () in
+  List.iter
+    (fun n -> Hashtbl.replace global.names n (ref None))
+    (initial_names extra_names);
+  let define scope name loc =
+    (match Hashtbl.find_opt scope.names name with
+    | Some { contents = Some first_loc } when name <> "_" ->
+        add
+          (diag Warning first_loc "variable '%s' is never used before being rebound"
+             name)
+    | _ -> ());
+    Hashtbl.replace scope.names name (ref (Some loc))
+  in
+  let use scope name loc =
+    match lookup_scope scope name with
+    | Some r -> r := None
+    | None ->
+        if not !imported then
+          add (diag Error loc "undefined name '%s'" name)
+        else if name.[0] < 'A' || name.[0] > 'Z' then
+          (* after an import we only warn, and only for lowercase
+             names: capitalized ones are likely world-model classes *)
+          add (diag Warning loc "name '%s' is not defined in this file" name)
+  in
+  let rec walk_expr scope (e : Ast.expr) =
+    let w = walk_expr scope in
+    match e.Ast.desc with
+    | Num _ | Str _ | Bool _ | None_lit -> ()
+    | Var n -> use scope n e.loc
+    | Attr (x, _) -> w x
+    | Call (f, args) ->
+        w f;
+        List.iter (function Ast.Pos_arg a | Kw_arg (_, a) -> w a) args
+    | Index (a, b) | Binop (_, a, b) | Vector (a, b) | Interval (a, b)
+    | Relative_to (a, b) | Offset_by (a, b) | Field_at (a, b) | Can_see (a, b)
+    | Is_in (a, b) | Is (a, b) | Visible_from_op (a, b) ->
+        w a;
+        w b
+    | List_lit es -> List.iter w es
+    | Dict_lit kvs -> List.iter (fun (k, v) -> w k; w v) kvs
+    | Unop (_, a) | Deg a | Visible_op a | Side_of (_, a) -> w a
+    | If_expr (a, b, c) | Offset_along (a, b, c) -> w a; w b; w c
+    | Distance_to (o, a) | Angle_to (o, a) -> Option.iter w o; w a
+    | Relative_heading (a, o) | Apparent_heading (a, o) -> w a; Option.iter w o
+    | Follow (a, o, b) -> w a; Option.iter w o; w b
+    | Instance (_, specs) ->
+        (* statically detectable double specifications *)
+        let seen = Hashtbl.create 4 in
+        List.iter
+          (fun (s : Ast.specifier) ->
+            List.iter
+              (fun p ->
+                if Hashtbl.mem seen p then
+                  add
+                    (diag Error s.sp_loc
+                       "property '%s' is specified twice in this construction" p)
+                else Hashtbl.add seen p ())
+              (specified_props s);
+            walk_spec scope s)
+          specs
+  and walk_spec scope (s : Ast.specifier) =
+    let w = walk_expr scope in
+    match s.Ast.sp_desc with
+    | S_with (_, e) | S_at e | S_offset_by e | S_facing e | S_facing_toward e
+    | S_facing_away e | S_in e | S_on e ->
+        w e
+    | S_offset_along (a, b) -> w a; w b
+    | S_left_of (a, o) | S_right_of (a, o) | S_ahead_of (a, o) | S_behind (a, o)
+    | S_apparently_facing (a, o) ->
+        w a;
+        Option.iter w o
+    | S_beyond (a, b, o) -> w a; w b; Option.iter w o
+    | S_visible o -> Option.iter w o
+    | S_following (a, o, b) -> w a; Option.iter w o; w b
+  in
+  let rec walk_stmt scope (s : Ast.stmt) =
+    match s.Ast.sdesc with
+    | Expr_stmt e -> walk_expr scope e
+    | Assign (n, e) ->
+        walk_expr scope e;
+        if n = "ego" then ego_defined := true;
+        define scope n s.sloc
+    | Attr_assign (o, _, e) -> walk_expr scope o; walk_expr scope e
+    | Param_stmt ps -> List.iter (fun (_, e) -> walk_expr scope e) ps
+    | Require e -> walk_expr scope e
+    | Require_p (p, e) ->
+        (match p.Ast.desc with
+        | Num v when v < 0. || v > 1. ->
+            add
+              (diag Error p.loc
+                 "soft requirement probability %g is outside [0, 1]" v)
+        | Num _ -> ()
+        | _ ->
+            add
+              (diag Warning p.loc
+                 "soft requirement probability should be a constant"));
+        walk_expr scope e
+    | Mutate (names, sc) ->
+        List.iter (fun n -> use scope n s.sloc) names;
+        Option.iter (walk_expr scope) sc
+    | Import _ -> imported := true
+    | Class_def { cname; superclass; props; methods } ->
+        Option.iter (fun sup -> use scope sup s.sloc) superclass;
+        define scope cname s.sloc;
+        (* the class name is usable; don't flag it as unused *)
+        (match Hashtbl.find_opt scope.names cname with
+        | Some r -> r := None
+        | None -> ());
+        let body = new_scope ~parent:scope () in
+        List.iter (fun (_, e) -> walk_expr body e) props;
+        List.iter
+          (fun (_, params, mbody) ->
+            let inner = new_scope ~parent:scope () in
+            Hashtbl.replace inner.names "self" (ref None);
+            List.iter
+              (fun (p : Ast.param) ->
+                Option.iter (walk_expr scope) p.pdefault;
+                Hashtbl.replace inner.names p.pname (ref None))
+              params;
+            List.iter (walk_stmt inner) mbody)
+          methods
+    | Func_def { fname; params; body } ->
+        define scope fname s.sloc;
+        (match Hashtbl.find_opt scope.names fname with
+        | Some r -> r := None
+        | None -> ());
+        let inner = new_scope ~parent:scope () in
+        List.iter
+          (fun (p : Ast.param) ->
+            Option.iter (walk_expr scope) p.pdefault;
+            Hashtbl.replace inner.names p.pname (ref None))
+          params;
+        List.iter (walk_stmt inner) body
+    | Return e -> Option.iter (walk_expr scope) e
+    | If (branches, els) ->
+        List.iter
+          (fun (c, b) ->
+            walk_expr scope c;
+            List.iter (walk_stmt scope) b)
+          branches;
+        List.iter (walk_stmt scope) els
+    | For (v, e, body) ->
+        walk_expr scope e;
+        Hashtbl.replace scope.names v (ref None);
+        List.iter (walk_stmt scope) body
+    | While (c, body) ->
+        walk_expr scope c;
+        List.iter (walk_stmt scope) body
+    | Pass | Break | Continue -> ()
+  in
+  List.iter (walk_stmt global) prog;
+  (* unused top-level bindings (excluding ego and params) *)
+  Hashtbl.iter
+    (fun name r ->
+      match !r with
+      | Some loc when name <> "ego" ->
+          add (diag Warning loc "variable '%s' is never used" name)
+      | _ -> ())
+    global.names;
+  if not !ego_defined then
+    add
+      (diag Error Loc.dummy
+         "the ego object is never defined (it is a syntax error to leave ego \
+          undefined)");
+  List.rev !diags
+
+let pp_diagnostic ppf d =
+  Fmt.pf ppf "%s: %s%s"
+    (match d.severity with Error -> "error" | Warning -> "warning")
+    d.message
+    (if d.loc == Loc.dummy then ""
+     else Fmt.str " at %a" Loc.pp d.loc)
+
+let has_errors diags = List.exists (fun d -> d.severity = Error) diags

@@ -1,0 +1,23 @@
+(** Source locations, for error reporting throughout the pipeline. *)
+
+type pos = { line : int; col : int }
+
+type span = { file : string; start : pos; stop : pos }
+
+let pos ~line ~col = { line; col }
+let span ~file ~start ~stop = { file; start; stop }
+let dummy = { file = "<none>"; start = { line = 0; col = 0 }; stop = { line = 0; col = 0 } }
+
+let merge a b =
+  if a == dummy then b
+  else if b == dummy then a
+  else { a with stop = b.stop }
+
+let pp ppf s =
+  if s.start.line = s.stop.line then
+    Fmt.pf ppf "%s:%d:%d-%d" s.file s.start.line s.start.col s.stop.col
+  else
+    Fmt.pf ppf "%s:%d:%d-%d:%d" s.file s.start.line s.start.col s.stop.line
+      s.stop.col
+
+let to_string s = Fmt.str "%a" pp s

@@ -1,0 +1,812 @@
+(** Recursive-descent / Pratt parser for Scenic.
+
+    Handles the language's two unusual syntactic features:
+
+    - {b multi-word operators} ("offset by", "relative to", "can see",
+      "apparent heading of … from …"), parsed by dispatching on keyword
+      sequences in the prefix/infix tables;
+    - {b specifiers} in object constructions ([Car left of spot by 0.5,
+      with model BUS]).  A capitalized identifier followed by a
+      specifier keyword begins a construction; the comma-separated
+      specifier list is parsed greedily.  Inside bracketed contexts
+      (call arguments, lists, dicts) specifier parsing is disabled, so
+      commas keep their usual meaning.
+
+    Keyword arguments such as [by], [from] and [for] never start an
+    infix operator, so sub-expressions of specifiers terminate at them
+    naturally. *)
+
+exception Error of string * Loc.span
+
+type t = {
+  toks : Token.located array;
+  mutable idx : int;
+  mutable allow_spec : bool;
+}
+
+let create toks = { toks = Array.of_list toks; idx = 0; allow_spec = true }
+
+let peek p = p.toks.(p.idx).Token.tok
+let peek_at p n =
+  if p.idx + n < Array.length p.toks then p.toks.(p.idx + n).Token.tok
+  else Token.EOF
+
+let cur_span p = p.toks.(p.idx).Token.span
+
+let prev_span p =
+  if p.idx > 0 then p.toks.(p.idx - 1).Token.span else cur_span p
+
+let error p msg = raise (Error (msg, cur_span p))
+
+let advance p =
+  let t = p.toks.(p.idx) in
+  if p.idx < Array.length p.toks - 1 then p.idx <- p.idx + 1;
+  t
+
+let expect p tok what =
+  if peek p = tok then ignore (advance p)
+  else
+    error p
+      (Printf.sprintf "expected %s but found '%s'" what
+         (Token.to_string (peek p)))
+
+let expect_kw p kw = expect p (Token.KW kw) (Printf.sprintf "'%s'" kw)
+
+let is_kw p kw = peek p = Token.KW kw
+
+let eat_kw p kw = if is_kw p kw then (ignore (advance p); true) else false
+
+let expect_ident p what =
+  match peek p with
+  | Token.IDENT s ->
+      ignore (advance p);
+      s
+  | _ -> error p (Printf.sprintf "expected %s" what)
+
+(* --- binding powers ------------------------------------------------ *)
+
+let bp_ternary = 2
+let bp_or = 4
+let bp_and = 6
+let bp_not = 8
+let bp_cmp = 10
+let bp_wordy = 14 (* relative to, offset by, at, visible from *)
+let bp_vector = 18 (* @ *)
+let bp_add = 20
+let bp_mul = 24
+let bp_unary = 28
+let bp_deg = 32
+let bp_postfix = 40 (* . ( [ *)
+
+(* Tokens that begin a specifier (used to detect constructions and to
+   continue specifier lists across commas). *)
+let starts_specifier = function
+  | Token.KW
+      ( "with" | "at" | "offset" | "left" | "right" | "ahead" | "behind"
+      | "beyond" | "visible" | "in" | "on" | "following" | "facing"
+      | "apparently" ) ->
+      true
+  | _ -> false
+
+(* Can this token begin an expression?  Used for optional operands. *)
+let starts_expr = function
+  | Token.NUMBER _ | Token.STRING _ | Token.IDENT _ | Token.LPAREN
+  | Token.LBRACKET | Token.LBRACE | Token.MINUS ->
+      true
+  | Token.KW
+      ( "True" | "False" | "None" | "not" | "visible" | "front" | "back"
+      | "left" | "right" | "distance" | "angle" | "relative" | "apparent"
+      | "follow" ) ->
+      true
+  | _ -> false
+
+let mk_expr desc loc : Ast.expr = { Ast.desc; loc }
+
+(* --- expressions ---------------------------------------------------- *)
+
+let rec parse_expr ?(min_bp = 0) p : Ast.expr =
+  let lhs = parse_prefix p in
+  parse_infix p lhs min_bp
+
+and parse_prefix p : Ast.expr =
+  let start = cur_span p in
+  match peek p with
+  | Token.NUMBER f ->
+      ignore (advance p);
+      mk_expr (Ast.Num f) start
+  | Token.STRING s ->
+      ignore (advance p);
+      mk_expr (Ast.Str s) start
+  | Token.KW "True" ->
+      ignore (advance p);
+      mk_expr (Ast.Bool true) start
+  | Token.KW "False" ->
+      ignore (advance p);
+      mk_expr (Ast.Bool false) start
+  | Token.KW "None" ->
+      ignore (advance p);
+      mk_expr Ast.None_lit start
+  | Token.MINUS ->
+      ignore (advance p);
+      let e = parse_expr ~min_bp:bp_unary p in
+      mk_expr (Ast.Unop (Ast.Neg, e)) (Loc.merge start e.loc)
+  | Token.KW "not" ->
+      ignore (advance p);
+      let e = parse_expr ~min_bp:bp_not p in
+      mk_expr (Ast.Unop (Ast.Not, e)) (Loc.merge start e.loc)
+  | Token.LPAREN ->
+      ignore (advance p);
+      let saved = p.allow_spec in
+      p.allow_spec <- false;
+      let e1 = parse_expr p in
+      let result =
+        if peek p = Token.COMMA then begin
+          ignore (advance p);
+          let e2 = parse_expr p in
+          expect p Token.RPAREN "')'";
+          mk_expr (Ast.Interval (e1, e2)) (Loc.merge start (prev_span p))
+        end
+        else begin
+          expect p Token.RPAREN "')'";
+          e1
+        end
+      in
+      p.allow_spec <- saved;
+      result
+  | Token.LBRACKET ->
+      ignore (advance p);
+      let saved = p.allow_spec in
+      p.allow_spec <- false;
+      let items = ref [] in
+      if peek p <> Token.RBRACKET then begin
+        items := [ parse_expr p ];
+        while peek p = Token.COMMA do
+          ignore (advance p);
+          if peek p <> Token.RBRACKET then items := parse_expr p :: !items
+        done
+      end;
+      expect p Token.RBRACKET "']'";
+      p.allow_spec <- saved;
+      mk_expr (Ast.List_lit (List.rev !items)) (Loc.merge start (prev_span p))
+  | Token.LBRACE ->
+      ignore (advance p);
+      let saved = p.allow_spec in
+      p.allow_spec <- false;
+      let items = ref [] in
+      if peek p <> Token.RBRACE then begin
+        let pair () =
+          let k = parse_expr p in
+          expect p Token.COLON "':'";
+          let v = parse_expr p in
+          (k, v)
+        in
+        items := [ pair () ];
+        while peek p = Token.COMMA do
+          ignore (advance p);
+          if peek p <> Token.RBRACE then items := pair () :: !items
+        done
+      end;
+      expect p Token.RBRACE "'}'";
+      p.allow_spec <- saved;
+      mk_expr (Ast.Dict_lit (List.rev !items)) (Loc.merge start (prev_span p))
+  | Token.KW "visible" ->
+      ignore (advance p);
+      let e = parse_expr ~min_bp:bp_wordy p in
+      mk_expr (Ast.Visible_op e) (Loc.merge start e.loc)
+  | Token.KW "follow" ->
+      ignore (advance p);
+      let f = parse_expr ~min_bp:bp_wordy p in
+      let from = if eat_kw p "from" then Some (parse_expr ~min_bp:bp_wordy p) else None in
+      expect_kw p "for";
+      let s = parse_expr ~min_bp:bp_wordy p in
+      mk_expr (Ast.Follow (f, from, s)) (Loc.merge start s.loc)
+  | Token.KW "distance" ->
+      ignore (advance p);
+      let from = if eat_kw p "from" then Some (parse_expr ~min_bp:bp_wordy p) else None in
+      expect_kw p "to";
+      let e = parse_expr ~min_bp:bp_wordy p in
+      mk_expr (Ast.Distance_to (from, e)) (Loc.merge start e.loc)
+  | Token.KW "angle" ->
+      ignore (advance p);
+      let from = if eat_kw p "from" then Some (parse_expr ~min_bp:bp_wordy p) else None in
+      expect_kw p "to";
+      let e = parse_expr ~min_bp:bp_wordy p in
+      mk_expr (Ast.Angle_to (from, e)) (Loc.merge start e.loc)
+  | Token.KW "relative" when peek_at p 1 = Token.KW "heading" ->
+      ignore (advance p);
+      ignore (advance p);
+      expect_kw p "of";
+      let h = parse_expr ~min_bp:bp_wordy p in
+      let from = if eat_kw p "from" then Some (parse_expr ~min_bp:bp_wordy p) else None in
+      mk_expr (Ast.Relative_heading (h, from)) (Loc.merge start (prev_span p))
+  | Token.KW "apparent" when peek_at p 1 = Token.KW "heading" ->
+      ignore (advance p);
+      ignore (advance p);
+      expect_kw p "of";
+      let op = parse_expr ~min_bp:bp_wordy p in
+      let from = if eat_kw p "from" then Some (parse_expr ~min_bp:bp_wordy p) else None in
+      mk_expr (Ast.Apparent_heading (op, from)) (Loc.merge start (prev_span p))
+  | Token.KW (("front" | "back" | "left" | "right") as w) ->
+      ignore (advance p);
+      let side =
+        match (w, peek p) with
+        | "front", Token.KW "left" ->
+            ignore (advance p);
+            Ast.Front_left
+        | "front", Token.KW "right" ->
+            ignore (advance p);
+            Ast.Front_right
+        | "back", Token.KW "left" ->
+            ignore (advance p);
+            Ast.Back_left
+        | "back", Token.KW "right" ->
+            ignore (advance p);
+            Ast.Back_right
+        | "front", _ -> Ast.Front
+        | "back", _ -> Ast.Back
+        | "left", _ -> Ast.Left_side
+        | "right", _ -> Ast.Right_side
+        | _ -> assert false
+      in
+      expect_kw p "of";
+      let e = parse_expr ~min_bp:bp_wordy p in
+      mk_expr (Ast.Side_of (side, e)) (Loc.merge start e.loc)
+  | Token.IDENT name ->
+      ignore (advance p);
+      let base = mk_expr (Ast.Var name) start in
+      let base = parse_postfix p base in
+      (* Constructor: capitalized name directly followed by a specifier. *)
+      let is_ctor_head =
+        (match base.Ast.desc with Ast.Var n -> n = name | _ -> false)
+        && String.length name > 0
+        && name.[0] >= 'A'
+        && name.[0] <= 'Z'
+      in
+      if p.allow_spec && is_ctor_head && starts_specifier (peek p) then begin
+        let specs = parse_specifiers p in
+        mk_expr (Ast.Instance (name, specs)) (Loc.merge start (prev_span p))
+      end
+      else base
+  | t -> error p (Printf.sprintf "unexpected token '%s'" (Token.to_string t))
+
+(* Attribute access, call, and indexing postfix chain. *)
+and parse_postfix p lhs =
+  match peek p with
+  | Token.DOT -> (
+      ignore (advance p);
+      match peek p with
+      (* property names may collide with soft keywords (heading,
+         visible, …) *)
+      | Token.IDENT a | Token.KW a ->
+          ignore (advance p);
+          parse_postfix p (mk_expr (Ast.Attr (lhs, a)) (Loc.merge lhs.Ast.loc (prev_span p)))
+      | _ -> error p "expected attribute name after '.'")
+  | Token.LPAREN ->
+      ignore (advance p);
+      let saved = p.allow_spec in
+      p.allow_spec <- false;
+      let args = ref [] in
+      if peek p <> Token.RPAREN then begin
+        let one () =
+          match (peek p, peek_at p 1) with
+          | Token.IDENT n, Token.ASSIGN ->
+              ignore (advance p);
+              ignore (advance p);
+              Ast.Kw_arg (n, parse_expr p)
+          | _ -> Ast.Pos_arg (parse_expr p)
+        in
+        args := [ one () ];
+        while peek p = Token.COMMA do
+          ignore (advance p);
+          if peek p <> Token.RPAREN then args := one () :: !args
+        done
+      end;
+      expect p Token.RPAREN "')'";
+      p.allow_spec <- saved;
+      parse_postfix p
+        (mk_expr (Ast.Call (lhs, List.rev !args)) (Loc.merge lhs.Ast.loc (prev_span p)))
+  | Token.LBRACKET ->
+      ignore (advance p);
+      let saved = p.allow_spec in
+      p.allow_spec <- false;
+      let idx = parse_expr p in
+      expect p Token.RBRACKET "']'";
+      p.allow_spec <- saved;
+      parse_postfix p
+        (mk_expr (Ast.Index (lhs, idx)) (Loc.merge lhs.Ast.loc (prev_span p)))
+  | _ -> lhs
+
+and parse_infix p lhs min_bp =
+  let binop op bp =
+    if bp < min_bp then None
+    else begin
+      ignore (advance p);
+      let rhs = parse_expr ~min_bp:(bp + 1) p in
+      Some (mk_expr (Ast.Binop (op, lhs, rhs)) (Loc.merge lhs.Ast.loc rhs.Ast.loc))
+    end
+  in
+  let step () =
+    match peek p with
+    | Token.PLUS -> binop Ast.Add bp_add
+    | Token.MINUS -> binop Ast.Sub bp_add
+    | Token.STAR -> binop Ast.Mul bp_mul
+    | Token.SLASH -> binop Ast.Div bp_mul
+    | Token.PERCENT -> binop Ast.Mod bp_mul
+    | Token.EQ -> binop Ast.Eq bp_cmp
+    | Token.NE -> binop Ast.Ne bp_cmp
+    | Token.LT -> binop Ast.Lt bp_cmp
+    | Token.GT -> binop Ast.Gt bp_cmp
+    | Token.LE -> binop Ast.Le bp_cmp
+    | Token.GE -> binop Ast.Ge bp_cmp
+    | Token.KW "and" -> binop Ast.And bp_and
+    | Token.KW "or" -> binop Ast.Or bp_or
+    | Token.AT_SIGN ->
+        if bp_vector < min_bp then None
+        else begin
+          ignore (advance p);
+          let rhs = parse_expr ~min_bp:(bp_vector + 1) p in
+          Some (mk_expr (Ast.Vector (lhs, rhs)) (Loc.merge lhs.Ast.loc rhs.Ast.loc))
+        end
+    | Token.KW "deg" ->
+        if bp_deg < min_bp then None
+        else begin
+          ignore (advance p);
+          Some (mk_expr (Ast.Deg lhs) (Loc.merge lhs.Ast.loc (prev_span p)))
+        end
+    | Token.KW "relative" when peek_at p 1 = Token.KW "to" ->
+        if bp_wordy < min_bp then None
+        else begin
+          ignore (advance p);
+          ignore (advance p);
+          let rhs = parse_expr ~min_bp:(bp_wordy + 1) p in
+          Some (mk_expr (Ast.Relative_to (lhs, rhs)) (Loc.merge lhs.Ast.loc rhs.Ast.loc))
+        end
+    | Token.KW "offset" when peek_at p 1 = Token.KW "by" ->
+        if bp_wordy < min_bp then None
+        else begin
+          ignore (advance p);
+          ignore (advance p);
+          let rhs = parse_expr ~min_bp:(bp_wordy + 1) p in
+          Some (mk_expr (Ast.Offset_by (lhs, rhs)) (Loc.merge lhs.Ast.loc rhs.Ast.loc))
+        end
+    | Token.KW "offset" when peek_at p 1 = Token.KW "along" ->
+        if bp_wordy < min_bp then None
+        else begin
+          ignore (advance p);
+          ignore (advance p);
+          let dir = parse_expr ~min_bp:(bp_wordy + 1) p in
+          expect_kw p "by";
+          let v = parse_expr ~min_bp:(bp_wordy + 1) p in
+          Some
+            (mk_expr (Ast.Offset_along (lhs, dir, v)) (Loc.merge lhs.Ast.loc v.Ast.loc))
+        end
+    | Token.KW "at" ->
+        if bp_wordy < min_bp then None
+        else begin
+          ignore (advance p);
+          let rhs = parse_expr ~min_bp:(bp_wordy + 1) p in
+          Some (mk_expr (Ast.Field_at (lhs, rhs)) (Loc.merge lhs.Ast.loc rhs.Ast.loc))
+        end
+    | Token.KW "visible" when peek_at p 1 = Token.KW "from" ->
+        if bp_wordy < min_bp then None
+        else begin
+          ignore (advance p);
+          ignore (advance p);
+          let rhs = parse_expr ~min_bp:(bp_wordy + 1) p in
+          Some
+            (mk_expr (Ast.Visible_from_op (lhs, rhs)) (Loc.merge lhs.Ast.loc rhs.Ast.loc))
+        end
+    | Token.KW "can" when peek_at p 1 = Token.KW "see" ->
+        if bp_cmp < min_bp then None
+        else begin
+          ignore (advance p);
+          ignore (advance p);
+          let rhs = parse_expr ~min_bp:(bp_cmp + 1) p in
+          Some (mk_expr (Ast.Can_see (lhs, rhs)) (Loc.merge lhs.Ast.loc rhs.Ast.loc))
+        end
+    | Token.KW "is" when peek_at p 1 = Token.KW "in" ->
+        if bp_cmp < min_bp then None
+        else begin
+          ignore (advance p);
+          ignore (advance p);
+          let rhs = parse_expr ~min_bp:(bp_cmp + 1) p in
+          Some (mk_expr (Ast.Is_in (lhs, rhs)) (Loc.merge lhs.Ast.loc rhs.Ast.loc))
+        end
+    | Token.KW "is" ->
+        if bp_cmp < min_bp then None
+        else begin
+          ignore (advance p);
+          let rhs = parse_expr ~min_bp:(bp_cmp + 1) p in
+          Some (mk_expr (Ast.Is (lhs, rhs)) (Loc.merge lhs.Ast.loc rhs.Ast.loc))
+        end
+    | Token.KW "if" ->
+        if bp_ternary < min_bp then None
+        else begin
+          ignore (advance p);
+          let cond = parse_expr ~min_bp:(bp_ternary + 1) p in
+          expect_kw p "else";
+          let alt = parse_expr ~min_bp:bp_ternary p in
+          Some (mk_expr (Ast.If_expr (cond, lhs, alt)) (Loc.merge lhs.Ast.loc alt.Ast.loc))
+        end
+    | _ -> None
+  in
+  match step () with Some lhs' -> parse_infix p lhs' min_bp | None -> lhs
+
+(* --- specifiers ----------------------------------------------------- *)
+
+and parse_specifiers p : Ast.specifier list =
+  let specs = ref [ parse_specifier p ] in
+  let continue_ = ref true in
+  while !continue_ do
+    if peek p = Token.COMMA && starts_specifier (peek_at p 1) then begin
+      ignore (advance p);
+      specs := parse_specifier p :: !specs
+    end
+    else continue_ := false
+  done;
+  List.rev !specs
+
+and parse_specifier p : Ast.specifier =
+  let start = cur_span p in
+  let mk sp_desc = { Ast.sp_desc; sp_loc = Loc.merge start (prev_span p) } in
+  let arg () = parse_expr ~min_bp:bp_ternary p in
+  let opt_by () = if eat_kw p "by" then Some (arg ()) else None in
+  match peek p with
+  | Token.KW "with" ->
+      ignore (advance p);
+      let prop =
+        match peek p with
+        | Token.IDENT n ->
+            ignore (advance p);
+            n
+        | Token.KW (("heading" | "visible") as n) ->
+            (* property names may collide with soft keywords *)
+            ignore (advance p);
+            n
+        | _ -> error p "expected property name after 'with'"
+      in
+      let e = arg () in
+      mk (Ast.S_with (prop, e))
+  | Token.KW "at" ->
+      ignore (advance p);
+      mk (Ast.S_at (arg ()))
+  | Token.KW "offset" -> (
+      ignore (advance p);
+      match peek p with
+      | Token.KW "by" ->
+          ignore (advance p);
+          mk (Ast.S_offset_by (arg ()))
+      | Token.KW "along" ->
+          ignore (advance p);
+          let d = arg () in
+          expect_kw p "by";
+          mk (Ast.S_offset_along (d, arg ()))
+      | _ -> error p "expected 'by' or 'along' after 'offset'")
+  | Token.KW "left" ->
+      ignore (advance p);
+      expect_kw p "of";
+      let e = arg () in
+      mk (Ast.S_left_of (e, opt_by ()))
+  | Token.KW "right" ->
+      ignore (advance p);
+      expect_kw p "of";
+      let e = arg () in
+      mk (Ast.S_right_of (e, opt_by ()))
+  | Token.KW "ahead" ->
+      ignore (advance p);
+      expect_kw p "of";
+      let e = arg () in
+      mk (Ast.S_ahead_of (e, opt_by ()))
+  | Token.KW "behind" ->
+      ignore (advance p);
+      let e = arg () in
+      mk (Ast.S_behind (e, opt_by ()))
+  | Token.KW "beyond" ->
+      ignore (advance p);
+      let a = arg () in
+      expect_kw p "by";
+      let b = arg () in
+      let from = if eat_kw p "from" then Some (arg ()) else None in
+      mk (Ast.S_beyond (a, b, from))
+  | Token.KW "visible" ->
+      ignore (advance p);
+      let from = if eat_kw p "from" then Some (arg ()) else None in
+      mk (Ast.S_visible from)
+  | Token.KW "in" ->
+      ignore (advance p);
+      mk (Ast.S_in (arg ()))
+  | Token.KW "on" ->
+      ignore (advance p);
+      mk (Ast.S_on (arg ()))
+  | Token.KW "following" ->
+      ignore (advance p);
+      let f = arg () in
+      let from = if eat_kw p "from" then Some (arg ()) else None in
+      expect_kw p "for";
+      mk (Ast.S_following (f, from, arg ()))
+  | Token.KW "facing" -> (
+      ignore (advance p);
+      match peek p with
+      | Token.KW "toward" ->
+          ignore (advance p);
+          mk (Ast.S_facing_toward (arg ()))
+      | Token.KW "away" ->
+          ignore (advance p);
+          expect_kw p "from";
+          mk (Ast.S_facing_away (arg ()))
+      | _ -> mk (Ast.S_facing (arg ())))
+  | Token.KW "apparently" ->
+      ignore (advance p);
+      expect_kw p "facing";
+      let h = arg () in
+      let from = if eat_kw p "from" then Some (arg ()) else None in
+      mk (Ast.S_apparently_facing (h, from))
+  | t -> error p (Printf.sprintf "expected a specifier, found '%s'" (Token.to_string t))
+
+(* --- statements ----------------------------------------------------- *)
+
+let rec parse_block p : Ast.stmt list =
+  expect p Token.COLON "':'";
+  if peek p = Token.NEWLINE then begin
+    ignore (advance p);
+    expect p Token.INDENT "an indented block";
+    let stmts = ref [] in
+    while peek p <> Token.DEDENT && peek p <> Token.EOF do
+      match peek p with
+      | Token.NEWLINE -> ignore (advance p)
+      | _ -> stmts := parse_stmt p :: !stmts
+    done;
+    expect p Token.DEDENT "end of block";
+    List.rev !stmts
+  end
+  else
+    (* simple one-line suite *)
+    [ parse_stmt p ]
+
+and end_stmt p =
+  match peek p with
+  | Token.NEWLINE -> ignore (advance p)
+  | Token.EOF | Token.DEDENT -> ()
+  | t -> error p (Printf.sprintf "expected end of statement, found '%s'" (Token.to_string t))
+
+and parse_stmt p : Ast.stmt =
+  let start = cur_span p in
+  let mk sdesc = { Ast.sdesc; sloc = Loc.merge start (prev_span p) } in
+  match peek p with
+  | Token.KW "import" ->
+      ignore (advance p);
+      let name = expect_ident p "module name" in
+      end_stmt p;
+      mk (Ast.Import name)
+  | Token.KW "param" ->
+      ignore (advance p);
+      let one () =
+        let n =
+          match peek p with
+          | Token.IDENT n ->
+              ignore (advance p);
+              n
+          | _ -> error p "expected parameter name"
+        in
+        expect p Token.ASSIGN "'='";
+        (n, parse_expr p)
+      in
+      let ps = ref [ one () ] in
+      while peek p = Token.COMMA do
+        ignore (advance p);
+        ps := one () :: !ps
+      done;
+      end_stmt p;
+      mk (Ast.Param_stmt (List.rev !ps))
+  | Token.KW "require" ->
+      ignore (advance p);
+      if peek p = Token.LBRACKET then begin
+        ignore (advance p);
+        let prob = parse_expr p in
+        expect p Token.RBRACKET "']'";
+        let cond = parse_expr p in
+        end_stmt p;
+        mk (Ast.Require_p (prob, cond))
+      end
+      else begin
+        let cond = parse_expr p in
+        end_stmt p;
+        mk (Ast.Require cond)
+      end
+  | Token.KW "mutate" ->
+      ignore (advance p);
+      let names = ref [] in
+      (match peek p with
+      | Token.IDENT n ->
+          ignore (advance p);
+          names := [ n ];
+          while peek p = Token.COMMA do
+            ignore (advance p);
+            names := expect_ident p "object name" :: !names
+          done
+      | _ -> ());
+      let scale = if eat_kw p "by" then Some (parse_expr p) else None in
+      end_stmt p;
+      mk (Ast.Mutate (List.rev !names, scale))
+  | Token.KW "class" ->
+      ignore (advance p);
+      let cname = expect_ident p "class name" in
+      let superclass =
+        if peek p = Token.LPAREN then begin
+          ignore (advance p);
+          let s = expect_ident p "superclass name" in
+          expect p Token.RPAREN "')'";
+          Some s
+        end
+        else None
+      in
+      expect p Token.COLON "':'";
+      expect p Token.NEWLINE "newline";
+      expect p Token.INDENT "an indented class body";
+      let props = ref [] and methods = ref [] in
+      while peek p <> Token.DEDENT && peek p <> Token.EOF do
+        match peek p with
+        | Token.NEWLINE -> ignore (advance p)
+        | Token.KW "pass" ->
+            ignore (advance p);
+            end_stmt p
+        | Token.KW "def" -> (
+            (* a method: parsed like a function definition *)
+            match (parse_stmt p).Ast.sdesc with
+            | Ast.Func_def { fname; params; body } ->
+                methods := (fname, params, body) :: !methods
+            | _ -> assert false)
+        | Token.IDENT n ->
+            ignore (advance p);
+            expect p Token.COLON "':'";
+            let e = parse_expr p in
+            end_stmt p;
+            props := (n, e) :: !props
+        | Token.KW (("heading" | "visible") as n) ->
+            ignore (advance p);
+            expect p Token.COLON "':'";
+            let e = parse_expr p in
+            end_stmt p;
+            props := (n, e) :: !props
+        | t ->
+            error p
+              (Printf.sprintf "expected a property definition, found '%s'"
+                 (Token.to_string t))
+      done;
+      expect p Token.DEDENT "end of class body";
+      mk
+        (Ast.Class_def
+           {
+             cname;
+             superclass;
+             props = List.rev !props;
+             methods = List.rev !methods;
+           })
+  | Token.KW "def" ->
+      ignore (advance p);
+      let fname = expect_ident p "function name" in
+      expect p Token.LPAREN "'('";
+      let params = ref [] in
+      if peek p <> Token.RPAREN then begin
+        let one () =
+          let n = expect_ident p "parameter name" in
+          let d =
+            if peek p = Token.ASSIGN then begin
+              ignore (advance p);
+              let saved = p.allow_spec in
+              p.allow_spec <- false;
+              let e = parse_expr p in
+              p.allow_spec <- saved;
+              Some e
+            end
+            else None
+          in
+          { Ast.pname = n; pdefault = d }
+        in
+        params := [ one () ];
+        while peek p = Token.COMMA do
+          ignore (advance p);
+          params := one () :: !params
+        done
+      end;
+      expect p Token.RPAREN "')'";
+      let body = parse_block p in
+      mk (Ast.Func_def { fname; params = List.rev !params; body })
+  | Token.KW "return" ->
+      ignore (advance p);
+      let e =
+        match peek p with
+        | Token.NEWLINE | Token.EOF | Token.DEDENT -> None
+        | _ -> Some (parse_expr p)
+      in
+      end_stmt p;
+      mk (Ast.Return e)
+  | Token.KW "pass" ->
+      ignore (advance p);
+      end_stmt p;
+      mk Ast.Pass
+  | Token.KW "break" ->
+      ignore (advance p);
+      end_stmt p;
+      mk Ast.Break
+  | Token.KW "continue" ->
+      ignore (advance p);
+      end_stmt p;
+      mk Ast.Continue
+  | Token.KW "if" ->
+      ignore (advance p);
+      let cond = parse_expr p in
+      let body = parse_block p in
+      let branches = ref [ (cond, body) ] in
+      let else_body = ref [] in
+      let rec elifs () =
+        (* Skip blank lines between branches. *)
+        if is_kw p "elif" then begin
+          ignore (advance p);
+          let c = parse_expr p in
+          let b = parse_block p in
+          branches := (c, b) :: !branches;
+          elifs ()
+        end
+        else if is_kw p "else" then begin
+          ignore (advance p);
+          else_body := parse_block p
+        end
+      in
+      elifs ();
+      mk (Ast.If (List.rev !branches, !else_body))
+  | Token.KW "for" ->
+      ignore (advance p);
+      let v = expect_ident p "loop variable" in
+      expect_kw p "in";
+      let e = parse_expr p in
+      let body = parse_block p in
+      mk (Ast.For (v, e, body))
+  | Token.KW "while" ->
+      ignore (advance p);
+      let cond = parse_expr p in
+      let body = parse_block p in
+      mk (Ast.While (cond, body))
+  | _ -> (
+      (* expression statement or assignment *)
+      let e = parse_expr p in
+      match (peek p, e.Ast.desc) with
+      | Token.ASSIGN, Ast.Var n ->
+          ignore (advance p);
+          let rhs = parse_expr p in
+          end_stmt p;
+          mk (Ast.Assign (n, rhs))
+      | Token.ASSIGN, Ast.Attr (obj, a) ->
+          ignore (advance p);
+          let rhs = parse_expr p in
+          end_stmt p;
+          mk (Ast.Attr_assign (obj, a, rhs))
+      | Token.ASSIGN, _ -> error p "invalid assignment target"
+      | _ ->
+          end_stmt p;
+          mk (Ast.Expr_stmt e))
+
+let parse_program p : Ast.program =
+  let stmts = ref [] in
+  while peek p <> Token.EOF do
+    match peek p with
+    | Token.NEWLINE -> ignore (advance p)
+    | _ -> stmts := parse_stmt p :: !stmts
+  done;
+  List.rev !stmts
+
+(** Parse a full Scenic program from source text. *)
+let parse ?file src =
+  let toks = Lexer.tokenize ?file src in
+  let p = create toks in
+  parse_program p
+
+(** Parse a single expression (for tests and the REPL-ish CLI). *)
+let parse_expression ?file src =
+  let toks = Lexer.tokenize ?file src in
+  let p = create toks in
+  let e = parse_expr p in
+  (match peek p with
+  | Token.NEWLINE | Token.EOF -> ()
+  | t -> error p (Printf.sprintf "trailing token '%s'" (Token.to_string t)));
+  e

@@ -1,0 +1,168 @@
+(** Pretty-printer for Scenic ASTs.
+
+    Produces a canonical, fully-parenthesised rendering used by golden
+    parser tests (parse → print → parse must be stable) and by error
+    messages. *)
+
+open Ast
+
+let rec pp_expr ppf e =
+  match e.desc with
+  | Num f -> Fmt.pf ppf "%g" f
+  | Str s -> Fmt.pf ppf "%S" s
+  | Bool true -> Fmt.string ppf "True"
+  | Bool false -> Fmt.string ppf "False"
+  | None_lit -> Fmt.string ppf "None"
+  | Var n -> Fmt.string ppf n
+  | Attr (e, a) -> Fmt.pf ppf "%a.%s" pp_expr e a
+  | Call (f, args) -> Fmt.pf ppf "%a(%a)" pp_expr f (Fmt.list ~sep:(Fmt.any ", ") pp_arg) args
+  | Index (e, i) -> Fmt.pf ppf "%a[%a]" pp_expr e pp_expr i
+  | List_lit es -> Fmt.pf ppf "[%a]" (Fmt.list ~sep:(Fmt.any ", ") pp_expr) es
+  | Dict_lit kvs ->
+      Fmt.pf ppf "{%a}"
+        (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (k, v) ->
+             Fmt.pf ppf "%a: %a" pp_expr k pp_expr v))
+        kvs
+  | Interval (a, b) -> Fmt.pf ppf "(%a, %a)" pp_expr a pp_expr b
+  | Binop (op, a, b) ->
+      Fmt.pf ppf "(%a %s %a)" pp_expr a (binop_to_string op) pp_expr b
+  | Unop (Neg, a) -> Fmt.pf ppf "(-%a)" pp_expr a
+  | Unop (Not, a) -> Fmt.pf ppf "(not %a)" pp_expr a
+  | If_expr (c, t, f) -> Fmt.pf ppf "(%a if %a else %a)" pp_expr t pp_expr c pp_expr f
+  | Vector (a, b) -> Fmt.pf ppf "(%a @@ %a)" pp_expr a pp_expr b
+  | Deg a -> Fmt.pf ppf "(%a deg)" pp_expr a
+  | Instance (cls, specs) ->
+      Fmt.pf ppf "%s %a" cls (Fmt.list ~sep:(Fmt.any ", ") pp_spec) specs
+  | Relative_to (a, b) -> Fmt.pf ppf "(%a relative to %a)" pp_expr a pp_expr b
+  | Offset_by (a, b) -> Fmt.pf ppf "(%a offset by %a)" pp_expr a pp_expr b
+  | Offset_along (a, d, v) ->
+      Fmt.pf ppf "(%a offset along %a by %a)" pp_expr a pp_expr d pp_expr v
+  | Field_at (f, v) -> Fmt.pf ppf "(%a at %a)" pp_expr f pp_expr v
+  | Can_see (a, b) -> Fmt.pf ppf "(%a can see %a)" pp_expr a pp_expr b
+  | Is_in (a, b) -> Fmt.pf ppf "(%a is in %a)" pp_expr a pp_expr b
+  | Is (a, b) -> Fmt.pf ppf "(%a is %a)" pp_expr a pp_expr b
+  | Distance_to (None, b) -> Fmt.pf ppf "(distance to %a)" pp_expr b
+  | Distance_to (Some a, b) ->
+      Fmt.pf ppf "(distance from %a to %a)" pp_expr a pp_expr b
+  | Angle_to (None, b) -> Fmt.pf ppf "(angle to %a)" pp_expr b
+  | Angle_to (Some a, b) -> Fmt.pf ppf "(angle from %a to %a)" pp_expr a pp_expr b
+  | Relative_heading (h, None) -> Fmt.pf ppf "(relative heading of %a)" pp_expr h
+  | Relative_heading (h, Some f) ->
+      Fmt.pf ppf "(relative heading of %a from %a)" pp_expr h pp_expr f
+  | Apparent_heading (h, None) -> Fmt.pf ppf "(apparent heading of %a)" pp_expr h
+  | Apparent_heading (h, Some f) ->
+      Fmt.pf ppf "(apparent heading of %a from %a)" pp_expr h pp_expr f
+  | Follow (f, None, s) -> Fmt.pf ppf "(follow %a for %a)" pp_expr f pp_expr s
+  | Follow (f, Some v, s) ->
+      Fmt.pf ppf "(follow %a from %a for %a)" pp_expr f pp_expr v pp_expr s
+  | Visible_op r -> Fmt.pf ppf "(visible %a)" pp_expr r
+  | Visible_from_op (r, p) -> Fmt.pf ppf "(%a visible from %a)" pp_expr r pp_expr p
+  | Side_of (s, o) -> Fmt.pf ppf "(%s of %a)" (side_to_string s) pp_expr o
+
+and pp_arg ppf = function
+  | Pos_arg e -> pp_expr ppf e
+  | Kw_arg (n, e) -> Fmt.pf ppf "%s=%a" n pp_expr e
+
+and pp_spec ppf s =
+  match s.sp_desc with
+  | S_with (p, e) -> Fmt.pf ppf "with %s %a" p pp_expr e
+  | S_at e -> Fmt.pf ppf "at %a" pp_expr e
+  | S_offset_by e -> Fmt.pf ppf "offset by %a" pp_expr e
+  | S_offset_along (d, v) -> Fmt.pf ppf "offset along %a by %a" pp_expr d pp_expr v
+  | S_left_of (e, None) -> Fmt.pf ppf "left of %a" pp_expr e
+  | S_left_of (e, Some b) -> Fmt.pf ppf "left of %a by %a" pp_expr e pp_expr b
+  | S_right_of (e, None) -> Fmt.pf ppf "right of %a" pp_expr e
+  | S_right_of (e, Some b) -> Fmt.pf ppf "right of %a by %a" pp_expr e pp_expr b
+  | S_ahead_of (e, None) -> Fmt.pf ppf "ahead of %a" pp_expr e
+  | S_ahead_of (e, Some b) -> Fmt.pf ppf "ahead of %a by %a" pp_expr e pp_expr b
+  | S_behind (e, None) -> Fmt.pf ppf "behind %a" pp_expr e
+  | S_behind (e, Some b) -> Fmt.pf ppf "behind %a by %a" pp_expr e pp_expr b
+  | S_beyond (a, b, None) -> Fmt.pf ppf "beyond %a by %a" pp_expr a pp_expr b
+  | S_beyond (a, b, Some f) ->
+      Fmt.pf ppf "beyond %a by %a from %a" pp_expr a pp_expr b pp_expr f
+  | S_visible None -> Fmt.string ppf "visible"
+  | S_visible (Some f) -> Fmt.pf ppf "visible from %a" pp_expr f
+  | S_in e -> Fmt.pf ppf "in %a" pp_expr e
+  | S_on e -> Fmt.pf ppf "on %a" pp_expr e
+  | S_following (f, None, s) -> Fmt.pf ppf "following %a for %a" pp_expr f pp_expr s
+  | S_following (f, Some v, s) ->
+      Fmt.pf ppf "following %a from %a for %a" pp_expr f pp_expr v pp_expr s
+  | S_facing e -> Fmt.pf ppf "facing %a" pp_expr e
+  | S_facing_toward e -> Fmt.pf ppf "facing toward %a" pp_expr e
+  | S_facing_away e -> Fmt.pf ppf "facing away from %a" pp_expr e
+  | S_apparently_facing (h, None) -> Fmt.pf ppf "apparently facing %a" pp_expr h
+  | S_apparently_facing (h, Some f) ->
+      Fmt.pf ppf "apparently facing %a from %a" pp_expr h pp_expr f
+
+let rec pp_stmt ?(indent = 0) ppf s =
+  let pad = String.make (indent * 4) ' ' in
+  let block ppf stmts =
+    List.iter (fun s -> Fmt.pf ppf "%a" (pp_stmt ~indent:(indent + 1)) s) stmts
+  in
+  match s.sdesc with
+  | Expr_stmt e -> Fmt.pf ppf "%s%a@." pad pp_expr e
+  | Assign (n, e) -> Fmt.pf ppf "%s%s = %a@." pad n pp_expr e
+  | Attr_assign (o, a, e) -> Fmt.pf ppf "%s%a.%s = %a@." pad pp_expr o a pp_expr e
+  | Param_stmt ps ->
+      Fmt.pf ppf "%sparam %a@." pad
+        (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (n, e) -> Fmt.pf ppf "%s = %a" n pp_expr e))
+        ps
+  | Require e -> Fmt.pf ppf "%srequire %a@." pad pp_expr e
+  | Require_p (prob, e) -> Fmt.pf ppf "%srequire[%a] %a@." pad pp_expr prob pp_expr e
+  | Mutate ([], None) -> Fmt.pf ppf "%smutate@." pad
+  | Mutate (ns, None) ->
+      Fmt.pf ppf "%smutate %a@." pad (Fmt.list ~sep:(Fmt.any ", ") Fmt.string) ns
+  | Mutate (ns, Some e) ->
+      Fmt.pf ppf "%smutate %a by %a@." pad
+        (Fmt.list ~sep:(Fmt.any ", ") Fmt.string)
+        ns pp_expr e
+  | Import m -> Fmt.pf ppf "%simport %s@." pad m
+  | Class_def { cname; superclass; props; methods } ->
+      Fmt.pf ppf "%sclass %s%a:@." pad cname
+        (Fmt.option (fun ppf s -> Fmt.pf ppf "(%s)" s))
+        superclass;
+      if props = [] && methods = [] then Fmt.pf ppf "%s    pass@." pad
+      else begin
+        List.iter
+          (fun (n, e) -> Fmt.pf ppf "%s    %s: %a@." pad n pp_expr e)
+          props;
+        List.iter
+          (fun (fname, params, body) ->
+            pp_stmt ~indent:(indent + 1) ppf
+              { sdesc = Func_def { fname; params; body }; sloc = Loc.dummy })
+          methods
+      end
+  | Func_def { fname; params; body } ->
+      Fmt.pf ppf "%sdef %s(%a):@." pad fname
+        (Fmt.list ~sep:(Fmt.any ", ") (fun ppf p ->
+             match p.pdefault with
+             | None -> Fmt.string ppf p.pname
+             | Some d -> Fmt.pf ppf "%s=%a" p.pname pp_expr d))
+        params;
+      block ppf body
+  | Return None -> Fmt.pf ppf "%sreturn@." pad
+  | Return (Some e) -> Fmt.pf ppf "%sreturn %a@." pad pp_expr e
+  | If (branches, els) ->
+      List.iteri
+        (fun i (c, b) ->
+          Fmt.pf ppf "%s%s %a:@." pad (if i = 0 then "if" else "elif") pp_expr c;
+          block ppf b)
+        branches;
+      if els <> [] then begin
+        Fmt.pf ppf "%selse:@." pad;
+        block ppf els
+      end
+  | For (v, e, body) ->
+      Fmt.pf ppf "%sfor %s in %a:@." pad v pp_expr e;
+      block ppf body
+  | While (c, body) ->
+      Fmt.pf ppf "%swhile %a:@." pad pp_expr c;
+      block ppf body
+  | Pass -> Fmt.pf ppf "%spass@." pad
+  | Break -> Fmt.pf ppf "%sbreak@." pad
+  | Continue -> Fmt.pf ppf "%scontinue@." pad
+
+let pp_program ppf prog = List.iter (pp_stmt ppf) prog
+
+let expr_to_string e = Fmt.str "%a" pp_expr e
+let program_to_string prog = Fmt.str "%a" pp_program prog

@@ -1,0 +1,97 @@
+(** Tokens of the Scenic language.
+
+    Scenic's wordy geometric operators ("offset by", "relative to",
+    "can see", …) are lexed as sequences of individual keyword tokens;
+    the parser recognises the multi-word forms.  Layout is significant:
+    the lexer emits [NEWLINE], [INDENT] and [DEDENT] like a Python
+    lexer. *)
+
+type t =
+  | NUMBER of float
+  | STRING of string
+  | IDENT of string
+  (* layout *)
+  | NEWLINE
+  | INDENT
+  | DEDENT
+  | EOF
+  (* punctuation *)
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | COLON
+  | DOT
+  | ASSIGN (* = *)
+  | AT_SIGN (* @, the vector constructor *)
+  (* arithmetic / comparison *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EQ (* == *)
+  | NE
+  | LT
+  | GT
+  | LE
+  | GE
+  (* keywords *)
+  | KW of string
+
+(* Soft keywords: identifiers reserved because they begin or continue
+   Scenic's specifiers and operators. *)
+let keywords =
+  [
+    "True"; "False"; "None"; "and"; "or"; "not"; "if"; "elif"; "else"; "for";
+    "while"; "in"; "is"; "def"; "return"; "class"; "import"; "param";
+    "require"; "mutate"; "pass"; "break"; "continue";
+    (* specifier / operator words *)
+    "at"; "offset"; "by"; "along"; "left"; "right"; "ahead"; "behind";
+    "beyond"; "visible"; "from"; "following"; "facing"; "apparently";
+    "toward"; "away"; "with"; "relative"; "to"; "deg"; "can"; "see";
+    "distance"; "angle"; "heading"; "apparent"; "follow"; "of"; "on";
+    "front"; "back";
+  ]
+
+let is_keyword s = List.mem s keywords
+
+let pp ppf = function
+  | NUMBER f -> Fmt.pf ppf "NUMBER(%g)" f
+  | STRING s -> Fmt.pf ppf "STRING(%S)" s
+  | IDENT s -> Fmt.pf ppf "IDENT(%s)" s
+  | NEWLINE -> Fmt.string ppf "NEWLINE"
+  | INDENT -> Fmt.string ppf "INDENT"
+  | DEDENT -> Fmt.string ppf "DEDENT"
+  | EOF -> Fmt.string ppf "EOF"
+  | LPAREN -> Fmt.string ppf "("
+  | RPAREN -> Fmt.string ppf ")"
+  | LBRACKET -> Fmt.string ppf "["
+  | RBRACKET -> Fmt.string ppf "]"
+  | LBRACE -> Fmt.string ppf "{"
+  | RBRACE -> Fmt.string ppf "}"
+  | COMMA -> Fmt.string ppf ","
+  | COLON -> Fmt.string ppf ":"
+  | DOT -> Fmt.string ppf "."
+  | ASSIGN -> Fmt.string ppf "="
+  | AT_SIGN -> Fmt.string ppf "@"
+  | PLUS -> Fmt.string ppf "+"
+  | MINUS -> Fmt.string ppf "-"
+  | STAR -> Fmt.string ppf "*"
+  | SLASH -> Fmt.string ppf "/"
+  | PERCENT -> Fmt.string ppf "%"
+  | EQ -> Fmt.string ppf "=="
+  | NE -> Fmt.string ppf "!="
+  | LT -> Fmt.string ppf "<"
+  | GT -> Fmt.string ppf ">"
+  | LE -> Fmt.string ppf "<="
+  | GE -> Fmt.string ppf ">="
+  | KW s -> Fmt.pf ppf "kw:%s" s
+
+let to_string t = Fmt.str "%a" pp t
+
+(** A located token. *)
+type located = { tok : t; span : Loc.span }

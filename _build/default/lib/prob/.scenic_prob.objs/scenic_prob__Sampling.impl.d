@@ -1,0 +1,1 @@
+lib/prob/sampling.ml: Array Float List Obj Rng

@@ -1,0 +1,91 @@
+(** The base probability distributions of Table 1, plus the Gaussian
+    used by [mutate] (App. B.3).
+
+    These are the *primitive* distributions; the random-variable DAG
+    built by the evaluator ({!Scenic_core.Rnode}) composes them with
+    deterministic operators. *)
+
+type t =
+  | Uniform_interval of float * float  (** [(low, high)] *)
+  | Uniform_choice of int  (** uniform index over [n] values *)
+  | Discrete of float array  (** weights, unnormalized *)
+  | Normal of float * float  (** mean, std dev *)
+  | Truncated_normal of { mean : float; std : float; low : float; high : float }
+
+let uniform ~low ~high = Uniform_interval (low, high)
+let choice n =
+  if n <= 0 then invalid_arg "Distribution.choice: empty support";
+  Uniform_choice n
+
+let discrete weights =
+  if Array.length weights = 0 then invalid_arg "Distribution.discrete: empty";
+  if Array.exists (fun w -> w < 0.) weights then
+    invalid_arg "Distribution.discrete: negative weight";
+  if Array.fold_left ( +. ) 0. weights <= 0. then
+    invalid_arg "Distribution.discrete: zero total weight";
+  Discrete weights
+
+let normal ~mean ~std =
+  if std < 0. then invalid_arg "Distribution.normal: negative std";
+  Normal (mean, std)
+
+let truncated_normal ~mean ~std ~low ~high =
+  if low > high then invalid_arg "Distribution.truncated_normal: low > high";
+  Truncated_normal { mean; std; low; high }
+
+let sample_normal rng ~mean ~std =
+  (* Box–Muller. *)
+  let u1 = 1. -. Rng.float rng (* avoid log 0 *) in
+  let u2 = Rng.float rng in
+  let z = sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2) in
+  mean +. (std *. z)
+
+(** Sample; the result is a float, interpreted by the caller (index
+    for [Uniform_choice]/[Discrete]). *)
+let sample t rng =
+  match t with
+  | Uniform_interval (low, high) -> low +. (Rng.float rng *. (high -. low))
+  | Uniform_choice n -> float_of_int (Rng.int rng n)
+  | Discrete weights ->
+      let total = Array.fold_left ( +. ) 0. weights in
+      let r = Rng.float rng *. total in
+      let acc = ref 0. and idx = ref (Array.length weights - 1) in
+      (try
+         Array.iteri
+           (fun i w ->
+             acc := !acc +. w;
+             if r < !acc then begin
+               idx := i;
+               raise Exit
+             end)
+           weights
+       with Exit -> ());
+      float_of_int !idx
+  | Normal (mean, std) -> sample_normal rng ~mean ~std
+  | Truncated_normal { mean; std; low; high } ->
+      let rec go n =
+        if n = 0 then Float.max low (Float.min high mean)
+        else
+          let x = sample_normal rng ~mean ~std in
+          if x >= low && x <= high then x else go (n - 1)
+      in
+      go 1000
+
+let mean = function
+  | Uniform_interval (low, high) -> (low +. high) /. 2.
+  | Uniform_choice n -> float_of_int (n - 1) /. 2.
+  | Discrete weights ->
+      let total = Array.fold_left ( +. ) 0. weights in
+      let acc = ref 0. in
+      Array.iteri (fun i w -> acc := !acc +. (float_of_int i *. w)) weights;
+      !acc /. total
+  | Normal (mean, _) -> mean
+  | Truncated_normal { mean; _ } -> mean (* approximation for diagnostics *)
+
+let pp ppf = function
+  | Uniform_interval (l, h) -> Fmt.pf ppf "(%g, %g)" l h
+  | Uniform_choice n -> Fmt.pf ppf "Uniform<%d>" n
+  | Discrete w -> Fmt.pf ppf "Discrete<%d>" (Array.length w)
+  | Normal (m, s) -> Fmt.pf ppf "Normal(%g, %g)" m s
+  | Truncated_normal { mean; std; low; high } ->
+      Fmt.pf ppf "TruncNormal(%g, %g, [%g,%g])" mean std low high

@@ -1,0 +1,65 @@
+(** Deterministic pseudo-random number generation.
+
+    A PCG32 generator seeded through splitmix64, so that every sampler
+    run is reproducible from a single integer seed and independent
+    streams can be split off (one per experiment, per training run,
+    etc.) without correlation. *)
+
+type t = { mutable state : int64; inc : int64 }
+
+let mult = 6364136223846793005L
+
+let splitmix64 seed =
+  let z = Int64.add seed 0x9E3779B97F4A7C15L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ?(stream = 54) seed =
+  let state0 = splitmix64 (Int64.of_int seed) in
+  let inc = Int64.logor (Int64.shift_left (Int64.of_int stream) 1) 1L in
+  let t = { state = 0L; inc } in
+  t.state <- Int64.add (Int64.mul (Int64.add 0L t.inc) mult) state0;
+  t
+
+let next_uint32 t =
+  let old = t.state in
+  t.state <- Int64.add (Int64.mul old mult) t.inc;
+  let xorshifted =
+    Int64.to_int
+      (Int64.logand
+         (Int64.shift_right_logical (Int64.logxor (Int64.shift_right_logical old 18) old) 27)
+         0xFFFFFFFFL)
+  in
+  let rot = Int64.to_int (Int64.shift_right_logical old 59) in
+  let x = xorshifted land 0xFFFFFFFF in
+  ((x lsr rot) lor (x lsl ((-rot) land 31))) land 0xFFFFFFFF
+
+(** Uniform float in [[0, 1)]. *)
+let float t =
+  let hi = next_uint32 t in
+  let lo = next_uint32 t in
+  let bits53 = ((hi land 0x1FFFFF) * 0x100000000) lor lo in
+  float_of_int bits53 /. 9007199254740992. (* 2^53 *)
+
+(** Uniform int in [[0, bound)]. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: non-positive bound";
+  (* Rejection to avoid modulo bias. *)
+  let limit = 0xFFFFFFFF - (0x100000000 mod bound) in
+  let rec go () =
+    let x = next_uint32 t in
+    if x <= limit then x mod bound else go ()
+  in
+  go ()
+
+let bool t = next_uint32 t land 1 = 1
+
+(** Split an independent child generator; deterministic given the
+    parent state. *)
+let split t =
+  let seed = Int64.to_int (splitmix64 t.state) in
+  let stream = (next_uint32 t land 0x7FFF) + 1 in
+  create ~stream seed
+
+let copy t = { state = t.state; inc = t.inc }

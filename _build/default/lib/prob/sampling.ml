@@ -1,0 +1,49 @@
+(** Small sampling utilities shared by the dataset pipelines
+    (shuffling training sets, drawing replacement subsets for the
+    mixture experiments of Secs. 6.3–6.4). *)
+
+(** In-place Fisher–Yates shuffle. *)
+let shuffle_in_place rng arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let shuffle rng lst =
+  let arr = Array.of_list lst in
+  shuffle_in_place rng arr;
+  Array.to_list arr
+
+(** Choose [k] distinct elements uniformly (reservoir sampling). *)
+let choose rng k lst =
+  if k < 0 then invalid_arg "Sampling.choose: negative k";
+  let reservoir = Array.make (min k (List.length lst)) (Obj.magic 0) in
+  List.iteri
+    (fun i x ->
+      if i < Array.length reservoir then reservoir.(i) <- x
+      else
+        let j = Rng.int rng (i + 1) in
+        if j < Array.length reservoir then reservoir.(j) <- x)
+    lst;
+  Array.to_list reservoir
+
+let pick rng lst =
+  match lst with
+  | [] -> invalid_arg "Sampling.pick: empty"
+  | _ -> List.nth lst (Rng.int rng (List.length lst))
+
+(** Replace a uniformly-chosen fraction of [base] with elements drawn
+    (without replacement) from [pool], keeping total size constant —
+    the replacement protocol of Sec. 6.3 ("we replaced a random 5% of
+    X_matrix with images from X_overlap"). *)
+let replace_fraction rng ~fraction ~pool base =
+  if fraction < 0. || fraction > 1. then
+    invalid_arg "Sampling.replace_fraction: fraction out of range";
+  let n = List.length base in
+  let k = int_of_float (Float.round (fraction *. float_of_int n)) in
+  let k = min k (List.length pool) in
+  let keep = choose rng (n - k) base in
+  let injected = choose rng k pool in
+  shuffle rng (keep @ injected)

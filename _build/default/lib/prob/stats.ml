@@ -1,0 +1,108 @@
+(** Streaming and batch statistics used by the test suite (to validate
+    distribution semantics) and by the experiment harness (to report
+    means ± standard deviations across training runs, as in Tables 6,
+    9, 10, and the IoU histogram of Fig. 36). *)
+
+(** Welford online mean/variance accumulator. *)
+module Online = struct
+  type t = { mutable n : int; mutable mean : float; mutable m2 : float }
+
+  let create () = { n = 0; mean = 0.; m2 = 0. }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean))
+
+  let count t = t.n
+  let mean t = if t.n = 0 then nan else t.mean
+  let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+  let stddev t = sqrt (variance t)
+end
+
+let mean xs =
+  match xs with
+  | [] -> nan
+  | _ -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  let n = List.length xs in
+  if n < 2 then 0.
+  else
+    let m = mean xs in
+    sqrt
+      (List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs
+      /. float_of_int (n - 1))
+
+let min_max = function
+  | [] -> invalid_arg "Stats.min_max: empty"
+  | x :: xs ->
+      List.fold_left (fun (lo, hi) v -> (Float.min lo v, Float.max hi v)) (x, x) xs
+
+(** Fixed-width histogram over [[lo, hi)] with [bins] buckets;
+    out-of-range samples clamp into the edge buckets. *)
+module Histogram = struct
+  type t = { lo : float; hi : float; counts : int array; mutable total : int }
+
+  let create ~lo ~hi ~bins =
+    if bins <= 0 || hi <= lo then invalid_arg "Histogram.create";
+    { lo; hi; counts = Array.make bins 0; total = 0 }
+
+  let add t x =
+    let bins = Array.length t.counts in
+    let idx =
+      int_of_float (float_of_int bins *. (x -. t.lo) /. (t.hi -. t.lo))
+    in
+    let idx = Stdlib.max 0 (Stdlib.min (bins - 1) idx) in
+    t.counts.(idx) <- t.counts.(idx) + 1;
+    t.total <- t.total + 1
+
+  let counts t = Array.copy t.counts
+  let total t = t.total
+
+  let bin_bounds t i =
+    let bins = Array.length t.counts in
+    let w = (t.hi -. t.lo) /. float_of_int bins in
+    (t.lo +. (float_of_int i *. w), t.lo +. (float_of_int (i + 1) *. w))
+
+  (** Render as rows [(lo, hi, count, log10 (count+1))]; the Fig. 36
+      reproduction prints the log-scale column. *)
+  let rows t =
+    Array.to_list
+      (Array.mapi
+         (fun i c ->
+           let lo, hi = bin_bounds t i in
+           (lo, hi, c, log10 (float_of_int (c + 1))))
+         t.counts)
+end
+
+(** Two-sample Kolmogorov–Smirnov distance; used by property tests to
+    check that pruning does not change the sampled distribution. *)
+let ks_distance xs ys =
+  let xs = List.sort compare xs and ys = List.sort compare ys in
+  let nx = float_of_int (List.length xs) and ny = float_of_int (List.length ys) in
+  if nx = 0. || ny = 0. then invalid_arg "Stats.ks_distance: empty sample";
+  let ax = Array.of_list xs and ay = Array.of_list ys in
+  let i = ref 0 and j = ref 0 and d = ref 0. in
+  while !i < Array.length ax && !j < Array.length ay do
+    (* step past the next distinct threshold value in both samples *)
+    let v = Float.min ax.(!i) ay.(!j) in
+    while !i < Array.length ax && ax.(!i) <= v do
+      incr i
+    done;
+    while !j < Array.length ay && ay.(!j) <= v do
+      incr j
+    done;
+    let fx = float_of_int !i /. nx and fy = float_of_int !j /. ny in
+    if Float.abs (fx -. fy) > !d then d := Float.abs (fx -. fy)
+  done;
+  !d
+
+(** Empirical probability that a predicate holds over samples. *)
+let frequency pred xs =
+  match xs with
+  | [] -> nan
+  | _ ->
+      float_of_int (List.length (List.filter pred xs))
+      /. float_of_int (List.length xs)

@@ -1,0 +1,1 @@
+lib/render/ascii.ml: Array Buffer Camera Char Float Image List Scene Scenic_core Scenic_geometry String

@@ -1,0 +1,1 @@
+lib/render/augment.ml: Array Camera Float Image List Scenic_prob

@@ -1,0 +1,1 @@
+lib/render/camera.ml: Float List Scenic_geometry

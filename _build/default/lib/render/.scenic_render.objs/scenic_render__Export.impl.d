@@ -1,0 +1,1 @@
+lib/render/export.ml: Buffer Float List Printf Scene Scenic_core Scenic_geometry String Value

@@ -1,0 +1,1 @@
+lib/render/image.ml: Array Buffer Char Float Printf

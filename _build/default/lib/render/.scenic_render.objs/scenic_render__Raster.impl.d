@@ -1,0 +1,1 @@
+lib/render/raster.ml: Array Camera Float Hashtbl Image Lighting List Ops Option Scene Scenic_core Scenic_geometry Scenic_prob Value

@@ -1,0 +1,122 @@
+(** ASCII visualisation: bird's-eye scene maps and rendered rasters,
+    used by the example programs to "show" generated scenes in a
+    terminal (our stand-in for the paper's screenshot galleries). *)
+
+module G = Scenic_geometry
+open Scenic_core
+
+(** Bird's-eye view of a scene: the ego is [E] (with a [>]-style
+    direction tick), other objects are the first letter of their class;
+    road/region cells are [.]. *)
+let scene_top_view ?(cols = 72) ?(rows = 28) ?(radius = 45.)
+    ?(region : G.Region.t option) (scene : Scene.t) : string
+    =
+  let ego = Scene.ego scene in
+  let center = Scene.position ego in
+  let buf = Array.make_matrix rows cols ' ' in
+  let world_of r c =
+    let fx = (float_of_int c /. float_of_int (cols - 1) *. 2.) -. 1. in
+    let fy = 1. -. (float_of_int r /. float_of_int (rows - 1) *. 2.) in
+    G.Vec.add center (G.Vec.make (fx *. radius) (fy *. radius))
+  in
+  (* region background *)
+  (match region with
+  | Some reg ->
+      for r = 0 to rows - 1 do
+        for c = 0 to cols - 1 do
+          if G.Region.contains reg (world_of r c) then buf.(r).(c) <- '.'
+        done
+      done
+  | None -> ());
+  (* objects *)
+  let plot_obj o ch =
+    let box = Scene.bounding_box o in
+    for r = 0 to rows - 1 do
+      for c = 0 to cols - 1 do
+        if G.Rect.contains box (world_of r c) then buf.(r).(c) <- ch
+      done
+    done
+  in
+  List.iter
+    (fun o ->
+      if o.Scene.c_oid <> ego.Scene.c_oid then
+        plot_obj o (Char.uppercase_ascii o.Scene.c_class.[0]))
+    scene.Scene.objs;
+  plot_obj ego 'E';
+  (* direction tick for the ego *)
+  let tip =
+    G.Vec.add center
+      (G.Vec.scale (Scene.height ego /. 1.5) (G.Vec.of_heading (Scene.heading ego)))
+  in
+  let tc =
+    int_of_float
+      (Float.round
+         ((G.Vec.x (G.Vec.sub tip center) /. radius +. 1.) /. 2.
+         *. float_of_int (cols - 1)))
+  in
+  let tr =
+    int_of_float
+      (Float.round
+         ((1. -. (G.Vec.y (G.Vec.sub tip center) /. radius)) /. 2.
+         *. float_of_int (rows - 1)))
+  in
+  if tr >= 0 && tr < rows && tc >= 0 && tc < cols then buf.(tr).(tc) <- '^';
+  let b = Buffer.create (rows * (cols + 1)) in
+  Array.iter
+    (fun row ->
+      Array.iter (Buffer.add_char b) row;
+      Buffer.add_char b '\n')
+    buf;
+  Buffer.contents b
+
+(** Grayscale raster as ASCII shading. *)
+let image_view (img : Image.t) : string =
+  let shades = " .:-=+*#%@" in
+  let b = Buffer.create ((img.Image.w + 1) * img.Image.h) in
+  for y = 0 to img.Image.h - 1 do
+    for x = 0 to img.Image.w - 1 do
+      let v = Image.get img x y in
+      let idx =
+        min (String.length shades - 1)
+          (int_of_float (v *. float_of_int (String.length shades)))
+      in
+      Buffer.add_char b shades.[idx]
+    done;
+    Buffer.add_char b '\n'
+  done;
+  Buffer.contents b
+
+(** Raster view with ground-truth boxes drawn as outlines. *)
+let image_view_with_boxes (img : Image.t) (boxes : Camera.bbox list) : string =
+  let canvas = Array.make_matrix img.Image.h img.Image.w ' ' in
+  let shades = " .:-=+*#%@" in
+  for y = 0 to img.Image.h - 1 do
+    for x = 0 to img.Image.w - 1 do
+      let v = Image.get img x y in
+      canvas.(y).(x) <-
+        shades.[min (String.length shades - 1)
+                  (int_of_float (v *. float_of_int (String.length shades)))]
+    done
+  done;
+  List.iter
+    (fun (b : Camera.bbox) ->
+      let x0 = max 0 (int_of_float b.x0)
+      and x1 = min (img.Image.w - 1) (int_of_float b.x1) in
+      let y0 = max 0 (int_of_float b.y0)
+      and y1 = min (img.Image.h - 1) (int_of_float b.y1) in
+      for x = x0 to x1 do
+        canvas.(y0).(x) <- '-';
+        canvas.(y1).(x) <- '-'
+      done;
+      for y = y0 to y1 do
+        canvas.(y).(x0) <- '|';
+        canvas.(y).(x1) <- '|'
+      done)
+    boxes;
+  let b = Buffer.create ((img.Image.w + 1) * img.Image.h) in
+  Array.iter
+    (fun row ->
+      Array.iter (Buffer.add_char b) row;
+      Buffer.add_char b '\n')
+    canvas;
+  Buffer.contents b

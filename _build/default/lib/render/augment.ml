@@ -1,0 +1,122 @@
+(** Classical image augmentation: the imgaug baseline of Sec. 6.4
+    ("randomly cropping 10%–20% on each side, flipping horizontally
+    with probability 50%, and applying Gaussian blur with
+    σ ∈ [0.0, 3.0]"), operating on our rasters and their labels. *)
+
+module P = Scenic_prob
+
+type labeled = { image : Image.t; boxes : Camera.bbox list }
+
+let flip_h (l : labeled) : labeled =
+  let { Image.w; h; _ } = l.image in
+  let img = Image.create ~w ~h () in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      Image.set img x y (Image.get l.image (w - 1 - x) y)
+    done
+  done;
+  let boxes =
+    List.map
+      (fun (b : Camera.bbox) ->
+        {
+          Camera.x0 = float_of_int w -. b.x1;
+          x1 = float_of_int w -. b.x0;
+          y0 = b.y0;
+          y1 = b.y1;
+        })
+      l.boxes
+  in
+  { image = img; boxes }
+
+(** Crop fractions per side, then resize back to the original size
+    (bilinear). *)
+let crop (l : labeled) ~left ~right ~top ~bottom : labeled =
+  let { Image.w; h; _ } = l.image in
+  let fw = float_of_int w and fh = float_of_int h in
+  let cx0 = left *. fw and cy0 = top *. fh in
+  let cw = fw *. (1. -. left -. right) and ch = fh *. (1. -. top -. bottom) in
+  let img = Image.create ~w ~h () in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      let sx = cx0 +. (float_of_int x /. fw *. cw) in
+      let sy = cy0 +. (float_of_int y /. fh *. ch) in
+      Image.set img x y (Image.sample l.image sx sy)
+    done
+  done;
+  let sx_scale = fw /. cw and sy_scale = fh /. ch in
+  let boxes =
+    List.filter_map
+      (fun (b : Camera.bbox) ->
+        let b' =
+          {
+            Camera.x0 = (b.x0 -. cx0) *. sx_scale;
+            x1 = (b.x1 -. cx0) *. sx_scale;
+            y0 = (b.y0 -. cy0) *. sy_scale;
+            y1 = (b.y1 -. cy0) *. sy_scale;
+          }
+        in
+        let clipped =
+          {
+            Camera.x0 = Float.max 0. b'.x0;
+            x1 = Float.min fw b'.x1;
+            y0 = Float.max 0. b'.y0;
+            y1 = Float.min fh b'.y1;
+          }
+        in
+        (* drop boxes mostly cropped away *)
+        if
+          Camera.bbox_area clipped
+          >= 0.3 *. Float.max 1. (Camera.bbox_area b')
+          && Camera.bbox_area clipped >= 2.
+        then Some clipped
+        else None)
+      l.boxes
+  in
+  { image = img; boxes }
+
+(** Separable Gaussian blur. *)
+let blur (l : labeled) ~sigma : labeled =
+  if sigma < 0.1 then l
+  else begin
+    let { Image.w; h; _ } = l.image in
+    let radius = max 1 (int_of_float (ceil (2.5 *. sigma))) in
+    let kernel =
+      Array.init ((2 * radius) + 1) (fun i ->
+          let x = float_of_int (i - radius) in
+          exp (-.(x *. x) /. (2. *. sigma *. sigma)))
+    in
+    let ksum = Array.fold_left ( +. ) 0. kernel in
+    let kernel = Array.map (fun k -> k /. ksum) kernel in
+    let horiz = Image.create ~w ~h () in
+    for y = 0 to h - 1 do
+      for x = 0 to w - 1 do
+        let acc = ref 0. in
+        Array.iteri
+          (fun i k ->
+            let sx = max 0 (min (w - 1) (x + i - radius)) in
+            acc := !acc +. (k *. Image.get l.image sx y))
+          kernel;
+        Image.set horiz x y !acc
+      done
+    done;
+    let out = Image.create ~w ~h () in
+    for y = 0 to h - 1 do
+      for x = 0 to w - 1 do
+        let acc = ref 0. in
+        Array.iteri
+          (fun i k ->
+            let sy = max 0 (min (h - 1) (y + i - radius)) in
+            acc := !acc +. (k *. Image.get horiz x sy))
+          kernel;
+        Image.set out x y !acc
+      done
+    done;
+    { l with image = out }
+  end
+
+(** The full classical-augmentation pipeline of Sec. 6.4. *)
+let classic ~rng (l : labeled) : labeled =
+  let frac () = 0.10 +. (P.Rng.float rng *. 0.10) in
+  let l = crop l ~left:(frac ()) ~right:(frac ()) ~top:(frac ()) ~bottom:(frac ()) in
+  let l = if P.Rng.bool rng then flip_h l else l in
+  blur l ~sigma:(P.Rng.float rng *. 3.0)

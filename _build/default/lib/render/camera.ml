@@ -1,0 +1,93 @@
+(** Pinhole camera model: projects scene objects (2-D ground positions
+    with 3-D box extents) into image space, standing in for GTA V's
+    renderer.  The camera sits at the ego's position, at
+    [camera_height] above the ground, looking along the ego's heading.
+
+    Image coordinates: x rightward, y downward, origin top-left. *)
+
+module G = Scenic_geometry
+
+type t = {
+  img_w : int;
+  img_h : int;
+  focal : float;  (** focal length in pixels *)
+  camera_height : float;  (** meters above ground *)
+  horizon : float;  (** image y of the horizon line *)
+  position : G.Vec.t;
+  heading : float;
+}
+
+let default_img_w = 128
+let default_img_h = 48
+
+let create ?(img_w = default_img_w) ?(img_h = default_img_h) ?(fov_deg = 60.)
+    ?(camera_height = 1.2) ~position ~heading () =
+  let focal =
+    float_of_int img_w /. 2. /. tan (G.Angle.of_degrees (fov_deg /. 2.))
+  in
+  {
+    img_w;
+    img_h;
+    focal;
+    camera_height;
+    horizon = float_of_int img_h *. 0.42;
+    position;
+    heading;
+  }
+
+(** Camera-frame coordinates of a world point: [depth] along the view
+    axis (positive = in front), [lateral] rightward. *)
+let to_camera_frame t p =
+  let rel = G.Vec.rotate (G.Vec.sub p t.position) (-.t.heading) in
+  (* In the heading-aligned frame, +y is forward and +x is right. *)
+  (G.Vec.y rel, G.Vec.x rel)
+
+type bbox = { x0 : float; y0 : float; x1 : float; y1 : float }
+
+let bbox_area b = Float.max 0. (b.x1 -. b.x0) *. Float.max 0. (b.y1 -. b.y0)
+
+let bbox_iou a b =
+  let ix0 = Float.max a.x0 b.x0 and iy0 = Float.max a.y0 b.y0 in
+  let ix1 = Float.min a.x1 b.x1 and iy1 = Float.min a.y1 b.y1 in
+  let inter = Float.max 0. (ix1 -. ix0) *. Float.max 0. (iy1 -. iy0) in
+  let union = bbox_area a +. bbox_area b -. inter in
+  if union <= 0. then 0. else inter /. union
+
+(** Projected bounding box of a car-like object: ground box [rect]
+    with 3-D height [obj_height].  Returns [None] when behind the
+    camera or fully off-screen.  The horizontal extent is that of the
+    projected silhouette of the ground box; the vertical extent runs
+    from the ground-contact line at the nearest depth to the roof. *)
+let project_box ?(obj_height = 1.5) ?(min_depth = 1.0) t (rect : G.Rect.t) :
+    bbox option =
+  let corners = G.Rect.corners rect in
+  let cams = List.map (to_camera_frame t) corners in
+  (* Require the whole footprint in front of the camera (partially
+     visible, very close cars are clipped away, as a real camera
+     frustum would). *)
+  if List.exists (fun (d, _) -> d < min_depth) cams then None
+  else begin
+    let us = List.map (fun (d, l) -> t.focal *. l /. d) cams in
+    let u0 = List.fold_left Float.min infinity us
+    and u1 = List.fold_left Float.max neg_infinity us in
+    let d_near = List.fold_left (fun acc (d, _) -> Float.min acc d) infinity cams in
+    let d_far = List.fold_left (fun acc (d, _) -> Float.max acc d) 0. cams in
+    let cx = float_of_int t.img_w /. 2. in
+    let bottom = t.horizon +. (t.focal *. t.camera_height /. d_near) in
+    let top = t.horizon +. (t.focal *. (t.camera_height -. obj_height) /. d_far) in
+    let b = { x0 = cx +. u0; y0 = top; x1 = cx +. u1; y1 = bottom } in
+    (* discard if fully outside the image *)
+    if b.x1 < 0. || b.x0 > float_of_int t.img_w || b.y1 < 0.
+       || b.y0 > float_of_int t.img_h
+    then None
+    else Some b
+  end
+
+(** Clip a box to the image bounds. *)
+let clip t b =
+  {
+    x0 = Float.max 0. b.x0;
+    y0 = Float.max 0. b.y0;
+    x1 = Float.min (float_of_int t.img_w) b.x1;
+    y1 = Float.min (float_of_int t.img_h) b.y1;
+  }

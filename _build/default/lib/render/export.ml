@@ -1,0 +1,61 @@
+(** Scene export: the "interface layer converting the configurations
+    output by Scenic into the simulator's input format" (Sec. 1).  We
+    emit a small JSON encoding (hand-rolled; no external dependency)
+    that a downstream simulator plugin — like the paper's DeepGTAV
+    plugin — would consume. *)
+
+module G = Scenic_geometry
+open Scenic_core
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let rec json_of_value (v : Value.value) : string =
+  match v with
+  | Value.Vbool b -> string_of_bool b
+  | Value.Vfloat f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Printf.sprintf "%.0f" f
+      else Printf.sprintf "%.6g" f
+  | Value.Vstr s -> Printf.sprintf "\"%s\"" (escape s)
+  | Value.Vnone -> "null"
+  | Value.Vvec p -> Printf.sprintf "[%.6g, %.6g]" (G.Vec.x p) (G.Vec.y p)
+  | Value.Vlist vs ->
+      Printf.sprintf "[%s]" (String.concat ", " (List.map json_of_value vs))
+  | Value.Vdict kvs ->
+      Printf.sprintf "{%s}"
+        (String.concat ", "
+           (List.map
+              (fun (k, v) ->
+                Printf.sprintf "\"%s\": %s"
+                  (escape (match k with Value.Vstr s -> s | k -> Value.to_string k))
+                  (json_of_value v))
+              kvs))
+  | v -> Printf.sprintf "\"%s\"" (escape (Value.to_string v))
+
+let json_of_cobj (o : Scene.cobj) =
+  let props =
+    List.sort compare o.Scene.c_props
+    |> List.map (fun (k, v) -> Printf.sprintf "\"%s\": %s" (escape k) (json_of_value v))
+  in
+  Printf.sprintf "{\"class\": \"%s\", %s}" (escape o.Scene.c_class)
+    (String.concat ", " props)
+
+(** Full scene as JSON: objects (ego first marked), global parameters. *)
+let json_of_scene (scene : Scene.t) =
+  Printf.sprintf
+    "{\n  \"ego\": %d,\n  \"objects\": [\n    %s\n  ],\n  \"params\": {%s}\n}"
+    scene.Scene.ego_index
+    (String.concat ",\n    " (List.map json_of_cobj scene.Scene.objs))
+    (String.concat ", "
+       (List.map
+          (fun (k, v) -> Printf.sprintf "\"%s\": %s" (escape k) (json_of_value v))
+          (List.sort compare scene.Scene.params)))

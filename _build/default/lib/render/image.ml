@@ -1,0 +1,72 @@
+(** Grayscale raster images: the output of the synthetic renderer and
+    the input of the detector.  Intensities are floats in [[0, 1]],
+    row-major. *)
+
+type t = { w : int; h : int; data : float array }
+
+let create ?(fill = 0.) ~w ~h () = { w; h; data = Array.make (w * h) fill }
+
+let get t x y = t.data.((y * t.w) + x)
+
+let set t x y v =
+  if x >= 0 && x < t.w && y >= 0 && y < t.h then
+    t.data.((y * t.w) + x) <- Float.max 0. (Float.min 1. v)
+
+let copy t = { t with data = Array.copy t.data }
+
+let map f t = { t with data = Array.map f t.data }
+
+let mean t =
+  Array.fold_left ( +. ) 0. t.data /. float_of_int (Array.length t.data)
+
+let std t =
+  let m = mean t in
+  sqrt
+    (Array.fold_left (fun acc v -> acc +. ((v -. m) ** 2.)) 0. t.data
+    /. float_of_int (Array.length t.data))
+
+(** Mean over a rectangular window (clipped to the image). *)
+let window_mean t ~x0 ~y0 ~x1 ~y1 =
+  let x0 = max 0 x0 and y0 = max 0 y0 in
+  let x1 = min (t.w - 1) x1 and y1 = min (t.h - 1) y1 in
+  if x1 < x0 || y1 < y0 then 0.
+  else begin
+    let acc = ref 0. and n = ref 0 in
+    for y = y0 to y1 do
+      for x = x0 to x1 do
+        acc := !acc +. get t x y;
+        incr n
+      done
+    done;
+    !acc /. float_of_int !n
+  end
+
+(** Bilinear sample at fractional coordinates (clamped). *)
+let sample t fx fy =
+  let fx = Float.max 0. (Float.min (float_of_int (t.w - 1)) fx) in
+  let fy = Float.max 0. (Float.min (float_of_int (t.h - 1)) fy) in
+  let x0 = int_of_float fx and y0 = int_of_float fy in
+  let x1 = min (t.w - 1) (x0 + 1) and y1 = min (t.h - 1) (y0 + 1) in
+  let dx = fx -. float_of_int x0 and dy = fy -. float_of_int y0 in
+  let v00 = get t x0 y0 and v10 = get t x1 y0 in
+  let v01 = get t x0 y1 and v11 = get t x1 y1 in
+  (v00 *. (1. -. dx) *. (1. -. dy))
+  +. (v10 *. dx *. (1. -. dy))
+  +. (v01 *. (1. -. dx) *. dy)
+  +. (v11 *. dx *. dy)
+
+(** Binary PGM encoding, for eyeballing rendered scenes. *)
+let to_pgm t =
+  let b = Buffer.create ((t.w * t.h) + 32) in
+  Buffer.add_string b (Printf.sprintf "P5\n%d %d\n255\n" t.w t.h);
+  Array.iter
+    (fun v ->
+      Buffer.add_char b
+        (Char.chr (int_of_float (Float.max 0. (Float.min 255. (v *. 255.))))))
+    t.data;
+  Buffer.contents b
+
+let save_pgm t path =
+  let oc = open_out_bin path in
+  output_string oc (to_pgm t);
+  close_out oc

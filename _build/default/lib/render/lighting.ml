@@ -1,0 +1,55 @@
+(** Scene lighting model: how the [time] and [weather] global
+    parameters (Sec. 6.1) affect the rendered raster.  This is the
+    mechanism that makes "rainy midnight" test sets genuinely harder
+    than "sunny noon" ones, reproducing the conditions experiment of
+    Sec. 6.2. *)
+
+type t = {
+  brightness : float;  (** global illumination in [[0,1]] *)
+  contrast : float;  (** multiplier on object/background separation *)
+  noise_std : float;  (** additive Gaussian pixel noise *)
+  haze : float;  (** depth attenuation toward the sky tone *)
+}
+
+(** Daylight as a function of time-of-day in minutes ([0, 1440)]:
+    smooth bump peaking at noon, floor at deep night. *)
+let daylight minutes =
+  let m = Float.rem (Float.rem minutes 1440. +. 1440.) 1440. in
+  let hours = m /. 60. in
+  (* sunrise ~6h, sunset ~20h *)
+  (* night floor ~0.22: streetlights and headlights keep GTA-style
+     scenes visible after dark *)
+  if hours <= 5. || hours >= 21. then 0.22
+  else
+    let x = (hours -. 5.) /. 16. in
+    0.22 +. (0.78 *. sin (Float.pi *. x) ** 0.7)
+
+(** Weather factors: (brightness multiplier, extra noise, haze). *)
+let weather_effect = function
+  | "EXTRASUNNY" -> (1.0, 0.005, 0.00)
+  | "CLEAR" -> (0.97, 0.008, 0.02)
+  | "CLOUDS" -> (0.88, 0.012, 0.05)
+  | "OVERCAST" -> (0.80, 0.015, 0.08)
+  | "SMOG" -> (0.82, 0.02, 0.18)
+  | "FOGGY" -> (0.78, 0.02, 0.40)
+  | "CLEARING" -> (0.85, 0.02, 0.10)
+  | "RAIN" -> (0.65, 0.045, 0.20)
+  | "THUNDER" -> (0.55, 0.06, 0.25)
+  | "NEUTRAL" -> (0.90, 0.01, 0.05)
+  | "SNOW" -> (0.75, 0.05, 0.30)
+  | "SNOWLIGHT" -> (0.82, 0.035, 0.20)
+  | "BLIZZARD" -> (0.55, 0.07, 0.45)
+  | "XMAS" -> (0.80, 0.03, 0.25)
+  | _ -> (0.9, 0.01, 0.05)
+
+let of_conditions ~time_minutes ~weather =
+  let day = daylight time_minutes in
+  let wb, wnoise, haze = weather_effect weather in
+  let brightness = day *. wb in
+  {
+    brightness;
+    (* low light compresses contrast *)
+    contrast = 0.35 +. (0.65 *. brightness);
+    noise_std = wnoise +. (0.012 *. (1. -. day));
+    haze;
+  }

@@ -1,0 +1,179 @@
+(** The synthetic renderer: scene → grayscale raster + exact
+    ground-truth labels.
+
+    Stands in for GTA V's renderer (see DESIGN.md).  The pipeline
+    reproduces the phenomena the paper's experiments depend on:
+
+    - {b occlusion} via painter's-algorithm drawing (far to near), with
+      per-object visible-pixel fractions in the labels;
+    - {b lighting}: the [time]/[weather] scene parameters modulate
+      brightness, contrast, haze, and sensor noise ({!Lighting});
+    - {b appearance}: car patches take their intensity from the
+      object's [color] property, with simple vertical structure
+      (windows / shadow bands) so boxes are not flat blobs. *)
+
+module G = Scenic_geometry
+module P = Scenic_prob
+open Scenic_core
+
+type label = {
+  box : Camera.bbox;  (** clipped to the image *)
+  full_box : Camera.bbox;  (** unclipped projection *)
+  visible_frac : float;  (** fraction of its pixels not occluded *)
+  depth : float;  (** distance from the camera, meters *)
+  cls : string;
+  color_lum : float;
+}
+
+type rendered = {
+  image : Image.t;
+  labels : label list;
+  r_time : float;  (** minutes since midnight *)
+  r_weather : string;
+}
+
+let luminance (v : Value.value) =
+  match v with
+  | Value.Vlist [ r; g; b ] ->
+      (0.299 *. Ops.as_float r) +. (0.587 *. Ops.as_float g)
+      +. (0.114 *. Ops.as_float b)
+  | _ -> 0.5
+
+let scene_conditions (scene : Scene.t) =
+  let time =
+    match Scene.param scene "time" with
+    | Some v -> ( try Ops.as_float v with _ -> 720.)
+    | None -> 720.
+  in
+  let weather =
+    match Scene.param scene "weather" with
+    | Some (Value.Vstr w) -> w
+    | _ -> "CLEAR"
+  in
+  (time, weather)
+
+(** Render a scene from the ego's viewpoint. *)
+let render ?(img_w = Camera.default_img_w) ?(img_h = Camera.default_img_h)
+    ~rng (scene : Scene.t) : rendered =
+  let ego = Scene.ego scene in
+  let cam =
+    Camera.create ~img_w ~img_h ~position:(Scene.position ego)
+      ~heading:(Scene.heading ego) ()
+  in
+  let time, weather = scene_conditions scene in
+  let light = Lighting.of_conditions ~time_minutes:time ~weather in
+  let b = light.brightness in
+  (* the sky darkens with the scene: pitch black at night, bright at
+     noon *)
+  let sky_px = b *. (0.55 +. (0.35 *. b)) in
+  let img = Image.create ~w:img_w ~h:img_h () in
+  (* background: sky above the horizon, textured ground below *)
+  let texture_rng = P.Rng.create 1301 in
+  for y = 0 to img_h - 1 do
+    for x = 0 to img_w - 1 do
+      let v =
+        if float_of_int y < cam.Camera.horizon then sky_px
+        else
+          (* ground gets slightly lighter toward the bottom (nearer),
+             with static texture so it is never perfectly flat *)
+          let depth_frac =
+            (float_of_int y -. cam.Camera.horizon)
+            /. (float_of_int img_h -. cam.Camera.horizon)
+          in
+          b
+          *. (0.30 +. (0.10 *. depth_frac)
+             +. P.Distribution.sample_normal texture_rng ~mean:0. ~std:0.035)
+      in
+      Image.set img x y v
+    done
+  done;
+  (* candidate objects: everything but the ego, sorted far-to-near *)
+  let candidates =
+    List.filter_map
+      (fun o ->
+        if o.Scene.c_oid = (Scene.ego scene).Scene.c_oid then None
+        else
+          let rect = Scene.bounding_box o in
+          match Camera.project_box cam rect with
+          | None -> None
+          | Some full_box ->
+              let depth = G.Vec.dist (Scene.position o) (Scene.position ego) in
+              let lum =
+                match List.assoc_opt "color" o.Scene.c_props with
+                | Some c -> luminance c
+                | None -> 0.45
+              in
+              Some (o, full_box, depth, lum))
+      scene.Scene.objs
+    |> List.sort (fun (_, _, d1, _) (_, _, d2, _) -> compare d2 d1)
+  in
+  (* painter's algorithm with ownership tracking *)
+  let owner = Array.make (img_w * img_h) (-1) in
+  let totals = Hashtbl.create 8 in
+  List.iteri
+    (fun draw_idx (o, full_box, depth, lum) ->
+      ignore o;
+      let bx = Camera.clip cam full_box in
+      let x0 = int_of_float bx.Camera.x0 and x1 = int_of_float (ceil bx.Camera.x1) - 1 in
+      let y0 = int_of_float bx.Camera.y0 and y1 = int_of_float (ceil bx.Camera.y1) - 1 in
+      let height_px = Float.max 1. (bx.Camera.y1 -. bx.Camera.y0) in
+      (* haze: distant objects wash toward the sky tone *)
+      let haze_f = 1. -. exp (-.light.haze *. depth /. 40.) in
+      let count = ref 0 in
+      for y = max 0 y0 to min (img_h - 1) y1 do
+        for x = max 0 x0 to min (img_w - 1) x1 do
+          incr count;
+          owner.((y * img_w) + x) <- draw_idx;
+          let frac = (float_of_int y -. bx.Camera.y0) /. height_px in
+          (* vertical structure: roof/windows darker on top, shadow at
+             the bottom *)
+          let structure =
+            if frac < 0.35 then 0.70 else if frac > 0.85 then 0.45 else 1.0
+          in
+          let base = lum *. structure *. light.contrast *. b in
+          let v = (base *. (1. -. haze_f)) +. (sky_px *. haze_f) in
+          Image.set img x y v
+        done
+      done;
+      Hashtbl.replace totals draw_idx !count)
+    candidates;
+  (* visible fractions from final ownership *)
+  let visible_counts = Hashtbl.create 8 in
+  Array.iter
+    (fun idx ->
+      if idx >= 0 then
+        Hashtbl.replace visible_counts idx
+          (1 + Option.value ~default:0 (Hashtbl.find_opt visible_counts idx)))
+    owner;
+  let labels =
+    List.mapi
+      (fun draw_idx (o, full_box, depth, lum) ->
+        let total = Option.value ~default:0 (Hashtbl.find_opt totals draw_idx) in
+        let visible =
+          Option.value ~default:0 (Hashtbl.find_opt visible_counts draw_idx)
+        in
+        let visible_frac =
+          if total = 0 then 0. else float_of_int visible /. float_of_int total
+        in
+        {
+          box = Camera.clip cam full_box;
+          full_box;
+          visible_frac;
+          depth;
+          cls = o.Scene.c_class;
+          color_lum = lum;
+        })
+      candidates
+    (* ground truth keeps objects that actually show in the image *)
+    |> List.filter (fun l ->
+           Camera.bbox_area l.box >= 3. && l.visible_frac > 0.08)
+  in
+  (* sensor noise *)
+  let img =
+    Image.map
+      (fun v ->
+        Float.max 0.
+          (Float.min 1. (v +. P.Distribution.sample_normal rng ~mean:0. ~std:light.noise_std)))
+      img
+  in
+  { image = img; labels; r_time = time; r_weather = weather }

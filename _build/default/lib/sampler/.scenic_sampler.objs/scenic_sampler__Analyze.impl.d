@@ -1,0 +1,1 @@
+lib/sampler/analyze.ml: Array Float Fun Hashtbl List Option Prune Scenario Scenic_core Scenic_geometry String Value

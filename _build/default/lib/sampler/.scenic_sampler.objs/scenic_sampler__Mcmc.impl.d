@@ -1,0 +1,1 @@
+lib/sampler/mcmc.ml: Array Errors Float Hashtbl List Ops Rejection Scenario Scene Scenic_core Scenic_geometry Scenic_prob Value

@@ -1,0 +1,1 @@
+lib/sampler/prune.ml: List Printf Scenic_geometry

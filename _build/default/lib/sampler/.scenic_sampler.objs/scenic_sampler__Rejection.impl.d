@@ -1,0 +1,1 @@
+lib/sampler/rejection.ml: Array Errors Hashtbl List Ops Scenario Scene Scenic_core Scenic_geometry Scenic_prob Value

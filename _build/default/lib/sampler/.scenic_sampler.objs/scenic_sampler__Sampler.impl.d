@@ -1,0 +1,1 @@
+lib/sampler/sampler.ml: Analyze Rejection Scenic_core Scenic_prob

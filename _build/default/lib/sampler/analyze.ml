@@ -1,0 +1,517 @@
+(** Scenario analysis: extracting the pruning opportunities of Sec. 5.2
+    from a compiled scenario's random-value DAG, and applying the
+    algorithms of {!Prune} by rewriting [R_uniform_in] nodes in place.
+
+    Recognised patterns (exactly the ones the paper's case study
+    exercises):
+
+    - {b containment}: an object whose position is uniform in a
+      polyset-backed region, with concrete width/height, inside a
+      polyset workspace → erode by the inscribed-circle radius;
+    - {b orientation}: two objects, each uniform-on-region with heading
+      equal to the region's orientation field plus a bounded deviation,
+      mutually constrained by view cones ([require car2 can see ego]
+      plus the default visible-from-ego requirement) → Algorithm 2;
+    - {b width}: companion objects placed at laterally-offset positions
+      derived from the ego ([offset by (-laneGap @ gap)] chains, as in
+      the bumper-to-bumper scenario) → a lower bound on the
+      configuration width → Algorithm 3. *)
+
+open Scenic_core
+open Value
+module G = Scenic_geometry
+
+(* --- static bounds on scalar values ---------------------------------- *)
+
+let rec float_bounds (v : Value.value) : (float * float) option =
+  match v with
+  | Vfloat f -> Some (f, f)
+  | Vrandom n -> (
+      match n.rkind with
+      | R_interval (lo, hi) -> (
+          match (float_bounds lo, float_bounds hi) with
+          | Some (a, _), Some (_, b) -> Some (Float.min a b, Float.max a b)
+          | _ -> None)
+      | R_normal _ -> None
+      | R_choice vs ->
+          List.fold_left
+            (fun acc v ->
+              match (acc, float_bounds v) with
+              | Some (lo, hi), Some (a, b) -> Some (Float.min lo a, Float.max hi b)
+              | _ -> None)
+            (Some (infinity, neg_infinity))
+            vs
+      | R_discrete pairs ->
+          List.fold_left
+            (fun acc (v, _) ->
+              match (acc, float_bounds v) with
+              | Some (lo, hi), Some (a, b) -> Some (Float.min lo a, Float.max hi b)
+              | _ -> None)
+            (Some (infinity, neg_infinity))
+            pairs
+      | R_op ("deg", [ x ], _) ->
+          Option.map
+            (fun (a, b) -> (G.Angle.of_degrees a, G.Angle.of_degrees b))
+            (float_bounds x)
+      | R_op ("neg", [ x ], _) ->
+          Option.map (fun (a, b) -> (-.b, -.a)) (float_bounds x)
+      | R_op (("add" | "heading_add"), [ x; y ], _) -> (
+          match (float_bounds x, float_bounds y) with
+          | Some (a, b), Some (c, d) -> Some (a +. c, b +. d)
+          | _ -> None)
+      | R_op ("sub", [ x; y ], _) -> (
+          match (float_bounds x, float_bounds y) with
+          | Some (a, b), Some (c, d) -> Some (a -. d, b -. c)
+          | _ -> None)
+      | R_op ("div", [ x; y ], _) -> (
+          match (float_bounds x, float_bounds y) with
+          | Some (a, b), Some (c, d) when c = d && c <> 0. ->
+              let lo = a /. c and hi = b /. c in
+              Some (Float.min lo hi, Float.max lo hi)
+          | _ -> None)
+      | R_op ("mul", [ x; y ], _) -> (
+          match (float_bounds x, float_bounds y) with
+          | Some (a, b), Some (c, d) ->
+              let products = [ a *. c; a *. d; b *. c; b *. d ] in
+              Some
+                ( List.fold_left Float.min infinity products,
+                  List.fold_left Float.max neg_infinity products )
+          | _ -> None)
+      | R_op ("abs", [ x ], _) ->
+          Option.map
+            (fun (a, b) ->
+              if a >= 0. then (a, b)
+              else if b <= 0. then (-.b, -.a)
+              else (0., Float.max (-.a) b))
+            (float_bounds x)
+      | R_op (name, [ x ], _) when String.length name > 5 && String.sub name 0 5 = "attr:"
+        ->
+          (* e.g. self.model.width over a random model choice: bound
+             the attribute across the support *)
+          let key = String.sub name 5 (String.length name - 5) in
+          let attr_of = function
+            | Vdict kvs ->
+                Option.map snd
+                  (List.find_opt (fun (k, _) -> Value.equal k (Vstr key)) kvs)
+            | _ -> None
+          in
+          let over_support vs =
+            List.fold_left
+              (fun acc v ->
+                match (acc, Option.bind (attr_of v) float_bounds) with
+                | Some (lo, hi), Some (a, b) ->
+                    Some (Float.min lo a, Float.max hi b)
+                | _ -> None)
+              (Some (infinity, neg_infinity))
+              vs
+          in
+          (match x with
+          | Vrandom { rkind = R_choice vs; _ } -> over_support vs
+          | Vrandom { rkind = R_discrete pairs; _ } ->
+              over_support (List.map fst pairs)
+          | Vdict _ -> Option.bind (attr_of x) float_bounds
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+(* --- field-aligned objects --------------------------------------------- *)
+
+type alignment = {
+  al_obj : Value.obj;
+  al_node : Value.rnode;  (** the R_uniform_in node of its position *)
+  al_region : G.Region.t;
+  al_field : G.Vectorfield.t;
+  al_delta : float;  (** bound on |heading − field(position)| *)
+}
+
+let position_node obj =
+  match get_prop obj "position" with
+  | Some (Vrandom ({ rkind = R_uniform_in (Vregion r); _ } as n)) -> Some (n, r)
+  | _ -> None
+
+(* Is [v] the orientation of [field] at exactly this position node? *)
+let is_field_at_position ~node (v : Value.value) : G.Vectorfield.t option =
+  match v with
+  | Vrandom { rkind = R_op ("field_at", [ Vfield f; Vrandom p ], _); _ }
+    when p.rid = node.rid ->
+      Some f
+  | Vrandom { rkind = R_op ("region_orientation_at", [ Vregion r; Vrandom p ], _); _ }
+    when p.rid = node.rid ->
+      G.Region.orientation r
+  | _ -> None
+
+let alignment_of obj : alignment option =
+  match position_node obj with
+  | None -> None
+  | Some (node, region) -> (
+      match get_prop obj "heading" with
+      | None -> None
+      | Some h -> (
+          match is_field_at_position ~node h with
+          | Some f ->
+              Some
+                { al_obj = obj; al_node = node; al_region = region; al_field = f; al_delta = 0. }
+          | None -> (
+              match h with
+              | Vrandom { rkind = R_op (("add" | "heading_add"), [ x; y ], _); _ }
+                -> (
+                  let aligned_part, dev =
+                    match is_field_at_position ~node x with
+                    | Some f -> (Some f, y)
+                    | None -> (is_field_at_position ~node y, x)
+                  in
+                  match (aligned_part, float_bounds dev) with
+                  | Some f, Some (lo, hi) ->
+                      Some
+                        {
+                          al_obj = obj;
+                          al_node = node;
+                          al_region = region;
+                          al_field = f;
+                          al_delta = Float.max (Float.abs lo) (Float.abs hi);
+                        }
+                  | _ -> None)
+              | _ -> None)))
+
+(* --- view-cone constraints ---------------------------------------------- *)
+
+type cone = {
+  viewer : Value.obj;
+  target : Value.obj;
+  max_dist : float;
+  half_angle : float;  (** viewer's viewAngle / 2 *)
+}
+
+(* Map a position value back to the object owning it. *)
+let owner_of_position objects (v : Value.value) : Value.obj option =
+  let same a b =
+    match (a, b) with
+    | Vrandom x, Vrandom y -> x.rid = y.rid
+    | Vvec x, Vvec y -> G.Vec.equal ~eps:0. x y
+    | _ -> false
+  in
+  List.find_opt
+    (fun o ->
+      match get_prop o "position" with Some p -> same p v | None -> false)
+    objects
+
+let cones_of_scenario (scenario : Scenario.t) : cone list =
+  List.filter_map
+    (fun (r : Scenario.requirement) ->
+      if r.prob <> None then None
+      else
+        match r.cond with
+        | Vrandom
+            { rkind = R_op ("can_see_box", [ vp; _vh; vd; va; tp; _; _; _ ], _); _ }
+          -> (
+            match
+              ( owner_of_position scenario.objects vp,
+                owner_of_position scenario.objects tp,
+                float_bounds vd,
+                float_bounds va )
+            with
+            | Some viewer, Some target, Some (_, d_hi), Some (_, a_hi) ->
+                Some { viewer; target; max_dist = d_hi; half_angle = a_hi /. 2. }
+            | _ -> None)
+        | _ -> None)
+    scenario.requirements
+
+(* --- lateral-offset chains (width hints) --------------------------------- *)
+
+let vector_bounds (v : Value.value) =
+  match v with
+  | Vvec p -> Some ((G.Vec.x p, G.Vec.x p), (G.Vec.y p, G.Vec.y p))
+  | Vrandom { rkind = R_op ("vector", [ x; y ], _); _ } -> (
+      match (float_bounds x, float_bounds y) with
+      | Some bx, Some by -> Some (bx, by)
+      | _ -> None)
+  | _ -> None
+
+(** Bounds on the lateral (across-road, in the chain's local frames)
+    offset of a derived position value from the root position node;
+    [None] when the value does not provably chain back to the root. *)
+let rec lateral_offset_from ~(root : Value.rnode) (v : Value.value) :
+    (float * float) option =
+  match v with
+  | Vrandom n when n.rid = root.rid -> Some (0., 0.)
+  | Voriented { opos; _ } -> lateral_offset_from ~root opos
+  | Vrandom { rkind = R_op ("offset_local", [ p; _h; off ], _); _ } -> (
+      match (lateral_offset_from ~root p, vector_bounds off) with
+      | Some (lo, hi), Some ((xl, xh), _) -> Some (lo +. xl, hi +. xh)
+      | _ -> None)
+  | Vrandom { rkind = R_op (name, [ p; _h; w; _hh ], _); _ }
+    when String.length name > 8 && String.sub name 0 8 = "side_of:" -> (
+      (* front/back stay on the chain axis; left/right shift laterally
+         by ± width/2 *)
+      let side = String.sub name 8 (String.length name - 8) in
+      match lateral_offset_from ~root p with
+      | None -> None
+      | Some (lo, hi) -> (
+          match side with
+          | "front" | "back" -> Some (lo, hi)
+          | "left" -> (
+              match float_bounds w with
+              | Some (wlo, whi) -> Some (lo -. (whi /. 2.), hi -. (wlo /. 2.))
+              | None -> None)
+          | "right" -> (
+              match float_bounds w with
+              | Some (wlo, whi) -> Some (lo +. (wlo /. 2.), hi +. (whi /. 2.))
+              | None -> None)
+          | _ -> None))
+  | Vrandom { rkind = R_op (("follow_pos" | "follow"), args, _); _ } -> (
+      match args with
+      | [ _field; from; _dist ] -> lateral_offset_from ~root from
+      | _ -> None)
+  | Vrandom { rkind = R_op ("vec_add", [ a; b ], _); _ } -> (
+      match (lateral_offset_from ~root a, vector_bounds b) with
+      | Some (lo, hi), Some ((xl, xh), _) -> Some (lo +. xl, hi +. xh)
+      | _ -> (
+          match (lateral_offset_from ~root b, vector_bounds a) with
+          | Some (lo, hi), Some ((xl, xh), _) -> Some (lo +. xl, hi +. xh)
+          | _ -> None))
+  | _ -> None
+
+(* --- map construction ----------------------------------------------------- *)
+
+let map_pieces_of_region region field : Prune.piece list option =
+  match G.Region.polyset region with
+  | None -> None
+  | Some ps ->
+      Some
+        (List.map
+           (fun poly ->
+             {
+               Prune.poly;
+               dir = G.Vectorfield.at field (G.Polygon.centroid poly);
+             })
+           (G.Polyset.polygons ps))
+
+(** Cluster polygons into connected components under near-adjacency and
+    return the convex hull of each cluster — the road-level map used by
+    width pruning (each hull is convex, and any configuration too wide
+    for a hull cannot lie wholly inside it). *)
+let cluster_hulls polys =
+  let n = List.length polys in
+  let arr = Array.of_list polys in
+  let dilated = Array.map (fun p -> G.Polygon.dilate p 0.6) arr in
+  let parent = Array.init n Fun.id in
+  let rec find i = if parent.(i) = i then i else (parent.(i) <- find parent.(i); parent.(i)) in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(ri) <- rj
+  in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if G.Polygon.overlaps dilated.(i) dilated.(j) then union i j
+    done
+  done;
+  let groups = Hashtbl.create 8 in
+  Array.iteri
+    (fun i p ->
+      let r = find i in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt groups r) in
+      Hashtbl.replace groups r (p :: cur))
+    arr;
+  Hashtbl.fold
+    (fun _ ps acc ->
+      let pts = List.concat_map G.Polygon.vertices ps in
+      match G.Polygon.convex_hull pts with
+      | hull -> hull :: acc
+      | exception G.Polygon.Degenerate _ -> acc)
+    groups []
+
+(* --- application ------------------------------------------------------------ *)
+
+type stats = {
+  mutable containment_rewrites : int;
+  mutable orientation_rewrites : int;
+  mutable width_rewrites : int;
+}
+
+let rewrite_region (node : Value.rnode) region =
+  node.rkind <- R_uniform_in (Vregion region)
+
+let apply_containment (scenario : Scenario.t) stats =
+  match G.Region.polyset scenario.workspace with
+  | None -> ()
+  | Some _ ->
+      List.iter
+        (fun obj ->
+          match position_node obj with
+          | None -> ()
+          | Some (node, region) -> (
+              let min_radius =
+                match (get_prop obj "width", get_prop obj "height") with
+                | Some w, Some h -> (
+                    match (float_bounds w, float_bounds h) with
+                    | Some (wlo, _), Some (hlo, _) when Float.min wlo hlo > 0.01 ->
+                        Some (0.5 *. Float.min wlo hlo)
+                    | _ -> None)
+                | _ -> None
+              in
+              match min_radius with
+              | None -> ()
+              | Some r -> (
+                  match
+                    Prune.containment_filter ~container:scenario.workspace
+                      ~min_radius:r region
+                  with
+                  | None -> ()
+                  | Some region' ->
+                      rewrite_region node region';
+                      stats.containment_rewrites <- stats.containment_rewrites + 1)))
+        scenario.objects
+
+let apply_orientation (scenario : Scenario.t) stats =
+  let cones = cones_of_scenario scenario in
+  (* mutual cone pairs *)
+  List.iter
+    (fun (c : cone) ->
+      match
+        List.find_opt
+          (fun (c' : cone) ->
+            c'.viewer.oid = c.target.oid && c'.target.oid = c.viewer.oid)
+          cones
+      with
+      | None -> ()
+      | Some back when c.viewer.oid < c.target.oid -> (
+          match (alignment_of c.viewer, alignment_of c.target) with
+          | Some a1, Some a2 ->
+              let s = c.half_angle +. back.half_angle in
+              let delta = (a1.al_delta +. a2.al_delta) /. 2. in
+              if s +. (2. *. delta) < G.Angle.pi -. 0.01 then begin
+                let m = Float.min c.max_dist back.max_dist in
+                let rel = (G.Angle.pi -. s, G.Angle.pi +. s) in
+                let prune_one (al : alignment) (other : alignment) =
+                  match
+                    ( map_pieces_of_region al.al_region al.al_field,
+                      map_pieces_of_region other.al_region other.al_field )
+                  with
+                  | Some map, Some others ->
+                      let polys =
+                        Prune.prune_by_heading ~map ~others ~rel ~delta
+                          ~max_dist:m
+                      in
+                      let polys = Prune.dedup_pieces polys in
+                      if polys <> [] then begin
+                        let ps = G.Polyset.make polys in
+                        let region' = G.Region.replace_polyset al.al_region ps in
+                        rewrite_region al.al_node region';
+                        stats.orientation_rewrites <- stats.orientation_rewrites + 1
+                      end
+                  | _ -> ()
+                in
+                prune_one a1 a2;
+                prune_one a2 a1
+              end
+          | _ -> ())
+      | Some _ -> ())
+    cones
+
+let apply_width (scenario : Scenario.t) stats =
+  (* Guaranteed lateral spread of derived objects around each
+     region-sampled object. *)
+  List.iter
+    (fun root_obj ->
+      match (alignment_of root_obj, position_node root_obj) with
+      | Some al, Some (node, region) ->
+          let half_width o =
+            match get_prop o "width" with
+            | Some w -> (
+                match float_bounds w with Some (lo, _) -> lo /. 2. | None -> 0.)
+            | None -> 0.
+          in
+          let offsets =
+            List.filter_map
+              (fun o ->
+                if o.oid = root_obj.oid then Some (0., 0., half_width o)
+                else
+                  match get_prop o "position" with
+                  | Some p ->
+                      Option.map
+                        (fun (lo, hi) -> (lo, hi, half_width o))
+                        (lateral_offset_from ~root:node p)
+                  | None -> None)
+              scenario.objects
+          in
+          if List.length offsets >= 2 then begin
+            (* guaranteed separation: max over pairs of the certain gap
+               between bounding boxes' outer edges (centers plus the
+               extreme objects' half-widths, which must also fit in the
+               workspace) *)
+            let spread =
+              List.fold_left
+                (fun acc (lo1, hi1, w1) ->
+                  List.fold_left
+                    (fun acc (lo2, hi2, w2) ->
+                      let gap = Float.max (lo1 -. hi2) (lo2 -. hi1) in
+                      if gap > 0. then Float.max acc (gap +. w1 +. w2) else acc)
+                    acc offsets)
+                0. offsets
+            in
+            (* conservative slack for heading wiggle along the chain *)
+            let min_width = spread *. 0.95 in
+            (* distance bound: every object visible from the ego *)
+            let m =
+              match get_prop scenario.ego "viewDistance" with
+              | Some v -> (
+                  match float_bounds v with Some (_, hi) -> hi | None -> 100.)
+              | None -> 100.
+            in
+            if min_width > 1. then begin
+              match
+                (G.Region.polyset scenario.workspace, G.Region.polyset region)
+              with
+              | Some wps, Some rps ->
+                  let hulls = cluster_hulls (G.Polyset.polygons wps) in
+                  let map =
+                    List.map (fun poly -> { Prune.poly; dir = 0. }) hulls
+                  in
+                  let allowed = Prune.prune_by_width ~map ~min_width ~max_dist:m in
+                  (* restrict the object's region polygons to the allowed map *)
+                  let clipped =
+                    List.concat_map
+                      (fun lane ->
+                        List.filter_map
+                          (fun a ->
+                            match G.Polygon.intersect lane a with
+                            | Some p when G.Polygon.area p > 1e-6 -> Some p
+                            | _ -> None)
+                          allowed)
+                      (G.Polyset.polygons rps)
+                  in
+                  let clipped = Prune.dedup_pieces clipped in
+                  if clipped <> [] then begin
+                    let region' =
+                      G.Region.replace_polyset region (G.Polyset.make clipped)
+                    in
+                    rewrite_region al.al_node region';
+                    stats.width_rewrites <- stats.width_rewrites + 1
+                  end
+              | _ -> ()
+            end
+          end
+      | _ -> ())
+    scenario.objects
+
+type options = {
+  containment : bool;
+  orientation : bool;
+  width : bool;
+}
+
+let all_options = { containment = true; orientation = true; width = true }
+let no_pruning = { containment = false; orientation = false; width = false }
+
+(** Apply the selected pruning techniques to a scenario, rewriting its
+    uniform-region nodes in place.  Returns counts of rewrites. *)
+let prune ?(options = all_options) (scenario : Scenario.t) : stats =
+  let stats =
+    { containment_rewrites = 0; orientation_rewrites = 0; width_rewrites = 0 }
+  in
+  (* width and orientation restrict the polyset; containment adds a
+     filter predicate on top *)
+  if options.orientation then apply_orientation scenario stats;
+  if options.width then apply_width scenario stats;
+  if options.containment then apply_containment scenario stats;
+  stats

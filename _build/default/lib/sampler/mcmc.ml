@@ -1,0 +1,276 @@
+(** A Markov chain Monte Carlo sampler for Scenic scenarios.
+
+    The paper closes Sec. 5.2 with: "In future work it would be
+    interesting to see whether Markov chain Monte Carlo methods
+    previously used for probabilistic programming could be made
+    effective in the case of Scenic."  This module is that experiment:
+    single-site Metropolis–Hastings over the scenario's {e base} random
+    nodes, in the style of lightweight-MH PPL implementations (the
+    paper's refs [32, 35, 48]).
+
+    The chain state is an assignment of concrete values to every base
+    node reached during evaluation.  A step picks one site, redraws it
+    from its prior, recomputes the DAG deterministically, and accepts
+    with the Metropolis–Hastings ratio where
+
+    - hard requirements contribute a 0/1 factor;
+    - each soft requirement [require[p] B] contributes 1 when B holds
+      and (1 − p) otherwise (matching rejection sampling's marginal
+      acceptance of such runs);
+    - prior densities of the {e other} sites are included, so sites
+      whose distribution parameters depend on the redrawn site (e.g. a
+      position uniform in a view region that moved) are weighted
+      correctly when the region's area is computable, and rejected via
+      a support check otherwise.
+
+    For scenarios whose base distributions have fixed parameters the
+    chain is exact (agreement with rejection sampling is
+    property-tested); for positions uniform in regions of
+    non-computable area (visibility intersections) the density
+    correction degrades to a support indicator, a documented
+    approximation. *)
+
+open Scenic_core
+open Value
+module G = Scenic_geometry
+module P = Scenic_prob
+
+type state = (int, Value.value) Hashtbl.t
+(** base node id → drawn value *)
+
+type evaluation = {
+  ev_weight : float;  (** requirement weight; 0 when infeasible *)
+  ev_state : state;  (** values of exactly the reachable base sites *)
+  ev_logd : (int, float) Hashtbl.t;  (** per-site prior log-density *)
+  ev_force : Value.value -> Value.value;
+}
+
+exception Infeasible
+
+let log_normal_pdf ~mean ~std x =
+  if std <= 0. then 0.
+  else
+    let z = (x -. mean) /. std in
+    -.(0.5 *. z *. z) -. log std -. (0.5 *. log (2. *. Float.pi))
+
+(* Evaluate the scenario, reading base values from [pinned] where
+   present (checking support) and drawing fresh values otherwise. *)
+let evaluate rng (scenario : Scenario.t) (pinned : state) : evaluation =
+  let memo = Hashtbl.create 64 in
+  let logd = Hashtbl.create 32 in
+  let reached = Hashtbl.create 32 in
+  let rec force v =
+    match v with
+    | Vrandom n -> (
+        match Hashtbl.find_opt memo n.rid with
+        | Some c -> c
+        | None ->
+            let c = eval_node n in
+            Hashtbl.replace memo n.rid c;
+            c)
+    | Vlist vs -> Vlist (List.map force vs)
+    | Vdict kvs -> Vdict (List.map (fun (k, v) -> (force k, force v)) kvs)
+    | Voriented { opos; ohead } ->
+        Voriented { opos = force opos; ohead = force ohead }
+    | v -> v
+  and eval_node (n : Value.rnode) =
+    match n.rkind with
+    | R_op (_, args, fn) -> fn (List.map force args)
+    | _ ->
+        Hashtbl.replace reached n.rid ();
+        let v =
+          match Hashtbl.find_opt pinned n.rid with
+          | Some v ->
+              check_support n v;
+              v
+          | None ->
+              let v = draw_base n in
+              Hashtbl.replace pinned n.rid v;
+              v
+        in
+        Hashtbl.replace logd n.rid (site_log_density n v);
+        v
+  and fl v = Ops.as_float (force v)
+  and check_support (n : Value.rnode) v =
+    match n.rkind with
+    | R_interval (lo, hi) ->
+        let x = Ops.as_float v in
+        if x < fl lo -. 1e-12 || x > fl hi +. 1e-12 then raise Infeasible
+    | R_uniform_in region -> (
+        match force region with
+        | Vregion r -> if not (G.Region.contains r (Ops.cvec v)) then raise Infeasible
+        | _ -> raise Infeasible)
+    | _ -> ()
+  and site_log_density (n : Value.rnode) v =
+    match n.rkind with
+    | R_interval (lo, hi) ->
+        let w = fl hi -. fl lo in
+        if w > 0. then -.log w else 0.
+    | R_normal (mean, std) -> log_normal_pdf ~mean:(fl mean) ~std:(fl std) (Ops.as_float v)
+    | R_uniform_in region -> (
+        match force region with
+        | Vregion r -> (
+            match G.Region.area r with
+            | Some a when a > 0. -> -.log a
+            | _ -> 0. (* support-indicator fallback *))
+        | _ -> 0.)
+    | R_choice _ | R_discrete _ -> 0. (* static support: constant factor *)
+    | R_op _ -> 0.
+  and draw_base (n : Value.rnode) =
+    match n.rkind with
+    | R_interval (lo, hi) ->
+        let lo = fl lo and hi = fl hi in
+        Vfloat (P.Distribution.sample (P.Distribution.uniform ~low:lo ~high:hi) rng)
+    | R_normal (mean, std) ->
+        Vfloat (P.Distribution.sample_normal rng ~mean:(fl mean) ~std:(fl std))
+    | R_choice vs -> force (List.nth vs (P.Rng.int rng (List.length vs)))
+    | R_discrete pairs ->
+        let weights = Array.of_list (List.map (fun (_, w) -> fl w) pairs) in
+        let idx =
+          int_of_float (P.Distribution.sample (P.Distribution.discrete weights) rng)
+        in
+        force (fst (List.nth pairs idx))
+    | R_uniform_in region -> (
+        match force region with
+        | Vregion r -> (
+            match G.Region.sample r ~urand:(fun () -> P.Rng.float rng) with
+            | p -> Vvec p
+            | exception G.Region.Empty_region _ -> raise Infeasible)
+        | v -> Errors.type_error "expected a region, got %s" (type_name v))
+    | R_op _ -> assert false
+  in
+  let weight =
+    List.fold_left
+      (fun acc (r : Scenario.requirement) ->
+        if acc = 0. then 0.
+        else
+          let ok =
+            try Ops.truthy (force r.cond)
+            with G.Region.Empty_region _ -> false
+          in
+          match r.prob with
+          | None -> if ok then acc else 0.
+          | Some p -> if ok then acc else acc *. (1. -. p))
+      1. scenario.requirements
+  in
+  (* keep only the sites reached by this evaluation *)
+  let ev_state = Hashtbl.create (Hashtbl.length reached) in
+  Hashtbl.iter
+    (fun id () ->
+      match Hashtbl.find_opt pinned id with
+      | Some v -> Hashtbl.replace ev_state id v
+      | None -> ())
+    reached;
+  { ev_weight = weight; ev_state; ev_logd = logd; ev_force = force }
+
+(* sum of per-site log densities, excluding [except] *)
+let log_prior_except ev ~except =
+  Hashtbl.fold
+    (fun id d acc -> if id = except then acc else acc +. d)
+    ev.ev_logd 0.
+
+type t = {
+  scenario : Scenario.t;
+  rng : P.Rng.t;
+  mutable current : evaluation;
+  mutable accepted : int;
+  mutable steps : int;
+  thin : int;
+  burn_in : int;
+  mutable burned : bool;
+}
+
+let default_burn_in = 150
+let default_thin = 20
+
+(** Initialise the chain from a feasible point (found by prior
+    sampling, i.e. rejection — MCMC needs a valid start). *)
+let create ?(burn_in = default_burn_in) ?(thin = default_thin)
+    ?(max_init_iters = Rejection.default_max_iters) ~seed scenario : t =
+  let rng = P.Rng.create seed in
+  let rec init tries =
+    if tries > max_init_iters then Errors.raise_at Errors.Zero_probability
+    else
+      match evaluate rng scenario (Hashtbl.create 32) with
+      | ev when ev.ev_weight > 0. -> ev
+      | _ -> init (tries + 1)
+      | exception Infeasible -> init (tries + 1)
+  in
+  let ev = init 1 in
+  {
+    scenario;
+    rng;
+    current = ev;
+    accepted = 0;
+    steps = 0;
+    thin;
+    burn_in;
+    burned = false;
+  }
+
+(** One Metropolis–Hastings step. *)
+let step t =
+  t.steps <- t.steps + 1;
+  let sites = Hashtbl.fold (fun id _ acc -> id :: acc) t.current.ev_state [] in
+  match sites with
+  | [] -> ()
+  | _ -> (
+      let site = List.nth sites (P.Rng.int t.rng (List.length sites)) in
+      let pinned = Hashtbl.copy t.current.ev_state in
+      Hashtbl.remove pinned site;
+      match evaluate t.rng t.scenario pinned with
+      | exception Infeasible -> ()
+      | ev' when ev'.ev_weight = 0. -> ()
+      | ev' ->
+          let log_ratio =
+            log (ev'.ev_weight /. t.current.ev_weight)
+            +. log_prior_except ev' ~except:site
+            -. log_prior_except t.current ~except:site
+          in
+          if log (P.Rng.float t.rng +. 1e-300) < log_ratio then begin
+            t.current <- ev';
+            t.accepted <- t.accepted + 1
+          end)
+
+(* Extract a concrete scene from the current evaluation. *)
+let scene_of_current t : Scene.t =
+  let force = t.current.ev_force in
+  let objs =
+    List.map
+      (fun (o : Value.obj) ->
+        let props =
+          Hashtbl.fold
+            (fun k v acc ->
+              match v with
+              | Vclass _ | Vclosure _ | Vbuiltin _ -> acc
+              | _ -> (k, force v) :: acc)
+            o.props []
+        in
+        { Scene.c_class = o.cls.cname; c_oid = o.oid; c_props = props })
+      t.scenario.objects
+  in
+  let params = List.map (fun (k, v) -> (k, force v)) t.scenario.params in
+  let ego_index =
+    match
+      List.mapi (fun i o -> (i, o)) t.scenario.objects
+      |> List.find_opt (fun (_, o) -> o.oid = t.scenario.ego.oid)
+    with
+    | Some (i, _) -> i
+    | None -> Errors.raise_at Errors.Undefined_ego
+  in
+  { Scene.objs; params; ego_index }
+
+(** Draw the next (thinned) sample from the chain. *)
+let sample t : Scene.t =
+  let todo = if t.burned then t.thin else t.burn_in + t.thin in
+  t.burned <- true;
+  for _ = 1 to todo do
+    step t
+  done;
+  scene_of_current t
+
+let sample_many t n = List.init n (fun _ -> sample t)
+
+(** Fraction of proposals accepted so far. *)
+let acceptance_rate t =
+  if t.steps = 0 then 0. else float_of_int t.accepted /. float_of_int t.steps

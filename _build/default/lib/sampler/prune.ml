@@ -1,0 +1,108 @@
+(** The three domain-specific pruning algorithms of Sec. 5.2 /
+    App. B.5, operating on polygonal maps with piecewise-constant
+    orientation.
+
+    All three are {e sound}: they only remove parts of the sample space
+    where the requirements provably cannot hold, so the sampled
+    distribution is unchanged (property-tested in
+    [test/test_pruning.ml]). *)
+
+module G = Scenic_geometry
+
+type piece = { poly : G.Polygon.t; dir : float }
+(** a map polygon with its constant field heading *)
+
+let pieces_of_field field =
+  match G.Vectorfield.pieces field with
+  | Some ps -> Some (List.map (fun (poly, dir) -> { poly; dir }) ps)
+  | None -> None
+
+(** {b Pruning based on containment} (Sec. 5.2).  Restrict region [r]
+    (a polyset-backed region) to [r ∩ erode(c, min_radius)]: any object
+    centered outside the eroded region would have part of its inscribed
+    disc — hence of its bounding box — outside [c].  The erosion
+    predicate is exact (clipped union boundary), applied as a local
+    filter so rejected positions never cost a scene-level iteration. *)
+let containment_filter ~container ~min_radius region =
+  match G.Region.polyset container with
+  | None -> None
+  | Some c_ps ->
+      let pred = G.Polyset.erode_pred c_ps min_radius in
+      Some
+        (G.Region.filtered
+           ~fname:(Printf.sprintf "erode(%.2f)" min_radius)
+           region pred)
+
+(** {b Pruning based on orientation} — Algorithm 2, [pruneByHeading].
+    [map] is the list of pieces of the pruned object's region;
+    [others] those of the other object's region (the paper uses a
+    single shared map; passing it twice reproduces that exactly).
+    [rel] = (lo, hi) is the allowed relative-heading interval between
+    the two field orientations, [delta] the per-object alignment
+    wiggle, [max_dist] the distance bound M. *)
+let prune_by_heading ~(map : piece list) ~(others : piece list)
+    ~rel:(rel_lo, rel_hi) ~delta ~max_dist : G.Polygon.t list =
+  let result = ref [] in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun q ->
+          let rel_head = G.Angle.normalize (p.dir -. q.dir) in
+          let ok_heading =
+            G.Angle.in_interval ~tol:(2. *. delta) rel_head ~lo:rel_lo
+              ~hi:rel_hi
+          in
+          if ok_heading then begin
+            let q' = G.Polygon.dilate q.poly max_dist in
+            match G.Polygon.intersect p.poly q' with
+            | Some piece when G.Polygon.area piece > 1e-6 ->
+                result := piece :: !result
+            | _ -> ()
+          end)
+        others)
+    map;
+  !result
+
+(** Deduplicating union used after Algorithms 2/3: merge clipped pieces
+    that came from the same source polygon, keeping the largest cover.
+    We conservatively keep all pieces; overlapping duplicates would
+    re-weight sampling, so subsume pieces fully contained in another. *)
+let dedup_pieces polys =
+  let contains_poly big small =
+    List.for_all (fun v -> G.Polygon.contains big v) (G.Polygon.vertices small)
+  in
+  let rec go kept = function
+    | [] -> List.rev kept
+    | p :: rest ->
+        if
+          List.exists (fun q -> q != p && contains_poly q p) kept
+          || List.exists (fun q -> contains_poly q p) rest
+        then go kept rest
+        else go (p :: kept) rest
+  in
+  go [] (List.sort (fun a b -> compare (G.Polygon.area b) (G.Polygon.area a)) polys)
+
+(** {b Pruning based on size} — Algorithm 3, [pruneByWidth].  Polygons
+    too narrow to contain the whole configuration (of guaranteed width
+    [min_width]) are restricted to the parts within [max_dist] of some
+    other polygon. *)
+let prune_by_width ~(map : piece list) ~min_width ~max_dist :
+    G.Polygon.t list =
+  let narrow, wide =
+    List.partition (fun p -> G.Polygon.min_width p.poly < min_width) map
+  in
+  let restricted =
+    List.concat_map
+      (fun p ->
+        List.filter_map
+          (fun q ->
+            if q == p then None
+            else
+              let q' = G.Polygon.dilate q.poly max_dist in
+              match G.Polygon.intersect p.poly q' with
+              | Some piece when G.Polygon.area piece > 1e-6 -> Some piece
+              | _ -> None)
+          map)
+      narrow
+  in
+  List.map (fun p -> p.poly) wide @ dedup_pieces restricted

@@ -1,0 +1,140 @@
+(** Rejection sampling from a scenario (Sec. 5.2, App. B.4).
+
+    Each iteration draws every base distribution node fresh, memoises
+    the deterministic nodes, and checks all requirements; iterations
+    violating any enforced requirement are discarded, yielding exact
+    samples from the conditional distribution the program denotes.
+    Soft requirements [require[p] B] are enforced as hard with
+    probability [p], independently per iteration (App. B.3). *)
+
+open Scenic_core
+open Value
+module G = Scenic_geometry
+module P = Scenic_prob
+
+exception Rejected of string
+(** raised internally when a locally-unsatisfiable situation occurs
+    during forcing (e.g. an empty visible region) — treated as a
+    requirement violation for that iteration *)
+
+(** Force a value to a concrete one under the current draw, memoising
+    random nodes by id. *)
+let rec force rng (memo : (int, Value.value) Hashtbl.t) (v : Value.value) :
+    Value.value =
+  match v with
+  | Vrandom n -> (
+      match Hashtbl.find_opt memo n.rid with
+      | Some c -> c
+      | None ->
+          let c = eval_node rng memo n in
+          Hashtbl.replace memo n.rid c;
+          c)
+  | Vlist vs -> Vlist (List.map (force rng memo) vs)
+  | Vdict kvs ->
+      Vdict (List.map (fun (k, v) -> (force rng memo k, force rng memo v)) kvs)
+  | Voriented { opos; ohead } ->
+      Voriented { opos = force rng memo opos; ohead = force rng memo ohead }
+  | v -> v
+
+and eval_node rng memo (n : Value.rnode) : Value.value =
+  let f v = force rng memo v in
+  let fl v = Ops.as_float (f v) in
+  match n.rkind with
+  | R_interval (lo, hi) ->
+      let lo = fl lo and hi = fl hi in
+      Vfloat (P.Distribution.sample (P.Distribution.uniform ~low:lo ~high:hi) rng)
+  | R_normal (mean, std) ->
+      let mean = fl mean and std = fl std in
+      Vfloat (P.Distribution.sample_normal rng ~mean ~std)
+  | R_choice vs ->
+      let idx = P.Rng.int rng (List.length vs) in
+      f (List.nth vs idx)
+  | R_discrete pairs ->
+      let weights = Array.of_list (List.map (fun (_, w) -> fl w) pairs) in
+      let idx =
+        int_of_float (P.Distribution.sample (P.Distribution.discrete weights) rng)
+      in
+      f (fst (List.nth pairs idx))
+  | R_uniform_in region -> (
+      match f region with
+      | Vregion r -> (
+          let urand () = P.Rng.float rng in
+          try Vvec (G.Region.sample r ~urand)
+          with G.Region.Empty_region msg -> raise (Rejected msg))
+      | v -> Errors.type_error "expected a region, got %s" (type_name v))
+  | R_op (_, args, fn) -> fn (List.map f args)
+
+(* --- scene extraction ---------------------------------------------------- *)
+
+let concretize_obj rng memo (o : Value.obj) : Scene.cobj =
+  let props =
+    Hashtbl.fold
+      (fun k v acc ->
+        match v with
+        | Vclass _ | Vclosure _ | Vbuiltin _ -> acc
+        | _ -> (k, force rng memo v) :: acc)
+      o.props []
+  in
+  { Scene.c_class = o.cls.cname; c_oid = o.oid; c_props = props }
+
+(** Check every requirement under the current draw; soft requirements
+    are enforced with their probability. *)
+let requirements_hold rng memo (reqs : Scenario.requirement list) =
+  List.for_all
+    (fun (r : Scenario.requirement) ->
+      let enforced =
+        match r.prob with None -> true | Some p -> P.Rng.float rng < p
+      in
+      (not enforced) || Ops.truthy (force rng memo r.cond))
+    reqs
+
+type stats = {
+  iterations : int;  (** scene-level iterations used for the last sample *)
+  total_iterations : int;  (** cumulative over the sampler's lifetime *)
+}
+
+type t = {
+  scenario : Scenario.t;
+  rng : P.Rng.t;
+  max_iters : int;
+  mutable cumulative : int;
+}
+
+let default_max_iters = 100_000
+
+let create ?(max_iters = default_max_iters) ~rng scenario =
+  { scenario; rng; max_iters; cumulative = 0 }
+
+(** Draw one scene; returns the scene and the number of iterations the
+    rejection loop used (the paper reports "several hundred iterations
+    at most" for reasonable scenarios). *)
+let sample_with_stats t : Scene.t * stats =
+  let rec attempt i =
+    if i > t.max_iters then Errors.raise_at Errors.Zero_probability
+    else
+      let memo = Hashtbl.create 64 in
+      match requirements_hold t.rng memo t.scenario.requirements with
+      | exception Rejected _ -> attempt (i + 1)
+      | false -> attempt (i + 1)
+      | true ->
+          let objs = List.map (concretize_obj t.rng memo) t.scenario.objects in
+          let params =
+            List.map (fun (k, v) -> (k, force t.rng memo v)) t.scenario.params
+          in
+          let ego_index =
+            match
+              List.mapi (fun i o -> (i, o)) t.scenario.objects
+              |> List.find_opt (fun (_, o) -> o.oid = t.scenario.ego.oid)
+            with
+            | Some (i, _) -> i
+            | None -> Errors.raise_at Errors.Undefined_ego
+          in
+          (({ Scene.objs; params; ego_index } : Scene.t), i)
+  in
+  let scene, iters = attempt 1 in
+  t.cumulative <- t.cumulative + iters;
+  (scene, { iterations = iters; total_iterations = t.cumulative })
+
+let sample t = fst (sample_with_stats t)
+
+let sample_many t n = List.init n (fun _ -> sample t)

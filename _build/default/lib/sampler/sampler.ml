@@ -1,0 +1,33 @@
+(** Front-end: compile → prune → rejection-sample (the full pipeline of
+    Fig. 2's "Scenic Sampler" box). *)
+
+module P = Scenic_prob
+
+type t = {
+  scenario : Scenic_core.Scenario.t;
+  rejection : Rejection.t;
+  prune_stats : Analyze.stats option;
+}
+
+(** Build a sampler for a scenario.  [prune] (default true) applies the
+    domain-specific pruning of Sec. 5.2 before sampling; the rewrites
+    preserve the sampled distribution. *)
+let create ?(prune = true) ?prune_options ?max_iters ~seed scenario =
+  let prune_stats =
+    if prune then Some (Analyze.prune ?options:prune_options scenario) else None
+  in
+  let rng = P.Rng.create seed in
+  { scenario; rejection = Rejection.create ?max_iters ~rng scenario; prune_stats }
+
+(** Compile Scenic source and build a sampler for it. *)
+let of_source ?prune ?prune_options ?max_iters ?file ?search_path ~seed src =
+  let scenario = Scenic_core.Eval.compile ?file ?search_path src in
+  create ?prune ?prune_options ?max_iters ~seed scenario
+
+let sample t = Rejection.sample t.rejection
+let sample_with_stats t = Rejection.sample_with_stats t.rejection
+let sample_many t n = Rejection.sample_many t.rejection n
+
+(** Iterations accumulated so far (for the pruning-effectiveness
+    experiment E8). *)
+let total_iterations t = t.rejection.Rejection.cumulative

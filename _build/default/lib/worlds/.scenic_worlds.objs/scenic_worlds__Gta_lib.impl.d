@@ -1,0 +1,1 @@
+lib/worlds/gta_lib.ml: List Road_network Scenic_core Scenic_geometry

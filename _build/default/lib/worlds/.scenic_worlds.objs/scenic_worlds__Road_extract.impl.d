@@ -1,0 +1,1 @@
+lib/worlds/road_extract.ml: Array List Scenic_geometry

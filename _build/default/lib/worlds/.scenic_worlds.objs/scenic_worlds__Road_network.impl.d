@@ -1,0 +1,1 @@
+lib/worlds/road_network.ml: List Scenic_geometry Scenic_prob

@@ -1,0 +1,1 @@
+lib/worlds/scenic_worlds_init.ml: Gta_lib Mars_lib Xplane_lib

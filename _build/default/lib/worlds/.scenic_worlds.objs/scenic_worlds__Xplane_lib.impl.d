@@ -1,0 +1,1 @@
+lib/worlds/xplane_lib.ml: Scenic_core Scenic_geometry

@@ -1,0 +1,163 @@
+(** The [gtaLib] module of the case study (Sec. 6.1, App. A.1):
+    regions for roads and curbs, the [roadDirection] field, the [Car]
+    class with model/color distributions, and the platoon helper
+    functions of App. A.10/A.11.
+
+    Native OCaml bindings provide the geometry (from
+    {!Road_network.generate}) and the model/color tables; the [Car]
+    class and helper functions are written in Scenic itself, exactly as
+    printed in the paper's appendix. *)
+
+open Scenic_core.Value
+module G = Scenic_geometry
+
+(** The 13 car models of the case study ("a uniform distribution over
+    13 diverse models provided by GTAV"), with realistic bounding-box
+    dimensions in meters (width × length). *)
+let car_models =
+  [
+    ("BLISTA", 1.8, 4.2);
+    ("BUFFALO", 2.0, 5.1);
+    ("DOMINATOR", 1.9, 4.9);
+    ("ASEA", 1.8, 4.5);
+    ("NINEF", 1.9, 4.4);
+    ("DILETTANTE", 1.8, 4.3);
+    ("FUTO", 1.7, 4.2);
+    ("ISSI", 1.7, 3.6);
+    ("PREMIER", 1.9, 4.8);
+    ("SCHAFTER", 1.9, 5.0);
+    ("ORACLE", 1.9, 5.0);
+    ("JACKAL", 1.9, 4.7);
+    ("PATRIOT", 2.1, 5.5);
+  ]
+
+let model_value (name, width, length) =
+  Vdict
+    [
+      (Vstr "name", Vstr name);
+      (Vstr "width", Vfloat width);
+      (Vstr "height", Vfloat length);
+    ]
+
+(** Real-world car colour statistics (DuPont 2012 report [8]):
+    (name, RGB in [0,1], weight in %). *)
+let car_colors =
+  [
+    ("white", (0.95, 0.95, 0.95), 23.);
+    ("black", (0.06, 0.06, 0.06), 21.);
+    ("silver", (0.75, 0.75, 0.78), 16.);
+    ("gray", (0.5, 0.5, 0.52), 15.);
+    ("red", (0.7, 0.1, 0.1), 10.);
+    ("blue", (0.15, 0.25, 0.6), 9.);
+    ("brown", (0.4, 0.3, 0.2), 5.);
+    ("green", (0.15, 0.4, 0.2), 2.);
+    ("yellow", (0.9, 0.8, 0.2), 2.);
+  ]
+
+let color_value (_, (r, g, b), _) = Vlist [ Vfloat r; Vfloat g; Vfloat b ]
+
+let err = Scenic_core.Errors.type_error
+
+let car_model_binding () =
+  let models =
+    Vdict (List.map (fun ((n, _, _) as m) -> (Vstr n, model_value m)) car_models)
+  in
+  let default_model =
+    Vbuiltin
+      ( "CarModel.defaultModel",
+        fun args _kw ->
+          if args <> [] then err "defaultModel takes no arguments"
+          else random (R_choice (List.map model_value car_models)) )
+  in
+  Vdict [ (Vstr "models", models); (Vstr "defaultModel", default_model) ]
+
+let car_color_binding () =
+  let byte_to_real =
+    Vbuiltin
+      ( "CarColor.byteToReal",
+        fun args _kw ->
+          match args with
+          | [ Vlist comps ] ->
+              Vlist
+                (List.map
+                   (fun c -> Vfloat (Scenic_core.Ops.as_float c /. 255.))
+                   comps)
+          | _ -> err "byteToReal expects a list of byte values" )
+  in
+  let default_color =
+    Vbuiltin
+      ( "CarColor.defaultColor",
+        fun args _kw ->
+          if args <> [] then err "defaultColor takes no arguments"
+          else
+            random
+              (R_discrete
+                 (List.map
+                    (fun ((_, _, w) as c) -> (color_value c, Vfloat w))
+                    car_colors)) )
+  in
+  Vdict [ (Vstr "byteToReal", byte_to_real); (Vstr "defaultColor", default_color) ]
+
+(** The Scenic part of gtaLib: the [Car] class of App. A.1 and the
+    helper functions of App. A.10/A.11, verbatim, plus the default
+    time/weather distributions of Sec. 6.1. *)
+let source =
+  {|
+param time = (0, 1440)
+param weather = Discrete({'EXTRASUNNY': 18, 'CLEAR': 18, 'OVERCAST': 13, 'CLOUDS': 13, 'SMOG': 7, 'FOGGY': 6, 'CLEARING': 6, 'RAIN': 5, 'THUNDER': 3, 'NEUTRAL': 4, 'SNOW': 3, 'SNOWLIGHT': 2, 'BLIZZARD': 1, 'XMAS': 1})
+
+class Car:
+    position: Point on road
+    heading: (roadDirection at self.position) + self.roadDeviation
+    roadDeviation: 0
+    width: self.model.width
+    height: self.model.height
+    viewAngle: 80 deg
+    visibleDistance: 30
+    viewDistance: self.visibleDistance
+    model: CarModel.defaultModel()
+    color: CarColor.defaultColor()
+
+class EgoCar(Car):
+    model: CarModel.models['BLISTA']
+
+def carAheadOfCar(car, gap, offsetX=0, wiggle=0):
+    pos = OrientedPoint at (front of car) offset by (offsetX @ gap), facing resample(wiggle) relative to roadDirection
+    return Car ahead of pos
+
+def createPlatoonAt(car, numCars, model=None, dist=(2, 8), shift=(-0.5, 0.5), wiggle=0):
+    lastCar = car
+    for i in range(numCars-1):
+        center = follow roadDirection from (front of lastCar) for resample(dist)
+        pos = OrientedPoint right of center by shift, facing resample(wiggle) relative to roadDirection
+        lastCar = Car ahead of pos, with model (car.model if model is None else resample(model))
+|}
+
+(** The default world map (deterministic). *)
+let default_seed = 2019
+
+let network = ref None
+
+let get_network () =
+  match !network with
+  | Some n -> n
+  | None ->
+      let n = Road_network.generate ~seed:default_seed () in
+      network := Some n;
+      n
+
+(** Override the map (tests use small custom networks). *)
+let set_network n = network := Some n
+
+let native () =
+  let n = get_network () in
+  [
+    ("road", Vregion n.Road_network.road_region);
+    ("curb", Vregion n.Road_network.curb_region);
+    ("roadDirection", Vfield n.Road_network.road_direction);
+    ("workspace", Vregion n.Road_network.workspace);
+    ("CarModel", car_model_binding ());
+    ("CarColor", car_color_binding ());
+  ]
+
+let register () = Scenic_core.Module_registry.register ~native ~source "gtaLib"

@@ -1,0 +1,48 @@
+(** The [mars] module of the robot-motion-planning example
+    (Sec. 3 and App. A.12): a square rubble-field workspace and the
+    Rover / Goal / Rock / BigRock / Pipe object types. *)
+
+open Scenic_core.Value
+module G = Scenic_geometry
+
+let half_side = 4.
+
+let ground_polygon () =
+  G.Polygon.rectangle ~min_x:(-.half_side) ~min_y:(-.half_side)
+    ~max_x:half_side ~max_y:half_side
+
+let ground_region () =
+  G.Region.of_polygon ~name:"ground" (ground_polygon ())
+
+let source =
+  {|
+class MarsObject:
+    position: Point on ground
+    heading: (0, 360) deg
+
+class Rover(MarsObject):
+    width: 1.0
+    height: 1.3
+
+class Goal(MarsObject):
+    width: 0.2
+    height: 0.2
+
+class Rock(MarsObject):
+    width: 0.3
+    height: 0.3
+
+class BigRock(Rock):
+    width: 0.5
+    height: 0.5
+
+class Pipe(MarsObject):
+    width: 0.2
+    height: (0.5, 2)
+|}
+
+let native () =
+  let ground = ground_region () in
+  [ ("ground", Vregion ground); ("workspace", Vregion ground) ]
+
+let register () = Scenic_core.Module_registry.register ~native ~source "mars"

@@ -1,0 +1,308 @@
+(** Road-map extraction from a bird's-eye occupancy image — the
+    paper's App. D pipeline for obtaining its GTA V map:
+
+    "we obtained an approximate map by processing a bird's-eye
+    schematic view of the game world.  To identify points on a road, we
+    converted the image to black and white … We then used edge
+    detection to find curbs, and computed the nominal traffic direction
+    by finding for each curb point X the nearest curb point Y on the
+    other side of the road, and assuming traffic flows perpendicular to
+    the segment XY."
+
+    Input: a boolean occupancy grid (true = road) with a scale in
+    meters per pixel.  Output: curb points, a per-pixel traffic
+    direction (right-hand rule: the nearer curb lies to the right of
+    travel, so two-way roads fall out naturally), and a polygonal
+    region with a piecewise-constant orientation field — the same
+    structure {!Road_network.generate} produces, so extracted maps plug
+    into sampling and pruning unchanged.
+
+    Limitations, shared with the paper's pipeline ("the resulting road
+    information was imperfect"): the right-hand-traffic assumption
+    mislabels the left half of one-way roads, and directions rotate
+    near road end caps; the paper handled residual imperfection by
+    manually filtering bad scenes. *)
+
+module G = Scenic_geometry
+
+type grid = {
+  w : int;
+  h : int;
+  cells : bool array;  (** row-major; true = road *)
+  scale : float;  (** meters per pixel *)
+  origin : G.Vec.t;  (** world position of pixel (0, 0)'s corner *)
+}
+
+let make_grid ~w ~h ~scale ~origin cells = { w; h; cells; scale; origin }
+
+let get g x y =
+  if x < 0 || x >= g.w || y < 0 || y >= g.h then false
+  else g.cells.((y * g.w) + x)
+
+(** World coordinates of a pixel center. *)
+let center g x y =
+  G.Vec.add g.origin
+    (G.Vec.make ((float_of_int x +. 0.5) *. g.scale) ((float_of_int y +. 0.5) *. g.scale))
+
+(** Rasterise a region into an occupancy grid (used to round-trip
+    procedurally generated maps through the extraction pipeline, and by
+    tests). *)
+let rasterize ?(scale = 2.0) ~region ~min_x ~min_y ~max_x ~max_y () : grid =
+  let w = int_of_float (ceil ((max_x -. min_x) /. scale)) in
+  let h = int_of_float (ceil ((max_y -. min_y) /. scale)) in
+  let origin = G.Vec.make min_x min_y in
+  let g = { w; h; cells = Array.make (w * h) false; scale; origin } in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      g.cells.((y * g.w) + x) <- G.Region.contains region (center g x y)
+    done
+  done;
+  g
+
+(* --- curb detection (edge detection on the occupancy grid) ------------- *)
+
+(** Road pixels adjacent (4-neighbourhood) to non-road: the curbs. *)
+let curb_pixels g : (int * int) list =
+  let out = ref [] in
+  for y = 0 to g.h - 1 do
+    for x = 0 to g.w - 1 do
+      if
+        get g x y
+        && not (get g (x - 1) y && get g (x + 1) y && get g x (y - 1) && get g x (y + 1))
+      then out := (x, y) :: !out
+    done
+  done;
+  !out
+
+(* --- traffic direction ---------------------------------------------------- *)
+
+(** Direction at each road pixel: perpendicular to the segment joining
+    the pixel's nearest curb to it, signed so the nearer curb is on the
+    {e right} of travel (right-hand traffic).  [max_search] bounds the
+    nearest-curb search radius in pixels. *)
+let directions ?(max_search = 12) g : float option array =
+  let curbs = curb_pixels g in
+  (* bucket curbs per coarse cell for locality *)
+  let bucket = 8 in
+  let bw = (g.w / bucket) + 1 and bh = (g.h / bucket) + 1 in
+  let buckets : (int * int) list array = Array.make (bw * bh) [] in
+  List.iter
+    (fun (x, y) ->
+      let b = ((y / bucket) * bw) + (x / bucket) in
+      buckets.(b) <- (x, y) :: buckets.(b))
+    curbs;
+  let nearest_curb x y =
+    let best = ref None in
+    let bx = x / bucket and by = y / bucket in
+    let reach = (max_search / bucket) + 1 in
+    for cy = max 0 (by - reach) to min (bh - 1) (by + reach) do
+      for cx = max 0 (bx - reach) to min (bw - 1) (bx + reach) do
+        List.iter
+          (fun (px, py) ->
+            let d2 = ((px - x) * (px - x)) + ((py - y) * (py - y)) in
+            match !best with
+            | Some (bd2, _, _) when bd2 <= d2 -> ()
+            | _ -> best := Some (d2, px, py))
+          buckets.((cy * bw) + cx)
+      done
+    done;
+    !best
+  in
+  (* nearest curb satisfying [accept] relative to the pixel *)
+  let nearest_curb_where x y accept =
+    let best = ref None in
+    let bx = x / bucket and by = y / bucket in
+    let reach = (max_search / bucket) + 1 in
+    for cy = max 0 (by - reach) to min (bh - 1) (by + reach) do
+      for cx = max 0 (bx - reach) to min (bw - 1) (bx + reach) do
+        List.iter
+          (fun (px, py) ->
+            if accept px py then begin
+              let d2 = ((px - x) * (px - x)) + ((py - y) * (py - y)) in
+              match !best with
+              | Some (bd2, _, _) when bd2 <= d2 -> ()
+              | _ -> best := Some (d2, px, py)
+            end)
+          buckets.((cy * bw) + cx)
+      done
+    done;
+    !best
+  in
+  ignore nearest_curb;
+  ignore nearest_curb_where;
+  let out = Array.make (g.w * g.h) None in
+  let max_d2 = max_search * max_search in
+  for y = 0 to g.h - 1 do
+    for x = 0 to g.w - 1 do
+      if get g x y then
+        match nearest_curb x y with
+        | Some (d2, cx, cy) when d2 > 0 && d2 <= max_d2 ->
+            let p = center g x y and c = center g cx cy in
+            let into_road = G.Vec.sub p c in
+            (* near curb on the right of travel: rotate curb→pixel by
+               −90° *)
+            out.((y * g.w) + x) <-
+              Some
+                (G.Vec.heading_of (G.Vec.rotate into_road (-.(G.Angle.pi /. 2.))))
+        | _ -> ()
+    done
+  done;
+  (* smooth the staircase noise of pixelated curbs: circular averaging
+     of unit vectors over the 3x3 neighbourhood *)
+  for _pass = 1 to 3 do
+    let smoothed = Array.copy out in
+    for y = 0 to g.h - 1 do
+      for x = 0 to g.w - 1 do
+        match out.((y * g.w) + x) with
+        | Some _ ->
+            let acc = ref G.Vec.zero and n = ref 0 in
+            for dy = -1 to 1 do
+              for dx = -1 to 1 do
+                let nx = x + dx and ny = y + dy in
+                if nx >= 0 && nx < g.w && ny >= 0 && ny < g.h then
+                  match out.((ny * g.w) + nx) with
+                  | Some d ->
+                      acc := G.Vec.add !acc (G.Vec.of_heading d);
+                      incr n
+                  | None -> ()
+              done
+            done;
+            if G.Vec.norm !acc > 0.3 *. float_of_int !n then
+              smoothed.((y * g.w) + x) <- Some (G.Vec.heading_of !acc)
+        | None -> ()
+      done
+    done;
+    Array.blit smoothed 0 out 0 (Array.length out)
+  done;
+  (* Curb pixels are their own nearest curb and get no direction above;
+     propagate from the interior outward (a couple of dilation passes
+     covers curbs and any thin spots). *)
+  for _pass = 1 to 3 do
+    let filled = Array.copy out in
+    for y = 0 to g.h - 1 do
+      for x = 0 to g.w - 1 do
+        if get g x y && out.((y * g.w) + x) = None then begin
+          let found = ref None in
+          for dy = -1 to 1 do
+            for dx = -1 to 1 do
+              let nx = x + dx and ny = y + dy in
+              if !found = None && nx >= 0 && nx < g.w && ny >= 0 && ny < g.h
+              then
+                match out.((ny * g.w) + nx) with
+                | Some _ as d -> found := d
+                | None -> ()
+            done
+          done;
+          filled.((y * g.w) + x) <- !found
+        end
+      done
+    done;
+    Array.blit filled 0 out 0 (Array.length out)
+  done;
+  out
+
+(* --- polygonization --------------------------------------------------------- *)
+
+type piece = { poly : G.Polygon.t; dir : float }
+
+(** Merge road pixels into axis-aligned rectangles of consistent
+    direction: greedy horizontal runs, then vertical merging of
+    equal-extent runs — keeping the piece count small enough for the
+    pruning algorithms while staying piecewise-constant in direction. *)
+let polygonize ?(dir_tolerance = G.Angle.of_degrees 15.) g
+    (dirs : float option array) : piece list =
+  let used = Array.make (g.w * g.h) false in
+  let dir_at x y = dirs.((y * g.w) + x) in
+  let compatible d = function
+    | Some d' -> G.Angle.dist d d' <= dir_tolerance
+    | None -> false
+  in
+  let pieces = ref [] in
+  for y = 0 to g.h - 1 do
+    let x = ref 0 in
+    while !x < g.w do
+      (match dir_at !x y with
+      | Some d when (not used.((y * g.w) + !x)) && get g !x y ->
+          (* horizontal run of compatible direction *)
+          let x0 = !x in
+          let dir_acc = ref 0. and n = ref 0 in
+          while
+            !x < g.w
+            && (not used.((y * g.w) + !x))
+            && get g !x y
+            && compatible d (dir_at !x y)
+          do
+            used.((y * g.w) + !x) <- true;
+            (match dir_at !x y with
+            | Some d' ->
+                dir_acc := !dir_acc +. G.Angle.diff d' d;
+                incr n
+            | None -> ());
+            incr x
+          done;
+          let x1 = !x in
+          (* grow downward while the whole row segment matches *)
+          let y1 = ref (y + 1) in
+          let grows yy =
+            yy < g.h
+            && (let ok = ref true in
+                for xx = x0 to x1 - 1 do
+                  if
+                    used.((yy * g.w) + xx)
+                    || (not (get g xx yy))
+                    || not (compatible d (dir_at xx yy))
+                  then ok := false
+                done;
+                !ok)
+          in
+          while grows !y1 do
+            for xx = x0 to x1 - 1 do
+              used.((!y1 * g.w) + xx) <- true;
+              match dir_at xx !y1 with
+              | Some d' ->
+                  dir_acc := !dir_acc +. G.Angle.diff d' d;
+                  incr n
+              | None -> ()
+            done;
+            incr y1
+          done;
+          let mean_dir =
+            G.Angle.normalize (d +. (!dir_acc /. float_of_int (max 1 !n)))
+          in
+          let p0 = G.Vec.add g.origin (G.Vec.make (float_of_int x0 *. g.scale) (float_of_int y *. g.scale)) in
+          let p1 =
+            G.Vec.add g.origin
+              (G.Vec.make (float_of_int x1 *. g.scale) (float_of_int !y1 *. g.scale))
+          in
+          pieces :=
+            {
+              poly =
+                G.Polygon.rectangle ~min_x:(G.Vec.x p0) ~min_y:(G.Vec.y p0)
+                  ~max_x:(G.Vec.x p1) ~max_y:(G.Vec.y p1);
+              dir = mean_dir;
+            }
+            :: !pieces
+      | _ -> incr x)
+    done
+  done;
+  !pieces
+
+type extraction = {
+  pieces : piece list;
+  road_region : G.Region.t;
+  field : G.Vectorfield.t;
+}
+
+(** The full App. D pipeline. *)
+let extract ?max_search ?dir_tolerance (g : grid) : extraction =
+  let dirs = directions ?max_search g in
+  let pieces = polygonize ?dir_tolerance g dirs in
+  let field =
+    G.Vectorfield.piecewise ~name:"extractedDirection"
+      (List.map (fun p -> (p.poly, p.dir)) pieces)
+  in
+  let region =
+    G.Region.of_polyset ~orientation:field ~name:"extractedRoad"
+      (G.Polyset.make (List.map (fun p -> p.poly) pieces))
+  in
+  { pieces; road_region = region; field }

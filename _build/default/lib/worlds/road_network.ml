@@ -1,0 +1,189 @@
+(** Procedural road networks: the substitute for the GTA V map.
+
+    The paper extracted an approximate polygonal road map (roads,
+    curbs, and a nominal traffic-direction field) from a bird's-eye
+    schematic of the GTA world (App. D).  We generate an equivalent
+    structure procedurally: straight multi-lane roads at varied
+    orientations, each divided into per-lane convex polygons carrying a
+    constant traffic direction — exactly the "vector field constant
+    within polygonal regions" structure the pruning algorithms of
+    Sec. 5.2 assume.  Lane interiors are pairwise disjoint, so uniform
+    region sampling is exact.
+
+    Conventions: right-hand traffic; a lane's curb (if it is the
+    outermost lane of its side) runs along its right edge, oriented
+    with the lane. *)
+
+module G = Scenic_geometry
+module P = Scenic_prob
+
+type lane = {
+  poly : G.Polygon.t;
+  direction : float;  (** traffic heading, anticlockwise from North *)
+  road_id : int;
+  lane_index : int;  (** 0 = innermost of its side *)
+}
+
+type curb = { strip : G.Polygon.t; curb_direction : float }
+
+type t = {
+  lanes : lane list;
+  curbs : curb list;
+  road_direction : G.Vectorfield.t;
+  road_region : G.Region.t;
+  curb_region : G.Region.t;
+  workspace : G.Region.t;
+  extent : float;
+}
+
+let lane_width = 3.5
+let curb_width = 0.3
+
+(* An oriented rectangle strip as a polygon: center, heading, length
+   (along heading), width. *)
+let strip ~center ~heading ~length ~width =
+  G.Rect.to_polygon
+    (G.Rect.make ~center ~heading ~width ~height:length)
+
+type road_spec = {
+  center : G.Vec.t;
+  heading : float;
+  length : float;
+  lanes_per_side : int;
+  one_way : bool;  (** all lanes along [heading]; GTA-style one-way streets *)
+}
+
+let road_polygon spec =
+  let total_width = 2. *. float_of_int spec.lanes_per_side *. lane_width in
+  strip ~center:spec.center ~heading:spec.heading ~length:spec.length
+    ~width:(total_width +. (2. *. curb_width))
+
+(** Build the lanes and curbs of one road.  Lateral offsets are in the
+    road frame: positive x is right of the heading. *)
+let build_road ~road_id spec =
+  let fwd = spec.heading in
+  let lateral off =
+    G.Vec.add spec.center (G.Vec.rotate (G.Vec.make off 0.) fwd)
+  in
+  let n = spec.lanes_per_side in
+  let mk_lane side idx =
+    (* side = +1 for the right side (traffic along [heading]), -1 for
+       the left side (opposite traffic unless the road is one-way). *)
+    let off = float_of_int side *. ((float_of_int idx +. 0.5) *. lane_width) in
+    let direction =
+      if side > 0 || spec.one_way then fwd
+      else G.Angle.normalize (fwd +. G.Angle.pi)
+    in
+    {
+      poly = strip ~center:(lateral off) ~heading:fwd ~length:spec.length ~width:lane_width;
+      direction;
+      road_id;
+      lane_index = idx;
+    }
+  in
+  let lanes =
+    List.concat_map
+      (fun side -> List.init n (fun i -> mk_lane side i))
+      [ 1; -1 ]
+  in
+  let mk_curb side =
+    let off =
+      float_of_int side *. ((float_of_int n *. lane_width) +. (curb_width /. 2.))
+    in
+    let direction =
+      if side > 0 || spec.one_way then fwd
+      else G.Angle.normalize (fwd +. G.Angle.pi)
+    in
+    {
+      strip =
+        strip ~center:(lateral off) ~heading:fwd ~length:spec.length
+          ~width:curb_width;
+      curb_direction = direction;
+    }
+  in
+  (lanes, [ mk_curb 1; mk_curb (-1) ])
+
+let overlaps_any poly polys =
+  List.exists (fun p -> G.Polygon.overlaps poly p) polys
+
+(** Generate a road network with [n_roads] disjoint roads inside a
+    square of half-side [extent], deterministically from [seed]. *)
+let generate ?(n_roads = 7) ?(extent = 300.) ?(one_way_fraction = 0.45)
+    ?(two_lane_fraction = 0.35) ~seed () =
+  let rng = P.Rng.create seed in
+  let rand_between lo hi = lo +. (P.Rng.float rng *. (hi -. lo)) in
+  let specs = ref [] and footprints = ref [] in
+  let attempts = ref 0 in
+  (* The first road is a guaranteed wide "highway" through the middle,
+     so multi-lane scenarios (bumper-to-bumper traffic) always have a
+     home; the rest vary. *)
+  while List.length !specs < n_roads && !attempts < 2000 do
+    incr attempts;
+    let first = !specs = [] in
+    let spec =
+      if first then
+        (* A wide highway due North through the origin, so scenarios
+           (and tests) can use fixed coordinates near the origin. *)
+        {
+          center = G.Vec.zero;
+          heading = 0.;
+          length = extent *. 1.6;
+          lanes_per_side = 3;
+          one_way = false;
+        }
+      else
+        {
+          center =
+            G.Vec.make (rand_between (-.extent) extent) (rand_between (-.extent) extent);
+          heading = G.Angle.of_degrees (rand_between 0. 360.);
+          length = rand_between (extent *. 0.5) (extent *. 1.2);
+          lanes_per_side = (if P.Rng.float rng < two_lane_fraction then 2 else 1);
+          one_way = P.Rng.float rng < one_way_fraction;
+        }
+    in
+    (* Keep a gap between roads so lane polygons stay disjoint. *)
+    let footprint =
+      G.Polygon.dilate (road_polygon spec) 6.
+    in
+    if first || not (overlaps_any footprint !footprints) then begin
+      specs := !specs @ [ spec ];
+      footprints := footprint :: !footprints
+    end
+  done;
+  let lanes, curbs =
+    List.fold_left
+      (fun (ls, cs) (i, spec) ->
+        let l, c = build_road ~road_id:i spec in
+        (ls @ l, cs @ c))
+      ([], [])
+      (List.mapi (fun i s -> (i, s)) !specs)
+  in
+  let pieces =
+    List.map (fun l -> (l.poly, l.direction)) lanes
+    @ List.map (fun c -> (c.strip, c.curb_direction)) curbs
+  in
+  let road_direction = G.Vectorfield.piecewise ~name:"roadDirection" pieces in
+  let road_polyset = G.Polyset.make (List.map (fun l -> l.poly) lanes) in
+  let curb_polyset = G.Polyset.make (List.map (fun c -> c.strip) curbs) in
+  let road_region =
+    G.Region.of_polyset ~orientation:road_direction ~name:"road" road_polyset
+  in
+  let curb_region =
+    G.Region.of_polyset ~orientation:road_direction ~name:"curb" curb_polyset
+  in
+  (* The workspace is the drivable surface: lanes plus curbs (so a car
+     parked against the curb still fits). *)
+  let workspace =
+    G.Region.of_polyset ~name:"workspace"
+      (G.Polyset.union road_polyset curb_polyset)
+  in
+  { lanes; curbs; road_direction; road_region; curb_region; workspace; extent }
+
+(** Total drivable area, for diagnostics. *)
+let road_area t =
+  match G.Region.polyset t.road_region with
+  | Some ps -> G.Polyset.area ps
+  | None -> 0.
+
+(** The lane containing a point, if any. *)
+let lane_at t p = List.find_opt (fun l -> G.Polygon.contains l.poly p) t.lanes

@@ -1,0 +1,6 @@
+(** Register all bundled world models with the module registry.
+    Idempotent; call before compiling scenarios that import them. *)
+let init () =
+  Gta_lib.register ();
+  Mars_lib.register ();
+  Xplane_lib.register ()

@@ -1,0 +1,52 @@
+(** The [xplane] world model — the paper's third simulator interface
+    (Sec. 8: "We have also interfaced Scenic to the X-Plane flight
+    simulator in order to test ML-based aircraft navigation systems").
+
+    A single runway with a centerline-aligned orientation field and a
+    [Plane] class whose scenarios put distributions on the cross-track
+    and heading errors an ML taxiing system must tolerate — the
+    canonical X-Plane/TaxiNet setup. *)
+
+open Scenic_core.Value
+module G = Scenic_geometry
+
+let runway_length = 1000.
+let runway_width = 30.
+
+let runway_polygon () =
+  G.Polygon.rectangle
+    ~min_x:(-.(runway_width /. 2.))
+    ~min_y:0. ~max_x:(runway_width /. 2.) ~max_y:runway_length
+
+(* the runway heads due North; its centerline field is constant *)
+let centerline_field = G.Vectorfield.constant ~name:"runwayDirection" 0.
+
+let runway_region () =
+  G.Region.of_polygon ~orientation:centerline_field ~name:"runway"
+    (runway_polygon ())
+
+let source =
+  {|
+class Plane:
+    position: Point on runway
+    heading: (runwayDirection at self.position) + self.crossTrackHeading
+    crossTrackHeading: 0
+    width: 36
+    height: 40
+    viewAngle: 120 deg
+    viewDistance: 500
+
+class SmallPlane(Plane):
+    width: 11
+    height: 9
+|}
+
+let native () =
+  let runway = runway_region () in
+  [
+    ("runway", Vregion runway);
+    ("runwayDirection", Vfield centerline_field);
+    ("workspace", Vregion runway);
+  ]
+
+let register () = Scenic_core.Module_registry.register ~native ~source "xplane"

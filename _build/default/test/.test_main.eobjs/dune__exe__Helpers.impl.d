@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Float Hashtbl List Scenic_core Scenic_geometry Scenic_lang Scenic_prob Scenic_sampler Scenic_worlds

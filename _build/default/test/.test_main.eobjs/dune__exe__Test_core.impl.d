@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Float Hashtbl Helpers List Option Scenic_core Scenic_geometry Scenic_prob

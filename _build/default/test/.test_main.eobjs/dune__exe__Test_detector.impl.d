@@ -1,0 +1,1 @@
+test/test_detector.ml: Alcotest Array Float Hashtbl Helpers List Option Printf Scenic_detector Scenic_prob Scenic_render

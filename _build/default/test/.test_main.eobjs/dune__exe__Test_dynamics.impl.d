@@ -1,0 +1,1 @@
+test/test_dynamics.ml: Alcotest Array Helpers List Printf Scenic_core Scenic_dynamics Scenic_geometry Scenic_worlds

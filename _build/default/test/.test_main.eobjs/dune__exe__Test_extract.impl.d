@@ -1,0 +1,1 @@
+test/test_extract.ml: Alcotest Array Float Helpers List Option Printf Scenic_geometry Scenic_prob Scenic_worlds

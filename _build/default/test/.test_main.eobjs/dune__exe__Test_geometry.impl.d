@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest Angle Float Fun List Polygon Polyset QCheck QCheck_alcotest Rect Region Scenic_geometry Scenic_prob Seg Vec Vectorfield Visibility

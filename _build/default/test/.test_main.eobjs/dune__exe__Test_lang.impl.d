@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest List Scenic_harness Scenic_lang

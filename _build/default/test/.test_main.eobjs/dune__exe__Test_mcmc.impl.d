@@ -1,0 +1,1 @@
+test/test_mcmc.ml: Alcotest Helpers List Printf Scenic_core Scenic_geometry Scenic_harness Scenic_prob Scenic_sampler

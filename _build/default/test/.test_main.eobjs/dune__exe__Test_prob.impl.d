@@ -1,0 +1,1 @@
+test/test_prob.ml: Alcotest Array Float Fun List Scenic_prob

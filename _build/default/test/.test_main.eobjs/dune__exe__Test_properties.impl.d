@@ -1,0 +1,1 @@
+test/test_properties.ml: Float Helpers List Printf QCheck QCheck_alcotest Scenic_core Scenic_geometry Scenic_prob String

@@ -1,0 +1,1 @@
+test/test_render.ml: Alcotest Float Helpers List Option Printf Scenic_core Scenic_geometry Scenic_prob Scenic_render String

@@ -1,0 +1,1 @@
+test/test_roundtrip.ml: List QCheck QCheck_alcotest Scenic_lang

@@ -1,0 +1,1 @@
+test/test_sampler.ml: Alcotest Float Helpers List Scenic_core Scenic_geometry Scenic_harness Scenic_prob Scenic_sampler Scenic_worlds

@@ -1,0 +1,1 @@
+test/test_worlds.ml: Alcotest Array Float Hashtbl Helpers Lazy List Option Scenic_core Scenic_geometry Scenic_harness Scenic_worlds

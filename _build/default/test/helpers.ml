@@ -1,0 +1,96 @@
+(** Shared helpers for the semantic test suites: a tiny deterministic
+    world model and direct access to the evaluator. *)
+
+module G = Scenic_geometry
+module C = Scenic_core
+module P = Scenic_prob
+
+let pi = G.Angle.pi
+
+(* a 100x100 arena with two oriented stripes *)
+let arena_poly = G.Polygon.rectangle ~min_x:(-50.) ~min_y:(-50.) ~max_x:50. ~max_y:50.
+let east_field = G.Vectorfield.constant ~name:"eastField" (-.(pi /. 2.))
+let north_field = G.Vectorfield.constant ~name:"northField" 0.
+
+let stripe_poly = G.Polygon.rectangle ~min_x:0. ~min_y:(-50.) ~max_x:10. ~max_y:50.
+
+let register_test_world () =
+  C.Module_registry.register "testLib"
+    ~native:(fun () ->
+      [
+        ("arena", C.Value.Vregion (G.Region.of_polygon ~name:"arena" arena_poly));
+        ( "stripe",
+          C.Value.Vregion
+            (G.Region.of_polygon ~orientation:east_field ~name:"stripe"
+               stripe_poly) );
+        ("eastField", C.Value.Vfield east_field);
+        ("northField", C.Value.Vfield north_field);
+        ("workspace", C.Value.Vregion (G.Region.of_polygon ~name:"ws" arena_poly));
+      ])
+    ~source:""
+
+let () = register_test_world ()
+let () = Scenic_worlds.Scenic_worlds_init.init ()
+
+(** Run a program and return the evaluator context (for inspecting
+    variables) — does not finalize into a scenario. *)
+let eval_program src =
+  let ctx = C.Eval.create_ctx () in
+  C.Eval.exec_block ctx ctx.C.Eval.globals (Scenic_lang.Parser.parse src);
+  ctx
+
+let lookup ctx name =
+  match C.Value.Env.lookup ctx.C.Eval.globals name with
+  | Some v -> v
+  | None -> Alcotest.failf "variable %s not found" name
+
+(** Force a (possibly random) value to a concrete one with a fixed
+    seed. *)
+let force ?(seed = 1) v =
+  let rng = P.Rng.create seed in
+  Scenic_sampler.Rejection.force rng (Hashtbl.create 16) v
+
+let eval_value ?seed src name = force ?seed (lookup (eval_program src) name)
+
+let as_float v = C.Ops.as_float v
+let as_vec v = C.Ops.cvec v
+
+let eval_float ?seed src name = as_float (eval_value ?seed src name)
+let eval_vec ?seed src name = as_vec (eval_value ?seed src name)
+
+(** Compile a full program to a scenario and sample scenes. *)
+let compile src = C.Eval.compile ~file:"<test>" src
+
+let sample_scene ?(seed = 1) ?max_iters src =
+  let scenario = compile src in
+  let rng = P.Rng.create seed in
+  Scenic_sampler.Rejection.sample
+    (Scenic_sampler.Rejection.create ?max_iters ~rng scenario)
+
+let sample_scenes ?(seed = 1) ?max_iters ~n src =
+  let scenario = compile src in
+  let rng = P.Rng.create seed in
+  let sampler = Scenic_sampler.Rejection.create ?max_iters ~rng scenario in
+  List.init n (fun _ -> Scenic_sampler.Rejection.sample sampler)
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %g, got %g" msg expected actual
+
+let check_vec ?(eps = 1e-9) msg (ex, ey) v =
+  if Float.abs (G.Vec.x v -. ex) > eps || Float.abs (G.Vec.y v -. ey) > eps then
+    Alcotest.failf "%s: expected (%g, %g), got %s" msg ex ey (G.Vec.to_string v)
+
+(** Expect a specific Scenic error class. *)
+let expect_error name pred f =
+  match f () with
+  | exception C.Errors.Scenic_error (kind, _) when pred kind -> ()
+  | exception C.Errors.Scenic_error (kind, _) ->
+      Alcotest.failf "%s: wrong error: %a" name C.Errors.pp_kind kind
+  | _ -> Alcotest.failf "%s: expected an error" name
+
+(* the single non-ego object of a scene *)
+let the_object scene =
+  match C.Scene.non_ego scene with
+  | [ o ] -> o
+  | l -> Alcotest.failf "expected exactly one non-ego object, got %d" (List.length l)

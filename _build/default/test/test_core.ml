@@ -1,0 +1,642 @@
+(** Tests for the core language semantics: operators (against the
+    closed forms of App. C), specifiers (Tables 3/4), Algorithm 1, and
+    the statement semantics of App. B. *)
+
+open Helpers
+module C = Scenic_core
+module G = Scenic_geometry
+
+let test_case = Alcotest.test_case
+
+let base = "import testLib\nego = Object at 0 @ 0\n"
+
+(* --- operators (App. C) ------------------------------------------------- *)
+
+let operator_tests =
+  [
+    test_case "arithmetic and deg" `Quick (fun () ->
+        check_float "arith" 26. (eval_float "x = 2 * (3 + 10)\n" "x");
+        check_float "deg" (pi /. 4.) (eval_float "x = 45 deg\n" "x");
+        check_float "mod" 1. (eval_float "x = 7 % 2\n" "x"));
+    test_case "vector construction and offset by" `Quick (fun () ->
+        check_vec "vec" (1., 2.) (eval_vec "v = 1 @ 2\n" "v");
+        check_vec "offset" (4., 6.)
+          (eval_vec "v = (1 @ 2) offset by (3 @ 4)\n" "v"));
+    test_case "offset along heading and field" `Quick (fun () ->
+        (* offset (0,5) along East (heading -90): rotate((0,5), -90) = (5,0) *)
+        check_vec ~eps:1e-9 "along heading" (5., 0.)
+          (eval_vec "v = (0 @ 0) offset along -90 deg by (0 @ 5)\n" "v");
+        check_vec ~eps:1e-9 "along field" (6., 1.)
+          (eval_vec (base ^ "v = (1 @ 1) offset along eastField by (0 @ 5)\n") "v"));
+    test_case "relative to on headings and vectors" `Quick (fun () ->
+        check_float "headings add" (pi /. 2.)
+          (eval_float "x = 45 deg relative to 45 deg\n" "x");
+        check_vec "vectors add" (3., 5.)
+          (eval_vec "v = (1 @ 2) relative to (2 @ 3)\n" "v"));
+    test_case "vector relative to OrientedPoint" `Quick (fun () ->
+        (* local offset (1,2) in a frame at (10,0) facing West *)
+        let src =
+          base
+          ^ "p = OrientedPoint at 10 @ 0, facing 90 deg\n\
+             v = (1 @ 2) relative to p\n"
+        in
+        (* rotate((1,2), 90deg) = (-2, 1) *)
+        check_vec ~eps:1e-9 "local" (8., 1.) (eval_vec src "v"));
+    test_case "heading relative to OrientedPoint" `Quick (fun () ->
+        let src =
+          base
+          ^ "p = OrientedPoint at 10 @ 0, facing 90 deg\nh = 30 deg relative to p\n"
+        in
+        check_float ~eps:1e-9 "h" (G.Angle.of_degrees 120.) (eval_float src "h"));
+    test_case "two OrientedPoints is ambiguous" `Quick (fun () ->
+        expect_error "ambiguous"
+          (function C.Errors.Type_error _ -> true | _ -> false)
+          (fun () ->
+            eval_program
+              (base ^ "p = OrientedPoint at 1 @ 1\nq = OrientedPoint at 2 @ 2\nx = p relative to q\n")));
+    test_case "field at" `Quick (fun () ->
+        check_float "east" (-.(pi /. 2.))
+          (eval_float (base ^ "h = eastField at 3 @ 4\n") "h"));
+    test_case "distance and angle" `Quick (fun () ->
+        check_float "distance" 5.
+          (eval_float "x = distance from 0 @ 0 to 3 @ 4\n" "x");
+        check_float "angle East" (-.(pi /. 2.))
+          (eval_float "x = angle from 0 @ 0 to 10 @ 0\n" "x");
+        (* implicit 'from ego' *)
+        check_float "angle from ego" 0.
+          (eval_float (base ^ "x = angle to 0 @ 10\n") "x"));
+    test_case "relative heading / apparent heading" `Quick (fun () ->
+        check_float ~eps:1e-9 "rel" (-.(pi /. 2.))
+          (eval_float "x = relative heading of 90 deg from 180 deg\n" "x");
+        (* apparent heading of OP at (0,10) facing North, seen from origin:
+           line of sight is North, so apparent heading 0 *)
+        let src =
+          base
+          ^ "p = OrientedPoint at 0 @ 10, facing 0 deg\n\
+             x = apparent heading of p from 0 @ 0\n"
+        in
+        check_float ~eps:1e-9 "app" 0. (eval_float src "x"));
+    test_case "follow in constant field" `Quick (fun () ->
+        (* following East for 8 from (0,0) lands at (8,0) *)
+        let src = base ^ "p = follow eastField from 0 @ 0 for 8\nv = p.position\nh = p.heading\n" in
+        let ctx = eval_program src in
+        check_vec ~eps:1e-6 "pos" (8., 0.) (as_vec (force (lookup ctx "v")));
+        check_float "heading" (-.(pi /. 2.)) (as_float (force (lookup ctx "h"))));
+    test_case "side_of operators" `Quick (fun () ->
+        let src =
+          base
+          ^ "o = Object at 10 @ 10, facing 0 deg, with width 2, with height 4\n\
+             f = front of o\nbl = back left of o\nv1 = f.position\nv2 = bl.position\n"
+        in
+        let ctx = eval_program src in
+        check_vec "front" (10., 12.) (as_vec (force (lookup ctx "v1")));
+        check_vec "back left" (9., 8.) (as_vec (force (lookup ctx "v2"))));
+    test_case "can see: distance, cone, box" `Quick (fun () ->
+        let ctx =
+          eval_program
+            (base
+           ^ "a = Object at 0 @ 5, with requireVisible False, with allowCollisions True\n\
+              b = Object at 0 @ 80, with requireVisible False, with allowCollisions True\n\
+              r1 = ego can see a\nr2 = ego can see b\n")
+        in
+        Alcotest.(check bool) "near" true (C.Ops.truthy (force (lookup ctx "r1")));
+        Alcotest.(check bool) "far" false (C.Ops.truthy (force (lookup ctx "r2"))));
+    test_case "is in: point and box" `Quick (fun () ->
+        let ctx =
+          eval_program
+            (base
+           ^ "r1 = (3 @ 3) is in arena\nr2 = (90 @ 0) is in arena\n\
+              o = Object at 49.9 @ 0, with requireVisible False\nr3 = o is in arena\n")
+        in
+        Alcotest.(check bool) "in" true (C.Ops.truthy (force (lookup ctx "r1")));
+        Alcotest.(check bool) "out" false (C.Ops.truthy (force (lookup ctx "r2")));
+        Alcotest.(check bool) "box straddles" false
+          (C.Ops.truthy (force (lookup ctx "r3"))));
+    test_case "visible region is the view cone" `Quick (fun () ->
+        let src =
+          "import testLib\n\
+           ego = Object at 0 @ 0, facing 0 deg, with viewAngle 90 deg, with \
+           viewDistance 20\n\
+           r = visible arena\n"
+        in
+        let v = eval_value src "r" in
+        let reg = C.Ops.as_region v in
+        Alcotest.(check bool) "ahead in" true
+          (G.Region.contains reg (G.Vec.make 0. 10.));
+        Alcotest.(check bool) "behind out" false
+          (G.Region.contains reg (G.Vec.make 0. (-10.)));
+        Alcotest.(check bool) "too far out" false
+          (G.Region.contains reg (G.Vec.make 0. 25.)));
+    test_case "boolean operators short-circuit concretely" `Quick (fun () ->
+        check_float "and" 0. (eval_float "x = (1 > 2) and (1 / 0)\n" "x");
+        check_float "or" 1. (eval_float "x = (2 > 1) or (1 / 0)\n" "x"));
+    test_case "lifted comparison over random values" `Quick (fun () ->
+        (* (0,1) < 2 is always true after forcing *)
+        let v = eval_value "x = (0, 1) < 2\n" "x" in
+        Alcotest.(check bool) "true" true (C.Ops.truthy v));
+  ]
+
+(* --- distributions as expressions (Sec. 4.2) ----------------------------- *)
+
+let distribution_tests =
+  [
+    test_case "interval evaluates to one shared sample" `Quick (fun () ->
+        (* x = (0,1); y = x @ x must be on the diagonal (paper Sec. 4.2) *)
+        let v = eval_vec "x = (0, 1)\ny = x @ x\n" "y" in
+        check_float ~eps:1e-12 "diagonal" (G.Vec.x v) (G.Vec.y v));
+    test_case "resample is independent" `Quick (fun () ->
+        let ctx = eval_program "x = (0, 1000)\ny = resample(x)\nd = x - y\n" in
+        let d = as_float (force (lookup ctx "d")) in
+        Alcotest.(check bool) "differs" true (Float.abs d > 1e-9));
+    test_case "resample of derived value is an error" `Quick (fun () ->
+        expect_error "derived"
+          (function C.Errors.Type_error _ -> true | _ -> false)
+          (fun () -> eval_program "x = (0, 1) + 1\ny = resample(x)\n"));
+    test_case "Uniform over values / Discrete weights" `Quick (fun () ->
+        let counts = Hashtbl.create 4 in
+        for seed = 1 to 400 do
+          let v = eval_value ~seed "x = Uniform('a', 'b')\n" "x" in
+          let k = C.Value.to_string v in
+          Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+        done;
+        let a = Option.value ~default:0 (Hashtbl.find_opt counts "\"a\"") in
+        Alcotest.(check bool) "balanced" true (a > 140 && a < 260));
+    test_case "Normal statistics" `Quick (fun () ->
+        let acc = Scenic_prob.Stats.Online.create () in
+        for seed = 1 to 800 do
+          Scenic_prob.Stats.Online.add acc (eval_float ~seed "x = Normal(5, 2)\n" "x")
+        done;
+        Alcotest.(check bool) "mean" true
+          (Float.abs (Scenic_prob.Stats.Online.mean acc -. 5.) < 0.3);
+        Alcotest.(check bool) "std" true
+          (Float.abs (Scenic_prob.Stats.Online.stddev acc -. 2.) < 0.3));
+    test_case "arithmetic over distributions" `Quick (fun () ->
+        (* (8,20) * 60: every sample in [480, 1200] *)
+        for seed = 1 to 50 do
+          let x = eval_float ~seed "x = (8, 20) * 60\n" "x" in
+          Alcotest.(check bool) "range" true (x >= 480. && x <= 1200.)
+        done);
+  ]
+
+(* --- specifiers (Tables 3/4, App. C) ------------------------------------- *)
+
+let specifier_tests =
+  [
+    test_case "at / with" `Quick (fun () ->
+        let scene = sample_scene (base ^ "Object at 5 @ 4, with foo 7\n") in
+        let o = the_object scene in
+        check_vec "pos" (5., 4.) (C.Scene.position o);
+        check_float "foo" 7. (C.Scene.prop_float o "foo"));
+    test_case "offset by is ego-relative" `Quick (fun () ->
+        let scene =
+          sample_scene
+            ("import testLib\nego = Object at 5 @ 5\nObject offset by 1 @ 2\n")
+        in
+        check_vec "pos" (6., 7.) (C.Scene.position (the_object scene)));
+    test_case "left of vector uses self heading and width" `Quick (fun () ->
+        let scene =
+          sample_scene
+            (base
+           ^ "Object left of 10 @ 0 by 2, facing 90 deg, with width 4\n")
+        in
+        (* offset <-4, 0> rotated by 90deg = (0, -4) *)
+        check_vec ~eps:1e-9 "pos" (10., -4.) (C.Scene.position (the_object scene)));
+    test_case "behind vector uses self height" `Quick (fun () ->
+        let scene =
+          sample_scene (base ^ "Object behind 0 @ 10, with height 4\n")
+        in
+        check_vec "pos" (0., 8.) (C.Scene.position (the_object scene)));
+    test_case "left of OrientedPoint adopts its heading" `Quick (fun () ->
+        let scene =
+          sample_scene
+            (base
+           ^ "spot = OrientedPoint at 5 @ 5, facing 90 deg\n\
+              Object left of spot by 1, with width 2\n")
+        in
+        let o = the_object scene in
+        (* offsetLocal((5,5), 90deg, (-2,0)) = (5,5) + (0,-2) *)
+        check_vec ~eps:1e-9 "pos" (5., 3.) (C.Scene.position o);
+        check_float "heading" (pi /. 2.) (C.Scene.heading o));
+    test_case "facing overrides the optional heading" `Quick (fun () ->
+        let scene =
+          sample_scene
+            (base
+           ^ "spot = OrientedPoint at 5 @ 5, facing 90 deg\n\
+              Object left of spot by 1, with width 2, facing 45 deg\n")
+        in
+        check_float ~eps:1e-9 "heading" (pi /. 4.)
+          (C.Scene.heading (the_object scene)));
+    test_case "ahead of Object uses its front edge" `Quick (fun () ->
+        let scene =
+          sample_scene
+            (base
+           ^ "a = Object at 0 @ 10, facing 0 deg, with height 4, with \
+              allowCollisions True\n\
+              Object ahead of a, with height 2, with allowCollisions True\n")
+        in
+        (* front of a = (0,12); ahead by self height/2 = (0,13) *)
+        let obs = C.Scene.non_ego scene in
+        let b = List.nth obs 1 in
+        check_vec "pos" (0., 13.) (C.Scene.position b));
+    test_case "on oriented region optionally sets heading" `Quick (fun () ->
+        let scene = sample_scene ~seed:5 (base ^ "Object on stripe\n") in
+        let o = the_object scene in
+        let p = C.Scene.position o in
+        Alcotest.(check bool) "in stripe" true (G.Polygon.contains stripe_poly p);
+        check_float "east heading" (-.(pi /. 2.)) (C.Scene.heading o));
+    test_case "in region is uniform" `Quick (fun () ->
+        let scenes =
+          sample_scenes ~n:300
+            ("import testLib\nego = Object at 0 @ 0, with requireVisible False\n\
+              Object in stripe, with requireVisible False, with allowCollisions True\n")
+        in
+        let xs =
+          List.map (fun s -> G.Vec.x (C.Scene.position (the_object s))) scenes
+        in
+        let mean = Scenic_prob.Stats.mean xs in
+        Alcotest.(check bool) "mean near 5" true (Float.abs (mean -. 5.) < 0.5));
+    test_case "beyond (paper example: 3m behind the taxi as viewed)" `Quick
+      (fun () ->
+        let scene =
+          sample_scene
+            ("import testLib\nego = Object at 0 @ 0\n\
+              taxi = Object at 0 @ 10, with requireVisible False\n\
+              Object beyond taxi by 0 @ 3, with requireVisible False, with \
+              allowCollisions True\n")
+        in
+        let obs = C.Scene.non_ego scene in
+        check_vec ~eps:1e-9 "pos" (0., 13.) (C.Scene.position (List.nth obs 1)));
+    test_case "visible specifier places inside the view region" `Quick
+      (fun () ->
+        let scenes =
+          sample_scenes ~n:100
+            ("import testLib\n\
+              ego = Object at 0 @ 0, facing 0 deg, with viewAngle 60 deg, \
+              with viewDistance 20\nObject visible\n")
+        in
+        List.iter
+          (fun s ->
+            let p = C.Scene.position (the_object s) in
+            let d = G.Vec.norm p in
+            Alcotest.(check bool) "dist" true (d <= 20.0001);
+            Alcotest.(check bool) "cone" true
+              (G.Angle.dist (G.Vec.heading_of p) 0. <= G.Angle.of_degrees 30.0001))
+          scenes);
+    test_case "apparently facing" `Quick (fun () ->
+        let scene =
+          sample_scene
+            (base ^ "Object at 0 @ 10, apparently facing 90 deg\n")
+        in
+        check_float ~eps:1e-9 "heading" (pi /. 2.)
+          (C.Scene.heading (the_object scene)));
+    test_case "facing a field depends on position" `Quick (fun () ->
+        let scene =
+          sample_scene (base ^ "Object at 3 @ 4, facing eastField\n")
+        in
+        check_float "east" (-.(pi /. 2.)) (C.Scene.heading (the_object scene)));
+    test_case "field-relative heading inside specifier" `Quick (fun () ->
+        let scene =
+          sample_scene
+            (base ^ "Object at 3 @ 4, facing 10 deg relative to eastField\n")
+        in
+        check_float ~eps:1e-9 "east+10"
+          (G.Angle.of_degrees 10. -. (pi /. 2.))
+          (C.Scene.heading (the_object scene)));
+    test_case "following specifier" `Quick (fun () ->
+        let scene =
+          sample_scene (base ^ "Object following eastField from 0 @ 0 for 6\n")
+        in
+        let o = the_object scene in
+        check_vec ~eps:1e-6 "pos" (6., 0.) (C.Scene.position o);
+        check_float "heading" (-.(pi /. 2.)) (C.Scene.heading o));
+  ]
+
+(* --- Algorithm 1 ----------------------------------------------------------- *)
+
+let resolve_tests =
+  [
+    test_case "defaults fill unspecified properties" `Quick (fun () ->
+        let scene = sample_scene (base ^ "Object at 5 @ 5\n") in
+        let o = the_object scene in
+        check_float "width default" 1. (C.Scene.width o);
+        check_float "viewDistance default" 50.
+          (C.Scene.prop_float o "viewDistance"));
+    test_case "most-derived default wins" `Quick (fun () ->
+        let src =
+          base
+          ^ "class A:\n    size: 1\nclass B(A):\n    size: 2\nb = B at 1 @ 1\nx = b.size\n"
+        in
+        check_float "derived" 2. (eval_float src "x"));
+    test_case "default may depend on self properties" `Quick (fun () ->
+        let src =
+          base
+          ^ "class Box:\n    width: self.scale * 2\n    height: self.scale * 3\n\
+             \    scale: 1\n\
+             b = Box at 1 @ 1, with scale 2\nw = b.width\nh = b.height\n"
+        in
+        let ctx = eval_program src in
+        check_float "w" 4. (as_float (force (lookup ctx "w")));
+        check_float "h" 6. (as_float (force (lookup ctx "h"))));
+    test_case "property specified twice is an error" `Quick (fun () ->
+        expect_error "twice"
+          (function C.Errors.Specified_twice "position" -> true | _ -> false)
+          (fun () -> compile (base ^ "Object at 1 @ 1, at 2 @ 2\n")));
+    test_case "two optional specifications of heading are ambiguous" `Quick
+      (fun () ->
+        (* both [on stripe] (optional heading) and [left of OP] (optional
+           heading) — position is provided by 'at', so both optionals
+           survive to fight over heading *)
+        let s1 =
+          C.Specifier.make ~name:"s1" ~specifies:[ "a" ] ~optionally:[ "heading" ]
+            (fun _ -> [ ("a", C.Value.Vfloat 1.); ("heading", C.Value.Vfloat 0.) ])
+        in
+        let s2 =
+          C.Specifier.make ~name:"s2" ~specifies:[ "b" ] ~optionally:[ "heading" ]
+            (fun _ -> [ ("b", C.Value.Vfloat 1.); ("heading", C.Value.Vfloat 0.) ])
+        in
+        expect_error "ambiguous"
+          (function C.Errors.Specified_twice "heading" -> true | _ -> false)
+          (fun () -> C.Resolve.resolve ~defaults:[] [ s1; s2 ]));
+    test_case "cyclic dependencies are an error (paper's example)" `Quick
+      (fun () ->
+        (* Car left of 0 @ 0, facing roadDirection: left-of-vector needs
+           heading, facing-field needs position *)
+        expect_error "cycle"
+          (function C.Errors.Cyclic_dependencies _ -> true | _ -> false)
+          (fun () ->
+            compile (base ^ "Object left of 0 @ 0, facing eastField\n")));
+    test_case "missing dependency is an error" `Quick (fun () ->
+        let s =
+          C.Specifier.make ~name:"needs-ghost" ~specifies:[ "x" ]
+            ~deps:[ "ghost" ] (fun _ -> [ ("x", C.Value.Vfloat 1.) ])
+        in
+        expect_error "missing"
+          (function
+            | C.Errors.Missing_dependency { property = "ghost"; _ } -> true
+            | _ -> false)
+          (fun () -> C.Resolve.resolve ~defaults:[] [ s ]));
+    test_case "specifier order does not matter" `Quick (fun () ->
+        let variants =
+          [
+            "Object at 3 @ 4, facing 30 deg, with width 2, with height 5\n";
+            "Object facing 30 deg, with height 5, at 3 @ 4, with width 2\n";
+            "Object with width 2, with height 5, facing 30 deg, at 3 @ 4\n";
+          ]
+        in
+        let snapshots =
+          List.map
+            (fun v ->
+              let o = the_object (sample_scene (base ^ v)) in
+              ( C.Scene.position o,
+                C.Scene.heading o,
+                C.Scene.width o,
+                C.Scene.height o ))
+            variants
+        in
+        match snapshots with
+        | x :: rest ->
+            List.iter
+              (fun y ->
+                Alcotest.(check bool) "same" true (x = y))
+              rest
+        | [] -> assert false);
+  ]
+
+(* --- statements (App. B) ------------------------------------------------- *)
+
+let statement_tests =
+  [
+    test_case "param reaches the scene" `Quick (fun () ->
+        let scene = sample_scene (base ^ "param alpha = 6 * 7\nObject at 5 @ 5\n") in
+        check_float "param" 42. (Option.get (C.Scene.param_float scene "alpha")));
+    test_case "hard requirement filters" `Quick (fun () ->
+        (* x uniform in (0,10), require x > 9: all samples > 9 *)
+        let src =
+          base ^ "x = (0, 10)\nObject at 5 @ 5, with tag x\nrequire x > 9\n"
+        in
+        let scenes = sample_scenes ~n:50 src in
+        List.iter
+          (fun s ->
+            Alcotest.(check bool) "filtered" true
+              (C.Scene.prop_float (the_object s) "tag" > 9.))
+          scenes);
+    test_case "impossible requirement exhausts iterations" `Quick (fun () ->
+        expect_error "zero prob"
+          (function C.Errors.Zero_probability -> true | _ -> false)
+          (fun () ->
+            sample_scene ~max_iters:50
+              (base ^ "x = (0, 1)\nObject at 5 @ 5\nrequire x > 2\n")));
+    test_case "soft requirement holds with roughly probability p" `Quick
+      (fun () ->
+        let src =
+          base
+          ^ "x = (0, 1)\nObject at 5 @ 5, with tag x\nrequire[0.8] x > 0.5\n"
+        in
+        let scenes = sample_scenes ~n:600 src in
+        let holds =
+          Scenic_prob.Stats.frequency
+            (fun s -> C.Scene.prop_float (the_object s) "tag" > 0.5)
+            scenes
+        in
+        (* theory: P(x > 0.5 | accepted) = 0.5 / (0.5 + 0.5·0.2) = 0.833 *)
+        Alcotest.(check bool) "frequency" true (holds > 0.79 && holds < 0.88));
+    test_case "soft requirement probability must be constant" `Quick (fun () ->
+        expect_error "const"
+          (function C.Errors.Type_error _ -> true | _ -> false)
+          (fun () -> compile (base ^ "p = (0, 1)\nrequire[p] 1 > 0\n")));
+    test_case "mutate adds gaussian noise with the right scale" `Quick
+      (fun () ->
+        let src = base ^ "Object at 10 @ 10, facing 0 deg\nmutate\n" in
+        let scenes = sample_scenes ~n:400 src in
+        let xs = List.map (fun s -> G.Vec.x (C.Scene.position (the_object s))) scenes in
+        let hs = List.map (fun s -> C.Scene.heading (the_object s)) scenes in
+        let sx = Scenic_prob.Stats.stddev xs and sh = Scenic_prob.Stats.stddev hs in
+        (* positionStdDev 1, headingStdDev 5 deg *)
+        Alcotest.(check bool) "pos std" true (Float.abs (sx -. 1.) < 0.15);
+        Alcotest.(check bool) "heading std" true
+          (Float.abs (sh -. G.Angle.of_degrees 5.) < 0.02));
+    test_case "mutate by N scales the noise" `Quick (fun () ->
+        let src = base ^ "o = Object at 10 @ 10\nmutate o by 3\n" in
+        let scenes = sample_scenes ~n:400 src in
+        let xs = List.map (fun s -> G.Vec.x (C.Scene.position (the_object s))) scenes in
+        Alcotest.(check bool) "scaled" true
+          (Float.abs (Scenic_prob.Stats.stddev xs -. 3.) < 0.4));
+    test_case "unmutated objects have no noise" `Quick (fun () ->
+        let src = base ^ "o = Object at 10 @ 10\np = Object at -10 @ 5, with allowCollisions True\nmutate o\n" in
+        let scenes = sample_scenes ~n:30 src in
+        List.iter
+          (fun s ->
+            let p = List.nth (C.Scene.non_ego s) 1 in
+            check_vec "fixed" (-10., 5.) (C.Scene.position p))
+          scenes);
+    test_case "random control flow is rejected" `Quick (fun () ->
+        expect_error "if"
+          (function C.Errors.Random_control_flow -> true | _ -> false)
+          (fun () -> eval_program "x = (0, 1)\nif x > 0.5:\n    y = 1\n");
+        expect_error "while"
+          (function C.Errors.Random_control_flow -> true | _ -> false)
+          (fun () -> eval_program "x = (0, 1)\nwhile x > 0.5:\n    y = 1\n"));
+    test_case "concrete control flow works" `Quick (fun () ->
+        let src =
+          "total = 0\nfor i in range(5):\n    if i % 2 == 0:\n        total = total + i\n"
+        in
+        check_float "sum evens" 6. (eval_float src "total"));
+    test_case "while with break/continue" `Quick (fun () ->
+        let src =
+          "i = 0\nacc = 0\nwhile True:\n    i = i + 1\n    if i > 10:\n        break\n    if i % 2 == 1:\n        continue\n    acc = acc + i\n"
+        in
+        check_float "even sum" 30. (eval_float src "acc"));
+    test_case "functions with defaults and keywords" `Quick (fun () ->
+        let src =
+          "def f(a, b=10, c=100):\n    return a + b + c\nx = f(1)\ny = f(1, c=5)\nz = f(1, 2, 3)\n"
+        in
+        let ctx = eval_program src in
+        check_float "defaults" 111. (as_float (force (lookup ctx "x")));
+        check_float "keyword" 16. (as_float (force (lookup ctx "y")));
+        check_float "positional" 6. (as_float (force (lookup ctx "z"))));
+    test_case "function creating objects adds them to the scene" `Quick
+      (fun () ->
+        let src =
+          base
+          ^ "def pair(x):\n\
+             \    Object at x @ 2, with requireVisible False\n\
+             \    Object at x @ 6, with requireVisible False\n\
+             pair(3)\npair(8)\n"
+        in
+        let scene = sample_scene src in
+        Alcotest.(check int) "4 objects + ego" 5
+          (List.length scene.C.Scene.objs));
+    test_case "attribute assignment" `Quick (fun () ->
+        let src = base ^ "o = Object at 1 @ 1\no.custom = 99\nx = o.custom\n" in
+        check_float "attr" 99. (eval_float src "x"));
+    test_case "ego is required" `Quick (fun () ->
+        expect_error "no ego"
+          (function C.Errors.Undefined_ego -> true | _ -> false)
+          (fun () -> compile "import testLib\nObject at 1 @ 1\n"));
+    test_case "ego must exist before ego-relative specifiers" `Quick (fun () ->
+        expect_error "early"
+          (function C.Errors.Undefined_ego -> true | _ -> false)
+          (fun () -> compile "import testLib\nObject offset by 1 @ 2\n"));
+    test_case "unknown import" `Quick (fun () ->
+        expect_error "import"
+          (function C.Errors.Import_error _ -> true | _ -> false)
+          (fun () -> eval_program "import noSuchWorld\n"));
+    test_case "undefined variable" `Quick (fun () ->
+        expect_error "name"
+          (function C.Errors.Name_error _ -> true | _ -> false)
+          (fun () -> eval_program "x = missing + 1\n"));
+  ]
+
+(* --- default requirements (Termination Step 2) ---------------------------- *)
+
+let default_req_tests =
+  [
+    test_case "colliding placements are rejected" `Quick (fun () ->
+        expect_error "collision"
+          (function C.Errors.Zero_probability -> true | _ -> false)
+          (fun () ->
+            sample_scene ~max_iters:40
+              (base ^ "Object at 1 @ 1\nObject at 1.2 @ 1\n")));
+    test_case "allowCollisions disables the check" `Quick (fun () ->
+        let scene =
+          sample_scene
+            (base
+           ^ "Object at 1 @ 1, with allowCollisions True\n\
+              Object at 1.2 @ 1, with allowCollisions True\n")
+        in
+        Alcotest.(check int) "3 objects" 3 (List.length scene.C.Scene.objs));
+    test_case "objects must stay in the workspace" `Quick (fun () ->
+        expect_error "containment"
+          (function C.Errors.Zero_probability -> true | _ -> false)
+          (fun () ->
+            sample_scene ~max_iters:40 (base ^ "Object at 49.9 @ 0\n")));
+    test_case "objects must be visible from the ego" `Quick (fun () ->
+        expect_error "visibility"
+          (function C.Errors.Zero_probability -> true | _ -> false)
+          (fun () ->
+            sample_scene ~max_iters:40
+              ("import testLib\n\
+                ego = Object at 0 @ 0, facing 0 deg, with viewAngle 40 deg\n\
+                Object at 0 @ -20\n")));
+    test_case "requireVisible False disables visibility" `Quick (fun () ->
+        let scene =
+          sample_scene
+            ("import testLib\n\
+              ego = Object at 0 @ 0, facing 0 deg, with viewAngle 40 deg\n\
+              Object at 0 @ -20, with requireVisible False\n")
+        in
+        Alcotest.(check int) "sampled" 2 (List.length scene.C.Scene.objs));
+    test_case "mutation noise is checked by built-in requirements" `Quick
+      (fun () ->
+        (* object right at the wall, mutated: surviving samples stay in *)
+        let scenes =
+          sample_scenes ~n:100 ~max_iters:100_000
+            (base ^ "o = Object at 48.5 @ 0\nmutate o by 2\n")
+        in
+        List.iter
+          (fun s ->
+            let o = the_object s in
+            Alcotest.(check bool) "still inside" true
+              (G.Vec.x (C.Scene.position o) <= 49.5 +. 1e-6))
+          scenes);
+  ]
+
+let suites =
+  [
+    ("core.operators", operator_tests);
+    ("core.distributions", distribution_tests);
+    ("core.specifiers", specifier_tests);
+    ("core.resolve", resolve_tests);
+    ("core.statements", statement_tests);
+    ("core.default-requirements", default_req_tests);
+  ]
+
+(* --- class methods (Sec. 4: "functions and methods") --------------------- *)
+
+let method_tests =
+  [
+    test_case "methods are callable with self bound" `Quick (fun () ->
+        let src =
+          base
+          ^ "class Box:\n\
+             \    size: 3\n\
+             \    def area(self_unused=0):\n\
+             \        return self.size * self.size\n\
+             b = Box at 1 @ 1, with size 4\nx = b.area()\n"
+        in
+        check_float "area" 16. (eval_float src "x"));
+    test_case "methods are inherited and overridable" `Quick (fun () ->
+        let src =
+          base
+          ^ "class A:\n\
+             \    def tag():\n\
+             \        return 1\n\
+             class B(A):\n\
+             \    pass\n\
+             class C(A):\n\
+             \    def tag():\n\
+             \        return 2\n\
+             b = B at 1 @ 1\nc = C at 5 @ 5, with allowCollisions True\n\
+             x = b.tag()\ny = c.tag()\n"
+        in
+        let ctx = eval_program src in
+        check_float "inherited" 1. (as_float (force (lookup ctx "x")));
+        check_float "overridden" 2. (as_float (force (lookup ctx "y"))));
+    test_case "methods can take arguments and use geometry" `Quick (fun () ->
+        let src =
+          base
+          ^ "class Probe:\n\
+             \    def gap(other):\n\
+             \        return distance from self to other\n\
+             p = Probe at 0 @ 3, with requireVisible False\n\
+             q = Probe at 4 @ 0, with requireVisible False\n\
+             x = p.gap(q)\n"
+        in
+        check_float ~eps:1e-9 "distance" 5. (eval_float src "x"));
+    test_case "unknown attribute still errors" `Quick (fun () ->
+        expect_error "unknown"
+          (function C.Errors.Name_error _ -> true | _ -> false)
+          (fun () -> eval_program (base ^ "o = Object at 1 @ 1\nx = o.nope\n")));
+  ]
+
+let suites = suites @ [ ("core.methods", method_tests) ]

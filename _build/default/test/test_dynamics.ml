@@ -1,0 +1,160 @@
+(** Tests for the dynamics substrate: kinematics, the controller, the
+    STL monitor, and the falsification loop. *)
+
+open Helpers
+module G = Scenic_geometry
+module Dyn = Scenic_dynamics
+
+let test_case = Alcotest.test_case
+
+let north = { Dyn.Simulate.field = G.Vectorfield.constant ~name:"north" 0. }
+
+(* scene with ego at origin and one lead car straight ahead *)
+let two_car_scene ?(gap = 20.) ?(ego_speed = 10.) ?(lead_speed = 10.)
+    ?(brake_at = "") () =
+  sample_scene ~seed:3
+    (Printf.sprintf
+       "import testLib\n\
+        ego = Object at 0 @ -40, facing 0 deg, with width 1.8, with height \
+        4.5, with speed %g\n\
+        Object at 0 @ %g, facing 0 deg, with width 1.8, with height 4.5, \
+        with speed %g%s, with requireVisible False\n"
+       ego_speed (-40. +. gap) lead_speed
+       (if brake_at = "" then "" else Printf.sprintf ", with brakeAt %s" brake_at))
+
+let simulate_tests =
+  [
+    test_case "constant-speed vehicle advances along the field" `Quick
+      (fun () ->
+        let scene = two_car_scene () in
+        let sim = Dyn.Simulate.of_scene ~world:north scene in
+        let frames =
+          Dyn.Simulate.rollout ~controller:(fun _ -> 0.) ~duration:2. sim
+        in
+        let first = List.hd frames
+        and last = List.nth frames (List.length frames - 1) in
+        let y fr = G.Vec.y (G.Rect.center fr.Dyn.Simulate.f_boxes.(1)) in
+        check_float ~eps:0.2 "moved 20m" 20. (y last -. y first));
+    test_case "braking vehicle stops" `Quick (fun () ->
+        let scene = two_car_scene ~brake_at:"0.5" () in
+        let sim = Dyn.Simulate.of_scene ~world:north scene in
+        let frames =
+          Dyn.Simulate.rollout ~controller:(fun _ -> 0.) ~duration:4. sim
+        in
+        let last = List.nth frames (List.length frames - 1) in
+        check_float ~eps:1e-6 "stopped" 0. last.Dyn.Simulate.f_speeds.(1));
+    test_case "lead_vehicle picks the nearest car ahead in lane" `Quick
+      (fun () ->
+        let scene =
+          sample_scene ~seed:3
+            "import testLib\n\
+             ego = Object at 0 @ -40, facing 0 deg\n\
+             near = Object at 0.5 @ -30, facing 0 deg, with requireVisible \
+             False\n\
+             far = Object at -0.5 @ -10, facing 0 deg, with requireVisible \
+             False\n\
+             offlane = Object at 8 @ -35, facing 0 deg, with requireVisible \
+             False\n"
+        in
+        let sim = Dyn.Simulate.of_scene ~world:north scene in
+        match Dyn.Simulate.lead_vehicle sim with
+        | Some (v, d) ->
+            check_float ~eps:0.5 "distance" 10. d;
+            check_float ~eps:0.6 "its x" 0.5 (G.Vec.x v.Dyn.Simulate.position)
+        | None -> Alcotest.fail "expected a lead vehicle");
+    test_case "controller avoids a gentle braking lead" `Quick (fun () ->
+        let scene =
+          two_car_scene ~gap:30. ~ego_speed:8. ~lead_speed:8. ~brake_at:"2.0" ()
+        in
+        let sim = Dyn.Simulate.of_scene ~world:north scene in
+        let frames = Dyn.Simulate.rollout ~duration:8. sim in
+        Alcotest.(check bool) "no collision" true
+          (Dyn.Monitor.robustness (Dyn.Monitor.no_collision ()) frames > 0.));
+    test_case "controller fails on an aggressive cut-in" `Quick (fun () ->
+        (* very close, fast closing, immediate hard brake *)
+        let scene =
+          two_car_scene ~gap:7. ~ego_speed:14. ~lead_speed:4. ~brake_at:"0.1" ()
+        in
+        let sim = Dyn.Simulate.of_scene ~world:north scene in
+        let frames = Dyn.Simulate.rollout ~duration:6. sim in
+        Alcotest.(check bool) "collision" true
+          (Dyn.Monitor.robustness (Dyn.Monitor.no_collision ()) frames <= 0.));
+  ]
+
+let monitor_tests =
+  [
+    test_case "always = min over time, eventually = max" `Quick (fun () ->
+        (* fabricate a trace through the simulator: speeds ramp up *)
+        let scene = two_car_scene ~gap:40. ~ego_speed:0. () in
+        let sim = Dyn.Simulate.of_scene ~world:north scene in
+        let frames = Dyn.Simulate.rollout ~duration:4. sim in
+        let speed_atom = Dyn.Monitor.atom "v" (fun fr -> fr.Dyn.Simulate.f_speeds.(0)) in
+        let always = Dyn.Monitor.robustness (Always speed_atom) frames in
+        let eventually = Dyn.Monitor.robustness (Eventually speed_atom) frames in
+        check_float ~eps:1e-9 "always is the start speed" 0. always;
+        Alcotest.(check bool) "eventually larger" true (eventually > 5.));
+    test_case "negation and conjunction" `Quick (fun () ->
+        let scene = two_car_scene () in
+        let sim = Dyn.Simulate.of_scene ~world:north scene in
+        let frames = Dyn.Simulate.rollout ~duration:1. sim in
+        let pos = Dyn.Monitor.atom "p" (fun _ -> 2.) in
+        let neg = Dyn.Monitor.atom "n" (fun _ -> -3.) in
+        check_float "not" (-2.) (Dyn.Monitor.robustness (Not pos) frames);
+        check_float "and" (-3.)
+          (Dyn.Monitor.robustness (And (pos, neg)) frames);
+        check_float "or" 2. (Dyn.Monitor.robustness (Or (pos, neg)) frames));
+    test_case "box separation goes negative on intersection" `Quick (fun () ->
+        let a = G.Rect.make ~center:G.Vec.zero ~heading:0. ~width:2. ~height:4. in
+        let b = G.Rect.make ~center:(G.Vec.make 0. 2.) ~heading:0. ~width:2. ~height:4. in
+        let c = G.Rect.make ~center:(G.Vec.make 0. 30.) ~heading:0. ~width:2. ~height:4. in
+        Alcotest.(check bool) "overlap negative" true
+          (Dyn.Monitor.box_separation a b < 0.);
+        Alcotest.(check bool) "apart positive" true
+          (Dyn.Monitor.box_separation a c > 20.));
+  ]
+
+let falsify_tests =
+  [
+    test_case "falsifier finds counterexamples in a risky scenario" `Slow
+      (fun () ->
+        let scenario =
+          "import gtaLib\n\
+           ego = EgoCar at 1.75 @ -60, facing roadDirection, with speed (11, \
+           14)\n\
+           lead = Car ahead of ego by (6, 12), with speed (3, 6), with \
+           brakeAt (0.2, 1.0)\n"
+        in
+        let result =
+          Dyn.Falsify.run ~n_seeds:15 ~n_refine:5 ~seed:5
+            ~formula:(Dyn.Monitor.no_collision ()) scenario
+        in
+        Alcotest.(check bool) "found some" true (result.counterexamples >= 1);
+        (* outcomes are sorted worst-first *)
+        match result.outcomes with
+        | a :: b :: _ ->
+            Alcotest.(check bool) "sorted" true (a.rob <= b.rob)
+        | _ -> Alcotest.fail "expected outcomes");
+    test_case "mutation scenario reproduces the scene approximately" `Quick
+      (fun () ->
+        Scenic_worlds.Scenic_worlds_init.init ();
+        let scene =
+          sample_scene ~seed:5
+            "import gtaLib\nego = EgoCar at 1.75 @ -20, facing roadDirection\n\
+             Car ahead of ego by 10\n"
+        in
+        let src = Dyn.Falsify.mutation_scenario ~scale:0.3 scene in
+        let again = sample_scene ~seed:9 src in
+        let d =
+          G.Vec.dist
+            (Scenic_core.Scene.position (Scenic_core.Scene.ego scene))
+            (Scenic_core.Scene.position (Scenic_core.Scene.ego again))
+        in
+        Alcotest.(check bool) "close" true (d < 2.));
+  ]
+
+let suites =
+  [
+    ("dynamics.simulate", simulate_tests);
+    ("dynamics.monitor", monitor_tests);
+    ("dynamics.falsify", falsify_tests);
+  ]

@@ -1,0 +1,425 @@
+(** Tests for the geometry substrate. *)
+
+open Scenic_geometry
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if not (feq ~eps expected actual) then
+    Alcotest.failf "%s: expected %g, got %g" msg expected actual
+
+let check_vec ?(eps = 1e-9) msg expected actual =
+  if not (Vec.equal ~eps expected actual) then
+    Alcotest.failf "%s: expected %s, got %s" msg (Vec.to_string expected)
+      (Vec.to_string actual)
+
+let test_case = Alcotest.test_case
+
+(* --- generators --------------------------------------------------------- *)
+
+let vec_gen =
+  QCheck.Gen.(
+    map2 (fun x y -> Vec.make x y) (float_range (-100.) 100.)
+      (float_range (-100.) 100.))
+
+let vec_arb =
+  QCheck.make ~print:Vec.to_string vec_gen
+
+let angle_arb = QCheck.float_range (-20.) 20.
+
+let qtest name ?(count = 200) arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+(* --- Vec ------------------------------------------------------------------ *)
+
+let vec_tests =
+  [
+    test_case "add/sub roundtrip" `Quick (fun () ->
+        let a = Vec.make 3. 4. and b = Vec.make (-1.) 2. in
+        check_vec "a+b-b" a (Vec.sub (Vec.add a b) b));
+    test_case "norm of 3-4-5" `Quick (fun () ->
+        check_float "norm" 5. (Vec.norm (Vec.make 3. 4.)));
+    test_case "heading of north" `Quick (fun () ->
+        check_float "north" 0. (Vec.heading_of (Vec.make 0. 1.)));
+    test_case "heading of west" `Quick (fun () ->
+        check_float "west" (Angle.pi /. 2.) (Vec.heading_of (Vec.make (-1.) 0.)));
+    test_case "of_heading matches heading_of" `Quick (fun () ->
+        List.iter
+          (fun h ->
+            check_float ~eps:1e-9 "roundtrip" (Angle.normalize h)
+              (Vec.heading_of (Vec.of_heading h)))
+          [ 0.; 0.7; -2.1; 3.1; -3.1 ]);
+    test_case "rotate 90deg" `Quick (fun () ->
+        check_vec "rot" (Vec.make (-1.) 0.)
+          (Vec.rotate (Vec.make 0. 1.) (Angle.pi /. 2.)));
+    qtest "rotation preserves norm" vec_arb (fun v ->
+        feq ~eps:1e-6 (Vec.norm v) (Vec.norm (Vec.rotate v 1.234)));
+    qtest "rotate then unrotate is identity"
+      (QCheck.pair vec_arb angle_arb)
+      (fun (v, th) -> Vec.equal ~eps:1e-6 v (Vec.rotate (Vec.rotate v th) (-.th)));
+    qtest "cross antisymmetry" (QCheck.pair vec_arb vec_arb) (fun (a, b) ->
+        feq ~eps:1e-6 (Vec.cross a b) (-.Vec.cross b a));
+    qtest "triangle inequality" (QCheck.pair vec_arb vec_arb) (fun (a, b) ->
+        Vec.norm (Vec.add a b) <= Vec.norm a +. Vec.norm b +. 1e-9);
+  ]
+
+(* --- Angle ------------------------------------------------------------------ *)
+
+let angle_tests =
+  [
+    test_case "normalize wraps" `Quick (fun () ->
+        check_float "2pi" 0. (Angle.normalize (2. *. Angle.pi));
+        check_float ~eps:1e-9 "3pi" Angle.pi (Angle.normalize (3. *. Angle.pi));
+        check_float "-pi/2" (-.(Angle.pi /. 2.)) (Angle.normalize (-.(Angle.pi /. 2.))));
+    test_case "degrees roundtrip" `Quick (fun () ->
+        check_float "deg" 45. (Angle.to_degrees (Angle.of_degrees 45.)));
+    test_case "dist is circular" `Quick (fun () ->
+        check_float ~eps:1e-9 "near wrap" (Angle.of_degrees 20.)
+          (Angle.dist (Angle.of_degrees 170.) (Angle.of_degrees (-170.))));
+    qtest "normalize in range" angle_arb (fun h ->
+        let n = Angle.normalize h in
+        n > -.Angle.pi -. 1e-9 && n <= Angle.pi +. 1e-9);
+    qtest "dist symmetric" (QCheck.pair angle_arb angle_arb) (fun (a, b) ->
+        feq ~eps:1e-9 (Angle.dist a b) (Angle.dist b a));
+    test_case "in_interval wraparound" `Quick (fun () ->
+        (* interval [170deg, 190deg] crossing pi *)
+        let lo = Angle.of_degrees 170. and hi = Angle.of_degrees 190. in
+        Alcotest.(check bool) "180 in" true
+          (Angle.in_interval (Angle.of_degrees 180.) ~lo ~hi);
+        Alcotest.(check bool) "-175 in" true
+          (Angle.in_interval (Angle.of_degrees (-175.)) ~lo ~hi);
+        Alcotest.(check bool) "0 out" false
+          (Angle.in_interval 0. ~lo ~hi);
+        Alcotest.(check bool) "165 with tol" true
+          (Angle.in_interval ~tol:(Angle.of_degrees 6.) (Angle.of_degrees 165.) ~lo ~hi));
+  ]
+
+(* --- Seg ----------------------------------------------------------------- *)
+
+let seg_tests =
+  [
+    test_case "distance to point" `Quick (fun () ->
+        let s = Seg.make (Vec.make 0. 0.) (Vec.make 10. 0.) in
+        check_float "above middle" 2. (Seg.dist_to_point s (Vec.make 5. 2.));
+        check_float "beyond end" 5. (Seg.dist_to_point s (Vec.make 13. 4.)));
+    test_case "intersects crossing" `Quick (fun () ->
+        let s1 = Seg.make (Vec.make 0. 0.) (Vec.make 2. 2.) in
+        let s2 = Seg.make (Vec.make 0. 2.) (Vec.make 2. 0.) in
+        Alcotest.(check bool) "cross" true (Seg.intersects s1 s2));
+    test_case "intersects parallel disjoint" `Quick (fun () ->
+        let s1 = Seg.make (Vec.make 0. 0.) (Vec.make 2. 0.) in
+        let s2 = Seg.make (Vec.make 0. 1.) (Vec.make 2. 1.) in
+        Alcotest.(check bool) "parallel" false (Seg.intersects s1 s2));
+    test_case "collinear overlap" `Quick (fun () ->
+        let s1 = Seg.make (Vec.make 0. 0.) (Vec.make 2. 0.) in
+        let s2 = Seg.make (Vec.make 1. 0.) (Vec.make 3. 0.) in
+        Alcotest.(check bool) "overlap" true (Seg.intersects s1 s2));
+    qtest "closest point is on segment"
+      (QCheck.triple vec_arb vec_arb vec_arb)
+      (fun (a, b, p) ->
+        QCheck.assume (Vec.dist a b > 1e-6);
+        let s = Seg.make a b in
+        let c = Seg.closest_point s p in
+        (* c must not be farther from p than either endpoint *)
+        Vec.dist p c <= Vec.dist p a +. 1e-9 && Vec.dist p c <= Vec.dist p b +. 1e-9);
+  ]
+
+(* --- Polygon ---------------------------------------------------------------- *)
+
+let square = Polygon.rectangle ~min_x:0. ~min_y:0. ~max_x:10. ~max_y:10.
+
+let polygon_tests =
+  [
+    test_case "area and centroid of square" `Quick (fun () ->
+        check_float "area" 100. (Polygon.area square);
+        check_vec "centroid" (Vec.make 5. 5.) (Polygon.centroid square));
+    test_case "reorients clockwise input" `Quick (fun () ->
+        let p =
+          Polygon.make
+            [ Vec.make 0. 0.; Vec.make 0. 1.; Vec.make 1. 1.; Vec.make 1. 0. ]
+        in
+        Alcotest.(check bool) "positive area" true (Polygon.area p > 0.));
+    test_case "degenerate raises" `Quick (fun () ->
+        Alcotest.check_raises "too few"
+          (Polygon.Degenerate "fewer than 3 vertices") (fun () ->
+            ignore (Polygon.make [ Vec.zero; Vec.make 1. 1. ])));
+    test_case "contains" `Quick (fun () ->
+        Alcotest.(check bool) "inside" true (Polygon.contains square (Vec.make 5. 5.));
+        Alcotest.(check bool) "outside" false (Polygon.contains square (Vec.make 15. 5.));
+        Alcotest.(check bool) "boundary" true (Polygon.contains square (Vec.make 10. 5.)));
+    test_case "intersection of overlapping squares" `Quick (fun () ->
+        let other = Polygon.rectangle ~min_x:5. ~min_y:5. ~max_x:15. ~max_y:15. in
+        match Polygon.intersect square other with
+        | Some p -> check_float ~eps:1e-6 "area" 25. (Polygon.area p)
+        | None -> Alcotest.fail "expected overlap");
+    test_case "intersection of disjoint squares" `Quick (fun () ->
+        let other = Polygon.rectangle ~min_x:20. ~min_y:20. ~max_x:30. ~max_y:30. in
+        Alcotest.(check bool) "none" true (Polygon.intersect square other = None));
+    test_case "erode square" `Quick (fun () ->
+        match Polygon.erode square 2. with
+        | Some p -> check_float ~eps:1e-6 "area" 36. (Polygon.area p)
+        | None -> Alcotest.fail "erosion vanished");
+    test_case "erode to nothing" `Quick (fun () ->
+        Alcotest.(check bool) "vanishes" true (Polygon.erode square 6. = None));
+    test_case "dilate square" `Quick (fun () ->
+        let p = Polygon.dilate square 1. in
+        check_float ~eps:1e-6 "area" 144. (Polygon.area p));
+    test_case "min_width of rectangle" `Quick (fun () ->
+        let r = Polygon.rectangle ~min_x:0. ~min_y:0. ~max_x:3. ~max_y:20. in
+        check_float ~eps:1e-6 "width" 3. (Polygon.min_width r));
+    test_case "clip_segment" `Quick (fun () ->
+        let s = Seg.make (Vec.make (-5.) 5.) (Vec.make 15. 5.) in
+        match Polygon.clip_segment square s with
+        | Some (t0, t1) ->
+            check_float ~eps:1e-9 "t0" 0.25 t0;
+            check_float ~eps:1e-9 "t1" 0.75 t1
+        | None -> Alcotest.fail "expected clip");
+    test_case "clip_segment outside" `Quick (fun () ->
+        let s = Seg.make (Vec.make (-5.) 20.) (Vec.make 15. 20.) in
+        Alcotest.(check bool) "none" true (Polygon.clip_segment square s = None));
+    test_case "convex hull of square + interior points" `Quick (fun () ->
+        let pts =
+          [
+            Vec.make 0. 0.; Vec.make 10. 0.; Vec.make 10. 10.; Vec.make 0. 10.;
+            Vec.make 5. 5.; Vec.make 2. 7.;
+          ]
+        in
+        let h = Polygon.convex_hull pts in
+        check_float ~eps:1e-9 "area" 100. (Polygon.area h);
+        Alcotest.(check int) "vertices" 4 (Polygon.num_vertices h));
+    qtest "hull contains its points"
+      (QCheck.list_of_size (QCheck.Gen.int_range 3 12) vec_arb)
+      (fun pts ->
+        match Polygon.convex_hull pts with
+        | h -> List.for_all (fun p -> Polygon.contains h p) pts
+        | exception Polygon.Degenerate _ -> true);
+    qtest "sample_uniform stays inside"
+      (QCheck.pair (QCheck.int_range 0 10000) QCheck.unit)
+      (fun (seed, ()) ->
+        let rng = Scenic_prob.Rng.create seed in
+        let tri = Polygon.make [ Vec.zero; Vec.make 8. 1.; Vec.make 3. 7. ] in
+        let p = Polygon.sample_uniform tri ~urand:(fun () -> Scenic_prob.Rng.float rng) in
+        Polygon.contains tri p);
+    qtest "dilation soundness: superset of the Minkowski sum"
+      (QCheck.pair vec_arb (QCheck.float_range 0.2 5.))
+      (fun (p, delta) ->
+        (* any point within delta of the square must be in its dilation
+           (miter joins give a superset of the true Minkowski sum) *)
+        let d = Polygon.dilate square delta in
+        let dist = Polygon.signed_dist square p in
+        dist < -.delta +. 1e-6 || Polygon.contains d p);
+    qtest "erosion soundness: eroded point's disc fits"
+      (QCheck.pair vec_arb (QCheck.float_range 0.2 3.))
+      (fun (p, r) ->
+        match Polygon.erode square r with
+        | None -> true
+        | Some eroded ->
+            (not (Polygon.contains eroded p))
+            || List.for_all
+                 (fun k ->
+                   let th = float_of_int k *. Angle.pi /. 8. in
+                   Polygon.contains square
+                     (Vec.add p (Vec.scale r (Vec.of_heading th))))
+                 (List.init 16 Fun.id));
+  ]
+
+(* --- Polyset ---------------------------------------------------------------- *)
+
+let two_lanes =
+  (* two adjacent 4x20 lanes: union is an 8x20 road *)
+  Polyset.make
+    [
+      Polygon.rectangle ~min_x:0. ~min_y:0. ~max_x:4. ~max_y:20.;
+      Polygon.rectangle ~min_x:4. ~min_y:0. ~max_x:8. ~max_y:20.;
+    ]
+
+let polyset_tests =
+  [
+    test_case "area sums" `Quick (fun () ->
+        check_float ~eps:1e-6 "area" 160. (Polyset.area two_lanes));
+    test_case "union boundary excludes shared edge" `Quick (fun () ->
+        let boundary = Polyset.union_boundary two_lanes in
+        (* the seam x=4 must not contribute boundary segments *)
+        let on_seam =
+          List.filter
+            (fun s ->
+              feq ~eps:1e-6 (Vec.x (Seg.a s)) 4. && feq ~eps:1e-6 (Vec.x (Seg.b s)) 4.)
+            boundary
+        in
+        let seam_len = List.fold_left (fun acc s -> acc +. Seg.length s) 0. on_seam in
+        check_float ~eps:1e-6 "seam length" 0. seam_len;
+        (* total boundary length = perimeter of the 8x20 rectangle *)
+        let total = List.fold_left (fun acc s -> acc +. Seg.length s) 0. boundary in
+        check_float ~eps:1e-6 "perimeter" 56. total);
+    test_case "erode_pred sees through the seam" `Quick (fun () ->
+        let pred = Polyset.erode_pred two_lanes 1.5 in
+        (* a point on the seam, deep inside the union: 1.5 from nothing *)
+        Alcotest.(check bool) "center ok" true (pred (Vec.make 4. 10.));
+        Alcotest.(check bool) "near left edge" false (pred (Vec.make 0.5 10.));
+        Alcotest.(check bool) "near top" false (pred (Vec.make 4. 19.));
+        Alcotest.(check bool) "outside" false (pred (Vec.make 12. 10.)));
+    qtest "erode_pred soundness on the union"
+      (QCheck.pair vec_arb (QCheck.float_range 0.2 2.))
+      (fun (p, r) ->
+        let pred = Polyset.erode_pred two_lanes r in
+        (not (pred p))
+        || List.for_all
+             (fun k ->
+               let th = float_of_int k *. Angle.pi /. 8. in
+               Polyset.contains two_lanes
+                 (Vec.add p (Vec.scale (r *. 0.999) (Vec.of_heading th))))
+             (List.init 16 Fun.id));
+    test_case "sample_uniform covers both lanes" `Quick (fun () ->
+        let rng = Scenic_prob.Rng.create 1 in
+        let left = ref 0 in
+        for _ = 1 to 1000 do
+          let p = Polyset.sample_uniform two_lanes ~urand:(fun () -> Scenic_prob.Rng.float rng) in
+          if Vec.x p < 4. then incr left
+        done;
+        Alcotest.(check bool) "balanced" true (!left > 400 && !left < 600));
+  ]
+
+(* --- Rect ------------------------------------------------------------------ *)
+
+let rect_tests =
+  [
+    test_case "corners of axis-aligned box" `Quick (fun () ->
+        let r = Rect.make ~center:(Vec.make 1. 2.) ~heading:0. ~width:2. ~height:4. in
+        let cs = Rect.corners r in
+        Alcotest.(check int) "4 corners" 4 (List.length cs);
+        Alcotest.(check bool) "front right" true
+          (List.exists (Vec.equal ~eps:1e-9 (Vec.make 2. 4.)) cs));
+    test_case "heading rotates the box" `Quick (fun () ->
+        (* heading pi/2 = West: the 'front' edge points West *)
+        let r = Rect.make ~center:Vec.zero ~heading:(Angle.pi /. 2.) ~width:2. ~height:4. in
+        Alcotest.(check bool) "contains west point" true
+          (Rect.contains r (Vec.make (-1.9) 0.));
+        Alcotest.(check bool) "not north" false (Rect.contains r (Vec.make 0. 1.9)));
+    test_case "intersects SAT" `Quick (fun () ->
+        let a = Rect.make ~center:Vec.zero ~heading:0. ~width:2. ~height:2. in
+        let b = Rect.make ~center:(Vec.make 1.5 0.) ~heading:(Angle.pi /. 4.) ~width:2. ~height:2. in
+        let c = Rect.make ~center:(Vec.make 4. 0.) ~heading:0. ~width:2. ~height:2. in
+        Alcotest.(check bool) "ab" true (Rect.intersects a b);
+        Alcotest.(check bool) "ac" false (Rect.intersects a c));
+    qtest "intersects is symmetric"
+      (QCheck.pair (QCheck.pair vec_arb angle_arb) (QCheck.pair vec_arb angle_arb))
+      (fun ((c1, h1), (c2, h2)) ->
+        let a = Rect.make ~center:c1 ~heading:h1 ~width:2. ~height:4. in
+        let b = Rect.make ~center:c2 ~heading:h2 ~width:3. ~height:1. in
+        Rect.intersects a b = Rect.intersects b a);
+    test_case "inradius / circumradius" `Quick (fun () ->
+        let r = Rect.make ~center:Vec.zero ~heading:0.3 ~width:2. ~height:4. in
+        check_float "inradius" 1. (Rect.inradius r);
+        check_float ~eps:1e-9 "circumradius" (sqrt 5.) (Rect.circumradius r));
+  ]
+
+(* --- Region / Vectorfield / Visibility ------------------------------------- *)
+
+let region_tests =
+  [
+    test_case "region areas are analytic where defined" `Quick (fun () ->
+        let feq = feq ~eps:1e-9 in
+        (match Region.area (Region.circle Vec.zero 3.) with
+        | Some a -> Alcotest.(check bool) "circle" true (feq a (Angle.pi *. 9.))
+        | None -> Alcotest.fail "circle area");
+        (match
+           Region.area
+             (Region.sector ~center:Vec.zero ~radius:2. ~heading:0.
+                ~angle:Angle.pi)
+         with
+        | Some a -> Alcotest.(check bool) "sector" true (feq a (2. *. Angle.pi))
+        | None -> Alcotest.fail "sector area");
+        (match Region.area (Region.of_polygon square) with
+        | Some a -> Alcotest.(check bool) "polyset" true (feq a 100.)
+        | None -> Alcotest.fail "polyset area");
+        Alcotest.(check bool) "intersection unknown" true
+          (Region.area
+             (Region.intersect (Region.of_polygon square)
+                (Region.circle Vec.zero 5.))
+          = None));
+    test_case "circle contains and samples" `Quick (fun () ->
+        let r = Region.circle (Vec.make 1. 1.) 5. in
+        Alcotest.(check bool) "in" true (Region.contains r (Vec.make 4. 1.));
+        Alcotest.(check bool) "out" false (Region.contains r (Vec.make 7. 1.));
+        let rng = Scenic_prob.Rng.create 3 in
+        for _ = 1 to 200 do
+          let p = Region.sample r ~urand:(fun () -> Scenic_prob.Rng.float rng) in
+          Alcotest.(check bool) "sampled in" true (Region.contains r p)
+        done);
+    test_case "sector membership" `Quick (fun () ->
+        let s = Region.sector ~center:Vec.zero ~radius:10. ~heading:0. ~angle:(Angle.of_degrees 60.) in
+        Alcotest.(check bool) "ahead" true (Region.contains s (Vec.make 0. 5.));
+        Alcotest.(check bool) "30deg edge" true
+          (Region.contains s (Vec.scale 5. (Vec.of_heading (Angle.of_degrees 29.))));
+        Alcotest.(check bool) "45deg out" false
+          (Region.contains s (Vec.scale 5. (Vec.of_heading (Angle.of_degrees 45.))));
+        Alcotest.(check bool) "too far" false (Region.contains s (Vec.make 0. 11.)));
+    test_case "everywhere cannot be sampled" `Quick (fun () ->
+        let rng = Scenic_prob.Rng.create 3 in
+        match Region.sample Region.everywhere ~urand:(fun () -> Scenic_prob.Rng.float rng) with
+        | exception Region.Unbounded _ -> ()
+        | _ -> Alcotest.fail "expected Unbounded");
+    test_case "filtered sampling respects predicate" `Quick (fun () ->
+        let base = Region.of_polygon square in
+        let left = Region.filtered ~fname:"left" base (fun p -> Vec.x p < 5.) in
+        let rng = Scenic_prob.Rng.create 5 in
+        for _ = 1 to 200 do
+          let p = Region.sample left ~urand:(fun () -> Scenic_prob.Rng.float rng) in
+          Alcotest.(check bool) "left half" true (Vec.x p < 5.)
+        done);
+    test_case "empty filter raises" `Quick (fun () ->
+        let base = Region.of_polygon square in
+        let none = Region.filtered ~fname:"none" base (fun _ -> false) in
+        let rng = Scenic_prob.Rng.create 5 in
+        match Region.sample none ~urand:(fun () -> Scenic_prob.Rng.float rng) with
+        | exception Region.Empty_region _ -> ()
+        | _ -> Alcotest.fail "expected Empty_region");
+    test_case "replace_polyset digs through filters" `Quick (fun () ->
+        let base = Region.of_polyset two_lanes in
+        let filtered = Region.filtered ~fname:"f" base (fun _ -> true) in
+        let small = Polyset.make [ square ] in
+        let replaced = Region.replace_polyset filtered small in
+        match Region.polyset replaced with
+        | Some ps -> check_float ~eps:1e-6 "area" 100. (Polyset.area ps)
+        | None -> Alcotest.fail "no polyset");
+    test_case "vectorfield piecewise + follow" `Quick (fun () ->
+        let f =
+          Vectorfield.piecewise ~name:"f"
+            [ (square, 0.); (Polygon.rectangle ~min_x:0. ~min_y:10. ~max_x:10. ~max_y:20., Angle.pi /. 2.) ]
+        in
+        check_float "south part" 0. (Vectorfield.at f (Vec.make 5. 5.));
+        check_float "north part" (Angle.pi /. 2.) (Vectorfield.at f (Vec.make 5. 15.));
+        (* follow north for 4m from (5,5): stays in the 0-heading piece *)
+        let p = Vectorfield.follow f ~from:(Vec.make 5. 5.) ~dist:4. in
+        check_vec ~eps:1e-9 "follow" (Vec.make 5. 9.) p);
+    test_case "visibility: point vs oriented viewer" `Quick (fun () ->
+        let v =
+          Visibility.viewer ~heading:0. ~view_angle:(Angle.of_degrees 80.)
+            ~position:Vec.zero ~view_distance:30. ()
+        in
+        Alcotest.(check bool) "ahead" true (Visibility.sees_point v (Vec.make 0. 10.));
+        Alcotest.(check bool) "behind" false (Visibility.sees_point v (Vec.make 0. (-10.)));
+        Alcotest.(check bool) "too far" false (Visibility.sees_point v (Vec.make 0. 31.)));
+    test_case "visibility: box partially in cone" `Quick (fun () ->
+        let v =
+          Visibility.viewer ~heading:0. ~view_angle:(Angle.of_degrees 40.)
+            ~position:Vec.zero ~view_distance:30. ()
+        in
+        (* box center outside the cone (atan(5/12) ≈ 22.6° > 20°) but
+           its near-left corner (2, 13) pokes in at ≈ 8.7° *)
+        let box = Rect.make ~center:(Vec.make 5. 12.) ~heading:0. ~width:6. ~height:2. in
+        Alcotest.(check bool) "corner visible" true (Visibility.sees_box v box);
+        let far_box = Rect.make ~center:(Vec.make 30. 10.) ~heading:0. ~width:2. ~height:2. in
+        Alcotest.(check bool) "way off" false (Visibility.sees_box v far_box));
+  ]
+
+let suites =
+  [
+    ("geometry.vec", vec_tests);
+    ("geometry.angle", angle_tests);
+    ("geometry.seg", seg_tests);
+    ("geometry.polygon", polygon_tests);
+    ("geometry.polyset", polyset_tests);
+    ("geometry.rect", rect_tests);
+    ("geometry.region", region_tests);
+  ]

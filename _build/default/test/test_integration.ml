@@ -1,0 +1,224 @@
+(** Integration tests: every App. A gallery scenario compiles and
+    samples, the sampled scenes exhibit the geometry the paper
+    describes, and the harness plumbing works end to end. *)
+
+open Helpers
+module C = Scenic_core
+module G = Scenic_geometry
+module S = Scenic_harness.Scenarios
+
+let test_case = Alcotest.test_case
+
+let gallery =
+  [
+    ("A.2 simplest", S.simplest);
+    ("A.3 single car", S.generic 1);
+    ("A.4 badly parked", S.badly_parked);
+    ("A.5 oncoming", S.oncoming);
+    ("A.7 two cars", S.generic 2);
+    ("A.8 overlapping", S.overlapping);
+    ("A.9 four cars bad weather", S.generic ~conditions:S.bad_conditions 4);
+    ("A.10 platoon", S.platoon);
+    ("A.11 bumper-to-bumper", S.bumper_to_bumper);
+    ("A.12 mars bottleneck", S.mars_bottleneck);
+  ]
+
+let gallery_tests =
+  List.map
+    (fun (name, src) ->
+      test_case (name ^ " compiles and samples") `Quick (fun () ->
+          let scene = sample_scene ~seed:31 src in
+          Alcotest.(check bool) "has objects" true
+            (List.length scene.C.Scene.objs >= 2)))
+    gallery
+
+(* --- scene-level geometric checks ---------------------------------------- *)
+
+let net () = Scenic_worlds.Gta_lib.get_network ()
+
+let geometric_tests =
+  [
+    test_case "badly-parked car sits near a curb at 10-20 degrees" `Quick
+      (fun () ->
+        let scenes = sample_scenes ~n:15 ~seed:3 S.badly_parked in
+        let n = net () in
+        List.iter
+          (fun s ->
+            let car = the_object s in
+            let p = C.Scene.position car in
+            (* the car is within a couple meters of some curb strip *)
+            let near_curb =
+              List.exists
+                (fun (c : Scenic_worlds.Road_network.curb) ->
+                  G.Polygon.dist_to_boundary c.strip p < 3.
+                  || G.Polygon.contains c.strip p)
+                n.Scenic_worlds.Road_network.curbs
+            in
+            Alcotest.(check bool) "near curb" true near_curb;
+            (* heading deviates from the road by 10-20 degrees *)
+            let road_h = G.Vectorfield.at n.road_direction p in
+            let dev = G.Angle.dist (C.Scene.heading car) road_h in
+            Alcotest.(check bool) "bad angle" true
+              (dev >= G.Angle.of_degrees 9.9 && dev <= G.Angle.of_degrees 20.1))
+          scenes);
+    test_case "oncoming car faces the ego within its view cone" `Quick
+      (fun () ->
+        let scenes = sample_scenes ~n:15 ~seed:5 S.oncoming in
+        List.iter
+          (fun s ->
+            let ego = C.Scene.ego s and car = the_object s in
+            (* 'car2 can see ego' with a 30-degree cone; visibility tests
+               the ego's bounding box, so allow the angular slack its
+               half-diagonal subtends at 20m (~8 degrees) *)
+            let los =
+              G.Vec.heading_of
+                (G.Vec.sub (C.Scene.position ego) (C.Scene.position car))
+            in
+            Alcotest.(check bool) "ego in cone" true
+              (G.Angle.dist los (C.Scene.heading car)
+              <= G.Angle.of_degrees 23.);
+            (* and it is 20-40m ahead of the ego, laterally within 10m *)
+            let rel =
+              G.Vec.rotate
+                (G.Vec.sub (C.Scene.position car) (C.Scene.position ego))
+                (-.C.Scene.heading ego)
+            in
+            Alcotest.(check bool) "ahead" true
+              (G.Vec.y rel >= 19.9 && G.Vec.y rel <= 40.1))
+          scenes);
+    test_case "overlap scenario really overlaps in image space" `Quick
+      (fun () ->
+        let scenes = sample_scenes ~n:25 ~seed:7 S.overlapping in
+        let rng = Scenic_prob.Rng.create 9 in
+        let overlapping =
+          Scenic_prob.Stats.frequency
+            (fun s ->
+              let r = Scenic_render.Raster.render ~rng s in
+              match
+                List.map (fun (l : Scenic_render.Raster.label) -> l.full_box)
+                  r.labels
+              with
+              | [ a; b ] -> Scenic_render.Camera.bbox_iou a b > 0.02
+              | _ -> false)
+            scenes
+        in
+        (* the second car sits 4-10m behind the first, offset 1.25-2.75m:
+           most renders overlap *)
+        Alcotest.(check bool)
+          (Printf.sprintf "fraction %.2f" overlapping)
+          true (overlapping > 0.5));
+    test_case "bumper-to-bumper has three forward lanes of four" `Quick
+      (fun () ->
+        let scene = sample_scene ~seed:11 S.bumper_to_bumper in
+        let cars = C.Scene.non_ego scene in
+        Alcotest.(check int) "12 cars" 12 (List.length cars);
+        let ego = C.Scene.ego scene in
+        (* all cars are ahead of the ego in its frame *)
+        List.iter
+          (fun c ->
+            let rel =
+              G.Vec.rotate
+                (G.Vec.sub (C.Scene.position c) (C.Scene.position ego))
+                (-.C.Scene.heading ego)
+            in
+            Alcotest.(check bool) "ahead" true (G.Vec.y rel > 0.))
+          cars);
+    test_case "platoon cars share the leader's model" `Quick (fun () ->
+        (* createPlatoonAt with no model: followers copy the start car *)
+        let scene = sample_scene ~seed:13 S.platoon in
+        let cars = C.Scene.non_ego scene in
+        let models =
+          List.map
+            (fun c ->
+              match C.Scene.prop c "model" with
+              | C.Value.Vdict kvs -> List.assoc (C.Value.Vstr "name") kvs
+              | _ -> Alcotest.fail "model")
+            cars
+        in
+        match models with
+        | m0 :: rest ->
+            List.iter
+              (fun m -> Alcotest.(check bool) "same model" true (m = m0))
+              rest
+        | [] -> Alcotest.fail "no cars");
+  ]
+
+(* --- harness plumbing ------------------------------------------------------ *)
+
+let harness_tests =
+  [
+    test_case "dataset pipeline produces labeled images" `Quick (fun () ->
+        let data =
+          Scenic_harness.Datasets.dataset ~tag:"t" ~seed:3 ~n:8 (S.generic 2)
+        in
+        Alcotest.(check int) "count" 8 (List.length data);
+        List.iter
+          (fun (ex : Scenic_detector.Data.example) ->
+            Alcotest.(check bool) "has labels" true (List.length ex.gts >= 1))
+          data);
+    test_case "mixture replaces the requested fraction" `Quick (fun () ->
+        let base =
+          Scenic_harness.Datasets.dataset ~tag:"base" ~seed:5 ~n:40 (S.generic 1)
+        in
+        let pool =
+          Scenic_harness.Datasets.dataset ~tag:"pool" ~seed:7 ~n:20 S.overlapping
+        in
+        let rng = Scenic_prob.Rng.create 9 in
+        let mixed =
+          Scenic_harness.Datasets.mixture ~rng ~fraction:0.25 ~pool base
+        in
+        Alcotest.(check int) "size kept" 40 (List.length mixed);
+        let injected =
+          List.length
+            (List.filter
+               (fun (e : Scenic_detector.Data.example) -> e.tag = "pool")
+               mixed)
+        in
+        Alcotest.(check int) "injected" 10 injected);
+    test_case "table 7 variant scenarios all compile and sample" `Quick
+      (fun () ->
+        let failure =
+          {
+            S.ego_x = 1.75;
+            ego_y = -10.;
+            ego_heading_deg = 2.;
+            car_x = 2.4;
+            car_y = 8.;
+            car_heading_deg = -3.;
+            model = "DOMINATOR";
+            color = (0.7, 0.6, 0.6);
+            time = 720.;
+            weather = "EXTRASUNNY";
+          }
+        in
+        List.iter
+          (fun (name, src) ->
+            match sample_scene ~seed:17 ~max_iters:200_000 src with
+            | scene ->
+                Alcotest.(check bool) (name ^ " objects") true
+                  (List.length scene.C.Scene.objs = 2)
+            | exception e ->
+                Alcotest.failf "%s failed: %s" name (Printexc.to_string e))
+          (S.table7_variants failure));
+    test_case "pruning experiment plumbing" `Quick (fun () ->
+        let cfg = { Scenic_harness.Exp_config.tiny with runs = 1 } in
+        let row =
+          Scenic_harness.Exp_pruning.measure ~cfg ~n_scenes:3 ~seeds:1
+            "parked" S.badly_parked
+        in
+        Alcotest.(check bool) "counted" true (row.unpruned > 0 && row.pruned > 0));
+    test_case "scene JSON export is parseable-ish" `Quick (fun () ->
+        let scene = sample_scene ~seed:19 S.simplest in
+        let json = Scenic_render.Export.json_of_scene scene in
+        Alcotest.(check bool) "objects" true
+          (String.length json > 100
+          && String.sub json 0 1 = "{"
+          && String.length (String.trim json) > 0));
+  ]
+
+let suites =
+  [
+    ("integration.gallery", gallery_tests);
+    ("integration.geometry", geometric_tests);
+    ("integration.harness", harness_tests);
+  ]

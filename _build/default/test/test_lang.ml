@@ -1,0 +1,158 @@
+(** Tests for the lexer and parser. *)
+
+module L = Scenic_lang
+
+let test_case = Alcotest.test_case
+
+(* --- lexer ----------------------------------------------------------- *)
+
+let toks src = List.map (fun t -> t.L.Token.tok) (L.Lexer.tokenize src)
+
+let tok = Alcotest.testable (fun ppf t -> L.Token.pp ppf t) ( = )
+
+let lexer_tests =
+  [
+    test_case "numbers" `Quick (fun () ->
+        Alcotest.(check (list tok)) "ints and floats"
+          L.Token.[ NUMBER 12.; NUMBER 3.5; NUMBER 0.25; NUMBER 1e3; NEWLINE; EOF ]
+          (toks "12 3.5 .25 1e3"));
+    test_case "strings with escapes" `Quick (fun () ->
+        Alcotest.(check (list tok)) "both quotes"
+          L.Token.[ STRING "RAIN"; STRING "a\"b"; NEWLINE; EOF ]
+          (toks "'RAIN' \"a\\\"b\""));
+    test_case "keywords vs identifiers" `Quick (fun () ->
+        Alcotest.(check (list tok)) "mixed"
+          L.Token.[ KW "left"; KW "of"; IDENT "spot"; KW "by"; NUMBER 0.5; NEWLINE; EOF ]
+          (toks "left of spot by 0.5"));
+    test_case "operators" `Quick (fun () ->
+        Alcotest.(check (list tok)) "cmp"
+          L.Token.[ IDENT "x"; LE; NUMBER 3.; NE; IDENT "y"; EQ; NUMBER 1.; NEWLINE; EOF ]
+          (toks "x <= 3 != y == 1"));
+    test_case "indentation blocks" `Quick (fun () ->
+        Alcotest.(check (list tok)) "indent/dedent"
+          L.Token.
+            [
+              KW "if"; IDENT "x"; COLON; NEWLINE; INDENT; IDENT "y"; ASSIGN;
+              NUMBER 1.; NEWLINE; DEDENT; IDENT "z"; ASSIGN; NUMBER 2.; NEWLINE;
+              EOF;
+            ]
+          (toks "if x:\n    y = 1\nz = 2"));
+    test_case "blank and comment lines skipped" `Quick (fun () ->
+        Alcotest.(check (list tok)) "skipped"
+          L.Token.[ IDENT "a"; ASSIGN; NUMBER 1.; NEWLINE; IDENT "b"; ASSIGN; NUMBER 2.; NEWLINE; EOF ]
+          (toks "a = 1\n\n# comment only\n   # indented comment\nb = 2\n"));
+    test_case "line continuation by backslash" `Quick (fun () ->
+        Alcotest.(check (list tok)) "joined"
+          L.Token.[ IDENT "a"; ASSIGN; NUMBER 1.; PLUS; NUMBER 2.; NEWLINE; EOF ]
+          (toks "a = 1 \\\n    + 2\n"));
+    test_case "implicit continuation in brackets" `Quick (fun () ->
+        Alcotest.(check (list tok)) "joined"
+          L.Token.
+            [ IDENT "f"; LPAREN; NUMBER 1.; COMMA; NUMBER 2.; RPAREN; NEWLINE; EOF ]
+          (toks "f(1,\n   2)"));
+    test_case "nested dedents at EOF" `Quick (fun () ->
+        let ts = toks "if a:\n    if b:\n        x = 1" in
+        let dedents = List.length (List.filter (( = ) L.Token.DEDENT) ts) in
+        Alcotest.(check int) "two dedents" 2 dedents);
+    test_case "unterminated string errors" `Quick (fun () ->
+        match toks "x = 'oops" with
+        | exception L.Lexer.Error _ -> ()
+        | _ -> Alcotest.fail "expected lexer error");
+    test_case "unexpected char errors" `Quick (fun () ->
+        match toks "x = $" with
+        | exception L.Lexer.Error _ -> ()
+        | _ -> Alcotest.fail "expected lexer error");
+  ]
+
+(* --- parser ----------------------------------------------------------- *)
+
+let parse_str src = L.Pretty.program_to_string (L.Parser.parse src)
+
+let check_parse name src expected =
+  test_case name `Quick (fun () ->
+      Alcotest.(check string) "pretty" expected (parse_str src))
+
+let check_error name src =
+  test_case name `Quick (fun () ->
+      match L.Parser.parse src with
+      | exception (L.Parser.Error _ | L.Lexer.Error _) -> ()
+      | _ -> Alcotest.fail "expected parse error")
+
+let roundtrip name src =
+  (* pretty-printing a parse must be a fixed point *)
+  test_case (name ^ " roundtrip") `Quick (fun () ->
+      let once = parse_str src in
+      Alcotest.(check string) "stable" once (parse_str once))
+
+let parser_tests =
+  [
+    check_parse "simple assignment" "x = 1 + 2 * 3\n" "x = (1 + (2 * 3))\n";
+    check_parse "precedence: deg binds tighter than *"
+      "a = Uniform(1.0, -1.0) * (10, 20) deg\n"
+      "a = (Uniform(1, (-1)) * ((10, 20) deg))\n";
+    check_parse "vector vs arithmetic" "v = 1 + 2 @ 3 * 4\n"
+      "v = ((1 + 2) @ (3 * 4))\n";
+    check_parse "interval literal" "w = (-10 deg, 10 deg)\n"
+      "w = ((-(10 deg)), (10 deg))\n";
+    check_parse "relative to" "h = 30 deg relative to roadDirection\n"
+      "h = ((30 deg) relative to roadDirection)\n";
+    check_parse "offset along" "p = x offset along 90 deg by 1 @ 2\n"
+      "p = (x offset along (90 deg) by (1 @ 2))\n";
+    check_parse "can see / is in"
+      "require car can see ego\nrequire p is in road\n"
+      "require (car can see ego)\nrequire (p is in road)\n";
+    check_parse "soft requirement" "require[0.75] x > 1\n"
+      "require[0.75] (x > 1)\n";
+    check_parse "constructor with specifiers"
+      "Car left of spot by 0.5, facing 10 deg, with model m\n"
+      "Car left of spot by 0.5, facing (10 deg), with model m\n";
+    check_parse "constructor 'on' and 'visible'"
+      "spot = OrientedPoint on visible curb\n"
+      "spot = OrientedPoint on (visible curb)\n";
+    check_parse "beyond with from"
+      "Car beyond taxi by 0 @ 3 from ego\n" "Car beyond taxi by (0 @ 3) from ego\n";
+    check_parse "apparent heading"
+      "x = apparent heading of taxi from 1 @ 2\n"
+      "x = (apparent heading of taxi from (1 @ 2))\n";
+    check_parse "side of" "p = front left of taxi\n" "p = (front left of taxi)\n";
+    check_parse "follow" "p = follow roadDirection from pos for 10\n"
+      "p = (follow roadDirection from pos for 10)\n";
+    check_parse "ternary + is None"
+      "m = a if model is None else resample(model)\n"
+      "m = (a if (model is None) else resample(model))\n";
+    check_parse "mutate forms" "mutate\nmutate taxi\nmutate taxi, limo by 2\n"
+      "mutate\nmutate taxi\nmutate taxi, limo by 2\n";
+    check_parse "param with string" "param weather = 'RAIN'\n"
+      "param weather = \"RAIN\"\n";
+    check_parse "dict literal" "d = Discrete({'a': 1, 'b': 2})\n"
+      "d = Discrete({\"a\": 1, \"b\": 2})\n";
+    check_parse "class with inheritance"
+      "class EgoCar(Car):\n    model: 3\n"
+      "class EgoCar(Car):\n    model: 3\n";
+    check_parse "empty class body" "class X:\n    pass\n" "class X:\n    pass\n";
+    roundtrip "platoon helper"
+      "def createPlatoonAt(car, numCars, model=None, dist=(2, 8)):\n\
+      \    lastCar = car\n\
+      \    for i in range(numCars-1):\n\
+      \        lastCar = Car ahead of lastCar, with model resample(model)\n";
+    roundtrip "bumper scenario" Scenic_harness.Scenarios.bumper_to_bumper;
+    roundtrip "mars scenario" Scenic_harness.Scenarios.mars_bottleneck;
+    roundtrip "overlap scenario" Scenic_harness.Scenarios.overlapping;
+    check_error "double else" "if x:\n    pass\nelse:\n    pass\nelse:\n    pass\n";
+    check_error "specifier outside constructor" "x = at 3\n";
+    check_error "missing colon" "if x\n    pass\n";
+    check_error "bad assignment target" "1 + 2 = 3\n";
+    check_error "unclosed paren" "x = (1 + 2\n";
+    check_error "beyond without by" "Car beyond taxi\n";
+    test_case "locations attached" `Quick (fun () ->
+        match L.Parser.parse "x = 1\ny = oops +\n" with
+        | exception L.Parser.Error (_, loc) ->
+            Alcotest.(check int) "line" 2 loc.L.Loc.start.L.Loc.line
+        | _ -> Alcotest.fail "expected error");
+    test_case "parse_expression rejects trailing tokens" `Quick (fun () ->
+        match L.Parser.parse_expression "1 + 2 extra" with
+        | exception L.Parser.Error _ -> ()
+        | _ -> Alcotest.fail "expected error");
+  ]
+
+let suites = [ ("lang.lexer", lexer_tests); ("lang.parser", parser_tests) ]

@@ -1,0 +1,71 @@
+(** Tests for the static lint pass. *)
+
+module L = Scenic_lang
+
+let test_case = Alcotest.test_case
+
+let run src = L.Lint.lint (L.Parser.parse src)
+
+let messages src = List.map (fun d -> d.L.Lint.message) (run src)
+
+(* plain substring search *)
+let contains_sub hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let has src pat =
+  List.exists
+    (fun (d : L.Lint.diagnostic) -> contains_sub d.L.Lint.message pat)
+    (run src)
+
+let suite =
+  [
+    test_case "clean program has no diagnostics" `Quick (fun () ->
+        let src =
+          "import gtaLib\nego = Car\nc = Car visible\nrequire (distance to c) < 20\n"
+        in
+        Alcotest.(check (list string)) "none" [] (messages src));
+    test_case "undefined name is an error without imports" `Quick (fun () ->
+        Alcotest.(check bool) "flagged" true
+          (has "ego = Object at 1 @ 2\nx = missing + 1\ny = x\n" "undefined name 'missing'"));
+    test_case "imports soften undefined names to warnings" `Quick (fun () ->
+        let diags = run "import gtaLib\nego = Car\nx = road\ny = x\n" in
+        Alcotest.(check bool) "no errors" false (L.Lint.has_errors diags));
+    test_case "double position specification" `Quick (fun () ->
+        Alcotest.(check bool) "flagged" true
+          (has "import gtaLib\nego = Car at 1 @ 2, offset by 3 @ 4\n"
+             "specified twice"));
+    test_case "double heading specification" `Quick (fun () ->
+        Alcotest.(check bool) "flagged" true
+          (has "import gtaLib\nego = Car facing 10 deg, facing toward 0 @ 0\n"
+             "specified twice"));
+    test_case "with + positional do not conflict" `Quick (fun () ->
+        Alcotest.(check bool) "clean" false
+          (has "import gtaLib\nego = Car at 1 @ 2, with width 2\n"
+             "specified twice"));
+    test_case "bad soft requirement probability" `Quick (fun () ->
+        Alcotest.(check bool) "flagged" true
+          (has "import gtaLib\nego = Car\nrequire[2] 1 < 2\n" "outside [0, 1]"));
+    test_case "missing ego" `Quick (fun () ->
+        Alcotest.(check bool) "flagged" true
+          (has "import gtaLib\nCar at 1 @ 2\n" "ego object is never defined"));
+    test_case "unused variable warning" `Quick (fun () ->
+        Alcotest.(check bool) "flagged" true
+          (has "import gtaLib\nego = Car\nw = 5\n" "'w' is never used"));
+    test_case "function parameters are in scope" `Quick (fun () ->
+        let src =
+          "import gtaLib\nego = Car\ndef f(a, b=2):\n    return a + b\nx = f(1)\nrequire x > 0\n"
+        in
+        Alcotest.(check bool) "no errors" false (L.Lint.has_errors (run src)));
+    test_case "loop variable is in scope" `Quick (fun () ->
+        let src =
+          "import gtaLib\nego = Car\nacc = 0\nfor i in range(3):\n    acc = acc + i\nrequire acc >= 0\n"
+        in
+        Alcotest.(check bool) "no errors" false (L.Lint.has_errors (run src)));
+    test_case "errors make has_errors true" `Quick (fun () ->
+        Alcotest.(check bool) "errors" true
+          (L.Lint.has_errors (run "ego = Object at 1 @ 2\nx = nope\ny = x\n")));
+  ]
+
+let suites = [ ("lang.lint", suite) ]

@@ -1,0 +1,93 @@
+(** Tests for the MCMC sampler (the paper's suggested future work):
+    the chain must agree with rejection sampling. *)
+
+open Helpers
+module C = Scenic_core
+module G = Scenic_geometry
+module P = Scenic_prob
+
+let test_case = Alcotest.test_case
+
+let mcmc_scenes ?(burn_in = 200) ?(thin = 15) ~seed ~n src =
+  let scenario = compile src in
+  let chain = Scenic_sampler.Mcmc.create ~burn_in ~thin ~seed scenario in
+  (Scenic_sampler.Mcmc.sample_many chain n, chain)
+
+let rejection_scenes ~seed ~n src =
+  let scenario = compile src in
+  let rng = P.Rng.create seed in
+  let sampler = Scenic_sampler.Rejection.create ~rng scenario in
+  Scenic_sampler.Rejection.sample_many sampler n
+
+let tag_value s = C.Scene.prop_float (the_object s) "tag"
+
+let suite =
+  [
+    test_case "samples satisfy hard requirements" `Quick (fun () ->
+        let src =
+          "import testLib\nego = Object at 0 @ 0\n\
+           x = (0, 10)\nObject at 5 @ 5, with tag x\nrequire x > 7\n"
+        in
+        let scenes, chain = mcmc_scenes ~seed:3 ~n:40 src in
+        List.iter
+          (fun s -> Alcotest.(check bool) "req" true (tag_value s > 7.))
+          scenes;
+        Alcotest.(check bool) "accepts" true
+          (Scenic_sampler.Mcmc.acceptance_rate chain > 0.05));
+    test_case "conditional distribution matches rejection (KS)" `Slow
+      (fun () ->
+        (* x uniform (0,10) conditioned on x > 6: compare CDFs *)
+        let src =
+          "import testLib\nego = Object at 0 @ 0\n\
+           x = (0, 10)\nObject at 5 @ 5, with tag x\nrequire x > 6\n"
+        in
+        let m1, _ = mcmc_scenes ~seed:3 ~n:400 src in
+        let m2, _ = mcmc_scenes ~seed:4 ~n:400 src in
+        let r = rejection_scenes ~seed:5 ~n:800 src in
+        let xs l = List.map tag_value l in
+        let d = P.Stats.ks_distance (xs (m1 @ m2)) (xs r) in
+        if d > 0.08 then Alcotest.failf "KS distance %.3f too large" d);
+    test_case "positions in a region match rejection (KS)" `Slow (fun () ->
+        let src =
+          "import testLib\nego = Object at -45 @ -45, with requireVisible \
+           False\n\
+           o = Object in stripe, with requireVisible False\n\
+           require (distance from o to 5 @ 0) <= 20\n"
+        in
+        let m, _ = mcmc_scenes ~burn_in:300 ~thin:20 ~seed:7 ~n:500 src in
+        let r = rejection_scenes ~seed:8 ~n:800 src in
+        let ys l =
+          List.map (fun s -> G.Vec.y (C.Scene.position (the_object s))) l
+        in
+        let d = P.Stats.ks_distance (ys m) (ys r) in
+        if d > 0.09 then Alcotest.failf "KS distance %.3f too large" d);
+    test_case "soft requirements hold at the right frequency" `Slow (fun () ->
+        let src =
+          "import testLib\nego = Object at 0 @ 0\n\
+           x = (0, 1)\nObject at 5 @ 5, with tag x\nrequire[0.8] x > 0.5\n"
+        in
+        let scenes, _ = mcmc_scenes ~burn_in:300 ~thin:10 ~seed:9 ~n:700 src in
+        let holds = P.Stats.frequency (fun s -> tag_value s > 0.5) scenes in
+        (* target: 0.5 / (0.5 + 0.5·0.2) = 0.833 *)
+        Alcotest.(check bool)
+          (Printf.sprintf "frequency %.3f" holds)
+          true
+          (holds > 0.78 && holds < 0.89));
+    test_case "infeasible scenarios raise Zero_probability" `Quick (fun () ->
+        let src =
+          "import testLib\nego = Object at 0 @ 0\nx = (0, 1)\n\
+           Object at 5 @ 5\nrequire x > 2\n"
+        in
+        let scenario = compile src in
+        match Scenic_sampler.Mcmc.create ~max_init_iters:50 ~seed:1 scenario with
+        | exception C.Errors.Scenic_error (C.Errors.Zero_probability, _) -> ()
+        | _ -> Alcotest.fail "expected Zero_probability");
+    test_case "gallery scenario runs under MCMC" `Quick (fun () ->
+        let scenes, _ =
+          mcmc_scenes ~burn_in:50 ~thin:5 ~seed:11 ~n:5
+            Scenic_harness.Scenarios.badly_parked
+        in
+        Alcotest.(check int) "5 scenes" 5 (List.length scenes));
+  ]
+
+let suites = [ ("sampler.mcmc", suite) ]

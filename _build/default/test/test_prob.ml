@@ -1,0 +1,172 @@
+(** Tests for the probability substrate. *)
+
+module P = Scenic_prob
+
+let test_case = Alcotest.test_case
+
+let rng_tests =
+  [
+    test_case "deterministic from seed" `Quick (fun () ->
+        let a = P.Rng.create 42 and b = P.Rng.create 42 in
+        for _ = 1 to 100 do
+          Alcotest.(check (float 0.)) "same stream" (P.Rng.float a) (P.Rng.float b)
+        done);
+    test_case "different seeds differ" `Quick (fun () ->
+        let a = P.Rng.create 1 and b = P.Rng.create 2 in
+        let xs = List.init 20 (fun _ -> P.Rng.float a) in
+        let ys = List.init 20 (fun _ -> P.Rng.float b) in
+        Alcotest.(check bool) "diverge" true (xs <> ys));
+    test_case "float in [0,1)" `Quick (fun () ->
+        let rng = P.Rng.create 7 in
+        for _ = 1 to 10_000 do
+          let x = P.Rng.float rng in
+          if x < 0. || x >= 1. then Alcotest.failf "out of range: %g" x
+        done);
+    test_case "float mean near 0.5" `Quick (fun () ->
+        let rng = P.Rng.create 11 in
+        let acc = P.Stats.Online.create () in
+        for _ = 1 to 20_000 do
+          P.Stats.Online.add acc (P.Rng.float rng)
+        done;
+        Alcotest.(check bool) "mean" true
+          (Float.abs (P.Stats.Online.mean acc -. 0.5) < 0.01));
+    test_case "int bounds and coverage" `Quick (fun () ->
+        let rng = P.Rng.create 13 in
+        let seen = Array.make 7 0 in
+        for _ = 1 to 7000 do
+          let k = P.Rng.int rng 7 in
+          seen.(k) <- seen.(k) + 1
+        done;
+        Array.iteri
+          (fun i c ->
+            if c < 800 || c > 1200 then Alcotest.failf "bucket %d skewed: %d" i c)
+          seen);
+    test_case "int rejects bad bound" `Quick (fun () ->
+        let rng = P.Rng.create 1 in
+        Alcotest.check_raises "zero" (Invalid_argument "Rng.int: non-positive bound")
+          (fun () -> ignore (P.Rng.int rng 0)));
+    test_case "split produces independent streams" `Quick (fun () ->
+        let parent = P.Rng.create 5 in
+        let c1 = P.Rng.split parent and c2 = P.Rng.split parent in
+        let xs = List.init 10 (fun _ -> P.Rng.float c1) in
+        let ys = List.init 10 (fun _ -> P.Rng.float c2) in
+        Alcotest.(check bool) "children differ" true (xs <> ys));
+    test_case "copy preserves state" `Quick (fun () ->
+        let a = P.Rng.create 9 in
+        ignore (P.Rng.float a);
+        let b = P.Rng.copy a in
+        Alcotest.(check (float 0.)) "same next" (P.Rng.float a) (P.Rng.float b));
+  ]
+
+let stat_check name ~mean ~std dist =
+  test_case name `Quick (fun () ->
+      let rng = P.Rng.create 77 in
+      let acc = P.Stats.Online.create () in
+      for _ = 1 to 30_000 do
+        P.Stats.Online.add acc (P.Distribution.sample dist rng)
+      done;
+      let m = P.Stats.Online.mean acc and s = P.Stats.Online.stddev acc in
+      if Float.abs (m -. mean) > 0.05 *. Float.max 1. (Float.abs mean) then
+        Alcotest.failf "mean: expected %g, got %g" mean m;
+      if Float.abs (s -. std) > 0.05 *. Float.max 1. std then
+        Alcotest.failf "std: expected %g, got %g" std s)
+
+let distribution_tests =
+  [
+    stat_check "uniform(2,6) stats" ~mean:4. ~std:(4. /. sqrt 12.)
+      (P.Distribution.uniform ~low:2. ~high:6.);
+    stat_check "normal(3, 1.5) stats" ~mean:3. ~std:1.5
+      (P.Distribution.normal ~mean:3. ~std:1.5);
+    test_case "discrete respects weights" `Quick (fun () ->
+        let d = P.Distribution.discrete [| 1.; 3. |] in
+        let rng = P.Rng.create 3 in
+        let ones = ref 0 in
+        for _ = 1 to 10_000 do
+          if P.Distribution.sample d rng = 1. then incr ones
+        done;
+        Alcotest.(check bool) "~75%" true (!ones > 7200 && !ones < 7800));
+    test_case "discrete rejects invalid" `Quick (fun () ->
+        Alcotest.check_raises "negative"
+          (Invalid_argument "Distribution.discrete: negative weight") (fun () ->
+            ignore (P.Distribution.discrete [| 1.; -1. |]));
+        Alcotest.check_raises "empty"
+          (Invalid_argument "Distribution.discrete: empty") (fun () ->
+            ignore (P.Distribution.discrete [||])));
+    test_case "truncated normal stays in range" `Quick (fun () ->
+        let d = P.Distribution.truncated_normal ~mean:0. ~std:5. ~low:(-1.) ~high:1. in
+        let rng = P.Rng.create 31 in
+        for _ = 1 to 2000 do
+          let x = P.Distribution.sample d rng in
+          if x < -1. || x > 1. then Alcotest.failf "escaped: %g" x
+        done);
+    test_case "choice uniform over support" `Quick (fun () ->
+        let d = P.Distribution.choice 3 in
+        let rng = P.Rng.create 17 in
+        let counts = Array.make 3 0 in
+        for _ = 1 to 9000 do
+          let k = int_of_float (P.Distribution.sample d rng) in
+          counts.(k) <- counts.(k) + 1
+        done;
+        Array.iter (fun c -> Alcotest.(check bool) "balanced" true (c > 2600 && c < 3400)) counts);
+  ]
+
+let stats_tests =
+  [
+    test_case "mean/stddev of known list" `Quick (fun () ->
+        let xs = [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ] in
+        Alcotest.(check (float 1e-9)) "mean" 5. (P.Stats.mean xs);
+        Alcotest.(check (float 1e-6)) "std" (sqrt (32. /. 7.)) (P.Stats.stddev xs));
+    test_case "histogram bins and rows" `Quick (fun () ->
+        let h = P.Stats.Histogram.create ~lo:0. ~hi:1. ~bins:4 in
+        List.iter (P.Stats.Histogram.add h) [ 0.1; 0.3; 0.3; 0.9; 1.5 (* clamps *) ];
+        let counts = P.Stats.Histogram.counts h in
+        Alcotest.(check (array int)) "counts" [| 1; 2; 0; 2 |] counts;
+        Alcotest.(check int) "total" 5 (P.Stats.Histogram.total h));
+    test_case "KS distance of identical samples is 0" `Quick (fun () ->
+        let xs = [ 1.; 2.; 3.; 4. ] in
+        Alcotest.(check (float 1e-9)) "zero" 0. (P.Stats.ks_distance xs xs));
+    test_case "KS distance of disjoint samples is 1" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "one" 1.
+          (P.Stats.ks_distance [ 1.; 2. ] [ 10.; 11. ]));
+    test_case "KS of same distribution is small" `Quick (fun () ->
+        let rng = P.Rng.create 5 in
+        let draw () = List.init 2000 (fun _ -> P.Rng.float rng) in
+        Alcotest.(check bool) "small" true (P.Stats.ks_distance (draw ()) (draw ()) < 0.06));
+    test_case "online matches batch" `Quick (fun () ->
+        let xs = List.init 100 (fun i -> float_of_int i ** 1.3) in
+        let acc = P.Stats.Online.create () in
+        List.iter (P.Stats.Online.add acc) xs;
+        Alcotest.(check (float 1e-6)) "mean" (P.Stats.mean xs) (P.Stats.Online.mean acc);
+        Alcotest.(check (float 1e-6)) "std" (P.Stats.stddev xs) (P.Stats.Online.stddev acc));
+  ]
+
+let sampling_tests =
+  [
+    test_case "shuffle is a permutation" `Quick (fun () ->
+        let rng = P.Rng.create 4 in
+        let xs = List.init 50 Fun.id in
+        let ys = P.Sampling.shuffle rng xs in
+        Alcotest.(check (list int)) "same elements" xs (List.sort compare ys));
+    test_case "choose k distinct" `Quick (fun () ->
+        let rng = P.Rng.create 4 in
+        let xs = List.init 100 Fun.id in
+        let ys = P.Sampling.choose rng 30 xs in
+        Alcotest.(check int) "size" 30 (List.length ys);
+        Alcotest.(check int) "distinct" 30 (List.length (List.sort_uniq compare ys)));
+    test_case "replace_fraction keeps size" `Quick (fun () ->
+        let rng = P.Rng.create 4 in
+        let base = List.init 100 (fun i -> i) in
+        let pool = List.init 50 (fun i -> 1000 + i) in
+        let mixed = P.Sampling.replace_fraction rng ~fraction:0.2 ~pool base in
+        Alcotest.(check int) "size" 100 (List.length mixed);
+        let injected = List.filter (fun x -> x >= 1000) mixed in
+        Alcotest.(check int) "injected" 20 (List.length injected));
+  ]
+
+let suites =
+  [
+    ("prob.rng", rng_tests);
+    ("prob.distribution", distribution_tests);
+    ("prob.stats", stats_tests);
+    ("prob.sampling", sampling_tests);
+  ]

@@ -1,0 +1,139 @@
+(** Property-based tests driving the full pipeline (parser → evaluator
+    → DAG → forcing) with random inputs. *)
+
+open Helpers
+module C = Scenic_core
+module G = Scenic_geometry
+
+let qtest name ?(count = 150) arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let small_float = QCheck.float_range (-50.) 50.
+let pos_float = QCheck.float_range 0.5 40.
+
+let feq ?(eps = 1e-6) a b = Float.abs (a -. b) <= eps
+
+let suite =
+  [
+    qtest "heading addition commutes through the language"
+      (QCheck.pair small_float small_float)
+      (fun (a, b) ->
+        let v =
+          eval_float
+            (Printf.sprintf "x = %.6f deg relative to %.6f deg\n" a b)
+            "x"
+        in
+        feq v (G.Angle.of_degrees a +. G.Angle.of_degrees b));
+    qtest "deg is scaling by pi/180" small_float (fun a ->
+        feq (eval_float (Printf.sprintf "x = %.6f deg\n" a) "x")
+          (a *. Float.pi /. 180.));
+    qtest "distance is symmetric through the language"
+      (QCheck.pair (QCheck.pair small_float small_float)
+         (QCheck.pair small_float small_float))
+      (fun ((x1, y1), (x2, y2)) ->
+        let d a b c d' =
+          eval_float
+            (Printf.sprintf "x = distance from %.4f @ %.4f to %.4f @ %.4f\n" a b c d')
+            "x"
+        in
+        feq (d x1 y1 x2 y2) (d x2 y2 x1 y1));
+    qtest "offset by then back is identity"
+      (QCheck.pair (QCheck.pair small_float small_float)
+         (QCheck.pair small_float small_float))
+      (fun ((x, y), (dx, dy)) ->
+        let v =
+          eval_vec
+            (Printf.sprintf
+               "v = ((%.4f @ %.4f) offset by (%.4f @ %.4f)) offset by (%.4f @ %.4f)\n"
+               x y dx dy (-.dx) (-.dy))
+            "v"
+        in
+        (* %.4f printing quantises the inputs *)
+        feq ~eps:5e-3 (G.Vec.x v) x && feq ~eps:5e-3 (G.Vec.y v) y);
+    qtest "beyond with a pure forward offset extends the line of sight"
+      (QCheck.pair (QCheck.pair small_float small_float) pos_float)
+      (fun ((x, y), d) ->
+        QCheck.assume (Float.abs x +. Float.abs y > 1.);
+        (* beyond (x,y) by (0 @ d) from origin lies at (x,y) scaled out by d *)
+        let v =
+          eval_vec
+            (Printf.sprintf
+               "import testLib\nego = Object at 0 @ 0\n\
+                q = Object beyond %.4f @ %.4f by 0 @ %.4f from 0 @ 0, with \
+                requireVisible False\nr = q.position\n"
+               x y d)
+            "r"
+        in
+        let n = G.Vec.norm (G.Vec.make x y) in
+        let expected = G.Vec.scale ((n +. d) /. n) (G.Vec.make x y) in
+        G.Vec.dist v expected < 5e-3);
+    qtest "interval samples stay in range and fill it"
+      (QCheck.pair small_float pos_float)
+      (fun (lo, width) ->
+        let hi = lo +. width in
+        let src = Printf.sprintf "x = (%.6f, %.6f)\n" lo hi in
+        List.for_all
+          (fun seed ->
+            let x = eval_float ~seed src "x" in
+            x >= lo -. 1e-9 && x <= hi +. 1e-9)
+          [ 1; 2; 3; 4; 5 ]);
+    qtest "lifted arithmetic equals concrete arithmetic"
+      (QCheck.pair small_float small_float)
+      (fun (a, b) ->
+        (* a degenerate interval forces the lifted path *)
+        let v =
+          eval_float
+            (Printf.sprintf "x = (%.6f, %.6f) * %.6f + 1\n" a a b)
+            "x"
+        in
+        feq ~eps:5e-3 v ((a *. b) +. 1.));
+    qtest "relative heading is antisymmetric"
+      (QCheck.pair small_float small_float)
+      (fun (a, b) ->
+        let f x y =
+          eval_float
+            (Printf.sprintf "x = relative heading of %.5f deg from %.5f deg\n" x y)
+            "x"
+        in
+        feq ~eps:1e-6 (G.Angle.normalize (f a b +. f b a)) 0.);
+    qtest "specifier order never changes the object (concrete)"
+      (QCheck.triple small_float small_float (QCheck.float_range 1. 5.))
+      (fun (x, y, w) ->
+        QCheck.assume (Float.abs x < 40. && Float.abs y < 40.);
+        let specs =
+          [
+            Printf.sprintf "at %.4f @ %.4f" x y;
+            "facing 30 deg";
+            Printf.sprintf "with width %.4f" w;
+            "with requireVisible False";
+          ]
+        in
+        let build order =
+          let scene =
+            sample_scene
+              ("import testLib\nego = Object at -45 @ -45, with requireVisible \
+                False, with allowCollisions True\nObject "
+              ^ String.concat ", " order
+              ^ ", with allowCollisions True\n")
+          in
+          let o = the_object scene in
+          (C.Scene.position o, C.Scene.heading o, C.Scene.width o)
+        in
+        build specs = build (List.rev specs));
+    qtest "mutation noise is centered on the original pose"
+      (QCheck.pair (QCheck.float_range (-30.) 30.) (QCheck.float_range (-30.) 30.))
+      ~count:20
+      (fun (x, y) ->
+        let src =
+          Printf.sprintf
+            "import testLib\nego = Object at -45 @ -45, with requireVisible \
+             False\no = Object at %.3f @ %.3f, with requireVisible False\n\
+             mutate o\n"
+            x y
+        in
+        let scenes = sample_scenes ~n:60 src in
+        let xs = List.map (fun s -> G.Vec.x (C.Scene.position (the_object s))) scenes in
+        Float.abs (Scenic_prob.Stats.mean xs -. x) < 0.6);
+  ]
+
+let suites = [ ("properties.language", suite) ]

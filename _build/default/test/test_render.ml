@@ -1,0 +1,254 @@
+(** Tests for the rendering substrate: projection math, occlusion,
+    lighting, and augmentation. *)
+
+open Helpers
+module C = Scenic_core
+module G = Scenic_geometry
+module R = Scenic_render
+
+let test_case = Alcotest.test_case
+
+let cam ?(heading = 0.) () =
+  R.Camera.create ~position:G.Vec.zero ~heading ()
+
+let camera_tests =
+  [
+    test_case "camera frame conversion" `Quick (fun () ->
+        let c = cam () in
+        let d, l = R.Camera.to_camera_frame c (G.Vec.make 3. 10.) in
+        check_float "depth" 10. d;
+        check_float "lateral" 3. l;
+        let c90 = cam ~heading:(pi /. 2.) () in
+        (* facing West: a point West of us is ahead *)
+        let d, l = R.Camera.to_camera_frame c90 (G.Vec.make (-10.) 0.) in
+        check_float ~eps:1e-9 "depth west" 10. d;
+        check_float ~eps:1e-9 "lateral west" 0. l);
+    test_case "projection shrinks with distance" `Quick (fun () ->
+        let c = cam () in
+        let box d =
+          Option.get
+            (R.Camera.project_box c
+               (G.Rect.make ~center:(G.Vec.make 0. d) ~heading:0. ~width:2.
+                  ~height:4.))
+        in
+        let near = box 10. and far = box 30. in
+        let w (b : R.Camera.bbox) = b.x1 -. b.x0 in
+        Alcotest.(check bool) "smaller" true (w far < w near);
+        (* apparent width is roughly proportional to 1/distance *)
+        Alcotest.(check bool) "ratio" true
+          (Float.abs ((w near /. w far) -. 3.) < 1.0));
+    test_case "centered object projects to image center column" `Quick
+      (fun () ->
+        let c = cam () in
+        let b =
+          Option.get
+            (R.Camera.project_box c
+               (G.Rect.make ~center:(G.Vec.make 0. 15.) ~heading:0. ~width:2.
+                  ~height:4.))
+        in
+        let cx = (b.x0 +. b.x1) /. 2. in
+        check_float ~eps:0.5 "center" (float_of_int c.R.Camera.img_w /. 2.) cx);
+    test_case "objects behind the camera do not project" `Quick (fun () ->
+        let c = cam () in
+        Alcotest.(check bool) "none" true
+          (R.Camera.project_box c
+             (G.Rect.make ~center:(G.Vec.make 0. (-10.)) ~heading:0. ~width:2.
+                ~height:4.)
+          = None));
+    test_case "boxes sit below the horizon and above their bottom" `Quick
+      (fun () ->
+        let c = cam () in
+        let b =
+          Option.get
+            (R.Camera.project_box c
+               (G.Rect.make ~center:(G.Vec.make 0. 12.) ~heading:0. ~width:2.
+                  ~height:4.))
+        in
+        Alcotest.(check bool) "bottom below horizon" true
+          (b.y1 > c.R.Camera.horizon);
+        Alcotest.(check bool) "top above bottom" true (b.y0 < b.y1));
+    test_case "IoU of identical and disjoint boxes" `Quick (fun () ->
+        let b1 = { R.Camera.x0 = 0.; y0 = 0.; x1 = 10.; y1 = 10. } in
+        let b2 = { R.Camera.x0 = 20.; y0 = 0.; x1 = 30.; y1 = 10. } in
+        let b3 = { R.Camera.x0 = 5.; y0 = 0.; x1 = 15.; y1 = 10. } in
+        check_float "same" 1. (R.Camera.bbox_iou b1 b1);
+        check_float "disjoint" 0. (R.Camera.bbox_iou b1 b2);
+        check_float ~eps:1e-9 "half-ish" (50. /. 150.) (R.Camera.bbox_iou b1 b3));
+  ]
+
+let base_arena () = "import testLib\nego = Object at 0 @ 0\nObject at 5 @ 5\n"
+
+(* a two-car scene straight ahead, [near] partially occluding [far] *)
+let overlap_scene () =
+  sample_scene ~seed:2
+    ("import gtaLib\n"
+   ^ "param time = 720\nparam weather = 'EXTRASUNNY'\n"
+   ^ "ego = EgoCar at 1.75 @ -10, facing 0 deg\n"
+   ^ "far = Car at 2.5 @ 10, facing 0 deg\n"
+   ^ "near = Car at 1.2 @ 2, facing 0 deg, with allowCollisions True\n")
+
+let raster_tests =
+  [
+    test_case "labels track occlusion fractions" `Quick (fun () ->
+        let rng = Scenic_prob.Rng.create 4 in
+        let r = R.Raster.render ~rng (overlap_scene ()) in
+        Alcotest.(check int) "two labels" 2 (List.length r.labels);
+        (* labels are ordered far-to-near *)
+        let far = List.hd r.labels and near = List.nth r.labels 1 in
+        Alcotest.(check bool) "far is farther" true (far.depth > near.depth);
+        check_float "near unoccluded" 1. near.visible_frac;
+        Alcotest.(check bool) "far partially occluded" true
+          (far.visible_frac < 0.999));
+    test_case "night renders darker than noon" `Quick (fun () ->
+        let scene time =
+          sample_scene ~seed:2
+            (Printf.sprintf
+               "import gtaLib\nparam time = %d\nparam weather = 'CLEAR'\n\
+                ego = EgoCar at 1.75 @ -10, facing 0 deg\n\
+                Car at 2.5 @ 10, facing 0 deg\n"
+               time)
+        in
+        let rng = Scenic_prob.Rng.create 4 in
+        let noon = R.Raster.render ~rng (scene 720) in
+        let night = R.Raster.render ~rng (scene 0) in
+        Alcotest.(check bool) "darker" true
+          (R.Image.mean night.image < R.Image.mean noon.image -. 0.1));
+    test_case "rain adds pixel noise" `Quick (fun () ->
+        let mk weather =
+          sample_scene ~seed:2
+            (Printf.sprintf
+               "import gtaLib\nparam time = 720\nparam weather = '%s'\n\
+                ego = EgoCar at 1.75 @ -10, facing 0 deg\nCar at 2.5 @ 10\n"
+               weather)
+        in
+        let rng = Scenic_prob.Rng.create 4 in
+        let sunny = R.Raster.render ~rng (mk "EXTRASUNNY") in
+        let rng = Scenic_prob.Rng.create 4 in
+        let rain = R.Raster.render ~rng (mk "RAIN") in
+        (* high-frequency noise: mean |difference| of horizontal neighbors *)
+        let roughness (img : R.Image.t) =
+          let acc = ref 0. and n = ref 0 in
+          for y = 0 to img.h - 1 do
+            for x = 0 to img.w - 2 do
+              acc := !acc +. Float.abs (R.Image.get img x y -. R.Image.get img (x + 1) y);
+              incr n
+            done
+          done;
+          !acc /. float_of_int !n
+        in
+        Alcotest.(check bool) "noisier" true
+          (roughness rain.image > roughness sunny.image));
+    test_case "scene_conditions defaults" `Quick (fun () ->
+        let scene = sample_scene ~seed:2 (base_arena ()) in
+        let t, w = R.Raster.scene_conditions scene in
+        check_float "time" 720. t;
+        Alcotest.(check string) "weather" "CLEAR" w);
+  ]
+
+let augment_tests =
+  [
+    test_case "flip mirrors boxes" `Quick (fun () ->
+        let img = R.Image.create ~w:100 ~h:40 () in
+        R.Image.set img 10 20 1.0;
+        let l =
+          { R.Augment.image = img; boxes = [ { R.Camera.x0 = 5.; y0 = 10.; x1 = 15.; y1 = 20. } ] }
+        in
+        let f = R.Augment.flip_h l in
+        let b = List.hd f.boxes in
+        check_float "x0" 85. b.x0;
+        check_float "x1" 95. b.x1;
+        check_float "pixel moved" 1.0 (R.Image.get f.image 89 20));
+    test_case "flip twice is identity" `Quick (fun () ->
+        let rng = Scenic_prob.Rng.create 7 in
+        let img = R.Image.create ~w:64 ~h:32 () in
+        for _ = 1 to 100 do
+          R.Image.set img (Scenic_prob.Rng.int rng 64) (Scenic_prob.Rng.int rng 32)
+            (Scenic_prob.Rng.float rng)
+        done;
+        let l = { R.Augment.image = img; boxes = [] } in
+        let ff = R.Augment.flip_h (R.Augment.flip_h l) in
+        Alcotest.(check bool) "identity" true (ff.image.data = img.data));
+    test_case "crop scales boxes and keeps size" `Quick (fun () ->
+        let img = R.Image.create ~fill:0.5 ~w:100 ~h:40 () in
+        let l =
+          {
+            R.Augment.image = img;
+            boxes = [ { R.Camera.x0 = 40.; y0 = 15.; x1 = 60.; y1 = 25. } ];
+          }
+        in
+        let c = R.Augment.crop l ~left:0.1 ~right:0.1 ~top:0.1 ~bottom:0.1 in
+        Alcotest.(check int) "width kept" 100 c.image.w;
+        let b = List.hd c.boxes in
+        (* centered box grows by 1/0.8 *)
+        check_float ~eps:0.01 "x0" 37.5 b.x0;
+        check_float ~eps:0.01 "x1" 62.5 b.x1);
+    test_case "crop drops boxes cropped away" `Quick (fun () ->
+        let img = R.Image.create ~fill:0.5 ~w:100 ~h:40 () in
+        let l =
+          {
+            R.Augment.image = img;
+            boxes = [ { R.Camera.x0 = 0.; y0 = 0.; x1 = 6.; y1 = 4. } ];
+          }
+        in
+        let c = R.Augment.crop l ~left:0.2 ~right:0. ~top:0.2 ~bottom:0. in
+        Alcotest.(check int) "dropped" 0 (List.length c.boxes));
+    test_case "blur preserves mean and reduces variance" `Quick (fun () ->
+        let rng = Scenic_prob.Rng.create 8 in
+        let img = R.Image.create ~w:64 ~h:32 () in
+        for y = 0 to 31 do
+          for x = 0 to 63 do
+            R.Image.set img x y (Scenic_prob.Rng.float rng)
+          done
+        done;
+        let l = { R.Augment.image = img; boxes = [] } in
+        let b = R.Augment.blur l ~sigma:2. in
+        Alcotest.(check bool) "mean close" true
+          (Float.abs (R.Image.mean b.image -. R.Image.mean img) < 0.02);
+        Alcotest.(check bool) "smoother" true (R.Image.std b.image < R.Image.std img /. 2.));
+    test_case "classic pipeline output is well-formed" `Quick (fun () ->
+        let rng = Scenic_prob.Rng.create 5 in
+        let r = R.Raster.render ~rng (overlap_scene ()) in
+        let l =
+          {
+            R.Augment.image = r.image;
+            boxes = List.map (fun (x : R.Raster.label) -> x.box) r.labels;
+          }
+        in
+        let out = R.Augment.classic ~rng l in
+        Alcotest.(check int) "size kept" r.image.w out.image.w;
+        List.iter
+          (fun (b : R.Camera.bbox) ->
+            Alcotest.(check bool) "in bounds" true
+              (b.x0 >= -0.01 && b.x1 <= float_of_int out.image.w +. 0.01))
+          out.boxes);
+  ]
+
+let image_tests =
+  [
+    test_case "window_mean clips to the image" `Quick (fun () ->
+        let img = R.Image.create ~fill:0.4 ~w:10 ~h:10 () in
+        check_float "interior" 0.4 (R.Image.window_mean img ~x0:2 ~y0:2 ~x1:5 ~y1:5);
+        check_float "clipped corner" 0.4
+          (R.Image.window_mean img ~x0:(-5) ~y0:(-5) ~x1:2 ~y1:2);
+        check_float "fully outside" 0. (R.Image.window_mean img ~x0:20 ~y0:20 ~x1:25 ~y1:25));
+    test_case "bilinear sampling interpolates" `Quick (fun () ->
+        let img = R.Image.create ~w:2 ~h:1 () in
+        R.Image.set img 0 0 0.;
+        R.Image.set img 1 0 1.;
+        check_float ~eps:1e-9 "midpoint" 0.5 (R.Image.sample img 0.5 0.));
+    test_case "pgm encoding has the right header and size" `Quick (fun () ->
+        let img = R.Image.create ~fill:0.5 ~w:8 ~h:4 () in
+        let pgm = R.Image.to_pgm img in
+        Alcotest.(check bool) "header" true
+          (String.length pgm > 11 && String.sub pgm 0 2 = "P5");
+        Alcotest.(check bool) "payload" true
+          (String.length pgm = String.length "P5\n8 4\n255\n" + 32));
+  ]
+
+let suites =
+  [
+    ("render.camera", camera_tests);
+    ("render.raster", raster_tests);
+    ("render.augment", augment_tests);
+    ("render.image", image_tests);
+  ]

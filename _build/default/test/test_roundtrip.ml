@@ -1,0 +1,115 @@
+(** Property test: pretty-printing any generated AST and re-parsing it
+    yields the same pretty form (print ∘ parse ∘ print = print).  This
+    exercises the parser's precedence and specifier handling over a
+    much wider space than the hand-written golden tests. *)
+
+module L = Scenic_lang
+open QCheck.Gen
+
+(* --- expression generator ------------------------------------------------ *)
+
+let mk d : L.Ast.expr = { L.Ast.desc = d; loc = L.Loc.dummy }
+
+let num_gen = map (fun n -> mk (L.Ast.Num (float_of_int n))) (int_range 0 999)
+
+let name_gen = oneofl [ "x"; "spot"; "taxi"; "roadDir"; "w2" ]
+
+let var_gen = map (fun n -> mk (L.Ast.Var n)) name_gen
+
+let side_gen =
+  oneofl
+    L.Ast.
+      [ Front; Back; Left_side; Right_side; Front_left; Front_right; Back_left; Back_right ]
+
+let binop_gen =
+  oneofl L.Ast.[ Add; Sub; Mul; Div; Eq; Ne; Lt; Gt; Le; Ge; And; Or ]
+
+let rec expr_gen n =
+  if n <= 0 then oneof [ num_gen; var_gen ]
+  else
+    let sub = expr_gen (n / 2) in
+    frequency
+      [
+        (2, num_gen);
+        (2, var_gen);
+        (2, map2 (fun op (a, b) -> mk (L.Ast.Binop (op, a, b))) binop_gen (pair sub sub));
+        (1, map (fun a -> mk (L.Ast.Unop (L.Ast.Neg, a))) sub);
+        (1, map (fun a -> mk (L.Ast.Unop (L.Ast.Not, a))) sub);
+        (2, map2 (fun a b -> mk (L.Ast.Vector (a, b))) sub sub);
+        (2, map (fun a -> mk (L.Ast.Deg a)) sub);
+        (2, map2 (fun a b -> mk (L.Ast.Interval (a, b))) sub sub);
+        (2, map2 (fun a b -> mk (L.Ast.Relative_to (a, b))) sub sub);
+        (2, map2 (fun a b -> mk (L.Ast.Offset_by (a, b))) sub sub);
+        (1, map3 (fun a d v -> mk (L.Ast.Offset_along (a, d, v))) sub sub sub);
+        (1, map2 (fun f v -> mk (L.Ast.Field_at (f, v))) sub sub);
+        (1, map2 (fun a b -> mk (L.Ast.Can_see (a, b))) sub sub);
+        (1, map2 (fun a b -> mk (L.Ast.Is_in (a, b))) sub sub);
+        (1, map2 (fun o e -> mk (L.Ast.Distance_to (o, e))) (option sub) sub);
+        (1, map2 (fun o e -> mk (L.Ast.Angle_to (o, e))) (option sub) sub);
+        (1, map2 (fun e o -> mk (L.Ast.Relative_heading (e, o))) sub (option sub));
+        (1, map2 (fun e o -> mk (L.Ast.Apparent_heading (e, o))) sub (option sub));
+        (1, map3 (fun f o s -> mk (L.Ast.Follow (f, o, s))) sub (option sub) sub);
+        (1, map (fun r -> mk (L.Ast.Visible_op r)) sub);
+        (1, map2 (fun r p -> mk (L.Ast.Visible_from_op (r, p))) sub sub);
+        (1, map2 (fun s o -> mk (L.Ast.Side_of (s, o))) side_gen sub);
+        (1, map2 (fun f args -> mk (L.Ast.Call (f, List.map (fun a -> L.Ast.Pos_arg a) args)))
+             var_gen (list_size (int_range 0 3) sub));
+        (1, map2 (fun e a -> mk (L.Ast.Attr (e, a))) var_gen name_gen);
+        (1, map3 (fun c t f -> mk (L.Ast.If_expr (c, t, f))) sub sub sub);
+      ]
+
+let spec_gen n : L.Ast.specifier t =
+  let sub = expr_gen n in
+  let mk sp_desc : L.Ast.specifier = { L.Ast.sp_desc; sp_loc = L.Loc.dummy } in
+  oneof
+    [
+      map2 (fun p e -> mk (L.Ast.S_with (p, e))) name_gen sub;
+      map (fun e -> mk (L.Ast.S_at e)) sub;
+      map (fun e -> mk (L.Ast.S_offset_by e)) sub;
+      map2 (fun e b -> mk (L.Ast.S_left_of (e, b))) sub (option sub);
+      map2 (fun e b -> mk (L.Ast.S_ahead_of (e, b))) sub (option sub);
+      map2 (fun e b -> mk (L.Ast.S_behind (e, b))) sub (option sub);
+      map3 (fun a b f -> mk (L.Ast.S_beyond (a, b, f))) sub sub (option sub);
+      map (fun f -> mk (L.Ast.S_visible f)) (option sub);
+      map (fun e -> mk (L.Ast.S_on e)) sub;
+      map (fun e -> mk (L.Ast.S_facing e)) sub;
+      map (fun e -> mk (L.Ast.S_facing_toward e)) sub;
+      map2 (fun h f -> mk (L.Ast.S_apparently_facing (h, f))) sub (option sub);
+      map3 (fun f o s -> mk (L.Ast.S_following (f, o, s))) sub (option sub) sub;
+    ]
+
+let mk_e d : L.Ast.expr = { L.Ast.desc = d; loc = L.Loc.dummy }
+
+let stmt_gen : L.Ast.stmt t =
+  let mk sdesc : L.Ast.stmt = { L.Ast.sdesc; sloc = L.Loc.dummy } in
+  let e = expr_gen 4 in
+  oneof
+    [
+      map2 (fun n x -> mk (L.Ast.Assign (n, x))) name_gen e;
+      map (fun x -> mk (L.Ast.Expr_stmt x)) e;
+      map (fun x -> mk (L.Ast.Require x)) e;
+      map2 (fun p x -> mk (L.Ast.Require_p (p, x))) num_gen e;
+      map2
+        (fun cls specs -> mk (L.Ast.Expr_stmt (mk_e (L.Ast.Instance (cls, specs)))))
+        (oneofl [ "Car"; "Object"; "Rock" ])
+        (list_size (int_range 1 3) (spec_gen 2));
+    ]
+
+let program_gen = list_size (int_range 1 6) stmt_gen
+
+let arb =
+  QCheck.make
+    ~print:(fun prog -> L.Pretty.program_to_string prog)
+    program_gen
+
+let roundtrip_test =
+  QCheck.Test.make ~name:"pretty-parse-pretty is a fixed point" ~count:500 arb
+    (fun prog ->
+      let printed = L.Pretty.program_to_string prog in
+      match L.Parser.parse printed with
+      | reparsed -> L.Pretty.program_to_string reparsed = printed
+      | exception (L.Parser.Error _ | L.Lexer.Error _) ->
+          QCheck.Test.fail_reportf "did not reparse:\n%s" printed)
+
+let suites =
+  [ ("lang.roundtrip", [ QCheck_alcotest.to_alcotest roundtrip_test ]) ]

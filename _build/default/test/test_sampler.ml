@@ -1,0 +1,186 @@
+(** Tests for the sampling pipeline: rejection semantics and — most
+    importantly — soundness of the pruning algorithms of Sec. 5.2:
+    pruning must not change the sampled distribution. *)
+
+open Helpers
+module C = Scenic_core
+module G = Scenic_geometry
+module P = Scenic_prob
+
+let test_case = Alcotest.test_case
+
+let base_road_scenario = "import gtaLib\nego = Car\nCar visible\n"
+
+(* sample positions of the ego or the first non-ego object *)
+let positions ?(n = 400) ?(pick = `Object) ~prune ~seed src =
+  Scenic_worlds.Scenic_worlds_init.init ();
+  let sampler = Scenic_sampler.Sampler.of_source ~prune ~seed ~file:"t" src in
+  List.init n (fun _ ->
+      let scene = Scenic_sampler.Sampler.sample sampler in
+      let o =
+        match pick with
+        | `Ego -> C.Scene.ego scene
+        | `Object -> List.hd (C.Scene.non_ego scene)
+      in
+      C.Scene.position o)
+
+let rejection_tests =
+  [
+    test_case "sampling is deterministic given the seed" `Quick (fun () ->
+        let src = base_road_scenario in
+        let p1 = positions ~n:20 ~prune:false ~seed:3 src in
+        let p2 = positions ~n:20 ~prune:false ~seed:3 src in
+        Alcotest.(check bool) "equal" true
+          (List.for_all2 (G.Vec.equal ~eps:0.) p1 p2));
+    test_case "different seeds give different scenes" `Quick (fun () ->
+        let src = base_road_scenario in
+        let p1 = positions ~n:5 ~prune:false ~seed:3 src in
+        let p2 = positions ~n:5 ~prune:false ~seed:4 src in
+        Alcotest.(check bool) "differ" true (p1 <> p2));
+    test_case "iteration statistics accumulate" `Quick (fun () ->
+        let scenario = compile base_road_scenario in
+        let rng = P.Rng.create 5 in
+        let sampler = Scenic_sampler.Rejection.create ~rng scenario in
+        let _, s1 = Scenic_sampler.Rejection.sample_with_stats sampler in
+        let _, s2 = Scenic_sampler.Rejection.sample_with_stats sampler in
+        Alcotest.(check int) "total" s2.total_iterations
+          (s1.iterations + s2.iterations));
+    test_case "all samples satisfy the stated requirement" `Quick (fun () ->
+        let src =
+          "import gtaLib\nego = Car\nc = Car visible\nrequire (distance to c) <= 15\n"
+        in
+        Scenic_worlds.Scenic_worlds_init.init ();
+        let sampler = Scenic_sampler.Sampler.of_source ~seed:9 ~file:"t" src in
+        for _ = 1 to 40 do
+          let scene = Scenic_sampler.Sampler.sample sampler in
+          let ego = C.Scene.ego scene and c = the_object scene in
+          Alcotest.(check bool) "dist" true
+            (G.Vec.dist (C.Scene.position ego) (C.Scene.position c) <= 15.0001)
+        done);
+  ]
+
+(* --- pruning algorithm unit tests ---------------------------------------- *)
+
+let mk_piece ~min_x ~min_y ~max_x ~max_y dir =
+  { Scenic_sampler.Prune.poly = G.Polygon.rectangle ~min_x ~min_y ~max_x ~max_y; dir }
+
+let prune_alg_tests =
+  [
+    test_case "pruneByHeading keeps antiparallel pairs within M" `Quick
+      (fun () ->
+        (* two antiparallel lanes close together, one one-way lane far away *)
+        let a = mk_piece ~min_x:0. ~min_y:0. ~max_x:4. ~max_y:100. 0. in
+        let b = mk_piece ~min_x:4. ~min_y:0. ~max_x:8. ~max_y:100. pi in
+        let lone = mk_piece ~min_x:500. ~min_y:0. ~max_x:504. ~max_y:100. 0. in
+        let map = [ a; b; lone ] in
+        let result =
+          Scenic_sampler.Prune.prune_by_heading ~map ~others:map
+            ~rel:(pi -. 0.3, pi +. 0.3) ~delta:0.05 ~max_dist:30.
+        in
+        (* the isolated lane has no antiparallel partner within 30m *)
+        let covers p = List.exists (fun q -> G.Polygon.contains q p) result in
+        Alcotest.(check bool) "a kept" true (covers (G.Vec.make 2. 50.));
+        Alcotest.(check bool) "b kept" true (covers (G.Vec.make 6. 50.));
+        Alcotest.(check bool) "lone pruned" false (covers (G.Vec.make 502. 50.)));
+    test_case "pruneByHeading with trivial interval keeps everything" `Quick
+      (fun () ->
+        let a = mk_piece ~min_x:0. ~min_y:0. ~max_x:4. ~max_y:100. 0. in
+        let result =
+          Scenic_sampler.Prune.prune_by_heading ~map:[ a ] ~others:[ a ]
+            ~rel:(-.pi, pi) ~delta:0. ~max_dist:50.
+        in
+        Alcotest.(check bool) "kept" true
+          (List.exists (fun q -> G.Polygon.contains q (G.Vec.make 2. 50.)) result));
+    test_case "pruneByWidth restricts narrow isolated polygons" `Quick
+      (fun () ->
+        let narrow = mk_piece ~min_x:0. ~min_y:0. ~max_x:4. ~max_y:200. 0. in
+        let wide = mk_piece ~min_x:20. ~min_y:0. ~max_x:40. ~max_y:200. 0. in
+        let far_narrow = mk_piece ~min_x:0. ~min_y:500. ~max_x:4. ~max_y:700. 0. in
+        let result =
+          Scenic_sampler.Prune.prune_by_width ~map:[ narrow; wide; far_narrow ]
+            ~min_width:8. ~max_dist:30.
+        in
+        let covers p = List.exists (fun q -> G.Polygon.contains q p) result in
+        (* the wide polygon is untouched *)
+        Alcotest.(check bool) "wide kept" true (covers (G.Vec.make 30. 100.));
+        (* the narrow one near the wide one keeps its nearby part *)
+        Alcotest.(check bool) "narrow near kept" true (covers (G.Vec.make 2. 100.));
+        (* the far narrow polygon has nothing within 30m *)
+        Alcotest.(check bool) "far narrow pruned" false
+          (covers (G.Vec.make 2. 600.)));
+    test_case "containment filter is the exact erosion" `Quick (fun () ->
+        let container =
+          G.Region.of_polygon (G.Polygon.rectangle ~min_x:0. ~min_y:0. ~max_x:10. ~max_y:10.)
+        in
+        match
+          Scenic_sampler.Prune.containment_filter ~container ~min_radius:2.
+            container
+        with
+        | None -> Alcotest.fail "expected a filter"
+        | Some region ->
+            Alcotest.(check bool) "center in" true
+              (G.Region.contains region (G.Vec.make 5. 5.));
+            Alcotest.(check bool) "margin out" false
+              (G.Region.contains region (G.Vec.make 1. 5.)));
+  ]
+
+(* --- analysis + end-to-end soundness -------------------------------------- *)
+
+let ks_2d samples1 samples2 =
+  (* compare marginal distributions of x and y with KS *)
+  let xs l = List.map G.Vec.x l and ys l = List.map G.Vec.y l in
+  Float.max
+    (P.Stats.ks_distance (xs samples1) (xs samples2))
+    (P.Stats.ks_distance (ys samples1) (ys samples2))
+
+let soundness_check ?(n = 400) ?(tol = 0.12) ?pick name src =
+  test_case (name ^ ": pruning preserves the distribution") `Slow (fun () ->
+      (* pool several seeds so the comparison is not stream-coupled *)
+      let multi prune =
+        List.concat_map (fun seed -> positions ?pick ~n ~prune ~seed src) [ 1; 2 ]
+      in
+      let unpruned = multi false and pruned = multi true in
+      let d = ks_2d unpruned pruned in
+      if d > tol then
+        Alcotest.failf "distribution shifted: KS distance %.3f > %.3f" d tol)
+
+let analysis_tests =
+  [
+    test_case "containment pruning fires on uniform road positions" `Quick
+      (fun () ->
+        Scenic_worlds.Scenic_worlds_init.init ();
+        let scenario = compile "import gtaLib\nego = Car\nCar visible\n" in
+        let stats = Scenic_sampler.Analyze.prune scenario in
+        Alcotest.(check bool) "fired" true (stats.containment_rewrites >= 1));
+    test_case "orientation pruning fires on mutual-cone scenarios" `Quick
+      (fun () ->
+        Scenic_worlds.Scenic_worlds_init.init ();
+        let scenario =
+          compile Scenic_harness.Scenarios.oncoming_anywhere
+        in
+        let stats = Scenic_sampler.Analyze.prune scenario in
+        Alcotest.(check bool) "fired" true (stats.orientation_rewrites >= 1));
+    test_case "width pruning fires on bumper-to-bumper" `Quick (fun () ->
+        Scenic_worlds.Scenic_worlds_init.init ();
+        let scenario = compile Scenic_harness.Scenarios.bumper_to_bumper in
+        let stats = Scenic_sampler.Analyze.prune scenario in
+        Alcotest.(check bool) "fired" true (stats.width_rewrites >= 1));
+    test_case "float_bounds sees through common op chains" `Quick (fun () ->
+        let v = lookup (eval_program "x = ((-10 deg, 10 deg)) * 2 + 1\n") "x" in
+        match Scenic_sampler.Analyze.float_bounds v with
+        | Some (lo, hi) ->
+            check_float ~eps:1e-9 "lo" (1. -. (2. *. G.Angle.of_degrees 10.)) lo;
+            check_float ~eps:1e-9 "hi" (1. +. (2. *. G.Angle.of_degrees 10.)) hi
+        | None -> Alcotest.fail "expected bounds");
+    soundness_check "single car" "import gtaLib\nego = Car\nCar visible\n";
+    soundness_check "oncoming anywhere" Scenic_harness.Scenarios.oncoming_anywhere;
+    soundness_check ~n:150 ~pick:`Ego "bumper ego position"
+      Scenic_harness.Scenarios.bumper_to_bumper;
+  ]
+
+let suites =
+  [
+    ("sampler.rejection", rejection_tests);
+    ("sampler.prune-algorithms", prune_alg_tests);
+    ("sampler.analysis", analysis_tests);
+  ]

@@ -1,0 +1,264 @@
+(** Tests for the world substrates: the procedural road network and the
+    gtaLib / mars bindings. *)
+
+open Helpers
+module C = Scenic_core
+module G = Scenic_geometry
+module W = Scenic_worlds
+
+let test_case = Alcotest.test_case
+
+let net = lazy (W.Road_network.generate ~seed:123 ())
+
+let road_tests =
+  [
+    test_case "lanes have disjoint interiors" `Quick (fun () ->
+        let lanes = (Lazy.force net).W.Road_network.lanes in
+        let arr = Array.of_list lanes in
+        for i = 0 to Array.length arr - 1 do
+          for j = i + 1 to Array.length arr - 1 do
+            (* shrink slightly: adjacent lanes share edges but not area *)
+            match G.Polygon.erode arr.(i).W.Road_network.poly 0.05 with
+            | None -> ()
+            | Some shrunk ->
+                if G.Polygon.overlaps shrunk arr.(j).W.Road_network.poly then
+                  Alcotest.failf "lanes %d and %d overlap" i j
+          done
+        done);
+    test_case "road direction matches lane direction" `Quick (fun () ->
+        let n = Lazy.force net in
+        List.iter
+          (fun (l : W.Road_network.lane) ->
+            let c = G.Polygon.centroid l.poly in
+            check_float ~eps:1e-9 "field"
+              (G.Angle.normalize l.direction)
+              (G.Angle.normalize (G.Vectorfield.at n.road_direction c)))
+          n.lanes);
+    test_case "two-way roads have antiparallel sides" `Quick (fun () ->
+        let n = Lazy.force net in
+        let by_road = Hashtbl.create 8 in
+        List.iter
+          (fun (l : W.Road_network.lane) ->
+            let cur = Option.value ~default:[] (Hashtbl.find_opt by_road l.road_id) in
+            Hashtbl.replace by_road l.road_id (l.direction :: cur))
+          n.lanes;
+        (* the seed-123 map must contain at least one two-way road *)
+        let twoway = ref false in
+        Hashtbl.iter
+          (fun _ dirs ->
+            let d0 = List.hd dirs in
+            if List.exists (fun d -> G.Angle.dist d d0 > 3.) dirs then twoway := true)
+          by_road;
+        Alcotest.(check bool) "exists" true !twoway);
+    test_case "curbs touch the road but are outside lanes" `Quick (fun () ->
+        let n = Lazy.force net in
+        List.iter
+          (fun (c : W.Road_network.curb) ->
+            let center = G.Polygon.centroid c.strip in
+            Alcotest.(check bool) "outside lanes" false
+              (List.exists
+                 (fun (l : W.Road_network.lane) ->
+                   G.Polygon.contains_strict l.poly center)
+                 n.lanes))
+          n.curbs);
+    test_case "workspace contains road and curbs" `Quick (fun () ->
+        let n = Lazy.force net in
+        List.iter
+          (fun (l : W.Road_network.lane) ->
+            Alcotest.(check bool) "lane center" true
+              (G.Region.contains n.workspace (G.Polygon.centroid l.poly)))
+          n.lanes);
+    test_case "generation is deterministic" `Quick (fun () ->
+        let a = W.Road_network.generate ~seed:9 () in
+        let b = W.Road_network.generate ~seed:9 () in
+        Alcotest.(check int) "lanes" (List.length a.lanes) (List.length b.lanes);
+        List.iter2
+          (fun (x : W.Road_network.lane) y ->
+            check_float ~eps:0. "dir" x.direction y.W.Road_network.direction)
+          a.lanes b.lanes);
+    test_case "one-way fraction parameter" `Quick (fun () ->
+        let all_one_way =
+          W.Road_network.generate ~seed:5 ~one_way_fraction:1.0 ()
+        in
+        (* every non-highway road is one-way: each road has a single direction *)
+        let by_road = Hashtbl.create 8 in
+        List.iter
+          (fun (l : W.Road_network.lane) ->
+            if l.road_id > 0 then begin
+              let cur = Option.value ~default:[] (Hashtbl.find_opt by_road l.road_id) in
+              Hashtbl.replace by_road l.road_id (l.direction :: cur)
+            end)
+          all_one_way.lanes;
+        Hashtbl.iter
+          (fun rid dirs ->
+            let d0 = List.hd dirs in
+            if List.exists (fun d -> G.Angle.dist d d0 > 0.01) dirs then
+              Alcotest.failf "road %d not one-way" rid)
+          by_road);
+  ]
+
+let gta_tests =
+  [
+    test_case "car defaults follow App. A.1" `Quick (fun () ->
+        let scene = sample_scene ~seed:11 "import gtaLib\nego = Car\nCar\n" in
+        let car = the_object scene in
+        check_float "viewAngle" (G.Angle.of_degrees 80.)
+          (C.Scene.prop_float car "viewAngle");
+        check_float "viewDistance from visibleDistance" 30.
+          (C.Scene.prop_float car "viewDistance");
+        (* width/height come from the model *)
+        let model = C.Scene.prop car "model" in
+        (match model with
+        | C.Value.Vdict kvs ->
+            let w =
+              List.assoc (C.Value.Vstr "width") kvs |> C.Ops.as_float
+            in
+            check_float "width from model" w (C.Scene.width car)
+        | _ -> Alcotest.fail "expected model dict"));
+    test_case "cars are on the road facing traffic" `Quick (fun () ->
+        let n = W.Gta_lib.get_network () in
+        let scenes = sample_scenes ~n:30 ~seed:3 "import gtaLib\nego = Car\nCar\n" in
+        List.iter
+          (fun s ->
+            let car = the_object s in
+            let p = C.Scene.position car in
+            Alcotest.(check bool) "on road" true
+              (G.Region.contains n.W.Road_network.road_region p);
+            check_float ~eps:1e-6 "aligned"
+              (G.Angle.normalize (G.Vectorfield.at n.road_direction p))
+              (G.Angle.normalize (C.Scene.heading car)))
+          scenes);
+    test_case "model distribution covers many models" `Quick (fun () ->
+        let scenes = sample_scenes ~n:60 ~seed:5 "import gtaLib\nego = Car\nCar\n" in
+        let names = Hashtbl.create 13 in
+        List.iter
+          (fun s ->
+            match C.Scene.prop (the_object s) "model" with
+            | C.Value.Vdict kvs ->
+                Hashtbl.replace names (List.assoc (C.Value.Vstr "name") kvs) ()
+            | _ -> ())
+          scenes;
+        Alcotest.(check bool) "several models" true (Hashtbl.length names >= 6));
+    test_case "weather defaults to the 14-type distribution" `Quick (fun () ->
+        let scenes = sample_scenes ~n:60 ~seed:7 "import gtaLib\nego = Car\nCar\n" in
+        let weathers = Hashtbl.create 14 in
+        List.iter
+          (fun s ->
+            match C.Scene.param s "weather" with
+            | Some (C.Value.Vstr w) -> Hashtbl.replace weathers w ()
+            | _ -> Alcotest.fail "missing weather")
+          scenes;
+        Alcotest.(check bool) "varied" true (Hashtbl.length weathers >= 4));
+    test_case "EgoCar has a fixed model" `Quick (fun () ->
+        let scenes =
+          sample_scenes ~n:10 ~seed:9 "import gtaLib\nego = EgoCar\nCar\n"
+        in
+        List.iter
+          (fun s ->
+            match C.Scene.prop (C.Scene.ego s) "model" with
+            | C.Value.Vdict kvs ->
+                Alcotest.(check bool) "BLISTA" true
+                  (List.assoc (C.Value.Vstr "name") kvs = C.Value.Vstr "BLISTA")
+            | _ -> Alcotest.fail "expected model")
+          scenes);
+    test_case "platoon helper builds a chain of nearby cars" `Quick (fun () ->
+        let scene =
+          sample_scene ~seed:13 Scenic_harness.Scenarios.platoon
+        in
+        let cars = C.Scene.non_ego scene in
+        Alcotest.(check int) "5 cars" 5 (List.length cars);
+        (* consecutive platoon cars are 2-8m apart bumper-to-bumper,
+           so centers are within ~15m *)
+        let rec pairs = function
+          | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+          | _ -> []
+        in
+        List.iter
+          (fun (a, b) ->
+            let d = G.Vec.dist (C.Scene.position a) (C.Scene.position b) in
+            Alcotest.(check bool) "chained" true (d < 20.))
+          (pairs cars));
+  ]
+
+let mars_tests =
+  [
+    test_case "mars scenario satisfies the bottleneck constraint" `Quick
+      (fun () ->
+        let scenes =
+          sample_scenes ~n:10 ~seed:3 Scenic_harness.Scenarios.mars_bottleneck
+        in
+        List.iter
+          (fun s ->
+            let ego = C.Scene.ego s in
+            let goal = List.hd (C.Scene.non_ego s) in
+            let rock = List.nth (C.Scene.non_ego s) 1 in
+            let angle_to o =
+              G.Vec.heading_of
+                (G.Vec.sub (C.Scene.position o) (C.Scene.position ego))
+            in
+            Alcotest.(check bool) "bottleneck on the way" true
+              (G.Angle.dist (angle_to goal) (angle_to rock)
+              <= G.Angle.of_degrees 10.01))
+          scenes);
+    test_case "all mars objects stay in the square workspace" `Quick (fun () ->
+        let scenes =
+          sample_scenes ~n:10 ~seed:5 Scenic_harness.Scenarios.mars_bottleneck
+        in
+        List.iter
+          (fun s ->
+            List.iter
+              (fun o ->
+                let p = C.Scene.position o in
+                Alcotest.(check bool) "inside" true
+                  (Float.abs (G.Vec.x p) <= 4. && Float.abs (G.Vec.y p) <= 4.))
+              s.C.Scene.objs)
+          scenes);
+  ]
+
+let suites =
+  [
+    ("worlds.road-network", road_tests);
+    ("worlds.gtaLib", gta_tests);
+    ("worlds.mars", mars_tests);
+  ]
+
+(* --- xplane -------------------------------------------------------------- *)
+
+let xplane_tests =
+  [
+    test_case "taxiing plane with cross-track error distribution" `Quick
+      (fun () ->
+        (* the TaxiNet-style scenario: a small plane near the
+           centerline at a bounded heading error *)
+        let src =
+          "import xplane\n\
+           ego = SmallPlane at 0 @ 50, facing runwayDirection\n\
+           p = SmallPlane at (-5, 5) @ (150, 300), with crossTrackHeading \
+           (-20 deg, 20 deg)\n"
+        in
+        let scenes = sample_scenes ~n:15 ~seed:21 src in
+        List.iter
+          (fun s ->
+            let plane = the_object s in
+            let x = G.Vec.x (C.Scene.position plane) in
+            Alcotest.(check bool) "near centerline" true (Float.abs x <= 5.01);
+            Alcotest.(check bool) "bounded heading error" true
+              (G.Angle.dist (C.Scene.heading plane) 0.
+              <= G.Angle.of_degrees 20.01))
+          scenes);
+    test_case "planes stay on the runway workspace" `Quick (fun () ->
+        let src = "import xplane\nego = SmallPlane\nSmallPlane\n" in
+        let scenes = sample_scenes ~n:10 ~seed:23 src in
+        List.iter
+          (fun s ->
+            List.iter
+              (fun o ->
+                let p = C.Scene.position o in
+                Alcotest.(check bool) "on runway" true
+                  (Float.abs (G.Vec.x p) <= 15.
+                  && G.Vec.y p >= 0. && G.Vec.y p <= 1000.))
+              s.C.Scene.objs)
+          scenes);
+  ]
+
+let suites = suites @ [ ("worlds.xplane", xplane_tests) ]
