@@ -16,24 +16,63 @@ let () = Scenic_worlds.Scenic_worlds_init.init ()
 
 (* --- E9: sampler timing (Bechamel) -------------------------------------- *)
 
+let sampling_scenarios =
+  [
+    ("simplest", H.Scenarios.simplest);
+    ("badly-parked", H.Scenarios.badly_parked);
+    ("oncoming", H.Scenarios.oncoming);
+    ("overlapping", H.Scenarios.overlapping);
+    ("platoon", H.Scenarios.platoon);
+    ("bumper-to-bumper", H.Scenarios.bumper_to_bumper);
+    ("mars-bottleneck", H.Scenarios.mars_bottleneck);
+  ]
+
 let sampling_tests () =
-  let mk name src =
+  let mk (name, src) =
     (* a persistent sampler: each run draws one scene *)
     let sampler = Scenic_sampler.Sampler.of_source ~seed:5 ~file:name src in
     Bechamel.Test.make ~name
       (Bechamel.Staged.stage (fun () ->
            ignore (Scenic_sampler.Sampler.sample sampler)))
   in
-  Bechamel.Test.make_grouped ~name:"sample"
-    [
-      mk "simplest" H.Scenarios.simplest;
-      mk "badly-parked" H.Scenarios.badly_parked;
-      mk "oncoming" H.Scenarios.oncoming;
-      mk "overlapping" H.Scenarios.overlapping;
-      mk "platoon" H.Scenarios.platoon;
-      mk "bumper-to-bumper" H.Scenarios.bumper_to_bumper;
-      mk "mars-bottleneck" H.Scenarios.mars_bottleneck;
-    ]
+  Bechamel.Test.make_grouped ~name:"sample" (List.map mk sampling_scenarios)
+
+(* Mean rejection iterations per accepted scene, from a fresh sampler. *)
+let mean_iterations ?(n = 20) (name, src) =
+  let sampler = Scenic_sampler.Sampler.of_source ~seed:5 ~file:name src in
+  for _ = 1 to n do
+    ignore (Scenic_sampler.Sampler.sample sampler)
+  done;
+  float_of_int (Scenic_sampler.Sampler.total_iterations sampler)
+  /. float_of_int n
+
+let sampling_json_file = "BENCH_sampling.json"
+
+(* Machine-readable perf record, so future changes have a sampling-cost
+   trajectory to compare against. *)
+let write_sampling_json ms_rows =
+  let oc = open_out sampling_json_file in
+  Printf.fprintf oc "{\n  \"schema\": \"scenic-bench-sampling/1\",\n";
+  Printf.fprintf oc "  \"generated_unix\": %.0f,\n" (Unix.gettimeofday ());
+  Printf.fprintf oc "  \"scenarios\": [\n";
+  let n = List.length ms_rows in
+  List.iteri
+    (fun i (full_name, ms) ->
+      (* bechamel prefixes the group name: "sample/simplest" *)
+      let name =
+        match String.index_opt full_name '/' with
+        | Some i -> String.sub full_name (i + 1) (String.length full_name - i - 1)
+        | None -> full_name
+      in
+      let iters = mean_iterations (name, List.assoc name sampling_scenarios) in
+      Printf.fprintf oc
+        "    {\"name\": %S, \"ms_per_scene\": %.4f, \"mean_iterations\": %.2f}%s\n"
+        name ms iters
+        (if i = n - 1 then "" else ","))
+    ms_rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" sampling_json_file
 
 let run_e9 () =
   H.Report.section
@@ -54,16 +93,17 @@ let run_e9 () =
   Hashtbl.iter
     (fun name ols ->
       match Bechamel.Analyze.OLS.estimates ols with
-      | Some (t :: _) ->
-          rows := (name, Printf.sprintf "%.3f" (t /. 1e6)) :: !rows
+      | Some (t :: _) -> rows := (name, t /. 1e6) :: !rows
       | _ -> ())
     results;
+  let rows = List.sort compare !rows in
   H.Report.print_table ~title:"Time per scene (monotonic clock)"
     ~columns:[ "scenario"; "ms/scene" ]
-    (List.map (fun (n, v) -> [ n; v ]) (List.sort compare !rows));
+    (List.map (fun (n, v) -> [ n; Printf.sprintf "%.3f" v ]) rows);
   H.Report.note
     "paper: reasonable scenarios need at most a few hundred rejection \
-     iterations, yielding a sample within a few seconds"
+     iterations, yielding a sample within a few seconds";
+  write_sampling_json rows
 
 (* --- driver --------------------------------------------------------------- *)
 

@@ -8,12 +8,17 @@
 
 open Cmdliner
 
+(* Exit codes: 1 for compile-time and runtime errors, 3 when a sampling
+   budget is exhausted (2 is cmdliner's usage-error code).  Scripts can
+   tell "this scenario is broken" from "this scenario is too hard". *)
+let exit_error = 1
+let exit_exhausted = 3
+
 let read_file path =
   let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
 let init () = Scenic_worlds.Scenic_worlds_init.init ()
 
@@ -21,13 +26,23 @@ let handle_errors f =
   try f () with
   | Scenic_lang.Lexer.Error (msg, loc) ->
       Fmt.epr "lexical error: %s at %a@." msg Scenic_lang.Loc.pp loc;
-      exit 1
+      exit exit_error
   | Scenic_lang.Parser.Error (msg, loc) ->
       Fmt.epr "syntax error: %s at %a@." msg Scenic_lang.Loc.pp loc;
-      exit 1
+      exit exit_error
   | Scenic_core.Errors.Scenic_error (kind, loc) ->
       Fmt.epr "error: %s@." (Scenic_core.Errors.to_string (kind, loc));
-      exit 1
+      exit exit_error
+  | Sys_error msg ->
+      Fmt.epr "error: %s@." msg;
+      exit exit_error
+  | Scenic_prob.Rng.Fault msg ->
+      Fmt.epr "error: %s@." msg;
+      exit exit_error
+  | Invalid_argument msg ->
+      (* e.g. --max-iters 0 / --timeout -1 reaching Budget.create *)
+      Fmt.epr "error: %s@." msg;
+      exit exit_error
 
 (* --- arguments ---------------------------------------------------------- *)
 
@@ -47,6 +62,34 @@ let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"emit scenes as JSON")
 
 let map_arg =
   Arg.(value & flag & info [ "map" ] ~doc:"show a bird's-eye ASCII map per scene")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SEC"
+        ~doc:"wall-clock budget per sampled scene, in seconds")
+
+let max_iters_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-iters" ] ~docv:"N"
+        ~doc:"rejection-iteration budget per sampled scene (default 100000)")
+
+let diagnose_arg =
+  Arg.(
+    value & flag
+    & info [ "diagnose" ]
+        ~doc:"print the per-requirement rejection breakdown after sampling")
+
+let best_effort_arg =
+  Arg.(
+    value & flag
+    & info [ "best-effort" ]
+        ~doc:
+          "on budget exhaustion, emit the draw violating the fewest \
+           requirements instead of failing")
 
 (* --- commands ----------------------------------------------------------- *)
 
@@ -73,30 +116,87 @@ let check_cmd =
     (Cmd.info "check" ~doc:"compile a scenario, reporting static errors")
     Term.(const run $ file_arg)
 
-let make_sampler ~no_prune ~seed file =
-  Scenic_sampler.Sampler.of_source ~prune:(not no_prune) ~seed ~file
-    (read_file file)
+let make_sampler ?max_iters ?timeout ?on_exhausted ~no_prune ~seed file =
+  let sampler =
+    Scenic_sampler.Sampler.of_source ~prune:(not no_prune) ?max_iters ?timeout
+      ?on_exhausted ~seed ~file (read_file file)
+  in
+  (match Scenic_sampler.Sampler.degraded sampler with
+  | [] -> ()
+  | bad ->
+      Fmt.epr
+        "warning: pruning produced a degenerate sample space (%s); sampling \
+         the unpruned scenario instead@."
+        (String.concat ", " bad));
+  sampler
 
 let sample_cmd =
-  let run file seed n no_prune json map =
+  let run file seed n no_prune json map timeout max_iters diagnose best_effort =
     init ();
     handle_errors (fun () ->
-        let sampler = make_sampler ~no_prune ~seed file in
-        for i = 1 to n do
-          let scene, stats = Scenic_sampler.Sampler.sample_with_stats sampler in
+        let on_exhausted = if best_effort then `Best_effort else `Raise in
+        let sampler =
+          make_sampler ?max_iters ?timeout ~on_exhausted ~no_prune ~seed file
+        in
+        let print_scene i scene iters =
           if json then print_endline (Scenic_render.Export.json_of_scene scene)
           else begin
-            Printf.printf "--- scene %d (%d iterations)\n" i
-              stats.Scenic_sampler.Rejection.iterations;
+            Printf.printf "--- scene %d (%d iterations)\n" i iters;
             print_string (Scenic_core.Scene.to_string scene);
             print_newline ()
           end;
-          if map then
-            print_string (Scenic_render.Ascii.scene_top_view scene)
-        done)
+          if map then print_string (Scenic_render.Ascii.scene_top_view scene)
+        in
+        let print_diagnosis () =
+          if diagnose then
+            Fmt.epr "%s@."
+              (Scenic_sampler.Diagnose.report
+                 (Scenic_sampler.Sampler.diagnosis sampler))
+        in
+        let rec loop i =
+          if i > n then begin
+            print_diagnosis ();
+            `Ok
+          end
+          else
+            match Scenic_sampler.Sampler.sample_outcome sampler with
+            | Scenic_sampler.Rejection.Sampled (scene, stats) ->
+                print_scene i scene stats.Scenic_sampler.Rejection.iterations;
+                loop (i + 1)
+            | Scenic_sampler.Rejection.Exhausted e -> (
+                match (best_effort, e.Scenic_sampler.Rejection.best) with
+                | true, Some (scene, violations) ->
+                    Fmt.epr
+                      "warning: scene %d: budget exhausted (%a); emitting \
+                       best-effort draw violating %d requirement(s)@."
+                      i Scenic_sampler.Budget.pp_stop_reason
+                      e.Scenic_sampler.Rejection.reason violations;
+                    print_scene i scene e.Scenic_sampler.Rejection.used;
+                    loop (i + 1)
+                | _ ->
+                    Fmt.epr "error: sampling budget exhausted: %a@."
+                      Scenic_sampler.Budget.pp_stop_reason
+                      e.Scenic_sampler.Rejection.reason;
+                    Fmt.epr "%s@."
+                      (Scenic_sampler.Diagnose.summary
+                         e.Scenic_sampler.Rejection.diagnosis);
+                    print_diagnosis ();
+                    `Exhausted)
+        in
+        match loop 1 with `Ok -> () | `Exhausted -> exit exit_exhausted)
   in
-  Cmd.v (Cmd.info "sample" ~doc:"sample scenes from a scenario")
-    Term.(const run $ file_arg $ seed_arg $ count_arg $ no_prune_arg $ json_arg $ map_arg)
+  Cmd.v
+    (Cmd.info "sample" ~doc:"sample scenes from a scenario"
+       ~man:
+         [
+           `S Manpage.s_exit_status;
+           `P
+             "Exits 0 on success, 1 on compile or runtime errors, and 3 when \
+              the sampling budget (--max-iters / --timeout) is exhausted.";
+         ])
+    Term.(
+      const run $ file_arg $ seed_arg $ count_arg $ no_prune_arg $ json_arg
+      $ map_arg $ timeout_arg $ max_iters_arg $ diagnose_arg $ best_effort_arg)
 
 let render_cmd =
   let out_arg =

@@ -50,6 +50,9 @@ let type_error ?loc fmt =
 let name_error ?loc fmt =
   Format.kasprintf (fun m -> raise_at ?loc (Name_error m)) fmt
 
+let invalid_arg_error ?loc fmt =
+  Format.kasprintf (fun m -> raise_at ?loc (Invalid_argument_error m)) fmt
+
 let to_string (kind, loc) =
   if loc == Scenic_lang.Loc.dummy then Fmt.str "%a" pp_kind kind
   else Fmt.str "%a: %a" Scenic_lang.Loc.pp loc pp_kind kind

@@ -347,7 +347,8 @@ and exec_stmt ctx env (s : Ast.stmt) : unit =
   | Require cond ->
       let v = ev cond in
       let label = Scenic_lang.Pretty.expr_to_string cond in
-      ctx.requirements <- Scenario.user_requirement ~label v :: ctx.requirements
+      ctx.requirements <-
+        Scenario.user_requirement ~label ~span:loc v :: ctx.requirements
   | Require_p (prob, cond) ->
       let pv = ev prob in
       if deeply_random pv then
@@ -357,7 +358,7 @@ and exec_stmt ctx env (s : Ast.stmt) : unit =
       let v = ev cond in
       let label = Scenic_lang.Pretty.expr_to_string cond in
       ctx.requirements <-
-        Scenario.user_requirement ~prob:p ~label v :: ctx.requirements
+        Scenario.user_requirement ~prob:p ~label ~span:loc v :: ctx.requirements
   | Mutate (names, scale) ->
       let sv = match scale with Some e -> ev e | None -> Vfloat 1. in
       let targets =

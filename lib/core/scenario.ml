@@ -21,6 +21,9 @@ type requirement = {
   prob : float option;  (** [Some p] for soft requirements *)
   cond : Value.value;  (** boolean-valued, possibly random *)
   label : string;
+  span : Scenic_lang.Loc.span;
+      (** source location of the [require] statement; {!Scenic_lang.Loc.dummy}
+          for the built-in default requirements *)
 }
 
 type t = {
@@ -31,8 +34,9 @@ type t = {
   workspace : G.Region.t;
 }
 
-let user_requirement ?prob ?(label = "require") cond =
-  { kind = User; prob; cond; label }
+let user_requirement ?prob ?(label = "require") ?(span = Scenic_lang.Loc.dummy)
+    cond =
+  { kind = User; prob; cond; label; span }
 
 (* --- mutation (App. B.3, Termination Step 1) -------------------------- *)
 
@@ -85,6 +89,7 @@ let containment_req ~workspace obj =
           prob = None;
           cond;
           label = Printf.sprintf "%s#%d in workspace" obj.cls.cname obj.oid;
+          span = Scenic_lang.Loc.dummy;
         }
 
 let no_collision_req a b =
@@ -115,6 +120,7 @@ let no_collision_req a b =
         prob = None;
         cond;
         label = Printf.sprintf "#%d and #%d disjoint" a.oid b.oid;
+        span = Scenic_lang.Loc.dummy;
       }
 
 let visibility_req ~ego obj =
@@ -133,6 +139,7 @@ let visibility_req ~ego obj =
           prob = None;
           cond;
           label = Printf.sprintf "#%d visible from ego" obj.oid;
+          span = Scenic_lang.Loc.dummy;
         }
 
 (** Finalise a scenario: apply mutations, then append the built-in

@@ -1,0 +1,71 @@
+(** Fault-injection harness for the sampling runtime.
+
+    The resilience paths — budget exhaustion, wall-clock deadlines,
+    degenerate-pruning fallback, rejection diagnosis — are rare by
+    design, so this module provides the adversarial machinery to force
+    each of them deterministically:
+
+    - {!ticking_clock}: a fake clock advancing a fixed step per
+      consultation, so deadline behaviour is tested without waiting;
+    - {!degenerate_prune}: a pruning pass that rewrites every sampled
+      region to the empty region, simulating catastrophic
+      over-pruning (the [prune_fn] hook of {!Scenic_sampler.Sampler});
+    - {!scripted_sampler}: a rejection sampler driven by a scripted
+      RNG ({!Scenic_prob.Rng.scripted}), so specific draws — and
+      injected RNG faults — hit the pipeline at chosen points;
+    - {!exhaust}: run a scenario to budget exhaustion and return the
+      structured exhaustion record. *)
+
+module C = Scenic_core
+module G = Scenic_geometry
+module P = Scenic_prob
+module S = Scenic_sampler
+
+(** A deterministic clock: starts at [start] and advances [step]
+    seconds every time it is read. *)
+let ticking_clock ?(start = 0.) ~step () : Scenic_sampler.Budget.clock =
+  let now = ref start in
+  fun () ->
+    let v = !now in
+    now := v +. step;
+    v
+
+(** A pruning pass that empties every sampled region — the worst
+    possible outcome of a pruning bug.  Returns the number of nodes it
+    clobbered as [containment_rewrites] so callers can assert it ran. *)
+let degenerate_prune (scenario : C.Scenario.t) : S.Analyze.stats =
+  let count = ref 0 in
+  S.Analyze.iter_rnodes
+    (fun (n : C.Value.rnode) ->
+      match n.rkind with
+      | C.Value.R_uniform_in _ ->
+          n.rkind <- C.Value.R_uniform_in (C.Value.Vregion G.Region.empty);
+          incr count
+      | _ -> ())
+    scenario;
+  {
+    S.Analyze.containment_rewrites = !count;
+    orientation_rewrites = 0;
+    width_rewrites = 0;
+  }
+
+(** A rejection sampler over [src] whose RNG consumes the scripted
+    [floats] first and, if [fail_after] is given, raises
+    {!Scenic_prob.Rng.Fault} once that many draws have happened. *)
+let scripted_sampler ?floats ?fail_after ?max_iters ?timeout ?clock ?track_best
+    ~seed src =
+  let scenario = C.Eval.compile ~file:"<scripted>" src in
+  let rng = P.Rng.scripted ?floats ?fail_after ~seed () in
+  (S.Rejection.create ?max_iters ?timeout ?clock ?track_best ~rng scenario, rng)
+
+(** Sample [src] under a deliberately tiny budget and return the
+    exhaustion record; fails if the scenario unexpectedly samples. *)
+let exhaust ?(max_iters = 25) ?timeout ?clock ?track_best ~seed src :
+    S.Rejection.exhaustion =
+  let scenario = C.Eval.compile ~file:"<exhaust>" src in
+  let rng = P.Rng.create seed in
+  let r = S.Rejection.create ~max_iters ?timeout ?clock ?track_best ~rng scenario in
+  match S.Rejection.sample_outcome r with
+  | S.Rejection.Exhausted e -> e
+  | S.Rejection.Sampled _ ->
+      failwith "Robustness.exhaust: scenario sampled successfully"

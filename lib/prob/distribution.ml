@@ -12,13 +12,19 @@ type t =
   | Normal of float * float  (** mean, std dev *)
   | Truncated_normal of { mean : float; std : float; low : float; high : float }
 
-let uniform ~low ~high = Uniform_interval (low, high)
+let uniform ~low ~high =
+  if Float.is_nan low || Float.is_nan high then
+    invalid_arg "Distribution.uniform: NaN bound";
+  Uniform_interval (low, high)
 let choice n =
   if n <= 0 then invalid_arg "Distribution.choice: empty support";
   Uniform_choice n
 
 let discrete weights =
   if Array.length weights = 0 then invalid_arg "Distribution.discrete: empty";
+  (* NaN fails every comparison below, so test for it explicitly. *)
+  if Array.exists Float.is_nan weights then
+    invalid_arg "Distribution.discrete: NaN weight";
   if Array.exists (fun w -> w < 0.) weights then
     invalid_arg "Distribution.discrete: negative weight";
   if Array.fold_left ( +. ) 0. weights <= 0. then
@@ -26,6 +32,8 @@ let discrete weights =
   Discrete weights
 
 let normal ~mean ~std =
+  if Float.is_nan mean || Float.is_nan std then
+    invalid_arg "Distribution.normal: NaN parameter";
   if std < 0. then invalid_arg "Distribution.normal: negative std";
   Normal (mean, std)
 

@@ -3,9 +3,29 @@
     A PCG32 generator seeded through splitmix64, so that every sampler
     run is reproducible from a single integer seed and independent
     streams can be split off (one per experiment, per training run,
-    etc.) without correlation. *)
+    etc.) without correlation.
 
-type t = { mutable state : int64; inc : int64 }
+    A generator can additionally carry a {e fault-injection hook}: a
+    queue of scripted draws consumed before the generator proper, and
+    an optional draw count after which every further draw raises
+    {!Fault}.  The hook exists so that the sampling runtime's failure
+    paths (budget exhaustion, degenerate regions, diagnosis) can be
+    driven deterministically from tests — an adversarial RNG is the
+    cheapest way to force a sampler down a rare path. *)
+
+exception Fault of string
+(** raised by a generator whose fault hook has expired (see
+    {!inject_failure}) *)
+
+type fault = {
+  mutable forced : float list;
+      (** unit-interval draws consumed before the generator; [int] maps
+          a forced draw [u] to [floor (u * bound)] *)
+  mutable fail_after : int option;  (** raise {!Fault} after this many draws *)
+  mutable draws : int;  (** draws observed since the hook was installed *)
+}
+
+type t = { mutable state : int64; inc : int64; mutable fault : fault option }
 
 let mult = 6364136223846793005L
 
@@ -18,8 +38,54 @@ let splitmix64 seed =
 let create ?(stream = 54) seed =
   let state0 = splitmix64 (Int64.of_int seed) in
   let inc = Int64.logor (Int64.shift_left (Int64.of_int stream) 1) 1L in
-  let t = { state = 0L; inc } in
+  let t = { state = 0L; inc; fault = None } in
   t.state <- Int64.add (Int64.mul (Int64.add 0L t.inc) mult) state0;
+  t
+
+(* --- fault-injection hook ------------------------------------------------ *)
+
+(* Account for one draw; raises once the hook's draw allowance runs out. *)
+let tick t =
+  match t.fault with
+  | None -> ()
+  | Some f -> (
+      f.draws <- f.draws + 1;
+      match f.fail_after with
+      | Some n when f.draws > n ->
+          raise (Fault (Printf.sprintf "injected RNG fault after %d draws" n))
+      | _ -> ())
+
+let forced_draw t =
+  match t.fault with
+  | Some ({ forced = u :: rest; _ } as f) ->
+      f.forced <- rest;
+      Some u
+  | _ -> None
+
+(** Queue scripted unit-interval draws, consumed (in order) before the
+    generator proper.  Repeated calls append. *)
+let script t floats =
+  match t.fault with
+  | Some f -> f.forced <- f.forced @ floats
+  | None -> t.fault <- Some { forced = floats; fail_after = None; draws = 0 }
+
+(** Arrange for every draw after the next [after] ones to raise {!Fault}. *)
+let inject_failure t ~after =
+  match t.fault with
+  | Some f -> f.fail_after <- Some (f.draws + after)
+  | None -> t.fault <- Some { forced = []; fail_after = Some after; draws = 0 }
+
+(** Remove any fault hook, restoring plain generation. *)
+let clear_fault t = t.fault <- None
+
+(** Draws observed by the fault hook (0 when none is installed). *)
+let draws t = match t.fault with Some f -> f.draws | None -> 0
+
+(** A generator with a fault hook pre-installed: [floats] are consumed
+    first, and, if given, draw number [fail_after + 1] raises {!Fault}. *)
+let scripted ?(floats = []) ?fail_after ~seed () =
+  let t = create seed in
+  t.fault <- Some { forced = floats; fail_after; draws = 0 };
   t
 
 let next_uint32 t =
@@ -37,23 +103,37 @@ let next_uint32 t =
 
 (** Uniform float in [[0, 1)]. *)
 let float t =
-  let hi = next_uint32 t in
-  let lo = next_uint32 t in
-  let bits53 = ((hi land 0x1FFFFF) * 0x100000000) lor lo in
-  float_of_int bits53 /. 9007199254740992. (* 2^53 *)
+  tick t;
+  match forced_draw t with
+  | Some u -> u
+  | None ->
+      let hi = next_uint32 t in
+      let lo = next_uint32 t in
+      let bits53 = ((hi land 0x1FFFFF) * 0x100000000) lor lo in
+      float_of_int bits53 /. 9007199254740992. (* 2^53 *)
 
 (** Uniform int in [[0, bound)]. *)
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: non-positive bound";
-  (* Rejection to avoid modulo bias. *)
-  let limit = 0xFFFFFFFF - (0x100000000 mod bound) in
-  let rec go () =
-    let x = next_uint32 t in
-    if x <= limit then x mod bound else go ()
-  in
-  go ()
+  tick t;
+  match forced_draw t with
+  | Some u ->
+      let i = int_of_float (u *. float_of_int bound) in
+      if i < 0 then 0 else if i >= bound then bound - 1 else i
+  | None ->
+      (* Rejection to avoid modulo bias. *)
+      let limit = 0xFFFFFFFF - (0x100000000 mod bound) in
+      let rec go () =
+        let x = next_uint32 t in
+        if x <= limit then x mod bound else go ()
+      in
+      go ()
 
-let bool t = next_uint32 t land 1 = 1
+let bool t =
+  tick t;
+  match forced_draw t with
+  | Some u -> u >= 0.5
+  | None -> next_uint32 t land 1 = 1
 
 (** Split an independent child generator; deterministic given the
     parent state. *)
@@ -62,4 +142,13 @@ let split t =
   let stream = (next_uint32 t land 0x7FFF) + 1 in
   create ~stream seed
 
-let copy t = { state = t.state; inc = t.inc }
+let copy t =
+  {
+    state = t.state;
+    inc = t.inc;
+    fault =
+      Option.map
+        (fun f ->
+          { forced = f.forced; fail_after = f.fail_after; draws = f.draws })
+        t.fault;
+  }

@@ -494,6 +494,103 @@ let apply_width (scenario : Scenario.t) stats =
       | _ -> ())
     scenario.objects
 
+(* --- snapshot / degenerate-region detection ------------------------------ *)
+
+(** Visit every random node reachable from the scenario (objects'
+    properties, requirement conditions, global parameters) exactly
+    once. *)
+let iter_rnodes f (scenario : Scenario.t) =
+  let seen_nodes = Hashtbl.create 64 and seen_objs = Hashtbl.create 16 in
+  let rec go v =
+    match v with
+    | Vrandom n ->
+        if not (Hashtbl.mem seen_nodes n.rid) then begin
+          Hashtbl.add seen_nodes n.rid ();
+          f n;
+          match n.rkind with
+          | R_interval (a, b) | R_normal (a, b) ->
+              go a;
+              go b
+          | R_choice vs -> List.iter go vs
+          | R_discrete pairs ->
+              List.iter
+                (fun (a, b) ->
+                  go a;
+                  go b)
+                pairs
+          | R_uniform_in v -> go v
+          | R_op (_, args, _) -> List.iter go args
+        end
+    | Vlist vs -> List.iter go vs
+    | Vdict kvs ->
+        List.iter
+          (fun (k, v) ->
+            go k;
+            go v)
+          kvs
+    | Voriented { opos; ohead } ->
+        go opos;
+        go ohead
+    | Vobj o -> go_obj o
+    | _ -> ()
+  and go_obj (o : Value.obj) =
+    if not (Hashtbl.mem seen_objs o.oid) then begin
+      Hashtbl.add seen_objs o.oid ();
+      Hashtbl.iter (fun _ v -> go v) o.props
+    end
+  in
+  List.iter go_obj scenario.objects;
+  List.iter (fun (r : Scenario.requirement) -> go r.cond) scenario.requirements;
+  List.iter (fun (_, v) -> go v) scenario.params
+
+type region_snapshot = (Value.rnode * Value.rkind) list
+(** the pre-pruning [rkind] of every [R_uniform_in] node, so pruning
+    can be undone when it degenerates *)
+
+let snapshot scenario : region_snapshot =
+  let acc = ref [] in
+  iter_rnodes
+    (fun n ->
+      match n.rkind with
+      | R_uniform_in _ -> acc := (n, n.rkind) :: !acc
+      | _ -> ())
+    scenario;
+  !acc
+
+(** Undo pruning rewrites by restoring the snapshotted node kinds. *)
+let restore (snap : region_snapshot) =
+  List.iter (fun ((n : Value.rnode), k) -> n.rkind <- k) snap
+
+let min_region_area = 1e-9
+
+(* A region no rejection loop can ever sample from: analytically (near)
+   zero area, or a polyset that pruning emptied out. *)
+let degenerate_region (r : G.Region.t) =
+  match G.Region.area r with
+  | Some a -> a <= min_region_area
+  | None -> (
+      match G.Region.polyset r with
+      | Some ps ->
+          G.Polyset.polygons ps = []
+          || List.for_all
+               (fun p -> G.Polygon.area p <= min_region_area)
+               (G.Polyset.polygons ps)
+      | None -> false)
+
+(** Labels of sampled regions that are empty or of near-zero area —
+    nonempty after pruning means the pruned sample space is degenerate
+    and the caller should fall back to the unpruned scenario. *)
+let degenerate_regions scenario : string list =
+  let acc = ref [] in
+  iter_rnodes
+    (fun n ->
+      match n.rkind with
+      | R_uniform_in (Vregion r) when degenerate_region r ->
+          acc := G.Region.name r :: !acc
+      | _ -> ())
+    scenario;
+  List.rev !acc
+
 type options = {
   containment : bool;
   orientation : bool;

@@ -1,0 +1,66 @@
+(** Sampling budgets: an iteration cap combined with a wall-clock
+    deadline.
+
+    The paper's rejection sampler (Sec. 5.2) loops until a scene
+    satisfies every requirement; on hard scenarios that loop is the
+    dominant failure mode in practice, so every supervised sampling
+    path takes a budget and reports a structured {!stop_reason} instead
+    of spinning.  The clock is injectable so deadline behaviour is
+    testable without real waiting (see {!Scenic_harness.Robustness}). *)
+
+type clock = unit -> float
+(** returns seconds; only differences are ever used, so any monotonic
+    origin works *)
+
+let default_clock : clock = Unix.gettimeofday
+
+type t = {
+  max_iters : int option;  (** cap on rejection iterations per sample *)
+  timeout : float option;  (** wall-clock seconds per sample *)
+  clock : clock;
+}
+
+type stop_reason =
+  | Iteration_limit of int  (** the cap that was hit *)
+  | Deadline of float  (** seconds elapsed when the deadline fired *)
+
+let pp_stop_reason ppf = function
+  | Iteration_limit n -> Fmt.pf ppf "iteration limit (%d iterations)" n
+  | Deadline s -> Fmt.pf ppf "wall-clock deadline (%.2f s elapsed)" s
+
+let create ?max_iters ?timeout ?(clock = default_clock) () =
+  (match max_iters with
+  | Some n when n <= 0 ->
+      invalid_arg "Budget.create: max_iters must be positive"
+  | _ -> ());
+  (match timeout with
+  | Some s when s <= 0. || Float.is_nan s ->
+      invalid_arg "Budget.create: timeout must be positive"
+  | _ -> ());
+  { max_iters; timeout; clock }
+
+let unlimited = { max_iters = None; timeout = None; clock = default_clock }
+
+let of_iters n = create ~max_iters:n ()
+
+let is_unlimited t = t.max_iters = None && t.timeout = None
+
+(** A budget stamped with a start time; one per [sample] call. *)
+type running = { spec : t; started : float }
+
+let start spec =
+  { spec; started = (if spec.timeout = None then 0. else spec.clock ()) }
+
+(** [check run ~iters] before starting iteration [iters] (1-based):
+    [Some reason] once the budget is exhausted.  The clock is only
+    consulted when a timeout is set, keeping the unlimited and
+    iteration-only paths syscall-free. *)
+let check run ~iters =
+  match run.spec.max_iters with
+  | Some cap when iters > cap -> Some (Iteration_limit cap)
+  | _ -> (
+      match run.spec.timeout with
+      | None -> None
+      | Some s ->
+          let elapsed = run.spec.clock () -. run.started in
+          if elapsed > s then Some (Deadline elapsed) else None)

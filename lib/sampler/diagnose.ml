@@ -1,0 +1,125 @@
+(** Rejection diagnostics: which requirement is killing the samples?
+
+    Every rejected iteration is attributed to exactly one cause — the
+    first requirement that failed (matching the sampler's
+    short-circuit evaluation order), or a {e local} rejection raised
+    while forcing a draw (an empty region, a filter that accepted no
+    point, ...).  The counters therefore always sum to the total
+    iteration count, and an exhausted budget can be turned into an
+    actionable report naming the least-satisfiable requirement together
+    with its source span.
+
+    When the sampler runs in best-effort mode it evaluates {e all}
+    requirements per iteration; attribution is still to the first
+    failure, so the invariant above holds in both modes. *)
+
+open Scenic_core
+
+type cause =
+  | Requirement of int  (** index into the scenario's requirement list *)
+  | Local of string  (** message of a draw-time rejection *)
+
+type t = {
+  requirements : Scenario.requirement array;  (** shared with the scenario *)
+  violations : int array;  (** per requirement, first-failure attribution *)
+  local : (string, int) Hashtbl.t;  (** rejection message → count *)
+  mutable accepted : int;
+  mutable iterations : int;
+}
+
+let create (scenario : Scenario.t) =
+  let requirements = Array.of_list scenario.requirements in
+  {
+    requirements;
+    violations = Array.make (Array.length requirements) 0;
+    local = Hashtbl.create 8;
+    accepted = 0;
+    iterations = 0;
+  }
+
+let record t cause =
+  t.iterations <- t.iterations + 1;
+  match cause with
+  | Requirement i -> t.violations.(i) <- t.violations.(i) + 1
+  | Local msg ->
+      Hashtbl.replace t.local msg
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.local msg))
+
+let record_accepted t =
+  t.iterations <- t.iterations + 1;
+  t.accepted <- t.accepted + 1
+
+let total t = t.iterations
+let accepted t = t.accepted
+let rejected t = t.iterations - t.accepted
+
+let local_rejections t =
+  Hashtbl.fold (fun msg n acc -> (msg, n) :: acc) t.local []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let acceptance_rate t =
+  if t.iterations = 0 then 0.
+  else float_of_int t.accepted /. float_of_int t.iterations
+
+(** The requirement rejecting the most iterations, with its index;
+    [None] when no requirement ever failed. *)
+let least_satisfiable t : (int * Scenario.requirement) option =
+  let best = ref None in
+  Array.iteri
+    (fun i n ->
+      match !best with
+      | Some (_, m) when m >= n -> ()
+      | _ -> if n > 0 then best := Some (i, n))
+    t.violations;
+  Option.map (fun (i, _) -> (i, t.requirements.(i))) !best
+
+let pp_requirement_site ppf (r : Scenario.requirement) =
+  if r.span == Scenic_lang.Loc.dummy then Fmt.string ppf "<built-in>"
+  else Scenic_lang.Loc.pp ppf r.span
+
+(** Human-readable rejection breakdown (the [--diagnose] report). *)
+let report t : string =
+  let buf = Buffer.create 512 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "sampling diagnosis: %d iterations, %d accepted (acceptance rate %.2f%%)\n"
+    t.iterations t.accepted (100. *. acceptance_rate t);
+  let rows =
+    Array.to_list (Array.mapi (fun i n -> (i, n)) t.violations)
+    |> List.filter (fun (_, n) -> n > 0)
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  if rows = [] && Hashtbl.length t.local = 0 then
+    pf "no rejections recorded\n"
+  else begin
+    if rows <> [] then begin
+      pf "rejections by requirement (first violated):\n";
+      List.iter
+        (fun (i, n) ->
+          let r = t.requirements.(i) in
+          pf "  %8d  (%5.1f%%)  %s  [%s]\n" n
+            (100. *. float_of_int n /. float_of_int (max 1 (rejected t)))
+            r.label
+            (Fmt.str "%a" pp_requirement_site r))
+        rows
+    end;
+    let locals = local_rejections t in
+    if locals <> [] then begin
+      pf "local rejections (degenerate draws):\n";
+      List.iter (fun (msg, n) -> pf "  %8d  %s\n" n msg) locals
+    end;
+    match least_satisfiable t with
+    | Some (_, r) ->
+        pf "least-satisfiable requirement: %s at %s\n" r.label
+          (Fmt.str "%a" pp_requirement_site r)
+    | None -> ()
+  end;
+  Buffer.contents buf
+
+(** One-line summary for error messages. *)
+let summary t : string =
+  match least_satisfiable t with
+  | Some (_, r) ->
+      Fmt.str "%d iterations, %d accepted; least-satisfiable requirement: %s at %a"
+        t.iterations t.accepted r.label pp_requirement_site r
+  | None ->
+      Fmt.str "%d iterations, %d accepted" t.iterations t.accepted

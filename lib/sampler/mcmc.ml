@@ -120,16 +120,30 @@ let evaluate rng (scenario : Scenario.t) (pinned : state) : evaluation =
     match n.rkind with
     | R_interval (lo, hi) ->
         let lo = fl lo and hi = fl hi in
+        if Float.is_nan lo || Float.is_nan hi then
+          Errors.invalid_arg_error "Range bound is NaN";
+        if lo > hi then
+          Errors.invalid_arg_error "Range (%g, %g): low bound exceeds high" lo
+            hi;
         Vfloat (P.Distribution.sample (P.Distribution.uniform ~low:lo ~high:hi) rng)
     | R_normal (mean, std) ->
-        Vfloat (P.Distribution.sample_normal rng ~mean:(fl mean) ~std:(fl std))
-    | R_choice vs -> force (List.nth vs (P.Rng.int rng (List.length vs)))
+        let mean = fl mean and std = fl std in
+        if Float.is_nan mean || Float.is_nan std then
+          Errors.invalid_arg_error "Normal parameter is NaN";
+        if std < 0. then
+          Errors.invalid_arg_error "Normal standard deviation %g is negative"
+            std;
+        Vfloat (P.Distribution.sample_normal rng ~mean ~std)
+    | R_choice vs ->
+        let vs = Array.of_list vs in
+        force vs.(P.Rng.int rng (Array.length vs))
     | R_discrete pairs ->
+        let vals = Array.of_list (List.map fst pairs) in
         let weights = Array.of_list (List.map (fun (_, w) -> fl w) pairs) in
         let idx =
           int_of_float (P.Distribution.sample (P.Distribution.discrete weights) rng)
         in
-        force (fst (List.nth pairs idx))
+        force vals.(idx)
     | R_uniform_in region -> (
         match force region with
         | Vregion r -> (
@@ -184,38 +198,56 @@ let default_burn_in = 150
 let default_thin = 20
 
 (** Initialise the chain from a feasible point (found by prior
-    sampling, i.e. rejection — MCMC needs a valid start). *)
-let create ?(burn_in = default_burn_in) ?(thin = default_thin)
-    ?(max_init_iters = Rejection.default_max_iters) ~seed scenario : t =
+    sampling, i.e. rejection — MCMC needs a valid start).  The search
+    runs under the same budget machinery as the rejection sampler:
+    [Error reason] when the iteration cap or wall-clock deadline fires
+    before a feasible state is found. *)
+let try_create ?(burn_in = default_burn_in) ?(thin = default_thin)
+    ?(max_init_iters = Rejection.default_max_iters) ?timeout ?clock ~seed
+    scenario : (t, Budget.stop_reason) result =
   let rng = P.Rng.create seed in
+  let budget = Budget.create ~max_iters:max_init_iters ?timeout ?clock () in
+  let run = Budget.start budget in
   let rec init tries =
-    if tries > max_init_iters then Errors.raise_at Errors.Zero_probability
-    else
-      match evaluate rng scenario (Hashtbl.create 32) with
-      | ev when ev.ev_weight > 0. -> ev
-      | _ -> init (tries + 1)
-      | exception Infeasible -> init (tries + 1)
+    match Budget.check run ~iters:tries with
+    | Some reason -> Error reason
+    | None -> (
+        match evaluate rng scenario (Hashtbl.create 32) with
+        | ev when ev.ev_weight > 0. -> Ok ev
+        | _ -> init (tries + 1)
+        | exception Infeasible -> init (tries + 1))
   in
-  let ev = init 1 in
-  {
-    scenario;
-    rng;
-    current = ev;
-    accepted = 0;
-    steps = 0;
-    thin;
-    burn_in;
-    burned = false;
-  }
+  match init 1 with
+  | Error reason -> Error reason
+  | Ok ev ->
+      Ok
+        {
+          scenario;
+          rng;
+          current = ev;
+          accepted = 0;
+          steps = 0;
+          thin;
+          burn_in;
+          burned = false;
+        }
+
+let create ?burn_in ?thin ?max_init_iters ?timeout ?clock ~seed scenario : t =
+  match try_create ?burn_in ?thin ?max_init_iters ?timeout ?clock ~seed scenario with
+  | Ok t -> t
+  | Error _ -> Errors.raise_at Errors.Zero_probability
 
 (** One Metropolis–Hastings step. *)
 let step t =
   t.steps <- t.steps + 1;
-  let sites = Hashtbl.fold (fun id _ acc -> id :: acc) t.current.ev_state [] in
-  match sites with
-  | [] -> ()
-  | _ -> (
-      let site = List.nth sites (P.Rng.int t.rng (List.length sites)) in
+  let sites =
+    Array.of_list
+      (Hashtbl.fold (fun id _ acc -> id :: acc) t.current.ev_state [])
+  in
+  match Array.length sites with
+  | 0 -> ()
+  | n -> (
+      let site = sites.(P.Rng.int t.rng n) in
       let pinned = Hashtbl.copy t.current.ev_state in
       Hashtbl.remove pinned site;
       match evaluate t.rng t.scenario pinned with

@@ -5,7 +5,13 @@
     violating any enforced requirement are discarded, yielding exact
     samples from the conditional distribution the program denotes.
     Soft requirements [require[p] B] are enforced as hard with
-    probability [p], independently per iteration (App. B.3). *)
+    probability [p], independently per iteration (App. B.3).
+
+    The loop runs under a {!Budget} and feeds a {!Diagnose} record; the
+    supervised entry point {!sample_outcome} returns a structured
+    {!outcome} instead of raising, so callers can report {e which}
+    requirement exhausted the budget.  {!sample_with_stats} remains as
+    a thin compatibility wrapper raising [Zero_probability]. *)
 
 open Scenic_core
 open Value
@@ -17,44 +23,106 @@ exception Rejected of string
     during forcing (e.g. an empty visible region) — treated as a
     requirement violation for that iteration *)
 
+(* Choice/discrete supports converted to arrays once per node (they are
+   immutable after compilation), replacing the O(n)-per-draw [List.nth]
+   of the original implementation. *)
+type conv =
+  | C_choice of Value.value array
+  | C_discrete of Value.value array * Value.value array  (** values, weights *)
+
+type cache = (int, conv) Hashtbl.t
+
+let convert cache (n : Value.rnode) =
+  match Hashtbl.find_opt cache n.rid with
+  | Some c -> c
+  | None ->
+      let c =
+        match n.rkind with
+        | R_choice vs ->
+            if vs = [] then
+              Errors.invalid_arg_error "Uniform over an empty set of options";
+            C_choice (Array.of_list vs)
+        | R_discrete pairs ->
+            if pairs = [] then
+              Errors.invalid_arg_error "Discrete over an empty set of options";
+            C_discrete
+              ( Array.of_list (List.map fst pairs),
+                Array.of_list (List.map snd pairs) )
+        | _ -> assert false
+      in
+      Hashtbl.replace cache n.rid c;
+      c
+
 (** Force a value to a concrete one under the current draw, memoising
     random nodes by id. *)
-let rec force rng (memo : (int, Value.value) Hashtbl.t) (v : Value.value) :
-    Value.value =
+let rec force_c cache rng (memo : (int, Value.value) Hashtbl.t)
+    (v : Value.value) : Value.value =
   match v with
   | Vrandom n -> (
       match Hashtbl.find_opt memo n.rid with
       | Some c -> c
       | None ->
-          let c = eval_node rng memo n in
+          let c = eval_node cache rng memo n in
           Hashtbl.replace memo n.rid c;
           c)
-  | Vlist vs -> Vlist (List.map (force rng memo) vs)
+  | Vlist vs -> Vlist (List.map (force_c cache rng memo) vs)
   | Vdict kvs ->
-      Vdict (List.map (fun (k, v) -> (force rng memo k, force rng memo v)) kvs)
+      Vdict
+        (List.map
+           (fun (k, v) -> (force_c cache rng memo k, force_c cache rng memo v))
+           kvs)
   | Voriented { opos; ohead } ->
-      Voriented { opos = force rng memo opos; ohead = force rng memo ohead }
+      Voriented
+        {
+          opos = force_c cache rng memo opos;
+          ohead = force_c cache rng memo ohead;
+        }
   | v -> v
 
-and eval_node rng memo (n : Value.rnode) : Value.value =
-  let f v = force rng memo v in
+and eval_node cache rng memo (n : Value.rnode) : Value.value =
+  let f v = force_c cache rng memo v in
   let fl v = Ops.as_float (f v) in
   match n.rkind with
   | R_interval (lo, hi) ->
       let lo = fl lo and hi = fl hi in
+      if Float.is_nan lo || Float.is_nan hi then
+        Errors.invalid_arg_error "Range bound is NaN";
+      if lo > hi then
+        Errors.invalid_arg_error "Range (%g, %g): low bound exceeds high" lo hi;
       Vfloat (P.Distribution.sample (P.Distribution.uniform ~low:lo ~high:hi) rng)
   | R_normal (mean, std) ->
       let mean = fl mean and std = fl std in
+      if Float.is_nan mean || Float.is_nan std then
+        Errors.invalid_arg_error "Normal parameter is NaN";
+      if std < 0. then
+        Errors.invalid_arg_error "Normal standard deviation %g is negative" std;
       Vfloat (P.Distribution.sample_normal rng ~mean ~std)
-  | R_choice vs ->
-      let idx = P.Rng.int rng (List.length vs) in
-      f (List.nth vs idx)
-  | R_discrete pairs ->
-      let weights = Array.of_list (List.map (fun (_, w) -> fl w) pairs) in
-      let idx =
-        int_of_float (P.Distribution.sample (P.Distribution.discrete weights) rng)
-      in
-      f (fst (List.nth pairs idx))
+  | R_choice _ -> (
+      match convert cache n with
+      | C_choice vs -> f vs.(P.Rng.int rng (Array.length vs))
+      | C_discrete _ -> assert false)
+  | R_discrete _ -> (
+      match convert cache n with
+      | C_discrete (vals, wts) ->
+          let weights =
+            Array.map
+              (fun w ->
+                let x = fl w in
+                if Float.is_nan x then
+                  Errors.invalid_arg_error "Discrete weight is NaN";
+                if x < 0. then
+                  Errors.invalid_arg_error "Discrete weight %g is negative" x;
+                x)
+              wts
+          in
+          if Array.fold_left ( +. ) 0. weights <= 0. then
+            Errors.invalid_arg_error "Discrete weights sum to zero";
+          let idx =
+            int_of_float
+              (P.Distribution.sample (P.Distribution.discrete weights) rng)
+          in
+          f vals.(idx)
+      | C_choice _ -> assert false)
   | R_uniform_in region -> (
       match f region with
       | Vregion r -> (
@@ -64,76 +132,176 @@ and eval_node rng memo (n : Value.rnode) : Value.value =
       | v -> Errors.type_error "expected a region, got %s" (type_name v))
   | R_op (_, args, fn) -> fn (List.map f args)
 
+(** [force] with a throwaway conversion cache, for one-off forcing
+    outside a sampler (tests, helpers). *)
+let force rng memo v = force_c (Hashtbl.create 8) rng memo v
+
 (* --- scene extraction ---------------------------------------------------- *)
 
-let concretize_obj rng memo (o : Value.obj) : Scene.cobj =
+let concretize_obj cache rng memo (o : Value.obj) : Scene.cobj =
   let props =
     Hashtbl.fold
       (fun k v acc ->
         match v with
         | Vclass _ | Vclosure _ | Vbuiltin _ -> acc
-        | _ -> (k, force rng memo v) :: acc)
+        | _ -> (k, force_c cache rng memo v) :: acc)
       o.props []
   in
   { Scene.c_class = o.cls.cname; c_oid = o.oid; c_props = props }
-
-(** Check every requirement under the current draw; soft requirements
-    are enforced with their probability. *)
-let requirements_hold rng memo (reqs : Scenario.requirement list) =
-  List.for_all
-    (fun (r : Scenario.requirement) ->
-      let enforced =
-        match r.prob with None -> true | Some p -> P.Rng.float rng < p
-      in
-      (not enforced) || Ops.truthy (force rng memo r.cond))
-    reqs
 
 type stats = {
   iterations : int;  (** scene-level iterations used for the last sample *)
   total_iterations : int;  (** cumulative over the sampler's lifetime *)
 }
 
+(** The result of one supervised sampling attempt. *)
+type outcome =
+  | Sampled of Scene.t * stats
+  | Exhausted of exhaustion
+
+and exhaustion = {
+  reason : Budget.stop_reason;
+  diagnosis : Diagnose.t;
+      (** the sampler's cumulative diagnosis (shared, not a snapshot) *)
+  used : int;  (** iterations consumed by this call *)
+  best : (Scene.t * int) option;
+      (** in best-effort mode, the draw violating the fewest
+          requirements and its violation count *)
+}
+
 type t = {
   scenario : Scenario.t;
   rng : P.Rng.t;
-  max_iters : int;
+  budget : Budget.t;
+  diag : Diagnose.t;
+  track_best : bool;
+      (** evaluate all requirements per iteration and keep the
+          least-violating draw for best-effort recovery *)
+  cache : cache;
   mutable cumulative : int;
 }
 
 let default_max_iters = 100_000
 
-let create ?(max_iters = default_max_iters) ~rng scenario =
-  { scenario; rng; max_iters; cumulative = 0 }
-
-(** Draw one scene; returns the scene and the number of iterations the
-    rejection loop used (the paper reports "several hundred iterations
-    at most" for reasonable scenarios). *)
-let sample_with_stats t : Scene.t * stats =
-  let rec attempt i =
-    if i > t.max_iters then Errors.raise_at Errors.Zero_probability
-    else
-      let memo = Hashtbl.create 64 in
-      match requirements_hold t.rng memo t.scenario.requirements with
-      | exception Rejected _ -> attempt (i + 1)
-      | false -> attempt (i + 1)
-      | true ->
-          let objs = List.map (concretize_obj t.rng memo) t.scenario.objects in
-          let params =
-            List.map (fun (k, v) -> (k, force t.rng memo v)) t.scenario.params
-          in
-          let ego_index =
-            match
-              List.mapi (fun i o -> (i, o)) t.scenario.objects
-              |> List.find_opt (fun (_, o) -> o.oid = t.scenario.ego.oid)
-            with
-            | Some (i, _) -> i
-            | None -> Errors.raise_at Errors.Undefined_ego
-          in
-          (({ Scene.objs; params; ego_index } : Scene.t), i)
+let create ?max_iters ?timeout ?clock ?budget ?(track_best = false) ~rng
+    scenario =
+  let budget =
+    match budget with
+    | Some b -> b
+    | None ->
+        Budget.create
+          ~max_iters:(Option.value ~default:default_max_iters max_iters)
+          ?timeout ?clock ()
   in
-  let scene, iters = attempt 1 in
-  t.cumulative <- t.cumulative + iters;
-  (scene, { iterations = iters; total_iterations = t.cumulative })
+  {
+    scenario;
+    rng;
+    budget;
+    diag = Diagnose.create scenario;
+    track_best;
+    cache = Hashtbl.create 16;
+    cumulative = 0;
+  }
+
+let diagnosis t = t.diag
+
+(* Check the requirements in order under the current draw; soft
+   requirements are enforced with their probability.  Returns [None]
+   when all hold, otherwise [Some (first_failed_index, n_violated)].
+   Without [track_best] evaluation short-circuits at the first failure,
+   reproducing the RNG stream of the original [List.for_all] loop. *)
+let check_requirements t memo =
+  let first = ref (-1) and violated = ref 0 in
+  let rec go idx = function
+    | [] -> ()
+    | (r : Scenario.requirement) :: rest ->
+        let enforced =
+          match r.prob with None -> true | Some p -> P.Rng.float t.rng < p
+        in
+        let ok =
+          (not enforced) || Ops.truthy (force_c t.cache t.rng memo r.cond)
+        in
+        if not ok then begin
+          incr violated;
+          if !first < 0 then first := idx
+        end;
+        if ok || t.track_best then go (idx + 1) rest
+  in
+  go 0 t.scenario.requirements;
+  if !first < 0 then None else Some (!first, !violated)
+
+let extract_scene t memo : Scene.t =
+  let objs =
+    List.map (concretize_obj t.cache t.rng memo) t.scenario.objects
+  in
+  let params =
+    List.map
+      (fun (k, v) -> (k, force_c t.cache t.rng memo v))
+      t.scenario.params
+  in
+  let ego_index =
+    match
+      List.mapi (fun i o -> (i, o)) t.scenario.objects
+      |> List.find_opt (fun (_, o) -> o.oid = t.scenario.ego.oid)
+    with
+    | Some (i, _) -> i
+    | None -> Errors.raise_at Errors.Undefined_ego
+  in
+  { Scene.objs; params; ego_index }
+
+(** Draw one scene under the sampler's budget; never raises on
+    exhaustion.  (The paper reports "several hundred iterations at
+    most" for reasonable scenarios; unreasonable ones land in
+    [Exhausted] with a diagnosis.) *)
+let sample_outcome t : outcome =
+  let run = Budget.start t.budget in
+  (* least-violating rejected draw, for best-effort recovery *)
+  let best : (int * (int, Value.value) Hashtbl.t) option ref = ref None in
+  let rec attempt i =
+    match Budget.check run ~iters:i with
+    | Some reason ->
+        t.cumulative <- t.cumulative + (i - 1);
+        let best_scene =
+          match !best with
+          | None -> None
+          | Some (violations, memo) -> (
+              match extract_scene t memo with
+              | scene -> Some (scene, violations)
+              | exception Rejected _ -> None)
+        in
+        Exhausted { reason; diagnosis = t.diag; used = i - 1; best = best_scene }
+    | None -> (
+        let memo = Hashtbl.create 64 in
+        match check_requirements t memo with
+        | exception Rejected msg ->
+            Diagnose.record t.diag (Diagnose.Local msg);
+            attempt (i + 1)
+        | Some (first, violated) ->
+            Diagnose.record t.diag (Diagnose.Requirement first);
+            (match !best with
+            | Some (v, _) when v <= violated -> ()
+            | _ -> if t.track_best then best := Some (violated, memo));
+            attempt (i + 1)
+        | None -> (
+            match extract_scene t memo with
+            | exception Rejected msg ->
+                (* a degenerate draw surfaced only while concretizing a
+                   property no requirement depends on *)
+                Diagnose.record t.diag (Diagnose.Local msg);
+                attempt (i + 1)
+            | scene ->
+                Diagnose.record_accepted t.diag;
+                t.cumulative <- t.cumulative + i;
+                Sampled
+                  (scene, { iterations = i; total_iterations = t.cumulative })))
+  in
+  attempt 1
+
+(** Exception-raising compatibility wrapper around {!sample_outcome}. *)
+let sample_with_stats t : Scene.t * stats =
+  match sample_outcome t with
+  | Sampled (scene, stats) -> (scene, stats)
+  | Exhausted _ -> Errors.raise_at Errors.Zero_probability
 
 let sample t = fst (sample_with_stats t)
 

@@ -1,32 +1,114 @@
 (** Front-end: compile → prune → rejection-sample (the full pipeline of
-    Fig. 2's "Scenic Sampler" box). *)
+    Fig. 2's "Scenic Sampler" box), supervised.
+
+    On top of the bare pipeline this layer implements the degradation
+    ladder:
+
+    + pruning (Sec. 5.2) is applied under a snapshot; if it leaves any
+      sampled region empty or of near-zero area, the rewrites are
+      undone and sampling proceeds on the unpruned scenario with a
+      warning — pruning is an optimization, never required for
+      soundness;
+    + sampling runs under a {!Budget} (iteration cap and/or wall-clock
+      deadline) and returns a structured {!Rejection.outcome};
+    + with [~on_exhausted:`Best_effort], an exhausted budget yields the
+      draw that violated the fewest requirements instead of raising. *)
 
 module P = Scenic_prob
+
+let src = Logs.Src.create "scenic.sampler" ~doc:"sampling supervisor"
+
+module Log = (val Logs.src_log src : Logs.LOG)
 
 type t = {
   scenario : Scenic_core.Scenario.t;
   rejection : Rejection.t;
   prune_stats : Analyze.stats option;
+  degraded : string list;
+      (** region labels whose pruned sample space was degenerate;
+          nonempty iff the unpruned fallback was taken *)
+  on_exhausted : [ `Raise | `Best_effort ];
 }
 
 (** Build a sampler for a scenario.  [prune] (default true) applies the
     domain-specific pruning of Sec. 5.2 before sampling; the rewrites
-    preserve the sampled distribution. *)
-let create ?(prune = true) ?prune_options ?max_iters ~seed scenario =
+    preserve the sampled distribution.  [prune_fn] overrides the
+    pruning pass itself (used by the fault-injection harness to test
+    the degenerate-prune fallback).  [max_iters]/[timeout]/[clock] (or
+    a prebuilt [budget]) bound each [sample] call. *)
+let create ?(prune = true) ?prune_options ?prune_fn ?max_iters ?timeout ?clock
+    ?budget ?(on_exhausted = `Raise) ~seed scenario =
+  let snap = if prune then Analyze.snapshot scenario else [] in
   let prune_stats =
-    if prune then Some (Analyze.prune ?options:prune_options scenario) else None
+    if prune then
+      Some
+        (match prune_fn with
+        | Some f -> f scenario
+        | None -> Analyze.prune ?options:prune_options scenario)
+    else None
+  in
+  let degraded =
+    if not prune then []
+    else
+      match Analyze.degenerate_regions scenario with
+      | [] -> []
+      | bad ->
+          Analyze.restore snap;
+          Log.warn (fun m ->
+              m
+                "pruning produced a degenerate sample space (%s); falling back \
+                 to the unpruned scenario"
+                (String.concat ", " bad));
+          bad
   in
   let rng = P.Rng.create seed in
-  { scenario; rejection = Rejection.create ?max_iters ~rng scenario; prune_stats }
+  {
+    scenario;
+    rejection =
+      Rejection.create ?max_iters ?timeout ?clock ?budget
+        ~track_best:(on_exhausted = `Best_effort) ~rng scenario;
+    prune_stats;
+    degraded;
+    on_exhausted;
+  }
 
 (** Compile Scenic source and build a sampler for it. *)
-let of_source ?prune ?prune_options ?max_iters ?file ?search_path ~seed src =
+let of_source ?prune ?prune_options ?max_iters ?timeout ?clock ?budget
+    ?on_exhausted ?file ?search_path ~seed src =
   let scenario = Scenic_core.Eval.compile ?file ?search_path src in
-  create ?prune ?prune_options ?max_iters ~seed scenario
+  create ?prune ?prune_options ?max_iters ?timeout ?clock ?budget ?on_exhausted
+    ~seed scenario
 
-let sample t = Rejection.sample t.rejection
-let sample_with_stats t = Rejection.sample_with_stats t.rejection
-let sample_many t n = Rejection.sample_many t.rejection n
+(** The supervised entry point: never raises on budget exhaustion. *)
+let sample_outcome t = Rejection.sample_outcome t.rejection
+
+let sample_with_stats t =
+  match sample_outcome t with
+  | Rejection.Sampled (scene, stats) -> (scene, stats)
+  | Rejection.Exhausted e -> (
+      match (t.on_exhausted, e.Rejection.best) with
+      | `Best_effort, Some (scene, violations) ->
+          Log.warn (fun m ->
+              m
+                "sampling budget exhausted (%a); returning best-effort scene \
+                 violating %d requirement(s)"
+                Budget.pp_stop_reason e.Rejection.reason violations);
+          ( scene,
+            {
+              Rejection.iterations = e.Rejection.used;
+              total_iterations = Rejection.(t.rejection.cumulative);
+            } )
+      | _ -> Scenic_core.Errors.raise_at Scenic_core.Errors.Zero_probability)
+
+let sample t = fst (sample_with_stats t)
+let sample_many t n = List.init n (fun _ -> sample t)
+
+(** Cumulative rejection diagnosis across all [sample] calls. *)
+let diagnosis t = Rejection.diagnosis t.rejection
+
+(** Region labels whose pruned sample space was degenerate; nonempty
+    iff the sampler fell back to the unpruned scenario. *)
+let degraded t = t.degraded
 
 (** Iterations accumulated so far (for the pruning-effectiveness
     experiment E8). *)

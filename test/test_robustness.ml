@@ -1,0 +1,256 @@
+(** Tests for the resilient sampling runtime: budgets, rejection
+    diagnostics, graceful degradation, and RNG fault injection.  These
+    exercise the failure paths the fault-injection harness
+    ({!Scenic_harness.Robustness}) exists to force. *)
+
+open Helpers
+module C = Scenic_core
+module G = Scenic_geometry
+module P = Scenic_prob
+module S = Scenic_sampler
+module R = Scenic_harness.Robustness
+
+let test_case = Alcotest.test_case
+let base = "import testLib\nego = Object at 0 @ 0\n"
+let unsat = base ^ "x = (0, 1)\nObject at 5 @ 5\nrequire x > 2\n"
+
+(* --- budgets ------------------------------------------------------------- *)
+
+let budget_tests =
+  [
+    test_case "iteration cap yields a structured exhaustion" `Quick (fun () ->
+        let e = R.exhaust ~max_iters:50 ~seed:1 unsat in
+        (match e.S.Rejection.reason with
+        | S.Budget.Iteration_limit n -> Alcotest.(check int) "cap" 50 n
+        | S.Budget.Deadline _ -> Alcotest.fail "expected iteration limit");
+        Alcotest.(check int) "used" 50 e.S.Rejection.used;
+        Alcotest.(check int) "diagnosed" 50
+          (S.Diagnose.total e.S.Rejection.diagnosis));
+    test_case "wall-clock deadline fires under a fake clock" `Quick (fun () ->
+        (* the clock advances 0.5 s per consultation, so a 2 s deadline
+           fires on the fifth budget check regardless of real time *)
+        let clock = R.ticking_clock ~step:0.5 () in
+        let e =
+          R.exhaust ~max_iters:1_000_000 ~timeout:2.0 ~clock ~seed:1 unsat
+        in
+        (match e.S.Rejection.reason with
+        | S.Budget.Deadline elapsed ->
+            Alcotest.(check bool) "elapsed past deadline" true (elapsed > 2.0)
+        | S.Budget.Iteration_limit _ -> Alcotest.fail "expected deadline");
+        Alcotest.(check bool) "stopped early" true (e.S.Rejection.used < 10));
+    test_case "compat wrapper still raises Zero_probability" `Quick (fun () ->
+        expect_error "zero prob"
+          (function C.Errors.Zero_probability -> true | _ -> false)
+          (fun () -> sample_scene ~max_iters:50 unsat));
+    test_case "budget rejects nonsense parameters" `Quick (fun () ->
+        Alcotest.check_raises "zero iters"
+          (Invalid_argument "Budget.create: max_iters must be positive")
+          (fun () -> ignore (S.Budget.create ~max_iters:0 ()));
+        Alcotest.check_raises "negative timeout"
+          (Invalid_argument "Budget.create: timeout must be positive")
+          (fun () -> ignore (S.Budget.create ~timeout:(-1.) ())));
+  ]
+
+(* --- diagnosis ----------------------------------------------------------- *)
+
+let diagnosis_tests =
+  [
+    test_case "counters sum to total iterations across samples" `Quick
+      (fun () ->
+        let src = base ^ "x = (0, 10)\nObject at 5 @ 5, with tag x\nrequire x > 8\n" in
+        let scenario = compile src in
+        let rng = P.Rng.create 7 in
+        let r = S.Rejection.create ~rng scenario in
+        for _ = 1 to 10 do
+          ignore (S.Rejection.sample r)
+        done;
+        let d = S.Rejection.diagnosis r in
+        Alcotest.(check int) "accepted" 10 (S.Diagnose.accepted d);
+        let attributed =
+          Array.fold_left ( + ) 0 d.S.Diagnose.violations
+          + List.fold_left
+              (fun acc (_, n) -> acc + n)
+              0
+              (S.Diagnose.local_rejections d)
+          + S.Diagnose.accepted d
+        in
+        Alcotest.(check int) "sum to total" (S.Diagnose.total d) attributed;
+        Alcotest.(check bool) "some rejections" true (S.Diagnose.rejected d > 0));
+    test_case "least-satisfiable requirement carries its source span" `Quick
+      (fun () ->
+        let e = R.exhaust ~max_iters:100 ~seed:3 unsat in
+        match S.Diagnose.least_satisfiable e.S.Rejection.diagnosis with
+        | None -> Alcotest.fail "expected a least-satisfiable requirement"
+        | Some (_, req) ->
+            Alcotest.(check bool) "user requirement" true
+              (req.C.Scenario.kind = C.Scenario.User);
+            Alcotest.(check string) "span file" "<exhaust>"
+              req.C.Scenario.span.Scenic_lang.Loc.file;
+            Alcotest.(check int) "span line" 5
+              req.C.Scenario.span.Scenic_lang.Loc.start.Scenic_lang.Loc.line);
+    test_case "report names the blocking requirement" `Quick (fun () ->
+        let e = R.exhaust ~max_iters:40 ~seed:3 unsat in
+        let report = S.Diagnose.report e.S.Rejection.diagnosis in
+        let contains hay needle =
+          let lh = String.length hay and ln = String.length needle in
+          let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool) "mentions requirement" true
+          (contains report "x > 2");
+        Alcotest.(check bool) "mentions span" true (contains report "<exhaust>"));
+  ]
+
+(* --- graceful degradation ------------------------------------------------ *)
+
+let degradation_tests =
+  [
+    test_case "degenerate pruning falls back to the unpruned scenario" `Quick
+      (fun () ->
+        let scenario = compile (base ^ "Object on arena\n") in
+        let sampler =
+          S.Sampler.create ~prune_fn:R.degenerate_prune ~seed:11 scenario
+        in
+        Alcotest.(check bool) "degradation detected" true
+          (S.Sampler.degraded sampler <> []);
+        (* the clobbered regions were restored: sampling succeeds and
+           stays inside the original arena *)
+        let scene = S.Sampler.sample sampler in
+        let p = C.Scene.position (the_object scene) in
+        Alcotest.(check bool) "inside arena" true
+          (Float.abs (G.Vec.x p) <= 50. && Float.abs (G.Vec.y p) <= 50.));
+    test_case "healthy pruning does not trigger the fallback" `Quick (fun () ->
+        Scenic_worlds.Scenic_worlds_init.init ();
+        let scenario = compile "import gtaLib\nego = Car\nCar visible\n" in
+        let sampler = S.Sampler.create ~seed:11 scenario in
+        Alcotest.(check bool) "not degraded" true
+          (S.Sampler.degraded sampler = []));
+    test_case "best-effort returns the least-violating draw" `Quick (fun () ->
+        let scenario = compile unsat in
+        let sampler =
+          S.Sampler.create ~prune:false ~max_iters:60 ~on_exhausted:`Best_effort
+            ~seed:5 scenario
+        in
+        (* sample_with_stats recovers instead of raising *)
+        let scene, stats = S.Sampler.sample_with_stats sampler in
+        Alcotest.(check int) "budget spent" 60
+          stats.S.Rejection.iterations;
+        Alcotest.(check bool) "scene extracted" true
+          (List.length scene.C.Scene.objs = 2));
+    test_case "structured outcome reports the best draw's violations" `Quick
+      (fun () ->
+        let e = R.exhaust ~max_iters:60 ~track_best:true ~seed:5 unsat in
+        match e.S.Rejection.best with
+        | None -> Alcotest.fail "expected a best-effort draw"
+        | Some (_, violations) ->
+            Alcotest.(check int) "single violated requirement" 1 violations);
+  ]
+
+(* --- RNG fault injection ------------------------------------------------- *)
+
+let fault_tests =
+  [
+    test_case "scripted draws are consumed before the generator" `Quick
+      (fun () ->
+        let rng = P.Rng.scripted ~floats:[ 0.25; 0.75 ] ~seed:1 () in
+        check_float "first" 0.25 (P.Rng.float rng);
+        check_float "second" 0.75 (P.Rng.float rng);
+        (* exhausted script falls back to the real generator *)
+        let u = P.Rng.float rng in
+        Alcotest.(check bool) "in range" true (u >= 0. && u < 1.));
+    test_case "scripted ints derive from forced floats" `Quick (fun () ->
+        let rng = P.Rng.scripted ~floats:[ 0.99; 0.0 ] ~seed:1 () in
+        Alcotest.(check int) "high" 9 (P.Rng.int rng 10);
+        Alcotest.(check int) "low" 0 (P.Rng.int rng 10));
+    test_case "injected fault stops the sampler mid-pipeline" `Quick (fun () ->
+        (* allow no draws at all: the first forced draw (the [tag]
+           interval) raises *)
+        let sampler, _rng =
+          R.scripted_sampler ~fail_after:0 ~seed:2
+            (base ^ "x = (0, 10)\nObject at 5 @ 5, with tag x\n")
+        in
+        match S.Rejection.sample sampler with
+        | _ -> Alcotest.fail "expected an injected fault"
+        | exception P.Rng.Fault _ -> ());
+    test_case "scripted sampler pins the sampled value" `Quick (fun () ->
+        (* tag = uniform(0, 10); force the draw to 0.3 => tag = 3 *)
+        let sampler, _rng =
+          R.scripted_sampler
+            ~floats:[ 0.3 ]
+            ~seed:2
+            "import testLib\n\
+             ego = Object at 0 @ 0, with tag (0, 10)\n"
+        in
+        let scene = S.Rejection.sample sampler in
+        check_float ~eps:1e-9 "forced draw" 3.
+          (C.Scene.prop_float (C.Scene.ego scene) "tag"));
+    test_case "rng copy duplicates the fault hook" `Quick (fun () ->
+        let a = P.Rng.scripted ~floats:[ 0.5 ] ~seed:3 () in
+        let b = P.Rng.copy a in
+        check_float "a forced" 0.5 (P.Rng.float a);
+        check_float "b forced" 0.5 (P.Rng.float b));
+  ]
+
+(* --- distribution parameter validation ----------------------------------- *)
+
+let validation_tests =
+  [
+    test_case "reversed interval raises Invalid_argument_error" `Quick
+      (fun () ->
+        expect_error "reversed"
+          (function C.Errors.Invalid_argument_error _ -> true | _ -> false)
+          (fun () -> ignore (eval_float "x = (5, 1)\n" "x")));
+    test_case "negative normal std raises Invalid_argument_error" `Quick
+      (fun () ->
+        expect_error "negative std"
+          (function C.Errors.Invalid_argument_error _ -> true | _ -> false)
+          (fun () -> ignore (eval_float "x = Normal(0, -1)\n" "x")));
+    test_case "NaN discrete weight raises Invalid_argument_error" `Quick
+      (fun () ->
+        let v =
+          C.Value.random ~ty:C.Value.Tfloat
+            (C.Value.R_discrete
+               [ (C.Value.Vfloat 1., C.Value.Vfloat Float.nan) ])
+        in
+        expect_error "nan weight"
+          (function C.Errors.Invalid_argument_error _ -> true | _ -> false)
+          (fun () -> ignore (force v)));
+    test_case "empty choice raises Invalid_argument_error" `Quick (fun () ->
+        let v = C.Value.random ~ty:C.Value.Tany (C.Value.R_choice []) in
+        expect_error "empty choice"
+          (function C.Errors.Invalid_argument_error _ -> true | _ -> false)
+          (fun () -> ignore (force v)));
+  ]
+
+(* --- MCMC budget --------------------------------------------------------- *)
+
+let mcmc_tests =
+  [
+    test_case "MCMC initialisation respects the deadline" `Quick (fun () ->
+        let clock = R.ticking_clock ~step:0.5 () in
+        let scenario = compile unsat in
+        match
+          S.Mcmc.try_create ~max_init_iters:1_000_000 ~timeout:2.0 ~clock
+            ~seed:1 scenario
+        with
+        | Error (S.Budget.Deadline _) -> ()
+        | Error (S.Budget.Iteration_limit _) ->
+            Alcotest.fail "expected deadline, got iteration limit"
+        | Ok _ -> Alcotest.fail "expected exhaustion");
+    test_case "MCMC try_create succeeds on satisfiable scenarios" `Quick
+      (fun () ->
+        let scenario = compile (base ^ "Object at 5 @ 5\n") in
+        match S.Mcmc.try_create ~seed:1 scenario with
+        | Ok _ -> ()
+        | Error _ -> Alcotest.fail "expected success");
+  ]
+
+let suites =
+  [
+    ("robustness.budget", budget_tests);
+    ("robustness.diagnosis", diagnosis_tests);
+    ("robustness.degradation", degradation_tests);
+    ("robustness.faults", fault_tests);
+    ("robustness.validation", validation_tests);
+    ("robustness.mcmc", mcmc_tests);
+  ]
