@@ -48,33 +48,96 @@ let mean_iterations ?(n = 20) (name, src) =
 
 let sampling_json_file = "BENCH_sampling.json"
 
-(* Machine-readable perf record, so future changes have a sampling-cost
-   trajectory to compare against. *)
-let write_sampling_json ms_rows =
-  let oc = open_out sampling_json_file in
-  Printf.fprintf oc "{\n  \"schema\": \"scenic-bench-sampling/1\",\n";
-  Printf.fprintf oc "  \"generated_unix\": %.0f,\n" (Unix.gettimeofday ());
-  Printf.fprintf oc "  \"scenarios\": [\n";
-  let n = List.length ms_rows in
-  List.iteri
-    (fun i (full_name, ms) ->
-      (* bechamel prefixes the group name: "sample/simplest" *)
-      let name =
-        match String.index_opt full_name '/' with
-        | Some i -> String.sub full_name (i + 1) (String.length full_name - i - 1)
-        | None -> full_name
+(* --- parallel batch throughput (the Scenic_sampler.Parallel pool) -------- *)
+
+type batch_row = {
+  b_name : string;
+  b_n : int;  (** batch size *)
+  b_jobs : int;  (** worker count of the parallel run *)
+  b_seq_s : float;  (** wall time, jobs = 1 *)
+  b_par_s : float;  (** wall time, jobs = b_jobs *)
+}
+
+let speedup r = if r.b_par_s > 0. then r.b_seq_s /. r.b_par_s else 0.
+
+(* Scenarios with contrasting acceptance rates: near-1 (simplest),
+   moderate (badly-parked), low (bumper-to-bumper). *)
+let batch_scenario_names = [ "simplest"; "badly-parked"; "bumper-to-bumper" ]
+
+let run_parallel_throughput (cfg : H.Exp_config.t) : batch_row list =
+  let jobs = max 2 (min 4 (Domain.recommended_domain_count ())) in
+  let n = H.Exp_config.n cfg 128 in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  List.map
+    (fun name ->
+      let src = List.assoc name sampling_scenarios in
+      let scenario = Scenic_core.Eval.compile ~file:name src in
+      let draw ~jobs =
+        let batch = Scenic_sampler.Parallel.run ~jobs ~seed:5 ~n scenario in
+        assert (List.length (Scenic_sampler.Parallel.scenes batch) = n)
       in
-      let iters = mean_iterations (name, List.assoc name sampling_scenarios) in
-      Printf.fprintf oc
-        "    {\"name\": %S, \"ms_per_scene\": %.4f, \"mean_iterations\": %.2f}%s\n"
-        name ms iters
-        (if i = n - 1 then "" else ","))
-    ms_rows;
-  Printf.fprintf oc "  ]\n}\n";
-  close_out oc;
+      draw ~jobs:1 (* warm up caches before timing *);
+      let seq_s = wall (fun () -> draw ~jobs:1) in
+      let par_s = wall (fun () -> draw ~jobs) in
+      { b_name = name; b_n = n; b_jobs = jobs; b_seq_s = seq_s; b_par_s = par_s })
+    batch_scenario_names
+
+(* Machine-readable perf record (scenic-bench-sampling/2), so future
+   changes have a sampling-cost trajectory to compare against:
+   per-scene latency plus sequential-vs-parallel batch throughput. *)
+let write_sampling_json ms_rows batch_rows =
+  let oc = open_out sampling_json_file in
+  (* Fun.protect: a failed printf or an unmatched row must not leak the
+     channel (mirrors the read_file fix of PR 1). *)
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc "{\n  \"schema\": \"scenic-bench-sampling/2\",\n";
+      Printf.fprintf oc "  \"generated_unix\": %.0f,\n" (Unix.gettimeofday ());
+      Printf.fprintf oc "  \"scenarios\": [\n";
+      let n = List.length ms_rows in
+      List.iteri
+        (fun i (full_name, ms) ->
+          (* bechamel prefixes the group name: "sample/simplest" *)
+          let name =
+            match String.index_opt full_name '/' with
+            | Some i ->
+                String.sub full_name (i + 1) (String.length full_name - i - 1)
+            | None -> full_name
+          in
+          let iters =
+            match List.assoc_opt name sampling_scenarios with
+            | Some src -> mean_iterations (name, src)
+            | None ->
+                failwith
+                  (Printf.sprintf
+                     "BENCH_sampling: bechamel row %S matches no scenario"
+                     name)
+          in
+          Printf.fprintf oc
+            "    {\"name\": %S, \"ms_per_scene\": %.4f, \"mean_iterations\": \
+             %.2f}%s\n"
+            name ms iters
+            (if i = n - 1 then "" else ","))
+        ms_rows;
+      Printf.fprintf oc "  ],\n  \"parallel\": [\n";
+      let nb = List.length batch_rows in
+      List.iteri
+        (fun i r ->
+          Printf.fprintf oc
+            "    {\"name\": %S, \"n\": %d, \"jobs\": %d, \"sequential_s\": \
+             %.4f, \"parallel_s\": %.4f, \"speedup\": %.2f}%s\n"
+            r.b_name r.b_n r.b_jobs r.b_seq_s r.b_par_s (speedup r)
+            (if i = nb - 1 then "" else ","))
+        batch_rows;
+      Printf.fprintf oc "  ]\n}\n");
   Printf.printf "wrote %s\n%!" sampling_json_file
 
-let run_e9 () =
+let run_e9 cfg =
   H.Report.section
     "E9 (Sec. 5.2): sampling speed — \"a sample within a few seconds\"";
   let ols =
@@ -82,12 +145,12 @@ let run_e9 () =
       ~predictors:[| Bechamel.Measure.run |]
   in
   let instance = Bechamel.Toolkit.Instance.monotonic_clock in
-  let cfg =
+  let bcfg =
     Bechamel.Benchmark.cfg ~limit:500
       ~quota:(Bechamel.Time.second 2.0)
       ~kde:None ()
   in
-  let raw = Bechamel.Benchmark.all cfg [ instance ] (sampling_tests ()) in
+  let raw = Bechamel.Benchmark.all bcfg [ instance ] (sampling_tests ()) in
   let results = Bechamel.Analyze.all ols instance raw in
   let rows = ref [] in
   Hashtbl.iter
@@ -103,7 +166,26 @@ let run_e9 () =
   H.Report.note
     "paper: reasonable scenarios need at most a few hundred rejection \
      iterations, yielding a sample within a few seconds";
-  write_sampling_json rows
+  let batch_rows = run_parallel_throughput cfg in
+  H.Report.print_table
+    ~title:
+      (Printf.sprintf "Batch throughput (n scenes, sequential vs parallel)")
+    ~columns:[ "scenario"; "n"; "jobs"; "seq s"; "par s"; "speedup" ]
+    (List.map
+       (fun r ->
+         [
+           r.b_name;
+           string_of_int r.b_n;
+           string_of_int r.b_jobs;
+           Printf.sprintf "%.3f" r.b_seq_s;
+           Printf.sprintf "%.3f" r.b_par_s;
+           Printf.sprintf "%.2fx" (speedup r);
+         ])
+       batch_rows);
+  H.Report.note
+    "the batch is bit-identical for every jobs count: scene i always \
+     samples from RNG stream i of the seed";
+  write_sampling_json rows batch_rows
 
 (* --- driver --------------------------------------------------------------- *)
 
@@ -154,6 +236,6 @@ let () =
     H.Exp_twocar.report r
   end;
   if want "e8" then H.Exp_pruning.report (H.Exp_pruning.run cfg);
-  if want "e9" then run_e9 ();
+  if want "e9" then run_e9 cfg;
   if want "e10" then H.Exp_mcmc.report (H.Exp_mcmc.run cfg);
   Printf.printf "\ntotal wall time: %.1f s\n" (Unix.gettimeofday () -. t0)

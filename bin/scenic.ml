@@ -91,6 +91,18 @@ let best_effort_arg =
           "on budget exhaustion, emit the draw violating the fewest \
            requirements instead of failing")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"J"
+        ~doc:
+          "draw the batch across $(docv) parallel workers.  Scene $(i,i) \
+           always samples from RNG stream $(i,i) of the seed, so the batch \
+           is identical for every $(docv) (including 1); omit the flag for \
+           the classic sequential sampler, which shares one stream across \
+           the whole batch.")
+
 (* --- commands ----------------------------------------------------------- *)
 
 let parse_cmd =
@@ -131,9 +143,14 @@ let make_sampler ?max_iters ?timeout ?on_exhausted ~no_prune ~seed file =
   sampler
 
 let sample_cmd =
-  let run file seed n no_prune json map timeout max_iters diagnose best_effort =
+  let run file seed n no_prune json map timeout max_iters diagnose best_effort
+      jobs =
     init ();
     handle_errors (fun () ->
+        (match jobs with
+        | Some j when j < 1 ->
+            invalid_arg (Printf.sprintf "--jobs must be positive (got %d)" j)
+        | _ -> ());
         let on_exhausted = if best_effort then `Best_effort else `Raise in
         let sampler =
           make_sampler ?max_iters ?timeout ~on_exhausted ~no_prune ~seed file
@@ -147,43 +164,83 @@ let sample_cmd =
           end;
           if map then print_string (Scenic_render.Ascii.scene_top_view scene)
         in
-        let print_diagnosis () =
-          if diagnose then
-            Fmt.epr "%s@."
-              (Scenic_sampler.Diagnose.report
-                 (Scenic_sampler.Sampler.diagnosis sampler))
+        let print_diagnosis d =
+          if diagnose then Fmt.epr "%s@." (Scenic_sampler.Diagnose.report d)
         in
-        let rec loop i =
-          if i > n then begin
-            print_diagnosis ();
-            `Ok
-          end
-          else
-            match Scenic_sampler.Sampler.sample_outcome sampler with
-            | Scenic_sampler.Rejection.Sampled (scene, stats) ->
-                print_scene i scene stats.Scenic_sampler.Rejection.iterations;
-                loop (i + 1)
-            | Scenic_sampler.Rejection.Exhausted e -> (
-                match (best_effort, e.Scenic_sampler.Rejection.best) with
-                | true, Some (scene, violations) ->
-                    Fmt.epr
-                      "warning: scene %d: budget exhausted (%a); emitting \
-                       best-effort draw violating %d requirement(s)@."
-                      i Scenic_sampler.Budget.pp_stop_reason
-                      e.Scenic_sampler.Rejection.reason violations;
-                    print_scene i scene e.Scenic_sampler.Rejection.used;
+        let report_exhausted (e : Scenic_sampler.Rejection.exhaustion) =
+          Fmt.epr "error: sampling budget exhausted: %a@."
+            Scenic_sampler.Budget.pp_stop_reason e.Scenic_sampler.Rejection.reason;
+          Fmt.epr "%s@."
+            (Scenic_sampler.Diagnose.summary e.Scenic_sampler.Rejection.diagnosis)
+        in
+        let report_best_effort i (e : Scenic_sampler.Rejection.exhaustion)
+            scene violations =
+          Fmt.epr
+            "warning: scene %d: budget exhausted (%a); emitting best-effort \
+             draw violating %d requirement(s)@."
+            i Scenic_sampler.Budget.pp_stop_reason
+            e.Scenic_sampler.Rejection.reason violations;
+          print_scene i scene e.Scenic_sampler.Rejection.used
+        in
+        match jobs with
+        | None ->
+            (* classic sequential sampler: one RNG stream for the batch *)
+            let rec loop i =
+              if i > n then begin
+                print_diagnosis (Scenic_sampler.Sampler.diagnosis sampler);
+                `Ok
+              end
+              else
+                match Scenic_sampler.Sampler.sample_outcome sampler with
+                | Scenic_sampler.Rejection.Sampled (scene, stats) ->
+                    print_scene i scene stats.Scenic_sampler.Rejection.iterations;
                     loop (i + 1)
-                | _ ->
-                    Fmt.epr "error: sampling budget exhausted: %a@."
-                      Scenic_sampler.Budget.pp_stop_reason
-                      e.Scenic_sampler.Rejection.reason;
-                    Fmt.epr "%s@."
-                      (Scenic_sampler.Diagnose.summary
-                         e.Scenic_sampler.Rejection.diagnosis);
-                    print_diagnosis ();
-                    `Exhausted)
-        in
-        match loop 1 with `Ok -> () | `Exhausted -> exit exit_exhausted)
+                | Scenic_sampler.Rejection.Exhausted e -> (
+                    match (best_effort, e.Scenic_sampler.Rejection.best) with
+                    | true, Some (scene, violations) ->
+                        report_best_effort i e scene violations;
+                        loop (i + 1)
+                    | _ ->
+                        report_exhausted e;
+                        print_diagnosis
+                          (Scenic_sampler.Sampler.diagnosis sampler);
+                        `Exhausted)
+            in
+            (match loop 1 with `Ok -> () | `Exhausted -> exit exit_exhausted)
+        | Some jobs ->
+            (* deterministic batch: scene i samples from stream i of the
+               seed, so the output is identical for every jobs count *)
+            let batch =
+              Scenic_sampler.Parallel.run ~jobs ?max_iters ?timeout
+                ~track_best:best_effort ~seed ~n
+                (Scenic_sampler.Sampler.scenario sampler)
+            in
+            let rec emit i =
+              if i >= n then `Ok
+              else
+                match batch.Scenic_sampler.Parallel.outcomes.(i) with
+                | Scenic_sampler.Parallel.Scene (scene, stats) ->
+                    print_scene (i + 1) scene
+                      stats.Scenic_sampler.Rejection.iterations;
+                    emit (i + 1)
+                | Scenic_sampler.Parallel.Exhausted e -> (
+                    match (best_effort, e.Scenic_sampler.Rejection.best) with
+                    | true, Some (scene, violations) ->
+                        report_best_effort (i + 1) e scene violations;
+                        emit (i + 1)
+                    | _ ->
+                        report_exhausted e;
+                        `Exhausted)
+                | Scenic_sampler.Parallel.Faulted msg ->
+                    Fmt.epr "error: scene %d: %s@." (i + 1) msg;
+                    `Faulted
+            in
+            let status = emit 0 in
+            print_diagnosis batch.Scenic_sampler.Parallel.diagnosis;
+            (match status with
+            | `Ok -> ()
+            | `Exhausted -> exit exit_exhausted
+            | `Faulted -> exit exit_error))
   in
   Cmd.v
     (Cmd.info "sample" ~doc:"sample scenes from a scenario"
@@ -196,7 +253,8 @@ let sample_cmd =
          ])
     Term.(
       const run $ file_arg $ seed_arg $ count_arg $ no_prune_arg $ json_arg
-      $ map_arg $ timeout_arg $ max_iters_arg $ diagnose_arg $ best_effort_arg)
+      $ map_arg $ timeout_arg $ max_iters_arg $ diagnose_arg $ best_effort_arg
+      $ jobs_arg)
 
 let render_cmd =
   let out_arg =

@@ -69,3 +69,25 @@ let exhaust ?(max_iters = 25) ?timeout ?clock ?track_best ~seed src :
   | S.Rejection.Exhausted e -> e
   | S.Rejection.Sampled _ ->
       failwith "Robustness.exhaust: scenario sampled successfully"
+
+(* --- parallel batches ----------------------------------------------------- *)
+
+(** Compile [src] and draw an [n]-scene batch across [jobs] workers
+    ({!Scenic_sampler.Parallel.run}); [prepare] lets a test script or
+    fail a chosen sample's RNG {e inside} its worker domain. *)
+let parallel_batch ?jobs ?max_iters ?timeout ?clock ?track_best ?prepare ~seed
+    ~n src : S.Parallel.batch =
+  let scenario = C.Eval.compile ~file:"<parallel>" src in
+  S.Parallel.run ?jobs ?max_iters ?timeout ?clock ?track_best ?prepare ~seed ~n
+    scenario
+
+(** A [prepare] hook arming an injected RNG fault on batch sample
+    [index] only: its generator raises {!Scenic_prob.Rng.Fault} after
+    [after] further draws, while every sibling samples normally. *)
+let fault_sample ~index ?(after = 0) () : int -> P.Rng.t -> unit =
+ fun i rng -> if i = index then P.Rng.inject_failure rng ~after
+
+(** A [prepare] hook queueing scripted draws on batch sample [index]
+    only (see {!Scenic_prob.Rng.script}). *)
+let script_sample ~index floats : int -> P.Rng.t -> unit =
+ fun i rng -> if i = index then P.Rng.script rng floats

@@ -17,10 +17,17 @@ exception Fault of string
 (** raised by a generator whose fault hook has expired (see
     {!inject_failure}) *)
 
+(* The scripted-draw queue is a classic two-list functional queue:
+   draws pop from [front]; [script] conses onto [back] (reversed), and
+   [front] is replenished by reversing [back] when it empties.  Each
+   element is reversed at most once, so appends are O(1) amortised no
+   matter how many times [script] is called (the former representation
+   appended with [@], quadratic in the queue length). *)
 type fault = {
-  mutable forced : float list;
+  mutable front : float list;
       (** unit-interval draws consumed before the generator; [int] maps
           a forced draw [u] to [floor (u * bound)] *)
+  mutable back : float list;  (** newest scripted draws, in reverse *)
   mutable fail_after : int option;  (** raise {!Fault} after this many draws *)
   mutable draws : int;  (** draws observed since the hook was installed *)
 }
@@ -57,23 +64,42 @@ let tick t =
 
 let forced_draw t =
   match t.fault with
-  | Some ({ forced = u :: rest; _ } as f) ->
-      f.forced <- rest;
-      Some u
-  | _ -> None
+  | None -> None
+  | Some f -> (
+      (match (f.front, f.back) with
+      | [], (_ :: _ as back) ->
+          f.front <- List.rev back;
+          f.back <- []
+      | _ -> ());
+      match f.front with
+      | u :: rest ->
+          f.front <- rest;
+          Some u
+      | [] -> None)
 
 (** Queue scripted unit-interval draws, consumed (in order) before the
-    generator proper.  Repeated calls append. *)
+    generator proper.  Repeated calls append in O(1) amortised time.
+
+    Interaction with {!inject_failure}: both install the same hook, so
+    scripted draws {e count toward} the hook's draw allowance — a
+    [fail_after] already armed on [t] is not postponed by queueing more
+    scripted draws, and scripting onto a generator with an armed
+    [fail_after] leaves that trigger in place.  If the script outlives
+    the allowance, the fault fires mid-script. *)
 let script t floats =
   match t.fault with
-  | Some f -> f.forced <- f.forced @ floats
-  | None -> t.fault <- Some { forced = floats; fail_after = None; draws = 0 }
+  | Some f -> f.back <- List.rev_append floats f.back
+  | None ->
+      t.fault <- Some { front = floats; back = []; fail_after = None; draws = 0 }
 
-(** Arrange for every draw after the next [after] ones to raise {!Fault}. *)
+(** Arrange for every draw after the next [after] ones to raise
+    {!Fault}.  Scripted draws already queued (see {!script}) count
+    toward the allowance. *)
 let inject_failure t ~after =
   match t.fault with
   | Some f -> f.fail_after <- Some (f.draws + after)
-  | None -> t.fault <- Some { forced = []; fail_after = Some after; draws = 0 }
+  | None ->
+      t.fault <- Some { front = []; back = []; fail_after = Some after; draws = 0 }
 
 (** Remove any fault hook, restoring plain generation. *)
 let clear_fault t = t.fault <- None
@@ -85,7 +111,7 @@ let draws t = match t.fault with Some f -> f.draws | None -> 0
     first, and, if given, draw number [fail_after + 1] raises {!Fault}. *)
 let scripted ?(floats = []) ?fail_after ~seed () =
   let t = create seed in
-  t.fault <- Some { forced = floats; fail_after; draws = 0 };
+  t.fault <- Some { front = floats; back = []; fail_after; draws = 0 };
   t
 
 let next_uint32 t =
@@ -149,6 +175,11 @@ let copy t =
     fault =
       Option.map
         (fun f ->
-          { forced = f.forced; fail_after = f.fail_after; draws = f.draws })
+          {
+            front = f.front;
+            back = f.back;
+            fail_after = f.fail_after;
+            draws = f.draws;
+          })
         t.fault;
   }

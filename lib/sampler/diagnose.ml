@@ -53,9 +53,52 @@ let total t = t.iterations
 let accepted t = t.accepted
 let rejected t = t.iterations - t.accepted
 
+(* Count-descending, then message-ascending: [Hashtbl.fold] order
+   depends on internal bucket layout (and thus on insertion history),
+   so without the message tie-break equal-count causes surfaced in a
+   different order from one run to the next. *)
 let local_rejections t =
   Hashtbl.fold (fun msg n acc -> (msg, n) :: acc) t.local []
-  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.sort (fun (ma, a) (mb, b) ->
+         match compare b a with 0 -> compare ma mb | c -> c)
+
+(* --- merging (per-worker / per-sample attribution) ----------------------- *)
+
+(** [merge_into ~into t] adds [t]'s counters into [into].  Both records
+    must diagnose the same requirement list (the parallel batch sampler
+    gives every sample its own record over the shared scenario and
+    merges them in index order).  All counters are additive, so the
+    merged totals are independent of merge order — worker scheduling
+    cannot change a diagnosis report. *)
+let merge_into ~into t =
+  if Array.length into.violations <> Array.length t.violations then
+    invalid_arg "Diagnose.merge_into: mismatched requirement sets";
+  Array.iteri
+    (fun i n -> into.violations.(i) <- into.violations.(i) + n)
+    t.violations;
+  Hashtbl.iter
+    (fun msg n ->
+      Hashtbl.replace into.local msg
+        (n + Option.value ~default:0 (Hashtbl.find_opt into.local msg)))
+    t.local;
+  into.accepted <- into.accepted + t.accepted;
+  into.iterations <- into.iterations + t.iterations
+
+(** [merge a b] is a fresh record holding the summed counters of [a]
+    and [b]; see {!merge_into}. *)
+let merge a b =
+  let m =
+    {
+      requirements = a.requirements;
+      violations = Array.make (Array.length a.violations) 0;
+      local = Hashtbl.create 8;
+      accepted = 0;
+      iterations = 0;
+    }
+  in
+  merge_into ~into:m a;
+  merge_into ~into:m b;
+  m
 
 let acceptance_rate t =
   if t.iterations = 0 then 0.

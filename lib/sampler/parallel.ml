@@ -1,0 +1,158 @@
+(** Multicore batch sampling: draw N scenes across J domains with a
+    bit-identical result for every J.
+
+    The paper's evaluation (Sec. 5.2) and every downstream data-generation
+    workload draw {e batches} of independent scenes, so batch throughput —
+    not single-sample latency — is the figure of merit.  This module runs
+    the supervised rejection sampler ({!Rejection}) over a pool of OCaml 5
+    domains with one invariant above all others:
+
+    {b determinism}: sample [i] of an [n]-scene batch is always drawn from
+    its own RNG stream, [Rng.create ~stream:(stream_base + i) seed].  The
+    stream assignment depends only on the sample index and the master
+    seed, never on which worker draws it or in what order, so the batch is
+    bit-identical for [--jobs 1] and [--jobs 64] — parallelism is purely
+    an execution detail, exactly as splitting the seed across experiments
+    already was.
+
+    The compiled (and pruned) scenario is shared read-only across
+    domains: sampling never mutates scenario values (pruning, which does,
+    runs before the pool starts), and every per-iteration structure (memo
+    tables, conversion caches, diagnosis counters) is per-sample.  Each
+    sample gets its own {!Diagnose} record; they are merged in index
+    order afterwards, and since the counters are additive the merged
+    report is also scheduling-independent.
+
+    Failure containment mirrors the sequential runtime: a per-sample
+    budget exhaustion becomes an [Exhausted] outcome, and an exception
+    escaping one sample (e.g. an injected {!Scenic_prob.Rng.Fault})
+    becomes a [Faulted] outcome for that index only — it never poisons
+    sibling samples or tears down the pool. *)
+
+module P = Scenic_prob
+
+(** Streams [stream_base + 0 .. stream_base + n - 1] belong to batch
+    samples.  Offset past the defaults used elsewhere (the sequential
+    sampler's stream 54, {!P.Rng.split}'s 15-bit range) so a batch never
+    shares a stream with a foreground generator of the same seed. *)
+let stream_base = 0x10000
+
+(** The generator for batch sample [index] under [seed]; the public
+    contract relied on by tests and by anyone reproducing a single scene
+    out of a batch. *)
+let rng_for_sample ~seed index = P.Rng.create ~stream:(stream_base + index) seed
+
+(** Structured per-sample result, collected in index order. *)
+type sample_outcome =
+  | Scene of Scenic_core.Scene.t * Rejection.stats
+  | Exhausted of Rejection.exhaustion
+      (** this sample's budget ran out; carries its own diagnosis *)
+  | Faulted of string
+      (** an exception escaped this sample's draw (fault injection, a
+          broken distribution parameter, ...) — siblings are unaffected *)
+
+type batch = {
+  outcomes : sample_outcome array;  (** index [i] holds sample [i] *)
+  diagnosis : Diagnose.t;  (** merged over all samples, in index order *)
+  usage : Budget.batch_report;
+      (** aggregated per-sample budgets; [first_exhaustion] names the
+          lowest exhausted index *)
+  jobs : int;  (** workers actually used *)
+}
+
+(** Scenes of the successfully-sampled outcomes, in index order. *)
+let scenes batch =
+  List.filter_map
+    (function Scene (s, _) -> Some s | Exhausted _ | Faulted _ -> None)
+    (Array.to_list batch.outcomes)
+
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+(** Draw [n] scenes from [scenario] across [jobs] domains (default
+    {!default_jobs}).  [max_iters] / [timeout] / [clock] / [budget]
+    bound each sample individually, as in {!Rejection.create}.
+    [track_best] keeps the least-violating draw per exhausted sample
+    (best-effort mode).  [prepare] is called with [(index, rng)] before
+    sample [index] is drawn — the fault-injection hook used by
+    {!Scenic_harness.Robustness} to script or fail a chosen sample's
+    generator inside a worker.
+
+    The scenario must already be pruned (or not) — this function never
+    rewrites it, so it is safe to share across concurrent batches. *)
+let run ?jobs ?max_iters ?timeout ?clock ?budget ?(track_best = false) ?prepare
+    ~seed ~n (scenario : Scenic_core.Scenario.t) : batch =
+  if n < 0 then invalid_arg "Parallel.run: n must be non-negative";
+  let jobs =
+    match jobs with
+    | None -> default_jobs ()
+    | Some j when j < 1 -> invalid_arg "Parallel.run: jobs must be positive"
+    | Some j -> j
+  in
+  let slots : (sample_outcome * Diagnose.t) option array = Array.make n None in
+  let next = Atomic.make 0 in
+  let sample_one i =
+    let rng = rng_for_sample ~seed i in
+    (match prepare with Some f -> f i rng | None -> ());
+    let r =
+      Rejection.create ?max_iters ?timeout ?clock ?budget ~track_best ~rng
+        scenario
+    in
+    let outcome =
+      match Rejection.sample_outcome r with
+      | Rejection.Sampled (scene, stats) -> Scene (scene, stats)
+      | Rejection.Exhausted e -> Exhausted e
+      | exception P.Rng.Fault msg -> Faulted msg
+      | exception exn -> Faulted (Printexc.to_string exn)
+    in
+    slots.(i) <- Some (outcome, Rejection.diagnosis r)
+  in
+  let rec worker () =
+    let i = Atomic.fetch_and_add next 1 in
+    if i < n then begin
+      sample_one i;
+      worker ()
+    end
+  in
+  (* the calling domain is worker zero; spawn at most jobs - 1 others,
+     and never more than there are samples *)
+  let spawned = max 0 (min (jobs - 1) (n - 1)) in
+  let domains = List.init spawned (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join domains;
+  let merged = Diagnose.create scenario in
+  let outcomes =
+    Array.init n (fun i ->
+        match slots.(i) with
+        | Some (outcome, diag) ->
+            Diagnose.merge_into ~into:merged diag;
+            outcome
+        | None -> assert false (* every index < n was claimed exactly once *))
+  in
+  let usage =
+    Budget.batch_report
+      (Array.map
+         (function
+           | Some (outcome, diag) -> (
+               let used = Diagnose.total diag in
+               match outcome with
+               | Exhausted e -> (used, Some e.Rejection.reason)
+               | Scene _ | Faulted _ -> (used, None))
+           | None -> assert false)
+         slots)
+  in
+  { outcomes; diagnosis = merged; usage; jobs = spawned + 1 }
+
+(** Compile Scenic source, prune it with the degenerate-prune fallback
+    of {!Sampler}, and draw a batch.  Returns the batch together with
+    the degraded-region labels (empty unless the fallback fired). *)
+let of_source ?jobs ?(prune = true) ?max_iters ?timeout ?clock ?budget
+    ?track_best ?prepare ?file ?search_path ~seed ~n src :
+    batch * string list =
+  let sampler =
+    Sampler.create ~prune ~seed (Scenic_core.Eval.compile ?file ?search_path src)
+  in
+  let batch =
+    run ?jobs ?max_iters ?timeout ?clock ?budget ?track_best ?prepare ~seed ~n
+      (Sampler.scenario sampler)
+  in
+  (batch, Sampler.degraded sampler)

@@ -110,6 +110,10 @@ let diagnosis t = Rejection.diagnosis t.rejection
     iff the sampler fell back to the unpruned scenario. *)
 let degraded t = t.degraded
 
+(** The compiled (and, unless degraded, pruned) scenario — ready to
+    hand to {!Parallel.run} for batch drawing. *)
+let scenario t = t.scenario
+
 (** Iterations accumulated so far (for the pruning-effectiveness
     experiment E8). *)
 let total_iterations t = t.rejection.Rejection.cumulative

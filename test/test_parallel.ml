@@ -1,0 +1,196 @@
+(** Tests for the multicore batch sampler ({!Scenic_sampler.Parallel}):
+    the bit-identical-for-every-jobs-count contract, index-ordered
+    outcome collection, merged diagnosis, batch budget aggregation, and
+    fault containment inside worker domains. *)
+
+open Helpers
+module C = Scenic_core
+module P = Scenic_prob
+module S = Scenic_sampler
+module R = Scenic_harness.Robustness
+
+let test_case = Alcotest.test_case
+let base = "import testLib\nego = Object at 0 @ 0\n"
+
+(* moderate rejection rate, so determinism covers rejected draws too *)
+let filtered = base ^ "x = (0, 10)\nObject at 5 @ 5, with tag x\nrequire x > 3\n"
+let unsat = base ^ "x = (0, 1)\nObject at 5 @ 5\nrequire x > 2\n"
+
+let scene_strings batch =
+  List.map C.Scene.to_string (S.Parallel.scenes batch)
+
+let determinism_tests =
+  [
+    test_case "jobs 1 and jobs 8 draw bit-identical batches" `Slow (fun () ->
+        (* one compiled scenario for both runs: object ids are assigned
+           by a global counter at compile time, so recompiling would
+           shift the ids (but not the sampled values) between batches *)
+        let scenario = compile filtered in
+        let draw jobs = S.Parallel.run ~jobs ~seed:9 ~n:16 scenario in
+        let b1 = draw 1 and b8 = draw 8 in
+        Alcotest.(check (list string))
+          "same scenes, same order" (scene_strings b1) (scene_strings b8);
+        Alcotest.(check int)
+          "16 scenes each" 16
+          (List.length (S.Parallel.scenes b1)));
+    test_case "merged diagnosis is identical across jobs counts" `Slow
+      (fun () ->
+        let draw jobs = R.parallel_batch ~jobs ~seed:9 ~n:16 filtered in
+        let d1 = (draw 1).S.Parallel.diagnosis
+        and d8 = (draw 8).S.Parallel.diagnosis in
+        Alcotest.(check int) "total" (S.Diagnose.total d1)
+          (S.Diagnose.total d8);
+        Alcotest.(check int) "accepted" (S.Diagnose.accepted d1)
+          (S.Diagnose.accepted d8);
+        Alcotest.(check (array int))
+          "per-requirement violations" d1.S.Diagnose.violations
+          d8.S.Diagnose.violations;
+        Alcotest.(check (list (pair string int)))
+          "local rejections"
+          (S.Diagnose.local_rejections d1)
+          (S.Diagnose.local_rejections d8));
+    test_case "batch totals match the per-sample outcomes" `Quick (fun () ->
+        let b = R.parallel_batch ~jobs:4 ~seed:9 ~n:12 filtered in
+        let per_sample_total =
+          Array.fold_left
+            (fun acc -> function
+              | S.Parallel.Scene (_, stats) ->
+                  acc + stats.S.Rejection.iterations
+              | S.Parallel.Exhausted _ | S.Parallel.Faulted _ -> acc)
+            0 b.S.Parallel.outcomes
+        in
+        Alcotest.(check int) "diagnosis total = sum of per-sample stats"
+          per_sample_total
+          (S.Diagnose.total b.S.Parallel.diagnosis);
+        Alcotest.(check int) "usage mirrors the diagnosis" per_sample_total
+          b.S.Parallel.usage.S.Budget.total_iterations;
+        Alcotest.(check int) "accepted = batch size" 12
+          (S.Diagnose.accepted b.S.Parallel.diagnosis));
+    test_case "sample i reproduces outside the batch via its stream" `Quick
+      (fun () ->
+        (* the documented contract: scene i of a batch is what a bare
+           rejection sampler draws from rng_for_sample ~seed i *)
+        let scenario = compile filtered in
+        let b = S.Parallel.run ~jobs:3 ~seed:21 ~n:5 scenario in
+        List.iteri
+          (fun i batch_scene ->
+            let rng = S.Parallel.rng_for_sample ~seed:21 i in
+            let r = S.Rejection.create ~rng scenario in
+            Alcotest.(check string)
+              (Printf.sprintf "scene %d" i)
+              (C.Scene.to_string (S.Rejection.sample r))
+              (C.Scene.to_string batch_scene))
+          (S.Parallel.scenes b));
+    test_case "n = 0 yields an empty batch" `Quick (fun () ->
+        let b = R.parallel_batch ~jobs:4 ~seed:1 ~n:0 base in
+        Alcotest.(check int) "no outcomes" 0
+          (Array.length b.S.Parallel.outcomes);
+        Alcotest.(check int) "no samples" 0 b.S.Parallel.usage.S.Budget.samples);
+    test_case "invalid jobs and n are rejected" `Quick (fun () ->
+        Alcotest.check_raises "jobs 0"
+          (Invalid_argument "Parallel.run: jobs must be positive") (fun () ->
+            ignore (R.parallel_batch ~jobs:0 ~seed:1 ~n:1 base));
+        Alcotest.check_raises "negative n"
+          (Invalid_argument "Parallel.run: n must be non-negative") (fun () ->
+            ignore (R.parallel_batch ~jobs:1 ~seed:1 ~n:(-1) base)));
+  ]
+
+let containment_tests =
+  [
+    test_case "a faulted sample does not poison its siblings" `Quick (fun () ->
+        let b =
+          R.parallel_batch ~jobs:4 ~seed:9 ~n:8
+            ~prepare:(R.fault_sample ~index:3 ())
+            filtered
+        in
+        Array.iteri
+          (fun i outcome ->
+            match (i, outcome) with
+            | 3, S.Parallel.Faulted msg ->
+                Alcotest.(check bool) "fault message" true
+                  (String.length msg > 0)
+            | 3, _ -> Alcotest.fail "sample 3 should have faulted"
+            | _, S.Parallel.Scene _ -> ()
+            | i, _ -> Alcotest.failf "sample %d should have sampled" i)
+          b.S.Parallel.outcomes;
+        Alcotest.(check int) "7 healthy scenes" 7
+          (List.length (S.Parallel.scenes b)));
+    test_case "siblings are unchanged by the injected fault" `Slow (fun () ->
+        let scenario = compile filtered in
+        let clean = S.Parallel.run ~jobs:4 ~seed:9 ~n:8 scenario in
+        let faulty =
+          S.Parallel.run ~jobs:4 ~seed:9 ~n:8
+            ~prepare:(R.fault_sample ~index:3 ())
+            scenario
+        in
+        Array.iteri
+          (fun i outcome ->
+            if i <> 3 then
+              match (outcome, faulty.S.Parallel.outcomes.(i)) with
+              | S.Parallel.Scene (a, _), S.Parallel.Scene (b, _) ->
+                  Alcotest.(check string)
+                    (Printf.sprintf "scene %d" i)
+                    (C.Scene.to_string a) (C.Scene.to_string b)
+              | _ -> Alcotest.failf "sample %d should have sampled" i)
+          clean.S.Parallel.outcomes);
+    test_case "a scripted sample pins only its own draw" `Quick (fun () ->
+        let src = base ^ "Object at 5 @ 5, with tag (0, 10)\n" in
+        let b =
+          R.parallel_batch ~jobs:2 ~seed:7 ~n:4
+            ~prepare:(R.script_sample ~index:2 [ 0.3 ])
+            src
+        in
+        match b.S.Parallel.outcomes.(2) with
+        | S.Parallel.Scene (scene, _) ->
+            let tagged =
+              List.find
+                (fun (o : C.Scene.cobj) -> List.mem_assoc "tag" o.c_props)
+                scene.C.Scene.objs
+            in
+            check_float ~eps:1e-9 "forced tag" 3.
+              (C.Ops.as_float (List.assoc "tag" tagged.c_props))
+        | _ -> Alcotest.fail "sample 2 should have sampled");
+  ]
+
+let budget_tests =
+  [
+    test_case "first exhaustion reports the lowest index" `Quick (fun () ->
+        let b = R.parallel_batch ~jobs:3 ~max_iters:10 ~seed:1 ~n:6 unsat in
+        Alcotest.(check int) "all exhausted" 6
+          b.S.Parallel.usage.S.Budget.exhausted;
+        (match b.S.Parallel.usage.S.Budget.first_exhaustion with
+        | Some (0, S.Budget.Iteration_limit 10) -> ()
+        | Some (i, _) -> Alcotest.failf "expected index 0, got %d" i
+        | None -> Alcotest.fail "expected an exhaustion");
+        Alcotest.(check int) "aggregated iterations" 60
+          b.S.Parallel.usage.S.Budget.total_iterations;
+        Alcotest.(check int) "merged diagnosis sees all 60 rejections" 60
+          (S.Diagnose.total b.S.Parallel.diagnosis));
+    test_case "exhausted samples carry best-effort draws" `Quick (fun () ->
+        let b =
+          R.parallel_batch ~jobs:2 ~max_iters:10 ~track_best:true ~seed:1 ~n:2
+            unsat
+        in
+        Array.iter
+          (function
+            | S.Parallel.Exhausted { best = Some (_, violations); _ } ->
+                Alcotest.(check int) "one violated requirement" 1 violations
+            | S.Parallel.Exhausted { best = None; _ } ->
+                Alcotest.fail "expected a best-effort draw"
+            | _ -> Alcotest.fail "expected exhaustion")
+          b.S.Parallel.outcomes);
+    test_case "mixed batches aggregate only true exhaustions" `Quick (fun () ->
+        (* a satisfiable scenario under a generous cap: no exhaustions *)
+        let b = R.parallel_batch ~jobs:2 ~max_iters:5_000 ~seed:3 ~n:6 filtered in
+        Alcotest.(check int) "none exhausted" 0
+          b.S.Parallel.usage.S.Budget.exhausted;
+        Alcotest.(check bool) "no first exhaustion" true
+          (b.S.Parallel.usage.S.Budget.first_exhaustion = None));
+  ]
+
+let suites =
+  [
+    ("parallel.determinism", determinism_tests);
+    ("parallel.containment", containment_tests);
+    ("parallel.budget", budget_tests);
+  ]

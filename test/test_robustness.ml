@@ -27,8 +27,10 @@ let budget_tests =
         Alcotest.(check int) "diagnosed" 50
           (S.Diagnose.total e.S.Rejection.diagnosis));
     test_case "wall-clock deadline fires under a fake clock" `Quick (fun () ->
-        (* the clock advances 0.5 s per consultation, so a 2 s deadline
-           fires on the fifth budget check regardless of real time *)
+        (* the clock advances 0.5 s per consultation and is consulted
+           every [clock_stride] iterations, so a 2 s deadline fires on
+           the fifth consultation — within 5 strides regardless of real
+           time *)
         let clock = R.ticking_clock ~step:0.5 () in
         let e =
           R.exhaust ~max_iters:1_000_000 ~timeout:2.0 ~clock ~seed:1 unsat
@@ -37,7 +39,35 @@ let budget_tests =
         | S.Budget.Deadline elapsed ->
             Alcotest.(check bool) "elapsed past deadline" true (elapsed > 2.0)
         | S.Budget.Iteration_limit _ -> Alcotest.fail "expected deadline");
-        Alcotest.(check bool) "stopped early" true (e.S.Rejection.used < 10));
+        Alcotest.(check bool) "stopped early" true
+          (e.S.Rejection.used < 5 * S.Budget.clock_stride));
+    test_case "clock consultations are strided" `Quick (fun () ->
+        (* 200 iterations under a timeout that never fires: the clock
+           is read once at [start] and then only on iterations 1, 65,
+           129, 193 — 5 reads instead of the former 201 *)
+        let reads = ref 0 in
+        let clock () =
+          incr reads;
+          0.
+        in
+        let e = R.exhaust ~max_iters:200 ~timeout:10. ~clock ~seed:1 unsat in
+        (match e.S.Rejection.reason with
+        | S.Budget.Iteration_limit n -> Alcotest.(check int) "cap" 200 n
+        | S.Budget.Deadline _ -> Alcotest.fail "expected iteration limit");
+        Alcotest.(check int) "clock reads"
+          (1 + ((200 + S.Budget.clock_stride - 1) / S.Budget.clock_stride))
+          !reads);
+    test_case "deadline unchanged at iteration 1" `Quick (fun () ->
+        (* the stride always checks iteration 1, so an already-expired
+           deadline still stops the very first iteration *)
+        let clock = R.ticking_clock ~step:10. () in
+        let e =
+          R.exhaust ~max_iters:1_000_000 ~timeout:2.0 ~clock ~seed:1 unsat
+        in
+        (match e.S.Rejection.reason with
+        | S.Budget.Deadline _ -> ()
+        | S.Budget.Iteration_limit _ -> Alcotest.fail "expected deadline");
+        Alcotest.(check int) "no iterations ran" 0 e.S.Rejection.used);
     test_case "compat wrapper still raises Zero_probability" `Quick (fun () ->
         expect_error "zero prob"
           (function C.Errors.Zero_probability -> true | _ -> false)
@@ -88,6 +118,42 @@ let diagnosis_tests =
               req.C.Scenario.span.Scenic_lang.Loc.file;
             Alcotest.(check int) "span line" 5
               req.C.Scenario.span.Scenic_lang.Loc.start.Scenic_lang.Loc.line);
+    test_case "local rejection ties break on the message" `Quick (fun () ->
+        (* equal counts used to surface in Hashtbl bucket order; the
+           sort now tie-breaks on the message, so the report is stable
+           regardless of insertion history *)
+        let d = S.Diagnose.create (compile base) in
+        List.iter
+          (fun msg -> S.Diagnose.record d (S.Diagnose.Local msg))
+          [ "zeta"; "alpha"; "mid"; "alpha" ];
+        Alcotest.(check (list (pair string int)))
+          "count desc, then message asc"
+          [ ("alpha", 2); ("mid", 1); ("zeta", 1) ]
+          (S.Diagnose.local_rejections d));
+    test_case "merge sums counters orderlessly" `Quick (fun () ->
+        let scenario = compile unsat in
+        let run seed iters =
+          let rng = P.Rng.create seed in
+          let r = S.Rejection.create ~max_iters:iters ~rng scenario in
+          ignore (S.Rejection.sample_outcome r);
+          S.Rejection.diagnosis r
+        in
+        let a = run 1 30 and b = run 2 50 in
+        let ab = S.Diagnose.merge a b and ba = S.Diagnose.merge b a in
+        Alcotest.(check int) "total" 80 (S.Diagnose.total ab);
+        Alcotest.(check int) "commutative total" (S.Diagnose.total ab)
+          (S.Diagnose.total ba);
+        Alcotest.(check (array int))
+          "violations sum"
+          (Array.map2 ( + ) a.S.Diagnose.violations b.S.Diagnose.violations)
+          ab.S.Diagnose.violations;
+        Alcotest.(check int) "sources untouched" 30 (S.Diagnose.total a));
+    test_case "merge rejects mismatched requirement sets" `Quick (fun () ->
+        let a = S.Diagnose.create (compile unsat) in
+        let b = S.Diagnose.create (compile base) in
+        Alcotest.check_raises "mismatch"
+          (Invalid_argument "Diagnose.merge_into: mismatched requirement sets")
+          (fun () -> ignore (S.Diagnose.merge a b)));
     test_case "report names the blocking requirement" `Quick (fun () ->
         let e = R.exhaust ~max_iters:40 ~seed:3 unsat in
         let report = S.Diagnose.report e.S.Rejection.diagnosis in
@@ -189,6 +255,30 @@ let fault_tests =
         let b = P.Rng.copy a in
         check_float "a forced" 0.5 (P.Rng.float a);
         check_float "b forced" 0.5 (P.Rng.float b));
+    test_case "repeated script calls append in order" `Quick (fun () ->
+        (* the queue is two-list (O(1)-amortised appends); draws must
+           still come out in script order across interleaved drawing *)
+        let rng = P.Rng.scripted ~floats:[ 0.1 ] ~seed:4 () in
+        P.Rng.script rng [ 0.2; 0.3 ];
+        check_float "first" 0.1 (P.Rng.float rng);
+        P.Rng.script rng [ 0.4 ];
+        check_float "second" 0.2 (P.Rng.float rng);
+        check_float "third" 0.3 (P.Rng.float rng);
+        check_float "fourth" 0.4 (P.Rng.float rng));
+    test_case "scripted draws count toward an armed fail_after" `Quick
+      (fun () ->
+        (* script and fail_after share one hook: queueing draws does not
+           postpone the injected fault *)
+        let rng = P.Rng.scripted ~fail_after:3 ~seed:4 () in
+        P.Rng.script rng [ 0.1; 0.2 ];
+        check_float "scripted 1" 0.1 (P.Rng.float rng);
+        check_float "scripted 2" 0.2 (P.Rng.float rng);
+        let u = P.Rng.float rng in
+        Alcotest.(check bool) "third draw is real" true (u >= 0. && u < 1.);
+        (match P.Rng.float rng with
+        | _ -> Alcotest.fail "expected the injected fault on draw 4"
+        | exception P.Rng.Fault _ -> ());
+        Alcotest.(check int) "draw counter" 4 (P.Rng.draws rng));
   ]
 
 (* --- distribution parameter validation ----------------------------------- *)
