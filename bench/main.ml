@@ -9,6 +9,7 @@
       dune exec bench/main.exe -- --tiny e1    (smoke test) *)
 
 module H = Scenic_harness
+module T = Scenic_telemetry
 
 let experiments = [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10" ]
 
@@ -86,17 +87,56 @@ let run_parallel_throughput (cfg : H.Exp_config.t) : batch_row list =
       { b_name = name; b_n = n; b_jobs = jobs; b_seq_s = seq_s; b_par_s = par_s })
     batch_scenario_names
 
-(* Machine-readable perf record (scenic-bench-sampling/2), so future
+(* --- per-phase timings (the scenic_telemetry probe) ---------------------- *)
+
+type phase_row = {
+  p_name : string;
+  p_scenes : int;  (** scenes drawn through the instrumented sampler *)
+  p_compile_ms : float;  (** parse + evaluate, once *)
+  p_prune_ms : float;  (** the three pruning passes, once *)
+  p_sample_ms : float;  (** rejection sampling, summed over the scenes *)
+  p_spans : int;  (** spans recorded — pins the probe coverage *)
+}
+
+(* Where the time goes per scenario: run the full pipeline under an
+   instrumented probe and read the phase totals back out of the trace.
+   This is the instrumentation path itself under test — the same spans
+   `scenic sample --trace` emits. *)
+let run_phase_timings (cfg : H.Exp_config.t) : phase_row list =
+  let n = max 1 (H.Exp_config.n cfg 20) in
+  List.map
+    (fun (name, src) ->
+      let trace = T.Trace.create () in
+      let metrics = T.Metrics.create () in
+      let probe = T.Probe.make ~trace ~metrics () in
+      let sampler =
+        Scenic_sampler.Sampler.of_source ~probe ~seed:5 ~file:name src
+      in
+      for _ = 1 to n do
+        ignore (Scenic_sampler.Sampler.sample sampler)
+      done;
+      {
+        p_name = name;
+        p_scenes = n;
+        p_compile_ms = T.Trace.total_ms trace "compile";
+        p_prune_ms = T.Trace.total_ms trace "prune";
+        p_sample_ms = T.Trace.total_ms trace "rejection.sample";
+        p_spans = T.Trace.span_count trace;
+      })
+    sampling_scenarios
+
+(* Machine-readable perf record (scenic-bench-sampling/3), so future
    changes have a sampling-cost trajectory to compare against:
-   per-scene latency plus sequential-vs-parallel batch throughput. *)
-let write_sampling_json ms_rows batch_rows =
+   per-scene latency, sequential-vs-parallel batch throughput, and
+   per-phase wall-time attribution (v3). *)
+let write_sampling_json ms_rows batch_rows phase_rows =
   let oc = open_out sampling_json_file in
   (* Fun.protect: a failed printf or an unmatched row must not leak the
      channel (mirrors the read_file fix of PR 1). *)
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
-      Printf.fprintf oc "{\n  \"schema\": \"scenic-bench-sampling/2\",\n";
+      Printf.fprintf oc "{\n  \"schema\": \"scenic-bench-sampling/3\",\n";
       Printf.fprintf oc "  \"generated_unix\": %.0f,\n" (Unix.gettimeofday ());
       Printf.fprintf oc "  \"scenarios\": [\n";
       let n = List.length ms_rows in
@@ -134,6 +174,17 @@ let write_sampling_json ms_rows batch_rows =
             r.b_name r.b_n r.b_jobs r.b_seq_s r.b_par_s (speedup r)
             (if i = nb - 1 then "" else ","))
         batch_rows;
+      Printf.fprintf oc "  ],\n  \"phases\": [\n";
+      let np = List.length phase_rows in
+      List.iteri
+        (fun i r ->
+          Printf.fprintf oc
+            "    {\"name\": %S, \"scenes\": %d, \"compile_ms\": %.4f, \
+             \"prune_ms\": %.4f, \"sample_ms\": %.4f, \"spans\": %d}%s\n"
+            r.p_name r.p_scenes r.p_compile_ms r.p_prune_ms r.p_sample_ms
+            r.p_spans
+            (if i = np - 1 then "" else ","))
+        phase_rows;
       Printf.fprintf oc "  ]\n}\n");
   Printf.printf "wrote %s\n%!" sampling_json_file
 
@@ -185,7 +236,21 @@ let run_e9 cfg =
   H.Report.note
     "the batch is bit-identical for every jobs count: scene i always \
      samples from RNG stream i of the seed";
-  write_sampling_json rows batch_rows
+  let phase_rows = run_phase_timings cfg in
+  H.Report.print_table
+    ~title:"Per-phase wall time (instrumented probe; sample summed over scenes)"
+    ~columns:[ "scenario"; "scenes"; "compile ms"; "prune ms"; "sample ms" ]
+    (List.map
+       (fun r ->
+         [
+           r.p_name;
+           string_of_int r.p_scenes;
+           Printf.sprintf "%.3f" r.p_compile_ms;
+           Printf.sprintf "%.3f" r.p_prune_ms;
+           Printf.sprintf "%.3f" r.p_sample_ms;
+         ])
+       phase_rows);
+  write_sampling_json rows batch_rows phase_rows
 
 (* --- driver --------------------------------------------------------------- *)
 

@@ -7,12 +7,18 @@
     - [scenic worlds]           — list registered world models *)
 
 open Cmdliner
+module T = Scenic_telemetry
 
 (* Exit codes: 1 for compile-time and runtime errors, 3 when a sampling
    budget is exhausted (2 is cmdliner's usage-error code).  Scripts can
    tell "this scenario is broken" from "this scenario is too hard". *)
 let exit_error = 1
 let exit_exhausted = 3
+
+(* Every user-facing warning goes through this one helper: uniformly
+   prefixed, always on stderr — stdout carries only scene output, so
+   piping and the bit-identical --jobs comparison stay clean. *)
+let warn fmt = Fmt.epr ("warning: " ^^ fmt ^^ "@.")
 
 let read_file path =
   let ic = open_in_bin path in
@@ -103,6 +109,64 @@ let jobs_arg =
            the classic sequential sampler, which shares one stream across \
            the whole batch.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "write a structured trace of the run to $(docv): per-phase spans \
+           (compile, prune, per-scene sampling; per-worker rows under \
+           --jobs) in Chrome trace_event JSON, loadable in chrome://tracing \
+           or Perfetto.  A $(docv) ending in .jsonl gets the compact \
+           one-object-per-line event log instead.")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "print a JSON metrics snapshot (schema scenic-stats/1: counters, \
+           gauges, log-scale histograms such as sample.wall_ms and \
+           rejection.iterations, per-requirement rejection counters) to \
+           stderr after the run")
+
+(* Validate flag values before any compilation or pruning runs: a bad
+   flag must error out before make_sampler can emit warnings — with
+   the old order, `--jobs 0` reported its error only after a spurious
+   degenerate-prune warning. *)
+let validate_sampling_args ?jobs ?max_iters ?timeout ~n () =
+  (match jobs with
+  | Some j when j < 1 ->
+      invalid_arg (Printf.sprintf "--jobs must be positive (got %d)" j)
+  | _ -> ());
+  if n < 0 then
+    invalid_arg (Printf.sprintf "--count must be non-negative (got %d)" n);
+  (match max_iters with
+  | Some m when m <= 0 ->
+      invalid_arg (Printf.sprintf "--max-iters must be positive (got %d)" m)
+  | _ -> ());
+  match timeout with
+  | Some s when s <= 0. || Float.is_nan s ->
+      invalid_arg (Printf.sprintf "--timeout must be positive (got %g)" s)
+  | _ -> ()
+
+(* Shared --trace/--stats plumbing: build the recorders and the probe,
+   and a [finish] that persists them on every exit path. *)
+let make_telemetry ~trace_file ~stats =
+  let trace = Option.map (fun _ -> T.Trace.create ()) trace_file in
+  let metrics = if stats then Some (T.Metrics.create ()) else None in
+  let probe = T.Probe.make ?trace ?metrics () in
+  let finish () =
+    (match (trace_file, trace) with
+    | Some path, Some tr -> T.Trace.save tr path
+    | _ -> ());
+    match metrics with
+    | Some m -> Fmt.epr "%s@." (T.Metrics.to_json m)
+    | None -> ()
+  in
+  (trace, metrics, probe, finish)
+
 (* --- commands ----------------------------------------------------------- *)
 
 let parse_cmd =
@@ -128,32 +192,37 @@ let check_cmd =
     (Cmd.info "check" ~doc:"compile a scenario, reporting static errors")
     Term.(const run $ file_arg)
 
-let make_sampler ?max_iters ?timeout ?on_exhausted ~no_prune ~seed file =
+let make_sampler ?max_iters ?timeout ?on_exhausted ?probe ~no_prune ~seed file =
   let sampler =
     Scenic_sampler.Sampler.of_source ~prune:(not no_prune) ?max_iters ?timeout
-      ?on_exhausted ~seed ~file (read_file file)
+      ?on_exhausted ?probe ~seed ~file (read_file file)
   in
   (match Scenic_sampler.Sampler.degraded sampler with
   | [] -> ()
   | bad ->
-      Fmt.epr
-        "warning: pruning produced a degenerate sample space (%s); sampling \
-         the unpruned scenario instead@."
+      warn
+        "pruning produced a degenerate sample space (%s); sampling the \
+         unpruned scenario instead"
         (String.concat ", " bad));
   sampler
 
 let sample_cmd =
   let run file seed n no_prune json map timeout max_iters diagnose best_effort
-      jobs =
+      jobs trace_file stats =
     init ();
     handle_errors (fun () ->
-        (match jobs with
-        | Some j when j < 1 ->
-            invalid_arg (Printf.sprintf "--jobs must be positive (got %d)" j)
-        | _ -> ());
+        validate_sampling_args ?jobs ?max_iters ?timeout ~n ();
+        let trace, metrics, probe, finish_telemetry =
+          make_telemetry ~trace_file ~stats
+        in
         let on_exhausted = if best_effort then `Best_effort else `Raise in
         let sampler =
-          make_sampler ?max_iters ?timeout ~on_exhausted ~no_prune ~seed file
+          make_sampler ?max_iters ?timeout ~on_exhausted ~probe ~no_prune ~seed
+            file
+        in
+        let finish diag =
+          Scenic_sampler.Diagnose.to_probe probe diag;
+          finish_telemetry ()
         in
         let print_scene i scene iters =
           if json then print_endline (Scenic_render.Export.json_of_scene scene)
@@ -175,9 +244,9 @@ let sample_cmd =
         in
         let report_best_effort i (e : Scenic_sampler.Rejection.exhaustion)
             scene violations =
-          Fmt.epr
-            "warning: scene %d: budget exhausted (%a); emitting best-effort \
-             draw violating %d requirement(s)@."
+          warn
+            "scene %d: budget exhausted (%a); emitting best-effort draw \
+             violating %d requirement(s)"
             i Scenic_sampler.Budget.pp_stop_reason
             e.Scenic_sampler.Rejection.reason violations;
           print_scene i scene e.Scenic_sampler.Rejection.used
@@ -206,14 +275,23 @@ let sample_cmd =
                           (Scenic_sampler.Sampler.diagnosis sampler);
                         `Exhausted)
             in
-            (match loop 1 with `Ok -> () | `Exhausted -> exit exit_exhausted)
+            let status = loop 1 in
+            finish (Scenic_sampler.Sampler.diagnosis sampler);
+            (match status with `Ok -> () | `Exhausted -> exit exit_exhausted)
         | Some jobs ->
             (* deterministic batch: scene i samples from stream i of the
-               seed, so the output is identical for every jobs count *)
+               seed, so the output is identical for every jobs count.
+               Per-sample traces/metrics are merged in index order by
+               Parallel.run — tracing never perturbs the batch. *)
             let batch =
-              Scenic_sampler.Parallel.run ~jobs ?max_iters ?timeout
-                ~track_best:best_effort ~seed ~n
-                (Scenic_sampler.Sampler.scenario sampler)
+              probe.T.Probe.span
+                ~attrs:(fun () ->
+                  [ ("n", T.Probe.Int n); ("jobs", T.Probe.Int jobs) ])
+                "sample.batch"
+                (fun () ->
+                  Scenic_sampler.Parallel.run ~jobs ?max_iters ?timeout
+                    ~track_best:best_effort ?trace ?metrics ~seed ~n
+                    (Scenic_sampler.Sampler.scenario sampler))
             in
             let rec emit i =
               if i >= n then `Ok
@@ -237,6 +315,7 @@ let sample_cmd =
             in
             let status = emit 0 in
             print_diagnosis batch.Scenic_sampler.Parallel.diagnosis;
+            finish batch.Scenic_sampler.Parallel.diagnosis;
             (match status with
             | `Ok -> ()
             | `Exhausted -> exit exit_exhausted
@@ -254,7 +333,7 @@ let sample_cmd =
     Term.(
       const run $ file_arg $ seed_arg $ count_arg $ no_prune_arg $ json_arg
       $ map_arg $ timeout_arg $ max_iters_arg $ diagnose_arg $ best_effort_arg
-      $ jobs_arg)
+      $ jobs_arg $ trace_arg $ stats_arg)
 
 let render_cmd =
   let out_arg =
@@ -263,17 +342,27 @@ let render_cmd =
       & opt (some string) None
       & info [ "o"; "out" ] ~docv:"DIR" ~doc:"write PGM images to DIR")
   in
-  let run file seed n no_prune out =
+  let run file seed n no_prune out trace_file stats =
     init ();
     handle_errors (fun () ->
-        let sampler = make_sampler ~no_prune ~seed file in
+        validate_sampling_args ~n ();
+        let _trace, _metrics, probe, finish_telemetry =
+          make_telemetry ~trace_file ~stats
+        in
+        let sampler = make_sampler ~probe ~no_prune ~seed file in
         let rng = Scenic_prob.Rng.create (seed lxor 0xbeef) in
         (match out with
         | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
         | _ -> ());
         for i = 1 to n do
           let scene = Scenic_sampler.Sampler.sample sampler in
-          let r = Scenic_render.Raster.render ~rng scene in
+          let r =
+            probe.T.Probe.span
+              ~attrs:(fun () -> [ ("scene", T.Probe.Int i) ])
+              "render.raster"
+              (fun () -> Scenic_render.Raster.render ~rng scene)
+          in
+          probe.T.Probe.add "render.scenes" 1;
           match out with
           | Some dir ->
               let path = Filename.concat dir (Printf.sprintf "scene_%03d.pgm" i) in
@@ -290,11 +379,16 @@ let render_cmd =
                    (List.map
                       (fun (l : Scenic_render.Raster.label) -> l.box)
                       r.Scenic_render.Raster.labels))
-        done)
+        done;
+        Scenic_sampler.Diagnose.to_probe probe
+          (Scenic_sampler.Sampler.diagnosis sampler);
+        finish_telemetry ())
   in
   Cmd.v
     (Cmd.info "render" ~doc:"sample scenes and render them through the camera")
-    Term.(const run $ file_arg $ seed_arg $ count_arg $ no_prune_arg $ out_arg)
+    Term.(
+      const run $ file_arg $ seed_arg $ count_arg $ no_prune_arg $ out_arg
+      $ trace_arg $ stats_arg)
 
 let lint_cmd =
   let run file =

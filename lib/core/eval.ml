@@ -516,6 +516,14 @@ let compile_program ?search_path (prog : Ast.program) : Scenario.t =
     ~user_requirements:(List.rev ctx.requirements)
     ~workspace
 
-(** Parse and evaluate Scenic source into a scenario. *)
-let compile ?file ?search_path src : Scenario.t =
-  compile_program ?search_path (Scenic_lang.Parser.parse ?file src)
+(** Parse and evaluate Scenic source into a scenario.  [probe] times
+    the two phases as [compile.parse] / [compile.eval] spans (no-op by
+    default). *)
+let compile ?(probe = Scenic_telemetry.Probe.noop) ?file ?search_path src :
+    Scenario.t =
+  let prog =
+    probe.Scenic_telemetry.Probe.span "compile.parse" (fun () ->
+        Scenic_lang.Parser.parse ?file src)
+  in
+  probe.Scenic_telemetry.Probe.span "compile.eval" (fun () ->
+      compile_program ?search_path prog)

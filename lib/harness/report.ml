@@ -1,13 +1,19 @@
 (** Table rendering for the experiment harness: fixed-width rows with a
     paper-reported column next to the measured one, so every run prints
-    its own paper-vs-measured comparison (recorded in EXPERIMENTS.md). *)
+    its own paper-vs-measured comparison (recorded in EXPERIMENTS.md).
+
+    Every printer takes an optional [Format.formatter] (default
+    standard output), so harness output can be captured into a buffer
+    by tests and by the bench's machine-readable emitters instead of
+    escaping straight to stdout via [print_endline]. *)
 
 type cell = string
 
 let fmt_mean_std (m, s) = Printf.sprintf "%.1f ± %.1f" m s
 let fmt_pct v = Printf.sprintf "%.1f" v
 
-let print_table ~title ~columns (rows : cell list list) =
+let print_table ?(ppf = Format.std_formatter) ~title ~columns
+    (rows : cell list list) =
   let all = columns :: rows in
   let widths =
     List.fold_left
@@ -29,13 +35,18 @@ let print_table ~title ~columns (rows : cell list list) =
   let sep =
     "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+"
   in
-  Printf.printf "\n%s\n%s\n%s\n%s\n" title sep (line columns) sep;
-  List.iter (fun r -> print_endline (line r)) rows;
-  print_endline sep
+  (* [%s] throughout: cells may contain characters that are markup to
+     the Format engine (['@']), so they must never be spliced into the
+     format string itself *)
+  Format.fprintf ppf "@.%s@.%s@.%s@.%s@." title sep (line columns) sep;
+  List.iter (fun r -> Format.fprintf ppf "%s@." (line r)) rows;
+  Format.fprintf ppf "%s@." sep
 
-let section name = Printf.printf "\n=== %s ===\n%!" name
+let section ?(ppf = Format.std_formatter) name =
+  Format.fprintf ppf "@.=== %s ===@." name
 
-let note fmt = Printf.printf (fmt ^^ "\n%!")
+let note ?(ppf = Format.std_formatter) fmt =
+  Format.kfprintf (fun ppf -> Format.fprintf ppf "@.") ppf fmt
 
 (** Mean and sample standard deviation over per-run metric values. *)
 let mean_std xs = (Scenic_prob.Stats.mean xs, Scenic_prob.Stats.stddev xs)

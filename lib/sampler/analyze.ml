@@ -600,15 +600,51 @@ type options = {
 let all_options = { containment = true; orientation = true; width = true }
 let no_pruning = { containment = false; orientation = false; width = false }
 
+(** Summed area of the snapshotted sampled regions.  [current] reads
+    each node's present rewritten region, falling back to the
+    snapshotted one when the current area is not computable (a
+    containment filter on top of a polyset does not change the measured
+    polyset area) — so the before/after comparison is conservative. *)
+let snapshot_area ?(current = false) (snap : region_snapshot) : float =
+  let area_of = function
+    | R_uniform_in (Vregion r) -> G.Region.area r
+    | _ -> None
+  in
+  List.fold_left
+    (fun acc ((n : Value.rnode), old_kind) ->
+      match area_of old_kind with
+      | None -> acc
+      | Some before ->
+          if not current then acc +. before
+          else acc +. Option.value ~default:before (area_of n.rkind))
+    0. snap
+
 (** Apply the selected pruning techniques to a scenario, rewriting its
-    uniform-region nodes in place.  Returns counts of rewrites. *)
-let prune ?(options = all_options) (scenario : Scenario.t) : stats =
+    uniform-region nodes in place.  Returns counts of rewrites.
+    [probe] wraps each pass in a [prune.*] span carrying its rewrite
+    count. *)
+let prune ?(options = all_options)
+    ?(probe = Scenic_telemetry.Probe.noop) (scenario : Scenario.t) : stats =
   let stats =
     { containment_rewrites = 0; orientation_rewrites = 0; width_rewrites = 0 }
   in
+  let pass name count f =
+    probe.Scenic_telemetry.Probe.span
+      ~attrs:(fun () -> [ ("rewrites", Scenic_telemetry.Probe.Int (count ())) ])
+      name f
+  in
   (* width and orientation restrict the polyset; containment adds a
      filter predicate on top *)
-  if options.orientation then apply_orientation scenario stats;
-  if options.width then apply_width scenario stats;
-  if options.containment then apply_containment scenario stats;
+  if options.orientation then
+    pass "prune.orientation"
+      (fun () -> stats.orientation_rewrites)
+      (fun () -> apply_orientation scenario stats);
+  if options.width then
+    pass "prune.width"
+      (fun () -> stats.width_rewrites)
+      (fun () -> apply_width scenario stats);
+  if options.containment then
+    pass "prune.containment"
+      (fun () -> stats.containment_rewrites)
+      (fun () -> apply_containment scenario stats);
   stats

@@ -100,6 +100,28 @@ let merge a b =
   merge_into ~into:m b;
   m
 
+(** Export the cumulative counters through a metrics probe — the
+    per-requirement rejection counters of the [--stats] snapshot.
+    Post-hoc on purpose: the rejection loop records attribution into
+    this table anyway, so the telemetry layer adds no per-iteration
+    work.  Keys are [rejection.requirement.<index>:<label>], matching
+    the index-ordered discipline used everywhere else. *)
+let to_probe (pr : Scenic_telemetry.Probe.t) t =
+  if pr.Scenic_telemetry.Probe.enabled then begin
+    Array.iteri
+      (fun i n ->
+        if n > 0 then
+          pr.Scenic_telemetry.Probe.add
+            (Printf.sprintf "rejection.requirement.%d:%s" i
+               t.requirements.(i).Scenario.label)
+            n)
+      t.violations;
+    List.iter
+      (fun (msg, n) ->
+        pr.Scenic_telemetry.Probe.add ("rejection.local:" ^ msg) n)
+      (local_rejections t)
+  end
+
 let acceptance_rate t =
   if t.iterations = 0 then 0.
   else float_of_int t.accepted /. float_of_int t.iterations

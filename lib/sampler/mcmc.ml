@@ -192,6 +192,7 @@ type t = {
   thin : int;
   burn_in : int;
   mutable burned : bool;
+  probe : Scenic_telemetry.Probe.t;
 }
 
 let default_burn_in = 150
@@ -201,14 +202,19 @@ let default_thin = 20
     sampling, i.e. rejection — MCMC needs a valid start).  The search
     runs under the same budget machinery as the rejection sampler:
     [Error reason] when the iteration cap or wall-clock deadline fires
-    before a feasible state is found. *)
+    before a feasible state is found.  [probe] records an [mcmc.init]
+    span (with the number of prior draws tried) and per-chain
+    [mcmc.steps] / [mcmc.accepted] counters. *)
 let try_create ?(burn_in = default_burn_in) ?(thin = default_thin)
-    ?(max_init_iters = Rejection.default_max_iters) ?timeout ?clock ~seed
-    scenario : (t, Budget.stop_reason) result =
+    ?(max_init_iters = Rejection.default_max_iters) ?timeout ?clock
+    ?(probe = Scenic_telemetry.Probe.noop) ~seed scenario :
+    (t, Budget.stop_reason) result =
   let rng = P.Rng.create seed in
   let budget = Budget.create ~max_iters:max_init_iters ?timeout ?clock () in
   let run = Budget.start budget in
+  let tries_used = ref 0 in
   let rec init tries =
+    tries_used := tries;
     match Budget.check run ~iters:tries with
     | Some reason -> Error reason
     | None -> (
@@ -217,7 +223,14 @@ let try_create ?(burn_in = default_burn_in) ?(thin = default_thin)
         | _ -> init (tries + 1)
         | exception Infeasible -> init (tries + 1))
   in
-  match init 1 with
+  let result =
+    probe.Scenic_telemetry.Probe.span
+      ~attrs:(fun () ->
+        [ ("prior_draws", Scenic_telemetry.Probe.Int !tries_used) ])
+      "mcmc.init"
+      (fun () -> init 1)
+  in
+  match result with
   | Error reason -> Error reason
   | Ok ev ->
       Ok
@@ -230,10 +243,15 @@ let try_create ?(burn_in = default_burn_in) ?(thin = default_thin)
           thin;
           burn_in;
           burned = false;
+          probe;
         }
 
-let create ?burn_in ?thin ?max_init_iters ?timeout ?clock ~seed scenario : t =
-  match try_create ?burn_in ?thin ?max_init_iters ?timeout ?clock ~seed scenario with
+let create ?burn_in ?thin ?max_init_iters ?timeout ?clock ?probe ~seed
+    scenario : t =
+  match
+    try_create ?burn_in ?thin ?max_init_iters ?timeout ?clock ?probe ~seed
+      scenario
+  with
   | Ok t -> t
   | Error _ -> Errors.raise_at Errors.Zero_probability
 
@@ -292,14 +310,29 @@ let scene_of_current t : Scene.t =
   in
   { Scene.objs; params; ego_index }
 
-(** Draw the next (thinned) sample from the chain. *)
+(** Draw the next (thinned) sample from the chain.  Instrumented
+    chains record an [mcmc.sample] span per draw plus cumulative
+    step/acceptance counters. *)
 let sample t : Scene.t =
   let todo = if t.burned then t.thin else t.burn_in + t.thin in
   t.burned <- true;
-  for _ = 1 to todo do
-    step t
-  done;
-  scene_of_current t
+  let accepted_before = t.accepted in
+  let scene =
+    t.probe.Scenic_telemetry.Probe.span
+      ~attrs:(fun () -> [ ("steps", Scenic_telemetry.Probe.Int todo) ])
+      "mcmc.sample"
+      (fun () ->
+        for _ = 1 to todo do
+          step t
+        done;
+        scene_of_current t)
+  in
+  if t.probe.Scenic_telemetry.Probe.enabled then begin
+    t.probe.Scenic_telemetry.Probe.add "mcmc.steps" todo;
+    t.probe.Scenic_telemetry.Probe.add "mcmc.accepted"
+      (t.accepted - accepted_before)
+  end;
+  scene
 
 let sample_many t n = List.init n (fun _ -> sample t)
 

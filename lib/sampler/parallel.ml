@@ -30,6 +30,7 @@
     sibling samples or tears down the pool. *)
 
 module P = Scenic_prob
+module T = Scenic_telemetry
 
 (** Streams [stream_base + 0 .. stream_base + n - 1] belong to batch
     samples.  Offset past the defaults used elsewhere (the sequential
@@ -77,10 +78,22 @@ let default_jobs () = max 1 (Domain.recommended_domain_count ())
     {!Scenic_harness.Robustness} to script or fail a chosen sample's
     generator inside a worker.
 
+    [trace] / [metrics] instrument the batch without touching the
+    shared recorders from worker domains: each sample records into its
+    {e own} [Trace.t] (tagged with the drawing domain's id, wrapped in
+    a [sample] span carrying the index) and [Metrics.t], and the
+    per-sample recorders are merged into the given ones {e in index
+    order} after the pool joins — the same discipline as
+    {!Diagnose.merge_into}, so the merged file layout and all additive
+    metrics are independent of worker count and scheduling (only the
+    timestamps and domain ids inside the spans vary).  Instrumentation
+    never draws from the RNG, so traced batches stay bit-identical to
+    untraced ones.
+
     The scenario must already be pruned (or not) — this function never
     rewrites it, so it is safe to share across concurrent batches. *)
 let run ?jobs ?max_iters ?timeout ?clock ?budget ?(track_best = false) ?prepare
-    ~seed ~n (scenario : Scenic_core.Scenario.t) : batch =
+    ?trace ?metrics ~seed ~n (scenario : Scenic_core.Scenario.t) : batch =
   if n < 0 then invalid_arg "Parallel.run: n must be non-negative";
   let jobs =
     match jobs with
@@ -88,21 +101,41 @@ let run ?jobs ?max_iters ?timeout ?clock ?budget ?(track_best = false) ?prepare
     | Some j when j < 1 -> invalid_arg "Parallel.run: jobs must be positive"
     | Some j -> j
   in
+  let instrumented = trace <> None || metrics <> None in
   let slots : (sample_outcome * Diagnose.t) option array = Array.make n None in
+  let tslots : (T.Trace.t * T.Metrics.t) option array =
+    Array.make (if instrumented then n else 0) None
+  in
   let next = Atomic.make 0 in
   let sample_one i =
     let rng = rng_for_sample ~seed i in
     (match prepare with Some f -> f i rng | None -> ());
-    let r =
-      Rejection.create ?max_iters ?timeout ?clock ?budget ~track_best ~rng
-        scenario
+    let probe =
+      if not instrumented then T.Probe.noop
+      else begin
+        let tr = T.Trace.create ~tid:(Domain.self () :> int) () in
+        let m = T.Metrics.create () in
+        tslots.(i) <- Some (tr, m);
+        T.Probe.make ~trace:tr ~metrics:m ()
+      end
     in
-    let outcome =
+    let r =
+      Rejection.create ?max_iters ?timeout ?clock ?budget ~track_best ~probe
+        ~rng scenario
+    in
+    let draw () =
       match Rejection.sample_outcome r with
       | Rejection.Sampled (scene, stats) -> Scene (scene, stats)
       | Rejection.Exhausted e -> Exhausted e
       | exception P.Rng.Fault msg -> Faulted msg
       | exception exn -> Faulted (Printexc.to_string exn)
+    in
+    let outcome =
+      if not probe.T.Probe.enabled then draw ()
+      else
+        probe.T.Probe.span
+          ~attrs:(fun () -> [ ("index", T.Probe.Int i) ])
+          "sample" draw
     in
     slots.(i) <- Some (outcome, Rejection.diagnosis r)
   in
@@ -119,6 +152,20 @@ let run ?jobs ?max_iters ?timeout ?clock ?budget ?(track_best = false) ?prepare
   let domains = List.init spawned (fun _ -> Domain.spawn worker) in
   worker ();
   List.iter Domain.join domains;
+  (* aggregate per-sample recorders in index order (never from inside
+     a worker): deterministic layout, additive metrics *)
+  if instrumented then
+    Array.iter
+      (function
+        | Some (tr, m) ->
+            (match trace with
+            | Some into -> T.Trace.merge_into ~into tr
+            | None -> ());
+            (match metrics with
+            | Some into -> T.Metrics.merge_into ~into m
+            | None -> ())
+        | None -> ())
+      tslots;
   let merged = Diagnose.create scenario in
   let outcomes =
     Array.init n (fun i ->
@@ -146,13 +193,14 @@ let run ?jobs ?max_iters ?timeout ?clock ?budget ?(track_best = false) ?prepare
     of {!Sampler}, and draw a batch.  Returns the batch together with
     the degraded-region labels (empty unless the fallback fired). *)
 let of_source ?jobs ?(prune = true) ?max_iters ?timeout ?clock ?budget
-    ?track_best ?prepare ?file ?search_path ~seed ~n src :
+    ?track_best ?prepare ?trace ?metrics ?file ?search_path ~seed ~n src :
     batch * string list =
   let sampler =
     Sampler.create ~prune ~seed (Scenic_core.Eval.compile ?file ?search_path src)
   in
   let batch =
-    run ?jobs ?max_iters ?timeout ?clock ?budget ?track_best ?prepare ~seed ~n
+    run ?jobs ?max_iters ?timeout ?clock ?budget ?track_best ?prepare ?trace
+      ?metrics ~seed ~n
       (Sampler.scenario sampler)
   in
   (batch, Sampler.degraded sampler)

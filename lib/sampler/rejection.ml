@@ -17,6 +17,7 @@ open Scenic_core
 open Value
 module G = Scenic_geometry
 module P = Scenic_prob
+module Probe = Scenic_telemetry.Probe
 
 exception Rejected of string
 (** raised internally when a locally-unsatisfiable situation occurs
@@ -178,13 +179,16 @@ type t = {
       (** evaluate all requirements per iteration and keep the
           least-violating draw for best-effort recovery *)
   cache : cache;
+  probe : Probe.t;
+      (** per-sample instrumentation; {!Probe.noop} costs nothing in
+          the iteration loop (probe points are per-[sample] call) *)
   mutable cumulative : int;
 }
 
 let default_max_iters = 100_000
 
-let create ?max_iters ?timeout ?clock ?budget ?(track_best = false) ~rng
-    scenario =
+let create ?max_iters ?timeout ?clock ?budget ?(track_best = false)
+    ?(probe = Probe.noop) ~rng scenario =
   let budget =
     match budget with
     | Some b -> b
@@ -200,6 +204,7 @@ let create ?max_iters ?timeout ?clock ?budget ?(track_best = false) ~rng
     diag = Diagnose.create scenario;
     track_best;
     cache = Hashtbl.create 16;
+    probe;
     cumulative = 0;
   }
 
@@ -249,11 +254,9 @@ let extract_scene t memo : Scene.t =
   in
   { Scene.objs; params; ego_index }
 
-(** Draw one scene under the sampler's budget; never raises on
-    exhaustion.  (The paper reports "several hundred iterations at
-    most" for reasonable scenarios; unreasonable ones land in
-    [Exhausted] with a diagnosis.) *)
-let sample_outcome t : outcome =
+(* The bare rejection loop; the public [sample_outcome] wraps it in the
+   sampler's probe. *)
+let sample_outcome_uninstrumented t : outcome =
   let run = Budget.start t.budget in
   (* least-violating rejected draw, for best-effort recovery *)
   let best : (int * (int, Value.value) Hashtbl.t) option ref = ref None in
@@ -296,6 +299,44 @@ let sample_outcome t : outcome =
                   (scene, { iterations = i; total_iterations = t.cumulative })))
   in
   attempt 1
+
+(** Draw one scene under the sampler's budget; never raises on
+    exhaustion.  (The paper reports "several hundred iterations at
+    most" for reasonable scenarios; unreasonable ones land in
+    [Exhausted] with a diagnosis.)
+
+    With an instrumented probe, each call records a [rejection.sample]
+    span carrying the iteration count, the [sample.wall_ms] and
+    [rejection.iterations] histograms, and the
+    [rejection.accepted] / [rejection.exhausted] counters.  All probe
+    points are per-call, never per-iteration, so the no-op probe costs
+    one branch per scene. *)
+let sample_outcome t : outcome =
+  if not t.probe.Probe.enabled then sample_outcome_uninstrumented t
+  else begin
+    let pr = t.probe in
+    let iters = ref 0 in
+    let t0 = pr.Probe.now () in
+    let outcome =
+      pr.Probe.span
+        ~attrs:(fun () -> [ ("iterations", Probe.Int !iters) ])
+        "rejection.sample"
+        (fun () ->
+          let o = sample_outcome_uninstrumented t in
+          (iters :=
+             match o with
+             | Sampled (_, stats) -> stats.iterations
+             | Exhausted e -> e.used);
+          o)
+    in
+    pr.Probe.observe "sample.wall_ms" ((pr.Probe.now () -. t0) *. 1e3);
+    pr.Probe.observe "rejection.iterations" (float_of_int !iters);
+    pr.Probe.add "rejection.iterations.total" !iters;
+    (match outcome with
+    | Sampled _ -> pr.Probe.add "rejection.accepted" 1
+    | Exhausted _ -> pr.Probe.add "rejection.exhausted" 1);
+    outcome
+  end
 
 (** Exception-raising compatibility wrapper around {!sample_outcome}. *)
 let sample_with_stats t : Scene.t * stats =

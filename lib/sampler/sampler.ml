@@ -15,6 +15,7 @@
       draw that violated the fewest requirements instead of raising. *)
 
 module P = Scenic_prob
+module Probe = Scenic_telemetry.Probe
 
 let src = Logs.Src.create "scenic.sampler" ~doc:"sampling supervisor"
 
@@ -35,16 +36,20 @@ type t = {
     preserve the sampled distribution.  [prune_fn] overrides the
     pruning pass itself (used by the fault-injection harness to test
     the degenerate-prune fallback).  [max_iters]/[timeout]/[clock] (or
-    a prebuilt [budget]) bound each [sample] call. *)
+    a prebuilt [budget]) bound each [sample] call.  [probe] instruments
+    the pipeline: a [prune] span (with per-pass children and a
+    [prune.area_removed_frac] gauge) here, [rejection.sample] spans and
+    sampling metrics on every draw. *)
 let create ?(prune = true) ?prune_options ?prune_fn ?max_iters ?timeout ?clock
-    ?budget ?(on_exhausted = `Raise) ~seed scenario =
+    ?budget ?(on_exhausted = `Raise) ?(probe = Probe.noop) ~seed scenario =
   let snap = if prune then Analyze.snapshot scenario else [] in
   let prune_stats =
     if prune then
       Some
-        (match prune_fn with
-        | Some f -> f scenario
-        | None -> Analyze.prune ?options:prune_options scenario)
+        (probe.Probe.span "prune" (fun () ->
+             match prune_fn with
+             | Some f -> f scenario
+             | None -> Analyze.prune ?options:prune_options ~probe scenario))
     else None
   in
   let degraded =
@@ -54,6 +59,7 @@ let create ?(prune = true) ?prune_options ?prune_fn ?max_iters ?timeout ?clock
       | [] -> []
       | bad ->
           Analyze.restore snap;
+          probe.Probe.add "prune.degenerate_fallbacks" 1;
           Log.warn (fun m ->
               m
                 "pruning produced a degenerate sample space (%s); falling back \
@@ -61,12 +67,21 @@ let create ?(prune = true) ?prune_options ?prune_fn ?max_iters ?timeout ?clock
                 (String.concat ", " bad));
           bad
   in
+  if prune && probe.Probe.enabled then begin
+    (* measured sample-space shrinkage: conservative where an area is
+       not computable (see {!Analyze.snapshot_area}) *)
+    let before = Analyze.snapshot_area snap in
+    if before > 0. then
+      let after = Analyze.snapshot_area ~current:true snap in
+      probe.Probe.set_gauge "prune.area_removed_frac"
+        (Float.max 0. ((before -. after) /. before))
+  end;
   let rng = P.Rng.create seed in
   {
     scenario;
     rejection =
       Rejection.create ?max_iters ?timeout ?clock ?budget
-        ~track_best:(on_exhausted = `Best_effort) ~rng scenario;
+        ~track_best:(on_exhausted = `Best_effort) ~probe ~rng scenario;
     prune_stats;
     degraded;
     on_exhausted;
@@ -74,10 +89,13 @@ let create ?(prune = true) ?prune_options ?prune_fn ?max_iters ?timeout ?clock
 
 (** Compile Scenic source and build a sampler for it. *)
 let of_source ?prune ?prune_options ?max_iters ?timeout ?clock ?budget
-    ?on_exhausted ?file ?search_path ~seed src =
-  let scenario = Scenic_core.Eval.compile ?file ?search_path src in
+    ?on_exhausted ?(probe = Probe.noop) ?file ?search_path ~seed src =
+  let scenario =
+    probe.Probe.span "compile" (fun () ->
+        Scenic_core.Eval.compile ~probe ?file ?search_path src)
+  in
   create ?prune ?prune_options ?max_iters ?timeout ?clock ?budget ?on_exhausted
-    ~seed scenario
+    ~probe ~seed scenario
 
 (** The supervised entry point: never raises on budget exhaustion. *)
 let sample_outcome t = Rejection.sample_outcome t.rejection

@@ -1,0 +1,197 @@
+(** Process-local metrics: counters, gauges, and log-scale histograms.
+
+    A {!t} is a mutable registry owned by one domain at a time — the
+    same ownership discipline as {!Trace}: per-sample registries in the
+    parallel sampler are merged afterwards in index order, and since
+    counters and histogram buckets are additive the merged snapshot is
+    scheduling-independent (gauges are last-write, documented on
+    {!merge_into}).
+
+    Histograms use power-of-two buckets ([... 0.5, 1, 2, 4 ...]):
+    cheap (one [log2] per observation), wide dynamic range (2^-20 up to
+    2^20, with under/overflow buckets), and precise enough to answer
+    "is the tail 10x the median" questions about iteration counts and
+    wall times.  {!to_json} emits the whole registry as one JSON object
+    (schema [scenic-stats/1], documented in DESIGN.md). *)
+
+type hist = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  h_buckets : int array;
+}
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  hists : (string, hist) Hashtbl.t;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 8;
+    hists = Hashtbl.create 8;
+  }
+
+(* --- counters / gauges --------------------------------------------------- *)
+
+let add t name by =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.replace t.counters name (ref by)
+
+let incr t name = add t name 1
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let set_gauge t name v =
+  match Hashtbl.find_opt t.gauges name with
+  | Some r -> r := v
+  | None -> Hashtbl.replace t.gauges name (ref v)
+
+let gauge t name = Option.map ( ! ) (Hashtbl.find_opt t.gauges name)
+
+(* --- histograms ---------------------------------------------------------- *)
+
+(** Bucket [i] covers observations with [2^(i - exp_offset - 1) < v <=
+    2^(i - exp_offset)]; bucket 0 additionally catches everything
+    [<= 2^-exp_offset] (including non-positive values) and the last
+    bucket everything above [2^exp_offset]. *)
+let exp_offset = 20
+
+let n_buckets = (2 * exp_offset) + 1
+
+(** Inclusive upper bound of bucket [i]. *)
+let bucket_le i =
+  if i >= n_buckets - 1 then Float.infinity
+  else Float.pow 2. (float_of_int (i - exp_offset))
+
+let bucket_of v =
+  if Float.is_nan v || v <= bucket_le 0 then 0
+  else
+    let i = exp_offset + int_of_float (Float.ceil (Float.log2 v)) in
+    if i < 0 then 0 else if i >= n_buckets then n_buckets - 1 else i
+
+let observe t name v =
+  let h =
+    match Hashtbl.find_opt t.hists name with
+    | Some h -> h
+    | None ->
+        let h =
+          {
+            h_count = 0;
+            h_sum = 0.;
+            h_min = Float.infinity;
+            h_max = Float.neg_infinity;
+            h_buckets = Array.make n_buckets 0;
+          }
+        in
+        Hashtbl.replace t.hists name h;
+        h
+  in
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  h.h_min <- Float.min h.h_min v;
+  h.h_max <- Float.max h.h_max v;
+  let b = bucket_of v in
+  h.h_buckets.(b) <- h.h_buckets.(b) + 1
+
+let hist_count t name =
+  match Hashtbl.find_opt t.hists name with Some h -> h.h_count | None -> 0
+
+let hist_sum t name =
+  match Hashtbl.find_opt t.hists name with Some h -> h.h_sum | None -> 0.
+
+(* --- merging ------------------------------------------------------------- *)
+
+(** Add [src]'s counters and histogram buckets into [into] (additive,
+    so merge order does not matter for them); gauges are last-write —
+    [src]'s value wins, so merging per-sample registries in index order
+    leaves the highest-index sample's gauge, deterministically. *)
+let merge_into ~into src =
+  Hashtbl.iter (fun name r -> add into name !r) src.counters;
+  Hashtbl.iter (fun name r -> set_gauge into name !r) src.gauges;
+  Hashtbl.iter
+    (fun name h ->
+      match Hashtbl.find_opt into.hists name with
+      | None ->
+          Hashtbl.replace into.hists name
+            {
+              h_count = h.h_count;
+              h_sum = h.h_sum;
+              h_min = h.h_min;
+              h_max = h.h_max;
+              h_buckets = Array.copy h.h_buckets;
+            }
+      | Some m ->
+          m.h_count <- m.h_count + h.h_count;
+          m.h_sum <- m.h_sum +. h.h_sum;
+          m.h_min <- Float.min m.h_min h.h_min;
+          m.h_max <- Float.max m.h_max h.h_max;
+          Array.iteri
+            (fun i n -> m.h_buckets.(i) <- m.h_buckets.(i) + n)
+            h.h_buckets)
+    src.hists
+
+(* --- snapshot ------------------------------------------------------------ *)
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let hist_json h =
+  let buckets =
+    Array.to_list
+      (Array.mapi
+         (fun i n ->
+           if n = 0 then None
+           else
+             Some
+               (Tjson.obj
+                  [
+                    Tjson.field "le"
+                      (if i >= n_buckets - 1 then Tjson.escape "inf"
+                       else Tjson.float (bucket_le i));
+                    Tjson.field "count" (string_of_int n);
+                  ]))
+         h.h_buckets)
+    |> List.filter_map Fun.id
+  in
+  Tjson.obj
+    [
+      Tjson.field "count" (string_of_int h.h_count);
+      Tjson.field "sum" (Tjson.float h.h_sum);
+      Tjson.field "min" (Tjson.float (if h.h_count = 0 then 0. else h.h_min));
+      Tjson.field "max" (Tjson.float (if h.h_count = 0 then 0. else h.h_max));
+      Tjson.field "mean"
+        (Tjson.float
+           (if h.h_count = 0 then 0.
+            else h.h_sum /. float_of_int h.h_count));
+      Tjson.field "buckets" (Tjson.arr buckets);
+    ]
+
+(** The whole registry as one JSON object, keys sorted, schema
+    [scenic-stats/1]. *)
+let to_json t =
+  Tjson.obj
+    [
+      Tjson.field "schema" (Tjson.escape "scenic-stats/1");
+      Tjson.field "counters"
+        (Tjson.obj
+           (List.map
+              (fun (k, r) -> Tjson.field k (string_of_int !r))
+              (sorted_bindings t.counters)));
+      Tjson.field "gauges"
+        (Tjson.obj
+           (List.map
+              (fun (k, r) -> Tjson.field k (Tjson.float !r))
+              (sorted_bindings t.gauges)));
+      Tjson.field "histograms"
+        (Tjson.obj
+           (List.map
+              (fun (k, h) -> Tjson.field k (hist_json h))
+              (sorted_bindings t.hists)));
+    ]

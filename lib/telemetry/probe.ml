@@ -1,0 +1,78 @@
+(** The injectable instrumentation interface threaded through the
+    sampling pipeline.
+
+    Every instrumented layer ([Eval.compile], [Analyze.prune],
+    [Rejection], [Mcmc], [Parallel], the CLI) takes a [?probe] and
+    calls it blindly; {!noop} discards everything at the cost of one
+    record-field call per probe point, so instrumentation stays in the
+    code unconditionally while the uninstrumented hot path pays ~zero
+    (probe points are per-phase and per-sample, never per-rejection-
+    iteration — measured overhead on bench E9 is within noise).
+
+    Hot paths that would otherwise build attribute lists or timestamps
+    for nothing can branch on {!field-enabled} first. *)
+
+type attr = Trace.attr =
+  | Int of int
+  | Float of float
+  | Str of string
+
+type t = {
+  enabled : bool;
+      (** [false] for {!noop}: callers may skip building inputs *)
+  now : unit -> float;  (** the trace clock, seconds; [0.] when no-op *)
+  span : 'a. ?attrs:(unit -> (string * attr) list) -> string -> (unit -> 'a) -> 'a;
+      (** time a phase; [attrs] is evaluated on completion *)
+  event : ?attrs:(string * attr) list -> string -> unit;
+  add : string -> int -> unit;  (** bump a counter *)
+  set_gauge : string -> float -> unit;
+  observe : string -> float -> unit;  (** record into a log-scale histogram *)
+}
+
+let noop =
+  {
+    enabled = false;
+    now = (fun () -> 0.);
+    span = (fun ?attrs:_ _name f -> f ());
+    event = (fun ?attrs:_ _name -> ());
+    add = (fun _ _ -> ());
+    set_gauge = (fun _ _ -> ());
+    observe = (fun _ _ -> ());
+  }
+
+(** A probe recording spans into [trace] and/or metrics into
+    [metrics]; with neither, {!noop}.  The result inherits the
+    single-owner discipline of its recorders: one domain at a time. *)
+let make ?trace ?metrics () =
+  match (trace, metrics) with
+  | None, None -> noop
+  | _ ->
+      let now =
+        match trace with
+        | Some tr -> fun () -> tr.Trace.clock ()
+        | None -> Unix.gettimeofday
+      in
+      let span : 'a. ?attrs:(unit -> (string * attr) list) -> string ->
+          (unit -> 'a) -> 'a =
+       fun ?attrs name f ->
+        match trace with
+        | Some tr -> Trace.span tr ?attrs name f
+        | None -> f ()
+      in
+      let event ?attrs name =
+        match trace with
+        | Some tr -> Trace.event tr ?attrs name
+        | None -> ()
+      in
+      let with_metrics f = match metrics with Some m -> f m | None -> () in
+      {
+        enabled = true;
+        now;
+        span;
+        event;
+        add = (fun name by -> with_metrics (fun m -> Metrics.add m name by));
+        set_gauge =
+          (fun name v -> with_metrics (fun m -> Metrics.set_gauge m name v));
+        observe =
+          (fun name v -> with_metrics (fun m -> Metrics.observe m name v));
+      }

@@ -1,0 +1,42 @@
+(** Minimal JSON emission helpers shared by the telemetry exporters.
+
+    Telemetry must stay dependency-free (it sits below every other
+    library in the stack, including [scenic_core]), so the exporters
+    hand-roll their JSON through these helpers rather than pulling in a
+    JSON library.  Emission only — telemetry never parses JSON. *)
+
+(** [escape s] is [s] as a double-quoted JSON string literal. *)
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+(** Floats printed so they are always valid JSON numbers ([%g] alone
+    can emit [inf]/[nan], which JSON rejects). *)
+let float f =
+  if Float.is_nan f then "0"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else if Float.is_finite f then Printf.sprintf "%.6g" f
+  else if f > 0. then "1e308"
+  else "-1e308"
+
+(** Comma-join [items] into an object/array body. *)
+let join items = String.concat ", " items
+
+let obj fields = "{" ^ join fields ^ "}"
+let arr items = "[" ^ join items ^ "]"
+let field k v = escape k ^ ": " ^ v

@@ -1,0 +1,182 @@
+(** Structured tracing: hierarchical spans with monotonic-clock timing.
+
+    A {!t} is a per-domain span buffer: one domain (or one batch
+    sample) records into its own trace, and buffers are merged
+    afterwards with {!merge_into} in a caller-chosen order — the same
+    index-ordered discipline as [Diagnose.merge], so a merged trace is
+    independent of worker scheduling even though the timestamps inside
+    it are not.  A trace is {e not} safe to share across concurrently
+    running domains; give each worker its own and merge.
+
+    Spans nest lexically: {!span} pushes a frame for the duration of
+    its callback, and each completed span records its nesting depth and
+    the id of the span that enclosed it.  Two exporters are provided:
+
+    - {!chrome_json}: the Chrome [trace_event] "complete event" format,
+      loadable in [chrome://tracing] / Perfetto, with one row per
+      thread id;
+    - {!jsonl}: one JSON object per line, start-time ordered — the
+      compact event log for ad-hoc [grep]/[jq] analysis. *)
+
+type attr =
+  | Int of int
+  | Float of float
+  | Str of string
+
+type span = {
+  sp_name : string;
+  sp_ts_us : float;  (** absolute start, microseconds on the trace clock *)
+  sp_dur_us : float;
+  sp_depth : int;  (** 0 for top-level spans *)
+  sp_tid : int;  (** thread/domain id of the recording trace *)
+  sp_seq : int;  (** start order within the recording trace *)
+  sp_attrs : (string * attr) list;
+}
+
+type t = {
+  clock : unit -> float;  (** seconds; only differences matter *)
+  tid : int;
+  mutable depth : int;
+  mutable next_seq : int;
+  mutable spans : span list;  (** reverse completion order *)
+}
+
+let create ?(clock = Unix.gettimeofday) ?(tid = 0) () =
+  { clock; tid; depth = 0; next_seq = 0; spans = [] }
+
+let tid t = t.tid
+
+(** Time [f], recording a span named [name] on completion (also when
+    [f] raises — a failed phase still shows up in the trace).  [attrs]
+    is evaluated {e after} [f] returns, so it can close over mutable
+    state that [f] fills in (e.g. an iteration count). *)
+let span t ?(attrs = fun () -> []) name f =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let depth = t.depth in
+  t.depth <- depth + 1;
+  let t0 = t.clock () in
+  Fun.protect
+    ~finally:(fun () ->
+      let t1 = t.clock () in
+      t.depth <- depth;
+      t.spans <-
+        {
+          sp_name = name;
+          sp_ts_us = t0 *. 1e6;
+          sp_dur_us = Float.max 0. ((t1 -. t0) *. 1e6);
+          sp_depth = depth;
+          sp_tid = t.tid;
+          sp_seq = seq;
+          sp_attrs = (try attrs () with _ -> []);
+        }
+        :: t.spans)
+    f
+
+(** Record an instantaneous event (a zero-duration span). *)
+let event t ?(attrs = []) name =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  t.spans <-
+    {
+      sp_name = name;
+      sp_ts_us = t.clock () *. 1e6;
+      sp_dur_us = 0.;
+      sp_depth = t.depth;
+      sp_tid = t.tid;
+      sp_seq = seq;
+      sp_attrs = attrs;
+    }
+    :: t.spans
+
+(** Completed spans in start order (sequence number within each source
+    trace; merged traces interleave in merge order). *)
+let spans t = List.rev t.spans
+
+let span_count t = List.length t.spans
+
+(** Append [src]'s spans into [into].  Merging is pure concatenation in
+    call order: merging per-sample traces in index order yields the same
+    file structure for every worker count, even though the timestamps
+    recorded inside each span differ from run to run. *)
+let merge_into ~into src =
+  (* both lists are in reverse completion order; keep [into]'s existing
+     spans oldest and append [src]'s after them *)
+  into.spans <- src.spans @ into.spans
+
+(** Sum of recorded durations for spans named [name], in milliseconds. *)
+let total_ms t name =
+  List.fold_left
+    (fun acc s -> if s.sp_name = name then acc +. (s.sp_dur_us /. 1e3) else acc)
+    0. t.spans
+
+(* --- exporters ----------------------------------------------------------- *)
+
+let attr_json = function
+  | Int i -> string_of_int i
+  | Float f -> Tjson.float f
+  | Str s -> Tjson.escape s
+
+let args_json attrs =
+  Tjson.obj (List.map (fun (k, v) -> Tjson.field k (attr_json v)) attrs)
+
+(* Normalise timestamps to the earliest span so traces start at t=0. *)
+let epoch_us t =
+  List.fold_left (fun acc s -> Float.min acc s.sp_ts_us) Float.infinity t.spans
+
+let span_fields ~epoch s =
+  [
+    Tjson.field "name" (Tjson.escape s.sp_name);
+    Tjson.field "ts" (Tjson.float (s.sp_ts_us -. epoch));
+    Tjson.field "dur" (Tjson.float s.sp_dur_us);
+    Tjson.field "tid" (string_of_int s.sp_tid);
+    Tjson.field "depth" (string_of_int s.sp_depth);
+  ]
+  @ if s.sp_attrs = [] then [] else [ Tjson.field "args" (args_json s.sp_attrs) ]
+
+(** The Chrome [trace_event] JSON object ("complete" [ph:"X"] events,
+    one per span; [pid] is constant, [tid] is the recording domain). *)
+let chrome_json t =
+  let epoch = if t.spans = [] then 0. else epoch_us t in
+  let ev s =
+    Tjson.obj
+      ([
+         Tjson.field "name" (Tjson.escape s.sp_name);
+         Tjson.field "cat" (Tjson.escape "scenic");
+         Tjson.field "ph" (Tjson.escape "X");
+         Tjson.field "ts" (Tjson.float (s.sp_ts_us -. epoch));
+         Tjson.field "dur" (Tjson.float s.sp_dur_us);
+         Tjson.field "pid" "1";
+         Tjson.field "tid" (string_of_int s.sp_tid);
+       ]
+      @
+      if s.sp_attrs = [] then []
+      else [ Tjson.field "args" (args_json s.sp_attrs) ])
+  in
+  Tjson.obj
+    [
+      Tjson.field "traceEvents" (Tjson.arr (List.map ev (spans t)));
+      Tjson.field "displayTimeUnit" (Tjson.escape "ms");
+    ]
+
+(** One JSON object per line, in span order. *)
+let jsonl t =
+  let epoch = if t.spans = [] then 0. else epoch_us t in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (Tjson.obj (span_fields ~epoch s));
+      Buffer.add_char buf '\n')
+    (spans t);
+  Buffer.contents buf
+
+(** Write the trace to [path]: JSONL when the filename ends in
+    [.jsonl], Chrome [trace_event] JSON otherwise. *)
+let save t path =
+  let data =
+    if Filename.check_suffix path ".jsonl" then jsonl t else chrome_json t
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc data)

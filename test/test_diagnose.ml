@@ -1,0 +1,140 @@
+(** Property tests for {!Scenic_sampler.Diagnose.merge}: the algebra
+    the parallel batch sampler relies on.  All counters are additive,
+    so merging per-sample records must be associative, commutative in
+    its counts, and have the empty record as identity — otherwise the
+    merged diagnosis (and the [--diagnose] report built from it) would
+    depend on worker scheduling.  Also pins the index-ordered
+    tie-breaking of [least_satisfiable]. *)
+
+open Helpers
+module D = Scenic_sampler.Diagnose
+
+let test_case = Alcotest.test_case
+
+let qtest name ?(count = 200) arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+(* One shared scenario: merge requires both records to diagnose the
+   same requirement list.  Three user requirements plus the built-in
+   defaults. *)
+let scenario =
+  compile
+    "import testLib\n\
+     ego = Object at 0 @ 0\n\
+     x = (0, 1)\n\
+     require x >= 0\n\
+     require x <= 1\n\
+     require x + x >= 0\n"
+
+let nreq = List.length scenario.Scenic_core.Scenario.requirements
+
+(* A diagnosis record as a value: an event list, each event one
+   [record]/[record_accepted] call.  0 = accepted, 1..nreq = first
+   failure of requirement (i - 1), above = a local rejection with one
+   of three messages. *)
+let apply d ev =
+  if ev = 0 then D.record_accepted d
+  else if ev <= nreq then D.record d (D.Requirement (ev - 1))
+  else D.record d (D.Local (Printf.sprintf "empty region %d" (ev mod 3)))
+
+let of_events evs =
+  let d = D.create scenario in
+  List.iter (apply d) evs;
+  d
+
+(* Everything observable about a record, as a comparable value. *)
+let counters d =
+  ( D.total d,
+    D.accepted d,
+    Array.to_list d.D.violations,
+    D.local_rejections d )
+
+let obs =
+  Alcotest.testable
+    (fun ppf (t, a, v, l) ->
+      Fmt.pf ppf "total=%d accepted=%d violations=%a locals=%a" t a
+        Fmt.(Dump.list int)
+        v
+        Fmt.(Dump.list (Dump.pair string int))
+        l)
+    ( = )
+
+let events =
+  QCheck.(list_of_size Gen.(0 -- 40) (int_bound (nreq + 5)))
+
+let merge_property_tests =
+  [
+    qtest "merge is commutative" (QCheck.pair events events) (fun (a, b) ->
+        counters (D.merge (of_events a) (of_events b))
+        = counters (D.merge (of_events b) (of_events a)));
+    qtest "merge is associative"
+      (QCheck.triple events events events)
+      (fun (a, b, c) ->
+        let d x y = D.merge x y in
+        counters (d (d (of_events a) (of_events b)) (of_events c))
+        = counters (d (of_events a) (d (of_events b) (of_events c))));
+    qtest "the empty record is a merge identity" events (fun evs ->
+        let t = of_events evs in
+        counters (D.merge (D.create scenario) t) = counters t
+        && counters (D.merge t (D.create scenario)) = counters t);
+    qtest "merge equals replaying the concatenated events"
+      (QCheck.pair events events)
+      (fun (a, b) ->
+        counters (D.merge (of_events a) (of_events b))
+        = counters (of_events (a @ b)));
+    qtest "merge_into leaves the source untouched" events (fun evs ->
+        let src = of_events evs in
+        let before = counters src in
+        D.merge_into ~into:(D.create scenario) src;
+        counters src = before);
+  ]
+
+let merge_unit_tests =
+  [
+    test_case "merge sums every counter" `Quick (fun () ->
+        let a = of_events [ 0; 1; 1; 2; nreq + 1 ]
+        and b = of_events [ 0; 0; 1; nreq + 1; nreq + 2 ] in
+        let m = D.merge a b in
+        Alcotest.(check obs)
+          "componentwise sums"
+          ( D.total a + D.total b,
+            D.accepted a + D.accepted b,
+            List.map2 ( + )
+              (Array.to_list a.D.violations)
+              (Array.to_list b.D.violations),
+            D.local_rejections (of_events [ 1; nreq + 1; nreq + 1; nreq + 2 ]) )
+          (counters m))
+      (* the local-rejection expectation is itself built by replay:
+         messages (nreq+1) twice and (nreq+2) once, padded with a
+         requirement event that does not touch the local table *);
+    test_case "mismatched requirement sets are rejected" `Quick (fun () ->
+        let other = compile "import testLib\nego = Object at 0 @ 0\n" in
+        Alcotest.check_raises "invalid_arg"
+          (Invalid_argument "Diagnose.merge_into: mismatched requirement sets")
+          (fun () -> ignore (D.merge (D.create scenario) (D.create other))));
+    test_case "least_satisfiable breaks count ties by lowest index" `Quick
+      (fun () ->
+        (* requirements 0 and 1 tie at two violations each *)
+        let d = of_events [ 1; 2; 1; 2 ] in
+        (match D.least_satisfiable d with
+        | Some (0, _) -> ()
+        | Some (i, _) -> Alcotest.failf "tie broke to index %d, not 0" i
+        | None -> Alcotest.fail "no requirement reported");
+        (* a strictly larger count still wins regardless of position *)
+        let d2 = of_events [ 1; 2; 2; 1; 2 ] in
+        match D.least_satisfiable d2 with
+        | Some (1, _) -> ()
+        | Some (i, _) -> Alcotest.failf "max count at index 1, got %d" i
+        | None -> Alcotest.fail "no requirement reported");
+    test_case "least_satisfiable is empty when nothing ever failed" `Quick
+      (fun () ->
+        Alcotest.(check bool)
+          "accepted-only record" true
+          (D.least_satisfiable (of_events [ 0; 0; 0 ]) = None));
+  ]
+
+let suites =
+  [
+    ("diagnose.merge-properties", merge_property_tests);
+    ("diagnose.merge", merge_unit_tests);
+  ]

@@ -1,0 +1,347 @@
+(** Tests for the telemetry library ({!Scenic_telemetry}): span
+    recording under a fake clock, exporter output, histogram bucket
+    maths, merge semantics, the probe interface, and the end-to-end
+    integration with the sampler — including that tracing a parallel
+    batch does not perturb its bit-identical determinism. *)
+
+open Helpers
+module C = Scenic_core
+module S = Scenic_sampler
+module T = Scenic_telemetry
+
+let test_case = Alcotest.test_case
+
+let qtest name ?(count = 200) arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+(* A deterministic clock: every reading advances time by [step]
+   seconds, so a span (which reads the clock twice) lasts exactly
+   [step] seconds on it. *)
+let ticking ?(start = 0.) ?(step = 0.001) () =
+  let t = ref (start -. step) in
+  fun () ->
+    t := !t +. step;
+    !t
+
+let find_span tr name =
+  match List.find_opt (fun s -> s.T.Trace.sp_name = name) (T.Trace.spans tr) with
+  | Some s -> s
+  | None -> Alcotest.failf "span %s not recorded" name
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  ln = 0 || go 0
+
+exception Boom
+
+(* --- Trace ---------------------------------------------------------------- *)
+
+let trace_tests =
+  [
+    test_case "nested spans record depth, seq and duration" `Quick (fun () ->
+        let tr = T.Trace.create ~clock:(ticking ()) ~tid:7 () in
+        let v =
+          T.Trace.span tr "outer" (fun () ->
+              T.Trace.span tr "inner" (fun () -> 42))
+        in
+        Alcotest.(check int) "span returns f's value" 42 v;
+        Alcotest.(check int) "two spans" 2 (T.Trace.span_count tr);
+        let outer = find_span tr "outer" and inner = find_span tr "inner" in
+        Alcotest.(check int) "outer top-level" 0 outer.T.Trace.sp_depth;
+        Alcotest.(check int) "inner nested" 1 inner.T.Trace.sp_depth;
+        Alcotest.(check int) "outer started first" 0 outer.T.Trace.sp_seq;
+        Alcotest.(check int) "inner started second" 1 inner.T.Trace.sp_seq;
+        Alcotest.(check int) "tid stamped" 7 outer.T.Trace.sp_tid;
+        (* inner: one clock step; outer: three (its own two plus inner's,
+           minus overlap) — exact on the ticking clock *)
+        Alcotest.(check (float 1e-6)) "inner dur" 1000. inner.T.Trace.sp_dur_us;
+        Alcotest.(check (float 1e-6)) "outer dur" 3000. outer.T.Trace.sp_dur_us);
+    test_case "a raising span is still recorded, then re-raised" `Quick
+      (fun () ->
+        let tr = T.Trace.create ~clock:(ticking ()) () in
+        (match T.Trace.span tr "doomed" (fun () -> raise Boom) with
+        | exception Boom -> ()
+        | _ -> Alcotest.fail "expected Boom to propagate");
+        let s = find_span tr "doomed" in
+        Alcotest.(check (float 1e-6)) "timed anyway" 1000. s.T.Trace.sp_dur_us;
+        (* depth restored: the next span is top-level again *)
+        T.Trace.span tr "after" (fun () -> ());
+        Alcotest.(check int) "depth unwound" 0 (find_span tr "after").T.Trace.sp_depth);
+    test_case "attrs are evaluated after the body runs" `Quick (fun () ->
+        let tr = T.Trace.create ~clock:(ticking ()) () in
+        let iters = ref 0 in
+        T.Trace.span tr
+          ~attrs:(fun () -> [ ("iterations", T.Trace.Int !iters) ])
+          "work"
+          (fun () -> iters := 17);
+        match (find_span tr "work").T.Trace.sp_attrs with
+        | [ ("iterations", T.Trace.Int 17) ] -> ()
+        | _ -> Alcotest.fail "attr did not observe the body's final state");
+    test_case "merge_into keeps the destination's spans first" `Quick
+      (fun () ->
+        let a = T.Trace.create ~clock:(ticking ()) () in
+        let b = T.Trace.create ~clock:(ticking ()) ~tid:3 () in
+        T.Trace.span a "a1" (fun () -> ());
+        T.Trace.span a "a2" (fun () -> ());
+        T.Trace.span b "b1" (fun () -> ());
+        T.Trace.merge_into ~into:a b;
+        Alcotest.(check (list string))
+          "a's spans, then b's"
+          [ "a1"; "a2"; "b1" ]
+          (List.map (fun s -> s.T.Trace.sp_name) (T.Trace.spans a));
+        Alcotest.(check int)
+          "source tid survives the merge" 3 (find_span a "b1").T.Trace.sp_tid);
+    test_case "total_ms sums same-named spans" `Quick (fun () ->
+        let tr = T.Trace.create ~clock:(ticking ()) () in
+        T.Trace.span tr "phase" (fun () -> ());
+        T.Trace.span tr "other" (fun () -> ());
+        T.Trace.span tr "phase" (fun () -> ());
+        Alcotest.(check (float 1e-9)) "2 x 1ms" 2. (T.Trace.total_ms tr "phase");
+        Alcotest.(check (float 1e-9)) "absent name" 0. (T.Trace.total_ms tr "no"));
+    test_case "chrome export normalises timestamps to the first span" `Quick
+      (fun () ->
+        (* a clock that starts far from zero: the exported ts must not *)
+        let tr = T.Trace.create ~clock:(ticking ~start:5000. ()) () in
+        T.Trace.span tr "first" (fun () -> ());
+        let json = T.Trace.chrome_json tr in
+        Alcotest.(check bool) "traceEvents" true (contains json "\"traceEvents\"");
+        Alcotest.(check bool) "complete events" true (contains json "\"ph\": \"X\"");
+        Alcotest.(check bool) "ts rebased to 0" true (contains json "\"ts\": 0");
+        Alcotest.(check bool)
+          "raw clock epoch leaked" false
+          (contains json "5000000000"));
+    test_case "jsonl export is one object per span line" `Quick (fun () ->
+        let tr = T.Trace.create ~clock:(ticking ()) () in
+        T.Trace.span tr "a" (fun () -> T.Trace.span tr "b" (fun () -> ()));
+        let lines =
+          String.split_on_char '\n' (T.Trace.jsonl tr)
+          |> List.filter (fun l -> l <> "")
+        in
+        Alcotest.(check int) "two lines" 2 (List.length lines);
+        List.iter
+          (fun l ->
+            Alcotest.(check bool) "object per line" true
+              (String.length l > 1 && l.[0] = '{' && l.[String.length l - 1] = '}'))
+          lines);
+    test_case "save picks the format from the extension" `Quick (fun () ->
+        let tr = T.Trace.create ~clock:(ticking ()) () in
+        T.Trace.span tr "s" (fun () -> ());
+        let read path =
+          let ic = open_in path in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        let chrome = Filename.temp_file "trace" ".json" in
+        let flat = Filename.temp_file "trace" ".jsonl" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove chrome; Sys.remove flat)
+          (fun () ->
+            T.Trace.save tr chrome;
+            T.Trace.save tr flat;
+            Alcotest.(check bool) "chrome wrapper" true
+              (contains (read chrome) "\"traceEvents\"");
+            Alcotest.(check bool) "jsonl is bare objects" false
+              (contains (read flat) "\"traceEvents\"")));
+  ]
+
+(* --- Metrics -------------------------------------------------------------- *)
+
+let in_bucket v =
+  let b = T.Metrics.bucket_of v in
+  let le = T.Metrics.bucket_le b in
+  (* tolerance: [bucket_of] goes through [log2], which can land an
+     observation exactly on its power-of-two boundary *)
+  v <= le *. (1. +. 1e-9)
+  && (b = 0 || v > T.Metrics.bucket_le (b - 1) *. (1. -. 1e-9))
+
+let metrics_tests =
+  [
+    test_case "counters add and default to zero" `Quick (fun () ->
+        let m = T.Metrics.create () in
+        T.Metrics.add m "c" 5;
+        T.Metrics.incr m "c";
+        Alcotest.(check int) "accumulated" 6 (T.Metrics.counter m "c");
+        Alcotest.(check int) "unknown counter" 0 (T.Metrics.counter m "nope"));
+    test_case "gauges are last-write" `Quick (fun () ->
+        let m = T.Metrics.create () in
+        Alcotest.(check (option (float 0.))) "unset" None (T.Metrics.gauge m "g");
+        T.Metrics.set_gauge m "g" 1.5;
+        T.Metrics.set_gauge m "g" 2.5;
+        Alcotest.(check (option (float 1e-9))) "last value" (Some 2.5)
+          (T.Metrics.gauge m "g"));
+    test_case "bucket boundaries are powers of two" `Quick (fun () ->
+        Alcotest.(check (float 0.)) "le of the unit bucket" 1.
+          (T.Metrics.bucket_le T.Metrics.exp_offset);
+        Alcotest.(check int) "1.0 lands on its boundary" T.Metrics.exp_offset
+          (T.Metrics.bucket_of 1.0);
+        Alcotest.(check int) "just above goes up one"
+          (T.Metrics.exp_offset + 1)
+          (T.Metrics.bucket_of 1.5);
+        Alcotest.(check int) "non-positive underflows" 0 (T.Metrics.bucket_of 0.);
+        Alcotest.(check int) "nan underflows" 0 (T.Metrics.bucket_of Float.nan);
+        Alcotest.(check int) "huge values overflow into the last bucket"
+          (T.Metrics.n_buckets - 1)
+          (T.Metrics.bucket_of 1e12));
+    qtest "every observation lands in its own bucket"
+      QCheck.(float_range 1e-6 1e6)
+      in_bucket;
+    test_case "observe tracks count, sum and extrema" `Quick (fun () ->
+        let m = T.Metrics.create () in
+        List.iter (T.Metrics.observe m "h") [ 1.; 4.; 0.5 ];
+        Alcotest.(check int) "count" 3 (T.Metrics.hist_count m "h");
+        Alcotest.(check (float 1e-9)) "sum" 5.5 (T.Metrics.hist_sum m "h"));
+    test_case "merge adds counters and histograms, gauges take src" `Quick
+      (fun () ->
+        let a = T.Metrics.create () and b = T.Metrics.create () in
+        T.Metrics.add a "c" 2;
+        T.Metrics.add b "c" 3;
+        T.Metrics.add b "only-b" 1;
+        T.Metrics.set_gauge a "g" 1.;
+        T.Metrics.set_gauge b "g" 9.;
+        T.Metrics.observe a "h" 1.;
+        T.Metrics.observe b "h" 2.;
+        T.Metrics.merge_into ~into:a b;
+        Alcotest.(check int) "counter summed" 5 (T.Metrics.counter a "c");
+        Alcotest.(check int) "new counter copied" 1 (T.Metrics.counter a "only-b");
+        Alcotest.(check (option (float 1e-9))) "gauge last-write" (Some 9.)
+          (T.Metrics.gauge a "g");
+        Alcotest.(check int) "hist counts summed" 2 (T.Metrics.hist_count a "h");
+        Alcotest.(check (float 1e-9)) "hist sums summed" 3.
+          (T.Metrics.hist_sum a "h"));
+    test_case "to_json emits the scenic-stats/1 schema with sorted keys" `Quick
+      (fun () ->
+        let m = T.Metrics.create () in
+        T.Metrics.add m "z_ctr" 1;
+        T.Metrics.add m "a_ctr" 2;
+        T.Metrics.observe m "lat" 3.;
+        let json = T.Metrics.to_json m in
+        Alcotest.(check bool) "schema" true (contains json "\"scenic-stats/1\"");
+        Alcotest.(check bool) "histogram buckets" true
+          (contains json "\"buckets\"");
+        let idx s =
+          let rec go i =
+            if i + String.length s > String.length json then -1
+            else if String.sub json i (String.length s) = s then i
+            else go (i + 1)
+          in
+          go 0
+        in
+        Alcotest.(check bool) "keys sorted" true
+          (idx "\"a_ctr\"" >= 0 && idx "\"a_ctr\"" < idx "\"z_ctr\""));
+  ]
+
+(* --- Probe ---------------------------------------------------------------- *)
+
+let probe_tests =
+  [
+    test_case "noop passes values through and records nothing" `Quick
+      (fun () ->
+        let p = T.Probe.noop in
+        Alcotest.(check bool) "disabled" false p.T.Probe.enabled;
+        Alcotest.(check int) "span transparent" 3
+          (p.T.Probe.span "x" (fun () -> 3));
+        (* none of these may raise *)
+        p.T.Probe.add "c" 1;
+        p.T.Probe.set_gauge "g" 1.;
+        p.T.Probe.observe "h" 1.;
+        p.T.Probe.event "e");
+    test_case "make with no recorders is the noop" `Quick (fun () ->
+        Alcotest.(check bool) "disabled" false
+          (T.Probe.make ()).T.Probe.enabled);
+    test_case "a recording probe routes to its trace and metrics" `Quick
+      (fun () ->
+        let tr = T.Trace.create ~clock:(ticking ()) () in
+        let m = T.Metrics.create () in
+        let p = T.Probe.make ~trace:tr ~metrics:m () in
+        Alcotest.(check bool) "enabled" true p.T.Probe.enabled;
+        let v = p.T.Probe.span "phase" (fun () -> p.T.Probe.add "n" 2; 11) in
+        p.T.Probe.observe "lat" 4.;
+        p.T.Probe.set_gauge "g" 0.5;
+        Alcotest.(check int) "value through" 11 v;
+        Alcotest.(check int) "span recorded" 1 (T.Trace.span_count tr);
+        Alcotest.(check int) "counter recorded" 2 (T.Metrics.counter m "n");
+        Alcotest.(check int) "histogram recorded" 1 (T.Metrics.hist_count m "lat");
+        Alcotest.(check (option (float 1e-9))) "gauge recorded" (Some 0.5)
+          (T.Metrics.gauge m "g"));
+  ]
+
+(* --- integration with the sampling pipeline ------------------------------- *)
+
+let src =
+  "import testLib\n\
+   ego = Object at 0 @ 0\n\
+   x = (0, 10)\n\
+   Object at 5 @ 5, with tag x\n\
+   require x > 3\n"
+
+let span_names tr =
+  List.sort_uniq compare
+    (List.map (fun s -> s.T.Trace.sp_name) (T.Trace.spans tr))
+
+let integration_tests =
+  [
+    test_case "an instrumented sampler covers every pipeline phase" `Quick
+      (fun () ->
+        let tr = T.Trace.create () in
+        let m = T.Metrics.create () in
+        let probe = T.Probe.make ~trace:tr ~metrics:m () in
+        let sampler = S.Sampler.of_source ~probe ~seed:3 src in
+        for _ = 1 to 5 do
+          ignore (S.Sampler.sample sampler)
+        done;
+        let names = span_names tr in
+        List.iter
+          (fun n ->
+            Alcotest.(check bool) (n ^ " span present") true (List.mem n names))
+          [ "compile"; "compile.parse"; "compile.eval"; "prune";
+            "rejection.sample" ];
+        Alcotest.(check int) "every accept counted" 5
+          (T.Metrics.counter m "rejection.accepted");
+        Alcotest.(check int) "wall-time histogram per sample" 5
+          (T.Metrics.hist_count m "sample.wall_ms");
+        Alcotest.(check bool) "iterations observed" true
+          (T.Metrics.hist_sum m "rejection.iterations" >= 5.));
+    test_case "tracing a parallel batch keeps it bit-identical" `Slow
+      (fun () ->
+        let scenario = compile src in
+        let plain = S.Parallel.run ~jobs:1 ~seed:9 ~n:12 scenario in
+        let tr = T.Trace.create () in
+        let m = T.Metrics.create () in
+        let traced =
+          S.Parallel.run ~jobs:4 ~trace:tr ~metrics:m ~seed:9 ~n:12 scenario
+        in
+        Alcotest.(check (list string))
+          "instrumentation never consumes RNG"
+          (List.map C.Scene.to_string (S.Parallel.scenes plain))
+          (List.map C.Scene.to_string (S.Parallel.scenes traced));
+        Alcotest.(check int) "merged accepts count the whole batch" 12
+          (T.Metrics.counter m "rejection.accepted");
+        (* every sample contributed exactly one index-attributed span *)
+        let sample_spans =
+          List.filter (fun s -> s.T.Trace.sp_name = "sample") (T.Trace.spans tr)
+        in
+        Alcotest.(check int) "one sample span per index" 12
+          (List.length sample_spans);
+        let indices =
+          List.filter_map
+            (fun s ->
+              match s.T.Trace.sp_attrs with
+              | [ ("index", T.Trace.Int i) ] -> Some i
+              | _ -> None)
+            sample_spans
+        in
+        (* not sorted: the per-sample traces are merged in index order
+           after the pool joins, so the span order itself is pinned *)
+        Alcotest.(check (list int))
+          "merged in index order" (List.init 12 Fun.id) indices);
+  ]
+
+let suites =
+  [
+    ("telemetry.trace", trace_tests);
+    ("telemetry.metrics", metrics_tests);
+    ("telemetry.probe", probe_tests);
+    ("telemetry.integration", integration_tests);
+  ]
