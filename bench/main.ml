@@ -53,13 +53,19 @@ let sampling_json_file = "BENCH_sampling.json"
 
 type batch_row = {
   b_name : string;
-  b_n : int;  (** batch size *)
-  b_jobs : int;  (** worker count of the parallel run *)
-  b_seq_s : float;  (** wall time, jobs = 1 *)
-  b_par_s : float;  (** wall time, jobs = b_jobs *)
+  b_n : int;  (** large batch size (>= 64: enough to amortise scheduling) *)
+  b_jobs : int;  (** worker count of the parallel runs *)
+  b_seq_s : float;  (** large-batch wall time, jobs = 1 *)
+  b_par_s : float;  (** large-batch wall time, jobs = b_jobs *)
+  b_small_n : int;  (** small batch size (the old bench's n = 8) *)
+  b_small_seq_s : float;  (** small-batch wall time, jobs = 1 *)
+  b_small_par_s : float;  (** small-batch wall time, jobs = b_jobs *)
 }
 
 let speedup r = if r.b_par_s > 0. then r.b_seq_s /. r.b_par_s else 0.
+
+let small_speedup r =
+  if r.b_small_par_s > 0. then r.b_small_seq_s /. r.b_small_par_s else 0.
 
 (* Scenarios with contrasting acceptance rates: near-1 (simplest),
    moderate (badly-parked), low (bumper-to-bumper). *)
@@ -67,7 +73,12 @@ let batch_scenario_names = [ "simplest"; "badly-parked"; "bumper-to-bumper" ]
 
 let run_parallel_throughput (cfg : H.Exp_config.t) : batch_row list =
   let jobs = max 2 (min 4 (Domain.recommended_domain_count ())) in
-  let n = H.Exp_config.n cfg 128 in
+  (* The old bench timed only n = 8, far too few scenes to amortise
+     worker startup — which is how a parallel "speedup" of 0.3x went
+     unnoticed.  Keep the small batch as a scheduling-overhead probe,
+     but make the headline number a batch of at least 64. *)
+  let n = max 64 (H.Exp_config.n cfg 256) in
+  let small_n = 8 in
   let wall f =
     let t0 = Unix.gettimeofday () in
     f ();
@@ -77,14 +88,27 @@ let run_parallel_throughput (cfg : H.Exp_config.t) : batch_row list =
     (fun name ->
       let src = List.assoc name sampling_scenarios in
       let scenario = Scenic_core.Eval.compile ~file:name src in
-      let draw ~jobs =
+      let draw ~jobs ~n =
         let batch = Scenic_sampler.Parallel.run ~jobs ~seed:5 ~n scenario in
         assert (List.length (Scenic_sampler.Parallel.scenes batch) = n)
       in
-      draw ~jobs:1 (* warm up caches before timing *);
-      let seq_s = wall (fun () -> draw ~jobs:1) in
-      let par_s = wall (fun () -> draw ~jobs) in
-      { b_name = name; b_n = n; b_jobs = jobs; b_seq_s = seq_s; b_par_s = par_s })
+      (* warm up caches and spawn the persistent pool before timing *)
+      draw ~jobs:1 ~n:small_n;
+      draw ~jobs ~n:small_n;
+      let small_seq_s = wall (fun () -> draw ~jobs:1 ~n:small_n) in
+      let small_par_s = wall (fun () -> draw ~jobs ~n:small_n) in
+      let seq_s = wall (fun () -> draw ~jobs:1 ~n) in
+      let par_s = wall (fun () -> draw ~jobs ~n) in
+      {
+        b_name = name;
+        b_n = n;
+        b_jobs = jobs;
+        b_seq_s = seq_s;
+        b_par_s = par_s;
+        b_small_n = small_n;
+        b_small_seq_s = small_seq_s;
+        b_small_par_s = small_par_s;
+      })
     batch_scenario_names
 
 (* --- per-phase timings (the scenic_telemetry probe) ---------------------- *)
@@ -125,10 +149,12 @@ let run_phase_timings (cfg : H.Exp_config.t) : phase_row list =
       })
     sampling_scenarios
 
-(* Machine-readable perf record (scenic-bench-sampling/3), so future
+(* Machine-readable perf record (scenic-bench-sampling/4), so future
    changes have a sampling-cost trajectory to compare against:
-   per-scene latency, sequential-vs-parallel batch throughput, and
-   per-phase wall-time attribution (v3). *)
+   per-scene latency, sequential-vs-parallel batch throughput at both
+   small and large batch sizes, per-phase wall-time attribution, and
+   the spatial-index counters (broad-phase hit rate, build cost) that
+   v4 adds. *)
 let write_sampling_json ms_rows batch_rows phase_rows =
   let oc = open_out sampling_json_file in
   (* Fun.protect: a failed printf or an unmatched row must not leak the
@@ -136,7 +162,7 @@ let write_sampling_json ms_rows batch_rows phase_rows =
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
-      Printf.fprintf oc "{\n  \"schema\": \"scenic-bench-sampling/3\",\n";
+      Printf.fprintf oc "{\n  \"schema\": \"scenic-bench-sampling/4\",\n";
       Printf.fprintf oc "  \"generated_unix\": %.0f,\n" (Unix.gettimeofday ());
       Printf.fprintf oc "  \"scenarios\": [\n";
       let n = List.length ms_rows in
@@ -170,11 +196,23 @@ let write_sampling_json ms_rows batch_rows phase_rows =
         (fun i r ->
           Printf.fprintf oc
             "    {\"name\": %S, \"n\": %d, \"jobs\": %d, \"sequential_s\": \
-             %.4f, \"parallel_s\": %.4f, \"speedup\": %.2f}%s\n"
-            r.b_name r.b_n r.b_jobs r.b_seq_s r.b_par_s (speedup r)
+             %.4f, \"parallel_s\": %.4f, \"speedup\": %.2f, \"small_n\": %d, \
+             \"small_sequential_s\": %.4f, \"small_parallel_s\": %.4f, \
+             \"small_speedup\": %.2f}%s\n"
+            r.b_name r.b_n r.b_jobs r.b_seq_s r.b_par_s (speedup r) r.b_small_n
+            r.b_small_seq_s r.b_small_par_s (small_speedup r)
             (if i = nb - 1 then "" else ","))
         batch_rows;
-      Printf.fprintf oc "  ],\n  \"phases\": [\n";
+      let si = Scenic_geometry.Spatial_index.global () in
+      Printf.fprintf oc
+        "  ],\n\
+        \  \"spatial_index\": {\"builds\": %d, \"cells\": %d, \
+         \"max_occupancy\": %d, \"build_ms\": %.4f, \"broadphase_tests\": %d, \
+         \"broadphase_hits\": %d, \"broadphase_hit_rate\": %.4f},\n"
+        si.Scenic_geometry.Spatial_index.builds si.cells si.max_occupancy
+        si.build_ms si.bp_tests si.bp_hits
+        (Scenic_geometry.Spatial_index.global_hit_rate ());
+      Printf.fprintf oc "  \"phases\": [\n";
       let np = List.length phase_rows in
       List.iteri
         (fun i r ->
@@ -191,6 +229,8 @@ let write_sampling_json ms_rows batch_rows phase_rows =
 let run_e9 cfg =
   H.Report.section
     "E9 (Sec. 5.2): sampling speed — \"a sample within a few seconds\"";
+  (* scope the spatial-index counters in the JSON record to E9's work *)
+  Scenic_geometry.Spatial_index.reset_global ();
   let ols =
     Bechamel.Analyze.ols ~bootstrap:0 ~r_square:true
       ~predictors:[| Bechamel.Measure.run |]
@@ -220,8 +260,10 @@ let run_e9 cfg =
   let batch_rows = run_parallel_throughput cfg in
   H.Report.print_table
     ~title:
-      (Printf.sprintf "Batch throughput (n scenes, sequential vs parallel)")
-    ~columns:[ "scenario"; "n"; "jobs"; "seq s"; "par s"; "speedup" ]
+      (Printf.sprintf
+         "Batch throughput (sequential vs parallel, small and large batches)")
+    ~columns:
+      [ "scenario"; "n"; "jobs"; "seq s"; "par s"; "speedup"; "n=8 speedup" ]
     (List.map
        (fun r ->
          [
@@ -231,11 +273,20 @@ let run_e9 cfg =
            Printf.sprintf "%.3f" r.b_seq_s;
            Printf.sprintf "%.3f" r.b_par_s;
            Printf.sprintf "%.2fx" (speedup r);
+           Printf.sprintf "%.2fx" (small_speedup r);
          ])
        batch_rows);
   H.Report.note
     "the batch is bit-identical for every jobs count: scene i always \
      samples from RNG stream i of the seed";
+  (let si = Scenic_geometry.Spatial_index.global () in
+   H.Report.note
+     "spatial index: %d builds (%.2f ms total), %d cells, max occupancy %d, \
+      broad-phase hit rate %.1f%% over %d tests"
+     si.Scenic_geometry.Spatial_index.builds si.build_ms si.cells
+     si.max_occupancy
+     (100. *. Scenic_geometry.Spatial_index.global_hit_rate ())
+     si.bp_tests);
   let phase_rows = run_phase_timings cfg in
   H.Report.print_table
     ~title:"Per-phase wall time (instrumented probe; sample summed over scenes)"

@@ -128,8 +128,9 @@ let stats_arg =
         ~doc:
           "print a JSON metrics snapshot (schema scenic-stats/1: counters, \
            gauges, log-scale histograms such as sample.wall_ms and \
-           rejection.iterations, per-requirement rejection counters) to \
-           stderr after the run")
+           rejection.iterations, per-requirement rejection counters, and \
+           spatial-index gauges such as index.cells and \
+           index.broadphase.hit_rate) to stderr after the run")
 
 (* Validate flag values before any compilation or pruning runs: a bad
    flag must error out before make_sampler can emit warnings — with
@@ -158,6 +159,10 @@ let make_telemetry ~trace_file ~stats =
   let metrics = if stats then Some (T.Metrics.create ()) else None in
   let probe = T.Probe.make ?trace ?metrics () in
   let finish () =
+    (* fold the spatial-index counters into the snapshot, so every
+       traced/--stats run records index size, build cost and
+       broad-phase hit rate *)
+    Scenic_sampler.Sampler.index_stats_to_probe probe;
     (match (trace_file, trace) with
     | Some path, Some tr -> T.Trace.save tr path
     | _ -> ());

@@ -140,21 +140,23 @@ let intersect subject clip =
   let result =
     List.fold_left clip_against (Array.to_list subject.vertices) clip_edges
   in
-  (* Deduplicate near-coincident vertices produced by clipping. *)
+  (* Deduplicate near-coincident vertices produced by clipping: one
+     pass dropping points within [1e-7] of the previously kept one,
+     then close the ring by dropping the last point if it collides
+     with the first. *)
   let dedup pts =
-    let rec go acc = function
-      | [] -> List.rev acc
-      | p :: rest -> (
+    let rev =
+      List.fold_left
+        (fun acc p ->
           match acc with
-          | q :: _ when Vec.dist p q < 1e-7 -> go acc rest
-          | _ -> go (p :: acc) rest)
+          | q :: _ when Vec.dist p q < 1e-7 -> acc
+          | _ -> p :: acc)
+        [] pts
     in
-    match go [] pts with
-    | p :: rest when rest <> [] ->
-        let last = List.nth rest (List.length rest - 1) in
-        if Vec.dist p last < 1e-7 then p :: List.filteri (fun i _ -> i < List.length rest - 1) rest
-        else p :: rest
-    | l -> l
+    match (rev, List.rev rev) with
+    | last :: (_ :: _ as rev_tl), first :: _ when Vec.dist first last < 1e-7 ->
+        List.rev rev_tl
+    | _, l -> l
   in
   let result = dedup result in
   if List.length result < 3 then None
@@ -290,33 +292,60 @@ let convex_hull points =
   let lower = build fwd and upper = build bwd in
   make (lower @ upper)
 
-(** Uniform point sampling via fan triangulation: pick a triangle with
-    probability proportional to area (using two uniforms from
-    [urand]), then a uniform point inside it. *)
-let sample_uniform t ~urand =
+(** Cached fan triangulation with left-associated cumulative areas,
+    built once per polygon (at region construction) so each uniform
+    draw is a binary search instead of a fresh area fold.  The
+    cumulative sums are accumulated in the same left-to-right order as
+    the old per-draw fold, so draws are bit-identical to it. *)
+type sample_table = {
+  tris : (Vec.t * Vec.t * Vec.t) array;
+  cum : float array;  (** [cum.(i)] = area of triangles [0..i] *)
+}
+
+let sample_table t =
   let n = Array.length t.vertices in
   let v0 = t.vertices.(0) in
   let tris =
-    List.init (n - 2) (fun i -> (v0, t.vertices.(i + 1), t.vertices.(i + 2)))
+    Array.init (n - 2) (fun i -> (v0, t.vertices.(i + 1), t.vertices.(i + 2)))
   in
-  let areas =
-    List.map
-      (fun (a, b, c) ->
-        Float.abs (Vec.cross (Vec.sub b a) (Vec.sub c a)) /. 2.)
-      tris
-  in
-  let total = List.fold_left ( +. ) 0. areas in
+  let cum = Array.make (Array.length tris) 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i (a, b, c) ->
+      acc := !acc +. (Float.abs (Vec.cross (Vec.sub b a) (Vec.sub c a)) /. 2.);
+      cum.(i) <- !acc)
+    tris;
+  { tris; cum }
+
+(** Uniform point sampling from a cached table: pick a triangle with
+    probability proportional to area (binary search for the first
+    cumulative area >= r; ties and the fallthrough case resolve to the
+    last triangle, exactly like the linear walk it replaces), then a
+    uniform point inside it. *)
+let sample_from_table tbl ~urand =
+  let cum = tbl.cum in
+  let m = Array.length cum in
+  let total = cum.(m - 1) in
   let r = urand () *. total in
-  let rec pick tris areas acc =
-    match (tris, areas) with
-    | [ t ], _ -> t
-    | t :: ts, a :: as_ -> if r <= acc +. a then t else pick ts as_ (acc +. a)
-    | _ -> assert false
+  let idx =
+    (* first i in [0, m-2] with r <= cum.(i); default last *)
+    if m = 1 || r <= cum.(0) then 0
+    else begin
+      let lo = ref 0 and hi = ref (m - 1) in
+      (* invariant: not (r <= cum.(!lo)); answer in (lo, hi] *)
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if r <= cum.(mid) then hi := mid else lo := mid
+      done;
+      !hi
+    end
   in
-  let a, b, c = pick tris areas 0. in
+  let a, b, c = tbl.tris.(idx) in
   let u = urand () and v = urand () in
   let u, v = if u +. v > 1. then (1. -. u, 1. -. v) else (u, v) in
   Vec.add a (Vec.add (Vec.scale u (Vec.sub b a)) (Vec.scale v (Vec.sub c a)))
+
+let sample_uniform t ~urand = sample_from_table (sample_table t) ~urand
 
 let translate t v = { vertices = Array.map (Vec.add v) t.vertices }
 

@@ -9,18 +9,50 @@
       against every other polygon), giving an *exact* erosion predicate
       [dist(x, boundary(C)) >= r && x in C];
     - sound (superset) dilation via convex miter offsets;
-    - area-weighted uniform sampling. *)
+    - area-weighted uniform sampling.
 
-type t = { polys : Polygon.t array }
+    Every polyset carries a {!Spatial_index} over its members plus
+    cached sampling tables (per-polygon fan triangulations and the
+    union's cumulative areas), built once at construction.  The whole
+    record is immutable after construction, so compiled scenarios can
+    share it read-only across domains.  All accelerated queries are
+    bit-identical to the linear scans they replaced: containment uses
+    tolerance-padded AABBs (no false negatives), and the sampling
+    binary searches replicate the old walks' cumulative-sum order and
+    tie-breaking exactly. *)
 
-let make polys = { polys = Array.of_list polys }
+type t = {
+  polys : Polygon.t array;
+  index : Spatial_index.t;
+  cum_areas : float array;
+      (** left-associated running sums of member areas; empty iff
+          [polys] is *)
+  tables : Polygon.sample_table array;
+}
+
+let of_array polys =
+  let n = Array.length polys in
+  let cum = Array.make n 0. in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. Polygon.area polys.(i);
+    cum.(i) <- !acc
+  done;
+  {
+    polys;
+    index = Spatial_index.build polys;
+    cum_areas = cum;
+    tables = Array.map Polygon.sample_table polys;
+  }
+
+let make polys = of_array (Array.of_list polys)
 let polygons t = Array.to_list t.polys
 let is_empty t = Array.length t.polys = 0
 let cardinal t = Array.length t.polys
+let index t = t.index
 
 let area t = Array.fold_left (fun acc p -> acc +. Polygon.area p) 0. t.polys
-
-let contains t p = Array.exists (fun poly -> Polygon.contains poly p) t.polys
+let contains t p = Spatial_index.contains t.index p
 
 let bounding_box t =
   Array.fold_left
@@ -63,12 +95,15 @@ let union_boundary t =
   done;
   !out
 
+(** Distance to the union boundary as a reusable closure.  The
+    boundary and its segment grid are computed eagerly at closure
+    creation (typically prune time, single-domain); the returned
+    closure then only reads immutable state, so — unlike the lazy
+    thunk it replaces, which was unsafe to force concurrently — it can
+    be shared freely across domains. *)
 let dist_to_union_boundary t =
-  let boundary = lazy (union_boundary t) in
-  fun p ->
-    List.fold_left
-      (fun acc s -> Float.min acc (Seg.dist_to_point s p))
-      infinity (Lazy.force boundary)
+  let sidx = Spatial_index.build_segs (Array.of_list (union_boundary t)) in
+  fun p -> Spatial_index.nearest_dist sidx p
 
 (** Exact erosion predicate: [erode_pred t r] is a function deciding
     membership in [erode(t, r)] = [{x in t : dist(x, boundary t) >= r}].
@@ -79,7 +114,7 @@ let erode_pred t r =
 
 (** Sound superset of Minkowski dilation by a disc of radius [delta]:
     each convex polygon is offset outward with miter joins. *)
-let dilate t delta = { polys = Array.map (fun p -> Polygon.dilate p delta) t.polys }
+let dilate t delta = of_array (Array.map (fun p -> Polygon.dilate p delta) t.polys)
 
 (** Area-weighted uniform point sampling over the union.  Note:
     overlapping polygons are slightly over-weighted in their shared
@@ -87,41 +122,46 @@ let dilate t delta = { polys = Array.map (fun p -> Polygon.dilate p delta) t.pol
     the rejection sampler's requirement checks are unaffected by small
     density perturbations of the *proposal* only when no requirement
     depends on them — we therefore build road maps with disjoint
-    interiors (see {!Scenic_worlds.Road_network}). *)
+    interiors (see {!Scenic_worlds.Road_network}).
+
+    Polygon choice is a binary search over the cached cumulative
+    areas: first index with [r <= cum.(i)], falling back to index 0
+    when [r] exceeds the total — the exact tie-breaking of the linear
+    walk this replaces. *)
 let sample_uniform t ~urand =
   if is_empty t then invalid_arg "Polyset.sample_uniform: empty";
-  let areas = Array.map Polygon.area t.polys in
-  let total = Array.fold_left ( +. ) 0. areas in
+  let cum = t.cum_areas in
+  let n = Array.length cum in
+  let total = cum.(n - 1) in
   let r = urand () *. total in
-  let idx = ref 0 and acc = ref 0. in
-  (try
-     Array.iteri
-       (fun i a ->
-         acc := !acc +. a;
-         if r <= !acc then begin
-           idx := i;
-           raise Exit
-         end)
-       areas
-   with Exit -> ());
-  Polygon.sample_uniform t.polys.(!idx) ~urand
+  let idx =
+    if r <= cum.(0) then 0
+    else if not (r <= cum.(n - 1)) then 0 (* old scan's fallthrough default *)
+    else begin
+      let lo = ref 0 and hi = ref (n - 1) in
+      (* invariant: not (r <= cum.(!lo)); r <= cum.(!hi) *)
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if r <= cum.(mid) then hi := mid else lo := mid
+      done;
+      !hi
+    end
+  in
+  Polygon.sample_from_table t.tables.(idx) ~urand
 
 (** Intersection with a convex polygon (clips every member). *)
 let intersect_polygon t clip =
-  {
-    polys =
-      Array.of_list
-        (Array.fold_left
-           (fun acc p ->
-             match Polygon.intersect p clip with
-             | Some q when Polygon.area q > 1e-9 -> q :: acc
-             | _ -> acc)
-           [] t.polys);
-  }
+  of_array
+    (Array.of_list
+       (Array.fold_left
+          (fun acc p ->
+            match Polygon.intersect p clip with
+            | Some q when Polygon.area q > 1e-9 -> q :: acc
+            | _ -> acc)
+          [] t.polys))
 
-let filter t pred = { polys = Array.of_seq (Seq.filter pred (Array.to_seq t.polys)) }
-
-let union a b = { polys = Array.append a.polys b.polys }
+let filter t pred = of_array (Array.of_seq (Seq.filter pred (Array.to_seq t.polys)))
+let union a b = of_array (Array.append a.polys b.polys)
 
 let pp ppf t =
   Fmt.pf ppf "polyset(%d polys, area %g)" (Array.length t.polys) (area t)

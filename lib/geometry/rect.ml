@@ -43,8 +43,17 @@ let contains t p =
   Float.abs (Vec.x rel) <= (t.width /. 2.) +. 1e-9
   && Float.abs (Vec.y rel) <= (t.height /. 2.) +. 1e-9
 
-(** Separating-axis intersection test for two oriented rectangles. *)
+(** Separating-axis intersection test for two oriented rectangles,
+    with a circumradius broad phase.  The early-out margin ([1e-3])
+    dwarfs the SAT tolerance ([1e-9]): boxes whose centers are further
+    apart than the circumradii plus the margin have a gap of at least
+    [margin / 2] along some box axis, so the exact test below would
+    report separation too — the broad phase never changes the result. *)
 let intersects a b =
+  if
+    Vec.dist a.center b.center > circumradius a +. circumradius b +. 1e-3
+  then false
+  else
   let ca = corners a and cb = corners b in
   let axes r =
     let d = Vec.of_heading r.heading in

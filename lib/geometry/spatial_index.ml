@@ -1,0 +1,478 @@
+(** Spatial acceleration for the rejection-sampling hot loop.
+
+    Every iteration of the sampler re-tests region containment,
+    vector-field piece lookup and boundary distance against the road
+    map's polygons; done naively each query is a linear scan over the
+    whole map.  This module provides two static structures, built once
+    per polygon set (at compile/prune time) and immutable afterwards —
+    safe to share read-only across OCaml 5 domains:
+
+    - a {b polygon grid}: per-polygon cached (padded) AABBs plus a
+      uniform grid over them, giving O(1)-expected candidate lookup for
+      point queries ({!contains}, {!first_containing});
+    - a {b segment grid}: the same uniform grid over line segments with
+      an expanding-ring nearest-distance query ({!nearest_dist}).
+
+    {b Exactness.}  Queries return bit-identical results to the linear
+    scans they replace.  Two details make this literal rather than
+    approximate:
+
+    - AABBs are padded by the tolerance of {!Polygon.contains} (which
+      accepts points up to [1e-9 / edge_length] outside an edge), so
+      the AABB filter never rejects a point the exact test would
+      accept.  Polygons whose tolerance pad is pathologically large
+      (an edge shorter than a nanometer) are kept on an [always] list
+      and tested on every query instead of being gridded.
+    - {!first_containing} visits candidates in ascending polygon index
+      (cell lists are built in index order and merged with the
+      [always] list), reproducing the first-match semantics of the
+      [List.find_opt] scans it replaces.
+    - {!nearest_dist} expands rings of cells until the current best
+      distance provably beats every unvisited cell, so it returns the
+      exact minimum (the same float the full fold computes).
+
+    {b Grid sizing heuristic.}  Cells are roughly half the mean item
+    AABB extent per axis (so an item lands in a handful of cells and a
+    point query sees few false candidates), clamped so no axis exceeds
+    128 cells; degenerate extents fall back to a single cell.
+
+    {b Statistics.}  Each build and query bumps counters, surfaced
+    through the telemetry probe and the bench record.  The counters
+    are {e per-domain} (a [Domain.DLS] record per worker, registered
+    once and summed by {!global}): the query path writes only
+    domain-local memory, so the instrumentation costs nothing in
+    cross-domain cache traffic — a shared counter here measurably
+    serialises the parallel sampler. *)
+
+type aabb = { ax0 : float; ay0 : float; ax1 : float; ay1 : float }
+
+(* --- statistics ---------------------------------------------------------- *)
+
+type snapshot = {
+  builds : int;  (** indexes built since startup (or [reset_global]) *)
+  build_ms : float;  (** total build CPU time, milliseconds *)
+  cells : int;  (** total grid cells allocated *)
+  max_occupancy : int;  (** largest per-cell candidate list *)
+  queries : int;  (** point/distance queries served *)
+  bp_tests : int;  (** broad-phase AABB candidate tests *)
+  bp_hits : int;  (** candidates surviving the AABB filter *)
+}
+
+(* One record per domain that ever touched an index; mutated without
+   synchronisation by its owning domain only. *)
+type counters = {
+  mutable c_builds : int;
+  mutable c_build_ms : float;
+  mutable c_cells : int;
+  mutable c_max_occupancy : int;
+  mutable c_queries : int;
+  mutable c_bp_tests : int;
+  mutable c_bp_hits : int;
+}
+
+let registry_mx = Mutex.create ()
+let registry : counters list ref = ref []
+
+let counters_key =
+  Domain.DLS.new_key (fun () ->
+      let c =
+        {
+          c_builds = 0;
+          c_build_ms = 0.;
+          c_cells = 0;
+          c_max_occupancy = 0;
+          c_queries = 0;
+          c_bp_tests = 0;
+          c_bp_hits = 0;
+        }
+      in
+      Mutex.lock registry_mx;
+      registry := c :: !registry;
+      Mutex.unlock registry_mx;
+      c)
+
+let local_counters () = Domain.DLS.get counters_key
+
+(* Reads of other domains' in-flight counters are unsynchronised —
+   a snapshot may be a few increments stale, which is fine for
+   diagnostics. *)
+let global () =
+  Mutex.lock registry_mx;
+  let cs = !registry in
+  Mutex.unlock registry_mx;
+  List.fold_left
+    (fun acc c ->
+      {
+        builds = acc.builds + c.c_builds;
+        build_ms = acc.build_ms +. c.c_build_ms;
+        cells = acc.cells + c.c_cells;
+        max_occupancy = max acc.max_occupancy c.c_max_occupancy;
+        queries = acc.queries + c.c_queries;
+        bp_tests = acc.bp_tests + c.c_bp_tests;
+        bp_hits = acc.bp_hits + c.c_bp_hits;
+      })
+    {
+      builds = 0;
+      build_ms = 0.;
+      cells = 0;
+      max_occupancy = 0;
+      queries = 0;
+      bp_tests = 0;
+      bp_hits = 0;
+    }
+    cs
+
+let reset_global () =
+  Mutex.lock registry_mx;
+  List.iter
+    (fun c ->
+      c.c_builds <- 0;
+      c.c_build_ms <- 0.;
+      c.c_cells <- 0;
+      c.c_max_occupancy <- 0;
+      c.c_queries <- 0;
+      c.c_bp_tests <- 0;
+      c.c_bp_hits <- 0)
+    !registry;
+  Mutex.unlock registry_mx
+
+(** Broad-phase hit rate over the process lifetime; [0.] before any
+    query. *)
+let global_hit_rate () =
+  let s = global () in
+  if s.bp_tests = 0 then 0.
+  else float_of_int s.bp_hits /. float_of_int s.bp_tests
+
+(* --- the uniform grid ---------------------------------------------------- *)
+
+type grid = {
+  gx0 : float;
+  gy0 : float;
+  inv_cw : float;
+  inv_ch : float;
+  cw : float;
+  ch : float;
+  nx : int;
+  ny : int;
+  cell : int array array;  (** [iy * nx + ix] -> item indices, ascending *)
+}
+
+let max_cells_per_axis = 128
+
+(* Build a grid over item AABBs.  [None] when there is nothing to grid
+   (or the bounds are degenerate in a way that makes cells useless). *)
+let build_grid (aabbs : aabb array) (indexed : int list) : grid option =
+  match indexed with
+  | [] -> None
+  | _ ->
+      let x0 = ref infinity
+      and y0 = ref infinity
+      and x1 = ref neg_infinity
+      and y1 = ref neg_infinity in
+      let sum_w = ref 0. and sum_h = ref 0. and count = ref 0 in
+      List.iter
+        (fun i ->
+          let b = aabbs.(i) in
+          if b.ax0 < !x0 then x0 := b.ax0;
+          if b.ay0 < !y0 then y0 := b.ay0;
+          if b.ax1 > !x1 then x1 := b.ax1;
+          if b.ay1 > !y1 then y1 := b.ay1;
+          sum_w := !sum_w +. (b.ax1 -. b.ax0);
+          sum_h := !sum_h +. (b.ay1 -. b.ay0);
+          incr count)
+        indexed;
+      let w = !x1 -. !x0 and h = !y1 -. !y0 in
+      if not (Float.is_finite w && Float.is_finite h) then None
+      else begin
+        let nf = float_of_int !count in
+        (* cells ~ half the mean item extent, capped per axis *)
+        let dim extent mean =
+          if extent <= 0. then 1
+          else
+            let cellsz =
+              Float.max (mean /. 2.) (extent /. float_of_int max_cells_per_axis)
+            in
+            let cellsz = if cellsz > 0. then cellsz else extent in
+            max 1 (min max_cells_per_axis (int_of_float (ceil (extent /. cellsz))))
+        in
+        let nx = dim w (!sum_w /. nf) and ny = dim h (!sum_h /. nf) in
+        let cw = (if w > 0. then w /. float_of_int nx else 1.)
+        and ch = if h > 0. then h /. float_of_int ny else 1. in
+        let counts = Array.make (nx * ny) 0 in
+        let clampx v = max 0 (min (nx - 1) v)
+        and clampy v = max 0 (min (ny - 1) v) in
+        let cell_range (b : aabb) =
+          ( clampx (int_of_float (floor ((b.ax0 -. !x0) /. cw))),
+            clampx (int_of_float (floor ((b.ax1 -. !x0) /. cw))),
+            clampy (int_of_float (floor ((b.ay0 -. !y0) /. ch))),
+            clampy (int_of_float (floor ((b.ay1 -. !y0) /. ch))) )
+        in
+        List.iter
+          (fun i ->
+            let ix0, ix1, iy0, iy1 = cell_range aabbs.(i) in
+            for iy = iy0 to iy1 do
+              for ix = ix0 to ix1 do
+                counts.((iy * nx) + ix) <- counts.((iy * nx) + ix) + 1
+              done
+            done)
+          indexed;
+        let cell = Array.map (fun c -> Array.make c (-1)) counts in
+        let fill = Array.make (nx * ny) 0 in
+        (* indexed is ascending, so each cell list ends up ascending *)
+        List.iter
+          (fun i ->
+            let ix0, ix1, iy0, iy1 = cell_range aabbs.(i) in
+            for iy = iy0 to iy1 do
+              for ix = ix0 to ix1 do
+                let c = (iy * nx) + ix in
+                cell.(c).(fill.(c)) <- i;
+                fill.(c) <- fill.(c) + 1
+              done
+            done)
+          indexed;
+        Some
+          {
+            gx0 = !x0;
+            gy0 = !y0;
+            inv_cw = 1. /. cw;
+            inv_ch = 1. /. ch;
+            cw;
+            ch;
+            nx;
+            ny;
+            cell;
+          }
+      end
+
+let grid_cell g px py =
+  let ix = int_of_float (floor ((px -. g.gx0) *. g.inv_cw))
+  and iy = int_of_float (floor ((py -. g.gy0) *. g.inv_ch)) in
+  if ix < 0 || ix >= g.nx || iy < 0 || iy >= g.ny then None
+  else Some g.cell.((iy * g.nx) + ix)
+
+let grid_stats = function
+  | None -> (0, 0)
+  | Some g ->
+      ( g.nx * g.ny,
+        Array.fold_left (fun acc c -> max acc (Array.length c)) 0 g.cell )
+
+let note_build t0 grid =
+  let ms = (Sys.time () -. t0) *. 1e3 in
+  let cells, occ = grid_stats grid in
+  let c = local_counters () in
+  c.c_builds <- c.c_builds + 1;
+  c.c_build_ms <- c.c_build_ms +. ms;
+  c.c_cells <- c.c_cells + cells;
+  if occ > c.c_max_occupancy then c.c_max_occupancy <- occ;
+  (cells, occ, ms)
+
+(* --- polygon index ------------------------------------------------------- *)
+
+type t = {
+  polys : Polygon.t array;
+  aabbs : aabb array;  (** tolerance-padded bounding boxes *)
+  always : int array;
+      (** polygons too degenerate to bound (see module docs), ascending *)
+  pgrid : grid option;
+  n_cells : int;
+  occupancy : int;
+  built_ms : float;
+}
+
+(* The containment test of {!Polygon.contains} accepts points with
+   [cross e (p - a) >= -1e-9] on every edge, i.e. up to [1e-9 / |e|]
+   meters outside the edge line.  Pad the AABB by the worst edge so the
+   filter is conservative.  Edges shorter than [1e-9] would demand
+   meter-scale padding — such polygons go on the [always] list. *)
+let tolerance_pad poly =
+  let pad = ref 1e-9 and degenerate = ref false in
+  List.iter
+    (fun e ->
+      let len = Seg.length e in
+      if len < 1e-9 then degenerate := true
+      else
+        let p = 1e-9 /. len in
+        if p > !pad then pad := p)
+    (Polygon.edges poly);
+  if !degenerate || !pad > 1. then None else Some !pad
+
+let polygon_aabb poly =
+  let x0, y0, x1, y1 = Polygon.bounding_box poly in
+  match tolerance_pad poly with
+  | None -> ({ ax0 = x0; ay0 = y0; ax1 = x1; ay1 = y1 }, false)
+  | Some pad ->
+      ( {
+          ax0 = x0 -. pad;
+          ay0 = y0 -. pad;
+          ax1 = x1 +. pad;
+          ay1 = y1 +. pad;
+        },
+        true )
+
+let build (polys : Polygon.t array) : t =
+  let t0 = Sys.time () in
+  let n = Array.length polys in
+  let aabbs = Array.make n { ax0 = 0.; ay0 = 0.; ax1 = 0.; ay1 = 0. } in
+  let always = ref [] and indexed = ref [] in
+  (* walk backwards so both lists come out ascending *)
+  for i = n - 1 downto 0 do
+    let box, ok = polygon_aabb polys.(i) in
+    aabbs.(i) <- box;
+    if ok then indexed := i :: !indexed else always := i :: !always
+  done;
+  let pgrid = build_grid aabbs !indexed in
+  let n_cells, occupancy, built_ms = note_build t0 pgrid in
+  {
+    polys;
+    aabbs;
+    always = Array.of_list !always;
+    pgrid;
+    n_cells;
+    occupancy;
+    built_ms;
+  }
+
+let cells t = t.n_cells
+let max_occupancy t = t.occupancy
+let build_ms t = t.built_ms
+
+(* one query's broad-phase accounting, flushed once per query into the
+   calling domain's local counters *)
+let flush_query tests hits =
+  let c = local_counters () in
+  c.c_queries <- c.c_queries + 1;
+  c.c_bp_tests <- c.c_bp_tests + tests;
+  c.c_bp_hits <- c.c_bp_hits + hits
+
+(** Is [p] inside any polygon?  Order-independent (boolean), identical
+    to [Array.exists (fun poly -> Polygon.contains poly p)]. *)
+let contains t p =
+  let px = Vec.x p and py = Vec.y p in
+  let tests = ref 0 and hits = ref 0 in
+  let check i =
+    let b = t.aabbs.(i) in
+    incr tests;
+    if px >= b.ax0 && px <= b.ax1 && py >= b.ay0 && py <= b.ay1 then begin
+      incr hits;
+      Polygon.contains t.polys.(i) p
+    end
+    else false
+  in
+  let exact i = Polygon.contains t.polys.(i) p in
+  let result =
+    Array.exists exact t.always
+    ||
+    match t.pgrid with
+    | None -> false
+    | Some g -> (
+        match grid_cell g px py with
+        | None -> false
+        | Some cands -> Array.exists check cands)
+  in
+  flush_query !tests !hits;
+  result
+
+(** Index of the first polygon (ascending) containing [p]: identical to
+    [List.find_opt] over the polygons in construction order. *)
+let first_containing t p =
+  let px = Vec.x p and py = Vec.y p in
+  let tests = ref 0 and hits = ref 0 in
+  let check i =
+    let b = t.aabbs.(i) in
+    incr tests;
+    if px >= b.ax0 && px <= b.ax1 && py >= b.ay0 && py <= b.ay1 then begin
+      incr hits;
+      Polygon.contains t.polys.(i) p
+    end
+    else false
+  in
+  let cands =
+    match t.pgrid with
+    | None -> [||]
+    | Some g -> (
+        match grid_cell g px py with None -> [||] | Some c -> c)
+  in
+  (* merge the two ascending index lists, testing in global order *)
+  let na = Array.length t.always and nc = Array.length cands in
+  let rec merge ia ic =
+    if ia < na && (ic >= nc || t.always.(ia) < cands.(ic)) then
+      if Polygon.contains t.polys.(t.always.(ia)) p then Some t.always.(ia)
+      else merge (ia + 1) ic
+    else if ic < nc then
+      if check cands.(ic) then Some cands.(ic) else merge ia (ic + 1)
+    else None
+  in
+  let result = merge 0 0 in
+  flush_query !tests !hits;
+  result
+
+(* --- segment index ------------------------------------------------------- *)
+
+type segs = { segs : Seg.t array; sgrid : grid option }
+
+let seg_aabb s =
+  let a = Seg.a s and b = Seg.b s in
+  {
+    ax0 = Float.min (Vec.x a) (Vec.x b);
+    ay0 = Float.min (Vec.y a) (Vec.y b);
+    ax1 = Float.max (Vec.x a) (Vec.x b);
+    ay1 = Float.max (Vec.y a) (Vec.y b);
+  }
+
+let build_segs (segs : Seg.t array) : segs =
+  let t0 = Sys.time () in
+  let aabbs = Array.map seg_aabb segs in
+  let indexed = List.init (Array.length segs) Fun.id in
+  let sgrid = build_grid aabbs indexed in
+  ignore (note_build t0 sgrid);
+  { segs; sgrid }
+
+(** Exact minimum distance from [p] to any segment ([infinity] when the
+    set is empty): expanding-ring search with the invariant that every
+    unvisited cell lies at least [ring * min_cell_extent] away, so the
+    running best is final as soon as it beats that bound. *)
+let nearest_dist t p =
+  match t.sgrid with
+  | None -> infinity
+  | Some g ->
+      let px = Vec.x p and py = Vec.y p in
+      let clampx v = max 0 (min (g.nx - 1) v)
+      and clampy v = max 0 (min (g.ny - 1) v) in
+      let cx = clampx (int_of_float (floor ((px -. g.gx0) *. g.inv_cw)))
+      and cy = clampy (int_of_float (floor ((py -. g.gy0) *. g.inv_ch))) in
+      let best = ref infinity in
+      let visit ix iy =
+        if ix >= 0 && ix < g.nx && iy >= 0 && iy < g.ny then
+          Array.iter
+            (fun si ->
+              let d = Seg.dist_to_point t.segs.(si) p in
+              if d < !best then best := d)
+            g.cell.((iy * g.nx) + ix)
+      in
+      let rmax =
+        max (max cx (g.nx - 1 - cx)) (max cy (g.ny - 1 - cy))
+      in
+      let min_cell = Float.min g.cw g.ch in
+      let r = ref 0 and finished = ref false in
+      while (not !finished) && !r <= rmax do
+        let rr = !r in
+        if rr = 0 then visit cx cy
+        else begin
+          for ix = cx - rr to cx + rr do
+            visit ix (cy - rr);
+            visit ix (cy + rr)
+          done;
+          for iy = cy - rr + 1 to cy + rr - 1 do
+            visit (cx - rr) iy;
+            visit (cx + rr) iy
+          done
+        end;
+        (* unvisited cells are at Chebyshev ring >= rr + 1, hence at
+           least rr * min_cell away from p (even when p lies outside
+           the grid and cx/cy were clamped) *)
+        if !best <= float_of_int rr *. min_cell then finished := true;
+        incr r
+      done;
+      (* distance queries have no AABB narrow phase; count the query only *)
+      flush_query 0 0;
+      !best

@@ -14,14 +14,20 @@ type t = {
 let make ?pieces ~name value = { name; value; pieces }
 
 (** Piecewise-constant field over polygons, with a fallback heading
-    outside all pieces. *)
+    outside all pieces.  Lookup goes through a {!Spatial_index} built
+    once here; {!Spatial_index.first_containing} preserves the
+    first-match semantics of the [List.find_opt] scan it replaces, so
+    overlapping pieces resolve to the same heading as before. *)
 let piecewise ~name ?(default = 0.) pieces =
+  let polys = Array.of_list (List.map fst pieces) in
+  let headings = Array.of_list (List.map snd pieces) in
+  let index = Spatial_index.build polys in
   let value p =
-    match List.find_opt (fun (poly, _) -> Polygon.contains poly p) pieces with
-    | Some (_, h) -> h
+    match Spatial_index.first_containing index p with
+    | Some i -> headings.(i)
     | None -> default
   in
-  { name; value = (fun p -> value p); pieces = Some pieces }
+  { name; value; pieces = Some pieces }
 
 let constant ~name h = { name; value = (fun _ -> h); pieces = None }
 

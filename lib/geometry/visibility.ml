@@ -46,6 +46,16 @@ let sees_point v p =
     view radius); corner/center tests alone already decide almost all
     cases. *)
 let sees_box v box =
+  (* Broad phase: every point this test ever examines (center, corners,
+     edge samples) lies within the box circumradius of its center, and
+     every positive branch below tolerates at most [1e-9]; a [1e-6]
+     margin therefore guarantees all of them answer [false], so the
+     early-out is decision-identical to the full test. *)
+  if
+    Vec.dist v.position (Rect.center box)
+    > v.view_distance +. Rect.circumradius box +. 1e-6
+  then false
+  else
   let pts = Rect.center box :: Rect.corners box in
   List.exists (sees_point v) pts
   || Rect.contains box v.position

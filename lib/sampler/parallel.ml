@@ -106,7 +106,6 @@ let run ?jobs ?max_iters ?timeout ?clock ?budget ?(track_best = false) ?prepare
   let tslots : (T.Trace.t * T.Metrics.t) option array =
     Array.make (if instrumented then n else 0) None
   in
-  let next = Atomic.make 0 in
   let sample_one i =
     let rng = rng_for_sample ~seed i in
     (match prepare with Some f -> f i rng | None -> ());
@@ -139,19 +138,13 @@ let run ?jobs ?max_iters ?timeout ?clock ?budget ?(track_best = false) ?prepare
     in
     slots.(i) <- Some (outcome, Rejection.diagnosis r)
   in
-  let rec worker () =
-    let i = Atomic.fetch_and_add next 1 in
-    if i < n then begin
-      sample_one i;
-      worker ()
-    end
-  in
-  (* the calling domain is worker zero; spawn at most jobs - 1 others,
-     and never more than there are samples *)
-  let spawned = max 0 (min (jobs - 1) (n - 1)) in
-  let domains = List.init spawned (fun _ -> Domain.spawn worker) in
-  worker ();
-  List.iter Domain.join domains;
+  (* the calling domain always participates; at most jobs - 1 pool
+     helpers join it, and never more than there are samples.  The pool
+     schedules contiguous index chunks, but sample [i] still derives
+     everything from [i] alone (stream, slots), so scheduling cannot
+     leak into results. *)
+  let helpers = max 0 (min (jobs - 1) (n - 1)) in
+  Pool.run ~helpers ~n sample_one;
   (* aggregate per-sample recorders in index order (never from inside
      a worker): deterministic layout, additive metrics *)
   if instrumented then
@@ -187,7 +180,7 @@ let run ?jobs ?max_iters ?timeout ?clock ?budget ?(track_best = false) ?prepare
            | None -> assert false)
          slots)
   in
-  { outcomes; diagnosis = merged; usage; jobs = spawned + 1 }
+  { outcomes; diagnosis = merged; usage; jobs = helpers + 1 }
 
 (** Compile Scenic source, prune it with the degenerate-prune fallback
     of {!Sampler}, and draw a batch.  Returns the batch together with

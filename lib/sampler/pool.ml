@@ -1,0 +1,201 @@
+(** A persistent domain pool with chunked index scheduling.
+
+    PR 2's batch runtime spawned fresh domains for every batch and
+    handed out work one index at a time through an atomic counter.
+    Both decisions show up directly in the bench: domain spawn/join
+    costs milliseconds (dwarfing small batches outright), and
+    per-index claiming makes every sample pay a contended
+    fetch-and-add.  This module fixes both:
+
+    - {b persistent workers}: domains are spawned once, on first use,
+      and parked on a condition variable between batches.  A batch
+      submission is a queue push + broadcast, not a spawn.  The pool
+      only ever grows (up to {!max_pool_size}); an [at_exit] hook
+      shuts the workers down so the process still terminates cleanly.
+    - {b chunked claiming}: workers pull contiguous index ranges
+      ([chunk] indices per claim) instead of single indices, so the
+      shared counter is touched [n / chunk] times per batch rather
+      than [n] times.
+
+    Scheduling never affects {e what} is computed: the caller's [body]
+    receives each index in [0 .. n-1] exactly once, and is expected to
+    derive everything index-dependent (RNG streams, output slots) from
+    the index alone — which worker runs it, and in which order, is an
+    execution detail.  This is the load-bearing half of the sampler's
+    determinism contract; see {!Parallel}.
+
+    Exceptions raised by [body] are caught, remembered (first one
+    wins), and re-raised from {!run} in the submitting domain after
+    the batch drains — one failing index never poisons its siblings,
+    and the pool itself survives. *)
+
+(* A submitted batch.  [tickets] (protected by [pool_mx]) counts how
+   many more workers may still pick the task up; [next]/[completed]
+   are claimed/finished index counters; [t_mx]/[t_cv] let the
+   submitter sleep until the last index finishes. *)
+type task = {
+  body : int -> unit;
+  n : int;
+  chunk : int;
+  next : int Atomic.t;
+  completed : int Atomic.t;
+  mutable tickets : int;
+  mutable failed : exn option;  (* protected by t_mx *)
+  t_mx : Mutex.t;
+  t_cv : Condition.t;
+}
+
+let max_pool_size = 64
+
+let pool_mx = Mutex.create ()
+let pool_cv = Condition.create ()
+let pending : task Queue.t = Queue.create ()
+let domains : unit Domain.t list ref = ref []
+let n_workers = ref 0
+let shutting_down = ref false
+let at_exit_registered = ref false
+
+(* Drain chunks of [t] until the claim counter runs past [n].  Called
+   from workers and from the submitting domain alike. *)
+let serve (t : task) =
+  let continue_ = ref true in
+  while !continue_ do
+    let start = Atomic.fetch_and_add t.next t.chunk in
+    if start >= t.n then continue_ := false
+    else begin
+      let stop = min t.n (start + t.chunk) in
+      for i = start to stop - 1 do
+        try t.body i
+        with exn ->
+          Mutex.lock t.t_mx;
+          if t.failed = None then t.failed <- Some exn;
+          Mutex.unlock t.t_mx
+      done;
+      let finished = stop - start in
+      let total = Atomic.fetch_and_add t.completed finished + finished in
+      if total >= t.n then begin
+        (* last chunk: wake the submitter.  The broadcast happens under
+           [t_mx], so it cannot slip between the submitter's counter
+           check and its wait. *)
+        Mutex.lock t.t_mx;
+        Condition.broadcast t.t_cv;
+        Mutex.unlock t.t_mx
+      end
+    end
+  done
+
+let rec worker_loop () =
+  Mutex.lock pool_mx;
+  let rec next_task () =
+    if !shutting_down then None
+    else
+      match Queue.peek_opt pending with
+      | Some t ->
+          t.tickets <- t.tickets - 1;
+          if t.tickets <= 0 then ignore (Queue.pop pending);
+          Some t
+      | None ->
+          Condition.wait pool_cv pool_mx;
+          next_task ()
+  in
+  let t = next_task () in
+  Mutex.unlock pool_mx;
+  match t with
+  | None -> ()
+  | Some t ->
+      serve t;
+      worker_loop ()
+
+let shutdown () =
+  Mutex.lock pool_mx;
+  shutting_down := true;
+  Condition.broadcast pool_cv;
+  Mutex.unlock pool_mx;
+  List.iter Domain.join !domains;
+  domains := [];
+  n_workers := 0;
+  shutting_down := false
+
+(* Grow the pool so at least [count] workers exist (capped). *)
+let ensure_workers count =
+  let want = min count max_pool_size in
+  Mutex.lock pool_mx;
+  if not !at_exit_registered then begin
+    at_exit_registered := true;
+    at_exit shutdown
+  end;
+  while !n_workers < want do
+    domains := Domain.spawn worker_loop :: !domains;
+    incr n_workers
+  done;
+  Mutex.unlock pool_mx
+
+(** Number of persistent worker domains currently parked. *)
+let size () =
+  Mutex.lock pool_mx;
+  let s = !n_workers in
+  Mutex.unlock pool_mx;
+  s
+
+(** [run ~helpers ~n body] calls [body i] exactly once for every
+    [i] in [0 .. n-1], using up to [helpers] pool workers alongside
+    the calling domain (which always participates, so [helpers = 0]
+    degenerates to a plain sequential loop with no synchronisation
+    beyond the task's own counters).  Blocks until every index has
+    finished; re-raises the first exception [body] raised, if any.
+
+    [chunk] overrides the claim granularity; the default aims for a
+    few claims per participant (good load balance) while keeping
+    counter traffic at [n / chunk]. *)
+let run ?chunk ~helpers ~n body =
+  if n < 0 then invalid_arg "Pool.run: n must be non-negative";
+  if n = 0 then ()
+  else begin
+    let helpers = max 0 (min helpers (n - 1)) in
+    let chunk =
+      match chunk with
+      | Some c when c > 0 -> c
+      | Some _ -> invalid_arg "Pool.run: chunk must be positive"
+      | None -> max 1 (min 32 (n / ((helpers + 1) * 4)))
+    in
+    let t =
+      {
+        body;
+        n;
+        chunk;
+        next = Atomic.make 0;
+        completed = Atomic.make 0;
+        tickets = helpers;
+        failed = None;
+        t_mx = Mutex.create ();
+        t_cv = Condition.create ();
+      }
+    in
+    if helpers > 0 then begin
+      ensure_workers helpers;
+      Mutex.lock pool_mx;
+      Queue.push t pending;
+      Condition.broadcast pool_cv;
+      Mutex.unlock pool_mx
+    end;
+    serve t;
+    Mutex.lock t.t_mx;
+    while Atomic.get t.completed < t.n do
+      Condition.wait t.t_cv t.t_mx
+    done;
+    Mutex.unlock t.t_mx;
+    if helpers > 0 then begin
+      (* Retract unclaimed tickets so no worker wakes up later holding a
+         drained task (harmless, but it would spin the claim counter). *)
+      Mutex.lock pool_mx;
+      if t.tickets > 0 then begin
+        t.tickets <- 0;
+        let keep = Queue.create () in
+        Queue.iter (fun x -> if x != t then Queue.push x keep) pending;
+        Queue.clear pending;
+        Queue.transfer keep pending
+      end;
+      Mutex.unlock pool_mx
+    end;
+    match t.failed with Some exn -> raise exn | None -> ()
+  end

@@ -135,3 +135,22 @@ let scenario t = t.scenario
 (** Iterations accumulated so far (for the pruning-effectiveness
     experiment E8). *)
 let total_iterations t = t.rejection.Rejection.cumulative
+
+(** Publish the process-wide {!Scenic_geometry.Spatial_index} counters
+    (builds, cells, max occupancy, build time, broad-phase hit rate)
+    into [probe]'s gauges and counters, so `--stats` runs surface
+    index regressions.  No-op when the probe is disabled. *)
+let index_stats_to_probe (probe : Probe.t) =
+  if probe.Probe.enabled then begin
+    let module SI = Scenic_geometry.Spatial_index in
+    let s = SI.global () in
+    probe.Probe.set_gauge "index.builds" (float_of_int s.SI.builds);
+    probe.Probe.set_gauge "index.cells" (float_of_int s.SI.cells);
+    probe.Probe.set_gauge "index.max_occupancy"
+      (float_of_int s.SI.max_occupancy);
+    probe.Probe.set_gauge "index.build_ms" s.SI.build_ms;
+    probe.Probe.add "index.queries" s.SI.queries;
+    probe.Probe.add "index.broadphase.tests" s.SI.bp_tests;
+    probe.Probe.add "index.broadphase.hits" s.SI.bp_hits;
+    probe.Probe.set_gauge "index.broadphase.hit_rate" (SI.global_hit_rate ())
+  end

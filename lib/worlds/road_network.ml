@@ -28,6 +28,8 @@ type curb = { strip : G.Polygon.t; curb_direction : float }
 
 type t = {
   lanes : lane list;
+  lane_arr : lane array;  (** [lanes] in the same order, for indexing *)
+  lane_index : G.Spatial_index.t;  (** grid over lane polygons *)
   curbs : curb list;
   road_direction : G.Vectorfield.t;
   road_region : G.Region.t;
@@ -177,7 +179,21 @@ let generate ?(n_roads = 7) ?(extent = 300.) ?(one_way_fraction = 0.45)
     G.Region.of_polyset ~name:"workspace"
       (G.Polyset.union road_polyset curb_polyset)
   in
-  { lanes; curbs; road_direction; road_region; curb_region; workspace; extent }
+  let lane_arr = Array.of_list lanes in
+  let lane_index =
+    G.Spatial_index.build (Array.map (fun l -> l.poly) lane_arr)
+  in
+  {
+    lanes;
+    lane_arr;
+    lane_index;
+    curbs;
+    road_direction;
+    road_region;
+    curb_region;
+    workspace;
+    extent;
+  }
 
 (** Total drivable area, for diagnostics. *)
 let road_area t =
@@ -185,5 +201,9 @@ let road_area t =
   | Some ps -> G.Polyset.area ps
   | None -> 0.
 
-(** The lane containing a point, if any. *)
-let lane_at t p = List.find_opt (fun l -> G.Polygon.contains l.poly p) t.lanes
+(** The lane containing a point, if any.  Indexed lookup with the
+    first-match order of the [List.find_opt] scan it replaces. *)
+let lane_at t p =
+  match G.Spatial_index.first_containing t.lane_index p with
+  | Some i -> Some t.lane_arr.(i)
+  | None -> None

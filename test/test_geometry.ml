@@ -413,6 +413,166 @@ let region_tests =
         Alcotest.(check bool) "way off" false (Visibility.sees_box v far_box));
   ]
 
+(* --- Spatial index vs the linear-scan reference ---------------------------- *)
+
+(* Random convex polygons (hulls of random point clouds around a random
+   center), assembled into random polysets.  Kept here as the test-only
+   oracle inputs for the grid-indexed fast paths. *)
+let convex_poly_gen =
+  QCheck.Gen.(
+    map2
+      (fun (cx, cy) pts ->
+        let pts = List.map (fun (x, y) -> Vec.make (cx +. x) (cy +. y)) pts in
+        match Polygon.convex_hull pts with
+        | h -> Some h
+        | exception Polygon.Degenerate _ -> None)
+      (pair (float_range (-40.) 40.) (float_range (-40.) 40.))
+      (list_size (int_range 3 10)
+         (pair (float_range (-8.) 8.) (float_range (-8.) 8.))))
+
+let polyset_gen =
+  QCheck.Gen.map
+    (fun polys -> Polyset.make (List.filter_map Fun.id polys))
+    (QCheck.Gen.list_size (QCheck.Gen.int_range 0 12) convex_poly_gen)
+
+let polyset_arb =
+  QCheck.make ~print:(Fmt.to_to_string Polyset.pp) polyset_gen
+
+(* Query points that exercise inside, boundary and far-outside cases:
+   the raw random point plus every member's centroid and vertices. *)
+let query_points ps p =
+  p
+  :: List.concat_map
+       (fun poly -> Polygon.centroid poly :: Polygon.vertices poly)
+       (Polyset.polygons ps)
+
+(* The linear scans the index replaced, kept verbatim as oracles. *)
+let contains_oracle ps p =
+  List.exists (fun poly -> Polygon.contains poly p) (Polyset.polygons ps)
+
+let dist_oracle boundary p =
+  List.fold_left (fun acc s -> Float.min acc (Seg.dist_to_point s p)) infinity
+    boundary
+
+(* The pre-index Polyset + Polygon sampler, reimplemented verbatim:
+   linear cumulative-area walk over the members (fallthrough to index
+   0), then a per-draw fan triangulation with a linear walk
+   (fallthrough to the last triangle).  The accelerated sampler must
+   consume the same number of urand draws and return bit-identical
+   points. *)
+let reference_sample ps ~urand =
+  let polys = Array.of_list (Polyset.polygons ps) in
+  let areas = Array.map Polygon.area polys in
+  let total = Array.fold_left ( +. ) 0. areas in
+  let r = urand () *. total in
+  let idx = ref 0 and acc = ref 0. in
+  (try
+     Array.iteri
+       (fun i a ->
+         acc := !acc +. a;
+         if r <= !acc then begin
+           idx := i;
+           raise Exit
+         end)
+       areas
+   with Exit -> ());
+  let verts = Array.of_list (Polygon.vertices polys.(!idx)) in
+  let n = Array.length verts in
+  let v0 = verts.(0) in
+  let tris = List.init (n - 2) (fun i -> (v0, verts.(i + 1), verts.(i + 2))) in
+  let areas =
+    List.map
+      (fun (a, b, c) -> Float.abs (Vec.cross (Vec.sub b a) (Vec.sub c a)) /. 2.)
+      tris
+  in
+  let total = List.fold_left ( +. ) 0. areas in
+  let r = urand () *. total in
+  let rec pick tris areas acc =
+    match (tris, areas) with
+    | [ t ], _ -> t
+    | t :: ts, a :: as_ -> if r <= acc +. a then t else pick ts as_ (acc +. a)
+    | _ -> assert false
+  in
+  let a, b, c = pick tris areas 0. in
+  let u = urand () and v = urand () in
+  let u, v = if u +. v > 1. then (1. -. u, 1. -. v) else (u, v) in
+  Vec.add a (Vec.add (Vec.scale u (Vec.sub b a)) (Vec.scale v (Vec.sub c a)))
+
+let vec_identical p q = Vec.x p = Vec.x q && Vec.y p = Vec.y q
+
+let spatial_index_tests =
+  [
+    qtest "indexed contains = linear scan" ~count:300
+      (QCheck.pair polyset_arb vec_arb)
+      (fun (ps, p) ->
+        List.for_all
+          (fun q -> Polyset.contains ps q = contains_oracle ps q)
+          (query_points ps p));
+    qtest "indexed boundary distance = linear fold" ~count:150
+      (QCheck.pair polyset_arb vec_arb)
+      (fun (ps, p) ->
+        let boundary = Polyset.union_boundary ps in
+        let dist = Polyset.dist_to_union_boundary ps in
+        List.for_all
+          (fun q ->
+            let fast = dist q and slow = dist_oracle boundary q in
+            fast = slow || (Float.is_nan fast && Float.is_nan slow))
+          (query_points ps p));
+    qtest "indexed vector-field lookup = find_opt scan" ~count:300
+      (QCheck.pair polyset_arb vec_arb)
+      (fun (ps, p) ->
+        (* headings distinct per piece, so first-match order is
+           observable through the looked-up value *)
+        let pieces =
+          List.mapi (fun i poly -> (poly, float_of_int i +. 1.))
+            (Polyset.polygons ps)
+        in
+        let f = Vectorfield.piecewise ~name:"t" ~default:(-1.) pieces in
+        let oracle q =
+          match
+            List.find_opt (fun (poly, _) -> Polygon.contains poly q) pieces
+          with
+          | Some (_, h) -> h
+          | None -> -1.
+        in
+        List.for_all
+          (fun q -> Vectorfield.at f q = oracle q)
+          (query_points ps p));
+    qtest "table-driven sampling = linear-scan sampling, bit for bit"
+      ~count:300
+      (QCheck.pair polyset_arb (QCheck.int_range 0 100_000))
+      (fun (ps, seed) ->
+        QCheck.assume (not (Polyset.is_empty ps));
+        let rng_a = Scenic_prob.Rng.create seed in
+        let rng_b = Scenic_prob.Rng.create seed in
+        List.for_all Fun.id
+          (List.init 10 (fun _ ->
+               let fast =
+                 Polyset.sample_uniform ps ~urand:(fun () ->
+                     Scenic_prob.Rng.float rng_a)
+               in
+               let slow =
+                 reference_sample ps ~urand:(fun () ->
+                     Scenic_prob.Rng.float rng_b)
+               in
+               vec_identical fast slow)));
+    test_case "index stats are exposed" `Quick (fun () ->
+        Spatial_index.reset_global ();
+        let ps =
+          Polyset.make
+            (List.init 20 (fun i ->
+                 let x = 3. *. float_of_int i in
+                 Polygon.rectangle ~min_x:x ~min_y:0. ~max_x:(x +. 2.)
+                   ~max_y:2.))
+        in
+        ignore (Polyset.contains ps (Vec.make 1. 1.));
+        let s = Spatial_index.global () in
+        Alcotest.(check bool) "a build was counted" true (s.builds >= 1);
+        Alcotest.(check bool) "cells allocated" true (s.cells > 0);
+        Alcotest.(check bool) "query counted" true (s.queries >= 1);
+        Alcotest.(check bool) "occupancy sane" true (s.max_occupancy >= 1));
+  ]
+
 let suites =
   [
     ("geometry.vec", vec_tests);
@@ -422,4 +582,5 @@ let suites =
     ("geometry.polyset", polyset_tests);
     ("geometry.rect", rect_tests);
     ("geometry.region", region_tests);
+    ("geometry.spatial-index", spatial_index_tests);
   ]

@@ -33,6 +33,32 @@ let determinism_tests =
         Alcotest.(check int)
           "16 scenes each" 16
           (List.length (S.Parallel.scenes b1)));
+    test_case "jobs 1, 2 and 4 draw bit-identical batches" `Slow (fun () ->
+        (* the CI determinism contract for the chunked scheduler: any
+           jobs count partitions the index space differently, yet every
+           sample still draws from its own stream *)
+        let scenario = compile filtered in
+        let draw jobs = S.Parallel.run ~jobs ~seed:17 ~n:24 scenario in
+        let reference = scene_strings (draw 1) in
+        List.iter
+          (fun jobs ->
+            Alcotest.(check (list string))
+              (Printf.sprintf "jobs %d matches jobs 1" jobs)
+              reference
+              (scene_strings (draw jobs)))
+          [ 2; 4 ]);
+    test_case "the persistent pool serves back-to-back batches" `Slow
+      (fun () ->
+        (* worker domains outlive a batch; reusing them must neither
+           deadlock nor perturb results *)
+        let scenario = compile filtered in
+        let draw () = scene_strings (S.Parallel.run ~jobs:4 ~seed:5 ~n:16 scenario) in
+        let first = draw () in
+        for _ = 1 to 3 do
+          Alcotest.(check (list string)) "reused pool, same batch" first (draw ())
+        done;
+        Alcotest.(check bool) "pool retained its workers" true
+          (S.Pool.size () >= 1));
     test_case "merged diagnosis is identical across jobs counts" `Slow
       (fun () ->
         let draw jobs = R.parallel_batch ~jobs ~seed:9 ~n:16 filtered in
