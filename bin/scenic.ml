@@ -10,8 +10,9 @@ open Cmdliner
 module T = Scenic_telemetry
 
 (* Exit codes: 1 for compile-time and runtime errors, 3 when a sampling
-   budget is exhausted (2 is cmdliner's usage-error code).  Scripts can
-   tell "this scenario is broken" from "this scenario is too hard". *)
+   budget is exhausted (cmdliner reserves 124 for usage errors).
+   Scripts can tell "this scenario is broken" from "this scenario is
+   too hard".  The contract is pinned by test/test_cli.ml. *)
 let exit_error = 1
 let exit_exhausted = 3
 
@@ -457,7 +458,111 @@ let worlds_cmd =
   in
   Cmd.v (Cmd.info "worlds" ~doc:"list registered world models") Term.(const run $ const ())
 
+(* Exit code 4: the statistical conformance suite found a distributional
+   mismatch (distinct from 1 = error and 3 = budget exhausted). *)
+let exit_nonconformant = 4
+
+module Conf = Scenic_conformance
+
+let conformance_cmd =
+  let seed_arg =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"master random seed")
+  in
+  let alpha_arg =
+    Arg.(
+      value
+      & opt float Conf.Suite.default.Conf.Suite.alpha
+      & info [ "alpha" ] ~docv:"A"
+          ~doc:"family-wise significance level (Bonferroni-corrected per check)")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt float Conf.Suite.default.Conf.Suite.budget_s
+      & info [ "budget-s" ] ~docv:"S"
+          ~doc:"wall-clock budget in seconds; sections past it are skipped")
+  in
+  let samples_arg =
+    Arg.(
+      value
+      & opt int Conf.Suite.default.Conf.Suite.samples
+      & info [ "samples"; "n" ] ~docv:"N" ~doc:"scenes per marginal check")
+  in
+  let diff_samples_arg =
+    Arg.(
+      value
+      & opt int Conf.Suite.default.Conf.Suite.diff_samples
+      & info [ "diff-samples" ] ~docv:"N"
+          ~doc:"scenes per differential sampler arm")
+  in
+  let fuzz_arg =
+    Arg.(
+      value
+      & opt int Conf.Suite.default.Conf.Suite.fuzz_count
+      & info [ "fuzz" ] ~docv:"N" ~doc:"number of fuzzer programs (0 disables)")
+  in
+  let index_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "index" ] ~docv:"K"
+          ~doc:
+            "replay a single fuzzer program (print it and its check result, \
+             skip the statistical suite)")
+  in
+  let run seed alpha budget_s samples diff_samples fuzz_count index =
+    init ();
+    handle_errors (fun () ->
+        match index with
+        | Some index ->
+            (* deterministic replay of one fuzzed program *)
+            print_string (Conf.Fuzzer.source ~seed ~index);
+            (match Conf.Fuzzer.check ~seed ~index with
+            | None -> Fmt.pr "fuzz --seed %d --index %d: ok@." seed index
+            | Some f ->
+                Fmt.epr "%a@." Conf.Fuzzer.pp_failure f;
+                exit exit_nonconformant)
+        | None ->
+            let cfg =
+              {
+                Conf.Suite.seed;
+                alpha;
+                budget_s;
+                samples;
+                diff_samples;
+                fuzz_count;
+              }
+            in
+            let result =
+              Conf.Suite.run
+                ~progress:(fun name -> Fmt.epr "running %s...@." name)
+                cfg
+            in
+            Fmt.pr "%a@." Conf.Check.pp_report result.Conf.Suite.report;
+            List.iter
+              (fun f -> Fmt.epr "%a@." Conf.Fuzzer.pp_failure f)
+              result.Conf.Suite.fuzz.Conf.Fuzzer.failures;
+            if not (Conf.Check.ok result.Conf.Suite.report) then
+              exit exit_nonconformant)
+  in
+  Cmd.v
+    (Cmd.info "conformance"
+       ~doc:
+         "statistical conformance suite: analytic marginal checks, \
+          differential sampler oracles (rejection vs. pruned rejection vs. \
+          MCMC under two-sample KS), and a seeded scenario fuzzer"
+       ~man:
+         [
+           `S Manpage.s_exit_status;
+           `P
+             "0 on conformance, 1 on errors, 4 when a statistical check or \
+              fuzzed program fails.";
+         ])
+    Term.(
+      const run $ seed_arg $ alpha_arg $ budget_arg $ samples_arg
+      $ diff_samples_arg $ fuzz_arg $ index_arg)
+
 let () =
   let doc = "Scenic: a language for scenario specification and scene generation" in
   let info = Cmd.info "scenic" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ parse_cmd; check_cmd; lint_cmd; sample_cmd; render_cmd; falsify_cmd; worlds_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ parse_cmd; check_cmd; lint_cmd; sample_cmd; render_cmd; falsify_cmd; conformance_cmd; worlds_cmd ]))

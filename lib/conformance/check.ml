@@ -1,0 +1,95 @@
+(** Conformance check results and reports.
+
+    A check is either a statistical test (carrying a p-value) or a
+    boolean assertion.  Statistical checks are judged against a
+    Bonferroni-corrected threshold: a suite running [k] tests at family
+    significance [alpha] fails a check only when its p-value drops
+    below [alpha / k], so the probability of a spurious suite failure
+    under the null is at most [alpha] regardless of how many checks a
+    future PR adds.  With a fixed seed the verdicts are deterministic,
+    so a green run stays green in CI. *)
+
+module Stats = Scenic_prob.Stats
+
+type kind =
+  | Stat of { statistic : float; df : float; p_value : float; n : int }
+      (** a statistical test on [n] samples *)
+  | Flag of bool  (** a boolean assertion (fuzzer survival, exactness) *)
+  | Skip of string  (** not run, with the reason (budget, inapplicable) *)
+
+type t = { name : string; kind : kind; detail : string }
+
+let stat ~name ?(detail = "") ~n (test : Stats.test) =
+  {
+    name;
+    kind =
+      Stat
+        {
+          statistic = test.Stats.statistic;
+          df = test.Stats.df;
+          p_value = test.Stats.p_value;
+          n;
+        };
+    detail;
+  }
+
+let flag ~name ?(detail = "") ok = { name; kind = Flag ok; detail }
+let skip ~name reason = { name; kind = Skip reason; detail = "" }
+
+type verdict = Pass | Fail | Skipped
+
+let verdict ~threshold c =
+  match c.kind with
+  | Stat s -> if s.p_value < threshold then Fail else Pass
+  | Flag ok -> if ok then Pass else Fail
+  | Skip _ -> Skipped
+
+type report = {
+  checks : t list;
+  alpha : float;  (** family-wise significance level *)
+  threshold : float;  (** per-check Bonferroni threshold actually applied *)
+  failures : t list;
+  skipped : int;
+  elapsed_s : float;
+}
+
+let judge ~alpha ~elapsed_s checks =
+  let n_stat =
+    List.length
+      (List.filter (fun c -> match c.kind with Stat _ -> true | _ -> false) checks)
+  in
+  let threshold = if n_stat = 0 then alpha else alpha /. float_of_int n_stat in
+  let failures = List.filter (fun c -> verdict ~threshold c = Fail) checks in
+  let skipped =
+    List.length (List.filter (fun c -> verdict ~threshold c = Skipped) checks)
+  in
+  { checks; alpha; threshold; failures; skipped; elapsed_s }
+
+let ok r = r.failures = []
+
+let pp_check ~threshold ppf c =
+  let v =
+    match verdict ~threshold c with
+    | Pass -> "ok"
+    | Fail -> "FAIL"
+    | Skipped -> "skip"
+  in
+  (match c.kind with
+  | Stat s ->
+      Fmt.pf ppf "  %-52s %6d %9.4f %10.2e  %s" c.name s.n s.statistic
+        s.p_value v
+  | Flag _ -> Fmt.pf ppf "  %-52s %6s %9s %10s  %s" c.name "-" "-" "-" v
+  | Skip reason -> Fmt.pf ppf "  %-52s %6s %9s %10s  %s (%s)" c.name "-" "-" "-" v reason);
+  if c.detail <> "" && verdict ~threshold c = Fail then
+    Fmt.pf ppf "@,      %s" c.detail
+
+let pp_report ppf r =
+  Fmt.pf ppf "@[<v>";
+  Fmt.pf ppf "  %-52s %6s %9s %10s  %s@," "CHECK" "N" "STAT" "P-VALUE" "VERDICT";
+  List.iter (fun c -> Fmt.pf ppf "%a@," (pp_check ~threshold:r.threshold) c) r.checks;
+  Fmt.pf ppf
+    "%d checks, %d failed, %d skipped (alpha %g, per-check threshold %.3g, \
+     %.1fs)@]"
+    (List.length r.checks)
+    (List.length r.failures)
+    r.skipped r.alpha r.threshold r.elapsed_s

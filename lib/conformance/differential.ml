@@ -1,0 +1,90 @@
+(** Differential sampler oracles: two samplers claiming the same
+    scenario must produce the same scene distribution.  The paper's
+    pruning theorem (Sec. 5.2, App. B.5: pruning only discards
+    zero-probability regions) and the MCMC sampler's stationarity are
+    made executable by drawing independent batches from each sampler
+    and requiring agreement under two-sample KS on every standard
+    projection ({!Scenic_sampler.Project}). *)
+
+module C = Scenic_core
+module P = Scenic_prob
+module S = Scenic_sampler
+module Stats = P.Stats
+
+(* independent RNG streams per sampler arm, so two arms at the same
+   master seed never share draws *)
+let stream_plain = 101
+let stream_pruned = 102
+let stream_mcmc_init = 103
+
+(** KS-compare two scene batches under a projection list; one check
+    per projection.  Constant projections (e.g. a fixed ego) yield
+    distance 0 and pass trivially. *)
+let ks_checks ~name ~projections scenes_a scenes_b =
+  List.map
+    (fun p ->
+      let xs = List.map (S.Project.apply p) scenes_a
+      and ys = List.map (S.Project.apply p) scenes_b in
+      let cname = name ^ "/" ^ S.Project.name p in
+      match Stats.ks_test xs ys with
+      | Some test -> Check.stat ~name:cname ~n:(List.length xs) test
+      | None -> Check.flag ~name:cname ~detail:"empty sample" false)
+    projections
+
+let guard ~name f =
+  match f () with
+  | checks -> checks
+  | exception C.Errors.Scenic_error (kind, _) ->
+      [
+        Check.flag ~name
+          ~detail:(Fmt.str "sampler raised: %a" C.Errors.pp_kind kind)
+          false;
+      ]
+
+(** Pruned rejection vs. plain rejection on [src].  Pruning runs on
+    its own compiled copy of the scenario ({!S.Analyze.prune} rewrites
+    random nodes in place). *)
+let prune_vs_plain ~seed ~n ~name src =
+  let full = name ^ "/prune-vs-plain" in
+  guard ~name:full (fun () ->
+      let plain = World.compile src in
+      let plain_scenes =
+        S.Rejection.sample_many
+          (S.Rejection.create ~rng:(P.Rng.create ~stream:stream_plain seed) plain)
+          n
+      in
+      let pruned = World.compile src in
+      ignore (S.Analyze.prune pruned);
+      let pruned_scenes =
+        S.Rejection.sample_many
+          (S.Rejection.create
+             ~rng:(P.Rng.create ~stream:stream_pruned seed)
+             pruned)
+          n
+      in
+      ks_checks ~name:full
+        ~projections:(S.Project.of_scenario plain)
+        plain_scenes pruned_scenes)
+
+(** MCMC vs. plain rejection on [src].  Only sound where the MCMC
+    sampler is exact (fixed-parameter base distributions — see
+    Mcmc); thinning keeps the chain's autocorrelation far below the
+    KS test's resolution. *)
+let mcmc_vs_rejection ?(burn_in = 300) ?(thin = 30) ~seed ~n ~name src =
+  let full = name ^ "/mcmc-vs-rejection" in
+  guard ~name:full (fun () ->
+      let plain = World.compile src in
+      let plain_scenes =
+        S.Rejection.sample_many
+          (S.Rejection.create ~rng:(P.Rng.create ~stream:stream_plain seed) plain)
+          n
+      in
+      let chain_scenario = World.compile src in
+      let chain =
+        S.Mcmc.create ~burn_in ~thin ~seed:(seed + stream_mcmc_init)
+          chain_scenario
+      in
+      let mcmc_scenes = S.Mcmc.sample_many chain n in
+      ks_checks ~name:full
+        ~projections:(S.Project.of_scenario plain)
+        plain_scenes mcmc_scenes)

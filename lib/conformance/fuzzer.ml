@@ -1,0 +1,434 @@
+(** Seeded scenario fuzzer: generates well-formed [Scenic_lang.Ast]
+    programs — dependency-acyclic specifier combinations over the
+    Fig. 7 operators, random classes with [self]-referencing defaults
+    — and pushes each through (1) pretty -> parse -> pretty round-trip,
+    (2) compilation (which runs the Alg. 1 dependency sorter),
+    (3) a short rejection-sampling run, (4) a bit-determinism re-run
+    from a fresh compile, and (5) a pruned differential run (pruning
+    must preserve feasibility).
+
+    Everything is derived from [(seed, index)], so any failure replays
+    exactly with [scenic conformance --seed N --index K].
+
+    Acyclicity by construction: a position specifier that depends on
+    the object's own heading (the lateral [left of <vector> by d]
+    family) is never combined with a heading specifier that depends on
+    the object's own position ([facing <field>-relative], [facing
+    toward], [apparently facing]); classes reference only
+    earlier-declared properties through [self]. *)
+
+module A = Scenic_lang.Ast
+module L = Scenic_lang
+module C = Scenic_core
+module P = Scenic_prob
+module S = Scenic_sampler
+
+let e desc = { A.desc; loc = L.Loc.dummy }
+let sp sp_desc = { A.sp_desc; sp_loc = L.Loc.dummy }
+let st sdesc = { A.sdesc; sloc = L.Loc.dummy }
+
+(* --- generator ----------------------------------------------------------- *)
+
+type genv = {
+  rng : P.Rng.t;
+  mutable scalars : (string * (float * float)) list;
+      (** declared scalar variables with conservative bounds, for
+          generating feasible [require] thresholds *)
+  mutable objects : string list;  (** object variable names, ego first *)
+  mutable fresh : int;
+}
+
+let rand env n = P.Rng.int env.rng n
+let chance env p = P.Rng.float env.rng < p
+let pick env arr = arr.(rand env (Array.length arr))
+
+let fresh env prefix =
+  env.fresh <- env.fresh + 1;
+  Printf.sprintf "%s%d" prefix env.fresh
+
+(* a "nice" half-integer in [lo, hi]: prints via %g and reparses to
+   the identical float, keeping the round-trip check byte-exact *)
+let nice env ~lo ~hi =
+  let steps = int_of_float ((hi -. lo) *. 2.) in
+  lo +. (float_of_int (rand env (steps + 1)) /. 2.)
+
+(* the pretty-printer renders Num (-3.) as "-3", which reparses as
+   Unop (Neg, Num 3.) — so negative constants must be built that way *)
+let num v = if v < 0. then e (A.Unop (A.Neg, e (A.Num (-.v)))) else e (A.Num v)
+
+(* scalar expression with conservative interval bounds *)
+let rec scalar env depth : A.expr * (float * float) =
+  let leaf () =
+    match rand env 3 with
+    | 0 ->
+        let v = nice env ~lo:(-5.) ~hi:5. in
+        (num v, (v, v))
+    | 1 ->
+        let a = nice env ~lo:(-5.) ~hi:4. in
+        let b = a +. nice env ~lo:0.5 ~hi:5. in
+        (e (A.Interval (num a, num b)), (a, b))
+    | _ -> (
+        match env.scalars with
+        | [] ->
+            let v = nice env ~lo:(-5.) ~hi:5. in
+            (num v, (v, v))
+        | vars ->
+            let name, bounds = List.nth vars (rand env (List.length vars)) in
+            (e (A.Var name), bounds))
+  in
+  if depth <= 0 then leaf ()
+  else
+    match rand env 6 with
+    | 0 | 1 -> leaf ()
+    | 2 ->
+        let a, (alo, ahi) = scalar env (depth - 1)
+        and b, (blo, bhi) = scalar env (depth - 1) in
+        (e (A.Binop (A.Add, a, b)), (alo +. blo, ahi +. bhi))
+    | 3 ->
+        let a, (alo, ahi) = scalar env (depth - 1)
+        and b, (blo, bhi) = scalar env (depth - 1) in
+        (e (A.Binop (A.Sub, a, b)), (alo -. bhi, ahi -. blo))
+    | 4 ->
+        let a, (alo, ahi) = scalar env (depth - 1)
+        and b, (blo, bhi) = scalar env (depth - 1) in
+        let products = [ alo *. blo; alo *. bhi; ahi *. blo; ahi *. bhi ] in
+        ( e (A.Binop (A.Mul, a, b)),
+          ( List.fold_left Float.min infinity products,
+            List.fold_left Float.max neg_infinity products ) )
+    | _ ->
+        (* discrete choice: Uniform(a, b) *)
+        let a, (alo, ahi) = scalar env (depth - 1)
+        and b, (blo, bhi) = scalar env (depth - 1) in
+        ( e (A.Call (e (A.Var "Uniform"), [ A.Pos_arg a; A.Pos_arg b ])),
+          (Float.min alo blo, Float.max ahi bhi) )
+
+(* a position coordinate kept well inside the arena so the default
+   containment requirement stays satisfiable *)
+let coord env =
+  if chance env 0.5 then num (nice env ~lo:(-35.) ~hi:35.)
+  else
+    let a = nice env ~lo:(-35.) ~hi:30. in
+    e (A.Interval (num a, num (a +. nice env ~lo:1. ~hi:5.)))
+
+let vec env = e (A.Vector (coord env, coord env))
+
+let small_vec env =
+  e
+    (A.Vector
+       (num (nice env ~lo:(-5.) ~hi:5.), num (nice env ~lo:(-5.) ~hi:5.)))
+
+(* position specifiers; [`Lateral] marks the family that depends on
+   the object's own heading *)
+let position_spec env =
+  match rand env 8 with
+  | 0 -> (sp (A.S_at (vec env)), `Plain)
+  | 1 -> (sp (A.S_offset_by (small_vec env)), `Plain)
+  | 2 -> (sp (A.S_in (e (A.Var "arena"))), `Plain)
+  | 3 -> (sp (A.S_in (e (A.Var "stripe"))), `Plain)
+  | 4 -> (sp (A.S_on (e (A.Var "stripe"))), `Plain)
+  | 5 -> (sp (A.S_beyond (vec env, small_vec env, None)), `Plain)
+  | 6 -> (sp (A.S_visible None), `Plain)
+  | _ ->
+      let by = Some (num (nice env ~lo:0.5 ~hi:3.)) in
+      let mk =
+        pick env
+          [|
+            (fun v b -> A.S_left_of (v, b));
+            (fun v b -> A.S_right_of (v, b));
+            (fun v b -> A.S_ahead_of (v, b));
+            (fun v b -> A.S_behind (v, b));
+          |]
+      in
+      (sp (mk (vec env) by), `Lateral)
+
+(* heading specifiers; [`Dep_position] marks those that depend on the
+   object's own position *)
+let heading_spec env =
+  match rand env 6 with
+  | 0 ->
+      let h, _ = scalar env 1 in
+      (sp (A.S_facing h), `Plain)
+  | 1 -> (sp (A.S_facing (e (A.Deg (num (nice env ~lo:(-90.) ~hi:90.))))), `Plain)
+  | 2 -> (sp (A.S_facing_toward (vec env)), `Dep_position)
+  | 3 -> (sp (A.S_facing_away (vec env)), `Dep_position)
+  | 4 ->
+      let w = e (A.Deg (e (A.Interval (num (-20.), num 20.)))) in
+      (sp (A.S_facing (e (A.Relative_to (w, e (A.Var "roadDir"))))), `Dep_position)
+  | _ -> (sp (A.S_apparently_facing (num (nice env ~lo:(-3.) ~hi:3.), None)), `Dep_position)
+
+let neutral_specs =
+  [
+    sp (A.S_with ("requireVisible", e (A.Bool false)));
+    sp (A.S_with ("allowCollisions", e (A.Bool true)));
+  ]
+
+let instance env ~cls =
+  let pos, pos_kind = position_spec env in
+  let heading =
+    if not (chance env 0.6) then []
+    else
+      let rec feasible () =
+        let h, h_kind = heading_spec env in
+        (* acyclicity: heading-depends-on-position is incompatible
+           with position-depends-on-heading *)
+        if pos_kind = `Lateral && h_kind = `Dep_position then feasible ()
+        else [ h ]
+      in
+      feasible ()
+  in
+  let tags =
+    if not (chance env 0.4) then []
+    else
+      let x, _ = scalar env 1 in
+      [ sp (A.S_with (fresh env "tag", x)) ]
+  in
+  e (A.Instance (cls, (pos :: heading) @ tags @ neutral_specs))
+
+(* a class with self-referencing defaults; each default only refers to
+   properties declared earlier in the same class (or the built-in
+   width), keeping the per-object dependency graph acyclic *)
+let class_def env =
+  let cname = String.capitalize_ascii (fresh env "Cls") in
+  let self_attr p = e (A.Attr (e (A.Var "self"), p)) in
+  let base =
+    let a = nice env ~lo:0.5 ~hi:1.5 in
+    (fresh env "girth", e (A.Interval (num a, num (a +. 1.))))
+  in
+  let dependent =
+    let d = fresh env "bulk" in
+    let refd = if chance env 0.5 then fst base else "width" in
+    (d, e (A.Binop (A.Add, self_attr refd, num (nice env ~lo:0.5 ~hi:2.))))
+  in
+  let props =
+    if chance env 0.3 then
+      [ base; dependent; ("width", e (A.Interval (num 0.5, num 2.))) ]
+    else [ base; dependent ]
+  in
+  (cname, st (A.Class_def { cname; superclass = None; props; methods = [] }))
+
+let require_stmts env =
+  let used = Hashtbl.create 4 in
+  List.filter_map
+    (fun _ ->
+      match env.scalars with
+      | [] -> None
+      | vars -> (
+          let name, (lo, hi) = List.nth vars (rand env (List.length vars)) in
+          if Hashtbl.mem used name then None
+          else begin
+            Hashtbl.add used name ();
+            (* threshold just above the lower bound keeps each
+               requirement's acceptance probability >= ~1/2 even for
+               discrete choices concentrated at the endpoints; for a
+               (near-)constant variable the requirement must be
+               trivially true, so drop below the bound entirely *)
+            let t =
+              if hi -. lo < 1e-9 then lo -. 1.
+              else lo +. (0.1 *. (hi -. lo))
+            in
+            let cond = e (A.Binop (A.Gt, e (A.Var name), num t)) in
+            match rand env 3 with
+            | 0 -> Some (st (A.Require cond))
+            | 1 -> Some (st (A.Require_p (num 0.8, cond)))
+            | _ ->
+                let obj = List.nth env.objects (rand env (List.length env.objects)) in
+                Some
+                  (st
+                     (A.Require
+                        (e
+                           (A.Binop
+                              ( A.Le,
+                                e (A.Distance_to (None, e (A.Var obj))),
+                                num 300. )))))
+          end))
+    [ (); () ]
+
+(** The program for [(seed, index)]: deterministic, well-formed,
+    feasible by construction. *)
+let program ~seed ~index : A.program =
+  let env =
+    {
+      rng = P.Rng.create ~stream:((2 * index) + 1) seed;
+      scalars = [];
+      objects = [];
+      fresh = 0;
+    }
+  in
+  let imports = [ st (A.Import "confLib") ] in
+  let classes =
+    if chance env 0.5 then [ class_def env ] else []
+  in
+  let class_names = List.map fst classes in
+  let assigns =
+    List.init
+      (1 + rand env 3)
+      (fun _ ->
+        let x, bounds = scalar env 2 in
+        let name = fresh env "x" in
+        env.scalars <- (name, bounds) :: env.scalars;
+        st (A.Assign (name, x)))
+  in
+  let params =
+    if chance env 0.3 then
+      let x, _ = scalar env 1 in
+      [ st (A.Param_stmt [ (fresh env "p", x) ]) ]
+    else []
+  in
+  let ego =
+    env.objects <- [ "ego" ];
+    st
+      (A.Assign
+         ( "ego",
+           e
+             (A.Instance
+                ( "Object",
+                  sp
+                    (A.S_at
+                       (e
+                          (A.Vector
+                             ( num (nice env ~lo:(-20.) ~hi:20.),
+                               num (nice env ~lo:(-20.) ~hi:20.) ))))
+                  :: (if chance env 0.5 then
+                        [ sp (A.S_facing (num (nice env ~lo:(-3.) ~hi:3.))) ]
+                      else [])
+                  @ neutral_specs )) ))
+  in
+  let objects =
+    List.init
+      (1 + rand env 3)
+      (fun _ ->
+        let cls =
+          match class_names with
+          | [ c ] when chance env 0.5 -> c
+          | _ -> "Object"
+        in
+        let name = fresh env "o" in
+        env.objects <- env.objects @ [ name ];
+        st (A.Assign (name, instance env ~cls)))
+  in
+  let requires = require_stmts env in
+  let mutate =
+    if chance env 0.2 then
+      let target = List.nth env.objects (rand env (List.length env.objects)) in
+      let by =
+        if chance env 0.5 then Some (num (nice env ~lo:0.5 ~hi:2.)) else None
+      in
+      [ st (A.Mutate ([ target ], by)) ]
+    else []
+  in
+  imports @ List.map snd classes @ assigns @ params @ (ego :: objects)
+  @ requires @ mutate
+
+let source ~seed ~index = L.Pretty.program_to_string (program ~seed ~index)
+
+(* --- checks -------------------------------------------------------------- *)
+
+type failure = {
+  f_seed : int;
+  f_index : int;
+  f_stage : string;  (** roundtrip | compile | sample | determinism | prune *)
+  f_detail : string;
+  f_program : string;  (** pretty-printed source, for replay *)
+}
+
+let pp_failure ppf f =
+  Fmt.pf ppf
+    "@[<v>fuzz failure: stage %s at --seed %d --index %d@,%s@,--- program \
+     ---@,%s---@]"
+    f.f_stage f.f_seed f.f_index f.f_detail f.f_program
+
+(* scene fingerprint that ignores object ids (fresh compiles allocate
+   fresh oids, which Scene.to_string includes) *)
+let scene_fingerprint (s : C.Scene.t) =
+  Fmt.str "%a"
+    (Fmt.list ~sep:(Fmt.any ";")
+       (fun ppf (o : C.Scene.cobj) ->
+         Fmt.pf ppf "%s{%a}" o.C.Scene.c_class
+           (Fmt.list ~sep:(Fmt.any ",") (fun ppf (k, v) ->
+                Fmt.pf ppf "%s=%a" k C.Value.pp v))
+           (List.sort compare o.C.Scene.c_props)))
+    s.C.Scene.objs
+  ^ Fmt.str "|%a"
+      (Fmt.list ~sep:(Fmt.any ",") (fun ppf (k, v) ->
+           Fmt.pf ppf "%s=%a" k C.Value.pp v))
+      (List.sort compare s.C.Scene.params)
+
+let max_iters = 20_000
+
+(** Run every conformance stage on program [(seed, index)]; [None]
+    means it survived. *)
+let check ~seed ~index : failure option =
+  World.ensure ();
+  let src = source ~seed ~index in
+  let fail stage detail =
+    Some { f_seed = seed; f_index = index; f_stage = stage; f_detail = detail; f_program = src }
+  in
+  let sample_rng () = P.Rng.create ~stream:(2 * (index + 1)) seed in
+  (* 1. pretty -> parse -> pretty must be a fixed point *)
+  match L.Parser.parse ~file:"<fuzz>" src with
+  | exception exn -> fail "roundtrip" ("parse raised: " ^ Printexc.to_string exn)
+  | reparsed ->
+      let src2 = L.Pretty.program_to_string reparsed in
+      if src2 <> src then
+        fail "roundtrip"
+          (Fmt.str "pretty(parse(p)) differs:@,<<<@,%s>>>" src2)
+      else begin
+        (* 2. compile: runs the Alg. 1 dependency sorter *)
+        match C.Eval.compile ~file:"<fuzz>" src with
+        | exception exn ->
+            fail "compile" ("compile raised: " ^ Printexc.to_string exn)
+        | scenario -> (
+            (* 3. short rejection-sampling run *)
+            let sampler =
+              S.Rejection.create ~max_iters ~rng:(sample_rng ()) scenario
+            in
+            match S.Rejection.sample_many sampler 3 with
+            | exception exn ->
+                fail "sample" ("sampling raised: " ^ Printexc.to_string exn)
+            | scenes -> (
+                (* 4. fresh compile + same RNG stream => identical scenes *)
+                let scenario2 = C.Eval.compile ~file:"<fuzz>" src in
+                let sampler2 =
+                  S.Rejection.create ~max_iters ~rng:(sample_rng ()) scenario2
+                in
+                match S.Rejection.sample_many sampler2 3 with
+                | exception exn ->
+                    fail "determinism" ("re-run raised: " ^ Printexc.to_string exn)
+                | scenes2 ->
+                    let fp = List.map scene_fingerprint scenes
+                    and fp2 = List.map scene_fingerprint scenes2 in
+                    if fp <> fp2 then
+                      fail "determinism"
+                        "fresh compile with the same seed produced different \
+                         scenes"
+                    else begin
+                      (* 5. pruning must preserve feasibility: a sound
+                         pruner only removes zero-probability mass, so
+                         the pruned sampler must still produce scenes *)
+                      let scenario3 = C.Eval.compile ~file:"<fuzz>" src in
+                      match
+                        ignore (S.Analyze.prune scenario3);
+                        S.Rejection.sample_many
+                          (S.Rejection.create ~max_iters ~rng:(sample_rng ())
+                             scenario3)
+                          2
+                      with
+                      | exception exn ->
+                          fail "prune"
+                            ("pruned run raised: " ^ Printexc.to_string exn)
+                      | _ -> None
+                    end))
+      end
+
+type summary = { total : int; failures : failure list }
+
+(** Fuzz [count] programs at [seed]; deterministic. *)
+let run ?(on_program = fun _ -> ()) ~seed ~count () : summary =
+  let failures = ref [] in
+  for index = 0 to count - 1 do
+    on_program index;
+    match check ~seed ~index with
+    | None -> ()
+    | Some f -> failures := f :: !failures
+  done;
+  { total = count; failures = List.rev !failures }

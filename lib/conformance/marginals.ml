@@ -1,0 +1,238 @@
+(** Statistical assertions that sampled scenes match the analytic
+    marginals the paper's semantics imply (Sec. 4.3): uniform-in-region
+    positions via area-stratified chi-square, [facing ... relative to]
+    angle marginals, [mutate] Gaussian noise moments, and [require[p]]
+    acceptance rates.  Every check documents the closed form it tests
+    against and returns p-values; the suite judges them jointly. *)
+
+module G = Scenic_geometry
+module C = Scenic_core
+module P = Scenic_prob
+module S = Scenic_sampler
+module Stats = P.Stats
+
+let pi = G.Angle.pi
+
+(* Sample [n] scenes with a dedicated RNG stream so checks are
+   mutually independent at a fixed master seed. *)
+let sample_scenes ~seed ~stream ~n ?max_iters src =
+  let scenario = World.compile src in
+  let rng = P.Rng.create ~stream seed in
+  let sampler = S.Rejection.create ?max_iters ~rng scenario in
+  (sampler, S.Rejection.sample_many sampler n)
+
+let the_object scene =
+  match C.Scene.non_ego scene with
+  | [ o ] -> o
+  | os ->
+      invalid_arg
+        (Printf.sprintf "Marginals: expected 1 non-ego object, got %d"
+           (List.length os))
+
+(* chi-square against equal-probability cells *)
+let chi2_uniform ~name ~detail counts =
+  let expected = Array.make (Array.length counts) 1. in
+  Check.stat ~name ~detail
+    ~n:(Array.fold_left ( + ) 0 counts)
+    (Stats.chi2_test ~observed:counts ~expected)
+
+(** Uniformity of [Object in arena].  The workspace containment
+    requirement conditions the uniform draw on the object's 1x1 bbox
+    (heading 0) staying inside the arena, so the exact conditional law
+    is uniform on the eroded square [-49.5,49.5]^2; we stratify it
+    into an equal-area 5x5 grid and chi-square the cell counts. *)
+let uniform_in_arena ~seed ~n =
+  let src =
+    World.header
+    ^ "ego = Object at 0 @ 0" ^ World.neutral ^ "\n"
+    ^ "Object in arena" ^ World.neutral ^ "\n"
+  in
+  let _, scenes = sample_scenes ~seed ~stream:11 ~n src in
+  let k = 5 in
+  let lo = -49.5 and hi = 49.5 in
+  let cell v =
+    let i = int_of_float (float_of_int k *. (v -. lo) /. (hi -. lo)) in
+    Stdlib.max 0 (Stdlib.min (k - 1) i)
+  in
+  let counts = Array.make (k * k) 0 in
+  List.iter
+    (fun s ->
+      let p = C.Scene.position (the_object s) in
+      let i = (cell (G.Vec.x p) * k) + cell (G.Vec.y p) in
+      counts.(i) <- counts.(i) + 1)
+    scenes;
+  [
+    chi2_uniform ~name:"marginal/uniform-in-arena/xy-grid"
+      ~detail:"position of `Object in arena` vs uniform on eroded arena"
+      counts;
+  ]
+
+(** Uniformity of [Object in stripe] plus the stripe's orientation
+    field: position uniform on [0,10] x [-49.5,49.5] (the heading is
+    -pi/2, so the rotated 1x1 bbox still has half-extent 0.5 on each
+    axis) and heading exactly the field value. *)
+let uniform_in_stripe ~seed ~n =
+  let src =
+    World.header
+    ^ "ego = Object at 25 @ 0" ^ World.neutral ^ "\n"
+    ^ "Object in stripe" ^ World.neutral ^ "\n"
+  in
+  let _, scenes = sample_scenes ~seed ~stream:12 ~n src in
+  let kx = 2 and ky = 8 in
+  let cell v ~lo ~hi ~k =
+    let i = int_of_float (float_of_int k *. (v -. lo) /. (hi -. lo)) in
+    Stdlib.max 0 (Stdlib.min (k - 1) i)
+  in
+  let counts = Array.make (kx * ky) 0 in
+  let headings_exact = ref true in
+  List.iter
+    (fun s ->
+      let o = the_object s in
+      let p = C.Scene.position o in
+      if Float.abs (C.Scene.heading o -. World.east) > 1e-9 then
+        headings_exact := false;
+      let i =
+        (cell (G.Vec.x p) ~lo:0. ~hi:10. ~k:kx * ky)
+        + cell (G.Vec.y p) ~lo:(-49.5) ~hi:49.5 ~k:ky
+      in
+      counts.(i) <- counts.(i) + 1)
+    scenes;
+  [
+    chi2_uniform ~name:"marginal/uniform-in-stripe/xy-grid"
+      ~detail:"position of `Object in stripe` vs uniform on eroded stripe"
+      counts;
+    Check.flag ~name:"marginal/uniform-in-stripe/heading-from-field"
+      ~detail:"`in <oriented region>` must set heading to the field value"
+      !headings_exact;
+  ]
+
+(** [facing (-30, 30) deg relative to roadDir]: the deviation
+    heading - roadDir must be uniform on (-pi/6, pi/6).  (Containment
+    couples heading and y through the rotated bbox height, biasing the
+    angle marginal by < 0.5% — far below the test's resolution at
+    conformance sample sizes.) *)
+let facing_relative ~seed ~n =
+  let src =
+    World.header
+    ^ "ego = Object at 25 @ 0" ^ World.neutral ^ "\n"
+    ^ "Object in stripe, facing (-30, 30) deg relative to roadDir"
+    ^ World.neutral ^ "\n"
+  in
+  let _, scenes = sample_scenes ~seed ~stream:13 ~n src in
+  let k = 6 in
+  let lo = -.(pi /. 6.) and hi = pi /. 6. in
+  let counts = Array.make k 0 in
+  let in_range = ref true in
+  List.iter
+    (fun s ->
+      let dev = G.Angle.diff (C.Scene.heading (the_object s)) World.east in
+      if dev < lo -. 1e-9 || dev > hi +. 1e-9 then in_range := false;
+      let i = int_of_float (float_of_int k *. (dev -. lo) /. (hi -. lo)) in
+      let i = Stdlib.max 0 (Stdlib.min (k - 1) i) in
+      counts.(i) <- counts.(i) + 1)
+    scenes;
+  [
+    chi2_uniform ~name:"marginal/facing-relative/angle"
+      ~detail:"heading - roadDir vs uniform on (-30deg, 30deg)" counts;
+    Check.flag ~name:"marginal/facing-relative/support"
+      ~detail:"deviation outside the declared (-30deg, 30deg) support"
+      !in_range;
+  ]
+
+(* two-sided p-value for a sample variance of [n] draws against unit
+   variance of the standardised residuals: (n-1) s^2 ~ chi2(n-1) *)
+let variance_test xs =
+  let n = List.length xs in
+  let s2 = Stats.stddev xs ** 2. in
+  let stat = float_of_int (n - 1) *. s2 in
+  let df = float_of_int (n - 1) in
+  let sf = Stats.chi2_sf ~df stat in
+  let p = 2. *. Float.min sf (1. -. sf) in
+  { Stats.statistic = stat; df; p_value = Float.min 1. p }
+
+let mean_z_test xs =
+  (* standardised residuals: mean ~ N(0, 1/n) *)
+  let n = float_of_int (List.length xs) in
+  let z = Stats.mean xs *. sqrt n in
+  { Stats.statistic = z; df = 0.; p_value = Stats.z_pvalue z }
+
+(** [mutate o] adds Normal(0, mutationScale * positionStdDev) to each
+    position axis and Normal(0, mutationScale * headingStdDev) to the
+    heading (Sec. 5 / Tab. 1 defaults: positionStdDev 1, headingStdDev
+    5deg, scale 1).  At the arena centre no requirement can bind, so
+    the standardised residuals are exactly N(0,1): test mean (z) and
+    variance (chi-square) per coordinate. *)
+let mutate_noise ~seed ~n =
+  let src =
+    World.header
+    ^ "ego = Object at 0 @ 0" ^ World.neutral ^ "\n"
+    ^ "o = Object at 3 @ 4, facing 0.25" ^ World.neutral ^ "\n"
+    ^ "mutate o\n"
+  in
+  let _, scenes = sample_scenes ~seed ~stream:14 ~n src in
+  let heading_sd = G.Angle.of_degrees 5. in
+  let dx = ref [] and dy = ref [] and dh = ref [] in
+  List.iter
+    (fun s ->
+      let o = the_object s in
+      let p = C.Scene.position o in
+      dx := (G.Vec.x p -. 3.) :: !dx;
+      dy := (G.Vec.y p -. 4.) :: !dy;
+      dh := (G.Angle.diff (C.Scene.heading o) 0.25 /. heading_sd) :: !dh)
+    scenes;
+  [
+    Check.stat ~name:"marginal/mutate/x-mean" ~n
+      ~detail:"mean of x - 3 vs N(0, 1/n)" (mean_z_test !dx);
+    Check.stat ~name:"marginal/mutate/x-variance" ~n
+      ~detail:"variance of x - 3 vs chi2(n-1)" (variance_test !dx);
+    Check.stat ~name:"marginal/mutate/y-mean" ~n
+      ~detail:"mean of y - 4 vs N(0, 1/n)" (mean_z_test !dy);
+    Check.stat ~name:"marginal/mutate/heading-mean" ~n
+      ~detail:"mean of standardised heading residual vs N(0, 1/n)"
+      (mean_z_test !dh);
+    Check.stat ~name:"marginal/mutate/heading-variance" ~n
+      ~detail:"variance of standardised heading residual vs chi2(n-1)"
+      (variance_test !dh);
+  ]
+
+(** [require[0.8] x > 0.5] with x ~ U(0,1): a draw with x > 0.5 always
+    passes, one with x <= 0.5 passes with probability 0.2, so the
+    posterior P(x > 0.5) = 0.5 / (0.5 + 0.5*0.2) = 5/6 and the overall
+    per-iteration acceptance rate is 0.6.  Both are chi-squared. *)
+let require_acceptance ~seed ~n =
+  let src =
+    World.header ^ "x = (0, 1)\n"
+    ^ "ego = Object at 0 @ 0" ^ World.neutral ^ "\n"
+    ^ "o = Object at 5 @ 5, with tag x" ^ World.neutral ^ "\n"
+    ^ "require[0.8] x > 0.5\n"
+  in
+  let sampler, scenes = sample_scenes ~seed ~stream:15 ~n src in
+  let above =
+    List.length
+      (List.filter (fun s -> C.Scene.prop_float (the_object s) "tag" > 0.5)
+         scenes)
+  in
+  let total_iters = sampler.S.Rejection.cumulative in
+  [
+    Check.stat ~name:"marginal/require-p/posterior" ~n
+      ~detail:"P(x > 0.5 | accepted) vs 5/6"
+      (Stats.chi2_test
+         ~observed:[| above; n - above |]
+         ~expected:[| 5. /. 6.; 1. /. 6. |]);
+    Check.stat ~name:"marginal/require-p/acceptance-rate" ~n:total_iters
+      ~detail:"accepted fraction of rejection iterations vs 0.6"
+      (Stats.chi2_test
+         ~observed:[| n; total_iters - n |]
+         ~expected:[| 0.6; 0.4 |]);
+  ]
+
+(** The full marginal family. *)
+let all ~seed ~n =
+  List.concat
+    [
+      uniform_in_arena ~seed ~n;
+      uniform_in_stripe ~seed ~n;
+      facing_relative ~seed ~n;
+      mutate_noise ~seed ~n;
+      require_acceptance ~seed ~n;
+    ]

@@ -1,0 +1,99 @@
+(** The budgeted conformance suite behind [scenic conformance]: the
+    analytic marginal checks, the differential sampler oracles on the
+    five example scenarios, and the fuzzer smoke, judged jointly at a
+    Bonferroni-corrected significance level.  Everything derives from
+    one master seed, so a run is bit-reproducible. *)
+
+module H = Scenic_harness
+
+type config = {
+  seed : int;
+  alpha : float;  (** family-wise significance (default 0.01) *)
+  budget_s : float;  (** wall-clock budget; later sections skip *)
+  samples : int;  (** scenes per marginal check *)
+  diff_samples : int;  (** scenes per differential arm *)
+  fuzz_count : int;  (** fuzzer programs *)
+}
+
+let default =
+  {
+    seed = 0;
+    alpha = 0.01;
+    budget_s = 120.;
+    samples = 2000;
+    diff_samples = 400;
+    fuzz_count = 50;
+  }
+
+(* synthetic scenario for the MCMC differential: fixed-parameter base
+   distributions (interval, uniform-in-fixed-region, constants) where
+   single-site Metropolis mixes well.  The gallery scenarios condition
+   on visibility over a huge map, which leaves the chain stuck near its
+   initial state (near-zero acceptance) — a mixing failure, not a
+   correctness one — so they are compared prune-vs-plain only. *)
+let mcmc_mixing =
+  World.header ^ "x = (0, 10)\n" ^ "ego = Object at 0 @ 0" ^ World.neutral
+  ^ "\n" ^ "o = Object in stripe" ^ World.neutral ^ "\n" ^ "require x > 4\n"
+  ^ "require (distance to o) <= 45\n"
+
+(* the gallery scenarios under differential test; MCMC only where it
+   is exact (fixed-parameter base distributions) and mixes *)
+let scenarios =
+  [
+    ("simplest", H.Scenarios.simplest, `No_mcmc);
+    ("badly-parked", H.Scenarios.badly_parked, `No_mcmc);
+    ("oncoming", H.Scenarios.oncoming, `No_mcmc);
+    ("bumper-to-bumper", H.Scenarios.bumper_to_bumper, `No_mcmc);
+    ("mars-bottleneck", H.Scenarios.mars_bottleneck, `No_mcmc);
+    ("conf-mixing", mcmc_mixing, `Mcmc);
+  ]
+
+type result = { report : Check.report; fuzz : Fuzzer.summary }
+
+let run ?(progress = fun (_ : string) -> ()) (cfg : config) : result =
+  Scenic_worlds.Scenic_worlds_init.init ();
+  World.ensure ();
+  let t0 = Unix.gettimeofday () in
+  let elapsed () = Unix.gettimeofday () -. t0 in
+  let checks = ref [] in
+  let add cs = checks := !checks @ cs in
+  let section name f =
+    if elapsed () > cfg.budget_s then add [ Check.skip ~name "budget exhausted" ]
+    else begin
+      progress name;
+      add (f ())
+    end
+  in
+  let seed = cfg.seed in
+  section "marginals" (fun () -> Marginals.all ~seed ~n:cfg.samples);
+  List.iter
+    (fun (name, src, mcmc) ->
+      section ("differential/" ^ name) (fun () ->
+          let d =
+            Differential.prune_vs_plain ~seed ~n:cfg.diff_samples
+              ~name:("differential/" ^ name)
+              src
+          in
+          match mcmc with
+          | `No_mcmc -> d
+          | `Mcmc ->
+              d
+              @ Differential.mcmc_vs_rejection ~seed ~n:cfg.diff_samples
+                  ~name:("differential/" ^ name)
+                  src))
+    scenarios;
+  let fuzz = ref { Fuzzer.total = 0; failures = [] } in
+  section "fuzz" (fun () ->
+      let s = Fuzzer.run ~seed ~count:cfg.fuzz_count () in
+      fuzz := s;
+      [
+        Check.flag
+          ~name:(Printf.sprintf "fuzz/%d-programs" s.Fuzzer.total)
+          ~detail:
+            (Printf.sprintf "%d of %d programs failed (replay with --index)"
+               (List.length s.Fuzzer.failures)
+               s.Fuzzer.total)
+          (s.Fuzzer.failures = []);
+      ]);
+  let report = Check.judge ~alpha:cfg.alpha ~elapsed_s:(elapsed ()) !checks in
+  { report; fuzz = !fuzz }

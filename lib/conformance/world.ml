@@ -1,0 +1,60 @@
+(** A deterministic world module with analytically known geometry,
+    registered as ["confLib"] for the conformance checks and the
+    fuzzer: a 100x100 arena workspace, a 10m-wide oriented stripe, and
+    constant vector fields.  Everything here is chosen so that the
+    conditional scene distributions have closed forms the statistical
+    checks can test against (uniform marginals over rectangles, exact
+    heading fields). *)
+
+module G = Scenic_geometry
+module C = Scenic_core
+
+let pi = G.Angle.pi
+
+(* arena: [-50,50]^2; the workspace, so the default containment
+   requirement erodes it by each object's rotated half-extent *)
+let arena_min = -50.
+let arena_max = 50.
+
+let arena_poly =
+  G.Polygon.rectangle ~min_x:arena_min ~min_y:arena_min ~max_x:arena_max
+    ~max_y:arena_max
+
+(* stripe: x in [0,10], oriented east *)
+let stripe_min_x = 0.
+let stripe_max_x = 10.
+
+let stripe_poly =
+  G.Polygon.rectangle ~min_x:stripe_min_x ~min_y:arena_min ~max_x:stripe_max_x
+    ~max_y:arena_max
+
+let east = -.(pi /. 2.)
+let road_dir = G.Vectorfield.constant ~name:"roadDir" east
+let north_dir = G.Vectorfield.constant ~name:"northDir" 0.
+
+let ensure () =
+  (* Module_registry.register is idempotent (replace semantics) *)
+  C.Module_registry.register "confLib"
+    ~native:(fun () ->
+      [
+        ("arena", C.Value.Vregion (G.Region.of_polygon ~name:"arena" arena_poly));
+        ( "stripe",
+          C.Value.Vregion
+            (G.Region.of_polygon ~orientation:road_dir ~name:"stripe"
+               stripe_poly) );
+        ("roadDir", C.Value.Vfield road_dir);
+        ("northDir", C.Value.Vfield north_dir);
+        ( "workspace",
+          C.Value.Vregion (G.Region.of_polygon ~name:"workspace" arena_poly) );
+      ])
+    ~source:""
+
+let header = "import confLib\n"
+
+(* neutralise the default collision/visibility requirements so the
+   only conditioning left is the one the check accounts for *)
+let neutral = ", with requireVisible False, with allowCollisions True"
+
+let compile src =
+  ensure ();
+  C.Eval.compile ~file:"<conformance>" src

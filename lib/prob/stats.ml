@@ -77,13 +77,10 @@ module Histogram = struct
          t.counts)
 end
 
-(** Two-sample Kolmogorov–Smirnov distance; used by property tests to
-    check that pruning does not change the sampled distribution. *)
-let ks_distance xs ys =
-  let xs = List.sort compare xs and ys = List.sort compare ys in
-  let nx = float_of_int (List.length xs) and ny = float_of_int (List.length ys) in
-  if nx = 0. || ny = 0. then invalid_arg "Stats.ks_distance: empty sample";
-  let ax = Array.of_list xs and ay = Array.of_list ys in
+(* shared sup-|F_x - F_y| walk over two sorted arrays *)
+let ks_distance_sorted ax ay =
+  let nx = float_of_int (Array.length ax)
+  and ny = float_of_int (Array.length ay) in
   let i = ref 0 and j = ref 0 and d = ref 0. in
   while !i < Array.length ax && !j < Array.length ay do
     (* step past the next distinct threshold value in both samples *)
@@ -98,6 +95,187 @@ let ks_distance xs ys =
     if Float.abs (fx -. fy) > !d then d := Float.abs (fx -. fy)
   done;
   !d
+
+(** Two-sample Kolmogorov–Smirnov distance; used by property tests to
+    check that pruning does not change the sampled distribution.
+
+    @raise Invalid_argument when either sample is empty (the statistic
+    is undefined on an empty sample).  Callers that cannot rule out
+    empty inputs should use {!ks_distance_opt} instead. *)
+let ks_distance xs ys =
+  if xs = [] || ys = [] then invalid_arg "Stats.ks_distance: empty sample";
+  ks_distance_sorted
+    (Array.of_list (List.sort compare xs))
+    (Array.of_list (List.sort compare ys))
+
+(** Total-function variant of {!ks_distance}: [None] when either sample
+    is empty, [Some d] otherwise. *)
+let ks_distance_opt xs ys =
+  match (xs, ys) with
+  | [], _ | _, [] -> None
+  | _ -> Some (ks_distance xs ys)
+
+(* --- special functions --------------------------------------------------- *)
+
+(** [erf x] to ~1.2e-7 absolute error (Abramowitz & Stegun 7.1.26). *)
+let erf x =
+  let ax = Float.abs x in
+  let t = 1. /. (1. +. (0.3275911 *. ax)) in
+  let poly =
+    ((((1.061405429 *. t) -. 1.453152027) *. t) +. 1.421413741) *. t
+    -. 0.284496736
+  in
+  let poly = (poly *. t) +. 0.254829592 in
+  let y = 1. -. (poly *. t *. exp (-.ax *. ax)) in
+  if x >= 0. then y else -.y
+
+(** Standard normal CDF. *)
+let normal_cdf z = 0.5 *. (1. +. erf (z /. sqrt 2.))
+
+(** Two-sided p-value of a z-statistic. *)
+let z_pvalue z = 2. *. (1. -. normal_cdf (Float.abs z))
+
+(* Regularized incomplete gamma functions P(a,x) and Q(a,x) = 1 - P,
+   via the standard series (x < a+1) / continued-fraction (x >= a+1)
+   split, so whichever tail is small is computed directly (Numerical
+   Recipes 6.2). *)
+let gamma_p_q a x =
+  if a <= 0. || x < 0. then invalid_arg "Stats.gamma_p_q: bad arguments";
+  if x = 0. then (0., 1.)
+  else
+    let lg =
+      (* log Γ(a), Lanczos g=7 *)
+      let c =
+        [|
+          676.5203681218851; -1259.1392167224028; 771.32342877765313;
+          -176.61502916214059; 12.507343278686905; -0.13857109526572012;
+          9.9843695780195716e-6; 1.5056327351493116e-7;
+        |]
+      in
+      let a' = a -. 1. in
+      let s = ref 0.99999999999980993 in
+      Array.iteri (fun i ci -> s := !s +. (ci /. (a' +. float_of_int (i + 1)))) c;
+      let t = a' +. 7.5 in
+      (0.5 *. log (2. *. Float.pi)) +. ((a' +. 0.5) *. log t) -. t +. log !s
+    in
+    let prefactor = exp ((a *. log x) -. x -. lg) in
+    if x < a +. 1. then begin
+      (* series for P(a,x) *)
+      let sum = ref (1. /. a) and term = ref (1. /. a) and ap = ref a in
+      (try
+         for _ = 1 to 500 do
+           ap := !ap +. 1.;
+           term := !term *. x /. !ap;
+           sum := !sum +. !term;
+           if Float.abs !term < Float.abs !sum *. 1e-15 then raise Exit
+         done
+       with Exit -> ());
+      let p = prefactor *. !sum in
+      (Float.min 1. p, Float.max 0. (1. -. p))
+    end
+    else begin
+      (* Lentz continued fraction for Q(a,x) *)
+      let tiny = 1e-300 in
+      let b = ref (x +. 1. -. a) and c = ref (1. /. tiny) in
+      let d = ref (1. /. Float.max tiny !b) in
+      let h = ref !d in
+      (try
+         for i = 1 to 500 do
+           let an = -.float_of_int i *. (float_of_int i -. a) in
+           b := !b +. 2.;
+           d := (an *. !d) +. !b;
+           if Float.abs !d < tiny then d := tiny;
+           c := !b +. (an /. !c);
+           if Float.abs !c < tiny then c := tiny;
+           d := 1. /. !d;
+           let delta = !d *. !c in
+           h := !h *. delta;
+           if Float.abs (delta -. 1.) < 1e-15 then raise Exit
+         done
+       with Exit -> ());
+      let q = prefactor *. !h in
+      (Float.max 0. (1. -. q), Float.min 1. q)
+    end
+
+(** Upper tail of the chi-square distribution with [df] degrees of
+    freedom: [P(X >= x)]. *)
+let chi2_sf ~df x =
+  if df <= 0. then invalid_arg "Stats.chi2_sf: non-positive df";
+  if x <= 0. then 1. else snd (gamma_p_q (df /. 2.) (x /. 2.))
+
+type test = {
+  statistic : float;  (** the test statistic (chi², D, z, ...) *)
+  df : float;  (** degrees of freedom (0 when not applicable) *)
+  p_value : float;
+}
+
+(** Pearson chi-square goodness-of-fit test of observed counts against
+    expected counts (same length, at least 2 cells, positive expected
+    counts).  Expected counts are rescaled to the observed total, so
+    relative weights suffice. *)
+let chi2_test ~observed ~expected =
+  let k = Array.length observed in
+  if k < 2 || Array.length expected <> k then
+    invalid_arg "Stats.chi2_test: need >= 2 matching cells";
+  if Array.exists (fun e -> e <= 0. || Float.is_nan e) expected then
+    invalid_arg "Stats.chi2_test: non-positive expected count";
+  let total_obs = float_of_int (Array.fold_left ( + ) 0 observed) in
+  let total_exp = Array.fold_left ( +. ) 0. expected in
+  if total_obs <= 0. then invalid_arg "Stats.chi2_test: empty sample";
+  let scale = total_obs /. total_exp in
+  let stat = ref 0. in
+  Array.iteri
+    (fun i o ->
+      let e = expected.(i) *. scale in
+      let d = float_of_int o -. e in
+      stat := !stat +. (d *. d /. e))
+    observed;
+  let df = float_of_int (k - 1) in
+  { statistic = !stat; df; p_value = chi2_sf ~df !stat }
+
+(* Asymptotic Kolmogorov survival function Q_KS(λ) =
+   2 Σ_{j≥1} (-1)^{j-1} exp(-2 j² λ²); the alternating series
+   converges in a handful of terms for any λ of interest. *)
+let qks lambda =
+  if lambda < 1e-3 then 1.
+  else begin
+    let sum = ref 0. and sign = ref 1. in
+    (try
+       for j = 1 to 100 do
+         let fj = float_of_int j in
+         let term = !sign *. exp (-2. *. fj *. fj *. lambda *. lambda) in
+         sum := !sum +. term;
+         if Float.abs term < 1e-12 *. Float.abs !sum || Float.abs term < 1e-300
+         then raise Exit;
+         sign := -. !sign
+       done
+     with Exit -> ());
+    Float.max 0. (Float.min 1. (2. *. !sum))
+  end
+
+(** Asymptotic two-sided p-value for a two-sample KS distance [d]
+    between samples of sizes [n1] and [n2] (Numerical Recipes 14.3:
+    effective n with the Stephens small-sample correction). *)
+let ks_pvalue ~n1 ~n2 d =
+  if n1 <= 0 || n2 <= 0 then invalid_arg "Stats.ks_pvalue: empty sample";
+  let ne =
+    float_of_int n1 *. float_of_int n2 /. float_of_int (n1 + n2)
+  in
+  let sqne = sqrt ne in
+  qks ((sqne +. 0.12 +. (0.11 /. sqne)) *. d)
+
+(** Two-sample KS test: distance plus asymptotic p-value; [None] when
+    either sample is empty. *)
+let ks_test xs ys =
+  match ks_distance_opt xs ys with
+  | None -> None
+  | Some d ->
+      Some
+        {
+          statistic = d;
+          df = 0.;
+          p_value = ks_pvalue ~n1:(List.length xs) ~n2:(List.length ys) d;
+        }
 
 (** Empirical probability that a predicate holds over samples. *)
 let frequency pred xs =

@@ -1,0 +1,113 @@
+(** Scene projections: named real-valued statistics of a sampled scene.
+
+    The conformance subsystem compares {e distributions} of scenes
+    produced by different samplers (rejection, MCMC, pruned rejection).
+    Scenes live in a high-dimensional product space, so the comparison
+    is done on one-dimensional projections — per-object positions and
+    headings and inter-object distances, the quantities the paper's
+    distributional claims are about (Sec. 4.3: evaluation order must
+    not change the denoted distribution; Sec. 5.2: pruning must not
+    reshape it).  Two samplers that agree under two-sample KS on every
+    projection are accepted as equivalent.
+
+    Objects are identified by creation index, which is deterministic
+    for a given scenario, so projection [k] of one sampler's scenes is
+    comparable with projection [k] of another's. *)
+
+open Scenic_core
+module G = Scenic_geometry
+
+type t = {
+  pr_name : string;  (** e.g. ["obj1.x"], ["dist(ego,obj2)"] *)
+  pr_of : Scene.t -> float;
+}
+
+let name t = t.pr_name
+let apply t scene = t.pr_of scene
+
+let nth_obj scene i = List.nth scene.Scene.objs i
+
+(** The standard projection set for a scenario with [n_objects]
+    objects (creation order, ego included): every object's x, y and
+    heading; the distance from the ego to every other object; and,
+    with three or more objects, the minimum pairwise distance (a
+    global statistic sensitive to joint-position errors that the
+    per-object marginals can miss). *)
+let standard ~n_objects ~ego_index : t list =
+  let per_object =
+    List.concat
+      (List.init n_objects (fun i ->
+           [
+             {
+               pr_name = Printf.sprintf "obj%d.x" i;
+               pr_of = (fun s -> G.Vec.x (Scene.position (nth_obj s i)));
+             };
+             {
+               pr_name = Printf.sprintf "obj%d.y" i;
+               pr_of = (fun s -> G.Vec.y (Scene.position (nth_obj s i)));
+             };
+             {
+               pr_name = Printf.sprintf "obj%d.heading" i;
+               pr_of = (fun s -> Scene.heading (nth_obj s i));
+             };
+           ]))
+  in
+  let ego_dists =
+    List.filter_map
+      (fun i ->
+        if i = ego_index then None
+        else
+          Some
+            {
+              pr_name = Printf.sprintf "dist(ego,obj%d)" i;
+              pr_of =
+                (fun s ->
+                  G.Vec.dist
+                    (Scene.position (nth_obj s ego_index))
+                    (Scene.position (nth_obj s i)));
+            })
+      (List.init n_objects Fun.id)
+  in
+  let global =
+    if n_objects < 3 then []
+    else
+      [
+        {
+          pr_name = "min_pair_dist";
+          pr_of =
+            (fun s ->
+              let pos = Array.of_list (List.map Scene.position s.Scene.objs) in
+              let best = ref infinity in
+              Array.iteri
+                (fun i p ->
+                  for j = i + 1 to Array.length pos - 1 do
+                    let d = G.Vec.dist p pos.(j) in
+                    if d < !best then best := d
+                  done)
+                pos;
+              !best);
+        };
+      ]
+  in
+  per_object @ ego_dists @ global
+
+(** Projections for a compiled scenario. *)
+let of_scenario (scenario : Scenario.t) : t list =
+  let n_objects = List.length scenario.Scenario.objects in
+  let ego_index =
+    match
+      List.mapi (fun i (o : Scenic_core.Value.obj) -> (i, o))
+        scenario.Scenario.objects
+      |> List.find_opt (fun (_, (o : Scenic_core.Value.obj)) ->
+             o.Scenic_core.Value.oid = scenario.Scenario.ego.Scenic_core.Value.oid)
+    with
+    | Some (i, _) -> i
+    | None -> 0
+  in
+  standard ~n_objects ~ego_index
+
+(** Evaluate every projection over a batch of scenes, returning
+    [(projection name, values in scene order)] rows. *)
+let tabulate (projections : t list) (scenes : Scene.t list) :
+    (string * float list) list =
+  List.map (fun p -> (p.pr_name, List.map p.pr_of scenes)) projections

@@ -1,0 +1,138 @@
+(** End-to-end tests of the [scenic] executable's contract: exit codes
+    (0 ok / 1 error / 2 usage / 3 budget exhausted / 4 nonconformant)
+    and the shape of stdout vs. stderr under --jobs/--stats/--trace.
+    Each test runs the real binary in a subprocess; it lives next to
+    this test executable in the build tree ([../bin/scenic.exe]), so
+    resolve it from [Sys.executable_name] rather than the cwd, which
+    differs between [dune runtest] and [dune exec]. *)
+
+let test_case = Alcotest.test_case
+
+let scenic =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Filename.concat ".." (Filename.concat "bin" "scenic.exe"))
+
+let read_all path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* run the binary; returns (exit code, stdout, stderr) *)
+let run args =
+  let out = Filename.temp_file "scenic_cli" ".out" in
+  let err = Filename.temp_file "scenic_cli" ".err" in
+  let code =
+    Sys.command (Filename.quote_command scenic ~stdout:out ~stderr:err args)
+  in
+  let o = read_all out and e = read_all err in
+  Sys.remove out;
+  Sys.remove err;
+  (code, o, e)
+
+let scenario_file src =
+  let path = Filename.temp_file "scenic_cli" ".scenic" in
+  let oc = open_out path in
+  output_string oc src;
+  close_out oc;
+  path
+
+let feasible = "import mars\nego = Rover\nRock\n"
+let infeasible = "import mars\nego = Rover\nx = (0, 1)\nrequire x > 2\n"
+
+let check_code what expected (code, _, err) =
+  if code <> expected then
+    Alcotest.failf "%s: expected exit %d, got %d (stderr: %s)" what expected
+      code (String.trim err)
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let check_stderr what needle (_, _, err) =
+  if not (contains ~needle err) then
+    Alcotest.failf "%s: stderr %S does not mention %S" what (String.trim err)
+      needle
+
+let suite =
+  [
+    test_case "--jobs 0 is a usage error before any work" `Quick (fun () ->
+        let f = scenario_file feasible in
+        let r = run [ "sample"; "--jobs"; "0"; f ] in
+        Sys.remove f;
+        check_code "--jobs 0" 1 r;
+        check_stderr "--jobs 0" "--jobs must be positive" r;
+        (* validation must fire before compilation: no other noise *)
+        let _, out, _ = r in
+        Alcotest.(check string) "stdout empty" "" out);
+    test_case "--max-iters 0 is rejected" `Quick (fun () ->
+        let f = scenario_file feasible in
+        let r = run [ "sample"; "--max-iters"; "0"; f ] in
+        Sys.remove f;
+        check_code "--max-iters 0" 1 r;
+        check_stderr "--max-iters 0" "--max-iters must be positive" r);
+    test_case "negative --count is rejected" `Quick (fun () ->
+        let f = scenario_file feasible in
+        let r = run [ "sample"; "--count=-1"; f ] in
+        Sys.remove f;
+        check_code "--count=-1" 1 r;
+        check_stderr "--count=-1" "--count must be non-negative" r);
+    test_case "unknown flag is a cmdliner usage error (exit 124)" `Quick
+      (fun () ->
+        let f = scenario_file feasible in
+        let r = run [ "sample"; "--no-such-flag"; f ] in
+        Sys.remove f;
+        (* cmdliner reserves 124 for CLI parse errors — distinct from
+           our 1/3/4 so scripts can tell a typo from a broken scenario *)
+        check_code "--no-such-flag" 124 r);
+    test_case "budget exhaustion exits 3 and says so on stderr" `Quick
+      (fun () ->
+        let f = scenario_file infeasible in
+        let r = run [ "sample"; "--max-iters"; "50"; f ] in
+        Sys.remove f;
+        check_code "exhaustion" 3 r;
+        check_stderr "exhaustion" "exhausted" r);
+    test_case "--stats adds a scenic-stats/1 snapshot on stderr only" `Quick
+      (fun () ->
+        let f = scenario_file feasible in
+        let plain = run [ "sample"; "--seed"; "7"; "-n"; "2"; f ] in
+        let stats = run [ "sample"; "--seed"; "7"; "-n"; "2"; "--stats"; f ] in
+        Sys.remove f;
+        check_code "plain" 0 plain;
+        check_code "--stats" 0 stats;
+        check_stderr "--stats" "scenic-stats/1" stats;
+        let _, out_plain, _ = plain and _, out_stats, _ = stats in
+        Alcotest.(check string) "stdout unchanged" out_plain out_stats);
+    test_case "--trace writes a trace file" `Quick (fun () ->
+        let f = scenario_file feasible in
+        let trace = Filename.temp_file "scenic_cli" ".trace.json" in
+        let r = run [ "sample"; "--seed"; "7"; "--trace"; trace; f ] in
+        Sys.remove f;
+        check_code "--trace" 0 r;
+        let body = read_all trace in
+        Sys.remove trace;
+        Alcotest.(check bool) "trace non-empty" true (String.length body > 2);
+        Alcotest.(check bool)
+          "trace mentions a span" true
+          (contains ~needle:"sample" body));
+    test_case "--jobs J output is identical for J=1 and J=3" `Quick (fun () ->
+        let f = scenario_file feasible in
+        let r1 = run [ "sample"; "--seed"; "5"; "-n"; "4"; "--jobs"; "1"; f ] in
+        let r3 = run [ "sample"; "--seed"; "5"; "-n"; "4"; "--jobs"; "3"; f ] in
+        Sys.remove f;
+        check_code "jobs 1" 0 r1;
+        check_code "jobs 3" 0 r3;
+        let _, o1, _ = r1 and _, o3, _ = r3 in
+        Alcotest.(check string) "batch identical" o1 o3);
+    test_case "conformance --index replays one fuzz program" `Quick (fun () ->
+        let r = run [ "conformance"; "--seed"; "0"; "--index"; "0" ] in
+        check_code "replay" 0 r;
+        let _, out, _ = r in
+        Alcotest.(check bool)
+          "prints the program" true
+          (contains ~needle:"import confLib" out));
+  ]
+
+let suites = [ ("cli", suite) ]

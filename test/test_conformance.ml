@@ -1,0 +1,150 @@
+(** Tests for the conformance subsystem itself: the Bonferroni
+    judgement, the differential oracle's power (it must catch a
+    deliberately broken pruner), and the fuzzer's determinism. *)
+
+module C = Scenic_core
+module G = Scenic_geometry
+module P = Scenic_prob
+module S = Scenic_sampler
+module Conf = Scenic_conformance
+
+let test_case = Alcotest.test_case
+
+let stat_p name p =
+  Conf.Check.stat ~name ~n:100
+    { P.Stats.statistic = 1.; df = 1.; p_value = p }
+
+let judge_tests =
+  [
+    test_case "Bonferroni threshold scales with the stat-check count" `Quick
+      (fun () ->
+        (* five stat checks at alpha 0.01: per-check threshold 0.002,
+           so p = 0.004 survives even though it is below alpha *)
+        let checks = List.init 5 (fun i -> stat_p (string_of_int i) 0.004) in
+        let r = Conf.Check.judge ~alpha:0.01 ~elapsed_s:0. checks in
+        Alcotest.(check (float 1e-12)) "threshold" 0.002 r.Conf.Check.threshold;
+        Alcotest.(check bool) "ok" true (Conf.Check.ok r);
+        let r2 =
+          Conf.Check.judge ~alpha:0.01 ~elapsed_s:0.
+            (stat_p "bad" 1e-5 :: checks)
+        in
+        Alcotest.(check int) "one failure" 1
+          (List.length r2.Conf.Check.failures));
+    test_case "flags fail regardless of alpha; skips never fail" `Quick
+      (fun () ->
+        let r =
+          Conf.Check.judge ~alpha:0.01 ~elapsed_s:0.
+            [
+              Conf.Check.flag ~name:"broken" false;
+              Conf.Check.flag ~name:"fine" true;
+              Conf.Check.skip ~name:"later" "budget exhausted";
+            ]
+        in
+        Alcotest.(check int) "failures" 1 (List.length r.Conf.Check.failures);
+        Alcotest.(check int) "skipped" 1 r.Conf.Check.skipped;
+        Alcotest.(check bool) "not ok" false (Conf.Check.ok r));
+  ]
+
+(* --- the oracle's power: a broken pruner must be caught ------------------ *)
+
+let demo_src =
+  Conf.World.header ^ "ego = Object at 0 @ 0" ^ Conf.World.neutral ^ "\n"
+  ^ "o = Object in arena" ^ Conf.World.neutral ^ "\n"
+
+let sample_scenes ~stream ~n scenario =
+  S.Rejection.sample_many
+    (S.Rejection.create ~rng:(P.Rng.create ~stream 0) scenario)
+    n
+
+let p_of name checks =
+  match
+    List.find_opt (fun c -> c.Conf.Check.name = name) checks
+  with
+  | Some { Conf.Check.kind = Conf.Check.Stat s; _ } -> s.p_value
+  | Some _ -> Alcotest.failf "check %s is not statistical" name
+  | None ->
+      Alcotest.failf "no check named %s (have: %s)" name
+        (String.concat ", " (List.map (fun c -> c.Conf.Check.name) checks))
+
+let oracle_tests =
+  [
+    test_case "differential KS catches a pruner that drops a valid region"
+      `Slow (fun () ->
+        (* simulate an unsound pruning pass by rewriting o's uniform
+           position region from the full arena to its right half — the
+           kind of mass-dropping bug the convexity fix in
+           Prune.containment_filter guards against.  The KS oracle on
+           obj1.x must light up; a clean-vs-clean run must not. *)
+        let clean = Conf.World.compile demo_src in
+        let a = sample_scenes ~stream:1 ~n:300 clean in
+        let b =
+          sample_scenes ~stream:2 ~n:300 (Conf.World.compile demo_src)
+        in
+        let projections = S.Project.of_scenario clean in
+        let clean_checks =
+          Conf.Differential.ks_checks ~name:"clean" ~projections a b
+        in
+        List.iter
+          (fun c ->
+            match c.Conf.Check.kind with
+            | Conf.Check.Stat s ->
+                if s.p_value < 1e-4 then
+                  Alcotest.failf "clean run flagged %s (p=%.2e)"
+                    c.Conf.Check.name s.p_value
+            | _ -> ())
+          clean_checks;
+        let broken = Conf.World.compile demo_src in
+        let obj =
+          List.find
+            (fun (o : C.Value.obj) ->
+              o.C.Value.oid <> broken.C.Scenario.ego.C.Value.oid)
+            broken.C.Scenario.objects
+        in
+        (match S.Analyze.position_node obj with
+        | None -> Alcotest.fail "expected a uniform position node"
+        | Some (node, _) ->
+            S.Analyze.rewrite_region node
+              (G.Region.of_polygon
+                 (G.Polygon.rectangle ~min_x:0. ~min_y:(-50.) ~max_x:50.
+                    ~max_y:50.)));
+        let bad = sample_scenes ~stream:3 ~n:300 broken in
+        let broken_checks =
+          Conf.Differential.ks_checks ~name:"broken" ~projections a bad
+        in
+        let p = p_of "broken/obj1.x" broken_checks in
+        if p > 1e-9 then
+          Alcotest.failf "broken pruner not caught: obj1.x p=%.2e" p);
+  ]
+
+(* --- fuzzer ---------------------------------------------------------------- *)
+
+let fuzzer_tests =
+  [
+    test_case "program generation is a pure function of (seed, index)" `Quick
+      (fun () ->
+        let a = Conf.Fuzzer.source ~seed:0 ~index:7 in
+        let b = Conf.Fuzzer.source ~seed:0 ~index:7 in
+        Alcotest.(check string) "reproducible" a b;
+        Alcotest.(check bool) "nonempty" true (String.length a > 0));
+    test_case "replayed verdict is deterministic" `Quick (fun () ->
+        Conf.World.ensure ();
+        let v1 = Conf.Fuzzer.check ~seed:0 ~index:3 in
+        let v2 = Conf.Fuzzer.check ~seed:0 ~index:3 in
+        Alcotest.(check bool)
+          "same verdict" true
+          ((v1 = None) = (v2 = None)));
+    test_case "30-program smoke finds no failures" `Slow (fun () ->
+        Conf.World.ensure ();
+        let s = Conf.Fuzzer.run ~seed:0 ~count:30 () in
+        Alcotest.(check int) "all ran" 30 s.Conf.Fuzzer.total;
+        match s.Conf.Fuzzer.failures with
+        | [] -> ()
+        | f :: _ -> Alcotest.failf "fuzzer failure:@.%a" Conf.Fuzzer.pp_failure f);
+  ]
+
+let suites =
+  [
+    ("conformance.judge", judge_tests);
+    ("conformance.oracle", oracle_tests);
+    ("conformance.fuzzer", fuzzer_tests);
+  ]

@@ -556,6 +556,79 @@ let spatial_index_tests =
                      Scenic_prob.Rng.float rng_b)
                in
                vec_identical fast slow)));
+    (* expanding-ring nearest-distance: exactness on degenerate inputs,
+       where the ring bound ("every unvisited cell is at least
+       ring·cell_extent away") is easiest to get wrong *)
+    test_case "nearest_dist on an empty set is infinity" `Quick (fun () ->
+        let t = Spatial_index.build_segs [||] in
+        Alcotest.(check bool)
+          "infinite" true
+          (Spatial_index.nearest_dist t (Vec.make 3. 4.) = infinity));
+    test_case "nearest_dist with one segment = Seg.dist_to_point" `Quick
+      (fun () ->
+        let s = Seg.make (Vec.make 0. 0.) (Vec.make 10. 0.) in
+        let t = Spatial_index.build_segs [| s |] in
+        List.iter
+          (fun p ->
+            check_float ~eps:1e-12
+              (Printf.sprintf "query (%g,%g)" (Vec.x p) (Vec.y p))
+              (Seg.dist_to_point s p)
+              (Spatial_index.nearest_dist t p))
+          [
+            Vec.make 5. 0.;
+            (* on the segment *)
+            Vec.make 5. 3.;
+            (* above the interior *)
+            Vec.make (-4.) (-3.);
+            (* beyond endpoint a *)
+            Vec.make 14. 3.;
+            (* beyond endpoint b *)
+          ]);
+    test_case "nearest_dist with all segments in one cell = linear oracle"
+      `Quick (fun () ->
+        (* a dense cluster inside a 1x1 area: the grid degenerates to
+           very few cells, so the ring search terminates on ring 0/1 *)
+        let segs =
+          Array.init 16 (fun i ->
+              let x = 0.05 *. float_of_int i in
+              Seg.make (Vec.make x 0.) (Vec.make (x +. 0.03) (0.5 +. x)))
+        in
+        let t = Spatial_index.build_segs segs in
+        let oracle p =
+          Array.fold_left
+            (fun acc s -> Float.min acc (Seg.dist_to_point s p))
+            infinity segs
+        in
+        List.iter
+          (fun p ->
+            check_float ~eps:1e-12 "cluster query" (oracle p)
+              (Spatial_index.nearest_dist t p))
+          [ Vec.make 0.4 0.2; Vec.make 0. 0.; Vec.make 1. 1.; Vec.make 0.7 (-0.1) ]);
+    test_case "nearest_dist from far outside the grid is exact" `Quick
+      (fun () ->
+        let segs =
+          Array.init 10 (fun i ->
+              let x = float_of_int i in
+              Seg.make (Vec.make x 0.) (Vec.make (x +. 0.8) 1.))
+        in
+        let t = Spatial_index.build_segs segs in
+        let oracle p =
+          Array.fold_left
+            (fun acc s -> Float.min acc (Seg.dist_to_point s p))
+            infinity segs
+        in
+        (* queries well outside the indexed bounding box, in each
+           direction: the clamped start cell must not truncate the ring *)
+        List.iter
+          (fun p ->
+            check_float ~eps:1e-12 "outside query" (oracle p)
+              (Spatial_index.nearest_dist t p))
+          [
+            Vec.make (-500.) 0.5;
+            Vec.make 500. 0.5;
+            Vec.make 5. 300.;
+            Vec.make (-40.) (-40.);
+          ]);
     test_case "index stats are exposed" `Quick (fun () ->
         Spatial_index.reset_global ();
         let ps =

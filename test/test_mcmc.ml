@@ -90,4 +90,81 @@ let suite =
         Alcotest.(check int) "5 scenes" 5 (List.length scenes));
   ]
 
-let suites = [ ("sampler.mcmc", suite) ]
+(* --- Metropolis–Hastings invariants ---------------------------------------
+   The proposal redraws one site from its prior, so the proposal is
+   symmetric under the prior measure; the acceptance ratio then reduces
+   to the requirement-weight ratio times the prior densities of the
+   *other* sites.  These properties have sharp, testable consequences
+   on fixed-parameter scenarios. *)
+
+let property_suite =
+  [
+    test_case "flat target accepts every proposal (symmetry)" `Quick (fun () ->
+        (* the only requirement is always true on the prior's support
+           (it exists to make x a reachable site): the weight ratio is
+           1 and the other-site density correction cancels exactly, so
+           the MH ratio is identically 1 — any rejection would mean the
+           proposal is not treated as symmetric *)
+        let src =
+          "import testLib\nego = Object at 0 @ 0\n\
+           x = (0, 10)\nObject at 5 @ 5, with tag x\nrequire x >= 0\n"
+        in
+        let scenario = compile src in
+        let chain =
+          Scenic_sampler.Mcmc.create ~burn_in:0 ~thin:1 ~seed:21 scenario
+        in
+        ignore (Scenic_sampler.Mcmc.sample_many chain 300);
+        check_float ~eps:0. "acceptance" 1.
+          (Scenic_sampler.Mcmc.acceptance_rate chain));
+    test_case "acceptance rate matches feasible prior mass (chi2)" `Quick
+      (fun () ->
+        (* single site x ~ U(0,10), require x > 7: each proposal is a
+           fresh prior draw, accepted iff feasible, so acceptances are
+           iid Bernoulli(0.3) regardless of the chain state *)
+        let src =
+          "import testLib\nego = Object at 0 @ 0\n\
+           x = (0, 10)\nObject at 5 @ 5, with tag x\nrequire x > 7\n"
+        in
+        let scenario = compile src in
+        let chain =
+          Scenic_sampler.Mcmc.create ~burn_in:0 ~thin:1 ~seed:23 scenario
+        in
+        let n = 2000 in
+        ignore (Scenic_sampler.Mcmc.sample_many chain n);
+        let acc =
+          int_of_float
+            (Float.round
+               (Scenic_sampler.Mcmc.acceptance_rate chain *. float_of_int n))
+        in
+        let t =
+          P.Stats.chi2_test ~observed:[| acc; n - acc |]
+            ~expected:[| 0.3; 0.7 |]
+        in
+        if t.p_value < 1e-3 then
+          Alcotest.failf "acceptance %d/%d incompatible with 0.3 (p=%.2e)" acc
+            n t.p_value);
+    test_case "stationary marginal is uniform on the feasible set (chi2)"
+      `Slow (fun () ->
+        (* x ~ U(0,10) | x > 6 is U(6,10); bin the thinned chain *)
+        let src =
+          "import testLib\nego = Object at 0 @ 0\n\
+           x = (0, 10)\nObject at 5 @ 5, with tag x\nrequire x > 6\n"
+        in
+        let scenes, _ = mcmc_scenes ~burn_in:100 ~thin:10 ~seed:25 ~n:600 src in
+        let counts = Array.make 4 0 in
+        List.iter
+          (fun s ->
+            let b = int_of_float ((tag_value s -. 6.) /. 1.) in
+            let b = max 0 (min 3 b) in
+            counts.(b) <- counts.(b) + 1)
+          scenes;
+        let t =
+          P.Stats.chi2_test ~observed:counts ~expected:[| 1.; 1.; 1.; 1. |]
+        in
+        if t.p_value < 1e-3 then
+          Alcotest.failf "marginal not uniform on (6,10): chi2=%.2f p=%.2e"
+            t.statistic t.p_value);
+  ]
+
+let suites =
+  [ ("sampler.mcmc", suite); ("sampler.mcmc-invariants", property_suite) ]

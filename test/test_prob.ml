@@ -132,6 +132,88 @@ let stats_tests =
         let rng = P.Rng.create 5 in
         let draw () = List.init 2000 (fun _ -> P.Rng.float rng) in
         Alcotest.(check bool) "small" true (P.Stats.ks_distance (draw ()) (draw ()) < 0.06));
+    test_case "ks_distance raises on empty, ks_distance_opt is total" `Quick
+      (fun () ->
+        (match P.Stats.ks_distance [] [ 1. ] with
+        | exception Invalid_argument _ -> ()
+        | d -> Alcotest.failf "expected Invalid_argument, got %g" d);
+        (match P.Stats.ks_distance [ 1. ] [] with
+        | exception Invalid_argument _ -> ()
+        | d -> Alcotest.failf "expected Invalid_argument, got %g" d);
+        Alcotest.(check bool)
+          "opt empty" true
+          (P.Stats.ks_distance_opt [] [ 1. ] = None
+          && P.Stats.ks_distance_opt [ 1. ] [] = None);
+        Alcotest.(check bool)
+          "opt agrees" true
+          (P.Stats.ks_distance_opt [ 1.; 2. ] [ 10. ]
+          = Some (P.Stats.ks_distance [ 1.; 2. ] [ 10. ])));
+    test_case "normal_cdf against tabulated values" `Quick (fun () ->
+        Alcotest.(check (float 1e-7)) "0" 0.5 (P.Stats.normal_cdf 0.);
+        Alcotest.(check (float 2e-4)) "1.96" 0.975 (P.Stats.normal_cdf 1.96);
+        Alcotest.(check (float 2e-4)) "-1.96" 0.025 (P.Stats.normal_cdf (-1.96));
+        Alcotest.(check (float 2e-3)) "z p-value" 0.05 (P.Stats.z_pvalue 1.96));
+    test_case "chi2_sf against tabulated quantiles" `Quick (fun () ->
+        (* classic 5% critical values *)
+        Alcotest.(check (float 1e-3)) "df=1" 0.05 (P.Stats.chi2_sf ~df:1. 3.841);
+        Alcotest.(check (float 1e-3)) "df=5" 0.05 (P.Stats.chi2_sf ~df:5. 11.070);
+        Alcotest.(check (float 1e-3)) "df=10" 0.05 (P.Stats.chi2_sf ~df:10. 18.307);
+        Alcotest.(check (float 1e-9)) "x=0" 1. (P.Stats.chi2_sf ~df:3. 0.));
+    test_case "chi2_test: exact fit, scale invariance, gross misfit" `Quick
+      (fun () ->
+        let t = P.Stats.chi2_test ~observed:[| 10; 20; 30 |] ~expected:[| 1.; 2.; 3. |] in
+        Alcotest.(check (float 1e-12)) "stat 0" 0. t.P.Stats.statistic;
+        Alcotest.(check (float 1e-9)) "p 1" 1. t.P.Stats.p_value;
+        (* expected counts are relative weights: scaling changes nothing *)
+        let t2 =
+          P.Stats.chi2_test ~observed:[| 48; 52 |] ~expected:[| 7.; 7. |]
+        in
+        let t3 =
+          P.Stats.chi2_test ~observed:[| 48; 52 |] ~expected:[| 0.5; 0.5 |]
+        in
+        Alcotest.(check (float 1e-12)) "scale-free" t2.P.Stats.statistic
+          t3.P.Stats.statistic;
+        let bad =
+          P.Stats.chi2_test ~observed:[| 100; 0 |] ~expected:[| 1.; 1. |]
+        in
+        Alcotest.(check bool) "gross misfit" true (bad.P.Stats.p_value < 1e-12));
+    test_case "ks_test p-value behaviour at the extremes" `Quick (fun () ->
+        let same = [ 1.; 2.; 3.; 4.; 5. ] in
+        (match P.Stats.ks_test same same with
+        | Some t -> Alcotest.(check (float 1e-6)) "identical" 1. t.P.Stats.p_value
+        | None -> Alcotest.fail "unexpected None");
+        (match P.Stats.ks_test [] same with
+        | None -> ()
+        | Some _ -> Alcotest.fail "expected None on empty");
+        let a = List.init 200 float_of_int in
+        let b = List.init 200 (fun i -> 1000. +. float_of_int i) in
+        match P.Stats.ks_test a b with
+        | Some t ->
+            Alcotest.(check (float 1e-9)) "disjoint D" 1. t.P.Stats.statistic;
+            Alcotest.(check bool) "tiny p" true (t.P.Stats.p_value < 1e-20)
+        | None -> Alcotest.fail "unexpected None");
+    test_case "chi2 p-values are calibrated under the null" `Slow (fun () ->
+        (* 300 fair-coin experiments: the p-value should be roughly
+           uniform, so P(p < 0.1) ~ 0.1 — a real tail, not a rank *)
+        let rng = P.Rng.create 12 in
+        let below = ref 0 in
+        for _ = 1 to 300 do
+          let heads = ref 0 in
+          for _ = 1 to 400 do
+            if P.Rng.float rng < 0.5 then incr heads
+          done;
+          let t =
+            P.Stats.chi2_test
+              ~observed:[| !heads; 400 - !heads |]
+              ~expected:[| 1.; 1. |]
+          in
+          if t.P.Stats.p_value < 0.1 then incr below
+        done;
+        let frac = float_of_int !below /. 300. in
+        Alcotest.(check bool)
+          (Printf.sprintf "P(p<0.1)=%.3f" frac)
+          true
+          (frac > 0.03 && frac < 0.20));
     test_case "online matches batch" `Quick (fun () ->
         let xs = List.init 100 (fun i -> float_of_int i ** 1.3) in
         let acc = P.Stats.Online.create () in

@@ -146,12 +146,22 @@ let soundness_check ?(n = 400) ?(tol = 0.12) ?pick name src =
 
 let analysis_tests =
   [
-    test_case "containment pruning fires on uniform road positions" `Quick
+    test_case "containment pruning fires on a convex workspace" `Quick
       (fun () ->
+        Scenic_worlds.Scenic_worlds_init.init ();
+        let scenario = compile "import mars\nego = Rover\nRock\n" in
+        let stats = Scenic_sampler.Analyze.prune scenario in
+        Alcotest.(check bool) "fired" true (stats.containment_rewrites >= 1));
+    test_case "containment pruning declines non-convex workspaces" `Quick
+      (fun () ->
+        (* the 9-point containment check admits boxes straddling road
+           concavities whose center lies inside the eroded band, so
+           erosion on a multi-polygon union would discard accepted-
+           scene mass (see the conformance differential oracle) *)
         Scenic_worlds.Scenic_worlds_init.init ();
         let scenario = compile "import gtaLib\nego = Car\nCar visible\n" in
         let stats = Scenic_sampler.Analyze.prune scenario in
-        Alcotest.(check bool) "fired" true (stats.containment_rewrites >= 1));
+        Alcotest.(check int) "no unsound erosion" 0 stats.containment_rewrites);
     test_case "orientation pruning fires on mutual-cone scenarios" `Quick
       (fun () ->
         Scenic_worlds.Scenic_worlds_init.init ();
