@@ -10,11 +10,14 @@ open Cmdliner
 module T = Scenic_telemetry
 
 (* Exit codes: 1 for compile-time and runtime errors, 3 when a sampling
-   budget is exhausted (cmdliner reserves 124 for usage errors).
+   budget is exhausted, 5 when a skip/best-effort batch delivered only
+   part of its scenes (cmdliner reserves 124 for usage errors).
    Scripts can tell "this scenario is broken" from "this scenario is
-   too hard".  The contract is pinned by test/test_cli.ml. *)
+   too hard" from "I got a partial batch".  The contract is pinned by
+   test/test_cli.ml. *)
 let exit_error = 1
 let exit_exhausted = 3
+let exit_partial = 5
 
 (* Every user-facing warning goes through this one helper: uniformly
    prefixed, always on stderr — stdout carries only scene output, so
@@ -95,8 +98,51 @@ let best_effort_arg =
     value & flag
     & info [ "best-effort" ]
         ~doc:
-          "on budget exhaustion, emit the draw violating the fewest \
-           requirements instead of failing")
+          "shorthand for --on-error best-effort: on budget exhaustion, emit \
+           the draw violating the fewest requirements instead of failing")
+
+let on_error_arg =
+  let modes =
+    [ ("fail", `Fail); ("skip", `Skip); ("best-effort", `Best_effort) ]
+  in
+  Arg.(
+    value
+    & opt (enum modes) `Fail
+    & info [ "on-error" ] ~docv:"MODE"
+        ~doc:
+          "what to do when a sample faults or exhausts its budget: $(b,fail) \
+           (default) stops at the first failed index in index order, exiting \
+           1 (fault) or 3 (exhaustion); $(b,skip) emits every healthy scene \
+           and exits 5 if any sample was dropped (0 otherwise); \
+           $(b,best-effort) is $(b,skip) plus emitting the least-violating \
+           draw for exhausted samples.  Failed samples never perturb their \
+           siblings: under --jobs, surviving scenes are bit-identical to the \
+           fault-free batch at the same indices.")
+
+let retries_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "retry a transiently-faulted or budget-exhausted sample up to \
+           $(docv) more times (batch mode only).  Attempt $(i,a) of sample \
+           $(i,i) always draws from its own RNG sub-stream, a pure function \
+           of (seed, i, a), so retried batches stay bit-identical at any \
+           --jobs.  Permanent faults are never retried; samples that exhaust \
+           their retries are quarantined and reported on stderr.")
+
+let chaos_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "chaos" ] ~docv:"RATE"
+        ~doc:
+          "fault-injection testing: disturb the batch with a seeded chaos \
+           schedule in which each sample faults with probability $(docv) \
+           (transient or permanent, derived deterministically from --seed).  \
+           Batch mode only.  Exercises the --on-error/--retries supervision \
+           paths; the schedule's RNG stream is disjoint from the samples', \
+           so undisturbed samples draw exactly their fault-free scenes.")
 
 let jobs_arg =
   Arg.(
@@ -137,7 +183,8 @@ let stats_arg =
    flag must error out before make_sampler can emit warnings — with
    the old order, `--jobs 0` reported its error only after a spurious
    degenerate-prune warning. *)
-let validate_sampling_args ?jobs ?max_iters ?timeout ~n () =
+let validate_sampling_args ?jobs ?max_iters ?timeout ?(retries = 0) ?chaos ~n
+    () =
   (match jobs with
   | Some j when j < 1 ->
       invalid_arg (Printf.sprintf "--jobs must be positive (got %d)" j)
@@ -147,6 +194,16 @@ let validate_sampling_args ?jobs ?max_iters ?timeout ~n () =
   (match max_iters with
   | Some m when m <= 0 ->
       invalid_arg (Printf.sprintf "--max-iters must be positive (got %d)" m)
+  | _ -> ());
+  if retries < 0 then
+    invalid_arg (Printf.sprintf "--retries must be non-negative (got %d)" retries);
+  if retries > 0 && jobs = None then
+    invalid_arg "--retries requires --jobs (the batch runtime)";
+  (match chaos with
+  | Some r when r < 0. || r > 1. || Float.is_nan r ->
+      invalid_arg (Printf.sprintf "--chaos must be a rate in [0, 1] (got %g)" r)
+  | Some _ when jobs = None ->
+      invalid_arg "--chaos requires --jobs (the batch runtime)"
   | _ -> ());
   match timeout with
   | Some s when s <= 0. || Float.is_nan s ->
@@ -214,14 +271,17 @@ let make_sampler ?max_iters ?timeout ?on_exhausted ?probe ~no_prune ~seed file =
 
 let sample_cmd =
   let run file seed n no_prune json map timeout max_iters diagnose best_effort
-      jobs trace_file stats =
+      on_error retries chaos jobs trace_file stats =
     init ();
     handle_errors (fun () ->
-        validate_sampling_args ?jobs ?max_iters ?timeout ~n ();
+        validate_sampling_args ?jobs ?max_iters ?timeout ~retries ?chaos ~n ();
+        (* --best-effort is shorthand; an explicit --on-error wins *)
+        let mode = match on_error with `Fail when best_effort -> `Best_effort | m -> m in
+        let track_best = mode = `Best_effort in
         let trace, metrics, probe, finish_telemetry =
           make_telemetry ~trace_file ~stats
         in
-        let on_exhausted = if best_effort then `Best_effort else `Raise in
+        let on_exhausted = if track_best then `Best_effort else `Raise in
         let sampler =
           make_sampler ?max_iters ?timeout ~on_exhausted ~probe ~no_prune ~seed
             file
@@ -257,13 +317,21 @@ let sample_cmd =
             e.Scenic_sampler.Rejection.reason violations;
           print_scene i scene e.Scenic_sampler.Rejection.used
         in
+        (* dropped samples under skip/best-effort: the batch is partial,
+           which exit code 5 reports without failing the healthy scenes *)
+        let dropped = ref 0 in
+        let skip_exhausted i (e : Scenic_sampler.Rejection.exhaustion) =
+          incr dropped;
+          warn "scene %d: budget exhausted (%a); skipping" i
+            Scenic_sampler.Budget.pp_stop_reason e.Scenic_sampler.Rejection.reason
+        in
         match jobs with
         | None ->
             (* classic sequential sampler: one RNG stream for the batch *)
             let rec loop i =
               if i > n then begin
                 print_diagnosis (Scenic_sampler.Sampler.diagnosis sampler);
-                `Ok
+                if !dropped > 0 then `Partial else `Ok
               end
               else
                 match Scenic_sampler.Sampler.sample_outcome sampler with
@@ -271,24 +339,53 @@ let sample_cmd =
                     print_scene i scene stats.Scenic_sampler.Rejection.iterations;
                     loop (i + 1)
                 | Scenic_sampler.Rejection.Exhausted e -> (
-                    match (best_effort, e.Scenic_sampler.Rejection.best) with
-                    | true, Some (scene, violations) ->
+                    match (mode, e.Scenic_sampler.Rejection.best) with
+                    | `Best_effort, Some (scene, violations) ->
                         report_best_effort i e scene violations;
                         loop (i + 1)
-                    | _ ->
+                    | `Fail, _ ->
                         report_exhausted e;
                         print_diagnosis
                           (Scenic_sampler.Sampler.diagnosis sampler);
-                        `Exhausted)
+                        `Exhausted
+                    | (`Skip | `Best_effort), _ ->
+                        skip_exhausted i e;
+                        loop (i + 1))
+                | exception exn when mode <> `Fail ->
+                    (* per-scene fault containment for the shared-stream
+                       sampler: classify, drop the scene, carry on (the
+                       stream has advanced, so later scenes differ from a
+                       fault-free run — only batch mode offers per-index
+                       isolation) *)
+                    let f = Scenic_core.Errors.classify exn in
+                    incr dropped;
+                    warn "scene %d: %a; skipping" i Scenic_core.Errors.pp_fault f;
+                    loop (i + 1)
             in
             let status = loop 1 in
             finish (Scenic_sampler.Sampler.diagnosis sampler);
-            (match status with `Ok -> () | `Exhausted -> exit exit_exhausted)
+            (match status with
+            | `Ok -> ()
+            | `Partial -> exit exit_partial
+            | `Exhausted -> exit exit_exhausted)
         | Some jobs ->
             (* deterministic batch: scene i samples from stream i of the
                seed, so the output is identical for every jobs count.
                Per-sample traces/metrics are merged in index order by
                Parallel.run — tracing never perturbs the batch. *)
+            let prepare_attempt =
+              match chaos with
+              | None -> None
+              | Some rate ->
+                  warn
+                    "chaos: injecting faults at rate %g (deterministic \
+                     schedule from seed %d)"
+                    rate seed;
+                  Some
+                    (Scenic_harness.Robustness.chaos_prepare
+                       (Scenic_harness.Robustness.chaos_schedule
+                          ~fault_rate:rate ~seed ~n ()))
+            in
             let batch =
               probe.T.Probe.span
                 ~attrs:(fun () ->
@@ -296,11 +393,17 @@ let sample_cmd =
                 "sample.batch"
                 (fun () ->
                   Scenic_sampler.Parallel.run ~jobs ?max_iters ?timeout
-                    ~track_best:best_effort ?trace ?metrics ~seed ~n
+                    ~track_best ~retries ?prepare_attempt ?trace ?metrics ~seed
+                    ~n
                     (Scenic_sampler.Sampler.scenario sampler))
             in
+            let report_fault i (f : Scenic_sampler.Parallel.fault) =
+              Fmt.str "scene %d: %a (after %d attempt(s))" i
+                Scenic_core.Errors.pp_fault f.Scenic_sampler.Parallel.f_fault
+                f.Scenic_sampler.Parallel.f_attempts
+            in
             let rec emit i =
-              if i >= n then `Ok
+              if i >= n then if !dropped > 0 then `Partial else `Ok
               else
                 match batch.Scenic_sampler.Parallel.outcomes.(i) with
                 | Scenic_sampler.Parallel.Scene (scene, stats) ->
@@ -308,22 +411,41 @@ let sample_cmd =
                       stats.Scenic_sampler.Rejection.iterations;
                     emit (i + 1)
                 | Scenic_sampler.Parallel.Exhausted e -> (
-                    match (best_effort, e.Scenic_sampler.Rejection.best) with
-                    | true, Some (scene, violations) ->
+                    match (mode, e.Scenic_sampler.Rejection.best) with
+                    | `Best_effort, Some (scene, violations) ->
                         report_best_effort (i + 1) e scene violations;
                         emit (i + 1)
-                    | _ ->
+                    | `Fail, _ ->
                         report_exhausted e;
-                        `Exhausted)
-                | Scenic_sampler.Parallel.Faulted msg ->
-                    Fmt.epr "error: scene %d: %s@." (i + 1) msg;
-                    `Faulted
+                        `Exhausted
+                    | (`Skip | `Best_effort), _ ->
+                        skip_exhausted (i + 1) e;
+                        emit (i + 1))
+                | Scenic_sampler.Parallel.Faulted f -> (
+                    match mode with
+                    | `Fail ->
+                        Fmt.epr "error: %s@." (report_fault (i + 1) f);
+                        `Faulted
+                    | `Skip | `Best_effort ->
+                        incr dropped;
+                        warn "%s; skipping" (report_fault (i + 1) f);
+                        emit (i + 1))
             in
             let status = emit 0 in
+            if batch.Scenic_sampler.Parallel.retries > 0 then
+              warn "retried %d attempt(s) across the batch"
+                batch.Scenic_sampler.Parallel.retries;
+            (match batch.Scenic_sampler.Parallel.quarantined with
+            | [] -> ()
+            | q ->
+                warn "quarantined %d sample(s) after exhausting retries: [%s]"
+                  (List.length q)
+                  (String.concat "; " (List.map string_of_int q)));
             print_diagnosis batch.Scenic_sampler.Parallel.diagnosis;
             finish batch.Scenic_sampler.Parallel.diagnosis;
             (match status with
             | `Ok -> ()
+            | `Partial -> exit exit_partial
             | `Exhausted -> exit exit_exhausted
             | `Faulted -> exit exit_error))
   in
@@ -333,13 +455,17 @@ let sample_cmd =
          [
            `S Manpage.s_exit_status;
            `P
-             "Exits 0 on success, 1 on compile or runtime errors, and 3 when \
-              the sampling budget (--max-iters / --timeout) is exhausted.";
+             "Exits 0 on success, 1 on compile or runtime errors (including \
+              a faulted sample under --on-error fail), 3 when the sampling \
+              budget (--max-iters / --timeout) is exhausted under --on-error \
+              fail, and 5 when --on-error skip/best-effort delivered only \
+              part of the batch.";
          ])
     Term.(
       const run $ file_arg $ seed_arg $ count_arg $ no_prune_arg $ json_arg
       $ map_arg $ timeout_arg $ max_iters_arg $ diagnose_arg $ best_effort_arg
-      $ jobs_arg $ trace_arg $ stats_arg)
+      $ on_error_arg $ retries_arg $ chaos_arg $ jobs_arg $ trace_arg
+      $ stats_arg)
 
 let render_cmd =
   let out_arg =

@@ -56,3 +56,71 @@ let invalid_arg_error ?loc fmt =
 let to_string (kind, loc) =
   if loc == Scenic_lang.Loc.dummy then Fmt.str "%a" pp_kind kind
   else Fmt.str "%a: %a" Scenic_lang.Loc.pp loc pp_kind kind
+
+(* --- fault taxonomy ------------------------------------------------------- *)
+
+(** How the batch runtime should treat a failure (see
+    {!Scenic_sampler.Parallel}): a {e transient} fault is one whose
+    recurrence depends on the random draw — an injected RNG fault, a
+    zero-probability budget exhaustion, an I/O hiccup — so retrying the
+    sample on a fresh deterministic RNG sub-stream is meaningful.  A
+    {e permanent} fault is a property of the program or the runtime (a
+    compile/eval bug, an invariant violation), guaranteed to recur on
+    every attempt; retrying it only burns budget, so the supervisor
+    quarantines the sample immediately. *)
+type severity = Transient | Permanent
+
+let pp_severity ppf = function
+  | Transient -> Fmt.string ppf "transient"
+  | Permanent -> Fmt.string ppf "permanent"
+
+(** A classified failure: severity, human-readable message, and the
+    source span when the underlying error carried one (so a quarantined
+    sample still names the offending line). *)
+type fault = {
+  severity : severity;
+  message : string;
+  fault_span : Scenic_lang.Loc.span option;
+}
+
+let pp_fault ppf f =
+  match f.fault_span with
+  | Some loc when loc != Scenic_lang.Loc.dummy ->
+      Fmt.pf ppf "%a fault: %s at %a" pp_severity f.severity f.message
+        Scenic_lang.Loc.pp loc
+  | _ -> Fmt.pf ppf "%a fault: %s" pp_severity f.severity f.message
+
+(** Classify an exception that escaped one sample's draw.
+
+    - {!Scenic_prob.Rng.Fault} is transient by construction (the
+      fault-injection hook models flaky externals);
+    - {!Scenic_error} is permanent — it reports a bug in the program or
+      its evaluation — except [Zero_probability], which is the
+      exception-shaped face of budget exhaustion and therefore
+      transient (a different stream may accept within budget);
+    - OCaml's standard "this code is wrong" exceptions
+      ([Assert_failure], [Invalid_argument], ...) are permanent;
+    - resource errors ([Out_of_memory], [Sys_error]) and unknown
+      exceptions are transient: a retry is cheap, and a deterministic
+      bug misclassified as transient still converges — it re-fires on
+      every attempt and lands in quarantine once retries run out. *)
+let classify : exn -> fault = function
+  | Scenic_prob.Rng.Fault msg ->
+      { severity = Transient; message = msg; fault_span = None }
+  | Scenic_error (Zero_probability, loc) ->
+      {
+        severity = Transient;
+        message = Fmt.str "%a" pp_kind Zero_probability;
+        fault_span = Some loc;
+      }
+  | Scenic_error (kind, loc) ->
+      {
+        severity = Permanent;
+        message = Fmt.str "%a" pp_kind kind;
+        fault_span = Some loc;
+      }
+  | ( Assert_failure _ | Match_failure _ | Invalid_argument _ | Failure _
+    | Not_found | Division_by_zero | Stack_overflow ) as exn ->
+      { severity = Permanent; message = Printexc.to_string exn; fault_span = None }
+  | exn ->
+      { severity = Transient; message = Printexc.to_string exn; fault_span = None }

@@ -74,16 +74,19 @@ let exhaust ?(max_iters = 25) ?timeout ?clock ?track_best ~seed src :
 
 (** Compile [src] and draw an [n]-scene batch across [jobs] workers
     ({!Scenic_sampler.Parallel.run}); [prepare] lets a test script or
-    fail a chosen sample's RNG {e inside} its worker domain. *)
-let parallel_batch ?jobs ?max_iters ?timeout ?clock ?track_best ?prepare ~seed
-    ~n src : S.Parallel.batch =
+    fail a chosen sample's RNG {e inside} its worker domain (first
+    attempt only), [prepare_attempt] on every retry attempt. *)
+let parallel_batch ?jobs ?max_iters ?timeout ?clock ?track_best ?retries
+    ?prepare ?prepare_attempt ~seed ~n src : S.Parallel.batch =
   let scenario = C.Eval.compile ~file:"<parallel>" src in
-  S.Parallel.run ?jobs ?max_iters ?timeout ?clock ?track_best ?prepare ~seed ~n
-    scenario
+  S.Parallel.run ?jobs ?max_iters ?timeout ?clock ?track_best ?retries ?prepare
+    ?prepare_attempt ~seed ~n scenario
 
 (** A [prepare] hook arming an injected RNG fault on batch sample
     [index] only: its generator raises {!Scenic_prob.Rng.Fault} after
-    [after] further draws, while every sibling samples normally. *)
+    [after] further draws, while every sibling samples normally.
+    Fires on the first attempt only, so under [~retries] it models a
+    one-shot transient fault that a single retry clears. *)
 let fault_sample ~index ?(after = 0) () : int -> P.Rng.t -> unit =
  fun i rng -> if i = index then P.Rng.inject_failure rng ~after
 
@@ -91,3 +94,109 @@ let fault_sample ~index ?(after = 0) () : int -> P.Rng.t -> unit =
     only (see {!Scenic_prob.Rng.script}). *)
 let script_sample ~index floats : int -> P.Rng.t -> unit =
  fun i rng -> if i = index then P.Rng.script rng floats
+
+(* --- chaos schedules ------------------------------------------------------ *)
+
+(** How a scheduled chaos fault behaves across retry attempts.
+
+    [Ch_transient] arms an injected {!Scenic_prob.Rng.Fault} on every
+    attempt below [clears_at], then lets the sample run clean — so a
+    retry budget of at least [clears_at] recovers the scene, and a
+    smaller one quarantines the index.  [Ch_permanent] raises a
+    {!Scenic_core.Errors.Scenic_error} (classified
+    {!Scenic_core.Errors.Permanent}) at the start of every attempt;
+    the supervisor must quarantine it without burning retries. *)
+type chaos_kind =
+  | Ch_transient of { clears_at : int }
+  | Ch_permanent
+
+type chaos_fault = {
+  ch_index : int;  (** which batch sample faults *)
+  ch_after : int;
+      (** transient only: RNG draws allowed before the fault fires *)
+  ch_kind : chaos_kind;
+}
+
+type chaos_schedule = chaos_fault list  (** ascending [ch_index] *)
+
+(** Stream for deriving chaos schedules: disjoint from the batch
+    sample streams ([Parallel.stream_base]-based) and the sequential
+    default, so scheduling faults never perturbs what healthy samples
+    draw. *)
+let chaos_stream = 0xC405
+
+(** Derive a randomized-but-seeded fault schedule for an [n]-sample
+    batch: each index faults with probability [fault_rate]; a faulting
+    index is transient with probability [transient_frac] (clearing
+    after 1..[max_clears] failed attempts, [ch_after] in
+    0..[max_after]) and permanent otherwise.  The schedule is a pure
+    function of the arguments — the same [(seed, n)] always yields the
+    same schedule, which is what lets the chaos tests assert outcome
+    determinism across [--jobs] and across reruns. *)
+let chaos_schedule ?(fault_rate = 0.25) ?(transient_frac = 0.5)
+    ?(max_after = 6) ?(max_clears = 2) ~seed ~n () : chaos_schedule =
+  let rng = P.Rng.create ~stream:chaos_stream seed in
+  List.filter_map
+    (fun i ->
+      if P.Rng.float rng >= fault_rate then None
+      else if P.Rng.float rng < transient_frac then
+        Some
+          {
+            ch_index = i;
+            ch_after = P.Rng.int rng (max_after + 1);
+            ch_kind = Ch_transient { clears_at = 1 + P.Rng.int rng max_clears };
+          }
+      else Some { ch_index = i; ch_after = 0; ch_kind = Ch_permanent })
+    (List.init n Fun.id)
+
+(** The [prepare_attempt] hook enacting a schedule: pure in
+    [(index, attempt)], so enacted faults are as deterministic as the
+    samples they disturb. *)
+let chaos_prepare (schedule : chaos_schedule) :
+    index:int -> attempt:int -> P.Rng.t -> unit =
+ fun ~index ~attempt rng ->
+  match List.find_opt (fun f -> f.ch_index = index) schedule with
+  | None -> ()
+  | Some { ch_kind = Ch_permanent; _ } ->
+      C.Errors.raise_at
+        (C.Errors.Invalid_argument_error
+           (Printf.sprintf "chaos: injected permanent fault at sample %d" index))
+  | Some { ch_kind = Ch_transient { clears_at }; ch_after; _ } ->
+      if attempt < clears_at then P.Rng.inject_failure rng ~after:ch_after
+
+(** Compile [src] and draw a chaos-disturbed batch under [schedule]. *)
+let chaos_batch ?jobs ?max_iters ?timeout ?clock ?track_best ?retries ~schedule
+    ~seed ~n src : S.Parallel.batch =
+  parallel_batch ?jobs ?max_iters ?timeout ?clock ?track_best ?retries
+    ~prepare_attempt:(chaos_prepare schedule) ~seed ~n src
+
+(** A scheduling-independent fingerprint of a batch: per-index outcome
+    (full scene text / stop reason / fault severity and attempt count)
+    plus the quarantine set and total retries.  Two runs of the same
+    chaos experiment must produce byte-identical fingerprints at any
+    [--jobs] — the chaos determinism contract. *)
+let batch_fingerprint (b : S.Parallel.batch) : string =
+  let buf = Buffer.create 1024 in
+  Array.iteri
+    (fun i outcome ->
+      Buffer.add_string buf (Printf.sprintf "[%d] " i);
+      (match outcome with
+      | S.Parallel.Scene (scene, stats) ->
+          Buffer.add_string buf
+            (Printf.sprintf "scene iters=%d\n%s" stats.S.Rejection.iterations
+               (C.Scene.to_string scene))
+      | S.Parallel.Exhausted e ->
+          Buffer.add_string buf
+            (Fmt.str "exhausted %a used=%d" S.Budget.pp_stop_reason
+               e.S.Rejection.reason e.S.Rejection.used)
+      | S.Parallel.Faulted f ->
+          Buffer.add_string buf
+            (Fmt.str "faulted %a attempts=%d" C.Errors.pp_severity
+               f.S.Parallel.f_fault.C.Errors.severity f.S.Parallel.f_attempts));
+      Buffer.add_char buf '\n')
+    b.S.Parallel.outcomes;
+  Buffer.add_string buf
+    (Printf.sprintf "quarantined=[%s] retries=%d\n"
+       (String.concat ";" (List.map string_of_int b.S.Parallel.quarantined))
+       b.S.Parallel.retries);
+  Buffer.contents buf

@@ -55,10 +55,26 @@ let start spec =
     on iteration 1), not on every rejection: a rejection iteration on an
     easy scenario is sub-microsecond, so a per-iteration
     [Unix.gettimeofday] syscall dominated the loop whenever a timeout
-    was set.  The deadline therefore fires up to [clock_stride - 1]
-    iterations late — bounded staleness traded for a ~64x reduction in
-    syscalls.  Must be a power of two (the check uses a bitmask). *)
+    was set.  Must be a power of two (the check uses a bitmask).
+
+    {b Deadline-overshoot bound.}  Consultations happen before
+    iterations [1, 1 + clock_stride, 1 + 2*clock_stride, ...], so a
+    deadline that expires between two consultations is detected at the
+    next one: at most [clock_stride - 1] {e extra iterations} run after
+    the deadline has passed (worst case: the deadline expires during
+    iteration 2, detection fires before iteration [clock_stride + 1]).
+    The bound is exact and is pinned by a fake-clock test
+    ("deadline overshoot is bounded by the stride" in
+    test_robustness.ml); {!max_deadline_overshoot} exposes it so tests
+    and docs cannot drift from the implementation.  Bounded staleness
+    is the price of a ~64x reduction in syscalls; wall-clock overshoot
+    is therefore at most [clock_stride - 1] times the cost of one
+    rejection iteration, not a fixed number of seconds. *)
 let clock_stride = 64
+
+(** Maximum number of iterations that can run after a deadline has
+    expired before {!check} reports it: [clock_stride - 1]. *)
+let max_deadline_overshoot = clock_stride - 1
 
 (** [check run ~iters] before starting iteration [iters] (1-based):
     [Some reason] once the budget is exhausted.  The clock is only

@@ -23,14 +23,25 @@
     order afterwards, and since the counters are additive the merged
     report is also scheduling-independent.
 
-    Failure containment mirrors the sequential runtime: a per-sample
-    budget exhaustion becomes an [Exhausted] outcome, and an exception
-    escaping one sample (e.g. an injected {!Scenic_prob.Rng.Fault})
-    becomes a [Faulted] outcome for that index only — it never poisons
-    sibling samples or tears down the pool. *)
+    {b Supervision.} Failure containment is per-sample and
+    classification-driven (see {!Scenic_core.Errors.severity}): a
+    per-sample budget exhaustion becomes an [Exhausted] outcome, and an
+    exception escaping one sample becomes a [Faulted] outcome carrying
+    its classified {!Scenic_core.Errors.fault} — it never poisons
+    sibling samples or tears down the pool.  With [retries > 0] the
+    supervisor retries transient faults (and budget exhaustions, which
+    the taxonomy also deems transient) on {e deterministic per-attempt
+    RNG sub-streams}: attempt [a] of sample [i] always draws from
+    stream [(stream_base + a * attempt_stride + i)], a pure function of
+    [(seed, i, a)], so retried batches stay bit-identical at any
+    [--jobs].  Permanent faults are never retried; samples whose
+    transient faults outlive the retry budget are {e quarantined} —
+    their indices are reported in ascending order in
+    {!batch.quarantined} while every sibling's scene survives. *)
 
-module P = Scenic_prob
+module C = Scenic_core
 module T = Scenic_telemetry
+module P = Scenic_prob
 
 (** Streams [stream_base + 0 .. stream_base + n - 1] belong to batch
     samples.  Offset past the defaults used elsewhere (the sequential
@@ -38,27 +49,56 @@ module T = Scenic_telemetry
     shares a stream with a foreground generator of the same seed. *)
 let stream_base = 0x10000
 
-(** The generator for batch sample [index] under [seed]; the public
-    contract relied on by tests and by anyone reproducing a single scene
-    out of a batch. *)
-let rng_for_sample ~seed index = P.Rng.create ~stream:(stream_base + index) seed
+(** Retry attempt [a] of sample [i] draws from stream
+    [stream_base + a * attempt_stride + i]: attempt blocks are disjoint
+    for batches up to [attempt_stride] samples, and attempt 0
+    reproduces the historical single-attempt stream exactly, so adding
+    the retry machinery changed no fault-free batch. *)
+let attempt_stride = 0x100000
+
+(** The generator for attempt [attempt] of batch sample [index] under
+    [seed]; a pure function of its arguments — the whole determinism
+    story of the retrying batch runtime reduces to this line. *)
+let rng_for_attempt ~seed ~attempt index =
+  P.Rng.create ~stream:(stream_base + (attempt * attempt_stride) + index) seed
+
+(** The generator for batch sample [index] under [seed] (first
+    attempt); the public contract relied on by tests and by anyone
+    reproducing a single scene out of a batch. *)
+let rng_for_sample ~seed index = rng_for_attempt ~seed ~attempt:0 index
 
 (** Structured per-sample result, collected in index order. *)
 type sample_outcome =
   | Scene of Scenic_core.Scene.t * Rejection.stats
   | Exhausted of Rejection.exhaustion
-      (** this sample's budget ran out; carries its own diagnosis *)
-  | Faulted of string
-      (** an exception escaped this sample's draw (fault injection, a
-          broken distribution parameter, ...) — siblings are unaffected *)
+      (** this sample's budget ran out on its last allowed attempt;
+          carries the final attempt's diagnosis *)
+  | Faulted of fault
+      (** an exception escaped this sample's draw on every allowed
+          attempt — siblings are unaffected, and the index appears in
+          {!batch.quarantined} *)
+
+(** A contained, classified per-sample failure. *)
+and fault = {
+  f_fault : C.Errors.fault;  (** the last attempt's classified failure *)
+  f_attempts : int;  (** attempts made (1 + retries burned) *)
+}
 
 type batch = {
   outcomes : sample_outcome array;  (** index [i] holds sample [i] *)
-  diagnosis : Diagnose.t;  (** merged over all samples, in index order *)
+  diagnosis : Diagnose.t;
+      (** merged over all samples and attempts, in (index, attempt)
+          order *)
   usage : Budget.batch_report;
-      (** aggregated per-sample budgets; [first_exhaustion] names the
-          lowest exhausted index *)
+      (** aggregated per-sample budgets (summed over attempts);
+          [first_exhaustion] names the lowest exhausted index *)
   jobs : int;  (** workers actually used *)
+  retries : int;
+      (** retry attempts actually performed across the batch (0 unless
+          [~retries] was positive and something faulted or exhausted) *)
+  quarantined : int list;
+      (** ascending indices whose final outcome is [Faulted]: permanent
+          faults, and transient faults that survived every retry *)
 }
 
 (** Scenes of the successfully-sampled outcomes, in index order. *)
@@ -73,28 +113,46 @@ let default_jobs () = max 1 (Domain.recommended_domain_count ())
     {!default_jobs}).  [max_iters] / [timeout] / [clock] / [budget]
     bound each sample individually, as in {!Rejection.create}.
     [track_best] keeps the least-violating draw per exhausted sample
-    (best-effort mode).  [prepare] is called with [(index, rng)] before
-    sample [index] is drawn — the fault-injection hook used by
-    {!Scenic_harness.Robustness} to script or fail a chosen sample's
-    generator inside a worker.
+    (best-effort mode).
+
+    [retries] (default 0) allows up to that many {e additional}
+    attempts per sample after a transient fault or a budget
+    exhaustion; each attempt [a] draws from its own stream (see
+    {!rng_for_attempt}), so results remain a pure function of
+    [(seed, index, attempt schedule)] and bit-identical for every
+    [jobs].  Permanent faults are never retried.
+
+    [prepare] is called with [(index, rng)] before the {e first}
+    attempt of sample [index] only — the historical fault-injection
+    hook used by {!Scenic_harness.Robustness}, which under retries
+    models a one-shot transient fault.  [prepare_attempt] is called
+    before {e every} attempt with the attempt number; the chaos
+    harness uses it to drive per-attempt fault schedules.  Exceptions
+    raised by either hook are contained and classified exactly like
+    exceptions from the draw itself.
 
     [trace] / [metrics] instrument the batch without touching the
     shared recorders from worker domains: each sample records into its
     {e own} [Trace.t] (tagged with the drawing domain's id, wrapped in
-    a [sample] span carrying the index) and [Metrics.t], and the
-    per-sample recorders are merged into the given ones {e in index
-    order} after the pool joins — the same discipline as
-    {!Diagnose.merge_into}, so the merged file layout and all additive
-    metrics are independent of worker count and scheduling (only the
-    timestamps and domain ids inside the spans vary).  Instrumentation
-    never draws from the RNG, so traced batches stay bit-identical to
+    per-attempt [sample] spans carrying the index and attempt) and
+    [Metrics.t], and the per-sample recorders are merged into the
+    given ones {e in index order} after the pool joins — the same
+    discipline as {!Diagnose.merge_into}, so the merged file layout
+    and all additive metrics are independent of worker count and
+    scheduling (only the timestamps and domain ids inside the spans
+    vary).  The batch additionally publishes supervision counters
+    ([sample.faults] / [sample.retries] / [sample.quarantined] /
+    [pool.spawn_failures]) into [metrics].  Instrumentation never
+    draws from the RNG, so traced batches stay bit-identical to
     untraced ones.
 
     The scenario must already be pruned (or not) — this function never
     rewrites it, so it is safe to share across concurrent batches. *)
-let run ?jobs ?max_iters ?timeout ?clock ?budget ?(track_best = false) ?prepare
-    ?trace ?metrics ~seed ~n (scenario : Scenic_core.Scenario.t) : batch =
+let run ?jobs ?max_iters ?timeout ?clock ?budget ?(track_best = false)
+    ?(retries = 0) ?prepare ?prepare_attempt ?trace ?metrics ~seed ~n
+    (scenario : Scenic_core.Scenario.t) : batch =
   if n < 0 then invalid_arg "Parallel.run: n must be non-negative";
+  if retries < 0 then invalid_arg "Parallel.run: retries must be non-negative";
   let jobs =
     match jobs with
     | None -> default_jobs ()
@@ -102,13 +160,18 @@ let run ?jobs ?max_iters ?timeout ?clock ?budget ?(track_best = false) ?prepare
     | Some j -> j
   in
   let instrumented = trace <> None || metrics <> None in
-  let slots : (sample_outcome * Diagnose.t) option array = Array.make n None in
+  (* per-index: final outcome + every attempt's diagnosis in attempt
+     order (a faulted attempt still contributes its partial rejection
+     counters, as the single-attempt runtime always did) *)
+  let slots : (sample_outcome * Diagnose.t list) option array =
+    Array.make n None
+  in
+  let attempts_used = Array.make n 1 in
+  let fault_attempts = Array.make n 0 in
   let tslots : (T.Trace.t * T.Metrics.t) option array =
     Array.make (if instrumented then n else 0) None
   in
   let sample_one i =
-    let rng = rng_for_sample ~seed i in
-    (match prepare with Some f -> f i rng | None -> ());
     let probe =
       if not instrumented then T.Probe.noop
       else begin
@@ -118,25 +181,57 @@ let run ?jobs ?max_iters ?timeout ?clock ?budget ?(track_best = false) ?prepare
         T.Probe.make ~trace:tr ~metrics:m ()
       end
     in
-    let r =
-      Rejection.create ?max_iters ?timeout ?clock ?budget ~track_best ~probe
-        ~rng scenario
+    let diags = ref [] (* reverse attempt order *) in
+    (* One attempt: everything index-dependent — the stream, the
+       injection hooks — derives from (i, attempt) alone.  Exceptions
+       from any stage are contained here and classified. *)
+    let attempt_once attempt =
+      match
+        let rng = rng_for_attempt ~seed ~attempt i in
+        (if attempt = 0 then
+           match prepare with Some f -> f i rng | None -> ());
+        (match prepare_attempt with
+        | Some f -> f ~index:i ~attempt rng
+        | None -> ());
+        Rejection.create ?max_iters ?timeout ?clock ?budget ~track_best
+          ~probe ~rng scenario
+      with
+      | exception exn -> `Fault (C.Errors.classify exn)
+      | r ->
+          let draw () =
+            match Rejection.sample_outcome r with
+            | Rejection.Sampled (scene, stats) -> `Outcome (Scene (scene, stats))
+            | Rejection.Exhausted e -> `Outcome (Exhausted e)
+            | exception exn -> `Fault (C.Errors.classify exn)
+          in
+          let res =
+            if not probe.T.Probe.enabled then draw ()
+            else
+              probe.T.Probe.span
+                ~attrs:(fun () ->
+                  [ ("index", T.Probe.Int i); ("attempt", T.Probe.Int attempt) ])
+                "sample" draw
+          in
+          diags := Rejection.diagnosis r :: !diags;
+          res
     in
-    let draw () =
-      match Rejection.sample_outcome r with
-      | Rejection.Sampled (scene, stats) -> Scene (scene, stats)
-      | Rejection.Exhausted e -> Exhausted e
-      | exception P.Rng.Fault msg -> Faulted msg
-      | exception exn -> Faulted (Printexc.to_string exn)
+    let rec go attempt =
+      attempts_used.(i) <- attempt + 1;
+      match attempt_once attempt with
+      | `Outcome (Scene _ as o) -> o
+      | `Outcome (Exhausted _ as o) ->
+          (* budget exhaustion is transient in the taxonomy: a fresh
+             sub-stream may accept within budget *)
+          if attempt < retries then go (attempt + 1) else o
+      | `Outcome (Faulted _) -> assert false (* attempt_once never builds it *)
+      | `Fault f ->
+          fault_attempts.(i) <- fault_attempts.(i) + 1;
+          if f.C.Errors.severity = C.Errors.Transient && attempt < retries then
+            go (attempt + 1)
+          else Faulted { f_fault = f; f_attempts = attempt + 1 }
     in
-    let outcome =
-      if not probe.T.Probe.enabled then draw ()
-      else
-        probe.T.Probe.span
-          ~attrs:(fun () -> [ ("index", T.Probe.Int i) ])
-          "sample" draw
-    in
-    slots.(i) <- Some (outcome, Rejection.diagnosis r)
+    let outcome = go 0 in
+    slots.(i) <- Some (outcome, List.rev !diags)
   in
   (* the calling domain always participates; at most jobs - 1 pool
      helpers join it, and never more than there are samples.  The pool
@@ -144,7 +239,20 @@ let run ?jobs ?max_iters ?timeout ?clock ?budget ?(track_best = false) ?prepare
      everything from [i] alone (stream, slots), so scheduling cannot
      leak into results. *)
   let helpers = max 0 (min (jobs - 1) (n - 1)) in
-  Pool.run ~helpers ~n sample_one;
+  let pool_failures = Pool.run ~helpers ~n sample_one in
+  (* sample_one contains every exception, so pool-level failures are a
+     supervisor bug; still, never let one drop an index silently *)
+  List.iter
+    (fun (i, exn) ->
+      if slots.(i) = None then begin
+        fault_attempts.(i) <- max 1 fault_attempts.(i);
+        slots.(i) <-
+          Some
+            ( Faulted
+                { f_fault = C.Errors.classify exn; f_attempts = attempts_used.(i) },
+              [] )
+      end)
+    pool_failures;
   (* aggregate per-sample recorders in index order (never from inside
      a worker): deterministic layout, additive metrics *)
   if instrumented then
@@ -163,8 +271,8 @@ let run ?jobs ?max_iters ?timeout ?clock ?budget ?(track_best = false) ?prepare
   let outcomes =
     Array.init n (fun i ->
         match slots.(i) with
-        | Some (outcome, diag) ->
-            Diagnose.merge_into ~into:merged diag;
+        | Some (outcome, diags) ->
+            List.iter (fun d -> Diagnose.merge_into ~into:merged d) diags;
             outcome
         | None -> assert false (* every index < n was claimed exactly once *))
   in
@@ -172,28 +280,58 @@ let run ?jobs ?max_iters ?timeout ?clock ?budget ?(track_best = false) ?prepare
     Budget.batch_report
       (Array.map
          (function
-           | Some (outcome, diag) -> (
-               let used = Diagnose.total diag in
+           | Some (outcome, diags) -> (
+               let used =
+                 List.fold_left (fun acc d -> acc + Diagnose.total d) 0 diags
+               in
                match outcome with
                | Exhausted e -> (used, Some e.Rejection.reason)
                | Scene _ | Faulted _ -> (used, None))
            | None -> assert false)
          slots)
   in
-  { outcomes; diagnosis = merged; usage; jobs = helpers + 1 }
+  let retried =
+    Array.fold_left (fun acc a -> acc + (a - 1)) 0 attempts_used
+  in
+  let quarantined =
+    Array.to_list outcomes
+    |> List.mapi (fun i o -> (i, o))
+    |> List.filter_map (fun (i, o) ->
+           match o with Faulted _ -> Some i | _ -> None)
+  in
+  let faults = Array.fold_left ( + ) 0 fault_attempts in
+  (match metrics with
+  | Some m ->
+      (* supervision counters: additive, written after the join, so
+         they are deterministic and --jobs independent *)
+      if faults > 0 then T.Metrics.add m "sample.faults" faults;
+      if retried > 0 then T.Metrics.add m "sample.retries" retried;
+      if quarantined <> [] then
+        T.Metrics.add m "sample.quarantined" (List.length quarantined);
+      let sf = Pool.spawn_failures () in
+      if sf > 0 then T.Metrics.add m "pool.spawn_failures" sf
+  | None -> ());
+  {
+    outcomes;
+    diagnosis = merged;
+    usage;
+    jobs = helpers + 1;
+    retries = retried;
+    quarantined;
+  }
 
 (** Compile Scenic source, prune it with the degenerate-prune fallback
     of {!Sampler}, and draw a batch.  Returns the batch together with
     the degraded-region labels (empty unless the fallback fired). *)
 let of_source ?jobs ?(prune = true) ?max_iters ?timeout ?clock ?budget
-    ?track_best ?prepare ?trace ?metrics ?file ?search_path ~seed ~n src :
-    batch * string list =
+    ?track_best ?retries ?prepare ?prepare_attempt ?trace ?metrics ?file
+    ?search_path ~seed ~n src : batch * string list =
   let sampler =
     Sampler.create ~prune ~seed (Scenic_core.Eval.compile ?file ?search_path src)
   in
   let batch =
-    run ?jobs ?max_iters ?timeout ?clock ?budget ?track_best ?prepare ?trace
-      ?metrics ~seed ~n
+    run ?jobs ?max_iters ?timeout ?clock ?budget ?track_best ?retries ?prepare
+      ?prepare_attempt ?trace ?metrics ~seed ~n
       (Sampler.scenario sampler)
   in
   (batch, Sampler.degraded sampler)

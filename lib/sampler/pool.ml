@@ -24,10 +24,21 @@
     execution detail.  This is the load-bearing half of the sampler's
     determinism contract; see {!Parallel}.
 
-    Exceptions raised by [body] are caught, remembered (first one
-    wins), and re-raised from {!run} in the submitting domain after
-    the batch drains — one failing index never poisons its siblings,
-    and the pool itself survives. *)
+    {b Fault containment.} An exception raised by [body i] is caught
+    and recorded against index [i]; it never poisons sibling indices,
+    tears down a worker, or aborts the batch.  {!run} returns {e all}
+    recorded failures sorted by index — a deterministic report
+    regardless of which workers ran which chunks in which order (the
+    pre-PR-6 pool kept only a racy "first" exception and re-raised it,
+    discarding every sibling's result).  Callers that want the old
+    raise-on-failure behaviour can match on the returned list.
+
+    {b Graceful degradation.} The submitting domain always serves its
+    own task inline, so the pool is an accelerator, never a
+    dependency: if [Domain.spawn] fails (fd/thread limits, restricted
+    sandboxes) the pool stops growing, remembers the failure count
+    ({!spawn_failures}), and the batch completes sequentially on the
+    submitter. *)
 
 (* A submitted batch.  [tickets] (protected by [pool_mx]) counts how
    many more workers may still pick the task up; [next]/[completed]
@@ -40,7 +51,8 @@ type task = {
   next : int Atomic.t;
   completed : int Atomic.t;
   mutable tickets : int;
-  mutable failed : exn option;  (* protected by t_mx *)
+  mutable failures : (int * exn) list;
+      (** every per-index exception, unordered; protected by [t_mx] *)
   t_mx : Mutex.t;
   t_cv : Condition.t;
 }
@@ -54,6 +66,7 @@ let domains : unit Domain.t list ref = ref []
 let n_workers = ref 0
 let shutting_down = ref false
 let at_exit_registered = ref false
+let spawn_failed = ref 0
 
 (* Drain chunks of [t] until the claim counter runs past [n].  Called
    from workers and from the submitting domain alike. *)
@@ -68,7 +81,7 @@ let serve (t : task) =
         try t.body i
         with exn ->
           Mutex.lock t.t_mx;
-          if t.failed = None then t.failed <- Some exn;
+          t.failures <- (i, exn) :: t.failures;
           Mutex.unlock t.t_mx
       done;
       let finished = stop - start in
@@ -106,17 +119,35 @@ let rec worker_loop () =
       serve t;
       worker_loop ()
 
+(** Stop and join every worker domain.  Idempotent and safe to call at
+    any time — including from [at_exit] after a batch whose [body]
+    faulted: the worker list is detached under the pool lock before
+    joining, so a second (or concurrent) call finds nothing left to
+    join and returns immediately instead of double-joining or hanging.
+    Workers drain the task they are currently serving before they see
+    the flag, and the submitter serves its own task inline, so no
+    in-flight batch can be orphaned.  After shutdown the pool is
+    reusable: the next {!run} with helpers simply respawns. *)
 let shutdown () =
   Mutex.lock pool_mx;
+  let to_join = !domains in
+  domains := [];
+  n_workers := 0;
   shutting_down := true;
   Condition.broadcast pool_cv;
   Mutex.unlock pool_mx;
-  List.iter Domain.join !domains;
-  domains := [];
-  n_workers := 0;
-  shutting_down := false
+  List.iter Domain.join to_join;
+  Mutex.lock pool_mx;
+  (* only clear the flag once every detached worker is joined; a
+     concurrent shutdown that lost the race joins an empty list and
+     clears an already-clear flag — both harmless *)
+  shutting_down := false;
+  Mutex.unlock pool_mx
 
-(* Grow the pool so at least [count] workers exist (capped). *)
+(* Grow the pool so at least [count] workers exist (capped).  A failed
+   [Domain.spawn] (resource limits) stops the growth attempt for this
+   call: the pool keeps whatever workers it has, and the submitter's
+   inline serving guarantees batch progress even with zero workers. *)
 let ensure_workers count =
   let want = min count max_pool_size in
   Mutex.lock pool_mx;
@@ -124,10 +155,12 @@ let ensure_workers count =
     at_exit_registered := true;
     at_exit shutdown
   end;
-  while !n_workers < want do
-    domains := Domain.spawn worker_loop :: !domains;
-    incr n_workers
-  done;
+  (try
+     while !n_workers < want do
+       domains := Domain.spawn worker_loop :: !domains;
+       incr n_workers
+     done
+   with _ -> incr spawn_failed);
   Mutex.unlock pool_mx
 
 (** Number of persistent worker domains currently parked. *)
@@ -137,19 +170,33 @@ let size () =
   Mutex.unlock pool_mx;
   s
 
+(** Times a [Domain.spawn] failed and the pool degraded to fewer (or
+    zero) workers; surfaced through [--stats] as a degradation signal. *)
+let spawn_failures () =
+  Mutex.lock pool_mx;
+  let s = !spawn_failed in
+  Mutex.unlock pool_mx;
+  s
+
 (** [run ~helpers ~n body] calls [body i] exactly once for every
     [i] in [0 .. n-1], using up to [helpers] pool workers alongside
     the calling domain (which always participates, so [helpers = 0]
     degenerates to a plain sequential loop with no synchronisation
     beyond the task's own counters).  Blocks until every index has
-    finished; re-raises the first exception [body] raised, if any.
+    finished.
+
+    Returns the complete failure report: one [(index, exn)] pair for
+    every index whose [body] raised, sorted by ascending index.  The
+    list's contents depend only on [body] — never on scheduling —
+    because each index runs exactly once and is recorded under its own
+    index.  An empty list means every index completed normally.
 
     [chunk] overrides the claim granularity; the default aims for a
     few claims per participant (good load balance) while keeping
     counter traffic at [n / chunk]. *)
-let run ?chunk ~helpers ~n body =
+let run ?chunk ~helpers ~n body : (int * exn) list =
   if n < 0 then invalid_arg "Pool.run: n must be non-negative";
-  if n = 0 then ()
+  if n = 0 then []
   else begin
     let helpers = max 0 (min helpers (n - 1)) in
     let chunk =
@@ -166,7 +213,7 @@ let run ?chunk ~helpers ~n body =
         next = Atomic.make 0;
         completed = Atomic.make 0;
         tickets = helpers;
-        failed = None;
+        failures = [];
         t_mx = Mutex.create ();
         t_cv = Condition.create ();
       }
@@ -197,5 +244,7 @@ let run ?chunk ~helpers ~n body =
       end;
       Mutex.unlock pool_mx
     end;
-    match t.failed with Some exn -> raise exn | None -> ()
+    (* every index faults at most once, so sorting by index alone is a
+       total, scheduling-independent order *)
+    List.sort (fun (i, _) (j, _) -> compare i j) t.failures
   end

@@ -318,16 +318,25 @@ let sample_outcome t : outcome =
     let iters = ref 0 in
     let t0 = pr.Probe.now () in
     let outcome =
-      pr.Probe.span
-        ~attrs:(fun () -> [ ("iterations", Probe.Int !iters) ])
-        "rejection.sample"
-        (fun () ->
-          let o = sample_outcome_uninstrumented t in
-          (iters :=
-             match o with
-             | Sampled (_, stats) -> stats.iterations
-             | Exhausted e -> e.used);
-          o)
+      match
+        pr.Probe.span
+          ~attrs:(fun () -> [ ("iterations", Probe.Int !iters) ])
+          "rejection.sample"
+          (fun () ->
+            let o = sample_outcome_uninstrumented t in
+            (iters :=
+               match o with
+               | Sampled (_, stats) -> stats.iterations
+               | Exhausted e -> e.used);
+            o)
+      with
+      | o -> o
+      | exception exn ->
+          (* an exception escaping the draw (injected RNG fault, broken
+             parameter) is counted before the supervisor classifies it,
+             so --stats sees faults even on uncontained paths *)
+          pr.Probe.add "rejection.faulted" 1;
+          raise exn
     in
     pr.Probe.observe "sample.wall_ms" ((pr.Probe.now () -. t0) *. 1e3);
     pr.Probe.observe "rejection.iterations" (float_of_int !iters);

@@ -1,6 +1,8 @@
 (** End-to-end tests of the [scenic] executable's contract: exit codes
-    (0 ok / 1 error / 2 usage / 3 budget exhausted / 4 nonconformant)
-    and the shape of stdout vs. stderr under --jobs/--stats/--trace.
+    (0 ok / 1 error / 2 usage / 3 budget exhausted / 4 nonconformant /
+    5 partial batch) and the shape of stdout vs. stderr under
+    --jobs/--stats/--trace and the --on-error/--retries/--chaos
+    supervision flags.
     Each test runs the real binary in a subprocess; it lives next to
     this test executable in the build tree ([../bin/scenic.exe]), so
     resolve it from [Sys.executable_name] rather than the cwd, which
@@ -126,6 +128,96 @@ let suite =
         check_code "jobs 3" 0 r3;
         let _, o1, _ = r1 and _, o3, _ = r3 in
         Alcotest.(check string) "batch identical" o1 o3);
+    test_case "--on-error skip under chaos exits 5 with healthy scenes" `Quick
+      (fun () ->
+        (* seed 3 over 6 samples schedules 2 permanent faults (indices
+           0, 1) and transients that --retries 3 heals: the 4 healthy
+           scenes must still stream while the quarantine is reported *)
+        let f = scenario_file feasible in
+        let r =
+          run
+            [ "sample"; "--seed"; "3"; "-n"; "6"; "--jobs"; "2"; "--chaos";
+              "1"; "--retries"; "3"; "--on-error"; "skip"; f ]
+        in
+        Sys.remove f;
+        check_code "skip" 5 r;
+        check_stderr "skip" "quarantined" r;
+        check_stderr "skip" "retried" r;
+        let _, out, _ = r in
+        Alcotest.(check bool) "healthy scenes stream" true
+          (contains ~needle:"--- scene" out));
+    test_case "--on-error fail under chaos exits 1" `Quick (fun () ->
+        let f = scenario_file feasible in
+        let r =
+          run
+            [ "sample"; "--seed"; "3"; "-n"; "6"; "--jobs"; "2"; "--chaos";
+              "1"; "--retries"; "3"; "--on-error"; "fail"; f ]
+        in
+        Sys.remove f;
+        check_code "fail" 1 r;
+        check_stderr "fail" "permanent fault" r);
+    test_case "--on-error best-effort under chaos exits 5" `Quick (fun () ->
+        let f = scenario_file feasible in
+        let r =
+          run
+            [ "sample"; "--seed"; "3"; "-n"; "6"; "--jobs"; "2"; "--chaos";
+              "1"; "--retries"; "3"; "--on-error"; "best-effort"; f ]
+        in
+        Sys.remove f;
+        check_code "best-effort" 5 r);
+    test_case "--on-error skip without faults exits 0 unchanged" `Quick
+      (fun () ->
+        let f = scenario_file feasible in
+        let plain =
+          run [ "sample"; "--seed"; "7"; "-n"; "4"; "--jobs"; "2"; f ]
+        in
+        let skip =
+          run
+            [ "sample"; "--seed"; "7"; "-n"; "4"; "--jobs"; "2"; "--on-error";
+              "skip"; f ]
+        in
+        Sys.remove f;
+        check_code "plain" 0 plain;
+        check_code "skip" 0 skip;
+        let _, out_plain, _ = plain and _, out_skip, _ = skip in
+        Alcotest.(check string) "stdout unchanged" out_plain out_skip);
+    test_case "--stats reports fault and retry counters under chaos" `Quick
+      (fun () ->
+        let f = scenario_file feasible in
+        let r =
+          run
+            [ "sample"; "--seed"; "3"; "-n"; "6"; "--jobs"; "2"; "--chaos";
+              "1"; "--retries"; "3"; "--on-error"; "skip"; "--stats"; f ]
+        in
+        Sys.remove f;
+        check_code "--stats" 5 r;
+        check_stderr "--stats" "sample.faults" r;
+        check_stderr "--stats" "sample.retries" r;
+        check_stderr "--stats" "sample.quarantined" r);
+    test_case "--chaos and --retries require --jobs" `Quick (fun () ->
+        let f = scenario_file feasible in
+        let chaos = run [ "sample"; "--chaos"; "0.5"; f ] in
+        let retries = run [ "sample"; "--retries"; "1"; f ] in
+        let negative =
+          run [ "sample"; "--jobs"; "2"; "--retries=-1"; f ]
+        in
+        let rate = run [ "sample"; "--jobs"; "2"; "--chaos"; "1.5"; f ] in
+        Sys.remove f;
+        check_code "--chaos without --jobs" 1 chaos;
+        check_stderr "--chaos without --jobs" "--chaos requires --jobs" chaos;
+        check_code "--retries without --jobs" 1 retries;
+        check_stderr "--retries without --jobs" "--retries requires --jobs"
+          retries;
+        check_code "--retries=-1" 1 negative;
+        check_stderr "--retries=-1" "--retries must be non-negative" negative;
+        check_code "--chaos 1.5" 1 rate;
+        check_stderr "--chaos 1.5" "--chaos must be a rate" rate);
+    test_case "invalid --on-error value is a usage error (exit 124)" `Quick
+      (fun () ->
+        let f = scenario_file feasible in
+        let r = run [ "sample"; "--on-error"; "bogus"; f ] in
+        Sys.remove f;
+        check_code "--on-error bogus" 124 r);
     test_case "conformance --index replays one fuzz program" `Quick (fun () ->
         let r = run [ "conformance"; "--seed"; "0"; "--index"; "0" ] in
         check_code "replay" 0 r;

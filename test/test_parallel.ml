@@ -132,9 +132,13 @@ let containment_tests =
         Array.iteri
           (fun i outcome ->
             match (i, outcome) with
-            | 3, S.Parallel.Faulted msg ->
+            | 3, S.Parallel.Faulted f ->
                 Alcotest.(check bool) "fault message" true
-                  (String.length msg > 0)
+                  (String.length f.S.Parallel.f_fault.C.Errors.message > 0);
+                Alcotest.(check bool) "classified transient" true
+                  (f.S.Parallel.f_fault.C.Errors.severity = C.Errors.Transient);
+                Alcotest.(check int) "single attempt" 1
+                  f.S.Parallel.f_attempts
             | 3, _ -> Alcotest.fail "sample 3 should have faulted"
             | _, S.Parallel.Scene _ -> ()
             | i, _ -> Alcotest.failf "sample %d should have sampled" i)
@@ -178,6 +182,131 @@ let containment_tests =
         | _ -> Alcotest.fail "sample 2 should have sampled");
   ]
 
+let retry_tests =
+  [
+    test_case "a one-shot transient fault is healed by one retry" `Quick
+      (fun () ->
+        let scenario = compile filtered in
+        let b =
+          S.Parallel.run ~jobs:4 ~seed:9 ~n:8 ~retries:1
+            ~prepare:(R.fault_sample ~index:3 ())
+            scenario
+        in
+        Alcotest.(check int) "all 8 scenes delivered" 8
+          (List.length (S.Parallel.scenes b));
+        Alcotest.(check int) "one retry burned" 1 b.S.Parallel.retries;
+        Alcotest.(check (list int)) "nothing quarantined" []
+          b.S.Parallel.quarantined;
+        (* the healed sample drew from the attempt-1 sub-stream: the
+           documented contract that retries stay reproducible *)
+        match b.S.Parallel.outcomes.(3) with
+        | S.Parallel.Scene (scene, _) ->
+            let rng = S.Parallel.rng_for_attempt ~seed:9 ~attempt:1 3 in
+            let r = S.Rejection.create ~rng scenario in
+            Alcotest.(check string) "attempt-1 stream"
+              (C.Scene.to_string (S.Rejection.sample r))
+              (C.Scene.to_string scene)
+        | _ -> Alcotest.fail "sample 3 should have healed");
+    test_case "retried batches are bit-identical at any jobs count" `Slow
+      (fun () ->
+        let scenario = compile filtered in
+        let prepare_attempt ~index ~attempt rng =
+          if index = 2 && attempt < 2 then P.Rng.inject_failure rng ~after:0
+        in
+        let draw jobs =
+          S.Parallel.run ~jobs ~seed:13 ~n:12 ~retries:3 ~prepare_attempt
+            scenario
+        in
+        let fingerprint b = List.map C.Scene.to_string (S.Parallel.scenes b) in
+        let reference = draw 1 in
+        Alcotest.(check int) "two retries burned" 2 reference.S.Parallel.retries;
+        List.iter
+          (fun jobs ->
+            let b = draw jobs in
+            Alcotest.(check (list string))
+              (Printf.sprintf "jobs %d" jobs)
+              (fingerprint reference) (fingerprint b);
+            Alcotest.(check int)
+              (Printf.sprintf "jobs %d retries" jobs)
+              reference.S.Parallel.retries b.S.Parallel.retries)
+          [ 2; 4 ]);
+    test_case "a persistent transient fault exhausts retries into quarantine"
+      `Quick (fun () ->
+        let prepare_attempt ~index ~attempt:_ rng =
+          if index = 3 then P.Rng.inject_failure rng ~after:0
+        in
+        let b =
+          R.parallel_batch ~jobs:2 ~seed:9 ~n:6 ~retries:2 ~prepare_attempt
+            filtered
+        in
+        (match b.S.Parallel.outcomes.(3) with
+        | S.Parallel.Faulted f ->
+            Alcotest.(check int) "initial + 2 retries" 3
+              f.S.Parallel.f_attempts;
+            Alcotest.(check bool) "still transient" true
+              (f.S.Parallel.f_fault.C.Errors.severity = C.Errors.Transient)
+        | _ -> Alcotest.fail "sample 3 should have faulted");
+        Alcotest.(check (list int)) "quarantined" [ 3 ]
+          b.S.Parallel.quarantined;
+        Alcotest.(check int) "retries counted" 2 b.S.Parallel.retries;
+        Alcotest.(check int) "siblings survived" 5
+          (List.length (S.Parallel.scenes b)));
+    test_case "a permanent fault is quarantined without burning retries"
+      `Quick (fun () ->
+        let prepare_attempt ~index ~attempt:_ _rng =
+          if index = 1 then
+            C.Errors.raise_at (C.Errors.Invalid_argument_error "injected bug")
+        in
+        let b =
+          R.parallel_batch ~jobs:2 ~seed:9 ~n:4 ~retries:5 ~prepare_attempt
+            filtered
+        in
+        (match b.S.Parallel.outcomes.(1) with
+        | S.Parallel.Faulted f ->
+            Alcotest.(check bool) "classified permanent" true
+              (f.S.Parallel.f_fault.C.Errors.severity = C.Errors.Permanent);
+            Alcotest.(check int) "single attempt" 1 f.S.Parallel.f_attempts
+        | _ -> Alcotest.fail "sample 1 should have faulted");
+        Alcotest.(check int) "no retries burned" 0 b.S.Parallel.retries;
+        Alcotest.(check (list int)) "quarantined" [ 1 ]
+          b.S.Parallel.quarantined);
+    test_case "two faulting samples both surface, in index order" `Quick
+      (fun () ->
+        (* regression for the pool's first-wins failure reporting: both
+           faulted indices must appear, deterministically ordered *)
+        let prepare_attempt ~index ~attempt:_ rng =
+          if index = 1 || index = 5 then P.Rng.inject_failure rng ~after:0
+        in
+        let b =
+          R.parallel_batch ~jobs:4 ~seed:9 ~n:8 ~prepare_attempt filtered
+        in
+        Alcotest.(check (list int)) "both quarantined, ascending" [ 1; 5 ]
+          b.S.Parallel.quarantined;
+        Alcotest.(check int) "six healthy scenes" 6
+          (List.length (S.Parallel.scenes b)));
+    test_case "budget exhaustion is retried on a fresh sub-stream" `Quick
+      (fun () ->
+        let b =
+          R.parallel_batch ~jobs:2 ~max_iters:10 ~seed:1 ~n:3 ~retries:1 unsat
+        in
+        Array.iter
+          (function
+            | S.Parallel.Exhausted _ -> ()
+            | _ -> Alcotest.fail "expected exhaustion")
+          b.S.Parallel.outcomes;
+        Alcotest.(check int) "one retry per sample" 3 b.S.Parallel.retries;
+        (* both attempts' iterations are accounted *)
+        Alcotest.(check int) "20 iterations per sample" 60
+          b.S.Parallel.usage.S.Budget.total_iterations;
+        Alcotest.(check (list int)) "exhaustion is not quarantine" []
+          b.S.Parallel.quarantined);
+    test_case "negative retries is rejected" `Quick (fun () ->
+        Alcotest.check_raises "retries -1"
+          (Invalid_argument "Parallel.run: retries must be non-negative")
+          (fun () ->
+            ignore (R.parallel_batch ~jobs:1 ~seed:1 ~n:1 ~retries:(-1) base)));
+  ]
+
 let budget_tests =
   [
     test_case "first exhaustion reports the lowest index" `Quick (fun () ->
@@ -218,5 +347,6 @@ let suites =
   [
     ("parallel.determinism", determinism_tests);
     ("parallel.containment", containment_tests);
+    ("parallel.retries", retry_tests);
     ("parallel.budget", budget_tests);
   ]

@@ -1,0 +1,119 @@
+(** Tests for the persistent domain pool ({!Scenic_sampler.Pool}):
+    complete per-index failure reporting in deterministic order,
+    idempotent shutdown (including after a faulted batch), and the
+    inline-serving degradation path that keeps batches finishing even
+    with zero workers. *)
+
+module S = Scenic_sampler
+
+let test_case = Alcotest.test_case
+
+(* run a body over [n] indices and return (per-index hit counts,
+   failures) *)
+let run_counted ?chunk ~helpers ~n body =
+  let hits = Array.make n 0 in
+  let mx = Mutex.create () in
+  let failures =
+    S.Pool.run ?chunk ~helpers ~n (fun i ->
+        Mutex.lock mx;
+        hits.(i) <- hits.(i) + 1;
+        Mutex.unlock mx;
+        body i)
+  in
+  (hits, failures)
+
+let failure_tests =
+  [
+    test_case "a clean batch reports no failures" `Quick (fun () ->
+        let hits, failures = run_counted ~helpers:3 ~n:32 (fun _ -> ()) in
+        Alcotest.(check (list int)) "no failures" []
+          (List.map fst failures);
+        Alcotest.(check bool) "every index ran exactly once" true
+          (Array.for_all (( = ) 1) hits));
+    test_case "all failures are recorded, not just the first" `Quick (fun () ->
+        (* regression: the pre-PR-6 pool kept one racy 'first' exception
+           and discarded the rest.  Two faulting indices served by
+           different workers must both surface. *)
+        let _, failures =
+          run_counted ~helpers:2 ~chunk:1 ~n:12 (fun i ->
+              if i = 2 then failwith "fault-two";
+              if i = 9 then failwith "fault-nine")
+        in
+        Alcotest.(check (list int)) "both indices, ascending" [ 2; 9 ]
+          (List.map fst failures);
+        let msgs =
+          List.map
+            (function
+              | _, Failure m -> m
+              | _, exn -> Printexc.to_string exn)
+            failures
+        in
+        Alcotest.(check (list string))
+          "each index keeps its own exception" [ "fault-two"; "fault-nine" ]
+          msgs);
+    test_case "failure order is index order at any worker count" `Quick
+      (fun () ->
+        let faulty = [ 1; 4; 7; 10; 13 ] in
+        List.iter
+          (fun helpers ->
+            let _, failures =
+              run_counted ~helpers ~chunk:1 ~n:16 (fun i ->
+                  if List.mem i faulty then failwith "boom")
+            in
+            Alcotest.(check (list int))
+              (Printf.sprintf "helpers %d" helpers)
+              faulty
+              (List.map fst failures))
+          [ 0; 1; 3 ]);
+    test_case "faulted indices never poison siblings" `Quick (fun () ->
+        let hits, failures =
+          run_counted ~helpers:3 ~n:20 (fun i ->
+              if i mod 2 = 0 then failwith "even")
+        in
+        Alcotest.(check int) "ten failures" 10 (List.length failures);
+        Alcotest.(check bool) "every index still ran exactly once" true
+          (Array.for_all (( = ) 1) hits));
+    test_case "helpers 0 serves inline without touching the pool" `Quick
+      (fun () ->
+        let before = S.Pool.size () in
+        let hits, failures = run_counted ~helpers:0 ~n:8 (fun _ -> ()) in
+        Alcotest.(check int) "pool size unchanged" before (S.Pool.size ());
+        Alcotest.(check bool) "all served" true (Array.for_all (( = ) 1) hits);
+        Alcotest.(check (list int)) "no failures" [] (List.map fst failures));
+  ]
+
+let shutdown_tests =
+  [
+    test_case "shutdown after a faulted batch neither hangs nor leaks" `Quick
+      (fun () ->
+        let _, failures =
+          run_counted ~helpers:2 ~n:8 (fun i ->
+              if i = 3 then failwith "pre-shutdown fault")
+        in
+        Alcotest.(check (list int)) "fault recorded" [ 3 ]
+          (List.map fst failures);
+        S.Pool.shutdown ();
+        Alcotest.(check int) "no workers left" 0 (S.Pool.size ()));
+    test_case "shutdown is idempotent" `Quick (fun () ->
+        (* double-shutdown must not double-join or hang *)
+        ignore (S.Pool.run ~helpers:2 ~n:4 (fun _ -> ()));
+        S.Pool.shutdown ();
+        S.Pool.shutdown ();
+        Alcotest.(check int) "still empty" 0 (S.Pool.size ()));
+    test_case "the pool respawns after shutdown" `Quick (fun () ->
+        S.Pool.shutdown ();
+        let hits, failures = run_counted ~helpers:2 ~n:16 (fun _ -> ()) in
+        Alcotest.(check bool) "all served" true (Array.for_all (( = ) 1) hits);
+        Alcotest.(check (list int)) "no failures" [] (List.map fst failures);
+        Alcotest.(check bool) "workers respawned" true (S.Pool.size () >= 1));
+    test_case "run validates its arguments" `Quick (fun () ->
+        Alcotest.check_raises "negative n"
+          (Invalid_argument "Pool.run: n must be non-negative") (fun () ->
+            ignore (S.Pool.run ~helpers:1 ~n:(-1) (fun _ -> ())));
+        Alcotest.check_raises "zero chunk"
+          (Invalid_argument "Pool.run: chunk must be positive") (fun () ->
+            ignore (S.Pool.run ~chunk:0 ~helpers:1 ~n:4 (fun _ -> ()))));
+  ]
+
+let suites =
+  [ ("pool.failures", failure_tests); ("pool.shutdown", shutdown_tests) ]

@@ -57,6 +57,35 @@ let budget_tests =
         Alcotest.(check int) "clock reads"
           (1 + ((200 + S.Budget.clock_stride - 1) / S.Budget.clock_stride))
           !reads);
+    test_case "deadline overshoot is bounded by the stride" `Quick (fun () ->
+        (* pins the documented bound: consultations happen before
+           iterations 1, 1 + stride, 1 + 2*stride, ..., so a deadline
+           expiring right after the iteration-1 consultation lets
+           exactly [max_deadline_overshoot] = stride - 1 further
+           iterations run before detection.  The fake clock reads 0 at
+           [start] and at iteration 1, then jumps past the deadline. *)
+        Alcotest.(check int) "bound is stride - 1"
+          (S.Budget.clock_stride - 1)
+          S.Budget.max_deadline_overshoot;
+        let reads = ref 0 in
+        let clock () =
+          incr reads;
+          if !reads <= 2 then 0. else 10.
+        in
+        let e =
+          R.exhaust ~max_iters:1_000_000 ~timeout:2.0 ~clock ~seed:1 unsat
+        in
+        (match e.S.Rejection.reason with
+        | S.Budget.Deadline elapsed ->
+            Alcotest.(check bool) "elapsed reflects the late read" true
+              (elapsed > 2.0)
+        | S.Budget.Iteration_limit _ -> Alcotest.fail "expected deadline");
+        (* iteration 1 ran pre-expiry; iterations 2 .. stride are the
+           overshoot; detection fires before iteration stride + 1 *)
+        Alcotest.(check int) "iterations run past the deadline"
+          (1 + S.Budget.max_deadline_overshoot)
+          e.S.Rejection.used;
+        Alcotest.(check int) "exactly three clock reads" 3 !reads);
     test_case "deadline unchanged at iteration 1" `Quick (fun () ->
         (* the stride always checks iteration 1, so an already-expired
            deadline still stops the very first iteration *)
@@ -312,6 +341,115 @@ let validation_tests =
           (fun () -> ignore (force v)));
   ]
 
+(* --- chaos determinism ---------------------------------------------------- *)
+
+(* moderate rejection rate, as in test_parallel: determinism must cover
+   rejected draws too *)
+let chaos_src =
+  base ^ "x = (0, 10)\nObject at 5 @ 5, with tag x\nrequire x > 3\n"
+
+let permanent_indices schedule =
+  List.filter_map
+    (fun f ->
+      match f.R.ch_kind with
+      | R.Ch_permanent -> Some f.R.ch_index
+      | R.Ch_transient _ -> None)
+    schedule
+
+let chaos_tests =
+  [
+    test_case "a chaos schedule is a pure function of seed and size" `Quick
+      (fun () ->
+        let s1 = R.chaos_schedule ~seed:5 ~n:64 ()
+        and s2 = R.chaos_schedule ~seed:5 ~n:64 () in
+        Alcotest.(check bool) "identical on rerun" true (s1 = s2);
+        Alcotest.(check bool) "nonempty at rate 0.25 over 64" true (s1 <> []);
+        let indices = List.map (fun f -> f.R.ch_index) s1 in
+        Alcotest.(check (list int)) "indices ascending" indices
+          (List.sort_uniq compare indices);
+        Alcotest.(check bool) "indices in range" true
+          (List.for_all (fun i -> i >= 0 && i < 64) indices);
+        let transients =
+          List.length s1 - List.length (permanent_indices s1)
+        in
+        Alcotest.(check bool) "both kinds scheduled" true
+          (transients > 0 && permanent_indices s1 <> []);
+        Alcotest.(check bool) "a different seed reshuffles the schedule" true
+          (R.chaos_schedule ~seed:6 ~n:64 () <> s1));
+    test_case "chaos outcomes are fingerprint-identical at jobs 1, 2, 4" `Slow
+      (fun () ->
+        (* the chaos determinism gate: same master seed + fault
+           schedule => byte-identical outcomes, including retry counts
+           and quarantine sets, at any worker count.  One compiled
+           scenario for all runs (compilation assigns global object
+           ids, which the fingerprint's scene text includes). *)
+        let scenario = compile chaos_src in
+        let n = 12 in
+        let schedule = R.chaos_schedule ~seed:5 ~n () in
+        Alcotest.(check bool) "schedule disturbs the batch" true
+          (schedule <> []);
+        let draw jobs =
+          S.Parallel.run ~jobs ~seed:5 ~n ~retries:2
+            ~prepare_attempt:(R.chaos_prepare schedule) scenario
+        in
+        let reference = draw 1 in
+        let fp = R.batch_fingerprint reference in
+        List.iter
+          (fun jobs ->
+            Alcotest.(check string)
+              (Printf.sprintf "jobs %d" jobs)
+              fp
+              (R.batch_fingerprint (draw jobs)))
+          [ 2; 4 ];
+        (* retries 2 >= max_clears 2: every transient heals, so the
+           quarantine set is exactly the scheduled permanent faults *)
+        Alcotest.(check (list int)) "quarantine = scheduled permanents"
+          (permanent_indices schedule)
+          reference.S.Parallel.quarantined);
+    test_case "undisturbed indices match the fault-free batch bit-for-bit"
+      `Slow (fun () ->
+        (* the --on-error skip acceptance contract: indices the chaos
+           schedule never touches draw exactly what a fault-free batch
+           draws (healed indices legitimately differ — they drew from a
+           retry sub-stream) *)
+        let scenario = compile chaos_src in
+        let n = 12 in
+        let schedule = R.chaos_schedule ~seed:5 ~n () in
+        let scheduled = List.map (fun f -> f.R.ch_index) schedule in
+        let clean = S.Parallel.run ~jobs:4 ~seed:5 ~n scenario in
+        let chaos =
+          S.Parallel.run ~jobs:4 ~seed:5 ~n ~retries:2
+            ~prepare_attempt:(R.chaos_prepare schedule) scenario
+        in
+        Array.iteri
+          (fun i outcome ->
+            if not (List.mem i scheduled) then
+              match (outcome, chaos.S.Parallel.outcomes.(i)) with
+              | S.Parallel.Scene (a, _), S.Parallel.Scene (b, _) ->
+                  Alcotest.(check string)
+                    (Printf.sprintf "scene %d" i)
+                    (C.Scene.to_string a) (C.Scene.to_string b)
+              | _ -> Alcotest.failf "sample %d should have sampled" i)
+          clean.S.Parallel.outcomes);
+    test_case "chaos_batch reruns agree on supervision accounting" `Quick
+      (fun () ->
+        (* chaos_batch recompiles per call (shifting object ids), so
+           compare the id-independent accounting across reruns *)
+        let n = 10 in
+        let schedule = R.chaos_schedule ~seed:9 ~n () in
+        let draw () =
+          R.chaos_batch ~jobs:2 ~retries:2 ~schedule ~seed:9 ~n chaos_src
+        in
+        let a = draw () and b = draw () in
+        Alcotest.(check (list int)) "same quarantine"
+          a.S.Parallel.quarantined b.S.Parallel.quarantined;
+        Alcotest.(check int) "same retries" a.S.Parallel.retries
+          b.S.Parallel.retries;
+        Alcotest.(check int) "same total iterations"
+          a.S.Parallel.usage.S.Budget.total_iterations
+          b.S.Parallel.usage.S.Budget.total_iterations);
+  ]
+
 (* --- MCMC budget --------------------------------------------------------- *)
 
 let mcmc_tests =
@@ -342,5 +480,6 @@ let suites =
     ("robustness.degradation", degradation_tests);
     ("robustness.faults", fault_tests);
     ("robustness.validation", validation_tests);
+    ("robustness.chaos", chaos_tests);
     ("robustness.mcmc", mcmc_tests);
   ]

@@ -328,7 +328,8 @@ let integration_tests =
           List.filter_map
             (fun s ->
               match s.T.Trace.sp_attrs with
-              | [ ("index", T.Trace.Int i) ] -> Some i
+              | [ ("index", T.Trace.Int i); ("attempt", T.Trace.Int 0) ] ->
+                  Some i
               | _ -> None)
             sample_spans
         in
