@@ -38,14 +38,19 @@ let sampling_tests () =
   in
   Bechamel.Test.make_grouped ~name:"sample" (List.map mk sampling_scenarios)
 
-(* Mean rejection iterations per accepted scene, from a fresh sampler. *)
-let mean_iterations ?(n = 20) (name, src) =
+(* Mean rejection iterations per accepted scene plus the propagation
+   record, from a fresh sampler.  Iteration counts are post-propagation:
+   the stratified mars-bottleneck driver needs ~30 iterations/scene
+   against ~230 unpropagated, and the JSON carries both the count and
+   the propagation stats so CI can pin the improvement. *)
+let sampling_profile ?(n = 20) (name, src) =
   let sampler = Scenic_sampler.Sampler.of_source ~seed:5 ~file:name src in
   for _ = 1 to n do
     ignore (Scenic_sampler.Sampler.sample sampler)
   done;
-  float_of_int (Scenic_sampler.Sampler.total_iterations sampler)
-  /. float_of_int n
+  ( float_of_int (Scenic_sampler.Sampler.total_iterations sampler)
+    /. float_of_int n,
+    Scenic_sampler.Sampler.propagate_stats sampler )
 
 let sampling_json_file = "BENCH_sampling.json"
 
@@ -149,12 +154,14 @@ let run_phase_timings (cfg : H.Exp_config.t) : phase_row list =
       })
     sampling_scenarios
 
-(* Machine-readable perf record (scenic-bench-sampling/4), so future
+(* Machine-readable perf record (scenic-bench-sampling/5), so future
    changes have a sampling-cost trajectory to compare against:
    per-scene latency, sequential-vs-parallel batch throughput at both
-   small and large batch sizes, per-phase wall-time attribution, and
-   the spatial-index counters (broad-phase hit rate, build cost) that
-   v4 adds. *)
+   small and large batch sizes, per-phase wall-time attribution, the
+   spatial-index counters (broad-phase hit rate, build cost) that v4
+   added, and — new in v5 — the per-scenario domain-propagation record
+   (strata count, retained measure fraction, statically-eliminated and
+   shaved counts) next to the post-propagation mean iteration count. *)
 let write_sampling_json ms_rows batch_rows phase_rows =
   let oc = open_out sampling_json_file in
   (* Fun.protect: a failed printf or an unmatched row must not leak the
@@ -162,7 +169,7 @@ let write_sampling_json ms_rows batch_rows phase_rows =
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
-      Printf.fprintf oc "{\n  \"schema\": \"scenic-bench-sampling/4\",\n";
+      Printf.fprintf oc "{\n  \"schema\": \"scenic-bench-sampling/5\",\n";
       Printf.fprintf oc "  \"generated_unix\": %.0f,\n" (Unix.gettimeofday ());
       Printf.fprintf oc "  \"scenarios\": [\n";
       let n = List.length ms_rows in
@@ -175,19 +182,31 @@ let write_sampling_json ms_rows batch_rows phase_rows =
                 String.sub full_name (i + 1) (String.length full_name - i - 1)
             | None -> full_name
           in
-          let iters =
+          let iters, prop =
             match List.assoc_opt name sampling_scenarios with
-            | Some src -> mean_iterations (name, src)
+            | Some src -> sampling_profile (name, src)
             | None ->
                 failwith
                   (Printf.sprintf
                      "BENCH_sampling: bechamel row %S matches no scenario"
                      name)
           in
+          let prop_json =
+            match prop with
+            | None -> "null"
+            | Some (s : Scenic_sampler.Propagate.stats) ->
+                Printf.sprintf
+                  "{\"static_true\": %d, \"shaved\": %d, \"strata\": %d, \
+                   \"retained_frac\": %.4f}"
+                  s.Scenic_sampler.Propagate.static_true
+                  s.Scenic_sampler.Propagate.shaved
+                  s.Scenic_sampler.Propagate.strata
+                  s.Scenic_sampler.Propagate.retained_frac
+          in
           Printf.fprintf oc
             "    {\"name\": %S, \"ms_per_scene\": %.4f, \"mean_iterations\": \
-             %.2f}%s\n"
-            name ms iters
+             %.2f, \"propagation\": %s}%s\n"
+            name ms iters prop_json
             (if i = n - 1 then "" else ","))
         ms_rows;
       Printf.fprintf oc "  ],\n  \"parallel\": [\n";

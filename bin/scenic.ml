@@ -68,6 +68,20 @@ let count_arg =
 let no_prune_arg =
   Arg.(value & flag & info [ "no-prune" ] ~doc:"disable domain-specific pruning")
 
+let no_propagate_arg =
+  Arg.(
+    value & flag
+    & info [ "no-propagate" ]
+        ~doc:
+          "disable interval-domain constraint propagation (static \
+           requirement elimination, check reordering, domain \
+           stratification and shaving).  Propagation is \
+           distribution-preserving, so this only slows sampling down; \
+           the flag exists for A/B timing and for bisecting sampler \
+           behaviour.  Under --stats, propagation reports its work as \
+           the propagate.* counters and the propagate.retained_frac \
+           gauge.")
+
 let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"emit scenes as JSON")
 
 let map_arg =
@@ -150,11 +164,10 @@ let jobs_arg =
     & opt (some int) None
     & info [ "j"; "jobs" ] ~docv:"J"
         ~doc:
-          "draw the batch across $(docv) parallel workers.  Scene $(i,i) \
-           always samples from RNG stream $(i,i) of the seed, so the batch \
-           is identical for every $(docv) (including 1); omit the flag for \
-           the classic sequential sampler, which shares one stream across \
-           the whole batch.")
+          "draw the batch across $(docv) parallel workers (default 1).  \
+           Scene $(i,i) always samples from RNG stream $(i,i) of the seed, \
+           so the batch is byte-identical for every $(docv) — including the \
+           default: omitting the flag is exactly --jobs 1.")
 
 let trace_arg =
   Arg.(
@@ -255,10 +268,12 @@ let check_cmd =
     (Cmd.info "check" ~doc:"compile a scenario, reporting static errors")
     Term.(const run $ file_arg)
 
-let make_sampler ?max_iters ?timeout ?on_exhausted ?probe ~no_prune ~seed file =
+let make_sampler ?max_iters ?timeout ?on_exhausted ?probe ~no_prune
+    ?(no_propagate = false) ~seed file =
   let sampler =
-    Scenic_sampler.Sampler.of_source ~prune:(not no_prune) ?max_iters ?timeout
-      ?on_exhausted ?probe ~seed ~file (read_file file)
+    Scenic_sampler.Sampler.of_source ~prune:(not no_prune)
+      ~propagate:(not no_propagate) ?max_iters ?timeout ?on_exhausted ?probe
+      ~seed ~file (read_file file)
   in
   (match Scenic_sampler.Sampler.degraded sampler with
   | [] -> ()
@@ -270,8 +285,8 @@ let make_sampler ?max_iters ?timeout ?on_exhausted ?probe ~no_prune ~seed file =
   sampler
 
 let sample_cmd =
-  let run file seed n no_prune json map timeout max_iters diagnose best_effort
-      on_error retries chaos jobs trace_file stats =
+  let run file seed n no_prune no_propagate json map timeout max_iters diagnose
+      best_effort on_error retries chaos jobs trace_file stats =
     init ();
     handle_errors (fun () ->
         validate_sampling_args ?jobs ?max_iters ?timeout ~retries ?chaos ~n ();
@@ -283,8 +298,8 @@ let sample_cmd =
         in
         let on_exhausted = if track_best then `Best_effort else `Raise in
         let sampler =
-          make_sampler ?max_iters ?timeout ~on_exhausted ~probe ~no_prune ~seed
-            file
+          make_sampler ?max_iters ?timeout ~on_exhausted ~probe ~no_prune
+            ~no_propagate ~seed file
         in
         let finish diag =
           Scenic_sampler.Diagnose.to_probe probe diag;
@@ -325,54 +340,17 @@ let sample_cmd =
           warn "scene %d: budget exhausted (%a); skipping" i
             Scenic_sampler.Budget.pp_stop_reason e.Scenic_sampler.Rejection.reason
         in
-        match jobs with
-        | None ->
-            (* classic sequential sampler: one RNG stream for the batch *)
-            let rec loop i =
-              if i > n then begin
-                print_diagnosis (Scenic_sampler.Sampler.diagnosis sampler);
-                if !dropped > 0 then `Partial else `Ok
-              end
-              else
-                match Scenic_sampler.Sampler.sample_outcome sampler with
-                | Scenic_sampler.Rejection.Sampled (scene, stats) ->
-                    print_scene i scene stats.Scenic_sampler.Rejection.iterations;
-                    loop (i + 1)
-                | Scenic_sampler.Rejection.Exhausted e -> (
-                    match (mode, e.Scenic_sampler.Rejection.best) with
-                    | `Best_effort, Some (scene, violations) ->
-                        report_best_effort i e scene violations;
-                        loop (i + 1)
-                    | `Fail, _ ->
-                        report_exhausted e;
-                        print_diagnosis
-                          (Scenic_sampler.Sampler.diagnosis sampler);
-                        `Exhausted
-                    | (`Skip | `Best_effort), _ ->
-                        skip_exhausted i e;
-                        loop (i + 1))
-                | exception exn when mode <> `Fail ->
-                    (* per-scene fault containment for the shared-stream
-                       sampler: classify, drop the scene, carry on (the
-                       stream has advanced, so later scenes differ from a
-                       fault-free run — only batch mode offers per-index
-                       isolation) *)
-                    let f = Scenic_core.Errors.classify exn in
-                    incr dropped;
-                    warn "scene %d: %a; skipping" i Scenic_core.Errors.pp_fault f;
-                    loop (i + 1)
-            in
-            let status = loop 1 in
-            finish (Scenic_sampler.Sampler.diagnosis sampler);
-            (match status with
-            | `Ok -> ()
-            | `Partial -> exit exit_partial
-            | `Exhausted -> exit exit_exhausted)
-        | Some jobs ->
-            (* deterministic batch: scene i samples from stream i of the
-               seed, so the output is identical for every jobs count.
-               Per-sample traces/metrics are merged in index order by
-               Parallel.run — tracing never perturbs the batch. *)
+        (* One runtime for every invocation: the deterministic batch.
+           Scene i samples from RNG stream i of the seed whether --jobs
+           was given or not, so omitting the flag is exactly --jobs 1 —
+           byte-identical output, per-index fault isolation included.
+           (The former "sequential" code path drew every scene from a
+           single shared stream, so an exhausted or faulted scene
+           perturbed all of its successors and `scenic sample` disagreed
+           with `scenic sample --jobs 1` on the same seed.)
+           Per-sample traces/metrics are merged in index order by
+           Parallel.run — tracing never perturbs the batch. *)
+        let jobs = Option.value jobs ~default:1 in
             let prepare_attempt =
               match chaos with
               | None -> None
@@ -462,10 +440,10 @@ let sample_cmd =
               part of the batch.";
          ])
     Term.(
-      const run $ file_arg $ seed_arg $ count_arg $ no_prune_arg $ json_arg
-      $ map_arg $ timeout_arg $ max_iters_arg $ diagnose_arg $ best_effort_arg
-      $ on_error_arg $ retries_arg $ chaos_arg $ jobs_arg $ trace_arg
-      $ stats_arg)
+      const run $ file_arg $ seed_arg $ count_arg $ no_prune_arg
+      $ no_propagate_arg $ json_arg $ map_arg $ timeout_arg $ max_iters_arg
+      $ diagnose_arg $ best_effort_arg $ on_error_arg $ retries_arg $ chaos_arg
+      $ jobs_arg $ trace_arg $ stats_arg)
 
 let render_cmd =
   let out_arg =

@@ -41,9 +41,16 @@ let guard ~name f =
           false;
       ]
 
-(** Pruned rejection vs. plain rejection on [src].  Pruning runs on
-    its own compiled copy of the scenario ({!S.Analyze.prune} rewrites
-    random nodes in place). *)
+(** Pruned-and-propagated rejection vs. plain rejection on [src].
+    Pruning and interval-domain propagation run on their own compiled
+    copy of the scenario ({!S.Analyze.prune} and {!S.Propagate.run}
+    rewrite random nodes in place; the plain arm must never see the
+    rewrites).  This is the executable form of both soundness claims:
+    pruning discards only zero-probability regions (Sec. 5.2,
+    App. B.5), and propagation's static elimination, stratification
+    and shaving remove mass only where a requirement is definitely
+    false — so both arms must agree in distribution on every
+    projection. *)
 let prune_vs_plain ~seed ~n ~name src =
   let full = name ^ "/prune-vs-plain" in
   guard ~name:full (fun () ->
@@ -55,6 +62,7 @@ let prune_vs_plain ~seed ~n ~name src =
       in
       let pruned = World.compile src in
       ignore (S.Analyze.prune pruned);
+      ignore (S.Propagate.run pruned);
       let pruned_scenes =
         S.Rejection.sample_many
           (S.Rejection.create

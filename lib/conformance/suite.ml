@@ -43,6 +43,10 @@ let scenarios =
     ("simplest", H.Scenarios.simplest, `No_mcmc);
     ("badly-parked", H.Scenarios.badly_parked, `No_mcmc);
     ("oncoming", H.Scenarios.oncoming, `No_mcmc);
+    (* multi-piece container: pins the containment-filter separation
+       guard (erosion fires only when pieces are farther apart than the
+       object's bounding-box diagonal) *)
+    ("oncoming-anywhere", H.Scenarios.oncoming_anywhere, `No_mcmc);
     ("bumper-to-bumper", H.Scenarios.bumper_to_bumper, `No_mcmc);
     ("mars-bottleneck", H.Scenarios.mars_bottleneck, `No_mcmc);
     ("conf-mixing", mcmc_mixing, `Mcmc);

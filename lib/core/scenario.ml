@@ -32,6 +32,14 @@ type t = {
   params : (string * Value.value) list;
   requirements : requirement list;
   workspace : G.Region.t;
+  mutable n_slots : int;
+      (** number of dense memo slots assigned to this scenario's nodes;
+          0 until {!Scenic_sampler.Rejection.ensure_slots} runs *)
+  mutable static_true : int list;
+      (** requirement indices proven always-true by domain propagation *)
+  mutable check_order : int array option;
+      (** rejection-loop evaluation order over requirement indices,
+          chosen by the propagation warmup; [None] = program order *)
 }
 
 let user_requirement ?prob ?(label = "require") ?(span = Scenic_lang.Loc.dummy)
@@ -165,4 +173,56 @@ let finalize ~objects ~ego ~params ~user_requirements ~workspace =
     params;
     requirements = user_requirements @ containment @ collisions @ visibility;
     workspace;
+    n_slots = 0;
+    static_true = [];
+    check_order = None;
   }
+
+(* --- DAG traversal ---------------------------------------------------- *)
+
+(** Visit every random node reachable from the scenario (objects'
+    properties, requirement conditions, global parameters) exactly
+    once. *)
+let iter_rnodes f (scenario : t) =
+  let seen_nodes = Hashtbl.create 64 and seen_objs = Hashtbl.create 16 in
+  let rec go v =
+    match v with
+    | Vrandom n ->
+        if not (Hashtbl.mem seen_nodes n.rid) then begin
+          Hashtbl.add seen_nodes n.rid ();
+          f n;
+          match n.rkind with
+          | R_interval (a, b) | R_normal (a, b) ->
+              go a;
+              go b
+          | R_choice vs -> List.iter go vs
+          | R_discrete pairs ->
+              List.iter
+                (fun (a, b) ->
+                  go a;
+                  go b)
+                pairs
+          | R_uniform_in v -> go v
+          | R_op (_, args, _) -> List.iter go args
+        end
+    | Vlist vs -> List.iter go vs
+    | Vdict kvs ->
+        List.iter
+          (fun (k, v) ->
+            go k;
+            go v)
+          kvs
+    | Voriented { opos; ohead } ->
+        go opos;
+        go ohead
+    | Vobj o -> go_obj o
+    | _ -> ()
+  and go_obj (o : Value.obj) =
+    if not (Hashtbl.mem seen_objs o.oid) then begin
+      Hashtbl.add seen_objs o.oid ();
+      Hashtbl.iter (fun _ v -> go v) o.props
+    end
+  in
+  List.iter go_obj scenario.objects;
+  List.iter (fun (r : requirement) -> go r.cond) scenario.requirements;
+  List.iter (fun (_, v) -> go v) scenario.params

@@ -64,7 +64,14 @@ and closure = {
 
 and env = { vars : (string, value) Hashtbl.t; parent : env option }
 
-and rnode = { rid : int; rty : rtype; mutable rkind : rkind }
+and rnode = {
+  rid : int;
+  rty : rtype;
+  mutable rkind : rkind;
+  mutable rslot : int;
+      (** dense memo-table slot assigned per scenario by the sampler;
+          [-1] until {!Scenic_sampler.Rejection.ensure_slots} runs *)
+}
 
 (** Static type of the value a random node evaluates to — Scenic's
     "simple type system" (Sec. 4.1), used to disambiguate polymorphic
@@ -84,7 +91,7 @@ let node_counter = ref 0
 
 let fresh_node ?(ty = Tany) rkind =
   incr node_counter;
-  { rid = !node_counter; rty = ty; rkind }
+  { rid = !node_counter; rty = ty; rkind; rslot = -1 }
 
 let random ?ty rkind = Vrandom (fresh_node ?ty rkind)
 

@@ -328,6 +328,23 @@ type stats = {
   mutable width_rewrites : int;
 }
 
+(** Upper bound on an object's bounding-box circumradius (half the
+    diagonal), if its width/height are statically bounded.  Visibility
+    accepts targets whose {e center} is up to [viewDistance +
+    circumradius] away, so every distance-based prune must widen its
+    dilation by this much (see {!Prune.prune_by_heading}). *)
+let circumradius_hi obj =
+  match (get_prop obj "width", get_prop obj "height") with
+  | Some w, Some h -> (
+      match (float_bounds w, float_bounds h) with
+      | Some (_, whi), Some (_, hhi) ->
+          Some (0.5 *. Float.sqrt ((whi *. whi) +. (hhi *. hhi)))
+      | _ -> None)
+  | _ -> None
+
+(* numeric slack covering the 1e-6/1e-9 tolerances inside sees_box *)
+let visibility_tol = 1e-5
+
 let rewrite_region (node : Value.rnode) region =
   node.rkind <- R_uniform_in (Vregion region)
 
@@ -352,9 +369,15 @@ let apply_containment (scenario : Scenario.t) stats =
               match min_radius with
               | None -> ()
               | Some r -> (
+                  (* bounding-box diagonal bound: lets the filter fire
+                     on multi-piece containers whose pieces are farther
+                     apart than any box is wide *)
+                  let max_diameter =
+                    Option.map (fun c -> 2. *. c) (circumradius_hi obj)
+                  in
                   match
-                    Prune.containment_filter ~container:scenario.workspace
-                      ~min_radius:r region
+                    Prune.containment_filter ?max_diameter
+                      ~container:scenario.workspace ~min_radius:r region
                   with
                   | None -> ()
                   | Some region' ->
@@ -376,11 +399,19 @@ let apply_orientation (scenario : Scenario.t) stats =
       | None -> ()
       | Some back when c.viewer.oid < c.target.oid -> (
           match (alignment_of c.viewer, alignment_of c.target) with
-          | Some a1, Some a2 ->
+          | Some a1, Some a2 -> (
               let s = c.half_angle +. back.half_angle in
               let delta = (a1.al_delta +. a2.al_delta) /. 2. in
-              if s +. (2. *. delta) < G.Angle.pi -. 0.01 then begin
-                let m = Float.min c.max_dist back.max_dist in
+              match (circumradius_hi c.target, circumradius_hi back.target) with
+              | Some circ_t, Some circ_bt
+                when s +. (2. *. delta) < G.Angle.pi -. 0.01 ->
+                (* visibility bounds the viewer-to-center distance by
+                   viewDistance + target circumradius (+ tolerances):
+                   take the tighter of the two cones' center bounds *)
+                let m =
+                  Float.min (c.max_dist +. circ_t) (back.max_dist +. circ_bt)
+                  +. visibility_tol
+                in
                 let rel = (G.Angle.pi -. s, G.Angle.pi +. s) in
                 let prune_one (al : alignment) (other : alignment) =
                   match
@@ -403,7 +434,7 @@ let apply_orientation (scenario : Scenario.t) stats =
                 in
                 prune_one a1 a2;
                 prune_one a2 a1
-              end
+              | _ -> ())
           | _ -> ())
       | Some _ -> ())
     cones
@@ -451,13 +482,27 @@ let apply_width (scenario : Scenario.t) stats =
             in
             (* conservative slack for heading wiggle along the chain *)
             let min_width = spread *. 0.95 in
-            (* distance bound: every object visible from the ego *)
-            let m =
+            (* distance bound: every object visible from the ego, its
+               center up to viewDistance + circumradius away — decline
+               when some object's size is statically unbounded *)
+            let vd =
               match get_prop scenario.ego "viewDistance" with
               | Some v -> (
                   match float_bounds v with Some (_, hi) -> hi | None -> 100.)
               | None -> 100.
             in
+            let max_circ =
+              List.fold_left
+                (fun acc o ->
+                  match (acc, circumradius_hi o) with
+                  | Some a, Some c -> Some (Float.max a c)
+                  | _ -> None)
+                (Some 0.) scenario.objects
+            in
+            match max_circ with
+            | None -> ()
+            | Some circ ->
+            let m = vd +. circ +. visibility_tol in
             if min_width > 1. then begin
               match
                 (G.Region.polyset scenario.workspace, G.Region.polyset region)
@@ -496,70 +541,37 @@ let apply_width (scenario : Scenario.t) stats =
 
 (* --- snapshot / degenerate-region detection ------------------------------ *)
 
-(** Visit every random node reachable from the scenario (objects'
-    properties, requirement conditions, global parameters) exactly
-    once. *)
-let iter_rnodes f (scenario : Scenario.t) =
-  let seen_nodes = Hashtbl.create 64 and seen_objs = Hashtbl.create 16 in
-  let rec go v =
-    match v with
-    | Vrandom n ->
-        if not (Hashtbl.mem seen_nodes n.rid) then begin
-          Hashtbl.add seen_nodes n.rid ();
-          f n;
-          match n.rkind with
-          | R_interval (a, b) | R_normal (a, b) ->
-              go a;
-              go b
-          | R_choice vs -> List.iter go vs
-          | R_discrete pairs ->
-              List.iter
-                (fun (a, b) ->
-                  go a;
-                  go b)
-                pairs
-          | R_uniform_in v -> go v
-          | R_op (_, args, _) -> List.iter go args
-        end
-    | Vlist vs -> List.iter go vs
-    | Vdict kvs ->
-        List.iter
-          (fun (k, v) ->
-            go k;
-            go v)
-          kvs
-    | Voriented { opos; ohead } ->
-        go opos;
-        go ohead
-    | Vobj o -> go_obj o
-    | _ -> ()
-  and go_obj (o : Value.obj) =
-    if not (Hashtbl.mem seen_objs o.oid) then begin
-      Hashtbl.add seen_objs o.oid ();
-      Hashtbl.iter (fun _ v -> go v) o.props
-    end
-  in
-  List.iter go_obj scenario.objects;
-  List.iter (fun (r : Scenario.requirement) -> go r.cond) scenario.requirements;
-  List.iter (fun (_, v) -> go v) scenario.params
+(** Visit every random node reachable from the scenario exactly once
+    (kept as an alias; the walker lives in {!Scenario.iter_rnodes} so
+    the rejection runtime can use it without a dependency cycle). *)
+let iter_rnodes = Scenario.iter_rnodes
 
-type region_snapshot = (Value.rnode * Value.rkind) list
-(** the pre-pruning [rkind] of every [R_uniform_in] node, so pruning
-    can be undone when it degenerates *)
+type region_snapshot = {
+  snap_kinds : (Value.rnode * Value.rkind) list;
+      (** the pre-pruning [rkind] of {e every} node: pruning rewrites
+          [R_uniform_in] regions, and domain propagation additionally
+          narrows [R_interval] bounds and stratifies scalars *)
+  snap_scenario : Scenario.t;
+  snap_static_true : int list;
+  snap_check_order : int array option;
+}
 
 let snapshot scenario : region_snapshot =
   let acc = ref [] in
-  iter_rnodes
-    (fun n ->
-      match n.rkind with
-      | R_uniform_in _ -> acc := (n, n.rkind) :: !acc
-      | _ -> ())
-    scenario;
-  !acc
+  iter_rnodes (fun n -> acc := (n, n.rkind) :: !acc) scenario;
+  {
+    snap_kinds = !acc;
+    snap_scenario = scenario;
+    snap_static_true = scenario.static_true;
+    snap_check_order = scenario.check_order;
+  }
 
-(** Undo pruning rewrites by restoring the snapshotted node kinds. *)
+(** Undo pruning/propagation rewrites by restoring the snapshotted node
+    kinds and the scenario's propagation metadata. *)
 let restore (snap : region_snapshot) =
-  List.iter (fun ((n : Value.rnode), k) -> n.rkind <- k) snap
+  List.iter (fun ((n : Value.rnode), k) -> n.rkind <- k) snap.snap_kinds;
+  snap.snap_scenario.static_true <- snap.snap_static_true;
+  snap.snap_scenario.check_order <- snap.snap_check_order
 
 let min_region_area = 1e-9
 
@@ -617,7 +629,7 @@ let snapshot_area ?(current = false) (snap : region_snapshot) : float =
       | Some before ->
           if not current then acc +. before
           else acc +. Option.value ~default:before (area_of n.rkind))
-    0. snap
+    0. snap.snap_kinds
 
 (** Apply the selected pruning techniques to a scenario, rewriting its
     uniform-region nodes in place.  Returns counts of rewrites.

@@ -159,6 +159,12 @@ let run ?jobs ?max_iters ?timeout ?clock ?budget ?(track_best = false)
     | Some j when j < 1 -> invalid_arg "Parallel.run: jobs must be positive"
     | Some j -> j
   in
+  (* Slot assignment mutates the scenario's nodes; do it once here, on
+     the calling domain, so the per-worker [Rejection.create] calls find
+     every slot already assigned instead of racing on the assignment.
+     (Idempotent: a scenario that went through [Propagate.run] — the
+     [Sampler.create] path — is already fully slotted.) *)
+  Rejection.ensure_slots scenario;
   let instrumented = trace <> None || metrics <> None in
   (* per-index: final outcome + every attempt's diagnosis in attempt
      order (a faulted attempt still contributes its partial rejection

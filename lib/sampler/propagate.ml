@@ -1,0 +1,1774 @@
+(** Interval/box constraint propagation over the random-value DAG: the
+    domain-shrinking layer of the pruning arsenal (Sec. 5.2; the
+    journal version generalises the same idea beyond the geometric
+    special cases).
+
+    The pass abstracts every value to a conservative over-approximation
+    — scalar intervals, coordinate boxes, definite booleans — and
+    evaluates requirement conditions in that abstract domain.  Because
+    the abstraction is an over-approximation, a condition that
+    evaluates to {e definitely false} over some part of the sample
+    space proves that part has zero acceptance probability, so removing
+    it leaves the conditional (accepted) distribution exactly unchanged
+    (property-tested against full-domain rejection sampling by the
+    differential KS oracle).  Three transformations use this:
+
+    + {b static elimination}: a hard requirement that is definitely
+      true over the whole domain is dropped from the rejection loop
+      ([Scenario.static_true]); one that is definitely false raises
+      [Zero_probability] at its source span — static infeasibility;
+    + {b joint stratification}: the most-falsifying requirement (per a
+      deterministic, fixed-seed warmup) gets a product grid over the
+      base scalars it reads; definitely-false cells are dropped and the
+      survivors become a measure-weighted discrete mixture of boxes —
+      uniform draws then land in the feasible box instead of the whole
+      domain;
+    + {b scalar shaving}: each remaining constant-bound uniform scalar
+      is split into segments, and segments on which some hard
+      requirement is definitely false are removed (narrowing the
+      interval, or splitting it into a length-weighted mixture).
+
+    The warmup additionally reorders the rejection loop's requirement
+    checks most-falsifiable-first ([Scenario.check_order]); soft
+    requirements pass independent coins, so the pass probability — and
+    hence the sampled distribution — is order-independent. *)
+
+open Scenic_core
+open Value
+module G = Scenic_geometry
+module P = Scenic_prob
+module Probe = Scenic_telemetry.Probe
+
+let src = Logs.Src.create "scenic.propagate" ~doc:"domain propagation"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* --- interval arithmetic ---------------------------------------------- *)
+
+module Interval = struct
+  type t = { lo : float; hi : float }
+
+  let make lo hi =
+    if Float.is_nan lo || Float.is_nan hi || lo > hi then
+      invalid_arg (Printf.sprintf "Interval.make: bad bounds (%g, %g)" lo hi);
+    { lo; hi }
+
+  let point x = make x x
+  let top = { lo = neg_infinity; hi = infinity }
+  let width t = t.hi -. t.lo
+  let is_point t = t.lo = t.hi
+  let contains t x = t.lo <= x && x <= t.hi
+  let hull a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+
+  (** Intersection; an empty result means the constrained quantity has
+      no feasible value, which is a {e static infeasibility} of the
+      program — raised as [Zero_probability] at [loc] so the error
+      points at the responsible [require]. *)
+  let intersect ?loc a b =
+    let lo = Float.max a.lo b.lo and hi = Float.min a.hi b.hi in
+    if lo > hi then Errors.raise_at ?loc Errors.Zero_probability;
+    { lo; hi }
+
+  let add a b = { lo = a.lo +. b.lo; hi = a.hi +. b.hi }
+  let sub a b = { lo = a.lo -. b.hi; hi = a.hi -. b.lo }
+  let neg a = { lo = -.a.hi; hi = -.a.lo }
+
+  let abs a =
+    if a.lo >= 0. then a
+    else if a.hi <= 0. then neg a
+    else { lo = 0.; hi = Float.max (-.a.lo) a.hi }
+
+  let mul a b =
+    let products = [ a.lo *. b.lo; a.lo *. b.hi; a.hi *. b.lo; a.hi *. b.hi ] in
+    {
+      lo = List.fold_left Float.min infinity products;
+      hi = List.fold_left Float.max neg_infinity products;
+    }
+
+  (* scale by a non-negative constant (monotone) *)
+  let scale k a = { lo = k *. a.lo; hi = k *. a.hi }
+
+  let div a b =
+    if b.lo > 0. || b.hi < 0. then
+      let quots = [ a.lo /. b.lo; a.lo /. b.hi; a.hi /. b.lo; a.hi /. b.hi ] in
+      Some
+        {
+          lo = List.fold_left Float.min infinity quots;
+          hi = List.fold_left Float.max neg_infinity quots;
+        }
+    else None
+end
+
+module I = Interval
+
+(* --- abstract values --------------------------------------------------- *)
+
+type av =
+  | Afloat of I.t
+  | Asplit of I.t * I.t
+      (** a union of two disjoint intervals, in increasing order — the
+          image of [atan2] over a box crossing the ±π heading cut.
+          Kept split through [add]/[sub]/[neg]/[abs] because
+          [abs(a - b)] of a wrapped difference is definitely large,
+          where the hull would be indefinite; every other transfer sees
+          the hull. *)
+  | Avec of I.t * I.t  (** axis-aligned coordinate box *)
+  | Abool of bool  (** definite truth value *)
+  | Aconst of Value.value  (** concrete non-numeric value *)
+  | Atop
+
+let full_angle = Afloat (I.make (-.G.Angle.pi) G.Angle.pi)
+
+(* the disjoint intervals making up a float abstraction, increasing *)
+let parts = function
+  | Afloat i -> [ i ]
+  | Asplit (a, b) -> [ a; b ]
+  | _ -> []
+
+(* rebuild an abstraction from interval parts, merging overlaps; more
+   than two disjoint parts degrade (soundly) to the hull *)
+let of_parts ps =
+  match List.sort (fun (a : I.t) b -> compare a.I.lo b.I.lo) ps with
+  | [] -> Atop
+  | p :: rest -> (
+      let merged =
+        List.fold_left
+          (fun acc (q : I.t) ->
+            match acc with
+            | (cur : I.t) :: done_ ->
+                if q.I.lo <= cur.I.hi then I.hull cur q :: done_
+                else q :: cur :: done_
+            | [] -> [ q ])
+          [ p ] rest
+      in
+      match List.rev merged with
+      | [] -> Atop
+      | [ i ] -> Afloat i
+      | [ a; b ] -> Asplit (a, b)
+      | a :: rest -> Afloat (List.fold_left I.hull a rest))
+
+let float_hull = function
+  | Afloat i -> Some i
+  | Asplit (a, b) -> Some (I.hull a b)
+  | _ -> None
+
+let av_truthy v =
+  match v with
+  | Abool b -> Some b
+  | Aconst v -> Some (Ops.truthy v)
+  | Afloat _ | Asplit _ -> (
+      match float_hull v with
+      | Some i when i.I.lo > 0. || i.I.hi < 0. -> Some true
+      | Some i when I.is_point i (* the point 0 *) -> Some (i.I.lo <> 0.)
+      | _ -> None)
+  | _ -> None
+
+let join a b =
+  match (a, b) with
+  | (Afloat _ | Asplit _), (Afloat _ | Asplit _) ->
+      of_parts (parts a @ parts b)
+  | Avec (x1, y1), Avec (x2, y2) -> Avec (I.hull x1 x2, I.hull y1 y2)
+  | Abool x, Abool y when x = y -> Abool x
+  | Aconst x, Aconst y when Value.equal x y -> Aconst x
+  | _ -> Atop
+
+(* --- geometric helpers -------------------------------------------------- *)
+
+let box_min_dist (x1, y1) (x2, y2) =
+  let gap (a : I.t) (b : I.t) =
+    if a.I.hi < b.I.lo then b.I.lo -. a.I.hi
+    else if b.I.hi < a.I.lo then a.I.lo -. b.I.hi
+    else 0.
+  in
+  Float.hypot (gap x1 x2) (gap y1 y2)
+
+let box_max_dist (x1, y1) (x2, y2) =
+  let reach (a : I.t) (b : I.t) =
+    Float.max (Float.abs (a.I.hi -. b.I.lo)) (Float.abs (b.I.hi -. a.I.lo))
+  in
+  Float.hypot (reach x1 x2) (reach y1 y2)
+
+(* Interval of [G.Vec.heading_of] over a coordinate box.  The heading
+   cut (±π) lies on the ray x = 0, y < 0; a box that avoids the origin
+   and that ray sees the heading vary continuously, with extremes at
+   box corners (directions to a convex set from the origin form an arc
+   of width < π whose extreme rays touch vertices). *)
+let heading_of_box (x : I.t) (y : I.t) =
+  if x.I.lo <= 0. && 0. <= x.I.hi && y.I.lo <= 0. then begin
+    if y.I.hi >= 0. then full_angle (* origin inside the box *)
+    else
+      (* The box crosses the cut ray (x = 0, y < 0) but not the origin:
+         headings lie in two disjoint bands hugging ±π.  Per half-box
+         the extreme is at the corner nearest the ray (x extreme,
+         y = y.hi), the other end is the cut itself. *)
+      let pi = G.Angle.pi in
+      Asplit
+        ( I.make (-.pi) (-.pi +. atan2 x.I.hi (-.y.I.hi)),
+          I.make (pi -. atan2 (-.x.I.lo) (-.y.I.hi)) pi )
+  end
+  else begin
+    let corner cx cy = G.Vec.heading_of (G.Vec.make cx cy) in
+    let angles =
+      [
+        corner x.I.lo y.I.lo; corner x.I.lo y.I.hi; corner x.I.hi y.I.lo;
+        corner x.I.hi y.I.hi;
+      ]
+    in
+    Afloat
+      (I.make
+         (List.fold_left Float.min infinity angles)
+         (List.fold_left Float.max neg_infinity angles))
+  end
+
+(* Normalize an angle interval into (−π, π]; a wrap that crosses the
+   cut degrades to the full circle. *)
+let normalize_interval (a : I.t) =
+  if I.width a >= G.Angle.two_pi then full_angle
+  else begin
+    let shift = G.Angle.normalize a.I.lo -. a.I.lo in
+    let lo = a.I.lo +. shift and hi = a.I.hi +. shift in
+    if hi > G.Angle.pi then full_angle else Afloat (I.make lo hi)
+  end
+
+(* Box of [p + rotate(v, θ)] for p in [p_box], v in [v_box], θ in
+   [h].  Wide (or unknown) θ: inflate by the largest corner radius.
+   Narrow θ: box-hull of the corners rotated at sampled angles,
+   inflated by the sagitta bound r·(1 − cos(Δ/2)) — every rotation of a
+   corner lies within that distance of the chord between its two
+   nearest sampled rotations, and chords lie inside the convex hull. *)
+let add_rotated (px, py) (h : I.t option) (vx, vy) =
+  let corners =
+    [
+      (vx.I.lo, vy.I.lo); (vx.I.lo, vy.I.hi); (vx.I.hi, vy.I.lo);
+      (vx.I.hi, vy.I.hi);
+    ]
+  in
+  let r_hi =
+    List.fold_left
+      (fun acc (cx, cy) -> Float.max acc (Float.hypot cx cy))
+      0. corners
+  in
+  let disk = I.make (-.r_hi) r_hi in
+  let dx, dy =
+    match h with
+    | Some h when I.width h <= 1.6 ->
+        let m = 7 in
+        let step = I.width h /. float_of_int (m - 1) in
+        let sagitta =
+          (r_hi *. (1. -. Float.cos (step /. 2.))) +. 1e-12
+        in
+        let xs = ref infinity and xh = ref neg_infinity in
+        let ys = ref infinity and yh = ref neg_infinity in
+        for j = 0 to m - 1 do
+          let theta = h.I.lo +. (float_of_int j *. step) in
+          List.iter
+            (fun (cx, cy) ->
+              let p = G.Vec.rotate (G.Vec.make cx cy) theta in
+              xs := Float.min !xs (G.Vec.x p);
+              xh := Float.max !xh (G.Vec.x p);
+              ys := Float.min !ys (G.Vec.y p);
+              yh := Float.max !yh (G.Vec.y p))
+            corners
+        done;
+        ( I.make (!xs -. sagitta) (!xh +. sagitta),
+          I.make (!ys -. sagitta) (!yh +. sagitta) )
+    | _ -> (disk, disk)
+  in
+  Avec (I.add px dx, I.add py dy)
+
+let region_bbox (r : G.Region.t) : (I.t * I.t) option =
+  let rec of_shape = function
+    | G.Region.Everywhere -> None
+    | G.Region.Empty -> None (* sound over-approximation: unbounded *)
+    | G.Region.Circle { center; radius } ->
+        Some
+          ( I.make (G.Vec.x center -. radius) (G.Vec.x center +. radius),
+            I.make (G.Vec.y center -. radius) (G.Vec.y center +. radius) )
+    | G.Region.Sector { center; radius; _ } ->
+        Some
+          ( I.make (G.Vec.x center -. radius) (G.Vec.x center +. radius),
+            I.make (G.Vec.y center -. radius) (G.Vec.y center +. radius) )
+    | G.Region.Polyset ps ->
+        if G.Polyset.is_empty ps then None
+        else
+          let x0, y0, x1, y1 = G.Polyset.bounding_box ps in
+          Some (I.make x0 x1, I.make y0 y1)
+    | G.Region.Rectangle rect ->
+        let xs = List.map G.Vec.x (G.Rect.corners rect) in
+        let ys = List.map G.Vec.y (G.Rect.corners rect) in
+        Some
+          ( I.make
+              (List.fold_left Float.min infinity xs)
+              (List.fold_left Float.max neg_infinity xs),
+            I.make
+              (List.fold_left Float.min infinity ys)
+              (List.fold_left Float.max neg_infinity ys) )
+    | G.Region.Filtered (s, _, _) -> of_shape s
+    | G.Region.Intersection (a, b) -> (
+        match (of_shape a, of_shape b) with
+        | Some (x1, y1), Some (x2, y2) ->
+            (* bbox of the intersection: intersect the bboxes (they
+               must overlap for the region to be nonempty; degrade
+               gracefully when they do not) *)
+            let ix = Float.max x1.I.lo x2.I.lo and ax = Float.min x1.I.hi x2.I.hi in
+            let iy = Float.max y1.I.lo y2.I.lo and ay = Float.min y1.I.hi y2.I.hi in
+            if ix > ax || iy > ay then Some (I.point ix, I.point iy)
+            else Some (I.make ix ax, I.make iy ay)
+        | Some b, None | None, Some b -> Some b
+        | None, None -> None)
+  in
+  match G.Region.shape r with G.Region.Empty -> None | s -> of_shape s
+
+(* Is [shape] free of filter predicates and convex, so that corner
+   membership implies box membership? *)
+let convex_region_contains_box (r : G.Region.t) (x : I.t) (y : I.t) =
+  let corners =
+    [
+      G.Vec.make x.I.lo y.I.lo; G.Vec.make x.I.lo y.I.hi;
+      G.Vec.make x.I.hi y.I.lo; G.Vec.make x.I.hi y.I.hi;
+    ]
+  in
+  match G.Region.shape r with
+  | G.Region.Everywhere -> true
+  | G.Region.Circle { center; radius } ->
+      List.for_all (fun c -> G.Vec.dist center c <= radius) corners
+  | G.Region.Rectangle rect -> List.for_all (G.Rect.contains rect) corners
+  | G.Region.Polyset ps -> (
+      match G.Polyset.polygons ps with
+      | [ poly ] -> List.for_all (G.Polygon.contains poly) corners
+      | _ -> false)
+  | _ -> false
+
+let visibility_tol = 1e-5
+
+(* --- abstract evaluation ------------------------------------------------ *)
+
+(* Nodes are addressed by their dense [rslot] (assigned by
+   {!Rejection.ensure_slots}, which {!run} invokes up front), so every
+   table below is a flat array and per-cell invalidation is an epoch
+   bump.  Nodes without a slot — the fresh selector/unit nodes a
+   previous rewrite introduced — are simply recomputed on each visit;
+   they are constant-leaf DAGs, so this costs nothing. *)
+type env = {
+  slots : int;  (** array size; nodes with [rslot] outside fall back *)
+  over : av option array;  (** slot → override (strata cell / segment) *)
+  keybit : int array;
+      (** slot → axis index of an overridable scalar, or -1.  The set
+          is fixed; [over]'s values change per cell but never stray
+          outside it *)
+  full_mask : int;  (** bitmask of all axes *)
+  cur : (float * float) array;  (** current per-axis override bounds *)
+  memo : av option array;
+      (** values of override-{e dependent} nodes, valid iff their stamp
+          matches [epoch] — bump [epoch] when the overrides change *)
+  stamp : int array;
+  mutable epoch : int;
+  base : av option array;
+      (** values of override-independent nodes: computed once and kept
+          across cells, so per-cell evaluation only walks the sub-DAG
+          downstream of the overridden scalars *)
+  mask : int array;
+      (** slot → bitmask of axes the node transitively reads, or -1
+          when not yet computed.  Mask 0 = override-independent. *)
+  pmemo : (int * (float * float) list, av) Hashtbl.t;
+      (** cross-cell memo for nodes reading a {e proper} subset of the
+          axes, keyed by (slot, bounds of the axes actually read): in a
+          k-d subdivision the same sub-box recurs across many cells, so
+          e.g. a sub-DAG reading only (gx, gy) is evaluated once per
+          distinct (gx, gy) rectangle rather than once per cell *)
+}
+
+let env_with_keys (scenario : Scenario.t) rslots =
+  let n = scenario.n_slots in
+  let k = List.length rslots in
+  let e =
+    {
+      slots = n;
+      over = Array.make n None;
+      keybit = Array.make n (-1);
+      full_mask = (1 lsl k) - 1;
+      cur = Array.make (max 1 k) (0., 0.);
+      memo = Array.make n None;
+      stamp = Array.make n 0;
+      epoch = 1;
+      base = Array.make n None;
+      mask = Array.make n (-1);
+      pmemo = Hashtbl.create 1024;
+    }
+  in
+  List.iteri (fun i s -> if s >= 0 && s < n then e.keybit.(s) <- i) rslots;
+  e
+
+let fresh_env scenario = env_with_keys scenario []
+
+(* Bitmask of overridable axes [v] transitively reads; determines which
+   memo a node's abstract value lives in. *)
+let rec axis_mask env (v : Value.value) =
+  match v with
+  | Value.Vrandom n ->
+      let s = n.rslot in
+      if s >= 0 && s < env.slots then begin
+        if env.keybit.(s) >= 0 then 1 lsl env.keybit.(s)
+        else begin
+          if env.mask.(s) < 0 then env.mask.(s) <- mask_children env n;
+          env.mask.(s)
+        end
+      end
+      else mask_children env n
+  | _ -> 0
+
+and mask_children env (n : Value.rnode) =
+  match n.rkind with
+  | R_interval (a, b) | R_normal (a, b) -> axis_mask env a lor axis_mask env b
+  | R_choice vs -> List.fold_left (fun m v -> m lor axis_mask env v) 0 vs
+  | R_discrete ps ->
+      List.fold_left
+        (fun m (v, w) -> m lor axis_mask env v lor axis_mask env w)
+        0 ps
+  | R_uniform_in v -> axis_mask env v
+  | R_op (_, args, _) -> List.fold_left (fun m v -> m lor axis_mask env v) 0 args
+
+let pkey env slot m =
+  let rec bits i acc =
+    if i < 0 then acc
+    else bits (i - 1) (if m land (1 lsl i) <> 0 then env.cur.(i) :: acc else acc)
+  in
+  (slot, bits (Array.length env.cur - 1) [])
+
+let rec aeval env (v : Value.value) : av =
+  match v with
+  | Vfloat f -> if Float.is_nan f then Atop else Afloat (I.point f)
+  | Vvec p -> Avec (I.point (G.Vec.x p), I.point (G.Vec.y p))
+  | Vbool b -> Abool b
+  | Vnone | Vstr _ | Vregion _ | Vfield _ -> Aconst v
+  | Vrandom n ->
+      let s = n.rslot in
+      if s < 0 || s >= env.slots then aeval_node env n
+      else begin
+        match env.over.(s) with
+        | Some a -> a
+        | None -> (
+            if env.stamp.(s) = env.epoch then
+              match env.memo.(s) with Some a -> a | None -> assert false
+            else
+              match env.base.(s) with
+              | Some a -> a
+              | None ->
+                  let m = axis_mask env v in
+                  if m = 0 then begin
+                    let a = aeval_node env n in
+                    env.base.(s) <- Some a;
+                    a
+                  end
+                  else if m <> env.full_mask then begin
+                    (* proper subset of the axes: share across cells *)
+                    let key = pkey env s m in
+                    let a =
+                      match Hashtbl.find_opt env.pmemo key with
+                      | Some a -> a
+                      | None ->
+                          let a = aeval_node env n in
+                          Hashtbl.replace env.pmemo key a;
+                          a
+                    in
+                    env.memo.(s) <- Some a;
+                    env.stamp.(s) <- env.epoch;
+                    a
+                  end
+                  else begin
+                    let a = aeval_node env n in
+                    env.memo.(s) <- Some a;
+                    env.stamp.(s) <- env.epoch;
+                    a
+                  end)
+      end
+  | _ -> Atop
+
+and aeval_node env (n : Value.rnode) : av =
+  match n.rkind with
+  | R_interval (lo, hi) -> (
+      match (aeval env lo, aeval env hi) with
+      | Afloat a, Afloat b when a.I.lo <= b.I.hi -> Afloat (I.make a.I.lo b.I.hi)
+      | _ -> Atop)
+  | R_normal _ -> Atop
+  | R_choice [] -> Atop
+  | R_choice (v :: vs) ->
+      List.fold_left (fun acc v -> join acc (aeval env v)) (aeval env v) vs
+  | R_discrete [] -> Atop
+  | R_discrete ((v, _) :: pairs) ->
+      List.fold_left
+        (fun acc (v, _) -> join acc (aeval env v))
+        (aeval env v) pairs
+  | R_uniform_in v -> (
+      match aeval env v with
+      | Aconst (Vregion r) -> (
+          match region_bbox r with Some (x, y) -> Avec (x, y) | None -> Atop)
+      | _ -> Atop)
+  | R_op (name, args, _) -> transfer env name args
+
+and afloat env v = float_hull (aeval env v)
+
+and avec env v =
+  match aeval env v with
+  | Avec (x, y) -> Some (x, y)
+  | _ -> None
+
+and transfer env name args : av =
+  let cmp defi_true defi_false =
+    match args with
+    | [ a; b ] -> (
+        match (afloat env a, afloat env b) with
+        | Some ia, Some ib ->
+            if defi_true ia ib then Abool true
+            else if defi_false ia ib then Abool false
+            else Atop
+        | _ -> Atop)
+    | _ -> Atop
+  in
+  match (name, args) with
+  | "neg", [ x ] -> (
+      match aeval env x with
+      | Afloat i -> Afloat (I.neg i)
+      | Asplit _ as v -> of_parts (List.map I.neg (parts v))
+      | _ -> Atop)
+  | "abs", [ x ] -> (
+      match aeval env x with
+      | Afloat i -> Afloat (I.abs i)
+      | Asplit _ as v -> of_parts (List.map I.abs (parts v))
+      | _ -> Atop)
+  | "deg", [ x ] -> (
+      match afloat env x with
+      | Some i ->
+          (* of_degrees is a positive linear scale: monotone *)
+          Afloat (I.scale (G.Angle.of_degrees 1.) i)
+      | None -> Atop)
+  | ("add" | "heading_add"), [ x; y ] -> (
+      match (aeval env x, aeval env y) with
+      | Afloat a, Afloat b -> Afloat (I.add a b)
+      | ((Afloat _ | Asplit _) as va), ((Afloat _ | Asplit _) as vb) ->
+          let pb = parts vb in
+          of_parts (List.concat_map (fun a -> List.map (I.add a) pb) (parts va))
+      | _ -> Atop)
+  | "sub", [ x; y ] -> (
+      match (aeval env x, aeval env y) with
+      | Afloat a, Afloat b -> Afloat (I.sub a b)
+      | ((Afloat _ | Asplit _) as va), ((Afloat _ | Asplit _) as vb) ->
+          let pb = parts vb in
+          of_parts
+            (List.concat_map
+               (fun a -> List.map (fun b -> I.sub a b) pb)
+               (parts va))
+      | _ -> Atop)
+  | "mul", [ x; y ] -> (
+      match (afloat env x, afloat env y) with
+      | Some a, Some b -> Afloat (I.mul a b)
+      | _ -> Atop)
+  | "div", [ x; y ] -> (
+      match (afloat env x, afloat env y) with
+      | Some a, Some b -> (
+          match I.div a b with Some i -> Afloat i | None -> Atop)
+      | _ -> Atop)
+  | "lt", [ _; _ ] ->
+      cmp
+        (fun a b -> a.I.hi < b.I.lo)
+        (fun a b -> a.I.lo >= b.I.hi)
+  | "le", [ _; _ ] ->
+      cmp
+        (fun a b -> a.I.hi <= b.I.lo)
+        (fun a b -> a.I.lo > b.I.hi)
+  | "gt", [ _; _ ] ->
+      cmp
+        (fun a b -> a.I.lo > b.I.hi)
+        (fun a b -> a.I.hi <= b.I.lo)
+  | "ge", [ _; _ ] ->
+      cmp
+        (fun a b -> a.I.lo >= b.I.hi)
+        (fun a b -> a.I.hi < b.I.lo)
+  | "eq", [ a; b ] -> (
+      match (aeval env a, aeval env b) with
+      | Afloat x, Afloat y ->
+          if I.is_point x && I.is_point y && x.I.lo = y.I.lo then Abool true
+          else if x.I.hi < y.I.lo || y.I.hi < x.I.lo then Abool false
+          else Atop
+      | Aconst x, Aconst y -> Abool (Value.equal x y)
+      | _ -> Atop)
+  | "ne", [ a; b ] -> (
+      match transfer env "eq" [ a; b ] with
+      | Abool b -> Abool (not b)
+      | _ -> Atop)
+  | "not", [ x ] -> (
+      match av_truthy (aeval env x) with Some b -> Abool (not b) | None -> Atop)
+  | "and", [ a; b ] -> (
+      match (av_truthy (aeval env a), av_truthy (aeval env b)) with
+      | Some false, _ | _, Some false -> Abool false
+      | Some true, Some true -> Abool true
+      | _ -> Atop)
+  | "or", [ a; b ] -> (
+      match (av_truthy (aeval env a), av_truthy (aeval env b)) with
+      | Some true, _ | _, Some true -> Abool true
+      | Some false, Some false -> Abool false
+      | _ -> Atop)
+  | "vector", [ x; y ] -> (
+      match (afloat env x, afloat env y) with
+      | Some a, Some b -> Avec (a, b)
+      | _ -> Atop)
+  | "vec_add", [ a; b ] -> (
+      match (avec env a, avec env b) with
+      | Some (x1, y1), Some (x2, y2) -> Avec (I.add x1 x2, I.add y1 y2)
+      | _ -> Atop)
+  | ("offset_local" | "offset_along"), [ p; h; v ] -> (
+      match (avec env p, avec env v) with
+      | Some pb, Some vb -> add_rotated pb (afloat env h) vb
+      | _ -> Atop)
+  | "distance", [ a; b ] -> (
+      match (avec env a, avec env b) with
+      | Some b1, Some b2 ->
+          Afloat (I.make (box_min_dist b1 b2) (box_max_dist b1 b2))
+      | _ -> Atop)
+  | "angle", [ a; b ] -> (
+      match (avec env a, avec env b) with
+      | Some (x1, y1), Some (x2, y2) ->
+          heading_of_box (I.sub x2 x1) (I.sub y2 y1)
+      | _ -> Atop)
+  | "relative_heading", [ a; b ] -> (
+      match (afloat env a, afloat env b) with
+      | Some x, Some y -> normalize_interval (I.sub x y)
+      | _ -> Atop)
+  | "apparent_heading", [ h; p; f ] -> (
+      match (afloat env h, avec env p, avec env f) with
+      | Some hh, Some (px, py), Some (fx, fy) -> (
+          match heading_of_box (I.sub px fx) (I.sub py fy) with
+          | Afloat dir -> normalize_interval (I.sub hh dir)
+          | _ -> Atop)
+      | _ -> Atop)
+  | "can_see_box", [ vp; vh; vd; va; tp; _th; tw; thh ] -> (
+      match (avec env vp, avec env tp, afloat env vd) with
+      | Some vb, Some tb, Some vd ->
+          let angle_free =
+            match (aeval env vh, aeval env va) with
+            | Aconst Vnone, _ -> true
+            | _, Aconst Vnone -> true
+            | _, Afloat a -> a.I.lo >= G.Angle.two_pi -. 1e-9
+            | _ -> false
+          in
+          if angle_free && box_max_dist vb tb <= vd.I.lo then Abool true
+          else begin
+            match (afloat env tw, afloat env thh) with
+            | Some w, Some h ->
+                let circ = 0.5 *. Float.hypot w.I.hi h.I.hi in
+                if box_min_dist vb tb -. circ > vd.I.hi +. visibility_tol then
+                  Abool false
+                else Atop
+            | _ -> Atop
+          end
+      | _ -> Atop)
+  | "can_see_point", [ vp; vh; vd; va; tp ] -> (
+      match (avec env vp, avec env tp, afloat env vd) with
+      | Some vb, Some tb, Some vd ->
+          let angle_free =
+            match (aeval env vh, aeval env va) with
+            | Aconst Vnone, _ -> true
+            | _, Aconst Vnone -> true
+            | _, Afloat a -> a.I.lo >= G.Angle.two_pi -. 1e-9
+            | _ -> false
+          in
+          if angle_free && box_max_dist vb tb <= vd.I.lo then Abool true
+          else if box_min_dist vb tb > vd.I.hi +. visibility_tol then
+            Abool false
+          else Atop
+      | _ -> Atop)
+  | "box_in_region", [ tp; _th; tw; thh; region ] -> (
+      match (avec env tp, aeval env region) with
+      | Some (tx, ty), Aconst (Vregion r) -> (
+          match G.Region.shape r with
+          | G.Region.Empty -> Abool false
+          | _ -> (
+              let defi_true =
+                match (afloat env tw, afloat env thh) with
+                | Some w, Some h ->
+                    let circ = 0.5 *. Float.hypot w.I.hi h.I.hi in
+                    convex_region_contains_box r
+                      (I.make (tx.I.lo -. circ) (tx.I.hi +. circ))
+                      (I.make (ty.I.lo -. circ) (ty.I.hi +. circ))
+                | _ -> false
+              in
+              if defi_true then Abool true
+              else
+                match region_bbox r with
+                | Some bb ->
+                    (* the box center is one of the membership check
+                       points: a center that can never reach the region
+                       falsifies containment outright *)
+                    if box_min_dist (tx, ty) bb > 0. then Abool false
+                    else Atop
+                | None -> Atop))
+      | _ -> Atop)
+  | "point_in_region", [ p; region ] -> (
+      match (avec env p, aeval env region) with
+      | Some (px, py), Aconst (Vregion r) -> (
+          match G.Region.shape r with
+          | G.Region.Empty -> Abool false
+          | _ ->
+              if convex_region_contains_box r px py then Abool true
+              else (
+                match region_bbox r with
+                | Some bb ->
+                    if box_min_dist (px, py) bb > 0. then Abool false else Atop
+                | None -> Atop))
+      | _ -> Atop)
+  | "no_collision", [ aa; ab; p1; _h1; w1; hh1; p2; _h2; w2; hh2 ] -> (
+      match (av_truthy (aeval env aa), av_truthy (aeval env ab)) with
+      | Some true, _ | _, Some true -> Abool true
+      | _ -> (
+          match
+            ( avec env p1, afloat env w1, afloat env hh1, avec env p2,
+              afloat env w2, afloat env hh2 )
+          with
+          | Some b1, Some w1, Some h1, Some b2, Some w2, Some h2 ->
+              let circ1 = 0.5 *. Float.hypot w1.I.hi h1.I.hi in
+              let circ2 = 0.5 *. Float.hypot w2.I.hi h2.I.hi in
+              if box_min_dist b1 b2 > circ1 +. circ2 +. 1e-9 then Abool true
+              else Atop
+          | _ -> Atop))
+  | _ -> Atop
+
+(* --- eligible scalars --------------------------------------------------- *)
+
+(* Walk the random nodes reachable from one value. *)
+let iter_value_rnodes f v =
+  let seen = Hashtbl.create 32 in
+  let rec go v =
+    match v with
+    | Vrandom n ->
+        if not (Hashtbl.mem seen n.rid) then begin
+          Hashtbl.add seen n.rid ();
+          f n;
+          match n.rkind with
+          | R_interval (a, b) | R_normal (a, b) ->
+              go a;
+              go b
+          | R_choice vs -> List.iter go vs
+          | R_discrete pairs ->
+              List.iter
+                (fun (a, b) ->
+                  go a;
+                  go b)
+                pairs
+          | R_uniform_in v -> go v
+          | R_op (_, args, _) -> List.iter go args
+        end
+    | Vlist vs -> List.iter go vs
+    | Vdict kvs ->
+        List.iter
+          (fun (k, v) ->
+            go k;
+            go v)
+          kvs
+    | Voriented { opos; ohead } ->
+        go opos;
+        go ohead
+    | _ -> ()
+  in
+  go v
+
+type scalar = { node : Value.rnode; s_lo : float; s_hi : float }
+
+(* Base uniform scalars with constant finite bounds and nonzero width:
+   the axes domain propagation can subdivide and rewrite. *)
+let eligible_scalars v : scalar list =
+  let acc = ref [] in
+  iter_value_rnodes
+    (fun n ->
+      match n.rkind with
+      | R_interval (Vfloat lo, Vfloat hi)
+        when Float.is_finite lo && Float.is_finite hi && lo < hi ->
+          acc := { node = n; s_lo = lo; s_hi = hi } :: !acc
+      | _ -> ())
+    v;
+  List.sort (fun a b -> compare a.node.rid b.node.rid) !acc
+
+(* --- the pass ----------------------------------------------------------- *)
+
+type stats = {
+  static_true : int;  (** hard requirements proven always-true *)
+  shaved : int;  (** scalars narrowed / split by segment shaving *)
+  strata : int;  (** strata in the joint table (0 = not stratified) *)
+  retained_frac : float;  (** measure kept by stratification (1. = all) *)
+  warmup_acceptance : float;
+}
+
+let warmup_iters = 384
+let warmup_max_accepts = 64
+let strata_eval_budget = 150_000  (* k-d cell classifications *)
+let strata_max_splits = 30  (* per-cell bisection depth cap *)
+let strata_max_count = 8_192  (* selector table size cap *)
+let side_rect_cap = 4_096  (* per-side rectangles of the separable path *)
+let shave_segments = 64
+let strata_skip_acceptance = 0.5
+let strata_skip_retained = 0.85
+
+let hard_reqs (scenario : Scenario.t) =
+  List.mapi (fun i r -> (i, r)) scenario.requirements
+  |> List.filter (fun (i, (r : Scenario.requirement)) ->
+         r.prob = None && not (List.mem i scenario.static_true))
+
+(* Evaluate a hard requirement under the environment's overrides;
+   [Some false] proves the overridden sub-domain infeasible.  The
+   caller owns the memo: clear it whenever the overrides change, and
+   share it between requirements evaluated under the same overrides —
+   sub-DAGs common to several requirements are then evaluated once. *)
+let eval_req env (r : Scenario.requirement) = av_truthy (aeval env r.cond)
+
+(* --- static elimination ------------------------------------------------- *)
+
+let static_pass (scenario : Scenario.t) =
+  let env = fresh_env scenario in
+  let static = ref [] in
+  List.iteri
+    (fun i (r : Scenario.requirement) ->
+      if r.prob = None then
+        match av_truthy (aeval env r.cond) with
+        | Some true -> static := i :: !static
+        | Some false ->
+            (* the requirement can never hold: static infeasibility,
+               reported at its source span *)
+            Errors.raise_at ~loc:r.span Errors.Zero_probability
+        | None -> ())
+    scenario.requirements;
+  scenario.static_true <- List.rev !static;
+  List.length !static
+
+(* --- warmup ------------------------------------------------------------- *)
+
+(* Deterministic warmup: a short rejection run on a fixed RNG stream
+   (independent of the user's sampling seed), measuring acceptance and
+   per-requirement violation counts.  Purely a function of the scenario,
+   so repeated runs — and every worker of a parallel batch, which
+   receives the already-propagated scenario — agree exactly. *)
+let warmup (scenario : Scenario.t) =
+  let rng = P.Rng.create ~stream:0x9E3779B9 42 in
+  let r = Rejection.create ~max_iters:warmup_iters ~rng scenario in
+  let accepts = ref 0 in
+  (try
+     while
+       Rejection.(r.cumulative) < warmup_iters && !accepts < warmup_max_accepts
+     do
+       match Rejection.sample_outcome r with
+       | Rejection.Sampled _ -> incr accepts
+       | Rejection.Exhausted _ -> raise Exit
+     done
+   with Exit -> ());
+  let diag = Rejection.diagnosis r in
+  let total = Diagnose.total diag in
+  let acceptance =
+    if total = 0 then 1.
+    else float_of_int (Diagnose.accepted diag) /. float_of_int total
+  in
+  (acceptance, Array.copy diag.Diagnose.violations)
+
+let reorder_checks (scenario : Scenario.t) (violations : int array) =
+  let n = List.length scenario.requirements in
+  let idxs =
+    List.filter
+      (fun i -> not (List.mem i scenario.static_true))
+      (List.init n Fun.id)
+  in
+  let order =
+    List.stable_sort
+      (fun a b -> compare violations.(b) violations.(a))
+      idxs
+  in
+  scenario.check_order <- Some (Array.of_list order)
+
+(* --- joint stratification ----------------------------------------------- *)
+
+type stratum = { cell : (float * float) array; weight : float }
+(** per-scalar (lo, hi) bounds and the cell's prior measure *)
+
+let seg_bounds (s : scalar) n j =
+  let w = (s.s_hi -. s.s_lo) /. float_of_int n in
+  let lo = s.s_lo +. (float_of_int j *. w) in
+  let hi = if j = n - 1 then s.s_hi else lo +. w in
+  (lo, hi)
+
+(* --- separable stratification ------------------------------------------- *)
+
+exception Not_separable
+
+(* Many rejection-dominating requirements compare two quantities that
+   read {e disjoint} sets of base scalars — e.g. mars-bottleneck's
+   [abs((angle to goal) - (angle to bottleneck)) <= 10 deg], where the
+   first angle reads the goal's position scalars and the second the
+   bottleneck's.  A joint k-d subdivision pays for that independence
+   twice over: resolving the feasibility boundary to side-lengths
+   (εA, εB) costs O(1/(εA·εB)) joint cells, though the condition only
+   couples the two sides through {e one interval each}.
+
+   The separable path exploits the factorization.  It looks for two
+   float-valued nodes [nA], [nB] in the driver's condition whose axis
+   masks are disjoint, nonempty, proper, and jointly account for every
+   axis the condition reads.  Each side is then refined {e independently}
+   into at most [side_rect_cap] rectangles, splitting whichever
+   rectangle has the widest abstract interval — O(1/εA + 1/εB) work for
+   the same resolution.  Feasible pairs are recovered without
+   enumerating the product: with the B-rectangles sorted by interval
+   lower bound, the pairs excluded for a given A-rectangle form a
+   prefix and a suffix whose {e cumulative hulls} are definitely false,
+   so two binary searches over hull verdicts bound a contiguous
+   compatible band per A-rectangle.  Both hull verdicts and per-side
+   vetoes (hard requirements reading only one side's axes) discard mass
+   only on definitely-false evidence, so the retained region loses no
+   feasible point.
+
+   Sampling draws a measure-weighted A-rectangle, then a B-rectangle
+   from its band with probability proportional to B-measure (one
+   uniform inverted through a shared prefix-sum table), then uniforms
+   within each rectangle — exactly the prior product measure
+   conditioned on the retained set. *)
+let try_separable env (r : Scenario.requirement) (scalars : scalar array)
+    cell_reqs full_measure =
+  let k = Array.length scalars in
+  let full_mask = (1 lsl k) - 1 in
+  if k < 2 then None
+  else
+    try
+      let set_cell cell =
+        env.epoch <- env.epoch + 1;
+        Array.iteri
+          (fun i (lo, hi) ->
+            env.cur.(i) <- (lo, hi);
+            env.over.(scalars.(i).node.rslot) <- Some (Afloat (I.make lo hi)))
+          cell
+      in
+      let full_cell = Array.map (fun (s : scalar) -> (s.s_lo, s.s_hi)) scalars in
+      set_cell full_cell;
+      (* the float-valued frontier: maximal nodes whose axis mask is a
+         proper nonempty subset of the driver's *)
+      let seen = Hashtbl.create 32 in
+      let frontier = ref [] in
+      let rec collect v =
+        match v with
+        | Vrandom n ->
+            if not (Hashtbl.mem seen n.rid) then begin
+              Hashtbl.add seen n.rid ();
+              let m = axis_mask env v in
+              if m <> 0 then
+                if
+                  m <> full_mask
+                  && n.rslot >= 0 && n.rslot < env.slots
+                  && float_hull (aeval env v) <> None
+                then frontier := (n, m) :: !frontier
+                else
+                  match n.rkind with
+                  | R_interval (a, b) | R_normal (a, b) ->
+                      collect a;
+                      collect b
+                  | R_choice vs -> List.iter collect vs
+                  | R_discrete ps ->
+                      List.iter
+                        (fun (a, b) ->
+                          collect a;
+                          collect b)
+                        ps
+                  | R_uniform_in v -> collect v
+                  | R_op (_, args, _) -> List.iter collect args
+            end
+        | _ -> ()
+      in
+      collect r.cond;
+      match !frontier with
+      | [ (n1, m1); (n2, m2) ] when m1 land m2 = 0 && m1 lor m2 = full_mask ->
+          let (na, ma), (nb, mb) =
+            if n1.rid < n2.rid then ((n1, m1), (n2, m2))
+            else ((n2, m2), (n1, m1))
+          in
+          (* no axis may reach the condition around the frontier pair *)
+          let excl_memo = Hashtbl.create 32 in
+          let rec mask_excl v =
+            match v with
+            | Vrandom n when n.rid = na.rid || n.rid = nb.rid -> 0
+            | Vrandom n -> (
+                let s = n.rslot in
+                if s >= 0 && s < env.slots && env.keybit.(s) >= 0 then
+                  1 lsl env.keybit.(s)
+                else
+                  match Hashtbl.find_opt excl_memo n.rid with
+                  | Some m -> m
+                  | None ->
+                      let fold =
+                        List.fold_left (fun m v -> m lor mask_excl v) 0
+                      in
+                      let m =
+                        match n.rkind with
+                        | R_interval (a, b) | R_normal (a, b) -> fold [ a; b ]
+                        | R_choice vs -> fold vs
+                        | R_discrete ps ->
+                            fold (List.concat_map (fun (a, b) -> [ a; b ]) ps)
+                        | R_uniform_in v -> fold [ v ]
+                        | R_op (_, args, _) -> fold args
+                      in
+                      Hashtbl.add excl_memo n.rid m;
+                      m)
+            | _ -> 0
+          in
+          if mask_excl r.cond <> 0 then None
+          else begin
+            let side_measure side_mask cell =
+              let acc = ref 1. in
+              Array.iteri
+                (fun i (lo, hi) ->
+                  if side_mask land (1 lsl i) <> 0 then acc := !acc *. (hi -. lo))
+                cell;
+              !acc
+            in
+            let vetoes_for side_mask =
+              List.filter
+                (fun (rq : Scenario.requirement) ->
+                  rq != r
+                  &&
+                  let m = axis_mask env rq.cond in
+                  m <> 0 && m land lnot side_mask = 0)
+                cell_reqs
+            in
+            (* Refine one side: repeatedly bisect the rectangle with the
+               widest abstract interval, along the axis whose halving
+               shrinks the surviving children's intervals most.  Children
+               on which the side's vetoes are definitely false are
+               dropped.  Vetoes that fail to drop anything are retired on
+               a fixed evaluation cadence (the same drop-based probation
+               as the k-d path), so a long list of never-firing
+               requirements costs O(1) amortised.  The widest rectangle
+               is tracked with a binary max-heap keyed (width, insertion
+               seq) — deterministic, and O(log n) per split instead of a
+               rescan of the whole frontier. *)
+            let refine_side node side_mask =
+              let vet = Array.of_list (vetoes_for side_mask) in
+              let vdrop = Array.make (Array.length vet) 0 in
+              let vlive = ref (List.init (Array.length vet) Fun.id) in
+              let evals = ref 0 in
+              let eval_rect cell =
+                incr evals;
+                if !evals land 1023 = 0 then
+                  vlive := List.filter (fun i -> vdrop.(i) > 0) !vlive;
+                set_cell cell;
+                let vetoed =
+                  List.exists
+                    (fun i ->
+                      eval_req env vet.(i) = Some false
+                      && begin
+                           vdrop.(i) <- vdrop.(i) + 1;
+                           true
+                         end)
+                    !vlive
+                in
+                if vetoed then None
+                else
+                  match float_hull (aeval env (Vrandom node)) with
+                  | Some iv -> Some iv
+                  | None -> raise Not_separable
+              in
+              match eval_rect full_cell with
+              | None -> []
+              | Some iv0 ->
+                  let eps = Float.max (I.width iv0 /. 1024.) 1e-12 in
+                  let min_w i =
+                    (scalars.(i).s_hi -. scalars.(i).s_lo) *. 1e-7
+                  in
+                  let splittable cell =
+                    let ok = ref false in
+                    Array.iteri
+                      (fun i (lo, hi) ->
+                        if side_mask land (1 lsl i) <> 0 && hi -. lo > min_w i
+                        then ok := true)
+                      cell;
+                    !ok
+                  in
+                  (* max-heap of splittable rects, keyed (width desc,
+                     seq asc); finished rects accumulate in [done_] *)
+                  let cap = side_rect_cap + 2 in
+                  let hw = Array.make cap 0.
+                  and hseq = Array.make cap 0
+                  and hc = Array.make cap [||]
+                  and hiv = Array.make cap iv0 in
+                  let hs = ref 0 and seq = ref 0 in
+                  let before i j =
+                    hw.(i) > hw.(j)
+                    || (hw.(i) = hw.(j) && hseq.(i) < hseq.(j))
+                  in
+                  let swap i j =
+                    let w = hw.(i) and s = hseq.(i) in
+                    let c = hc.(i) and v = hiv.(i) in
+                    hw.(i) <- hw.(j);
+                    hseq.(i) <- hseq.(j);
+                    hc.(i) <- hc.(j);
+                    hiv.(i) <- hiv.(j);
+                    hw.(j) <- w;
+                    hseq.(j) <- s;
+                    hc.(j) <- c;
+                    hiv.(j) <- v
+                  in
+                  let push c iv =
+                    let i = ref !hs in
+                    incr hs;
+                    hw.(!i) <- I.width iv;
+                    hseq.(!i) <- !seq;
+                    incr seq;
+                    hc.(!i) <- c;
+                    hiv.(!i) <- iv;
+                    while !i > 0 && before !i ((!i - 1) / 2) do
+                      swap !i ((!i - 1) / 2);
+                      i := (!i - 1) / 2
+                    done
+                  in
+                  let pop () =
+                    let c = hc.(0) and iv = hiv.(0) in
+                    decr hs;
+                    if !hs > 0 then begin
+                      swap 0 !hs;
+                      let i = ref 0 in
+                      let continue_ = ref true in
+                      while !continue_ do
+                        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+                        let m = ref !i in
+                        if l < !hs && before l !m then m := l;
+                        if r < !hs && before r !m then m := r;
+                        if !m = !i then continue_ := false
+                        else begin
+                          swap !i !m;
+                          i := !m
+                        end
+                      done
+                    end;
+                    (c, iv)
+                  in
+                  let done_ = ref [] in
+                  let add (c, iv) =
+                    if I.width iv > eps && splittable c then push c iv
+                    else done_ := (c, iv) :: !done_
+                  in
+                  add (Array.copy full_cell, iv0);
+                  let n = ref 1 and splits = ref 0 in
+                  while
+                    !hs > 0 && !n < side_rect_cap
+                    && !splits < side_rect_cap * 8
+                  do
+                    let cell, iv = pop () in
+                    incr splits;
+                    let best_axis = ref (-1)
+                    and best_score = ref infinity
+                    and best_children = ref [] in
+                    for i = 0 to k - 1 do
+                      if side_mask land (1 lsl i) <> 0 then begin
+                        let lo, hi = cell.(i) in
+                        if hi -. lo > min_w i then begin
+                          let mid = 0.5 *. (lo +. hi) in
+                          let l = Array.copy cell and rr = Array.copy cell in
+                          l.(i) <- (lo, mid);
+                          rr.(i) <- (mid, hi);
+                          let kids =
+                            List.filter_map
+                              (fun c ->
+                                match eval_rect c with
+                                | Some iv -> Some (c, iv)
+                                | None -> None)
+                              [ l; rr ]
+                          in
+                          let score =
+                            List.fold_left
+                              (fun acc (_, iv) -> Float.max acc (I.width iv))
+                              0. kids
+                          in
+                          if score < !best_score then begin
+                            best_score := score;
+                            best_axis := i;
+                            best_children := kids
+                          end
+                        end
+                      end
+                    done;
+                    if !best_axis < 0 then done_ := (cell, iv) :: !done_
+                    else begin
+                      n := !n - 1 + List.length !best_children;
+                      List.iter add !best_children
+                    end
+                  done;
+                  while !hs > 0 do
+                    done_ := pop () :: !done_
+                  done;
+                  !done_
+            in
+            let a_rects =
+              List.sort compare (refine_side na ma) |> Array.of_list
+            in
+            let b_rects =
+              List.sort
+                (fun ((_, (i1 : I.t)) as r1) ((_, (i2 : I.t)) as r2) ->
+                  compare (i1.I.lo, i1.I.hi, fst r1) (i2.I.lo, i2.I.hi, fst r2))
+                (refine_side nb mb)
+              |> Array.of_list
+            in
+            let n_a = Array.length a_rects and n_b = Array.length b_rects in
+            if n_a = 0 || n_b = 0 then
+              Errors.raise_at ~loc:r.span Errors.Zero_probability;
+            (* prefix sums of B-measure, cumulative interval hulls *)
+            let b_w = Array.map (fun (c, _) -> side_measure mb c) b_rects in
+            let prefix = Array.make (n_b + 1) 0. in
+            for j = 0 to n_b - 1 do
+              prefix.(j + 1) <- prefix.(j) +. b_w.(j)
+            done;
+            let prefmax_hi = Array.make n_b 0. in
+            let acc = ref neg_infinity in
+            for j = 0 to n_b - 1 do
+              acc := Float.max !acc (snd b_rects.(j)).I.hi;
+              prefmax_hi.(j) <- !acc
+            done;
+            let sufmax_hi = Array.make n_b 0. in
+            let acc = ref neg_infinity in
+            for j = n_b - 1 downto 0 do
+              acc := Float.max !acc (snd b_rects.(j)).I.hi;
+              sufmax_hi.(j) <- !acc
+            done;
+            let b_global_lo = (snd b_rects.(0)).I.lo in
+            (* verdict of the driver with both frontier nodes pinned *)
+            let pair_false ia ib =
+              env.epoch <- env.epoch + 1;
+              env.over.(na.rslot) <- Some (Afloat ia);
+              env.over.(nb.rslot) <- Some (Afloat ib);
+              eval_req env r = Some false
+            in
+            (* Contiguous compatible band for one A-rectangle: the
+               longest prefix (suffix) of B-rectangles whose cumulative
+               hull is definitely false is excluded — hull false implies
+               every member false — and everything between is kept. *)
+            let band ia =
+              let lo = ref (-1) and hi = ref (n_b - 1) in
+              while !lo < !hi do
+                let mid = (!lo + !hi + 1) / 2 in
+                if pair_false ia (I.make b_global_lo prefmax_hi.(mid)) then
+                  lo := mid
+                else hi := mid - 1
+              done;
+              let jlo = !lo + 1 in
+              if jlo >= n_b then None
+              else begin
+                let lo = ref jlo and hi = ref n_b in
+                while !lo < !hi do
+                  let mid = (!lo + !hi) / 2 in
+                  if
+                    pair_false ia
+                      (I.make (snd b_rects.(mid)).I.lo sufmax_hi.(mid))
+                  then hi := mid
+                  else lo := mid + 1
+                done;
+                let jhi = !lo - 1 in
+                if jhi < jlo then None else Some (jlo, jhi)
+              end
+            in
+            let entries =
+              Array.to_list a_rects
+              |> List.filter_map (fun (cell, ia) ->
+                     match band ia with
+                     | Some (jlo, jhi) ->
+                         let wa = side_measure ma cell in
+                         let wband = prefix.(jhi + 1) -. prefix.(jlo) in
+                         Some (cell, wa, jlo, jhi, wa *. wband)
+                     | None -> None)
+              |> Array.of_list
+            in
+            env.over.(na.rslot) <- None;
+            env.over.(nb.rslot) <- None;
+            if Array.length entries = 0 then
+              Errors.raise_at ~loc:r.span Errors.Zero_probability;
+            let retained =
+              Array.fold_left (fun acc (_, _, _, _, w) -> acc +. w) 0. entries
+            in
+            let retained_frac = retained /. full_measure in
+            if retained_frac >= strata_skip_retained then Some (0, 1.)
+            else begin
+              let n_e = Array.length entries in
+              let selector =
+                fresh_node ~ty:Tfloat
+                  (R_discrete
+                     (List.init n_e (fun i ->
+                          let _, _, _, _, w = entries.(i) in
+                          (Vfloat (float_of_int i), Vfloat w))))
+              in
+              let jlo_t = Array.map (fun (_, _, jlo, _, _) -> jlo) entries in
+              let jhi_t = Array.map (fun (_, _, _, jhi, _) -> jhi) entries in
+              let unit () =
+                fresh_node ~ty:Tfloat (R_interval (Vfloat 0., Vfloat 1.))
+              in
+              (* B-rectangle within the selected band, by inverting one
+                 uniform through the shared prefix-sum table *)
+              let jsel =
+                fresh_node ~ty:Tfloat
+                  (R_op
+                     ( "band_draw",
+                       [ Vrandom selector; Vrandom (unit ()) ],
+                       function
+                       | [ Vfloat fi; Vfloat u ] ->
+                           let i = int_of_float fi in
+                           let slo = prefix.(jlo_t.(i))
+                           and shi = prefix.(jhi_t.(i) + 1) in
+                           let target = slo +. (u *. (shi -. slo)) in
+                           let lo = ref jlo_t.(i) and hi = ref jhi_t.(i) in
+                           while !lo < !hi do
+                             let mid = (!lo + !hi + 1) / 2 in
+                             if prefix.(mid) <= target then lo := mid
+                             else hi := mid - 1
+                           done;
+                           Vfloat (float_of_int !lo)
+                       | _ -> assert false ))
+              in
+              let a_cells = Array.map (fun (c, _, _, _, _) -> c) entries in
+              let b_cells = Array.map (fun (c, _) -> c) b_rects in
+              Array.iteri
+                (fun i (s : scalar) ->
+                  let on_a = ma land (1 lsl i) <> 0 in
+                  let idx_node = if on_a then selector else jsel in
+                  let cells = if on_a then a_cells else b_cells in
+                  let lo_t = Array.map (fun c -> fst c.(i)) cells in
+                  let hi_t = Array.map (fun c -> snd c.(i)) cells in
+                  s.node.rkind <-
+                    R_op
+                      ( "stratum_draw",
+                        [ Vrandom idx_node; Vrandom (unit ()) ],
+                        function
+                        | [ Vfloat fi; Vfloat u ] ->
+                            let idx = int_of_float fi in
+                            let lo = lo_t.(idx) and hi = hi_t.(idx) in
+                            Vfloat (lo +. (u *. (hi -. lo)))
+                        | _ -> assert false ))
+                scalars;
+              Some (n_e + n_b, retained_frac)
+            end
+          end
+      | _ -> None
+    with Not_separable -> None
+
+let build_strata (scenario : Scenario.t) (violations : int array) =
+  let candidates =
+    List.filter_map
+      (fun (i, (r : Scenario.requirement)) ->
+        match eligible_scalars r.cond with
+        | [] -> None
+        | scalars when violations.(i) > 0 -> Some (i, r, scalars)
+        | _ -> None)
+      (hard_reqs scenario)
+  in
+  let driver =
+    List.fold_left
+      (fun acc (i, r, scalars) ->
+        match acc with
+        | Some (j, _, _) when violations.(j) >= violations.(i) -> acc
+        | _ -> Some (i, r, scalars))
+      None candidates
+  in
+  match driver with
+  | None -> (0, 1.)
+  | Some (_, r, scalars) -> (
+      let scalars = Array.of_list (List.filteri (fun i _ -> i < 5) scalars) in
+      let in_axes (s : scalar) =
+        Array.exists (fun s' -> s'.node.rid = s.node.rid) scalars
+      in
+      (* every hard requirement reading a stratified axis can veto a
+         cell, not just the driver: dropping on any definite-false is
+         sound and shrinks the retained region further *)
+      let cell_reqs =
+        List.filter_map
+          (fun (_, (rq : Scenario.requirement)) ->
+            if List.exists in_axes (eligible_scalars rq.cond) then Some rq
+            else None)
+          (hard_reqs scenario)
+      in
+      let cell_reqs = if cell_reqs = [] then [ r ] else cell_reqs in
+      (* the driver first: it is the most falsifying requirement, so
+         the short-circuiting classifier usually stops at it *)
+      let cell_reqs = r :: List.filter (fun rq -> rq != r) cell_reqs in
+      let full_measure =
+        Array.fold_left (fun acc s -> acc *. (s.s_hi -. s.s_lo)) 1. scalars
+      in
+      let cell_measure cell =
+        Array.fold_left (fun acc (lo, hi) -> acc *. (hi -. lo)) 1. cell
+      in
+      let k = Array.length scalars in
+      (* requirements still worth evaluating per cell, each paired with
+         its definite-{e false} count.  Only a requirement that can
+         actually veto cells is worth splitting for: one that never
+         returns false can only block [`Keep] — sending driver-feasible
+         cells into bottomless refinement — so it is retired after a
+         probation period.  Keeping a cell such a requirement is
+         indefinite on is sound (keeping never moves mass). *)
+      let live_reqs =
+        ref (Array.of_list (List.map (fun rq -> (rq, ref 0)) cell_reqs))
+      in
+      let env =
+        env_with_keys scenario
+          (Array.to_list (Array.map (fun (s : scalar) -> s.node.rslot) scalars))
+      in
+      match try_separable env r scalars cell_reqs full_measure with
+      | Some res -> res
+      | None ->
+      let classify cell =
+        env.epoch <- env.epoch + 1;
+        Array.iteri
+          (fun i (lo, hi) ->
+            env.cur.(i) <- (lo, hi);
+            env.over.(scalars.(i).node.rslot) <- Some (Afloat (I.make lo hi)))
+          cell;
+        let rqs = !live_reqs in
+        let n = Array.length rqs in
+        let rec go all_true j =
+          if j >= n then if all_true then `Keep else `Split
+          else
+            let rq, drops = rqs.(j) in
+            match eval_req env rq with
+            | Some false ->
+                incr drops;
+                `Drop
+            | Some true -> go all_true (j + 1)
+            | None -> go false (j + 1)
+        in
+        go true 0
+      in
+      (* Adaptive k-d refinement, breadth-first: bisect cells along a
+         chosen axis, drop definitely-infeasible cells, and stop
+         refining cells that are definitely feasible.  Level-order
+         processing (the FIFO) spreads the evaluation budget uniformly
+         over the surviving frontier, so resolution concentrates on the
+         feasibility boundary — where a uniform product grid wastes
+         almost all of its cells — instead of on one corner of the
+         space.  Axes whose splits never lead to a definite child
+         verdict are starved after a trial period, so an axis the
+         driver is insensitive to does not burn depth. *)
+      let evals = ref 0 in
+      let axis_splits = Array.make k 0 and axis_defs = Array.make k 0 in
+      let strata = ref [] and retained = ref 0. and n_strata = ref 0 in
+      let keep cell =
+        let weight = cell_measure cell in
+        strata := { cell = Array.copy cell; weight } :: !strata;
+        retained := !retained +. weight;
+        incr n_strata
+      in
+      let frontier = Queue.create () in
+      Queue.add
+        (Array.map (fun s -> (s.s_lo, s.s_hi)) scalars, 0, -1)
+        frontier;
+      while not (Queue.is_empty frontier) do
+        let cell, depth, from_axis = Queue.take frontier in
+        if !evals >= strata_eval_budget || !n_strata >= strata_max_count then
+          keep cell
+        else begin
+          incr evals;
+          (if !evals land 1023 = 0 then
+             (* probation: retire requirements that have never vetoed a
+                cell (the driver always stays) *)
+             let rqs = !live_reqs in
+             if Array.length rqs > 1 then
+               live_reqs :=
+                 Array.of_list
+                   (List.filteri
+                      (fun j (_, drops) -> j = 0 || !drops > 0)
+                      (Array.to_list rqs)));
+          match classify cell with
+          | `Drop ->
+              if from_axis >= 0 then
+                axis_defs.(from_axis) <- axis_defs.(from_axis) + 1
+          | `Keep ->
+              if from_axis >= 0 then
+                axis_defs.(from_axis) <- axis_defs.(from_axis) + 1;
+              keep cell
+          | `Split ->
+              if depth >= strata_max_splits then keep cell
+              else begin
+                (* pick the axis with the best track record of turning
+                   splits into definite child verdicts, weighted by the
+                   cell's relative width along it — an axis the driver
+                   is insensitive to decays instead of consuming an
+                   even share of the depth *)
+                let axis = ref (-1) and best = ref neg_infinity in
+                Array.iteri
+                  (fun i (lo, hi) ->
+                    let w =
+                      (hi -. lo) /. (scalars.(i).s_hi -. scalars.(i).s_lo)
+                    in
+                    let score =
+                      w
+                      *. float_of_int (axis_defs.(i) + 1)
+                      /. float_of_int (axis_splits.(i) + 4)
+                    in
+                    if w > 0. && score > !best then begin
+                      best := score;
+                      axis := i
+                    end)
+                  cell;
+                if !axis < 0 then keep cell
+                else begin
+                  axis_splits.(!axis) <- axis_splits.(!axis) + 1;
+                  let lo, hi = cell.(!axis) in
+                  let mid = 0.5 *. (lo +. hi) in
+                  let left = Array.copy cell and right = Array.copy cell in
+                  left.(!axis) <- (lo, mid);
+                  right.(!axis) <- (mid, hi);
+                  Queue.add (left, depth + 1, !axis) frontier;
+                  Queue.add (right, depth + 1, !axis) frontier
+                end
+              end
+        end
+      done;
+      (* Coalesce sibling cells that differ in a single axis and abut:
+         level-order refinement leaves many mergeable neighbours, and a
+         smaller table means a cheaper per-iteration selector. *)
+      let merge_along axis cells =
+        let gkey (c : stratum) =
+          Array.to_list
+            (Array.mapi (fun i b -> if i = axis then (0., 0.) else b) c.cell)
+        in
+        let groups = Hashtbl.create 64 in
+        List.iter
+          (fun c ->
+            let gk = gkey c in
+            Hashtbl.replace groups gk
+              (c :: Option.value ~default:[] (Hashtbl.find_opt groups gk)))
+          cells;
+        Hashtbl.fold
+          (fun _ group acc ->
+            let sorted =
+              List.sort
+                (fun a b -> compare (fst a.cell.(axis)) (fst b.cell.(axis)))
+                group
+            in
+            let rec fuse = function
+              | a :: b :: rest when snd a.cell.(axis) = fst b.cell.(axis) ->
+                  let cell = Array.copy a.cell in
+                  cell.(axis) <- (fst a.cell.(axis), snd b.cell.(axis));
+                  fuse ({ cell; weight = a.weight +. b.weight } :: rest)
+              | a :: rest -> a :: fuse rest
+              | [] -> []
+            in
+            fuse sorted @ acc)
+          groups []
+      in
+      let merged = ref (List.rev !strata) in
+      for axis = 0 to k - 1 do
+        merged := merge_along axis !merged
+      done;
+      (* Edge shaving: within each merged stratum, binary-search each
+         face inward past definitely-false slabs.  This is anisotropic
+         refinement concentrated in the boundary-normal direction,
+         where it actually reduces the retained excess — much cheaper
+         than another full level of isotropic splitting.  Only
+         definitely-false slabs are removed, so feasible mass is
+         untouched. *)
+      let shave_stratum (st : stratum) =
+        let cell = Array.copy st.cell in
+        for i = 0 to k - 1 do
+          for _pass = 1 to 3 do
+            (* lower face *)
+            let lo, hi = cell.(i) in
+            let mid = lo +. (0.5 *. (hi -. lo)) in
+            cell.(i) <- (lo, mid);
+            let lower_false = classify cell = `Drop in
+            cell.(i) <- (if lower_false then (mid, hi) else (lo, hi));
+            (* upper face *)
+            let lo, hi = cell.(i) in
+            let mid = lo +. (0.5 *. (hi -. lo)) in
+            cell.(i) <- (mid, hi);
+            let upper_false = classify cell = `Drop in
+            cell.(i) <- (if upper_false then (lo, mid) else (lo, hi))
+          done
+        done;
+        { cell; weight = cell_measure cell }
+      in
+      let shaved = List.map shave_stratum !merged in
+      (* deterministic order for the selector table *)
+      let strata =
+        Array.of_list
+          (List.sort
+             (fun a b -> compare (a.cell, a.weight) (b.cell, b.weight))
+             shaved)
+      in
+      let n_strata = Array.length strata in
+      if n_strata = 0 then
+        (* every cell of the subdivision is definitely false *)
+        Errors.raise_at ~loc:r.span Errors.Zero_probability;
+      let retained =
+        Array.fold_left (fun acc st -> acc +. st.weight) 0. strata
+      in
+      let retained_frac = retained /. full_measure in
+      if retained_frac >= strata_skip_retained then (0, 1.)
+      else begin
+        (* rewrite: a shared measure-weighted selector picks the
+           stratum; each scalar becomes [lo + u * (hi - lo)] with [u]
+           a fresh unit uniform and (lo, hi) read from per-stratum
+           tables, so draws stay uniform within the selected box and
+           the mixture reproduces the uniform distribution over the
+           retained region exactly *)
+        let selector =
+          fresh_node ~ty:Tfloat
+            (R_discrete
+               (Array.to_list
+                  (Array.mapi
+                     (fun i (s : stratum) ->
+                       (Vfloat (float_of_int i), Vfloat s.weight))
+                     strata)))
+        in
+        Array.iteri
+          (fun si (s : scalar) ->
+            let lo_table =
+              Array.map (fun (st : stratum) -> fst st.cell.(si)) strata
+            in
+            let hi_table =
+              Array.map (fun (st : stratum) -> snd st.cell.(si)) strata
+            in
+            let unit =
+              fresh_node ~ty:Tfloat (R_interval (Vfloat 0., Vfloat 1.))
+            in
+            s.node.rkind <-
+              R_op
+                ( "stratum_draw",
+                  [ Vrandom selector; Vrandom unit ],
+                  function
+                  | [ Vfloat i; Vfloat u ] ->
+                      let idx = int_of_float i in
+                      let lo = lo_table.(idx) and hi = hi_table.(idx) in
+                      Vfloat (lo +. (u *. (hi -. lo)))
+                  | _ -> assert false ))
+          scalars;
+        (n_strata, retained_frac)
+      end)
+
+(* --- scalar shaving ----------------------------------------------------- *)
+
+let shave_scalars (scenario : Scenario.t) =
+  let reqs = hard_reqs scenario in
+  let reqs_with_scalars =
+    List.map (fun (_, r) -> (r, eligible_scalars r.Scenario.cond)) reqs
+  in
+  (* candidate scalars and the requirements that read them *)
+  let by_scalar : (int, scalar * Scenario.requirement list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun ((r : Scenario.requirement), scalars) ->
+      List.iter
+        (fun s ->
+          match Hashtbl.find_opt by_scalar s.node.rid with
+          | Some (_, rs) -> rs := r :: !rs
+          | None -> Hashtbl.add by_scalar s.node.rid (s, ref [ r ]))
+        scalars)
+    reqs_with_scalars;
+  let shaved = ref 0 in
+  let entries =
+    Hashtbl.fold (fun _ (s, rs) acc -> (s, !rs) :: acc) by_scalar []
+    |> List.sort (fun (a, _) (b, _) -> compare a.node.rid b.node.rid)
+  in
+  List.iter
+    (fun (s, rs) ->
+      let env = env_with_keys scenario [ s.node.rslot ] in
+      let killer = ref None in
+      let alive =
+        Array.init shave_segments (fun j ->
+            let lo, hi = seg_bounds s shave_segments j in
+            env.epoch <- env.epoch + 1;
+            env.cur.(0) <- (lo, hi);
+            env.over.(s.node.rslot) <- Some (Afloat (I.make lo hi));
+            let dead =
+              List.exists
+                (fun r ->
+                  let d = eval_req env r = Some false in
+                  if d then killer := Some r;
+                  d)
+                rs
+            in
+            not dead)
+      in
+      let n_alive = Array.fold_left (fun n a -> if a then n + 1 else n) 0 alive in
+      if n_alive = 0 then begin
+        match !killer with
+        | Some (r : Scenario.requirement) ->
+            Errors.raise_at ~loc:r.span Errors.Zero_probability
+        | None -> ()
+      end
+      else if n_alive < shave_segments then begin
+        (* maximal surviving runs *)
+        let runs = ref [] and start = ref (-1) in
+        Array.iteri
+          (fun j a ->
+            if a && !start < 0 then start := j
+            else if (not a) && !start >= 0 then begin
+              runs := (!start, j - 1) :: !runs;
+              start := -1
+            end)
+          alive;
+        if !start >= 0 then runs := (!start, shave_segments - 1) :: !runs;
+        let runs = List.rev !runs in
+        let bounds (j0, j1) =
+          let lo, _ = seg_bounds s shave_segments j0 in
+          let _, hi = seg_bounds s shave_segments j1 in
+          (lo, hi)
+        in
+        (match runs with
+        | [ run ] ->
+            let lo, hi = bounds run in
+            s.node.rkind <- R_interval (Vfloat lo, Vfloat hi)
+        | runs ->
+            (* a length-weighted mixture of uniform segments: exactly
+               the original uniform conditioned on the surviving set *)
+            s.node.rkind <-
+              R_discrete
+                (List.map
+                   (fun run ->
+                     let lo, hi = bounds run in
+                     ( Vrandom
+                         (fresh_node ~ty:Tfloat
+                            (R_interval (Vfloat lo, Vfloat hi))),
+                       Vfloat (hi -. lo) ))
+                   runs));
+        incr shaved
+      end)
+    entries;
+  !shaved
+
+(* --- entry point --------------------------------------------------------- *)
+
+(** Run domain propagation on a (possibly already pruned) scenario,
+    rewriting scalar distributions in place and setting
+    [scenario.static_true] / [scenario.check_order].  Raises
+    [Scenic_error (Zero_probability, span)] when a requirement is
+    statically unsatisfiable; callers that prefer plain rejection
+    sampling to a static error should snapshot and restore
+    ({!Scenic_sampler.Sampler.create} does). *)
+let run ?(probe = Probe.noop) (scenario : Scenario.t) : stats =
+  Rejection.ensure_slots scenario;
+  let n_static = static_pass scenario in
+  let acceptance, violations = warmup scenario in
+  reorder_checks scenario violations;
+  let n_strata, retained_frac =
+    if acceptance >= strata_skip_acceptance then (0, 1.)
+    else build_strata scenario violations
+  in
+  (* the strata rewrite introduces fresh selector/unit nodes: give them
+     slots so shaving's flat tables cover them *)
+  Rejection.ensure_slots scenario;
+  let shaved = shave_scalars scenario in
+  (* Stratification inverts the failure profile: the driver that
+     dominated rejections now almost always passes, so the warmup-derived
+     check order — measured on the unstratified scenario — front-loads a
+     nearly-useless check.  Re-measure on the rewritten scenario and
+     reorder by the post-stratification conditional failure rates. *)
+  if n_strata > 0 || shaved > 0 then begin
+    let _, violations' = warmup scenario in
+    reorder_checks scenario violations'
+  end;
+  probe.Probe.add "propagate.static_true" n_static;
+  probe.Probe.add "propagate.shaved" shaved;
+  probe.Probe.add "propagate.strata" n_strata;
+  probe.Probe.set_gauge "propagate.retained_frac" retained_frac;
+  Log.debug (fun m ->
+      m
+        "propagation: %d static-true, %d scalars shaved, %d strata \
+         (retained %.1f%%), warmup acceptance %.3f"
+        n_static shaved n_strata (100. *. retained_frac) acceptance);
+  { static_true = n_static; shaved; strata = n_strata; retained_frac;
+    warmup_acceptance = acceptance }

@@ -24,32 +24,98 @@ let pieces_of_field field =
     predicate is exact (clipped union boundary), applied as a local
     filter so rejected positions never cost a scene-level iteration.
 
-    Only applied when the container is a {e single convex polygon}.
-    The runtime containment requirement checks nine sample points of
-    the box ({!Scenic_core.Ops.is_in}: center, corners, edge
-    midpoints); on a convex container those checks imply the whole box
-    — hence the inscribed disc — is contained, so erosion is a sound
-    necessary condition.  On a non-convex union the point checks admit
-    boxes that straddle concavities and internal corners with their
-    center closer than [min_radius] to the union boundary; eroding
-    there discards accepted-scene mass and visibly shifts the sampled
-    distribution (caught by the [scenic conformance] differential KS
-    oracle on the oncoming scenario: ~11% of accepted ego positions
-    fell in the eroded band). *)
-let containment_filter ~container ~min_radius region =
+    Applied when the container is a {e single convex polygon}, or —
+    given [max_diameter], an upper bound on the object's bounding-box
+    diagonal — when the container's convex pieces are pairwise farther
+    apart than that diameter.  The runtime containment requirement
+    checks nine sample points of the box ({!Scenic_core.Ops.is_in}:
+    center, corners, edge midpoints); on a convex container those
+    checks imply the whole box — hence the inscribed disc — is
+    contained, so erosion is a sound necessary condition.  On a
+    non-convex union the point checks admit boxes that straddle
+    concavities and internal corners with their center closer than
+    [min_radius] to the union boundary; eroding there discards
+    accepted-scene mass and visibly shifts the sampled distribution
+    (caught by the [scenic conformance] differential KS oracle on the
+    oncoming scenario: ~11% of accepted ego positions fell in the
+    eroded band).  When every piece pair is separated by more than the
+    box diagonal, no box can straddle two pieces: all nine check points
+    land in the {e same} convex piece, the whole box lies inside it,
+    and erosion of the union coincides with per-piece erosion — sound
+    again. *)
+
+(* distance between a point and a segment *)
+let dist_point_seg p a b =
+  let ab = G.Vec.sub b a in
+  let abx = G.Vec.x ab and aby = G.Vec.y ab in
+  let len2 = (abx *. abx) +. (aby *. aby) in
+  if len2 <= 0. then G.Vec.dist p a
+  else
+    let ap = G.Vec.sub p a in
+    let t = ((G.Vec.x ap *. abx) +. (G.Vec.y ap *. aby)) /. len2 in
+    let t = Float.max 0. (Float.min 1. t) in
+    G.Vec.dist p (G.Vec.add a (G.Vec.scale t ab))
+
+(* distance between two non-crossing segments *)
+let dist_seg_seg (a1, b1) (a2, b2) =
+  Float.min
+    (Float.min (dist_point_seg a1 a2 b2) (dist_point_seg b1 a2 b2))
+    (Float.min (dist_point_seg a2 a1 b1) (dist_point_seg b2 a1 b1))
+
+let edges_of poly =
+  match G.Polygon.vertices poly with
+  | [] -> []
+  | v0 :: _ as vs ->
+      let rec go = function
+        | [ last ] -> [ (last, v0) ]
+        | a :: (b :: _ as rest) -> (a, b) :: go rest
+        | [] -> []
+      in
+      go vs
+
+(** Exact distance between two disjoint convex polygons: the minimum
+    over boundary edge pairs (0 when they overlap). *)
+let convex_poly_distance p q =
+  if G.Polygon.overlaps p q then 0.
+  else
+    List.fold_left
+      (fun acc ep ->
+        List.fold_left (fun acc eq -> Float.min acc (dist_seg_seg ep eq)) acc
+          (edges_of q))
+      infinity (edges_of p)
+
+let pieces_separated_by polys d =
+  let rec go = function
+    | [] | [ _ ] -> true
+    | p :: rest ->
+        List.for_all (fun q -> convex_poly_distance p q > d) rest && go rest
+  in
+  go polys
+
+let containment_filter ?max_diameter ~container ~min_radius region =
   match G.Region.polyset container with
   | None -> None
-  | Some c_ps -> (
-      match G.Polyset.polygons c_ps with
+  | Some c_ps ->
+      let erode () =
+        let pred = G.Polyset.erode_pred c_ps min_radius in
+        Some
+          (G.Region.filtered
+             ~fname:(Printf.sprintf "erode(%.2f)" min_radius)
+             region pred)
+      in
+      (match G.Polyset.polygons c_ps with
       | [ _ ] ->
           (* single polygon; polyset polygons are convex by
              construction *)
-          let pred = G.Polyset.erode_pred c_ps min_radius in
-          Some
-            (G.Region.filtered
-               ~fname:(Printf.sprintf "erode(%.2f)" min_radius)
-               region pred)
-      | _ -> None)
+          erode ()
+      | pieces -> (
+          match max_diameter with
+          | Some d when pieces_separated_by pieces d ->
+              (* boxes cannot straddle pieces, so the union's erosion
+                 predicate already erodes each convex piece
+                 independently *)
+              erode ()
+          | _ -> None))
 
 (** {b Pruning based on orientation} — Algorithm 2, [pruneByHeading].
     [map] is the list of pieces of the pruned object's region;
@@ -57,7 +123,17 @@ let containment_filter ~container ~min_radius region =
     single shared map; passing it twice reproduces that exactly).
     [rel] = (lo, hi) is the allowed relative-heading interval between
     the two field orientations, [delta] the per-object alignment
-    wiggle, [max_dist] the distance bound M. *)
+    wiggle, [max_dist] the distance bound M.
+
+    [max_dist] must bound the {e center-to-center} distance, not just
+    the view distance: the visibility check ({!Scenic_geometry
+    .Visibility.sees_box}) accepts targets whose center lies up to
+    [viewDistance + circumradius + 1e-6] away (any corner in range
+    suffices), so callers must fold the target's bounding-box
+    circumradius plus tolerance slack into M before dilating — an
+    off-by-epsilon here under-dilates and prunes accepted-scene mass
+    (flagged by the differential oracle at high sample counts on
+    bumper-to-bumper). *)
 let prune_by_heading ~(map : piece list) ~(others : piece list)
     ~rel:(rel_lo, rel_hi) ~delta ~max_dist : G.Polygon.t list =
   let result = ref [] in

@@ -11,7 +11,17 @@
     supervised entry point {!sample_outcome} returns a structured
     {!outcome} instead of raising, so callers can report {e which}
     requirement exhausted the budget.  {!sample_with_stats} remains as
-    a thin compatibility wrapper raising [Zero_probability]. *)
+    a thin compatibility wrapper raising [Zero_probability].
+
+    Per-iteration memoisation uses a dense slot table: every random
+    node reachable from a scenario gets a small-integer slot
+    ({!ensure_slots}), and each iteration bumps an epoch stamp instead
+    of allocating a hash table, so a rejected draw costs a handful of
+    array writes.  Requirements are checked in the order chosen by
+    domain propagation ([scenario.check_order], most-falsifiable first)
+    with statically-true ones ([scenario.static_true]) skipped
+    entirely; both default to the no-op for unpropagated scenarios,
+    reproducing the historical RNG stream exactly. *)
 
 open Scenic_core
 open Value
@@ -24,12 +34,16 @@ exception Rejected of string
     during forcing (e.g. an empty visible region) — treated as a
     requirement violation for that iteration *)
 
-(* Choice/discrete supports converted to arrays once per node (they are
-   immutable after compilation), replacing the O(n)-per-draw [List.nth]
-   of the original implementation. *)
+(* Distribution supports converted once per node (rkinds are fixed by
+   the time a sampler is built — pruning and propagation rewrite them
+   strictly before {!create}), replacing the O(n)-per-draw [List.nth]
+   and per-draw weight revalidation of the original implementation. *)
 type conv =
   | C_choice of Value.value array
   | C_discrete of Value.value array * Value.value array  (** values, weights *)
+  | C_discrete_const of Value.value array * float array
+      (** values, cumulative weights (validated once) *)
+  | C_interval_const of float * float  (** validated constant bounds *)
 
 type cache = (int, conv) Hashtbl.t
 
@@ -46,25 +60,134 @@ let convert cache (n : Value.rnode) =
         | R_discrete pairs ->
             if pairs = [] then
               Errors.invalid_arg_error "Discrete over an empty set of options";
-            C_discrete
-              ( Array.of_list (List.map fst pairs),
-                Array.of_list (List.map snd pairs) )
+            let vals = Array.of_list (List.map fst pairs) in
+            let wts = List.map snd pairs in
+            if List.for_all (function Vfloat _ -> true | _ -> false) wts then begin
+              let w =
+                Array.of_list
+                  (List.map
+                     (function Vfloat x -> x | _ -> assert false)
+                     wts)
+              in
+              Array.iter
+                (fun x ->
+                  if Float.is_nan x then
+                    Errors.invalid_arg_error "Discrete weight is NaN";
+                  if x < 0. then
+                    Errors.invalid_arg_error "Discrete weight %g is negative" x)
+                w;
+              (* same left-to-right accumulation as
+                 {!Scenic_prob.Distribution.sample}, so the cumulative
+                 array reproduces its float values bit-for-bit *)
+              let cum = Array.make (Array.length w) 0. in
+              let acc = ref 0. in
+              Array.iteri
+                (fun i x ->
+                  acc := !acc +. x;
+                  cum.(i) <- !acc)
+                w;
+              if !acc <= 0. then
+                Errors.invalid_arg_error "Discrete weights sum to zero";
+              C_discrete_const (vals, cum)
+            end
+            else C_discrete (vals, Array.of_list wts)
+        | R_interval (Vfloat lo, Vfloat hi) ->
+            if Float.is_nan lo || Float.is_nan hi then
+              Errors.invalid_arg_error "Range bound is NaN";
+            if lo > hi then
+              Errors.invalid_arg_error "Range (%g, %g): low bound exceeds high"
+                lo hi;
+            C_interval_const (lo, hi)
         | _ -> assert false
       in
       Hashtbl.replace cache n.rid c;
       c
 
+(* --- dense per-iteration memo ----------------------------------------- *)
+
+type memo = {
+  vals : Value.value array;  (** slot-indexed memoised values *)
+  stamps : int array;  (** epoch at which each slot was written *)
+  mutable epoch : int;
+  extra : (int, Value.value) Hashtbl.t;
+      (** overflow for nodes without a slot in this table (slotless
+          nodes, or nodes slotted for a different scenario); also the
+          sole store when [vals] is empty — the compatibility path for
+          caller-supplied hash-table memos, whose pre-seeded entries
+          pin node values *)
+  mutable extra_used : bool;
+}
+
+let memo_create n =
+  {
+    vals = Array.make n Vnone;
+    stamps = Array.make n 0;
+    epoch = 1;
+    extra = Hashtbl.create 16;
+    extra_used = false;
+  }
+
+let memo_of_hashtbl h =
+  { vals = [||]; stamps = [||]; epoch = 1; extra = h; extra_used = true }
+
+(* start a fresh iteration: invalidate every slot in O(1) *)
+let memo_next m =
+  m.epoch <- m.epoch + 1;
+  if m.extra_used then begin
+    Hashtbl.reset m.extra;
+    m.extra_used <- false
+  end
+
+let memo_copy m =
+  {
+    vals = Array.copy m.vals;
+    stamps = Array.copy m.stamps;
+    epoch = m.epoch;
+    extra = Hashtbl.copy m.extra;
+    extra_used = m.extra_used;
+  }
+
+let memo_find m (n : Value.rnode) =
+  let s = n.rslot in
+  if s >= 0 && s < Array.length m.vals then
+    if m.stamps.(s) = m.epoch then Some m.vals.(s) else None
+  else Hashtbl.find_opt m.extra n.rid
+
+let memo_add m (n : Value.rnode) v =
+  let s = n.rslot in
+  if s >= 0 && s < Array.length m.vals then begin
+    m.vals.(s) <- v;
+    m.stamps.(s) <- m.epoch
+  end
+  else begin
+    m.extra_used <- true;
+    Hashtbl.replace m.extra n.rid v
+  end
+
+(** Assign a dense memo slot to every random node reachable from the
+    scenario.  Idempotent and incremental: nodes added later (e.g. the
+    stratum tables spliced in by {!Propagate}) get fresh slots on the
+    next call.  Must run before a scenario is shared read-only across
+    domains ({!Parallel.run} calls it before starting its pool). *)
+let ensure_slots (scenario : Scenario.t) =
+  Scenario.iter_rnodes
+    (fun n ->
+      if n.rslot < 0 then begin
+        n.rslot <- scenario.n_slots;
+        scenario.n_slots <- scenario.n_slots + 1
+      end)
+    scenario
+
 (** Force a value to a concrete one under the current draw, memoising
-    random nodes by id. *)
-let rec force_c cache rng (memo : (int, Value.value) Hashtbl.t)
-    (v : Value.value) : Value.value =
+    random nodes. *)
+let rec force_c cache rng (memo : memo) (v : Value.value) : Value.value =
   match v with
   | Vrandom n -> (
-      match Hashtbl.find_opt memo n.rid with
+      match memo_find memo n with
       | Some c -> c
       | None ->
           let c = eval_node cache rng memo n in
-          Hashtbl.replace memo n.rid c;
+          memo_add memo n c;
           c)
   | Vlist vs -> Vlist (List.map (force_c cache rng memo) vs)
   | Vdict kvs ->
@@ -84,6 +207,13 @@ and eval_node cache rng memo (n : Value.rnode) : Value.value =
   let f v = force_c cache rng memo v in
   let fl v = Ops.as_float (f v) in
   match n.rkind with
+  | R_interval (Vfloat _, Vfloat _) -> (
+      match convert cache n with
+      | C_interval_const (lo, hi) ->
+          (* same draw shape as {!Scenic_prob.Distribution.sample} on
+             [Uniform_interval] *)
+          Vfloat (lo +. (P.Rng.float rng *. (hi -. lo)))
+      | _ -> assert false)
   | R_interval (lo, hi) ->
       let lo = fl lo and hi = fl hi in
       if Float.is_nan lo || Float.is_nan hi then
@@ -101,9 +231,22 @@ and eval_node cache rng memo (n : Value.rnode) : Value.value =
   | R_choice _ -> (
       match convert cache n with
       | C_choice vs -> f vs.(P.Rng.int rng (Array.length vs))
-      | C_discrete _ -> assert false)
+      | _ -> assert false)
   | R_discrete _ -> (
       match convert cache n with
+      | C_discrete_const (vals, cum) ->
+          (* one uniform draw + binary search for the first index with
+             [r < cum.(i)] — index-identical (and stream-identical) to
+             the linear cumulative scan of [Distribution.sample] *)
+          let k = Array.length cum in
+          let total = cum.(k - 1) in
+          let r = P.Rng.float rng *. total in
+          let lo = ref 0 and hi = ref (k - 1) in
+          while !lo < !hi do
+            let mid = (!lo + !hi) / 2 in
+            if r < cum.(mid) then hi := mid else lo := mid + 1
+          done;
+          f vals.(!lo)
       | C_discrete (vals, wts) ->
           let weights =
             Array.map
@@ -123,7 +266,7 @@ and eval_node cache rng memo (n : Value.rnode) : Value.value =
               (P.Distribution.sample (P.Distribution.discrete weights) rng)
           in
           f vals.(idx)
-      | C_choice _ -> assert false)
+      | _ -> assert false)
   | R_uniform_in region -> (
       match f region with
       | Vregion r -> (
@@ -134,8 +277,10 @@ and eval_node cache rng memo (n : Value.rnode) : Value.value =
   | R_op (_, args, fn) -> fn (List.map f args)
 
 (** [force] with a throwaway conversion cache, for one-off forcing
-    outside a sampler (tests, helpers). *)
-let force rng memo v = force_c (Hashtbl.create 8) rng memo v
+    outside a sampler (tests, helpers).  The caller-supplied hash table
+    is used directly as the memo, so pre-seeded entries pin node
+    values. *)
+let force rng memo v = force_c (Hashtbl.create 8) rng (memo_of_hashtbl memo) v
 
 (* --- scene extraction ---------------------------------------------------- *)
 
@@ -182,6 +327,11 @@ type t = {
   probe : Probe.t;
       (** per-sample instrumentation; {!Probe.noop} costs nothing in
           the iteration loop (probe points are per-[sample] call) *)
+  reqs : Scenario.requirement array;
+  order : int array;
+      (** requirement indices in evaluation order, with
+          statically-true requirements already removed *)
+  memo : memo;
   mutable cumulative : int;
 }
 
@@ -197,6 +347,20 @@ let create ?max_iters ?timeout ?clock ?budget ?(track_best = false)
           ~max_iters:(Option.value ~default:default_max_iters max_iters)
           ?timeout ?clock ()
   in
+  ensure_slots scenario;
+  let reqs = Array.of_list scenario.Scenario.requirements in
+  let order =
+    match scenario.Scenario.check_order with
+    | Some o -> o
+    | None -> (
+        match scenario.Scenario.static_true with
+        | [] -> Array.init (Array.length reqs) Fun.id
+        | static ->
+            Array.of_list
+              (List.filter
+                 (fun i -> not (List.mem i static))
+                 (List.init (Array.length reqs) Fun.id)))
+  in
   {
     scenario;
     rng;
@@ -205,34 +369,45 @@ let create ?max_iters ?timeout ?clock ?budget ?(track_best = false)
     track_best;
     cache = Hashtbl.create 16;
     probe;
+    reqs;
+    order;
+    memo = memo_create scenario.Scenario.n_slots;
     cumulative = 0;
   }
 
 let diagnosis t = t.diag
 
-(* Check the requirements in order under the current draw; soft
-   requirements are enforced with their probability.  Returns [None]
-   when all hold, otherwise [Some (first_failed_index, n_violated)].
-   Without [track_best] evaluation short-circuits at the first failure,
-   reproducing the RNG stream of the original [List.for_all] loop. *)
+(* Check the requirements in [t.order] under the current draw; soft
+   requirements are enforced with their probability (the pass
+   probability is a product over independent coins, so it does not
+   depend on the evaluation order).  Returns [None] when all hold,
+   otherwise [Some (first_failed_original_index, n_violated)].  Without
+   [track_best] evaluation short-circuits at the first failure; with
+   the default program order this reproduces the RNG stream of the
+   original [List.for_all] loop exactly. *)
 let check_requirements t memo =
   let first = ref (-1) and violated = ref 0 in
-  let rec go idx = function
-    | [] -> ()
-    | (r : Scenario.requirement) :: rest ->
-        let enforced =
-          match r.prob with None -> true | Some p -> P.Rng.float t.rng < p
-        in
-        let ok =
-          (not enforced) || Ops.truthy (force_c t.cache t.rng memo r.cond)
-        in
-        if not ok then begin
-          incr violated;
-          if !first < 0 then first := idx
-        end;
-        if ok || t.track_best then go (idx + 1) rest
+  let n = Array.length t.order in
+  let rec go k =
+    if k < n then begin
+      let idx = t.order.(k) in
+      let r = t.reqs.(idx) in
+      let enforced =
+        match r.Scenario.prob with
+        | None -> true
+        | Some p -> P.Rng.float t.rng < p
+      in
+      let ok =
+        (not enforced) || Ops.truthy (force_c t.cache t.rng memo r.Scenario.cond)
+      in
+      if not ok then begin
+        incr violated;
+        if !first < 0 then first := idx
+      end;
+      if ok || t.track_best then go (k + 1)
+    end
   in
-  go 0 t.scenario.requirements;
+  go 0;
   if !first < 0 then None else Some (!first, !violated)
 
 let extract_scene t memo : Scene.t =
@@ -259,7 +434,7 @@ let extract_scene t memo : Scene.t =
 let sample_outcome_uninstrumented t : outcome =
   let run = Budget.start t.budget in
   (* least-violating rejected draw, for best-effort recovery *)
-  let best : (int * (int, Value.value) Hashtbl.t) option ref = ref None in
+  let best : (int * memo) option ref = ref None in
   let rec attempt i =
     match Budget.check run ~iters:i with
     | Some reason ->
@@ -274,7 +449,8 @@ let sample_outcome_uninstrumented t : outcome =
         in
         Exhausted { reason; diagnosis = t.diag; used = i - 1; best = best_scene }
     | None -> (
-        let memo = Hashtbl.create 64 in
+        memo_next t.memo;
+        let memo = t.memo in
         match check_requirements t memo with
         | exception Rejected msg ->
             Diagnose.record t.diag (Diagnose.Local msg);
@@ -283,7 +459,7 @@ let sample_outcome_uninstrumented t : outcome =
             Diagnose.record t.diag (Diagnose.Requirement first);
             (match !best with
             | Some (v, _) when v <= violated -> ()
-            | _ -> if t.track_best then best := Some (violated, memo));
+            | _ -> if t.track_best then best := Some (violated, memo_copy memo));
             attempt (i + 1)
         | None -> (
             match extract_scene t memo with

@@ -25,6 +25,7 @@ type t = {
   scenario : Scenic_core.Scenario.t;
   rejection : Rejection.t;
   prune_stats : Analyze.stats option;
+  propagate_stats : Propagate.stats option;
   degraded : string list;
       (** region labels whose pruned sample space was degenerate;
           nonempty iff the unpruned fallback was taken *)
@@ -32,17 +33,23 @@ type t = {
 }
 
 (** Build a sampler for a scenario.  [prune] (default true) applies the
-    domain-specific pruning of Sec. 5.2 before sampling; the rewrites
-    preserve the sampled distribution.  [prune_fn] overrides the
-    pruning pass itself (used by the fault-injection harness to test
-    the degenerate-prune fallback).  [max_iters]/[timeout]/[clock] (or
-    a prebuilt [budget]) bound each [sample] call.  [probe] instruments
-    the pipeline: a [prune] span (with per-pass children and a
-    [prune.area_removed_frac] gauge) here, [rejection.sample] spans and
-    sampling metrics on every draw. *)
-let create ?(prune = true) ?prune_options ?prune_fn ?max_iters ?timeout ?clock
-    ?budget ?(on_exhausted = `Raise) ?(probe = Probe.noop) ~seed scenario =
-  let snap = if prune then Analyze.snapshot scenario else [] in
+    domain-specific pruning of Sec. 5.2 before sampling; [propagate]
+    (default true) then runs interval-domain propagation
+    ({!Propagate.run}: static requirement elimination, check
+    reordering, domain stratification and shaving).  Both families of
+    rewrites preserve the sampled distribution.  [prune_fn] overrides
+    the pruning pass itself (used by the fault-injection harness to
+    test the degenerate-prune fallback).  [max_iters]/[timeout]/[clock]
+    (or a prebuilt [budget]) bound each [sample] call.  [probe]
+    instruments the pipeline: [prune] / [propagate] spans (with
+    per-pass counters and a [prune.area_removed_frac] gauge) here,
+    [rejection.sample] spans and sampling metrics on every draw. *)
+let create ?(prune = true) ?(propagate = true) ?prune_options ?prune_fn
+    ?max_iters ?timeout ?clock ?budget ?(on_exhausted = `Raise)
+    ?(probe = Probe.noop) ~seed scenario =
+  let snap =
+    if prune || propagate then Some (Analyze.snapshot scenario) else None
+  in
   let prune_stats =
     if prune then
       Some
@@ -58,7 +65,7 @@ let create ?(prune = true) ?prune_options ?prune_fn ?max_iters ?timeout ?clock
       match Analyze.degenerate_regions scenario with
       | [] -> []
       | bad ->
-          Analyze.restore snap;
+          Option.iter Analyze.restore snap;
           probe.Probe.add "prune.degenerate_fallbacks" 1;
           Log.warn (fun m ->
               m
@@ -70,12 +77,36 @@ let create ?(prune = true) ?prune_options ?prune_fn ?max_iters ?timeout ?clock
   if prune && probe.Probe.enabled then begin
     (* measured sample-space shrinkage: conservative where an area is
        not computable (see {!Analyze.snapshot_area}) *)
-    let before = Analyze.snapshot_area snap in
-    if before > 0. then
-      let after = Analyze.snapshot_area ~current:true snap in
-      probe.Probe.set_gauge "prune.area_removed_frac"
-        (Float.max 0. ((before -. after) /. before))
+    match snap with
+    | None -> ()
+    | Some snap ->
+        let before = Analyze.snapshot_area snap in
+        if before > 0. then
+          let after = Analyze.snapshot_area ~current:true snap in
+          probe.Probe.set_gauge "prune.area_removed_frac"
+            (Float.max 0. ((before -. after) /. before))
   end;
+  let propagate_stats =
+    if not propagate then None
+    else
+      match probe.Probe.span "propagate" (fun () -> Propagate.run ~probe scenario)
+      with
+      | stats -> Some stats
+      | exception Scenic_core.Errors.Scenic_error _ ->
+          (* Propagation proved the scenario statically infeasible.
+             Restore the original scenario (undoing pruning too — it is
+             moot on a zero-probability program) and let the rejection
+             loop exhaust its budget, which reports the responsible
+             requirement through the usual diagnosis channel. *)
+          Option.iter Analyze.restore snap;
+          probe.Probe.add "propagate.infeasible_fallbacks" 1;
+          Log.warn (fun m ->
+              m
+                "domain propagation proved a requirement statically \
+                 unsatisfiable; sampling the unpropagated scenario (expect \
+                 budget exhaustion)");
+          None
+  in
   let rng = P.Rng.create seed in
   {
     scenario;
@@ -83,19 +114,20 @@ let create ?(prune = true) ?prune_options ?prune_fn ?max_iters ?timeout ?clock
       Rejection.create ?max_iters ?timeout ?clock ?budget
         ~track_best:(on_exhausted = `Best_effort) ~probe ~rng scenario;
     prune_stats;
+    propagate_stats;
     degraded;
     on_exhausted;
   }
 
 (** Compile Scenic source and build a sampler for it. *)
-let of_source ?prune ?prune_options ?max_iters ?timeout ?clock ?budget
-    ?on_exhausted ?(probe = Probe.noop) ?file ?search_path ~seed src =
+let of_source ?prune ?propagate ?prune_options ?max_iters ?timeout ?clock
+    ?budget ?on_exhausted ?(probe = Probe.noop) ?file ?search_path ~seed src =
   let scenario =
     probe.Probe.span "compile" (fun () ->
         Scenic_core.Eval.compile ~probe ?file ?search_path src)
   in
-  create ?prune ?prune_options ?max_iters ?timeout ?clock ?budget ?on_exhausted
-    ~probe ~seed scenario
+  create ?prune ?propagate ?prune_options ?max_iters ?timeout ?clock ?budget
+    ?on_exhausted ~probe ~seed scenario
 
 (** The supervised entry point: never raises on budget exhaustion. *)
 let sample_outcome t = Rejection.sample_outcome t.rejection
@@ -131,6 +163,9 @@ let degraded t = t.degraded
 (** The compiled (and, unless degraded, pruned) scenario — ready to
     hand to {!Parallel.run} for batch drawing. *)
 let scenario t = t.scenario
+
+(** Domain-propagation statistics, when the pass ran and succeeded. *)
+let propagate_stats t = t.propagate_stats
 
 (** Iterations accumulated so far (for the pruning-effectiveness
     experiment E8). *)

@@ -218,6 +218,54 @@ let suite =
         let r = run [ "sample"; "--on-error"; "bogus"; f ] in
         Sys.remove f;
         check_code "--on-error bogus" 124 r);
+    test_case "omitting --jobs is byte-identical to --jobs 1" `Quick (fun () ->
+        (* the former sequential runtime shared one RNG stream across
+           the batch, so `scenic sample` disagreed with `--jobs 1` on
+           the same seed; both now run the deterministic batch *)
+        let f = scenario_file feasible in
+        let seq = run [ "sample"; "--seed"; "11"; "-n"; "5"; f ] in
+        let j1 = run [ "sample"; "--seed"; "11"; "-n"; "5"; "--jobs"; "1"; f ] in
+        let seq_skip =
+          run
+            [ "sample"; "--seed"; "11"; "-n"; "5"; "--on-error"; "skip"; f ]
+        in
+        let j1_skip =
+          run
+            [ "sample"; "--seed"; "11"; "-n"; "5"; "--jobs"; "1"; "--on-error";
+              "skip"; f ]
+        in
+        Sys.remove f;
+        check_code "sequential" 0 seq;
+        check_code "--jobs 1" 0 j1;
+        let _, out_seq, _ = seq and _, out_j1, _ = j1 in
+        Alcotest.(check string) "stdout identical" out_j1 out_seq;
+        check_code "sequential skip" 0 seq_skip;
+        check_code "--jobs 1 skip" 0 j1_skip;
+        let _, out_seq_skip, _ = seq_skip and _, out_j1_skip, _ = j1_skip in
+        Alcotest.(check string) "stdout identical under --on-error skip"
+          out_j1_skip out_seq_skip);
+    test_case "--no-propagate samples the same scenes more slowly" `Quick
+      (fun () ->
+        (* propagation is distribution-preserving but changes the draw
+           stream, so only well-formedness is compared here (the KS
+           oracle compares the distributions) *)
+        let f = scenario_file feasible in
+        let off = run [ "sample"; "--seed"; "5"; "-n"; "3"; "--no-propagate"; f ] in
+        let on = run [ "sample"; "--seed"; "5"; "-n"; "3"; f ] in
+        Sys.remove f;
+        check_code "--no-propagate" 0 off;
+        check_code "default" 0 on;
+        let _, out_off, _ = off in
+        Alcotest.(check bool)
+          "scenes emitted" true
+          (contains ~needle:"--- scene 3" out_off));
+    test_case "--stats surfaces the propagation counters" `Quick (fun () ->
+        let f = scenario_file feasible in
+        let r = run [ "sample"; "--seed"; "5"; "-n"; "2"; "--stats"; f ] in
+        Sys.remove f;
+        check_code "--stats" 0 r;
+        check_stderr "--stats" "propagate.static_true" r;
+        check_stderr "--stats" "propagate.retained_frac" r);
     test_case "conformance --index replays one fuzz program" `Quick (fun () ->
         let r = run [ "conformance"; "--seed"; "0"; "--index"; "0" ] in
         check_code "replay" 0 r;

@@ -1,0 +1,217 @@
+(** Tests for interval/box constraint propagation ({!Scenic_sampler
+    .Propagate}): the interval arithmetic itself, static-infeasibility
+    detection (with the error span pointing at the responsible
+    [require]), distribution preservation of the full pass under the
+    differential KS oracle, and the mars-bottleneck effectiveness pins
+    that motivated the pass. *)
+
+open Helpers
+module C = Scenic_core
+module G = Scenic_geometry
+module P = Scenic_prob
+module I = Scenic_sampler.Propagate.Interval
+
+let test_case = Alcotest.test_case
+let check_float = Alcotest.(check (float 1e-12))
+
+(* --- interval arithmetic ------------------------------------------------- *)
+
+let interval_tests =
+  [
+    test_case "make rejects inverted and NaN bounds" `Quick (fun () ->
+        Alcotest.check_raises "inverted"
+          (Invalid_argument "Interval.make: bad bounds (2, 1)") (fun () ->
+            ignore (I.make 2. 1.));
+        (try
+           ignore (I.make Float.nan 1.);
+           Alcotest.fail "nan accepted"
+         with Invalid_argument _ -> ()));
+    test_case "add/sub/neg are exact on endpoints" `Quick (fun () ->
+        let a = I.make 1. 2. and b = I.make (-3.) 5. in
+        let s = I.add a b in
+        check_float "add.lo" (-2.) s.I.lo;
+        check_float "add.hi" 7. s.I.hi;
+        let d = I.sub a b in
+        check_float "sub.lo" (-4.) d.I.lo;
+        check_float "sub.hi" 5. d.I.hi;
+        let n = I.neg a in
+        check_float "neg.lo" (-2.) n.I.lo;
+        check_float "neg.hi" (-1.) n.I.hi);
+    test_case "abs folds sign-straddling intervals" `Quick (fun () ->
+        let a = I.abs (I.make (-3.) 2.) in
+        check_float "lo" 0. a.I.lo;
+        check_float "hi" 3. a.I.hi;
+        let b = I.abs (I.make (-5.) (-4.)) in
+        check_float "neg lo" 4. b.I.lo;
+        check_float "neg hi" 5. b.I.hi);
+    test_case "mul takes the product hull" `Quick (fun () ->
+        let p = I.mul (I.make (-2.) 3.) (I.make (-1.) 4.) in
+        check_float "lo" (-8.) p.I.lo;
+        check_float "hi" 12. p.I.hi);
+    test_case "div declines zero-straddling divisors" `Quick (fun () ->
+        (match I.div (I.make 1. 2.) (I.make (-1.) 1.) with
+        | Some _ -> Alcotest.fail "division by a zero-straddling interval"
+        | None -> ());
+        match I.div (I.make 1. 2.) (I.make 2. 4.) with
+        | None -> Alcotest.fail "sound division declined"
+        | Some q ->
+            check_float "lo" 0.25 q.I.lo;
+            check_float "hi" 1. q.I.hi);
+    test_case "hull and contains agree" `Quick (fun () ->
+        let h = I.hull (I.make 0. 1.) (I.make 3. 4.) in
+        Alcotest.(check bool) "inside gap" true (I.contains h 2.);
+        check_float "width" 4. (I.width h));
+    test_case "empty intersection raises Zero_probability at the span" `Quick
+      (fun () ->
+        let loc =
+          {
+            Scenic_lang.Loc.file = "t.scenic";
+            start = { line = 7; col = 0 };
+            stop = { line = 7; col = 10 };
+          }
+        in
+        try
+          ignore (I.intersect ~loc (I.make 0. 1.) (I.make 2. 3.));
+          Alcotest.fail "empty intersection accepted"
+        with C.Errors.Scenic_error (C.Errors.Zero_probability, span) ->
+          Alcotest.(check string) "file" "t.scenic" span.Scenic_lang.Loc.file;
+          Alcotest.(check int) "line" 7 span.Scenic_lang.Loc.start.line);
+  ]
+
+(* --- static elimination -------------------------------------------------- *)
+
+let static_tests =
+  [
+    test_case "statically infeasible require raises at its source line" `Quick
+      (fun () ->
+        (* x = (0, 1) on line 3 of the program; the contradiction is the
+           require on line 4, and the error must say so *)
+        let src =
+          "import testLib\nego = Object at 0 @ 0\nx = (0, 1)\nrequire x > 2\n"
+        in
+        let scenario = compile src in
+        try
+          ignore (Scenic_sampler.Propagate.run scenario);
+          Alcotest.fail "infeasible scenario propagated"
+        with C.Errors.Scenic_error (C.Errors.Zero_probability, span) ->
+          Alcotest.(check int) "require line" 4 span.Scenic_lang.Loc.start.line);
+    test_case "statically true requires are eliminated from the loop" `Quick
+      (fun () ->
+        let src =
+          "import testLib\nego = Object at 0 @ 0\nx = (0, 1)\nrequire x >= 0\n"
+        in
+        let scenario = compile src in
+        let stats = Scenic_sampler.Propagate.run scenario in
+        Alcotest.(check bool) "static_true" true
+          (stats.Scenic_sampler.Propagate.static_true >= 1);
+        Alcotest.(check bool) "recorded on the scenario" true
+          (scenario.C.Scenario.static_true <> []));
+    test_case "the sampler falls back to the unpropagated scenario" `Quick
+      (fun () ->
+        (* Sampler.create must not raise on static infeasibility: it
+           restores the snapshot and lets the budget exhaust with a
+           diagnosis (the supervised degradation ladder) *)
+        let src =
+          "import testLib\nego = Object at 0 @ 0\nx = (0, 1)\nrequire x > 2\n"
+        in
+        let sampler =
+          Scenic_sampler.Sampler.create ~max_iters:50 ~seed:3 (compile src)
+        in
+        match Scenic_sampler.Sampler.sample_outcome sampler with
+        | Scenic_sampler.Rejection.Sampled _ ->
+            Alcotest.fail "sampled an infeasible scenario"
+        | Scenic_sampler.Rejection.Exhausted _ -> ());
+  ]
+
+(* --- distribution preservation (differential KS) ------------------------- *)
+
+(* The conformance suite runs the full-size oracle on every gallery
+   scenario ([scenic conformance]); here a faster pass pins the same
+   property in the unit suite, via the same Differential arms. *)
+let ks_preservation_tests =
+  let check_scenario name src =
+    test_case (name ^ ": propagated ≡ plain under KS") `Slow (fun () ->
+        Scenic_worlds.Scenic_worlds_init.init ();
+        Scenic_conformance.World.ensure ();
+        let checks =
+          Scenic_conformance.Differential.prune_vs_plain ~seed:11 ~n:200 ~name
+            src
+        in
+        Alcotest.(check bool) "some projections compared" true (checks <> []);
+        let report =
+          Scenic_conformance.Check.judge ~alpha:0.01 ~elapsed_s:0. checks
+        in
+        if not (Scenic_conformance.Check.ok report) then
+          Alcotest.failf "%d projection(s) shifted: %s"
+            (List.length report.Scenic_conformance.Check.failures)
+            (String.concat ", "
+               (List.map
+                  (fun (c : Scenic_conformance.Check.t) ->
+                    c.Scenic_conformance.Check.name)
+                  report.Scenic_conformance.Check.failures)))
+  in
+  [
+    check_scenario "simplest" Scenic_harness.Scenarios.simplest;
+    check_scenario "oncoming" Scenic_harness.Scenarios.oncoming;
+    check_scenario "bumper-to-bumper" Scenic_harness.Scenarios.bumper_to_bumper;
+    check_scenario "mars-bottleneck" Scenic_harness.Scenarios.mars_bottleneck;
+    check_scenario "oncoming-anywhere" Scenic_harness.Scenarios.oncoming_anywhere;
+  ]
+
+(* --- effectiveness pins (the rejection-tail bugfix) ---------------------- *)
+
+let effectiveness_tests =
+  [
+    test_case "mars-bottleneck: stratification collapses the rejection tail"
+      `Slow (fun () ->
+        Scenic_worlds.Scenic_worlds_init.init ();
+        let n = 100 in
+        let iters propagate =
+          let sampler =
+            Scenic_sampler.Sampler.of_source ~propagate ~seed:5 ~file:"mars"
+              Scenic_harness.Scenarios.mars_bottleneck
+          in
+          for _ = 1 to n do
+            ignore (Scenic_sampler.Sampler.sample sampler)
+          done;
+          ( float_of_int (Scenic_sampler.Sampler.total_iterations sampler)
+            /. float_of_int n,
+            Scenic_sampler.Sampler.propagate_stats sampler )
+        in
+        let plain_iters, _ = iters false in
+        let prop_iters, stats = iters true in
+        (match stats with
+        | None -> Alcotest.fail "propagation did not run"
+        | Some s ->
+            Alcotest.(check bool) "strata built" true
+              (s.Scenic_sampler.Propagate.strata > 0);
+            Alcotest.(check bool) "domain shrunk" true
+              (s.Scenic_sampler.Propagate.retained_frac < 0.5));
+        (* the paper scenario needs ~230 iterations/scene unpropagated
+           and ~30 with the stratified driver: pin a 3x improvement so
+           regressions in the propagation pass fail loudly, without
+           flaking on seed noise *)
+        Alcotest.(check bool)
+          (Printf.sprintf "mean iterations improved (%.1f -> %.1f)" plain_iters
+             prop_iters)
+          true
+          (prop_iters *. 3. < plain_iters));
+    test_case "propagation is deterministic for a scenario" `Quick (fun () ->
+        let stats () =
+          let scenario =
+            C.Eval.compile ~file:"mars"
+              Scenic_harness.Scenarios.mars_bottleneck
+          in
+          Scenic_sampler.Propagate.run scenario
+        in
+        let s1 = stats () and s2 = stats () in
+        Alcotest.(check bool) "equal stats" true (s1 = s2));
+  ]
+
+let suites =
+  [
+    ("propagate.interval", interval_tests);
+    ("propagate.static", static_tests);
+    ("propagate.ks", ks_preservation_tests);
+    ("propagate.effectiveness", effectiveness_tests);
+  ]

@@ -122,6 +122,50 @@ let prune_alg_tests =
               (G.Region.contains region (G.Vec.make 5. 5.));
             Alcotest.(check bool) "margin out" false
               (G.Region.contains region (G.Vec.make 1. 5.)));
+    test_case "containment filter erodes well-separated multi-piece unions"
+      `Quick (fun () ->
+        (* two convex pieces 50m apart: an object of bounding-box
+           diagonal 10 cannot straddle them, so the union's erosion
+           coincides with per-piece erosion and the filter fires *)
+        let p1 = G.Polygon.rectangle ~min_x:0. ~min_y:0. ~max_x:10. ~max_y:10. in
+        let p2 =
+          G.Polygon.rectangle ~min_x:60. ~min_y:0. ~max_x:70. ~max_y:10.
+        in
+        let container = G.Region.of_polyset (G.Polyset.make [ p1; p2 ]) in
+        match
+          Scenic_sampler.Prune.containment_filter ~max_diameter:10. ~container
+            ~min_radius:2. container
+        with
+        | None -> Alcotest.fail "expected the filter to fire"
+        | Some region ->
+            Alcotest.(check bool) "piece-1 center in" true
+              (G.Region.contains region (G.Vec.make 5. 5.));
+            Alcotest.(check bool) "piece-2 center in" true
+              (G.Region.contains region (G.Vec.make 65. 5.));
+            Alcotest.(check bool) "piece-1 margin out" false
+              (G.Region.contains region (G.Vec.make 1. 5.));
+            Alcotest.(check bool) "piece-2 margin out" false
+              (G.Region.contains region (G.Vec.make 69. 5.)));
+    test_case "containment filter declines straddleable multi-piece unions"
+      `Quick (fun () ->
+        (* pieces closer than the object's diagonal: a box can straddle
+           the gap with all nine check points inside the union, so
+           erosion would discard accepted-scene mass — the filter must
+           decline, with or without a diameter bound *)
+        let p1 = G.Polygon.rectangle ~min_x:0. ~min_y:0. ~max_x:10. ~max_y:10. in
+        let p2 =
+          G.Polygon.rectangle ~min_x:14. ~min_y:0. ~max_x:24. ~max_y:10.
+        in
+        let container = G.Region.of_polyset (G.Polyset.make [ p1; p2 ]) in
+        let declines r = match r with None -> true | Some _ -> false in
+        Alcotest.(check bool) "declines under a too-large diameter" true
+          (declines
+             (Scenic_sampler.Prune.containment_filter ~max_diameter:10.
+                ~container ~min_radius:2. container));
+        Alcotest.(check bool) "declines without a diameter bound" true
+          (declines
+             (Scenic_sampler.Prune.containment_filter ~container ~min_radius:2.
+                container)));
   ]
 
 (* --- analysis + end-to-end soundness -------------------------------------- *)
