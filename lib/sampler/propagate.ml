@@ -69,8 +69,13 @@ module Interval = struct
     if lo > hi then Errors.raise_at ?loc Errors.Zero_probability;
     { lo; hi }
 
-  let add a b = { lo = a.lo +. b.lo; hi = a.hi +. b.hi }
-  let sub a b = { lo = a.lo -. b.hi; hi = a.hi -. b.lo }
+  (* Arithmetic on infinite bounds (which [Range (0, infinity)]
+     programs produce) can yield NaN (0·∞, ∞−∞, ∞/∞); degrade such
+     results to the unbounded interval rather than letting a NaN
+     poison a later [make]. *)
+  let guard t = if Float.is_nan t.lo || Float.is_nan t.hi then top else t
+  let add a b = guard { lo = a.lo +. b.lo; hi = a.hi +. b.hi }
+  let sub a b = guard { lo = a.lo -. b.hi; hi = a.hi -. b.lo }
   let neg a = { lo = -.a.hi; hi = -.a.lo }
 
   let abs a =
@@ -80,22 +85,26 @@ module Interval = struct
 
   let mul a b =
     let products = [ a.lo *. b.lo; a.lo *. b.hi; a.hi *. b.lo; a.hi *. b.hi ] in
-    {
-      lo = List.fold_left Float.min infinity products;
-      hi = List.fold_left Float.max neg_infinity products;
-    }
+    if List.exists Float.is_nan products then top
+    else
+      {
+        lo = List.fold_left Float.min infinity products;
+        hi = List.fold_left Float.max neg_infinity products;
+      }
 
   (* scale by a non-negative constant (monotone) *)
-  let scale k a = { lo = k *. a.lo; hi = k *. a.hi }
+  let scale k a = guard { lo = k *. a.lo; hi = k *. a.hi }
 
   let div a b =
     if b.lo > 0. || b.hi < 0. then
       let quots = [ a.lo /. b.lo; a.lo /. b.hi; a.hi /. b.lo; a.hi /. b.hi ] in
-      Some
-        {
-          lo = List.fold_left Float.min infinity quots;
-          hi = List.fold_left Float.max neg_infinity quots;
-        }
+      if List.exists Float.is_nan quots then Some top
+      else
+        Some
+          {
+            lo = List.fold_left Float.min infinity quots;
+            hi = List.fold_left Float.max neg_infinity quots;
+          }
     else None
 end
 
@@ -376,6 +385,13 @@ type env = {
           k-d subdivision the same sub-box recurs across many cells, so
           e.g. a sub-DAG reading only (gx, gy) is evaluated once per
           distinct (gx, gy) rectangle rather than once per cell *)
+  mutable frontier_over : bool;
+      (** direct overrides on non-key nodes are in effect (the
+          separable path's [pair_false] pins the two frontier nodes
+          without touching [cur]): [pmemo]'s keys cannot see such
+          overrides, so while the flag is set [aeval] must bypass it
+          and rely on the epoch memo, which the override writers
+          invalidate explicitly *)
 }
 
 let env_with_keys (scenario : Scenario.t) rslots =
@@ -394,6 +410,7 @@ let env_with_keys (scenario : Scenario.t) rslots =
       base = Array.make n None;
       mask = Array.make n (-1);
       pmemo = Hashtbl.create 1024;
+      frontier_over = false;
     }
   in
   List.iteri (fun i s -> if s >= 0 && s < n then e.keybit.(s) <- i) rslots;
@@ -460,7 +477,7 @@ let rec aeval env (v : Value.value) : av =
                     env.base.(s) <- Some a;
                     a
                   end
-                  else if m <> env.full_mask then begin
+                  else if m <> env.full_mask && not env.frontier_over then begin
                     (* proper subset of the axes: share across cells *)
                     let key = pkey env s m in
                     let a =
@@ -1229,9 +1246,16 @@ let try_separable env (r : Scenario.requirement) (scalars : scalar array)
               sufmax_hi.(j) <- !acc
             done;
             let b_global_lo = (snd b_rects.(0)).I.lo in
-            (* verdict of the driver with both frontier nodes pinned *)
+            (* Verdict of the driver with both frontier nodes pinned.
+               These overrides are invisible to [cur], so the cross-cell
+               pmemo — keyed by key-axis bounds only — must sit out
+               while they are in effect: a sub-predicate reading one
+               side's axes would otherwise cache its verdict under the
+               first hull and replay it for every later hull.  The
+               epoch bump keeps the per-cell memo sound. *)
             let pair_false ia ib =
               env.epoch <- env.epoch + 1;
+              env.frontier_over <- true;
               env.over.(na.rslot) <- Some (Afloat ia);
               env.over.(nb.rslot) <- Some (Afloat ib);
               eval_req env r = Some false
@@ -1277,6 +1301,8 @@ let try_separable env (r : Scenario.requirement) (scalars : scalar array)
             in
             env.over.(na.rslot) <- None;
             env.over.(nb.rslot) <- None;
+            env.frontier_over <- false;
+            env.epoch <- env.epoch + 1;
             if Array.length entries = 0 then
               Errors.raise_at ~loc:r.span Errors.Zero_probability;
             let retained =

@@ -110,11 +110,13 @@ type memo = {
   stamps : int array;  (** epoch at which each slot was written *)
   mutable epoch : int;
   extra : (int, Value.value) Hashtbl.t;
-      (** overflow for nodes without a slot in this table (slotless
-          nodes, or nodes slotted for a different scenario); also the
-          sole store when [vals] is empty — the compatibility path for
-          caller-supplied hash-table memos, whose pre-seeded entries
-          pin node values *)
+      (** overflow for nodes whose slot falls outside this table
+          (slotless nodes, or nodes slotted for a different scenario
+          with a larger slot space — in-range foreign slots are instead
+          rejected by {!ensure_slots}'s uniqueness check, so a slot in
+          range always identifies one node); also the sole store when
+          [vals] is empty — the compatibility path for caller-supplied
+          hash-table memos, whose pre-seeded entries pin node values *)
   mutable extra_used : bool;
 }
 
@@ -168,14 +170,30 @@ let memo_add m (n : Value.rnode) v =
     scenario.  Idempotent and incremental: nodes added later (e.g. the
     stratum tables spliced in by {!Propagate}) get fresh slots on the
     next call.  Must run before a scenario is shared read-only across
-    domains ({!Parallel.run} calls it before starting its pool). *)
+    domains ({!Parallel.run} calls it before starting its pool).
+
+    Also validates that no two reachable nodes share a slot: a node
+    slotted by a {e different} scenario whose slot happens to fall in
+    this scenario's range would otherwise silently alias another
+    node's memoised value.  Compiler-built scenarios never trip this;
+    hand-built graphs mixing nodes from two slot spaces get a clear
+    error instead of corrupted draws. *)
 let ensure_slots (scenario : Scenario.t) =
+  let used = Hashtbl.create 64 in
   Scenario.iter_rnodes
     (fun n ->
       if n.rslot < 0 then begin
         n.rslot <- scenario.n_slots;
         scenario.n_slots <- scenario.n_slots + 1
-      end)
+      end;
+      (match Hashtbl.find_opt used n.rslot with
+      | Some other when other <> n.rid ->
+          Errors.invalid_arg_error
+            "random nodes %d and %d share memo slot %d (a node graph built \
+             for one scenario was mixed into another)"
+            other n.rid n.rslot
+      | _ -> ());
+      Hashtbl.replace used n.rslot n.rid)
     scenario
 
 (** Force a value to a concrete one under the current draw, memoising

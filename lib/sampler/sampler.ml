@@ -106,6 +106,21 @@ let create ?(prune = true) ?(propagate = true) ?prune_options ?prune_fn
                  unsatisfiable; sampling the unpropagated scenario (expect \
                  budget exhaustion)");
           None
+      | exception Sys.Break -> raise Sys.Break
+      | exception exn ->
+          (* Propagation is an optimization, never required for
+             soundness: an unexpected failure (e.g. degenerate interval
+             arithmetic on an exotic program) degrades to plain
+             rejection on the restored scenario instead of crashing
+             sampler construction. *)
+          Option.iter Analyze.restore snap;
+          probe.Probe.add "propagate.error_fallbacks" 1;
+          Log.err (fun m ->
+              m
+                "domain propagation failed unexpectedly (%s); sampling the \
+                 unpropagated scenario"
+                (Printexc.to_string exn));
+          None
   in
   let rng = P.Rng.create seed in
   {

@@ -61,6 +61,18 @@ let interval_tests =
         let h = I.hull (I.make 0. 1.) (I.make 3. 4.) in
         Alcotest.(check bool) "inside gap" true (I.contains h 2.);
         check_float "width" 4. (I.width h));
+    test_case "infinite-bound arithmetic degrades to top, not NaN" `Quick
+      (fun () ->
+        (* 0·∞, ∞−∞ and ∞/∞ are NaN; the transfer functions must
+           widen to the unbounded interval instead of producing NaN
+           bounds that a later [make] rejects *)
+        Alcotest.(check bool) "0 * top" true (I.mul (I.point 0.) I.top = I.top);
+        Alcotest.(check bool) "inf + -inf" true
+          (I.add (I.point infinity) (I.point neg_infinity) = I.top);
+        Alcotest.(check bool) "scale 0 over an infinite interval" true
+          (I.scale 0. (I.make 0. infinity) = I.top);
+        Alcotest.(check bool) "inf / inf" true
+          (I.div I.top (I.make 1. infinity) = Some I.top));
     test_case "empty intersection raises Zero_probability at the span" `Quick
       (fun () ->
         let loc =
@@ -121,6 +133,34 @@ let static_tests =
         | Scenic_sampler.Rejection.Sampled _ ->
             Alcotest.fail "sampled an infeasible scenario"
         | Scenic_sampler.Rejection.Exhausted _ -> ());
+  ]
+
+(* --- separable stratification -------------------------------------------- *)
+
+let separable_tests =
+  [
+    test_case "side-disjoint conjunction keeps both sides' feasible regions"
+      `Quick (fun () ->
+        (* `require (a > 0.3) and (b > 0.6)` is separable: the two
+           sub-predicates read disjoint scalars.  The band search pins
+           the frontier nodes with direct overrides the cross-cell memo
+           cannot key on; a stale cached sub-verdict once replayed the
+           first hull's definite-false for every later hull, dropping
+           the whole feasible region and raising a spurious
+           Zero_probability here. *)
+        let src =
+          "import testLib\nego = Object at 0 @ 0\na = (0, 1)\nb = (0, 1)\n\
+           require (a > 0.3) and (b > 0.6)\n"
+        in
+        let scenario = compile src in
+        let stats = Scenic_sampler.Propagate.run scenario in
+        Alcotest.(check bool) "strata built" true
+          (stats.Scenic_sampler.Propagate.strata > 0);
+        let rf = stats.Scenic_sampler.Propagate.retained_frac in
+        Alcotest.(check bool)
+          (Printf.sprintf "retained covers 0.7 x 0.4 tightly (got %.4f)" rf)
+          true
+          (rf >= 0.28 -. 1e-9 && rf <= 0.30));
   ]
 
 (* --- distribution preservation (differential KS) ------------------------- *)
@@ -212,6 +252,7 @@ let suites =
   [
     ("propagate.interval", interval_tests);
     ("propagate.static", static_tests);
+    ("propagate.separable", separable_tests);
     ("propagate.ks", ks_preservation_tests);
     ("propagate.effectiveness", effectiveness_tests);
   ]

@@ -45,6 +45,31 @@ let rejection_tests =
         let _, s2 = Scenic_sampler.Rejection.sample_with_stats sampler in
         Alcotest.(check int) "total" s2.total_iterations
           (s1.iterations + s2.iterations));
+    test_case "ensure_slots rejects cross-scenario slot collisions" `Quick
+      (fun () ->
+        let scenario =
+          compile
+            "import testLib\nego = Object at 0 @ 0\nx = (0, 1)\ny = (0, 1)\n\
+             require x + y > 0.5\n"
+        in
+        Scenic_sampler.Rejection.ensure_slots scenario;
+        let slotted = ref [] in
+        Scenic_sampler.Analyze.iter_rnodes
+          (fun n -> if n.C.Value.rslot >= 0 then slotted := n :: !slotted)
+          scenario;
+        match !slotted with
+        | a :: b :: _ ->
+            (* simulate a node slotted by a different scenario whose
+               slot collides in this scenario's range: the dense memo
+               would silently alias the two nodes' values *)
+            b.C.Value.rslot <- a.C.Value.rslot;
+            (try
+               Scenic_sampler.Rejection.ensure_slots scenario;
+               Alcotest.fail "slot collision accepted"
+             with
+            | C.Errors.Scenic_error (C.Errors.Invalid_argument_error _, _) ->
+              ())
+        | _ -> Alcotest.fail "expected at least two slotted nodes");
     test_case "all samples satisfy the stated requirement" `Quick (fun () ->
         let src =
           "import gtaLib\nego = Car\nc = Car visible\nrequire (distance to c) <= 15\n"
