@@ -125,6 +125,9 @@ type phase_row = {
   p_prune_ms : float;  (** the three pruning passes, once *)
   p_sample_ms : float;  (** rejection sampling, summed over the scenes *)
   p_spans : int;  (** spans recorded — pins the probe coverage *)
+  p_self : (string * float) list;
+      (** per-frame self time (ms), flamegraph-style: duration minus
+          direct children, so phases never double-count their parents *)
 }
 
 (* Where the time goes per scenario: run the full pipeline under an
@@ -151,17 +154,21 @@ let run_phase_timings (cfg : H.Exp_config.t) : phase_row list =
         p_prune_ms = T.Trace.total_ms trace "prune";
         p_sample_ms = T.Trace.total_ms trace "rejection.sample";
         p_spans = T.Trace.span_count trace;
+        p_self = T.Trace.self_ms trace;
       })
     sampling_scenarios
 
-(* Machine-readable perf record (scenic-bench-sampling/5), so future
+(* Machine-readable perf record (scenic-bench-sampling/6), so future
    changes have a sampling-cost trajectory to compare against:
    per-scene latency, sequential-vs-parallel batch throughput at both
    small and large batch sizes, per-phase wall-time attribution, the
    spatial-index counters (broad-phase hit rate, build cost) that v4
-   added, and — new in v5 — the per-scenario domain-propagation record
-   (strata count, retained measure fraction, statically-eliminated and
-   shaved counts) next to the post-propagation mean iteration count. *)
+   added, the per-scenario domain-propagation record that v5 added,
+   and — new in v6 — the propagation pass's explain-facing fields
+   (separable path, deterministic band build cost, warmup acceptance
+   before/after the strata rewrite) plus per-frame self-time
+   attribution in the phases table.  `scenic bench diff` consumes any
+   scenic-bench-sampling/* version. *)
 let write_sampling_json ms_rows batch_rows phase_rows =
   let oc = open_out sampling_json_file in
   (* Fun.protect: a failed printf or an unmatched row must not leak the
@@ -169,7 +176,7 @@ let write_sampling_json ms_rows batch_rows phase_rows =
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
-      Printf.fprintf oc "{\n  \"schema\": \"scenic-bench-sampling/5\",\n";
+      Printf.fprintf oc "{\n  \"schema\": \"scenic-bench-sampling/6\",\n";
       Printf.fprintf oc "  \"generated_unix\": %.0f,\n" (Unix.gettimeofday ());
       Printf.fprintf oc "  \"scenarios\": [\n";
       let n = List.length ms_rows in
@@ -197,11 +204,19 @@ let write_sampling_json ms_rows batch_rows phase_rows =
             | Some (s : Scenic_sampler.Propagate.stats) ->
                 Printf.sprintf
                   "{\"static_true\": %d, \"shaved\": %d, \"strata\": %d, \
-                   \"retained_frac\": %.4f}"
+                   \"retained_frac\": %.4f, \"separable\": %b, \
+                   \"build_evals\": %d, \"warmup_acceptance\": %.4f, \
+                   \"post_acceptance\": %s}"
                   s.Scenic_sampler.Propagate.static_true
                   s.Scenic_sampler.Propagate.shaved
                   s.Scenic_sampler.Propagate.strata
                   s.Scenic_sampler.Propagate.retained_frac
+                  s.Scenic_sampler.Propagate.separable
+                  s.Scenic_sampler.Propagate.build_evals
+                  s.Scenic_sampler.Propagate.warmup_acceptance
+                  (match s.Scenic_sampler.Propagate.post_acceptance with
+                  | Some a -> Printf.sprintf "%.4f" a
+                  | None -> "null")
           in
           Printf.fprintf oc
             "    {\"name\": %S, \"ms_per_scene\": %.4f, \"mean_iterations\": \
@@ -237,9 +252,14 @@ let write_sampling_json ms_rows batch_rows phase_rows =
         (fun i r ->
           Printf.fprintf oc
             "    {\"name\": %S, \"scenes\": %d, \"compile_ms\": %.4f, \
-             \"prune_ms\": %.4f, \"sample_ms\": %.4f, \"spans\": %d}%s\n"
+             \"prune_ms\": %.4f, \"sample_ms\": %.4f, \"spans\": %d, \
+             \"self_ms\": {%s}}%s\n"
             r.p_name r.p_scenes r.p_compile_ms r.p_prune_ms r.p_sample_ms
             r.p_spans
+            (String.concat ", "
+               (List.map
+                  (fun (frame, ms) -> Printf.sprintf "%S: %.4f" frame ms)
+                  r.p_self))
             (if i = np - 1 then "" else ","))
         phase_rows;
       Printf.fprintf oc "  ]\n}\n");

@@ -1,0 +1,411 @@
+(** [scenic bench diff]: the perf regression watchdog over
+    [BENCH_sampling.json] records (schema [scenic-bench-sampling/*]).
+
+    Two modes, combinable in one invocation:
+
+    - {b relative} ([scenic bench diff OLD NEW]): compare two bench
+      records scenario-by-scenario under a noise threshold — wall-time
+      and iteration growth beyond the threshold, lost stratification,
+      or a retained-fraction blow-up is a regression;
+    - {b absolute} ([scenic bench diff NEW --assert FILE]): check one
+      record against committed thresholds (schema
+      [scenic-bench-thresholds/1]), replacing the ad-hoc inline Python
+      guard that used to live in CI.
+
+    Exit codes: 0 clean, {!exit_regression} (= 6) when any check
+    fails, 1 on unreadable/unparseable input.  The JSON parser lives
+    here, not in [scenic_telemetry]: the telemetry library is
+    emission-only by design. *)
+
+(* --- a minimal JSON reader ----------------------------------------------- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = Some c then advance ()
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else fail ("expected " ^ word)
+  in
+  let string_body () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | None -> fail "unterminated escape"
+          | Some c ->
+              advance ();
+              (match c with
+              | '"' -> Buffer.add_char buf '"'
+              | '\\' -> Buffer.add_char buf '\\'
+              | '/' -> Buffer.add_char buf '/'
+              | 'n' -> Buffer.add_char buf '\n'
+              | 't' -> Buffer.add_char buf '\t'
+              | 'r' -> Buffer.add_char buf '\r'
+              | 'b' -> Buffer.add_char buf '\b'
+              | 'f' -> Buffer.add_char buf '\012'
+              | 'u' ->
+                  if !pos + 4 > n then fail "truncated \\u escape";
+                  let hex = String.sub s !pos 4 in
+                  pos := !pos + 4;
+                  let code =
+                    try int_of_string ("0x" ^ hex)
+                    with _ -> fail "bad \\u escape"
+                  in
+                  (* ASCII round-trips; anything else degrades to '?'
+                     (the bench records this tool reads are ASCII) *)
+                  Buffer.add_char buf
+                    (if code < 0x80 then Char.chr code else '?')
+              | _ -> fail "bad escape");
+              go ())
+      | Some c ->
+          advance ();
+          Buffer.add_char buf c;
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    if !pos = start then fail "expected a number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> fail "malformed number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let fields = ref [] in
+          let rec members () =
+            skip_ws ();
+            let key = string_body () in
+            skip_ws ();
+            expect ':';
+            let v = value () in
+            fields := (key, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected ',' or '}'"
+          in
+          members ();
+          Obj (List.rev !fields)
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [] in
+          let rec elements () =
+            let v = value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements ();
+          List (List.rev !items)
+        end
+    | Some '"' -> Str (string_body ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> number ()
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_num = function
+  | Some (Num f) -> Some f
+  | Some (Bool b) -> Some (if b then 1. else 0.)
+  | _ -> None
+
+let to_str = function Some (Str s) -> Some s | _ -> None
+
+let to_list = function Some (List l) -> l | _ -> []
+
+(* --- bench records ------------------------------------------------------- *)
+
+type row = {
+  name : string;
+  metrics : (string * float) list;
+      (** flat metric table: top-level scenario numbers plus the
+          [propagation.*] fields, keyed by their bare name *)
+}
+
+let load_record path : row list =
+  let ic = open_in_bin path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let root = parse text in
+  (match to_str (member "schema" root) with
+  | Some s when String.length s >= 21
+                && String.sub s 0 21 = "scenic-bench-sampling" -> ()
+  | Some s -> raise (Parse_error (path ^ ": unexpected schema " ^ s))
+  | None -> raise (Parse_error (path ^ ": missing schema field")));
+  List.filter_map
+    (fun scen ->
+      match to_str (member "name" scen) with
+      | None -> None
+      | Some name ->
+          let flat prefix j =
+            match j with
+            | Some (Obj fields) ->
+                List.filter_map
+                  (fun (k, v) ->
+                    match v with Num f -> Some (prefix ^ k, f) | _ -> None)
+                  fields
+            | _ -> []
+          in
+          let metrics =
+            flat "" (Some scen) @ flat "" (member "propagation" scen)
+          in
+          Some { name; metrics })
+    (to_list (member "scenarios" root))
+
+let metric row key = List.assoc_opt key row.metrics
+
+(* --- relative diff ------------------------------------------------------- *)
+
+type verdict = Ok_ | Better | Regression of string
+
+(* Directional checks: only growth of a cost metric is a regression,
+   and only past both the relative noise threshold and a small absolute
+   floor (sub-floor jitter on a 0.02 ms scenario is not signal). *)
+let compare_scenario ~threshold old_row new_row : (string * verdict) list =
+  let rel key floor =
+    match (metric old_row key, metric new_row key) with
+    | Some o, Some n ->
+        let delta = n -. o in
+        if delta > (threshold *. Float.max o 1e-9) && delta > floor then
+          [ ( key,
+              Regression
+                (Printf.sprintf "%.4g -> %.4g (+%.0f%% > %.0f%% threshold)" o
+                   n
+                   (100. *. delta /. Float.max o 1e-9)
+                   (100. *. threshold)) ) ]
+        else if delta < -.(threshold *. Float.max o 1e-9) && -.delta > floor
+        then [ (key, Better) ]
+        else [ (key, Ok_) ]
+    | _ -> []
+  in
+  let strata =
+    match (metric old_row "strata", metric new_row "strata") with
+    | Some o, Some n when o > 0. && n = 0. ->
+        [ ("strata", Regression (Printf.sprintf "%.0f -> 0 (stratification lost)" o)) ]
+    | Some _, Some _ -> [ ("strata", Ok_) ]
+    | _ -> []
+  in
+  let retained =
+    match (metric old_row "retained_frac", metric new_row "retained_frac") with
+    | Some o, Some n when n > o +. 0.1 ->
+        [ ( "retained_frac",
+            Regression
+              (Printf.sprintf "%.3f -> %.3f (domain no longer shrunk)" o n) )
+        ]
+    | Some _, Some _ -> [ ("retained_frac", Ok_) ]
+    | _ -> []
+  in
+  rel "ms_per_scene" 0.02 @ rel "mean_iterations" 2.0 @ strata @ retained
+
+(* --- absolute thresholds ------------------------------------------------- *)
+
+(* scenic-bench-thresholds/1: {"scenarios": {NAME: {max_<metric>: v,
+   min_<metric>: v, ...}}} over the same flat metric names as the
+   bench record (ms_per_scene, mean_iterations, strata, retained_frac,
+   static_true, shaved). *)
+let load_thresholds path =
+  let ic = open_in_bin path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let root = parse text in
+  (match to_str (member "schema" root) with
+  | Some "scenic-bench-thresholds/1" -> ()
+  | Some s -> raise (Parse_error (path ^ ": unexpected schema " ^ s))
+  | None -> raise (Parse_error (path ^ ": missing schema field")));
+  match member "scenarios" root with
+  | Some (Obj scenarios) ->
+      List.map
+        (fun (name, checks) ->
+          match checks with
+          | Obj fields ->
+              ( name,
+                List.filter_map
+                  (fun (k, v) ->
+                    match (v, String.index_opt k '_') with
+                    | Num bound, Some i ->
+                        let dir = String.sub k 0 i in
+                        let met =
+                          String.sub k (i + 1) (String.length k - i - 1)
+                        in
+                        (match dir with
+                        | "max" -> Some (`Max, met, bound)
+                        | "min" -> Some (`Min, met, bound)
+                        | _ -> None)
+                    | _ -> None)
+                  fields )
+          | _ -> (name, []))
+        scenarios
+  | _ -> []
+
+let check_assertions rows thresholds : string list =
+  List.concat_map
+    (fun (name, checks) ->
+      match List.find_opt (fun r -> r.name = name) rows with
+      | None ->
+          [ Printf.sprintf "%s: scenario missing from the bench record" name ]
+      | Some row ->
+          List.filter_map
+            (fun (dir, met, bound) ->
+              match metric row met with
+              | None ->
+                  Some
+                    (Printf.sprintf "%s: metric %s missing from the record"
+                       name met)
+              | Some v -> (
+                  match dir with
+                  | `Max when v > bound ->
+                      Some
+                        (Printf.sprintf "%s: %s = %.4g exceeds max %.4g" name
+                           met v bound)
+                  | `Min when v < bound ->
+                      Some
+                        (Printf.sprintf "%s: %s = %.4g below min %.4g" name
+                           met v bound)
+                  | _ -> None))
+            checks)
+    thresholds
+
+(* --- entry point --------------------------------------------------------- *)
+
+let exit_regression = 6
+
+(** Run the watchdog; returns the process exit code (0 clean,
+    {!exit_regression} on any regression, 1 on bad input). *)
+let run ?old_file ?assert_file ~threshold new_file : int =
+  try
+    let new_rows = load_record new_file in
+    let regressions = ref [] in
+    let improvements = ref 0 in
+    (match old_file with
+    | None -> ()
+    | Some old_file ->
+        let old_rows = load_record old_file in
+        List.iter
+          (fun old_row ->
+            match List.find_opt (fun r -> r.name = old_row.name) new_rows with
+            | None ->
+                regressions :=
+                  Printf.sprintf "%s: scenario disappeared from %s"
+                    old_row.name new_file
+                  :: !regressions
+            | Some new_row ->
+                List.iter
+                  (fun (key, verdict) ->
+                    match verdict with
+                    | Regression msg ->
+                        regressions :=
+                          Printf.sprintf "%s: %s %s" old_row.name key msg
+                          :: !regressions
+                    | Better -> incr improvements
+                    | Ok_ -> ())
+                  (compare_scenario ~threshold old_row new_row))
+          old_rows;
+        Printf.printf
+          "bench diff: %d scenario(s) compared (noise threshold %.0f%%), %d \
+           improvement(s)\n"
+          (List.length old_rows) (100. *. threshold) !improvements);
+    (match assert_file with
+    | None -> ()
+    | Some path ->
+        let thresholds = load_thresholds path in
+        let failures = check_assertions new_rows thresholds in
+        regressions := !regressions @ failures;
+        Printf.printf "bench assert: %d scenario(s) checked against %s\n"
+          (List.length thresholds) path);
+    match List.rev !regressions with
+    | [] ->
+        print_endline "ok: no regressions";
+        0
+    | rs ->
+        List.iter (fun r -> Printf.eprintf "regression: %s\n%!" r) rs;
+        exit_regression
+  with
+  | Parse_error msg ->
+      Printf.eprintf "error: %s\n%!" msg;
+      1
+  | Sys_error msg ->
+      Printf.eprintf "error: %s\n%!" msg;
+      1

@@ -3,7 +3,9 @@
     - [scenic parse FILE]       — parse and pretty-print a scenario
     - [scenic check FILE]       — compile it (static + construction errors)
     - [scenic sample FILE]      — sample scenes, print or export them
+    - [scenic explain FILE]     — sampling-health report for a scenario
     - [scenic render FILE]      — sample and render through the camera
+    - [scenic bench diff A B]   — compare benchmark records, gate on regressions
     - [scenic worlds]           — list registered world models *)
 
 open Cmdliner
@@ -178,17 +180,38 @@ let trace_arg =
           "write a structured trace of the run to $(docv): per-phase spans \
            (compile, prune, per-scene sampling; per-worker rows under \
            --jobs) in Chrome trace_event JSON, loadable in chrome://tracing \
-           or Perfetto.  A $(docv) ending in .jsonl gets the compact \
-           one-object-per-line event log instead.")
+           or Perfetto.  Without --trace-format the format follows the \
+           extension: .jsonl gets the compact one-object-per-line event \
+           log, .folded/.flame the collapsed-stack flamegraph.")
+
+let trace_format_arg =
+  let formats =
+    [
+      ("chrome", T.Trace.Chrome);
+      ("jsonl", T.Trace.Jsonl);
+      ("flame", T.Trace.Flame);
+    ]
+  in
+  Arg.(
+    value
+    & opt (some (enum formats)) None
+    & info [ "trace-format" ] ~docv:"FMT"
+        ~doc:
+          "format of the --trace file: $(b,chrome) (trace_event JSON for \
+           chrome://tracing / Perfetto), $(b,jsonl) (one JSON object per \
+           line), or $(b,flame) (collapsed stacks valued by per-frame self \
+           time in microseconds — pipe through flamegraph.pl or load in \
+           speedscope).  Default: inferred from the file extension.")
 
 let stats_arg =
   Arg.(
     value & flag
     & info [ "stats" ]
         ~doc:
-          "print a JSON metrics snapshot (schema scenic-stats/1: counters, \
-           gauges, log-scale histograms such as sample.wall_ms and \
-           rejection.iterations, per-requirement rejection counters, and \
+          "print a JSON metrics snapshot (schema scenic-stats/2: counters, \
+           gauges, and log-scale histograms such as sample.wall_ms and \
+           rejection.iterations with p50/p90/p99 quantile estimates, \
+           per-requirement rejection and warmup.* counters, and \
            spatial-index gauges such as index.cells and \
            index.broadphase.hit_rate) to stderr after the run")
 
@@ -225,7 +248,7 @@ let validate_sampling_args ?jobs ?max_iters ?timeout ?(retries = 0) ?chaos ~n
 
 (* Shared --trace/--stats plumbing: build the recorders and the probe,
    and a [finish] that persists them on every exit path. *)
-let make_telemetry ~trace_file ~stats =
+let make_telemetry ?trace_format ~trace_file ~stats () =
   let trace = Option.map (fun _ -> T.Trace.create ()) trace_file in
   let metrics = if stats then Some (T.Metrics.create ()) else None in
   let probe = T.Probe.make ?trace ?metrics () in
@@ -235,13 +258,19 @@ let make_telemetry ~trace_file ~stats =
        broad-phase hit rate *)
     Scenic_sampler.Sampler.index_stats_to_probe probe;
     (match (trace_file, trace) with
-    | Some path, Some tr -> T.Trace.save tr path
+    | Some path, Some tr -> T.Trace.save ?format:trace_format tr path
     | _ -> ());
     match metrics with
     | Some m -> Fmt.epr "%s@." (T.Metrics.to_json m)
     | None -> ()
   in
   (trace, metrics, probe, finish)
+
+let write_file path data =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc data)
 
 (* --- commands ----------------------------------------------------------- *)
 
@@ -285,8 +314,20 @@ let make_sampler ?max_iters ?timeout ?on_exhausted ?probe ~no_prune
   sampler
 
 let sample_cmd =
+  let explain_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "explain" ] ~docv:"FILE"
+          ~doc:
+            "write the scenic-explain/1 sampling-health report (the JSON \
+             emitted by $(b,scenic explain --json)) to $(docv) after the \
+             run: requirement acceptance funnel, propagation ledger, and \
+             budget headroom for this batch")
+  in
   let run file seed n no_prune no_propagate json map timeout max_iters diagnose
-      best_effort on_error retries chaos jobs trace_file stats =
+      best_effort on_error retries chaos jobs trace_file trace_format stats
+      explain_file =
     init ();
     handle_errors (fun () ->
         validate_sampling_args ?jobs ?max_iters ?timeout ~retries ?chaos ~n ();
@@ -294,7 +335,7 @@ let sample_cmd =
         let mode = match on_error with `Fail when best_effort -> `Best_effort | m -> m in
         let track_best = mode = `Best_effort in
         let trace, metrics, probe, finish_telemetry =
-          make_telemetry ~trace_file ~stats
+          make_telemetry ?trace_format ~trace_file ~stats ()
         in
         let on_exhausted = if track_best then `Best_effort else `Raise in
         let sampler =
@@ -420,6 +461,17 @@ let sample_cmd =
                   (List.length q)
                   (String.concat "; " (List.map string_of_int q)));
             print_diagnosis batch.Scenic_sampler.Parallel.diagnosis;
+            (match explain_file with
+            | Some path ->
+                let report =
+                  Scenic_sampler.Explain.of_batch ~file
+                    ~max_iters:
+                      (Option.value max_iters
+                         ~default:Scenic_sampler.Rejection.default_max_iters)
+                    ~sampler batch
+                in
+                write_file path (Scenic_sampler.Explain.to_json report ^ "\n")
+            | None -> ());
             finish batch.Scenic_sampler.Parallel.diagnosis;
             (match status with
             | `Ok -> ()
@@ -443,7 +495,7 @@ let sample_cmd =
       const run $ file_arg $ seed_arg $ count_arg $ no_prune_arg
       $ no_propagate_arg $ json_arg $ map_arg $ timeout_arg $ max_iters_arg
       $ diagnose_arg $ best_effort_arg $ on_error_arg $ retries_arg $ chaos_arg
-      $ jobs_arg $ trace_arg $ stats_arg)
+      $ jobs_arg $ trace_arg $ trace_format_arg $ stats_arg $ explain_arg)
 
 let render_cmd =
   let out_arg =
@@ -452,12 +504,12 @@ let render_cmd =
       & opt (some string) None
       & info [ "o"; "out" ] ~docv:"DIR" ~doc:"write PGM images to DIR")
   in
-  let run file seed n no_prune out trace_file stats =
+  let run file seed n no_prune out trace_file trace_format stats =
     init ();
     handle_errors (fun () ->
         validate_sampling_args ~n ();
         let _trace, _metrics, probe, finish_telemetry =
-          make_telemetry ~trace_file ~stats
+          make_telemetry ?trace_format ~trace_file ~stats ()
         in
         let sampler = make_sampler ~probe ~no_prune ~seed file in
         let rng = Scenic_prob.Rng.create (seed lxor 0xbeef) in
@@ -498,7 +550,155 @@ let render_cmd =
     (Cmd.info "render" ~doc:"sample scenes and render them through the camera")
     Term.(
       const run $ file_arg $ seed_arg $ count_arg $ no_prune_arg $ out_arg
-      $ trace_arg $ stats_arg)
+      $ trace_arg $ trace_format_arg $ stats_arg)
+
+let explain_cmd =
+  let count_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "n"; "count" ] ~docv:"N"
+          ~doc:"scenes to draw for the live rejection profile (default 100)")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "emit the report as deterministic scenic-explain/1 JSON instead \
+             of text.  The JSON never contains wall-clock values, so it is \
+             byte-identical for every --jobs at a fixed seed.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"write the report to $(docv) instead of stdout")
+  in
+  let run file seed n no_prune no_propagate timeout max_iters jobs json out =
+    init ();
+    handle_errors (fun () ->
+        validate_sampling_args ?jobs ?max_iters ?timeout ~n ();
+        let sampler =
+          make_sampler ?max_iters ?timeout ~on_exhausted:`Best_effort ~no_prune
+            ~no_propagate ~seed file
+        in
+        let jobs = Option.value jobs ~default:1 in
+        let batch =
+          Scenic_sampler.Parallel.run ~jobs ?max_iters ?timeout
+            ~track_best:true ~retries:0 ~seed ~n
+            (Scenic_sampler.Sampler.scenario sampler)
+        in
+        let report =
+          Scenic_sampler.Explain.of_batch ~file
+            ~max_iters:
+              (Option.value max_iters
+                 ~default:Scenic_sampler.Rejection.default_max_iters)
+            ~sampler batch
+        in
+        let text =
+          if json then Scenic_sampler.Explain.to_json report ^ "\n"
+          else Scenic_sampler.Explain.report report
+        in
+        match out with
+        | Some path -> write_file path text
+        | None -> print_string text)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "diagnose a scenario's sampling health: draw a batch of scenes and \
+          report the per-requirement acceptance funnel (warmup vs. live \
+          failure rates with source spans and the propagated check order), \
+          the constraint-propagation ledger (interval shaving, static-true \
+          eliminations, stratified-domain coverage), and the rejection \
+          budget headroom"
+       ~man:
+         [
+           `S Manpage.s_exit_status;
+           `P
+             "Exits 0 whenever the report was produced — an exhausted or \
+              hard-to-satisfy scenario is a finding, not an error — and 1 \
+              on compile or runtime errors.";
+         ])
+    Term.(
+      const run $ file_arg $ seed_arg $ count_arg $ no_prune_arg
+      $ no_propagate_arg $ timeout_arg $ max_iters_arg $ jobs_arg $ json_flag
+      $ out_arg)
+
+let bench_cmd =
+  let old_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"OLD"
+          ~doc:
+            "baseline scenic-bench-sampling JSON record (or the only record, \
+             under --assert alone)")
+  in
+  let new_arg =
+    Arg.(
+      value
+      & pos 1 (some file) None
+      & info [] ~docv:"NEW" ~doc:"candidate scenic-bench-sampling JSON record")
+  in
+  let threshold_arg =
+    Arg.(
+      value & opt float 0.25
+      & info [ "threshold" ] ~docv:"FRAC"
+          ~doc:
+            "relative noise threshold for OLD/NEW comparisons: ms_per_scene \
+             and mean_iterations may grow by up to $(docv) of the baseline \
+             (plus a small absolute floor) before counting as a regression \
+             (default 0.25)")
+  in
+  let assert_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "assert" ] ~docv:"THRESHOLDS"
+          ~doc:
+            "check the newest record against absolute bounds from a \
+             scenic-bench-thresholds/1 JSON file (keys max_<metric> / \
+             min_<metric> per scenario); usable with or without a baseline")
+  in
+  let run old_file new_file threshold assert_file =
+    handle_errors (fun () ->
+        if Float.is_nan threshold || threshold < 0. then
+          invalid_arg
+            (Printf.sprintf "--threshold must be non-negative (got %g)"
+               threshold);
+        let old_file, new_file =
+          match new_file with
+          | Some nf -> (Some old_file, nf)
+          | None ->
+              if assert_file = None then
+                invalid_arg
+                  "bench diff needs either two records (OLD NEW) or --assert \
+                   THRESHOLDS";
+              (None, old_file)
+        in
+        exit (Bench_diff.run ?old_file ?assert_file ~threshold new_file))
+  in
+  let diff_cmd =
+    Cmd.v
+      (Cmd.info "diff"
+         ~doc:
+           "compare two BENCH_sampling.json records (and/or assert absolute \
+            thresholds), exiting 6 on a performance regression"
+         ~man:
+           [
+             `S Manpage.s_exit_status;
+             `P
+               "Exits 0 when every scenario is within the noise threshold \
+                and every asserted bound holds, 6 on a regression, and 1 on \
+                unreadable or malformed records.";
+           ])
+      Term.(const run $ old_arg $ new_arg $ threshold_arg $ assert_arg)
+  in
+  Cmd.group
+    (Cmd.info "bench" ~doc:"benchmark-record utilities (see $(b,bench diff))")
+    [ diff_cmd ]
 
 let lint_cmd =
   let run file =
@@ -669,4 +869,4 @@ let conformance_cmd =
 let () =
   let doc = "Scenic: a language for scenario specification and scene generation" in
   let info = Cmd.info "scenic" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ parse_cmd; check_cmd; lint_cmd; sample_cmd; render_cmd; falsify_cmd; conformance_cmd; worlds_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ parse_cmd; check_cmd; lint_cmd; sample_cmd; explain_cmd; render_cmd; falsify_cmd; conformance_cmd; bench_cmd; worlds_cmd ]))

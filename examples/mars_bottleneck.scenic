@@ -1,0 +1,20 @@
+import mars
+ego = Rover at 0 @ -2
+goal = Goal at (-2, 2) @ (2, 2.5)
+
+halfGapWidth = (1.2 * ego.width) / 2
+bottleneck = OrientedPoint offset by (-1.5, 1.5) @ (0.5, 1.5), facing (-30, 30) deg
+require abs((angle to goal) - (angle to bottleneck)) <= 10 deg
+BigRock at bottleneck
+
+leftEnd = OrientedPoint left of bottleneck by halfGapWidth, facing (60, 120) deg relative to bottleneck
+rightEnd = OrientedPoint right of bottleneck by halfGapWidth, facing (-120, -60) deg relative to bottleneck
+Pipe ahead of leftEnd, with height (1, 2)
+Pipe ahead of rightEnd, with height (1, 2)
+
+BigRock beyond bottleneck by (-0.5, 0.5) @ (0.5, 1)
+BigRock beyond bottleneck by (-0.5, 0.5) @ (0.5, 1)
+Pipe
+Rock
+Rock
+Rock

@@ -1,0 +1,393 @@
+(** The sampling-health report behind [scenic explain].
+
+    One record assembles the evidence the pipeline already produces but
+    never shows: the per-requirement acceptance funnel (warmup-measured
+    vs. live failure counts, with source spans and the rejection loop's
+    evaluation order before/after reordering), the propagation ledger
+    ({!Propagate.stats}: static-true eliminations, scalar shaving with
+    before/after bounds, strata count and retained mass, the
+    deterministic band build cost), and the budget headroom of the
+    observed rejection rate against the per-scene iteration cap.
+
+    Two renderers: {!report} is the human-readable text, {!to_json} the
+    machine-readable [scenic-explain/1] schema.  The JSON is a pure
+    function of (scenario, seed, scene count): it contains counters and
+    fractions but {e no wall-clock times, worker counts or timestamps},
+    so the bytes are identical for every [--jobs] — pinned by
+    test_cli's determinism check, mirroring the batch sampler's own
+    guarantee. *)
+
+open Scenic_core
+module Tjson = Scenic_telemetry.Tjson
+
+type t = {
+  file : string option;  (** source path, as given on the CLI *)
+  scenario : Scenario.t;  (** after pruning and propagation *)
+  propagation : Propagate.stats option;  (** [None] if the pass was off *)
+  diagnosis : Diagnose.t;  (** merged over the whole batch *)
+  scenes_requested : int;
+  scenes_delivered : int;
+  max_iters : int;  (** per-scene rejection budget *)
+}
+
+(** Assemble a report from a built sampler and the batch it drew. *)
+let of_batch ?file ~max_iters ~sampler (batch : Parallel.batch) =
+  let delivered =
+    Array.fold_left
+      (fun n -> function Parallel.Scene _ -> n + 1 | _ -> n)
+      0 batch.Parallel.outcomes
+  in
+  {
+    file;
+    scenario = Sampler.scenario sampler;
+    propagation = Sampler.propagate_stats sampler;
+    diagnosis = batch.Parallel.diagnosis;
+    scenes_requested = Array.length batch.Parallel.outcomes;
+    scenes_delivered = delivered;
+    max_iters;
+  }
+
+(* --- derived views ------------------------------------------------------- *)
+
+let span_str (r : Scenario.requirement) =
+  Fmt.str "%a" Diagnose.pp_requirement_site r
+
+(* Program-order check list: every non-static requirement index — what
+   the rejection loop would evaluate with no warmup reordering. *)
+let program_order (sc : Scenario.t) =
+  List.filteri (fun i _ -> not (List.mem i sc.static_true))
+    (List.mapi (fun i _ -> i) sc.requirements)
+  |> Array.of_list
+
+type funnel_row = {
+  fr_index : int;
+  fr_req : Scenario.requirement;
+  fr_static : bool;
+  fr_warmup_fails : int;
+  fr_warmup_rate : float;  (** failures / warmup draws *)
+  fr_post_fails : int option;  (** after the stratify/shave rewrite *)
+  fr_post_rate : float option;
+  fr_live_fails : int;
+  fr_live_share : float;  (** of all live rejections *)
+  fr_position : int option;  (** slot in the final check order *)
+}
+
+let funnel t : funnel_row list =
+  let sc = t.scenario in
+  let d = t.diagnosis in
+  let rejected = max 1 (Diagnose.rejected d) in
+  let order =
+    match sc.check_order with
+    | Some o -> o
+    | None -> program_order sc
+  in
+  let position i =
+    let p = ref None in
+    Array.iteri (fun pos j -> if j = i then p := Some pos) order;
+    !p
+  in
+  List.mapi
+    (fun i (r : Scenario.requirement) ->
+      let warmup_fails, warmup_rate, post_fails, post_rate =
+        match t.propagation with
+        | None -> (0, 0., None, None)
+        | Some (p : Propagate.stats) ->
+            let wf =
+              if i < Array.length p.warmup_violations then
+                p.warmup_violations.(i)
+              else 0
+            in
+            let rate n draws =
+              if draws = 0 then 0. else float_of_int n /. float_of_int draws
+            in
+            let pf =
+              Option.map
+                (fun v -> if i < Array.length v then v.(i) else 0)
+                p.post_violations
+            in
+            ( wf,
+              rate wf p.warmup_draws,
+              pf,
+              Option.map
+                (fun n -> rate n (Option.value ~default:0 p.post_draws))
+                pf )
+      in
+      let live = d.Diagnose.violations.(i) in
+      {
+        fr_index = i;
+        fr_req = r;
+        fr_static = List.mem i sc.static_true;
+        fr_warmup_fails = warmup_fails;
+        fr_warmup_rate = warmup_rate;
+        fr_post_fails = post_fails;
+        fr_post_rate = post_rate;
+        fr_live_fails = live;
+        fr_live_share = float_of_int live /. float_of_int rejected;
+        fr_position = position i;
+      })
+    sc.requirements
+
+(** The dominant rejecting requirement: most live first-failures, or —
+    when the batch never rejected — the worst warmup offender. *)
+let dominant t : (int * Scenario.requirement) option =
+  match Diagnose.least_satisfiable t.diagnosis with
+  | Some _ as d -> d
+  | None -> (
+      match t.propagation with
+      | Some (p : Propagate.stats) ->
+          let best = ref None in
+          Array.iteri
+            (fun i n ->
+              match !best with
+              | Some (_, m) when m >= n -> ()
+              | _ -> if n > 0 then best := Some (i, n))
+            p.warmup_violations;
+          Option.map
+            (fun (i, _) -> (i, List.nth t.scenario.requirements i))
+            !best
+      | None -> None)
+
+let mean_iterations t =
+  if t.scenes_delivered = 0 then 0.
+  else
+    float_of_int (Diagnose.total t.diagnosis)
+    /. float_of_int t.scenes_delivered
+
+(** Fraction of the per-scene iteration budget left unused by the mean
+    scene: 1 = free, 0 = scenes exhaust the cap. *)
+let headroom t =
+  if t.max_iters <= 0 then 0.
+  else
+    Float.max 0. (1. -. (mean_iterations t /. float_of_int t.max_iters))
+
+(* --- JSON ---------------------------------------------------------------- *)
+
+let json_pair (lo, hi) = Tjson.arr [ Tjson.float lo; Tjson.float hi ]
+
+let json_int_array a =
+  Tjson.arr (Array.to_list (Array.map string_of_int a))
+
+let json_opt f = function Some v -> f v | None -> "null"
+
+(** The [scenic-explain/1] report: deterministic for a given
+    (scenario, seed, scene count) — byte-identical at every [--jobs]. *)
+let to_json t =
+  let sc = t.scenario in
+  let funnel_json =
+    Tjson.arr
+      (List.map
+         (fun fr ->
+           Tjson.obj
+             [
+               Tjson.field "index" (string_of_int fr.fr_index);
+               Tjson.field "label" (Tjson.escape fr.fr_req.Scenario.label);
+               Tjson.field "span" (Tjson.escape (span_str fr.fr_req));
+               Tjson.field "soft"
+                 (json_opt Tjson.float fr.fr_req.Scenario.prob);
+               Tjson.field "static_true" (string_of_bool fr.fr_static);
+               Tjson.field "warmup_failures" (string_of_int fr.fr_warmup_fails);
+               Tjson.field "warmup_fail_rate" (Tjson.float fr.fr_warmup_rate);
+               Tjson.field "post_warmup_failures"
+                 (json_opt string_of_int fr.fr_post_fails);
+               Tjson.field "post_warmup_fail_rate"
+                 (json_opt Tjson.float fr.fr_post_rate);
+               Tjson.field "live_failures" (string_of_int fr.fr_live_fails);
+               Tjson.field "live_share" (Tjson.float fr.fr_live_share);
+               Tjson.field "check_position"
+                 (json_opt string_of_int fr.fr_position);
+             ])
+         (funnel t))
+  in
+  let propagation_json =
+    match t.propagation with
+    | None -> Tjson.obj [ Tjson.field "ran" "false" ]
+    | Some (p : Propagate.stats) ->
+        let prog = program_order sc in
+        Tjson.obj
+          [
+            Tjson.field "ran" "true";
+            Tjson.field "static_true" (string_of_int p.static_true);
+            Tjson.field "shaved" (string_of_int p.shaved);
+            Tjson.field "strata" (string_of_int p.strata);
+            Tjson.field "retained_frac" (Tjson.float p.retained_frac);
+            Tjson.field "separable" (string_of_bool p.separable);
+            Tjson.field "build_evals" (string_of_int p.build_evals);
+            Tjson.field "warmup"
+              (Tjson.obj
+                 [
+                   Tjson.field "draws" (string_of_int p.warmup_draws);
+                   Tjson.field "acceptance" (Tjson.float p.warmup_acceptance);
+                   Tjson.field "post_draws"
+                     (json_opt string_of_int p.post_draws);
+                   Tjson.field "post_acceptance"
+                     (json_opt Tjson.float p.post_acceptance);
+                 ]);
+            Tjson.field "shave_ledger"
+              (Tjson.arr
+                 (List.map
+                    (fun (e : Propagate.shave_entry) ->
+                      Tjson.obj
+                        [
+                          Tjson.field "before" (json_pair e.sh_before);
+                          Tjson.field "after"
+                            (Tjson.arr (List.map json_pair e.sh_after));
+                        ])
+                    p.shave_ledger));
+            Tjson.field "check_order"
+              (Tjson.obj
+                 [
+                   Tjson.field "program" (json_int_array prog);
+                   Tjson.field "final" (json_int_array p.check_order);
+                   Tjson.field "reordered"
+                     (string_of_bool (p.check_order <> prog));
+                 ]);
+          ]
+  in
+  let d = t.diagnosis in
+  let sampling_json =
+    Tjson.obj
+      [
+        Tjson.field "scenes_requested" (string_of_int t.scenes_requested);
+        Tjson.field "scenes_delivered" (string_of_int t.scenes_delivered);
+        Tjson.field "iterations" (string_of_int (Diagnose.total d));
+        Tjson.field "accepted" (string_of_int (Diagnose.accepted d));
+        Tjson.field "acceptance_rate" (Tjson.float (Diagnose.acceptance_rate d));
+        Tjson.field "mean_iterations_per_scene"
+          (Tjson.float (mean_iterations t));
+        Tjson.field "local_rejections"
+          (Tjson.arr
+             (List.map
+                (fun (msg, n) ->
+                  Tjson.obj
+                    [
+                      Tjson.field "message" (Tjson.escape msg);
+                      Tjson.field "count" (string_of_int n);
+                    ])
+                (Diagnose.local_rejections d)));
+        Tjson.field "dominant"
+          (json_opt
+             (fun (i, (r : Scenario.requirement)) ->
+               Tjson.obj
+                 [
+                   Tjson.field "index" (string_of_int i);
+                   Tjson.field "label" (Tjson.escape r.label);
+                   Tjson.field "span" (Tjson.escape (span_str r));
+                 ])
+             (dominant t));
+      ]
+  in
+  let budget_json =
+    Tjson.obj
+      [
+        Tjson.field "max_iters_per_scene" (string_of_int t.max_iters);
+        Tjson.field "mean_iterations_per_scene"
+          (Tjson.float (mean_iterations t));
+        Tjson.field "headroom_frac" (Tjson.float (headroom t));
+      ]
+  in
+  Tjson.obj
+    [
+      Tjson.field "schema" (Tjson.escape "scenic-explain/1");
+      Tjson.field "file"
+        (json_opt Tjson.escape t.file);
+      Tjson.field "scenario"
+        (Tjson.obj
+           [
+             Tjson.field "objects" (string_of_int (List.length sc.objects));
+             Tjson.field "requirements"
+               (string_of_int (List.length sc.requirements));
+             Tjson.field "params" (string_of_int (List.length sc.params));
+           ]);
+      Tjson.field "propagation" propagation_json;
+      Tjson.field "funnel" funnel_json;
+      Tjson.field "sampling" sampling_json;
+      Tjson.field "budget" budget_json;
+    ]
+
+(* --- text ---------------------------------------------------------------- *)
+
+(** The human-readable report. *)
+let report t : string =
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let sc = t.scenario in
+  (match t.file with
+  | Some f -> pf "sampling-health report: %s\n" f
+  | None -> pf "sampling-health report\n");
+  pf "scenario: %d objects, %d requirements, %d parameters\n\n"
+    (List.length sc.objects)
+    (List.length sc.requirements)
+    (List.length sc.params);
+  (match t.propagation with
+  | None -> pf "propagation: disabled (--no-propagate)\n"
+  | Some (p : Propagate.stats) ->
+      pf "propagation:\n";
+      pf "  static-true eliminations: %d\n" p.static_true;
+      if p.strata > 0 then
+        pf "  strata: %d (%s), retaining %.1f%% of the prior mass\n" p.strata
+          (if p.separable then "separable two-table path"
+           else "joint k-d subdivision")
+          (100. *. p.retained_frac)
+      else pf "  strata: none built\n";
+      if p.build_evals > 0 then
+        pf "  band build cost: %d abstract evaluations\n" p.build_evals;
+      pf "  scalars shaved: %d\n" p.shaved;
+      List.iter
+        (fun (e : Propagate.shave_entry) ->
+          let lo, hi = e.sh_before in
+          pf "    [%g, %g] -> %s\n" lo hi
+            (String.concat " + "
+               (List.map (fun (l, h) -> Printf.sprintf "[%g, %g]" l h)
+                  e.sh_after)))
+        p.shave_ledger;
+      pf "  warmup: %d draws, acceptance %.3f" p.warmup_draws
+        p.warmup_acceptance;
+      (match (p.post_draws, p.post_acceptance) with
+      | Some d, Some a -> pf "; after rewrite: %d draws, acceptance %.3f\n" d a
+      | _ -> pf "\n");
+      let prog = program_order sc in
+      if p.check_order <> prog then
+        pf "  check order: [%s] (reordered from program order [%s])\n"
+          (String.concat " "
+             (Array.to_list (Array.map string_of_int p.check_order)))
+          (String.concat " " (Array.to_list (Array.map string_of_int prog)))
+      else pf "  check order: program order (warmup saw no reason to move)\n");
+  pf "\nrequirement funnel (warmup vs live failure attribution):\n";
+  pf "  %-5s %8s %8s %9s %6s  %s\n" "idx" "warmup%" "live%" "live_n" "pos"
+    "requirement [site]";
+  List.iter
+    (fun fr ->
+      if fr.fr_static then
+        pf "  %-5d %8s %8s %9s %6s  %s [%s] (statically true: never checked)\n"
+          fr.fr_index "-" "-" "-" "-" fr.fr_req.Scenario.label
+          (span_str fr.fr_req)
+      else
+        pf "  %-5d %8.1f %8.1f %9d %6s  %s [%s]\n" fr.fr_index
+          (100. *. fr.fr_warmup_rate)
+          (100. *. fr.fr_live_share)
+          fr.fr_live_fails
+          (match fr.fr_position with
+          | Some p -> string_of_int p
+          | None -> "-")
+          fr.fr_req.Scenario.label (span_str fr.fr_req))
+    (funnel t);
+  let d = t.diagnosis in
+  pf "\nsampling: %d/%d scenes, %d iterations, acceptance %.1f%%, mean %.1f \
+      iterations/scene\n"
+    t.scenes_delivered t.scenes_requested (Diagnose.total d)
+    (100. *. Diagnose.acceptance_rate d)
+    (mean_iterations t);
+  (match Diagnose.local_rejections d with
+  | [] -> ()
+  | locals ->
+      pf "  local rejections (degenerate draws):\n";
+      List.iter (fun (msg, n) -> pf "    %8d  %s\n" n msg) locals);
+  (match dominant t with
+  | Some (i, r) ->
+      pf "  dominant rejecting requirement: #%d %s at %s\n" i r.Scenario.label
+        (span_str r)
+  | None -> pf "  no rejections attributed to any requirement\n");
+  pf "budget: mean %.1f of %d max iterations per scene (headroom %.1f%%)\n"
+    (mean_iterations t) t.max_iters
+    (100. *. headroom t);
+  Buffer.contents buf

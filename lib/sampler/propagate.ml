@@ -806,12 +806,41 @@ let eligible_scalars v : scalar list =
 
 (* --- the pass ----------------------------------------------------------- *)
 
+type shave_entry = {
+  sh_before : float * float;
+      (** the scalar's original uniform support [lo, hi] *)
+  sh_after : (float * float) list;
+      (** surviving segment runs, ascending; one entry = a plain
+          narrowed interval, several = a length-weighted mixture *)
+}
+
 type stats = {
   static_true : int;  (** hard requirements proven always-true *)
   shaved : int;  (** scalars narrowed / split by segment shaving *)
   strata : int;  (** strata in the joint table (0 = not stratified) *)
   retained_frac : float;  (** measure kept by stratification (1. = all) *)
   warmup_acceptance : float;
+  warmup_draws : int;  (** rejection iterations of the initial warmup *)
+  warmup_violations : int array;
+      (** per-requirement first-failure counts of the initial warmup,
+          indexed like [scenario.requirements] *)
+  post_acceptance : float option;
+      (** acceptance of the re-warmup on the rewritten scenario, when
+          stratification or shaving triggered one *)
+  post_violations : int array option;  (** its violation profile *)
+  post_draws : int option;  (** its iteration count *)
+  check_order : int array;
+      (** the final rejection-loop evaluation order (requirement
+          indices, static-true excluded); empty if never set *)
+  shave_ledger : shave_entry list;
+      (** before/after bounds of every rewritten scalar, in
+          deterministic (node id) order *)
+  build_evals : int;
+      (** abstract cell/hull classifications spent building strata —
+          the deterministic build-cost measure (no wall clock) *)
+  separable : bool;
+      (** strata were built by the separable two-table path rather
+          than the joint k-d subdivision *)
 }
 
 let warmup_iters = 384
@@ -881,7 +910,7 @@ let warmup (scenario : Scenario.t) =
     if total = 0 then 1.
     else float_of_int (Diagnose.accepted diag) /. float_of_int total
   in
-  (acceptance, Array.copy diag.Diagnose.violations)
+  (acceptance, Array.copy diag.Diagnose.violations, total)
 
 let reorder_checks (scenario : Scenario.t) (violations : int array) =
   let n = List.length scenario.requirements in
@@ -949,6 +978,9 @@ let try_separable env (r : Scenario.requirement) (scalars : scalar array)
   if k < 2 then None
   else
     try
+      (* total abstract evaluations (rectangle classifications + hull
+         verdicts), reported as the deterministic band build cost *)
+      let total_evals = ref 0 in
       let set_cell cell =
         env.epoch <- env.epoch + 1;
         Array.iteri
@@ -1065,6 +1097,7 @@ let try_separable env (r : Scenario.requirement) (scalars : scalar array)
               let evals = ref 0 in
               let eval_rect cell =
                 incr evals;
+                incr total_evals;
                 if !evals land 1023 = 0 then
                   vlive := List.filter (fun i -> vdrop.(i) > 0) !vlive;
                 set_cell cell;
@@ -1254,6 +1287,7 @@ let try_separable env (r : Scenario.requirement) (scalars : scalar array)
                first hull and replay it for every later hull.  The
                epoch bump keeps the per-cell memo sound. *)
             let pair_false ia ib =
+              incr total_evals;
               env.epoch <- env.epoch + 1;
               env.frontier_over <- true;
               env.over.(na.rslot) <- Some (Afloat ia);
@@ -1309,7 +1343,8 @@ let try_separable env (r : Scenario.requirement) (scalars : scalar array)
               Array.fold_left (fun acc (_, _, _, _, w) -> acc +. w) 0. entries
             in
             let retained_frac = retained /. full_measure in
-            if retained_frac >= strata_skip_retained then Some (0, 1.)
+            if retained_frac >= strata_skip_retained then
+              Some (0, 1., !total_evals)
             else begin
               let n_e = Array.length entries in
               let selector =
@@ -1366,7 +1401,7 @@ let try_separable env (r : Scenario.requirement) (scalars : scalar array)
                             Vfloat (lo +. (u *. (hi -. lo)))
                         | _ -> assert false ))
                 scalars;
-              Some (n_e + n_b, retained_frac)
+              Some (n_e + n_b, retained_frac, !total_evals)
             end
           end
       | _ -> None
@@ -1391,7 +1426,7 @@ let build_strata (scenario : Scenario.t) (violations : int array) =
       None candidates
   in
   match driver with
-  | None -> (0, 1.)
+  | None -> (0, 1., 0, false)
   | Some (_, r, scalars) -> (
       let scalars = Array.of_list (List.filteri (fun i _ -> i < 5) scalars) in
       let in_axes (s : scalar) =
@@ -1433,7 +1468,7 @@ let build_strata (scenario : Scenario.t) (violations : int array) =
           (Array.to_list (Array.map (fun (s : scalar) -> s.node.rslot) scalars))
       in
       match try_separable env r scalars cell_reqs full_measure with
-      | Some res -> res
+      | Some (n, rf, evals) -> (n, rf, evals, true)
       | None ->
       let classify cell =
         env.epoch <- env.epoch + 1;
@@ -1607,6 +1642,9 @@ let build_strata (scenario : Scenario.t) (violations : int array) =
         { cell; weight = cell_measure cell }
       in
       let shaved = List.map shave_stratum !merged in
+      (* build cost: loop classifications plus the exactly 6k classify
+         calls each merged stratum's edge shaving performed above *)
+      let build_evals = !evals + (6 * k * List.length !merged) in
       (* deterministic order for the selector table *)
       let strata =
         Array.of_list
@@ -1622,7 +1660,7 @@ let build_strata (scenario : Scenario.t) (violations : int array) =
         Array.fold_left (fun acc st -> acc +. st.weight) 0. strata
       in
       let retained_frac = retained /. full_measure in
-      if retained_frac >= strata_skip_retained then (0, 1.)
+      if retained_frac >= strata_skip_retained then (0, 1., build_evals, false)
       else begin
         (* rewrite: a shared measure-weighted selector picks the
            stratum; each scalar becomes [lo + u * (hi - lo)] with [u]
@@ -1661,7 +1699,7 @@ let build_strata (scenario : Scenario.t) (violations : int array) =
                       Vfloat (lo +. (u *. (hi -. lo)))
                   | _ -> assert false ))
           scalars;
-        (n_strata, retained_frac)
+        (n_strata, retained_frac, build_evals, false)
       end)
 
 (* --- scalar shaving ----------------------------------------------------- *)
@@ -1684,7 +1722,7 @@ let shave_scalars (scenario : Scenario.t) =
           | None -> Hashtbl.add by_scalar s.node.rid (s, ref [ r ]))
         scalars)
     reqs_with_scalars;
-  let shaved = ref 0 in
+  let ledger = ref [] in
   let entries =
     Hashtbl.fold (fun _ (s, rs) acc -> (s, !rs) :: acc) by_scalar []
     |> List.sort (fun (a, _) (b, _) -> compare a.node.rid b.node.rid)
@@ -1751,12 +1789,58 @@ let shave_scalars (scenario : Scenario.t) =
                             (R_interval (Vfloat lo, Vfloat hi))),
                        Vfloat (hi -. lo) ))
                    runs));
-        incr shaved
+        ledger :=
+          {
+            sh_before = (s.s_lo, s.s_hi);
+            sh_after = List.map bounds runs;
+          }
+          :: !ledger
       end)
     entries;
-  !shaved
+  List.rev !ledger
 
 (* --- entry point --------------------------------------------------------- *)
+
+(** Export the warmup failure profile and the chosen check order into
+    [probe] as [warmup.*] counters/gauges, so a [--stats] snapshot
+    carries the same propagation evidence as [scenic explain]:
+    per-requirement warmup violation counters (keyed
+    [warmup.requirement.<index>:<label>], the index-ordered discipline
+    of {!Diagnose.to_probe}), acceptance gauges for both warmup passes,
+    and one [warmup.check_order.<position>] gauge per slot of the final
+    evaluation order, valued by the requirement index placed there. *)
+let to_probe (probe : Probe.t) (scenario : Scenario.t) (s : stats) =
+  if probe.Probe.enabled then begin
+    let reqs = Array.of_list scenario.requirements in
+    probe.Probe.set_gauge "warmup.acceptance" s.warmup_acceptance;
+    probe.Probe.add "warmup.iterations" s.warmup_draws;
+    Array.iteri
+      (fun i n ->
+        if n > 0 then
+          probe.Probe.add
+            (Printf.sprintf "warmup.requirement.%d:%s" i
+               reqs.(i).Scenario.label)
+            n)
+      s.warmup_violations;
+    Option.iter
+      (fun a -> probe.Probe.set_gauge "warmup.post_acceptance" a)
+      s.post_acceptance;
+    Option.iter (probe.Probe.add "warmup.post.iterations") s.post_draws;
+    Option.iter
+      (Array.iteri (fun i n ->
+           if n > 0 then
+             probe.Probe.add
+               (Printf.sprintf "warmup.post.requirement.%d:%s" i
+                  reqs.(i).Scenario.label)
+               n))
+      s.post_violations;
+    Array.iteri
+      (fun pos idx ->
+        probe.Probe.set_gauge
+          (Printf.sprintf "warmup.check_order.%02d" pos)
+          (float_of_int idx))
+      s.check_order
+  end
 
 (** Run domain propagation on a (possibly already pruned) scenario,
     rewriting scalar distributions in place and setting
@@ -1768,33 +1852,60 @@ let shave_scalars (scenario : Scenario.t) =
 let run ?(probe = Probe.noop) (scenario : Scenario.t) : stats =
   Rejection.ensure_slots scenario;
   let n_static = static_pass scenario in
-  let acceptance, violations = warmup scenario in
+  let acceptance, violations, draws0 = warmup scenario in
   reorder_checks scenario violations;
-  let n_strata, retained_frac =
-    if acceptance >= strata_skip_acceptance then (0, 1.)
+  let n_strata, retained_frac, build_evals, separable =
+    if acceptance >= strata_skip_acceptance then (0, 1., 0, false)
     else build_strata scenario violations
   in
   (* the strata rewrite introduces fresh selector/unit nodes: give them
      slots so shaving's flat tables cover them *)
   Rejection.ensure_slots scenario;
-  let shaved = shave_scalars scenario in
+  let shave_ledger = shave_scalars scenario in
+  let shaved = List.length shave_ledger in
   (* Stratification inverts the failure profile: the driver that
      dominated rejections now almost always passes, so the warmup-derived
      check order — measured on the unstratified scenario — front-loads a
      nearly-useless check.  Re-measure on the rewritten scenario and
      reorder by the post-stratification conditional failure rates. *)
-  if n_strata > 0 || shaved > 0 then begin
-    let _, violations' = warmup scenario in
-    reorder_checks scenario violations'
-  end;
+  let post_acceptance, post_violations, post_draws =
+    if n_strata > 0 || shaved > 0 then begin
+      let acceptance', violations', draws1 = warmup scenario in
+      reorder_checks scenario violations';
+      (Some acceptance', Some violations', Some draws1)
+    end
+    else (None, None, None)
+  in
   probe.Probe.add "propagate.static_true" n_static;
   probe.Probe.add "propagate.shaved" shaved;
   probe.Probe.add "propagate.strata" n_strata;
   probe.Probe.set_gauge "propagate.retained_frac" retained_frac;
+  probe.Probe.add "propagate.build_evals" build_evals;
   Log.debug (fun m ->
       m
         "propagation: %d static-true, %d scalars shaved, %d strata \
          (retained %.1f%%), warmup acceptance %.3f"
         n_static shaved n_strata (100. *. retained_frac) acceptance);
-  { static_true = n_static; shaved; strata = n_strata; retained_frac;
-    warmup_acceptance = acceptance }
+  let stats =
+    {
+      static_true = n_static;
+      shaved;
+      strata = n_strata;
+      retained_frac;
+      warmup_acceptance = acceptance;
+      warmup_draws = draws0;
+      warmup_violations = violations;
+      post_acceptance;
+      post_violations;
+      post_draws;
+      check_order =
+        (match scenario.check_order with
+        | Some o -> Array.copy o
+        | None -> [||]);
+      shave_ledger;
+      build_evals;
+      separable;
+    }
+  in
+  to_probe probe scenario stats;
+  stats

@@ -11,8 +11,12 @@
     cheap (one [log2] per observation), wide dynamic range (2^-20 up to
     2^20, with under/overflow buckets), and precise enough to answer
     "is the tail 10x the median" questions about iteration counts and
-    wall times.  {!to_json} emits the whole registry as one JSON object
-    (schema [scenic-stats/1], documented in DESIGN.md). *)
+    wall times.  {!quantile} estimates percentiles by log-scale
+    interpolation inside the crossing bucket, clamped to the exact
+    observed min/max — accurate to one bucket (a factor of two), which
+    is the histogram's resolution by construction.  {!to_json} emits
+    the whole registry as one JSON object (schema [scenic-stats/2],
+    documented in DESIGN.md). *)
 
 type hist = {
   mutable h_count : int;
@@ -70,7 +74,11 @@ let bucket_le i =
   else Float.pow 2. (float_of_int (i - exp_offset))
 
 let bucket_of v =
+  (* NaN and everything non-positive land in the underflow bucket;
+     +infinity in the overflow bucket ([int_of_float] of a non-finite
+     float is undefined, so both must be fenced off before the log). *)
   if Float.is_nan v || v <= bucket_le 0 then 0
+  else if not (Float.is_finite v) then n_buckets - 1
   else
     let i = exp_offset + int_of_float (Float.ceil (Float.log2 v)) in
     if i < 0 then 0 else if i >= n_buckets then n_buckets - 1 else i
@@ -92,10 +100,21 @@ let observe t name v =
         Hashtbl.replace t.hists name h;
         h
   in
+  (* Degenerate observations must not poison the summary statistics
+     with NaN/inf (which would also render unparseable JSON): NaN
+     counts as 0 and infinities saturate at the float range.  The
+     bucket index is computed from the raw value, which [bucket_of]
+     already fences. *)
+  let vf =
+    if Float.is_nan v then 0.
+    else if v = Float.infinity then Float.max_float
+    else if v = Float.neg_infinity then -.Float.max_float
+    else v
+  in
   h.h_count <- h.h_count + 1;
-  h.h_sum <- h.h_sum +. v;
-  h.h_min <- Float.min h.h_min v;
-  h.h_max <- Float.max h.h_max v;
+  h.h_sum <- h.h_sum +. vf;
+  h.h_min <- Float.min h.h_min vf;
+  h.h_max <- Float.max h.h_max vf;
   let b = bucket_of v in
   h.h_buckets.(b) <- h.h_buckets.(b) + 1
 
@@ -104,6 +123,54 @@ let hist_count t name =
 
 let hist_sum t name =
   match Hashtbl.find_opt t.hists name with Some h -> h.h_sum | None -> 0.
+
+(* --- quantiles ----------------------------------------------------------- *)
+
+(* Estimate the [q]-quantile from the bucket counts: walk to the bucket
+   where the cumulative count crosses [q * count], then interpolate the
+   rank position inside it on a log2 scale (the buckets are
+   power-of-two wide, so log-space interpolation models a locally
+   uniform density better than linear).  The bucket edges are clamped
+   to the exact observed [h_min, h_max], so the estimate degrades
+   gracefully at the extremes: p0 is exactly [h_min], p100 exactly
+   [h_max], and everything in between is within one bucket (a factor
+   of 2) of the exact order statistic. *)
+let quantile_of_hist h q =
+  if h.h_count = 0 then None
+  else
+    let q = Float.max 0. (Float.min 1. q) in
+    let target = Float.max 1. (q *. float_of_int h.h_count) in
+    let rec find i cum =
+      if i >= n_buckets - 1 then (i, cum)
+      else if float_of_int (cum + h.h_buckets.(i)) >= target then (i, cum)
+      else find (i + 1) (cum + h.h_buckets.(i))
+    in
+    let i, below = find 0 0 in
+    let n_in = h.h_buckets.(i) in
+    let frac =
+      if n_in = 0 then 1.
+      else (target -. float_of_int below) /. float_of_int n_in
+    in
+    let lo = if i = 0 then h.h_min else Float.max h.h_min (bucket_le (i - 1)) in
+    let hi =
+      if i >= n_buckets - 1 then h.h_max else Float.min h.h_max (bucket_le i)
+    in
+    let v =
+      if not (Float.is_finite lo) then hi
+      else if not (Float.is_finite hi) then lo
+      else if lo >= hi then lo
+      else if lo > 0. then
+        Float.pow 2.
+          (Float.log2 lo +. (frac *. (Float.log2 hi -. Float.log2 lo)))
+      else lo +. (frac *. (hi -. lo))
+    in
+    let v = if Float.is_nan v then 0. else v in
+    Some (Float.max h.h_min (Float.min h.h_max v))
+
+let quantile t name q =
+  match Hashtbl.find_opt t.hists name with
+  | Some h -> quantile_of_hist h q
+  | None -> None
 
 (* --- merging ------------------------------------------------------------- *)
 
@@ -143,6 +210,9 @@ let sorted_bindings tbl =
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let hist_json h =
+  let qf q =
+    Tjson.float (match quantile_of_hist h q with Some v -> v | None -> 0.)
+  in
   let buckets =
     Array.to_list
       (Array.mapi
@@ -170,15 +240,19 @@ let hist_json h =
         (Tjson.float
            (if h.h_count = 0 then 0.
             else h.h_sum /. float_of_int h.h_count));
+      Tjson.field "p50" (qf 0.5);
+      Tjson.field "p90" (qf 0.9);
+      Tjson.field "p99" (qf 0.99);
       Tjson.field "buckets" (Tjson.arr buckets);
     ]
 
 (** The whole registry as one JSON object, keys sorted, schema
-    [scenic-stats/1]. *)
+    [scenic-stats/2] (v2 added the p50/p90/p99 quantile estimates to
+    every histogram). *)
 let to_json t =
   Tjson.obj
     [
-      Tjson.field "schema" (Tjson.escape "scenic-stats/1");
+      Tjson.field "schema" (Tjson.escape "scenic-stats/2");
       Tjson.field "counters"
         (Tjson.obj
            (List.map

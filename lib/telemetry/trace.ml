@@ -16,7 +16,10 @@
       loadable in [chrome://tracing] / Perfetto, with one row per
       thread id;
     - {!jsonl}: one JSON object per line, start-time ordered — the
-      compact event log for ad-hoc [grep]/[jq] analysis. *)
+      compact event log for ad-hoc [grep]/[jq] analysis;
+    - {!folded}: collapsed-stack flamegraph lines valued by per-frame
+      {e self} time ({!self_ms} exposes the same aggregation
+      programmatically). *)
 
 type attr =
   | Int of int
@@ -110,6 +113,78 @@ let total_ms t name =
     (fun acc s -> if s.sp_name = name then acc +. (s.sp_dur_us /. 1e3) else acc)
     0. t.spans
 
+(* --- stack reconstruction (self time, flamegraphs) ----------------------- *)
+
+(* Rebuild each span's enclosing stack from the recorded (tid, depth,
+   timestamp) triples and call [f path self_us] with the root-first
+   frame path (ending in the span itself) and the span's {e self} time:
+   its duration minus the durations of its direct children.  Works on
+   merged traces: spans are grouped by recording tid and replayed in
+   start-time order, so consecutive per-sample segments that reuse a
+   tid (and restart their sequence numbers) simply re-open at depth 0
+   when the previous segment's frames have all been popped. *)
+let iter_stacks f t =
+  let by_tid = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      Hashtbl.replace by_tid s.sp_tid
+        (s :: Option.value ~default:[] (Hashtbl.find_opt by_tid s.sp_tid)))
+    t.spans;
+  let tids =
+    Hashtbl.fold (fun k _ acc -> k :: acc) by_tid [] |> List.sort compare
+  in
+  List.iter
+    (fun tid ->
+      let spans =
+        List.sort
+          (fun a b ->
+            match compare a.sp_ts_us b.sp_ts_us with
+            | 0 -> compare a.sp_depth b.sp_depth
+            | c -> c)
+          (Hashtbl.find by_tid tid)
+      in
+      (* open frames, innermost first: (root-first path, dur, child-dur) *)
+      let stack = ref [] in
+      let rec pop_to d =
+        match !stack with
+        | (path, dur, kids) :: rest when List.length !stack > d ->
+            f path (Float.max 0. (dur -. !kids));
+            stack := rest;
+            pop_to d
+        | _ -> ()
+      in
+      List.iter
+        (fun s ->
+          pop_to s.sp_depth;
+          let parent_path =
+            match !stack with (p, _, _) :: _ -> p | [] -> []
+          in
+          (match !stack with
+          | (_, _, kids) :: _ -> kids := !kids +. s.sp_dur_us
+          | [] -> ());
+          stack := (parent_path @ [ s.sp_name ], s.sp_dur_us, ref 0.) :: !stack)
+        spans;
+      pop_to 0)
+    tids
+
+(** Per-span-name self time in milliseconds (duration minus direct
+    children), aggregated over the whole trace and sorted by name —
+    "where is the time actually spent" without double counting a parent
+    phase for its children. *)
+let self_ms t =
+  let table = Hashtbl.create 16 in
+  iter_stacks
+    (fun path self_us ->
+      match List.rev path with
+      | [] -> ()
+      | name :: _ ->
+          Hashtbl.replace table name
+            ((self_us /. 1e3)
+            +. Option.value ~default:0. (Hashtbl.find_opt table name)))
+    t;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
 (* --- exporters ----------------------------------------------------------- *)
 
 let attr_json = function
@@ -170,11 +245,54 @@ let jsonl t =
     (spans t);
   Buffer.contents buf
 
-(** Write the trace to [path]: JSONL when the filename ends in
-    [.jsonl], Chrome [trace_event] JSON otherwise. *)
-let save t path =
+(** Collapsed-stack ("folded") flamegraph lines: one
+    [frame;frame;...;frame <self_us>] line per distinct stack path,
+    with the value in integer microseconds of self time — the input
+    format of Brendan Gregg's [flamegraph.pl] and of speedscope.
+    Frames are sanitised (spaces and semicolons replaced) so the
+    two-column format stays parseable; identical paths are aggregated
+    and lines sorted lexically, so the export is a deterministic
+    function of the recorded spans.  Zero-self-time paths are
+    dropped. *)
+let folded t =
+  let sanitise name =
+    String.map (function ' ' -> '_' | ';' -> ':' | c -> c) name
+  in
+  let table = Hashtbl.create 32 in
+  iter_stacks
+    (fun path self_us ->
+      let key = String.concat ";" (List.map sanitise path) in
+      Hashtbl.replace table key
+        (self_us +. Option.value ~default:0. (Hashtbl.find_opt table key)))
+    t;
+  let lines =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.filter_map (fun (k, us) ->
+           let n = int_of_float (Float.round us) in
+           if n > 0 then Some (Printf.sprintf "%s %d\n" k n) else None)
+  in
+  String.concat "" lines
+
+type format = Chrome | Jsonl | Flame
+
+(** The format [save] infers from a path: [.jsonl] → JSONL, [.folded] /
+    [.flame] → collapsed stacks, anything else → Chrome JSON. *)
+let format_for_path path =
+  if Filename.check_suffix path ".jsonl" then Jsonl
+  else if Filename.check_suffix path ".folded" || Filename.check_suffix path ".flame"
+  then Flame
+  else Chrome
+
+(** Write the trace to [path] in [format] (default: inferred from the
+    filename by {!format_for_path}). *)
+let save ?format t path =
+  let fmt = match format with Some f -> f | None -> format_for_path path in
   let data =
-    if Filename.check_suffix path ".jsonl" then jsonl t else chrome_json t
+    match fmt with
+    | Chrome -> chrome_json t
+    | Jsonl -> jsonl t
+    | Flame -> folded t
   in
   let oc = open_out path in
   Fun.protect

@@ -96,7 +96,7 @@ let suite =
         Sys.remove f;
         check_code "exhaustion" 3 r;
         check_stderr "exhaustion" "exhausted" r);
-    test_case "--stats adds a scenic-stats/1 snapshot on stderr only" `Quick
+    test_case "--stats adds a scenic-stats/2 snapshot on stderr only" `Quick
       (fun () ->
         let f = scenario_file feasible in
         let plain = run [ "sample"; "--seed"; "7"; "-n"; "2"; f ] in
@@ -104,7 +104,12 @@ let suite =
         Sys.remove f;
         check_code "plain" 0 plain;
         check_code "--stats" 0 stats;
-        check_stderr "--stats" "scenic-stats/1" stats;
+        check_stderr "--stats" "scenic-stats/2" stats;
+        (* the /2 additions: quantile estimates on every histogram and
+           the propagation warmup profile *)
+        check_stderr "--stats" "\"p50\"" stats;
+        check_stderr "--stats" "\"p99\"" stats;
+        check_stderr "--stats" "warmup.acceptance" stats;
         let _, out_plain, _ = plain and _, out_stats, _ = stats in
         Alcotest.(check string) "stdout unchanged" out_plain out_stats);
     test_case "--trace writes a trace file" `Quick (fun () ->
@@ -266,6 +271,158 @@ let suite =
         check_code "--stats" 0 r;
         check_stderr "--stats" "propagate.static_true" r;
         check_stderr "--stats" "propagate.retained_frac" r);
+    test_case "explain reports the funnel and a dominant requirement" `Quick
+      (fun () ->
+        let f = scenario_file infeasible in
+        let r = run [ "explain"; "--seed"; "7"; "-n"; "5"; "--max-iters"; "60"; f ] in
+        Sys.remove f;
+        (* a hard scenario is a finding, not an error *)
+        check_code "explain" 0 r;
+        let _, out, _ = r in
+        List.iter
+          (fun needle ->
+            Alcotest.(check bool) (needle ^ " in report") true
+              (contains ~needle out))
+          [
+            "sampling-health report";
+            "requirement funnel";
+            "dominant rejecting requirement";
+            "(x > 2)";
+            "budget:";
+          ]);
+    test_case "explain --json is byte-identical across --jobs 1/2/4" `Quick
+      (fun () ->
+        let f = scenario_file feasible in
+        let out j =
+          let r =
+            run
+              [ "explain"; "--seed"; "9"; "-n"; "8"; "--json"; "--jobs"; j; f ]
+          in
+          check_code ("jobs " ^ j) 0 r;
+          let _, o, _ = r in
+          o
+        in
+        let o1 = out "1" in
+        let o2 = out "2" in
+        let o4 = out "4" in
+        Sys.remove f;
+        Alcotest.(check bool) "schema stamped" true
+          (contains ~needle:"\"scenic-explain/1\"" o1);
+        Alcotest.(check bool) "no wall-clock fields" false
+          (contains ~needle:"_ms" o1);
+        Alcotest.(check string) "jobs 1 = jobs 2" o1 o2;
+        Alcotest.(check string) "jobs 1 = jobs 4" o1 o4);
+    test_case "--explain on sample writes the same JSON report" `Quick
+      (fun () ->
+        let f = scenario_file feasible in
+        let report = Filename.temp_file "scenic_cli" ".explain.json" in
+        let r =
+          run
+            [ "sample"; "--seed"; "9"; "-n"; "3"; "--explain"; report; f ]
+        in
+        Sys.remove f;
+        check_code "--explain" 0 r;
+        let body = read_all report in
+        Sys.remove report;
+        Alcotest.(check bool) "scenic-explain/1 written" true
+          (contains ~needle:"\"scenic-explain/1\"" body);
+        Alcotest.(check bool) "funnel present" true
+          (contains ~needle:"\"funnel\"" body));
+    test_case "--trace-format flame writes collapsed stacks" `Quick (fun () ->
+        let f = scenario_file feasible in
+        let trace = Filename.temp_file "scenic_cli" ".trace.txt" in
+        let r =
+          run
+            [ "sample"; "--seed"; "7"; "--trace"; trace; "--trace-format";
+              "flame"; f ]
+        in
+        Sys.remove f;
+        check_code "--trace-format flame" 0 r;
+        let body = read_all trace in
+        Sys.remove trace;
+        (* every line is "path 123": semicolon-joined frames, one space,
+           an integer self time — and sampling shows up under the batch *)
+        Alcotest.(check bool) "non-empty" true (String.length body > 0);
+        Alcotest.(check bool) "no JSON leaked" false (contains ~needle:"{" body);
+        String.split_on_char '\n' body
+        |> List.filter (fun l -> l <> "")
+        |> List.iter (fun line ->
+               match String.rindex_opt line ' ' with
+               | None -> Alcotest.failf "no value column in %S" line
+               | Some i -> (
+                   let v =
+                     String.sub line (i + 1) (String.length line - i - 1)
+                   in
+                   match int_of_string_opt v with
+                   | Some n when n > 0 -> ()
+                   | _ -> Alcotest.failf "bad self-time %S in %S" v line));
+        Alcotest.(check bool) "stacks nest under the per-sample span" true
+          (contains ~needle:"sample;rejection.sample" body));
+    test_case "bench diff exits 0/6/1 for clean/regressed/garbage" `Quick
+      (fun () ->
+        let record metrics =
+          let path = Filename.temp_file "scenic_cli" ".bench.json" in
+          let oc = open_out path in
+          output_string oc
+            (Printf.sprintf
+               {|{"schema": "scenic-bench-sampling/5", "scenarios": [%s]}|}
+               metrics);
+          close_out oc;
+          path
+        in
+        let base =
+          record
+            {|{"name": "s", "ms_per_scene": 1.0, "mean_iterations": 10.0, "propagation": {"strata": 5, "retained_frac": 0.2}}|}
+        in
+        let same =
+          record
+            {|{"name": "s", "ms_per_scene": 1.1, "mean_iterations": 11.0, "propagation": {"strata": 5, "retained_frac": 0.2}}|}
+        in
+        let worse =
+          record
+            {|{"name": "s", "ms_per_scene": 9.0, "mean_iterations": 80.0, "propagation": {"strata": 0, "retained_frac": 0.9}}|}
+        in
+        let garbage = scenario_file "not json at all" in
+        let clean = run [ "bench"; "diff"; base; same ] in
+        let regressed = run [ "bench"; "diff"; base; worse ] in
+        let broken = run [ "bench"; "diff"; garbage; same ] in
+        let missing_args = run [ "bench"; "diff"; base ] in
+        List.iter Sys.remove [ base; same; worse; garbage ];
+        check_code "within noise" 0 clean;
+        check_code "regressed" 6 regressed;
+        check_stderr "regressed" "regression" regressed;
+        check_stderr "regressed" "ms_per_scene" regressed;
+        check_stderr "regressed" "strata" regressed;
+        check_code "garbage input" 1 broken;
+        check_code "single record without --assert" 1 missing_args);
+    test_case "bench diff --assert gates on absolute thresholds" `Quick
+      (fun () ->
+        let record =
+          let path = Filename.temp_file "scenic_cli" ".bench.json" in
+          let oc = open_out path in
+          output_string oc
+            {|{"schema": "scenic-bench-sampling/5", "scenarios": [{"name": "s", "ms_per_scene": 1.0, "mean_iterations": 50.0, "propagation": {"strata": 5, "retained_frac": 0.2}}]}|};
+          close_out oc;
+          path
+        in
+        let thresholds spec =
+          let path = Filename.temp_file "scenic_cli" ".thresholds.json" in
+          let oc = open_out path in
+          output_string oc
+            (Printf.sprintf
+               {|{"schema": "scenic-bench-thresholds/1", "scenarios": {"s": %s}}|}
+               spec);
+          close_out oc;
+          path
+        in
+        let pass = thresholds {|{"max_mean_iterations": 60, "min_strata": 1}|} in
+        let fail = thresholds {|{"max_mean_iterations": 40}|} in
+        let ok = run [ "bench"; "diff"; record; "--assert"; pass ] in
+        let bad = run [ "bench"; "diff"; record; "--assert"; fail ] in
+        List.iter Sys.remove [ record; pass; fail ];
+        check_code "within thresholds" 0 ok;
+        check_code "over threshold" 6 bad;
+        check_stderr "over threshold" "mean_iterations" bad);
     test_case "conformance --index replays one fuzz program" `Quick (fun () ->
         let r = run [ "conformance"; "--seed"; "0"; "--index"; "0" ] in
         check_code "replay" 0 r;

@@ -236,6 +236,69 @@ let effectiveness_tests =
              prop_iters)
           true
           (prop_iters *. 3. < plain_iters));
+    test_case "stats carry the explain-facing warmup and build ledger" `Quick
+      (fun () ->
+        Scenic_worlds.Scenic_worlds_init.init ();
+        let scenario =
+          C.Eval.compile ~file:"mars" Scenic_harness.Scenarios.mars_bottleneck
+        in
+        let s = Scenic_sampler.Propagate.run scenario in
+        let module Pr = Scenic_sampler.Propagate in
+        Alcotest.(check bool) "warmup drew something" true (s.Pr.warmup_draws > 0);
+        Alcotest.(check int) "one violation slot per requirement"
+          (List.length scenario.C.Scenario.requirements)
+          (Array.length s.Pr.warmup_violations);
+        Alcotest.(check bool) "some warmup failure attributed" true
+          (Array.exists (fun n -> n > 0) s.Pr.warmup_violations);
+        (* the strata rewrite re-warms, so the post-rewrite profile exists
+           and acceptance did not get worse *)
+        (match (s.Pr.post_acceptance, s.Pr.post_draws, s.Pr.post_violations) with
+        | Some a, Some d, Some v ->
+            Alcotest.(check bool) "post draws" true (d > 0);
+            Alcotest.(check int) "post violation slots"
+              (List.length scenario.C.Scenario.requirements)
+              (Array.length v);
+            Alcotest.(check bool) "acceptance not worse" true
+              (a >= s.Pr.warmup_acceptance)
+        | _ -> Alcotest.fail "strata rewrite should re-warm on mars-bottleneck");
+        Alcotest.(check bool) "band build cost counted" true
+          (s.Pr.build_evals > 0);
+        Alcotest.(check bool) "separable path taken" true s.Pr.separable;
+        Alcotest.(check bool) "final check order recorded" true
+          (Array.length s.Pr.check_order > 0);
+        (* the order is a permutation of the non-static requirements *)
+        let sorted = Array.copy s.Pr.check_order in
+        Array.sort compare sorted;
+        Alcotest.(check bool) "no duplicate check slots" true
+          (Array.for_all Fun.id
+             (Array.mapi
+                (fun i v -> i = 0 || sorted.(i - 1) < v)
+                sorted)));
+    test_case "warmup profile reaches the probe as warmup.* keys" `Quick
+      (fun () ->
+        Scenic_worlds.Scenic_worlds_init.init ();
+        let m = Scenic_telemetry.Metrics.create () in
+        let probe = Scenic_telemetry.Probe.make ~metrics:m () in
+        let sampler =
+          Scenic_sampler.Sampler.of_source ~probe ~seed:5 ~file:"mars"
+            Scenic_harness.Scenarios.mars_bottleneck
+        in
+        ignore (Scenic_sampler.Sampler.sample sampler);
+        let module M = Scenic_telemetry.Metrics in
+        Alcotest.(check bool) "warmup.acceptance gauge" true
+          (M.gauge m "warmup.acceptance" <> None);
+        Alcotest.(check bool) "warmup.iterations counter" true
+          (M.counter m "warmup.iterations" > 0);
+        Alcotest.(check bool) "post-rewrite acceptance gauge" true
+          (M.gauge m "warmup.post_acceptance" <> None);
+        (* per-requirement attribution mirrors the rejection.* convention *)
+        let hit = ref false in
+        Hashtbl.iter
+          (fun k (_ : int ref) ->
+            if String.length k > 19 && String.sub k 0 19 = "warmup.requirement." then
+              hit := true)
+          m.M.counters;
+        Alcotest.(check bool) "warmup.requirement.* counters" true !hit);
     test_case "propagation is deterministic for a scenario" `Quick (fun () ->
         let stats () =
           let scenario =

@@ -124,6 +124,49 @@ let trace_tests =
             Alcotest.(check bool) "object per line" true
               (String.length l > 1 && l.[0] = '{' && l.[String.length l - 1] = '}'))
           lines);
+    test_case "self time subtracts direct children" `Quick (fun () ->
+        (* outer spans 3 ticks on the ticking clock; inner spans 1; the
+           remaining 2 ticks are outer's self time *)
+        let tr = T.Trace.create ~clock:(ticking ()) () in
+        T.Trace.span tr "outer" (fun () ->
+            T.Trace.span tr "inner" (fun () -> ()));
+        let self = T.Trace.self_ms tr in
+        Alcotest.(check (option (float 1e-6))) "inner keeps its full time"
+          (Some 1.) (List.assoc_opt "inner" self);
+        Alcotest.(check (option (float 1e-6))) "outer loses inner's time"
+          (Some 2.) (List.assoc_opt "outer" self));
+    test_case "folded lines encode the stack path with self time" `Quick
+      (fun () ->
+        let tr = T.Trace.create ~clock:(ticking ()) () in
+        T.Trace.span tr "sample batch" (fun () ->
+            T.Trace.span tr "rejection;check" (fun () -> ()));
+        let folded = T.Trace.folded tr in
+        (* frames sanitised: spaces -> _, ';' -> ':' keep the two-column
+           format parseable *)
+        Alcotest.(check bool) "child path line" true
+          (contains folded "sample_batch;rejection:check 1000\n");
+        Alcotest.(check bool) "parent self-time line" true
+          (contains folded "sample_batch 2000\n"));
+    test_case "folded reconstructs stacks across a merged batch" `Quick
+      (fun () ->
+        (* two per-sample traces on the same tid whose sequence numbers
+           both start at 0 — the merge shape Parallel.run produces *)
+        let a = T.Trace.create ~clock:(ticking ()) () in
+        T.Trace.span a "sample" (fun () -> T.Trace.span a "work" (fun () -> ()));
+        let b = T.Trace.create ~clock:(ticking ~start:1. ()) () in
+        T.Trace.span b "sample" (fun () -> T.Trace.span b "work" (fun () -> ()));
+        T.Trace.merge_into ~into:a b;
+        let folded = T.Trace.folded a in
+        (* both samples aggregate onto the same two paths, doubled *)
+        Alcotest.(check bool) "aggregated child" true
+          (contains folded "sample;work 2000\n");
+        Alcotest.(check bool) "aggregated parent" true
+          (contains folded "sample 4000\n");
+        (* and the totals balance: self times sum to wall time *)
+        let total =
+          List.fold_left (fun acc (_, ms) -> acc +. ms) 0. (T.Trace.self_ms a)
+        in
+        Alcotest.(check (float 1e-6)) "self times sum to span time" 6. total);
     test_case "save picks the format from the extension" `Quick (fun () ->
         let tr = T.Trace.create ~clock:(ticking ()) () in
         T.Trace.span tr "s" (fun () -> ());
@@ -135,15 +178,24 @@ let trace_tests =
         in
         let chrome = Filename.temp_file "trace" ".json" in
         let flat = Filename.temp_file "trace" ".jsonl" in
+        let flame = Filename.temp_file "trace" ".folded" in
+        let forced = Filename.temp_file "trace" ".json" in
         Fun.protect
-          ~finally:(fun () -> Sys.remove chrome; Sys.remove flat)
+          ~finally:(fun () ->
+            List.iter Sys.remove [ chrome; flat; flame; forced ])
           (fun () ->
             T.Trace.save tr chrome;
             T.Trace.save tr flat;
+            T.Trace.save tr flame;
+            T.Trace.save ~format:T.Trace.Flame tr forced;
             Alcotest.(check bool) "chrome wrapper" true
               (contains (read chrome) "\"traceEvents\"");
             Alcotest.(check bool) "jsonl is bare objects" false
-              (contains (read flat) "\"traceEvents\"")));
+              (contains (read flat) "\"traceEvents\"");
+            Alcotest.(check string) ".folded infers collapsed stacks"
+              "s 1000\n" (read flame);
+            Alcotest.(check string) "explicit format beats the extension"
+              "s 1000\n" (read forced)));
   ]
 
 (* --- Metrics -------------------------------------------------------------- *)
@@ -180,10 +232,28 @@ let metrics_tests =
           (T.Metrics.exp_offset + 1)
           (T.Metrics.bucket_of 1.5);
         Alcotest.(check int) "non-positive underflows" 0 (T.Metrics.bucket_of 0.);
+        Alcotest.(check int) "negative underflows" 0 (T.Metrics.bucket_of (-3.));
         Alcotest.(check int) "nan underflows" 0 (T.Metrics.bucket_of Float.nan);
+        Alcotest.(check int) "-inf underflows" 0
+          (T.Metrics.bucket_of Float.neg_infinity);
         Alcotest.(check int) "huge values overflow into the last bucket"
           (T.Metrics.n_buckets - 1)
-          (T.Metrics.bucket_of 1e12));
+          (T.Metrics.bucket_of 1e12);
+        Alcotest.(check int) "+inf overflows into the last bucket"
+          (T.Metrics.n_buckets - 1)
+          (T.Metrics.bucket_of Float.infinity));
+    test_case "degenerate observations stay inside the histogram" `Quick
+      (fun () ->
+        (* the satellite fix: none of these may raise or corrupt counts *)
+        let m = T.Metrics.create () in
+        List.iter
+          (T.Metrics.observe m "h")
+          [ 0.; -1.; Float.nan; Float.infinity; Float.neg_infinity; 1. ];
+        Alcotest.(check int) "all six counted" 6 (T.Metrics.hist_count m "h");
+        let json = T.Metrics.to_json m in
+        Alcotest.(check bool) "snapshot still renders" true (contains json "\"h\"");
+        Alcotest.(check bool) "no NaN leaks into the JSON" false
+          (contains json "nan"));
     qtest "every observation lands in its own bucket"
       QCheck.(float_range 1e-6 1e6)
       in_bucket;
@@ -210,16 +280,95 @@ let metrics_tests =
         Alcotest.(check int) "hist counts summed" 2 (T.Metrics.hist_count a "h");
         Alcotest.(check (float 1e-9)) "hist sums summed" 3.
           (T.Metrics.hist_sum a "h"));
-    test_case "to_json emits the scenic-stats/1 schema with sorted keys" `Quick
+    test_case "quantiles of nothing and of one observation" `Quick (fun () ->
+        let m = T.Metrics.create () in
+        Alcotest.(check (option (float 0.))) "empty histogram" None
+          (T.Metrics.quantile m "h" 0.5);
+        T.Metrics.observe m "h" 7.;
+        List.iter
+          (fun q ->
+            Alcotest.(check (option (float 1e-9)))
+              (Printf.sprintf "single observation at q=%g" q)
+              (Some 7.) (T.Metrics.quantile m "h" q))
+          [ 0.; 0.5; 0.99; 1. ]);
+    test_case "quantile estimates stay within one log bucket of exact" `Quick
+      (fun () ->
+        (* a self-contained LCG: fixed seeds, no global RNG state *)
+        List.iter
+          (fun seed ->
+            let s = ref seed in
+            let next () =
+              s := ((!s * 1103515245) + 12345) land 0x3FFFFFFF;
+              (* skewed positive values spanning several buckets *)
+              let u = float_of_int !s /. float_of_int 0x3FFFFFFF in
+              0.1 +. (500. *. u *. u)
+            in
+            let n = 500 in
+            let xs = Array.init n (fun _ -> next ()) in
+            let m = T.Metrics.create () in
+            Array.iter (T.Metrics.observe m "h") xs;
+            let sorted = Array.copy xs in
+            Array.sort compare sorted;
+            List.iter
+              (fun q ->
+                let exact =
+                  let rank =
+                    max 1
+                      (int_of_float (Float.ceil (q *. float_of_int n)))
+                  in
+                  sorted.(rank - 1)
+                in
+                match T.Metrics.quantile m "h" q with
+                | None -> Alcotest.fail "quantile of a filled histogram"
+                | Some est ->
+                    (* one power-of-two bucket of slack, either side *)
+                    Alcotest.(check bool)
+                      (Printf.sprintf "seed %d q=%g: %g within 2x of %g" seed
+                         q est exact)
+                      true
+                      (est <= (exact *. 2.) +. 1e-9
+                      && est >= (exact /. 2.) -. 1e-9);
+                    Alcotest.(check bool) "clamped to observed range" true
+                      (est >= sorted.(0) -. 1e-9
+                      && est <= sorted.(n - 1) +. 1e-9))
+              [ 0.5; 0.9; 0.99 ])
+          [ 1; 7; 42 ]);
+    test_case "merge-then-quantile equals quantile-of-merged" `Quick (fun () ->
+        let s = ref 9 in
+        let next () =
+          s := ((!s * 1103515245) + 12345) land 0x3FFFFFFF;
+          0.01 +. (float_of_int (!s land 1023) /. 8.)
+        in
+        let xs = Array.init 400 (fun _ -> next ()) in
+        let a = T.Metrics.create ()
+        and b = T.Metrics.create ()
+        and whole = T.Metrics.create () in
+        Array.iteri
+          (fun i v ->
+            T.Metrics.observe (if i mod 2 = 0 then a else b) "h" v;
+            T.Metrics.observe whole "h" v)
+          xs;
+        T.Metrics.merge_into ~into:a b;
+        List.iter
+          (fun q ->
+            Alcotest.(check (option (float 1e-9)))
+              (Printf.sprintf "q=%g identical" q)
+              (T.Metrics.quantile whole "h" q)
+              (T.Metrics.quantile a "h" q))
+          [ 0.1; 0.5; 0.9; 0.99; 1. ]);
+    test_case "to_json emits the scenic-stats/2 schema with sorted keys" `Quick
       (fun () ->
         let m = T.Metrics.create () in
         T.Metrics.add m "z_ctr" 1;
         T.Metrics.add m "a_ctr" 2;
         T.Metrics.observe m "lat" 3.;
         let json = T.Metrics.to_json m in
-        Alcotest.(check bool) "schema" true (contains json "\"scenic-stats/1\"");
+        Alcotest.(check bool) "schema" true (contains json "\"scenic-stats/2\"");
         Alcotest.(check bool) "histogram buckets" true
           (contains json "\"buckets\"");
+        List.iter
+          (fun p -> Alcotest.(check bool) p true (contains json ("\"" ^ p ^ "\"")))
+          [ "p50"; "p90"; "p99" ];
         let idx s =
           let rec go i =
             if i + String.length s > String.length json then -1
