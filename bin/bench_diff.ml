@@ -1,5 +1,6 @@
 (** [scenic bench diff]: the perf regression watchdog over
-    [BENCH_sampling.json] records (schema [scenic-bench-sampling/*]).
+    [BENCH_sampling.json] records (schema [scenic-bench-sampling/*])
+    and [BENCH_serve.json] records (schema [scenic-bench-serve/*]).
 
     Two modes, combinable in one invocation:
 
@@ -199,7 +200,16 @@ type row = {
           [propagation.*] fields, keyed by their bare name *)
 }
 
-let load_record path : row list =
+(* Record families: a sampling record and a serve record share the
+   watchdog machinery but are distinct artifacts with distinct metric
+   vocabularies, so the family rides along with the rows — relative
+   diffs refuse cross-family comparison and threshold entries are
+   family-scoped (see [load_thresholds]). *)
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let load_record path : string * row list =
   let ic = open_in_bin path in
   let text =
     Fun.protect
@@ -207,12 +217,15 @@ let load_record path : row list =
       (fun () -> really_input_string ic (in_channel_length ic))
   in
   let root = parse text in
-  (match to_str (member "schema" root) with
-  | Some s when String.length s >= 21
-                && String.sub s 0 21 = "scenic-bench-sampling" -> ()
-  | Some s -> raise (Parse_error (path ^ ": unexpected schema " ^ s))
-  | None -> raise (Parse_error (path ^ ": missing schema field")));
-  List.filter_map
+  let family =
+    match to_str (member "schema" root) with
+    | Some s when has_prefix ~prefix:"scenic-bench-sampling" s -> "sampling"
+    | Some s when has_prefix ~prefix:"scenic-bench-serve" s -> "serve"
+    | Some s -> raise (Parse_error (path ^ ": unexpected schema " ^ s))
+    | None -> raise (Parse_error (path ^ ": missing schema field"))
+  in
+  ( family,
+    List.filter_map
     (fun scen ->
       match to_str (member "name" scen) with
       | None -> None
@@ -230,7 +243,7 @@ let load_record path : row list =
             flat "" (Some scen) @ flat "" (member "propagation" scen)
           in
           Some { name; metrics })
-    (to_list (member "scenarios" root))
+      (to_list (member "scenarios" root)) )
 
 let metric row key = List.assoc_opt key row.metrics
 
@@ -282,7 +295,12 @@ let compare_scenario ~threshold old_row new_row : (string * verdict) list =
 (* scenic-bench-thresholds/1: {"scenarios": {NAME: {max_<metric>: v,
    min_<metric>: v, ...}}} over the same flat metric names as the
    bench record (ms_per_scene, mean_iterations, strata, retained_frac,
-   static_true, shaved). *)
+   static_true, shaved).  A NAME of the form "FAMILY:NAME" scopes the
+   entry to that record family ("serve:mars-bottleneck" is checked
+   against BENCH_serve.json, never BENCH_sampling.json); a bare NAME
+   means "sampling", so one thresholds file gates both artifacts and
+   each `bench diff --assert` run checks only the entries matching the
+   record it was given. *)
 let load_thresholds path =
   let ic = open_in_bin path in
   let text =
@@ -298,10 +316,18 @@ let load_thresholds path =
   match member "scenarios" root with
   | Some (Obj scenarios) ->
       List.map
-        (fun (name, checks) ->
+        (fun (key, checks) ->
+          let family, name =
+            match String.index_opt key ':' with
+            | Some i ->
+                ( String.sub key 0 i,
+                  String.sub key (i + 1) (String.length key - i - 1) )
+            | None -> ("sampling", key)
+          in
           match checks with
           | Obj fields ->
-              ( name,
+              ( family,
+                name,
                 List.filter_map
                   (fun (k, v) ->
                     match (v, String.index_opt k '_') with
@@ -316,11 +342,13 @@ let load_thresholds path =
                         | _ -> None)
                     | _ -> None)
                   fields )
-          | _ -> (name, []))
+          | _ -> (family, name, []))
         scenarios
   | _ -> []
 
-let check_assertions rows thresholds : string list =
+(* Only the threshold entries scoped to this record's family apply: a
+   "serve:" entry must not count as "missing" from a sampling record. *)
+let check_assertions ~family rows thresholds : string list =
   List.concat_map
     (fun (name, checks) ->
       match List.find_opt (fun r -> r.name = name) rows with
@@ -346,7 +374,9 @@ let check_assertions rows thresholds : string list =
                            met v bound)
                   | _ -> None))
             checks)
-    thresholds
+    (List.filter_map
+       (fun (f, name, checks) -> if f = family then Some (name, checks) else None)
+       thresholds)
 
 (* --- entry point --------------------------------------------------------- *)
 
@@ -356,13 +386,20 @@ let exit_regression = 6
     {!exit_regression} on any regression, 1 on bad input). *)
 let run ?old_file ?assert_file ~threshold new_file : int =
   try
-    let new_rows = load_record new_file in
+    let family, new_rows = load_record new_file in
     let regressions = ref [] in
     let improvements = ref 0 in
     (match old_file with
     | None -> ()
     | Some old_file ->
-        let old_rows = load_record old_file in
+        let old_family, old_rows = load_record old_file in
+        if old_family <> family then
+          raise
+            (Parse_error
+               (Printf.sprintf
+                  "%s is a %s record but %s is a %s record; diff records of \
+                   the same family"
+                  old_file old_family new_file family));
         List.iter
           (fun old_row ->
             match List.find_opt (fun r -> r.name = old_row.name) new_rows with
@@ -391,10 +428,12 @@ let run ?old_file ?assert_file ~threshold new_file : int =
     | None -> ()
     | Some path ->
         let thresholds = load_thresholds path in
-        let failures = check_assertions new_rows thresholds in
+        let failures = check_assertions ~family new_rows thresholds in
         regressions := !regressions @ failures;
-        Printf.printf "bench assert: %d scenario(s) checked against %s\n"
-          (List.length thresholds) path);
+        Printf.printf "bench assert: %d %s scenario(s) checked against %s\n"
+          (List.length
+             (List.filter (fun (f, _, _) -> f = family) thresholds))
+          family path);
     match List.rev !regressions with
     | [] ->
         print_endline "ok: no regressions";

@@ -1,0 +1,192 @@
+(** [scenic bench serve]: the serving-path load generator behind
+    [BENCH_serve.json] (schema [scenic-bench-serve/1]).
+
+    Boots an in-process {!Scenic_server.Server} on a throwaway Unix
+    socket and drives a mixed request schedule against every gallery
+    scenario: cold-compile requests (each with a unique salt comment,
+    so every one takes the compile path), cache-hit requests, and a
+    larger-batch throughput request.  Latencies are measured
+    client-side around the whole exchange — connect, frame, compile or
+    cache lookup, sample, respond — which is the number a serving user
+    experiences.  The emitted per-scenario row:
+
+    - [p50_ms] / [p90_ms] / [p99_ms] — percentiles over the full mixed
+      request population (cold + hit + throughput);
+    - [cold_ms] / [hit_ms] — median cold-compile and cache-hit request
+      latency, and [cold_over_hit], their ratio — the amortization
+      factor the compiled-scenario cache buys (gated in
+      bench/thresholds.json via the [serve:] family entries);
+    - [scenes_per_sec] — sustained rate of the throughput request.
+
+    The driver is closed-loop (one request in flight per connection):
+    on the single-digit-core CI machines this repo targets, an
+    open-loop arrival process mostly benchmarks the backlog queue, and
+    queueing behaviour is pinned separately by the overload tests. *)
+
+module Srv = Scenic_server
+module H = Scenic_harness
+
+let scenarios =
+  [
+    ("simplest", H.Scenarios.simplest);
+    ("badly-parked", H.Scenarios.badly_parked);
+    ("oncoming", H.Scenarios.oncoming);
+    ("overlapping", H.Scenarios.overlapping);
+    ("platoon", H.Scenarios.platoon);
+    ("bumper-to-bumper", H.Scenarios.bumper_to_bumper);
+    ("mars-bottleneck", H.Scenarios.mars_bottleneck);
+  ]
+
+let percentile sorted q =
+  match Array.length sorted with
+  | 0 -> 0.
+  | n -> sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
+
+let median_of l =
+  let a = Array.of_list l in
+  Array.sort compare a;
+  percentile a 0.5
+
+type row = {
+  r_name : string;
+  r_requests : int;
+  r_p50 : float;
+  r_p90 : float;
+  r_p99 : float;
+  r_cold : float;
+  r_hit : float;
+  r_scenes_per_sec : float;
+}
+
+(* One request/response on a fresh connection, returning (latency_ms,
+   status).  Fresh connections make every data point include accept +
+   queue time, like a real client's first request. *)
+let timed_request addr (request : Srv.Sjson.t) : float * string =
+  let t0 = Unix.gettimeofday () in
+  let status =
+    Srv.Client.with_connection addr (fun c ->
+        match Srv.Client.exchange c request with
+        | Some j ->
+            Option.value ~default:"closed" (Srv.Protocol.status_of_json j)
+        | None -> "closed")
+  in
+  ((Unix.gettimeofday () -. t0) *. 1000., status)
+
+let sample_request ~source ~seed ~n =
+  Srv.Sjson.Obj
+    [
+      ("op", Srv.Sjson.Str "sample");
+      ("source", Srv.Sjson.Str source);
+      ("seed", Srv.Sjson.int seed);
+      ("n", Srv.Sjson.int n);
+    ]
+
+let drive_scenario addr ~colds ~hits ~batch_n (name, source) : row =
+  let all = ref [] in
+  let expect_ok what (ms, status) =
+    if status <> "ok" then
+      Printf.eprintf "bench serve: %s %s request answered %S\n%!" name what
+        status;
+    all := ms :: !all;
+    ms
+  in
+  (* cold: a unique trailing comment per request changes the content
+     hash without changing the compiled scenario, forcing the compile
+     path every time *)
+  let cold_ms =
+    List.init colds (fun i ->
+        let salted = Printf.sprintf "%s# bench cold salt %d\n" source i in
+        expect_ok "cold" (timed_request addr (sample_request ~source:salted ~seed:5 ~n:1)))
+  in
+  (* hit: identical source, so after the first cold compile above the
+     cache serves every one (the salt-free source gets its own entry on
+     the first hit-request, which is one extra cold we exclude) *)
+  let _warm =
+    timed_request addr (sample_request ~source ~seed:5 ~n:1)
+  in
+  let hit_ms =
+    List.init hits (fun i ->
+        expect_ok "hit" (timed_request addr (sample_request ~source ~seed:(5 + i) ~n:1)))
+  in
+  (* throughput: one larger batch, scenes/sec over the whole exchange *)
+  let batch_ms =
+    expect_ok "batch" (timed_request addr (sample_request ~source ~seed:7 ~n:batch_n))
+  in
+  let sorted = Array.of_list !all in
+  Array.sort compare sorted;
+  {
+    r_name = name;
+    r_requests = List.length !all;
+    r_p50 = percentile sorted 0.5;
+    r_p90 = percentile sorted 0.9;
+    r_p99 = percentile sorted 0.99;
+    r_cold = median_of cold_ms;
+    r_hit = median_of hit_ms;
+    r_scenes_per_sec =
+      (if batch_ms > 0. then float_of_int batch_n /. (batch_ms /. 1000.)
+       else 0.);
+  }
+
+let json_of_row r =
+  Printf.sprintf
+    "    {\"name\": %s, \"requests\": %d, \"p50_ms\": %.4f, \"p90_ms\": \
+     %.4f, \"p99_ms\": %.4f, \"cold_ms\": %.4f, \"hit_ms\": %.4f, \
+     \"cold_over_hit\": %.2f, \"scenes_per_sec\": %.1f}"
+    (Srv.Sjson.escape r.r_name) r.r_requests r.r_p50 r.r_p90 r.r_p99 r.r_cold
+    r.r_hit
+    (if r.r_hit > 0. then r.r_cold /. r.r_hit else 0.)
+    r.r_scenes_per_sec
+
+(** Run the load generator; returns the process exit code.  [tiny]
+    shrinks the schedule for CI smoke runs (the percentiles get
+    noisier; the cold/hit ratio stays far from its 10x gate either
+    way). *)
+let run ?(tiny = false) ~out () : int =
+  let colds = if tiny then 3 else 10 in
+  let hits = if tiny then 12 else 50 in
+  let batch_n = if tiny then 32 else 256 in
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "scenic-bench-serve-%d.sock" (Unix.getpid ()))
+  in
+  let addr = Srv.Protocol.Unix_socket path in
+  let server =
+    Srv.Server.create
+      ~config:(fun c ->
+        { c with Srv.Server.workers = 2; queue_cap = 128; cache_cap = 64 })
+      addr
+  in
+  Srv.Server.start server;
+  let rows =
+    Fun.protect
+      ~finally:(fun () ->
+        Srv.Server.stop server;
+        Srv.Server.await server)
+      (fun () ->
+        List.map
+          (fun scen ->
+            Printf.eprintf "bench serve: driving %s...\n%!" (fst scen);
+            drive_scenario addr ~colds ~hits ~batch_n scen)
+          scenarios)
+  in
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n  \"schema\": \"scenic-bench-serve/1\",\n  \"generated_unix\": \
+         %.0f,\n  \"scenarios\": [\n%s\n  ]\n}\n"
+        (Unix.time ())
+        (String.concat ",\n" (List.map json_of_row rows)));
+  Printf.printf "wrote %s (%d scenarios)\n" out (List.length rows);
+  List.iter
+    (fun r ->
+      Printf.printf
+        "  %-18s p50 %7.2f ms  p99 %8.2f ms  cold/hit %6.1fx  %8.1f \
+         scenes/s\n"
+        r.r_name r.r_p50 r.r_p99
+        (if r.r_hit > 0. then r.r_cold /. r.r_hit else 0.)
+        r.r_scenes_per_sec)
+    rows;
+  0

@@ -5,11 +5,15 @@
     - [scenic sample FILE]      — sample scenes, print or export them
     - [scenic explain FILE]     — sampling-health report for a scenario
     - [scenic render FILE]      — sample and render through the camera
+    - [scenic serve ADDR]       — scene-generation server with a compiled cache
+    - [scenic client ADDR ...]  — talk to a running server
     - [scenic bench diff A B]   — compare benchmark records, gate on regressions
+    - [scenic bench serve]      — load-generate against the server, emit BENCH_serve.json
     - [scenic worlds]           — list registered world models *)
 
 open Cmdliner
 module T = Scenic_telemetry
+module Srv = Scenic_server
 
 (* Exit codes: 1 for compile-time and runtime errors, 3 when a sampling
    budget is exhausted, 5 when a skip/best-effort batch delivered only
@@ -20,6 +24,11 @@ module T = Scenic_telemetry
 let exit_error = 1
 let exit_exhausted = 3
 let exit_partial = 5
+
+(* scenic client: the server fast-rejected the request under load —
+   distinct from 1 (error) and 3 (exhausted) so load-shedding clients
+   can retry with backoff. *)
+let exit_overloaded = 7
 
 (* Every user-facing warning goes through this one helper: uniformly
    prefixed, always on stderr — stdout carries only scene output, so
@@ -297,21 +306,28 @@ let check_cmd =
     (Cmd.info "check" ~doc:"compile a scenario, reporting static errors")
     Term.(const run $ file_arg)
 
-let make_sampler ?max_iters ?timeout ?on_exhausted ?probe ~no_prune
-    ?(no_propagate = false) ~seed file =
-  let sampler =
-    Scenic_sampler.Sampler.of_source ~prune:(not no_prune)
-      ~propagate:(not no_propagate) ?max_iters ?timeout ?on_exhausted ?probe
-      ~seed ~file (read_file file)
+(* The canonical front half (parse -> compile -> prune -> propagate) as
+   a shareable handle — the same entry point the conformance oracles
+   and the serving cache use. *)
+let make_compiled ?probe ~no_prune ?(no_propagate = false) file =
+  let compiled =
+    Scenic_sampler.Compiled.of_file ~prune:(not no_prune)
+      ~propagate:(not no_propagate) ?probe file
   in
-  (match Scenic_sampler.Sampler.degraded sampler with
+  (match Scenic_sampler.Compiled.degraded compiled with
   | [] -> ()
   | bad ->
       warn
         "pruning produced a degenerate sample space (%s); sampling the \
          unpruned scenario instead"
         (String.concat ", " bad));
-  sampler
+  compiled
+
+let make_sampler ?max_iters ?timeout ?on_exhausted ?probe ~no_prune
+    ?no_propagate ~seed file =
+  Scenic_sampler.Sampler.of_compiled ?max_iters ?timeout ?on_exhausted ?probe
+    ~seed
+    (make_compiled ?probe ~no_prune ?no_propagate file)
 
 let sample_cmd =
   let explain_arg =
@@ -696,9 +712,39 @@ let bench_cmd =
            ])
       Term.(const run $ old_arg $ new_arg $ threshold_arg $ assert_arg)
   in
+  let serve_bench_cmd =
+    let out_arg =
+      Arg.(
+        value
+        & opt string "BENCH_serve.json"
+        & info [ "o"; "out" ] ~docv:"FILE"
+            ~doc:"output record (schema scenic-bench-serve/1)")
+    in
+    let tiny_arg =
+      Arg.(
+        value & flag
+        & info [ "tiny" ]
+            ~doc:"shrunken request schedule for CI smoke runs")
+    in
+    let run out tiny =
+      init ();
+      handle_errors (fun () -> exit (Bench_serve.run ~tiny ~out ()))
+    in
+    Cmd.v
+      (Cmd.info "serve"
+         ~doc:
+           "load-generate against an in-process `scenic serve` daemon and \
+            record p50/p90/p99 request latency, cold-compile vs cache-hit \
+            cost, and scenes/sec per gallery scenario into a \
+            scenic-bench-serve/1 JSON record (gate it with `scenic bench \
+            diff --assert`; serve-scoped threshold entries use the \
+            $(b,serve:) name prefix)")
+      Term.(const run $ out_arg $ tiny_arg)
+  in
   Cmd.group
-    (Cmd.info "bench" ~doc:"benchmark-record utilities (see $(b,bench diff))")
-    [ diff_cmd ]
+    (Cmd.info "bench"
+       ~doc:"benchmark utilities (see $(b,bench diff), $(b,bench serve))")
+    [ diff_cmd; serve_bench_cmd ]
 
 let lint_cmd =
   let run file =
@@ -761,6 +807,235 @@ let worlds_cmd =
     List.iter print_endline (Scenic_core.Module_registry.registered ())
   in
   Cmd.v (Cmd.info "worlds" ~doc:"list registered world models") Term.(const run $ const ())
+
+(* --- serving ------------------------------------------------------------- *)
+
+let addr_pos =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"ADDR"
+        ~doc:
+          "server address: a Unix-socket path (anything containing '/') or \
+           HOST:PORT for TCP.  TCP port 0 binds an ephemeral port, printed \
+           on the ready line.")
+
+let serve_cmd =
+  let workers_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "handler threads.  These only do protocol and cache work; \
+             sampling runs on the domain pool sized by --jobs.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "pending-connection bound: past it, new connections get an \
+             immediate $(b,overloaded) response instead of queueing blind")
+  in
+  let cache_arg =
+    Arg.(
+      value & opt int 128
+      & info [ "cache" ] ~docv:"N"
+          ~doc:
+            "compiled scenarios retained in the content-addressed LRU cache \
+             (0 disables retention; every request then compiles cold)")
+  in
+  let serve_jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"J"
+          ~doc:
+            "sampling workers per request batch.  Served scenes are \
+             byte-identical for every value, as with `scenic sample --jobs`.")
+  in
+  let max_frame_arg =
+    Arg.(
+      value
+      & opt int Srv.Protocol.default_max_frame
+      & info [ "max-frame" ] ~docv:"BYTES"
+          ~doc:"reject request frames larger than $(docv)")
+  in
+  let run addr workers queue cache jobs max_frame stats =
+    init ();
+    handle_errors (fun () ->
+        let addr = Srv.Protocol.addr_of_string addr in
+        let server =
+          Srv.Server.create
+            ~config:(fun c ->
+              {
+                c with
+                Srv.Server.workers;
+                queue_cap = queue;
+                cache_cap = cache;
+                jobs;
+                max_frame;
+              })
+            addr
+        in
+        (* SIGINT/SIGTERM drain instead of killing mid-request *)
+        List.iter
+          (fun s ->
+            try
+              Sys.set_signal s
+                (Sys.Signal_handle (fun _ -> Srv.Server.stop server))
+            with Invalid_argument _ | Sys_error _ -> ())
+          [ Sys.sigint; Sys.sigterm ];
+        Srv.Server.start server;
+        (* the ready line is the startup contract: scripts wait for it,
+           and under TCP port 0 it carries the actual port *)
+        Fmt.pr "listening %a@." Srv.Protocol.pp_addr
+          (Srv.Server.bound_addr server);
+        Srv.Server.await server;
+        let s = Srv.Server.cache_stats server in
+        Fmt.pr "drained: %d requests served (cache: %d hits, %d misses, %d \
+                evictions)@."
+          (T.Metrics.Locked.counter (Srv.Server.metrics server)
+             "serve.requests")
+          s.Srv.Cache.s_hits s.Srv.Cache.s_misses s.Srv.Cache.s_evictions;
+        if stats then
+          Fmt.epr "%s@."
+            (T.Metrics.Locked.to_json (Srv.Server.metrics server)))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "run the scene-generation server: a compile-once, sample-forever \
+          daemon with a content-addressed cache of compiled scenarios"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Speaks length-prefixed JSON frames (4-byte big-endian length + \
+              payload) over a Unix or TCP socket.  A sample request carries \
+              inline Scenic source (or the SHA-256 content hash of a \
+              previously-compiled source), a seed and a scene count; the \
+              served batch is byte-identical to `scenic sample --seed S -n \
+              N --json` for the same scenario at any --jobs.  See the \
+              Serving section of DESIGN.md for the wire protocol.";
+         ])
+    Term.(
+      const run $ addr_pos $ workers_arg $ queue_arg $ cache_arg
+      $ serve_jobs_arg $ max_frame_arg $ stats_arg)
+
+let client_cmd =
+  let op_arg =
+    let ops =
+      [ ("sample", `Sample); ("ping", `Ping); ("stats", `Stats);
+        ("shutdown", `Shutdown) ]
+    in
+    Arg.(
+      value
+      & pos 1 (enum ops) `Sample
+      & info [] ~docv:"OP"
+          ~doc:
+            "$(b,sample) FILE (default), $(b,ping), $(b,stats), or \
+             $(b,shutdown)")
+  in
+  let client_file_arg =
+    Arg.(
+      value
+      & pos 2 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Scenic source file (for $(b,sample))")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "wall-clock budget for the whole request batch, enforced \
+             server-side; past it the server answers $(b,exhausted) (exit 3)")
+  in
+  let by_hash_arg =
+    Arg.(
+      value & flag
+      & info [ "by-hash" ]
+          ~doc:
+            "address the scenario by its content hash first and resend the \
+             source only if the server no longer caches it — the low-latency \
+             steady-state pattern")
+  in
+  let run addr op file seed n deadline_ms max_iters by_hash =
+    handle_errors (fun () ->
+        let addr = Srv.Protocol.addr_of_string addr in
+        let fail_closed () =
+          Fmt.epr "error: server closed the connection without answering@.";
+          exit exit_error
+        in
+        Srv.Client.with_connection addr (fun c ->
+            match op with
+            | `Ping ->
+                if Srv.Client.ping c then print_endline "pong"
+                else fail_closed ()
+            | `Stats -> (
+                match Srv.Client.stats c with
+                | Some j -> print_endline (Srv.Sjson.to_string j)
+                | None -> fail_closed ())
+            | `Shutdown ->
+                if Srv.Client.shutdown c then print_endline "draining"
+                else fail_closed ()
+            | `Sample ->
+                let file =
+                  match file with
+                  | Some f -> f
+                  | None -> invalid_arg "client sample needs a FILE argument"
+                in
+                let source = read_file file in
+                let request ?source ?hash () =
+                  Srv.Client.sample ?source ?hash ~seed ~n ?deadline_ms
+                    ?max_iters c
+                in
+                let result =
+                  if not by_hash then request ~source ()
+                  else
+                    match request ~hash:(Srv.Cache.key source) () with
+                    | Some r when r.Srv.Client.status = "error" ->
+                        (* cache went cold (evicted or fresh server):
+                           resend with the source on the same connection *)
+                        request ~source ()
+                    | r -> r
+                in
+                let r =
+                  match result with Some r -> r | None -> fail_closed ()
+                in
+                (match (r.Srv.Client.hash, r.Srv.Client.cache) with
+                | Some h, Some cache -> Fmt.epr "cache %s: %s@." cache h
+                | _ -> ());
+                (match r.Srv.Client.status with
+                | "ok" -> List.iter print_endline r.Srv.Client.scenes
+                | "exhausted" ->
+                    Fmt.epr "error: sampling budget exhausted: %s@."
+                      (Option.value ~default:"(no reason)" r.Srv.Client.detail);
+                    exit exit_exhausted
+                | "overloaded" ->
+                    Fmt.epr "error: server overloaded, retry with backoff@.";
+                    exit exit_overloaded
+                | status ->
+                    Fmt.epr "error: %s@."
+                      (Option.value ~default:status r.Srv.Client.detail);
+                    exit exit_error)))
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "send one request to a running `scenic serve` daemon; $(b,sample) \
+          prints each scene's JSON, byte-identical to `scenic sample --json`"
+       ~man:
+         [
+           `S Manpage.s_exit_status;
+           `P
+             "0 on success, 1 on errors, 3 when the server answered \
+              $(b,exhausted) (deadline or iteration budget), 7 when it \
+              answered $(b,overloaded).";
+         ])
+    Term.(
+      const run $ addr_pos $ op_arg $ client_file_arg $ seed_arg $ count_arg
+      $ deadline_arg $ max_iters_arg $ by_hash_arg)
 
 (* Exit code 4: the statistical conformance suite found a distributional
    mismatch (distinct from 1 = error and 3 = budget exhausted). *)
@@ -869,4 +1144,4 @@ let conformance_cmd =
 let () =
   let doc = "Scenic: a language for scenario specification and scene generation" in
   let info = Cmd.info "scenic" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ parse_cmd; check_cmd; lint_cmd; sample_cmd; explain_cmd; render_cmd; falsify_cmd; conformance_cmd; bench_cmd; worlds_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ parse_cmd; check_cmd; lint_cmd; sample_cmd; explain_cmd; render_cmd; serve_cmd; client_cmd; falsify_cmd; conformance_cmd; bench_cmd; worlds_cmd ]))

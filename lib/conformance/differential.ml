@@ -42,8 +42,9 @@ let guard ~name f =
       ]
 
 (** Pruned-and-propagated rejection vs. plain rejection on [src].
-    Pruning and interval-domain propagation run on their own compiled
-    copy of the scenario ({!S.Analyze.prune} and {!S.Propagate.run}
+    The pruned arm goes through {!S.Compiled.of_scenario} — the same
+    front half the CLI and the server cache use, fallbacks included —
+    on its own compiled copy of the scenario (pruning and propagation
     rewrite random nodes in place; the plain arm must never see the
     rewrites).  This is the executable form of both soundness claims:
     pruning discards only zero-probability regions (Sec. 5.2,
@@ -60,9 +61,7 @@ let prune_vs_plain ~seed ~n ~name src =
           (S.Rejection.create ~rng:(P.Rng.create ~stream:stream_plain seed) plain)
           n
       in
-      let pruned = World.compile src in
-      ignore (S.Analyze.prune pruned);
-      ignore (S.Propagate.run pruned);
+      let pruned = S.Compiled.scenario (S.Compiled.of_scenario (World.compile src)) in
       let pruned_scenes =
         S.Rejection.sample_many
           (S.Rejection.create

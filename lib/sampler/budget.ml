@@ -6,17 +6,27 @@
     dominant failure mode in practice, so every supervised sampling
     path takes a budget and reports a structured {!stop_reason} instead
     of spinning.  The clock is injectable so deadline behaviour is
-    testable without real waiting (see {!Scenic_harness.Robustness}). *)
+    testable without real waiting (see {!Scenic_harness.Robustness}).
+
+    Two wall-clock forms exist: [timeout] is {e per sample} (the clock
+    starts at {!start}, once per [sample] call), while [deadline] is an
+    {e absolute} clock value shared by every sample drawn under the
+    budget — the form a serving deadline needs, where "this request has
+    1.5 ms left" must bound the whole batch, not restart per scene. *)
 
 type clock = unit -> float
-(** returns seconds; only differences are ever used, so any monotonic
-    origin works *)
+(** returns seconds; only differences are ever used by [timeout], so
+    any monotonic origin works — but [deadline] compares absolute
+    values, so it must come from the same clock *)
 
 let default_clock : clock = Unix.gettimeofday
 
 type t = {
   max_iters : int option;  (** cap on rejection iterations per sample *)
   timeout : float option;  (** wall-clock seconds per sample *)
+  deadline : float option;
+      (** absolute clock value; every sample under this budget stops
+          once the clock passes it *)
   clock : clock;
 }
 
@@ -28,7 +38,7 @@ let pp_stop_reason ppf = function
   | Iteration_limit n -> Fmt.pf ppf "iteration limit (%d iterations)" n
   | Deadline s -> Fmt.pf ppf "wall-clock deadline (%.2f s elapsed)" s
 
-let create ?max_iters ?timeout ?(clock = default_clock) () =
+let create ?max_iters ?timeout ?deadline ?(clock = default_clock) () =
   (match max_iters with
   | Some n when n <= 0 ->
       invalid_arg "Budget.create: max_iters must be positive"
@@ -37,60 +47,128 @@ let create ?max_iters ?timeout ?(clock = default_clock) () =
   | Some s when s <= 0. || Float.is_nan s ->
       invalid_arg "Budget.create: timeout must be positive"
   | _ -> ());
-  { max_iters; timeout; clock }
+  (match deadline with
+  | Some s when Float.is_nan s ->
+      invalid_arg "Budget.create: deadline must not be NaN"
+  | _ -> ());
+  { max_iters; timeout; deadline; clock }
 
-let unlimited = { max_iters = None; timeout = None; clock = default_clock }
+let unlimited =
+  { max_iters = None; timeout = None; deadline = None; clock = default_clock }
 
 let of_iters n = create ~max_iters:n ()
 
-let is_unlimited t = t.max_iters = None && t.timeout = None
+let is_unlimited t = t.max_iters = None && t.timeout = None && t.deadline = None
 
-(** A budget stamped with a start time; one per [sample] call. *)
-type running = { spec : t; started : float }
+(** The clock is consulted at most every [clock_stride] iterations (and
+    always on iteration 1), not on every rejection: a rejection
+    iteration on an easy scenario is sub-microsecond, so a
+    per-iteration [Unix.gettimeofday] syscall dominated the loop
+    whenever a timeout was set.
 
-let start spec =
-  { spec; started = (if spec.timeout = None then 0. else spec.clock ()) }
+    {b Adaptive stride.}  [clock_stride] is the {e ceiling}.  Each
+    consultation measures the time the last stride took and shrinks the
+    next stride so that roughly half the remaining budget passes before
+    the next look at the clock, clamped to [1 ..  clock_stride] — so a
+    ~1 ms serving deadline is detected within a couple of iterations of
+    expiring instead of up to 63 iterations late, while an easy
+    scenario under a generous timeout still pays only one syscall per
+    64 iterations.  A clock that appears frozen between consultations
+    (fake clocks, sub-resolution strides) yields no estimate and keeps
+    the full stride, reproducing the historical consultation schedule
+    exactly.
 
-(** The clock is consulted every [clock_stride] iterations (and always
-    on iteration 1), not on every rejection: a rejection iteration on an
-    easy scenario is sub-microsecond, so a per-iteration
-    [Unix.gettimeofday] syscall dominated the loop whenever a timeout
-    was set.  Must be a power of two (the check uses a bitmask).
-
-    {b Deadline-overshoot bound.}  Consultations happen before
-    iterations [1, 1 + clock_stride, 1 + 2*clock_stride, ...], so a
-    deadline that expires between two consultations is detected at the
-    next one: at most [clock_stride - 1] {e extra iterations} run after
-    the deadline has passed (worst case: the deadline expires during
-    iteration 2, detection fires before iteration [clock_stride + 1]).
-    The bound is exact and is pinned by a fake-clock test
-    ("deadline overshoot is bounded by the stride" in
-    test_robustness.ml); {!max_deadline_overshoot} exposes it so tests
-    and docs cannot drift from the implementation.  Bounded staleness
-    is the price of a ~64x reduction in syscalls; wall-clock overshoot
-    is therefore at most [clock_stride - 1] times the cost of one
-    rejection iteration, not a fixed number of seconds. *)
+    {b Deadline-overshoot bound.}  The stride never exceeds
+    [clock_stride], so at most [clock_stride - 1] {e extra iterations}
+    run after a deadline has passed (worst case: the deadline expires
+    right after the iteration-1 consultation with no rate estimate
+    available).  The bound is exact and is pinned by fake-clock tests
+    ("deadline overshoot is bounded by the stride" and "adaptive stride
+    tightens near the deadline" in test_robustness.ml);
+    {!max_deadline_overshoot} exposes it so tests and docs cannot drift
+    from the implementation.  Bounded staleness is the price of a ~64x
+    reduction in syscalls; wall-clock overshoot is at most one stride's
+    worth of rejection iterations, and near the deadline the adaptive
+    stride makes that a handful of iterations, not 63. *)
 let clock_stride = 64
 
 (** Maximum number of iterations that can run after a deadline has
-    expired before {!check} reports it: [clock_stride - 1]. *)
+    expired before {!check} reports it: [clock_stride - 1].  The
+    adaptive stride usually detects expiry much sooner (see
+    {!clock_stride}); this is the worst case. *)
 let max_deadline_overshoot = clock_stride - 1
+
+(** A budget stamped with a start time; one per [sample] call.  The
+    consultation state is mutable: [next_check] is the next iteration
+    to look at the clock on, [last_iter]/[last_time] the previous
+    consultation (for the iteration-rate estimate). *)
+type running = {
+  spec : t;
+  started : float;
+  mutable next_check : int;
+  mutable last_iter : int;
+  mutable last_time : float;
+}
+
+let start spec =
+  let started =
+    if spec.timeout = None && spec.deadline = None then 0. else spec.clock ()
+  in
+  { spec; started; next_check = 1; last_iter = 0; last_time = started }
+
+(* Seconds left before the nearest wall-clock bound fires, given the
+   current clock reading. *)
+let remaining spec ~started ~now =
+  let from_timeout =
+    match spec.timeout with
+    | None -> Float.infinity
+    | Some s -> s -. (now -. started)
+  in
+  let from_deadline =
+    match spec.deadline with
+    | None -> Float.infinity
+    | Some d -> d -. now
+  in
+  Float.min from_timeout from_deadline
 
 (** [check run ~iters] before starting iteration [iters] (1-based):
     [Some reason] once the budget is exhausted.  The clock is only
-    consulted when a timeout is set, and then only on iteration 1 and
-    every [clock_stride] iterations thereafter, keeping the unlimited
-    and iteration-only paths syscall-free and the timed path cheap. *)
+    consulted when a wall-clock bound is set, and then only on
+    iteration 1 and at the adaptively-strided iterations thereafter,
+    keeping the unlimited and iteration-only paths syscall-free and the
+    timed path cheap. *)
 let check run ~iters =
   match run.spec.max_iters with
   | Some cap when iters > cap -> Some (Iteration_limit cap)
-  | _ -> (
-      match run.spec.timeout with
-      | None -> None
-      | Some _ when iters land (clock_stride - 1) <> 1 -> None
-      | Some s ->
-          let elapsed = run.spec.clock () -. run.started in
-          if elapsed > s then Some (Deadline elapsed) else None)
+  | _ ->
+      if run.spec.timeout = None && run.spec.deadline = None then None
+      else if iters < run.next_check then None
+      else begin
+        let now = run.spec.clock () in
+        let left = remaining run.spec ~started:run.started ~now in
+        if left < 0. then Some (Deadline (now -. run.started))
+        else begin
+          (* Pick the next consultation point: aim to look again after
+             ~half the remaining budget, based on the measured pace of
+             the last stride.  No measurable progress (frozen fake
+             clock, first consultation at iteration 1) keeps the full
+             stride. *)
+          let di = iters - run.last_iter and dt = now -. run.last_time in
+          let stride =
+            if di <= 0 || dt <= 0. then clock_stride
+            else
+              let per_iter = dt /. float_of_int di in
+              let s = left /. (2. *. per_iter) in
+              if Float.is_nan s || s >= float_of_int clock_stride then
+                clock_stride
+              else max 1 (int_of_float s)
+          in
+          run.last_iter <- iters;
+          run.last_time <- now;
+          run.next_check <- iters + stride;
+          None
+        end
+      end
 
 (* --- batch-level accounting ---------------------------------------------- *)
 

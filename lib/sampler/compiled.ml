@@ -1,0 +1,164 @@
+(** A compiled-scenario handle: parse → compile → prune → propagate
+    {e once}, sample many.
+
+    The pipeline's front half (compilation, domain-specific pruning of
+    Sec. 5.2, interval-domain propagation with its stratification
+    warmup) costs 0.5–2.3 ms — and up to hundreds of ms of
+    deterministic build evals on stratification-heavy scenarios —
+    while each subsequent scene costs 0.02–0.5 ms.  Every caller that
+    draws more than one batch from the same source should therefore
+    hold one of these handles instead of re-running the front half per
+    invocation.  This module is the {e single} canonical entry point to
+    that front half: the CLI ([sample] / [explain]), the conformance
+    oracles, and the [scenic serve] compiled-scenario cache all build
+    their samplers from a [Compiled.t].
+
+    A handle is {b immutable after construction} and safe to share
+    across concurrent batches: pruning and propagation (which rewrite
+    random nodes in place) run strictly inside the constructor, and
+    {!Rejection.ensure_slots} is called before the handle is returned,
+    so {!Parallel.run} on a shared handle only ever {e reads} the
+    scenario — the load-bearing property behind the server's
+    content-addressed cache.
+
+    The degradation ladder of {!Sampler} lives here too: a degenerate
+    pruned sample space is rolled back ({!degraded} names the regions),
+    a statically-infeasible propagation result falls back to the plain
+    scenario (the rejection loop then reports the responsible
+    requirement by exhausting its budget), and an unexpected
+    propagation failure degrades to plain rejection instead of
+    crashing construction. *)
+
+module Probe = Scenic_telemetry.Probe
+
+let src_log = Logs.Src.create "scenic.compiled" ~doc:"compiled-scenario handles"
+
+module Log = (val Logs.src_log src_log : Logs.LOG)
+
+type t = {
+  scenario : Scenic_core.Scenario.t;
+      (** after pruning and propagation (or their fallbacks) *)
+  prune_stats : Analyze.stats option;  (** [None] iff pruning was off *)
+  propagate_stats : Propagate.stats option;
+      (** [None] if propagation was off {e or} fell back *)
+  degraded : string list;
+      (** region labels whose pruned sample space was degenerate;
+          nonempty iff the unpruned fallback was taken *)
+}
+
+let scenario t = t.scenario
+let prune_stats t = t.prune_stats
+let propagate_stats t = t.propagate_stats
+let degraded t = t.degraded
+
+(** Run the prune → propagate front half on an already-compiled
+    [scenario] (rewriting it in place, under snapshot/restore
+    fallbacks) and seal the result into a shareable handle.  [prune]
+    and [propagate] default to [true]; [prune_fn] overrides the pruning
+    pass itself (fault-injection harness).  [probe] times the [prune] /
+    [propagate] spans and records the fallback counters. *)
+let of_scenario ?(prune = true) ?(propagate = true) ?prune_options ?prune_fn
+    ?(probe = Probe.noop) scenario =
+  let snap =
+    if prune || propagate then Some (Analyze.snapshot scenario) else None
+  in
+  let prune_stats =
+    if prune then
+      Some
+        (probe.Probe.span "prune" (fun () ->
+             match prune_fn with
+             | Some f -> f scenario
+             | None -> Analyze.prune ?options:prune_options ~probe scenario))
+    else None
+  in
+  let degraded =
+    if not prune then []
+    else
+      match Analyze.degenerate_regions scenario with
+      | [] -> []
+      | bad ->
+          Option.iter Analyze.restore snap;
+          probe.Probe.add "prune.degenerate_fallbacks" 1;
+          Log.warn (fun m ->
+              m
+                "pruning produced a degenerate sample space (%s); falling back \
+                 to the unpruned scenario"
+                (String.concat ", " bad));
+          bad
+  in
+  if prune && probe.Probe.enabled then begin
+    (* measured sample-space shrinkage: conservative where an area is
+       not computable (see {!Analyze.snapshot_area}) *)
+    match snap with
+    | None -> ()
+    | Some snap ->
+        let before = Analyze.snapshot_area snap in
+        if before > 0. then
+          let after = Analyze.snapshot_area ~current:true snap in
+          probe.Probe.set_gauge "prune.area_removed_frac"
+            (Float.max 0. ((before -. after) /. before))
+  end;
+  let propagate_stats =
+    if not propagate then None
+    else
+      match
+        probe.Probe.span "propagate" (fun () -> Propagate.run ~probe scenario)
+      with
+      | stats -> Some stats
+      | exception Scenic_core.Errors.Scenic_error _ ->
+          (* Propagation proved the scenario statically infeasible.
+             Restore the original scenario (undoing pruning too — it is
+             moot on a zero-probability program) and let the rejection
+             loop exhaust its budget, which reports the responsible
+             requirement through the usual diagnosis channel. *)
+          Option.iter Analyze.restore snap;
+          probe.Probe.add "propagate.infeasible_fallbacks" 1;
+          Log.warn (fun m ->
+              m
+                "domain propagation proved a requirement statically \
+                 unsatisfiable; sampling the unpropagated scenario (expect \
+                 budget exhaustion)");
+          None
+      | exception Sys.Break -> raise Sys.Break
+      | exception exn ->
+          (* Propagation is an optimization, never required for
+             soundness: an unexpected failure (e.g. degenerate interval
+             arithmetic on an exotic program) degrades to plain
+             rejection on the restored scenario instead of crashing
+             handle construction. *)
+          Option.iter Analyze.restore snap;
+          probe.Probe.add "propagate.error_fallbacks" 1;
+          Log.err (fun m ->
+              m
+                "domain propagation failed unexpectedly (%s); sampling the \
+                 unpropagated scenario"
+                (Printexc.to_string exn));
+          None
+  in
+  (* Seal the handle fully slotted: concurrent Parallel.run calls on a
+     shared handle must find every slot assigned already, so they never
+     race on the assignment (a propagated scenario is already slotted;
+     the fallback paths may not be). *)
+  Rejection.ensure_slots scenario;
+  { scenario; prune_stats; propagate_stats; degraded }
+
+(** Compile Scenic source and run the front half on it. *)
+let of_source ?prune ?propagate ?prune_options ?prune_fn
+    ?(probe = Probe.noop) ?file ?search_path src =
+  let scenario =
+    probe.Probe.span "compile" (fun () ->
+        Scenic_core.Eval.compile ~probe ?file ?search_path src)
+  in
+  of_scenario ?prune ?propagate ?prune_options ?prune_fn ~probe scenario
+
+(** Read [path] and {!of_source} it. *)
+let of_file ?prune ?propagate ?prune_options ?prune_fn ?probe ?search_path
+    path =
+  let ic = open_in_bin path in
+  let src =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_source ?prune ?propagate ?prune_options ?prune_fn ?probe ~file:path
+    ?search_path src

@@ -32,6 +32,25 @@ type t = {
   on_exhausted : [ `Raise | `Best_effort ];
 }
 
+(** A sequential sampler view over a prebuilt {!Compiled} handle: the
+    compile-once, sample-forever entry point.  The handle carries the
+    pruned-and-propagated scenario; this only adds the per-seed
+    rejection state. *)
+let of_compiled ?max_iters ?timeout ?clock ?budget ?(on_exhausted = `Raise)
+    ?(probe = Probe.noop) ~seed compiled =
+  let scenario = Compiled.scenario compiled in
+  let rng = P.Rng.create seed in
+  {
+    scenario;
+    rejection =
+      Rejection.create ?max_iters ?timeout ?clock ?budget
+        ~track_best:(on_exhausted = `Best_effort) ~probe ~rng scenario;
+    prune_stats = Compiled.prune_stats compiled;
+    propagate_stats = Compiled.propagate_stats compiled;
+    degraded = Compiled.degraded compiled;
+    on_exhausted;
+  }
+
 (** Build a sampler for a scenario.  [prune] (default true) applies the
     domain-specific pruning of Sec. 5.2 before sampling; [propagate]
     (default true) then runs interval-domain propagation
@@ -42,107 +61,21 @@ type t = {
     test the degenerate-prune fallback).  [max_iters]/[timeout]/[clock]
     (or a prebuilt [budget]) bound each [sample] call.  [probe]
     instruments the pipeline: [prune] / [propagate] spans (with
-    per-pass counters and a [prune.area_removed_frac] gauge) here,
-    [rejection.sample] spans and sampling metrics on every draw. *)
-let create ?(prune = true) ?(propagate = true) ?prune_options ?prune_fn
-    ?max_iters ?timeout ?clock ?budget ?(on_exhausted = `Raise)
-    ?(probe = Probe.noop) ~seed scenario =
-  let snap =
-    if prune || propagate then Some (Analyze.snapshot scenario) else None
-  in
-  let prune_stats =
-    if prune then
-      Some
-        (probe.Probe.span "prune" (fun () ->
-             match prune_fn with
-             | Some f -> f scenario
-             | None -> Analyze.prune ?options:prune_options ~probe scenario))
-    else None
-  in
-  let degraded =
-    if not prune then []
-    else
-      match Analyze.degenerate_regions scenario with
-      | [] -> []
-      | bad ->
-          Option.iter Analyze.restore snap;
-          probe.Probe.add "prune.degenerate_fallbacks" 1;
-          Log.warn (fun m ->
-              m
-                "pruning produced a degenerate sample space (%s); falling back \
-                 to the unpruned scenario"
-                (String.concat ", " bad));
-          bad
-  in
-  if prune && probe.Probe.enabled then begin
-    (* measured sample-space shrinkage: conservative where an area is
-       not computable (see {!Analyze.snapshot_area}) *)
-    match snap with
-    | None -> ()
-    | Some snap ->
-        let before = Analyze.snapshot_area snap in
-        if before > 0. then
-          let after = Analyze.snapshot_area ~current:true snap in
-          probe.Probe.set_gauge "prune.area_removed_frac"
-            (Float.max 0. ((before -. after) /. before))
-  end;
-  let propagate_stats =
-    if not propagate then None
-    else
-      match probe.Probe.span "propagate" (fun () -> Propagate.run ~probe scenario)
-      with
-      | stats -> Some stats
-      | exception Scenic_core.Errors.Scenic_error _ ->
-          (* Propagation proved the scenario statically infeasible.
-             Restore the original scenario (undoing pruning too — it is
-             moot on a zero-probability program) and let the rejection
-             loop exhaust its budget, which reports the responsible
-             requirement through the usual diagnosis channel. *)
-          Option.iter Analyze.restore snap;
-          probe.Probe.add "propagate.infeasible_fallbacks" 1;
-          Log.warn (fun m ->
-              m
-                "domain propagation proved a requirement statically \
-                 unsatisfiable; sampling the unpropagated scenario (expect \
-                 budget exhaustion)");
-          None
-      | exception Sys.Break -> raise Sys.Break
-      | exception exn ->
-          (* Propagation is an optimization, never required for
-             soundness: an unexpected failure (e.g. degenerate interval
-             arithmetic on an exotic program) degrades to plain
-             rejection on the restored scenario instead of crashing
-             sampler construction. *)
-          Option.iter Analyze.restore snap;
-          probe.Probe.add "propagate.error_fallbacks" 1;
-          Log.err (fun m ->
-              m
-                "domain propagation failed unexpectedly (%s); sampling the \
-                 unpropagated scenario"
-                (Printexc.to_string exn));
-          None
-  in
-  let rng = P.Rng.create seed in
-  {
-    scenario;
-    rejection =
-      Rejection.create ?max_iters ?timeout ?clock ?budget
-        ~track_best:(on_exhausted = `Best_effort) ~probe ~rng scenario;
-    prune_stats;
-    propagate_stats;
-    degraded;
-    on_exhausted;
-  }
+    per-pass counters and a [prune.area_removed_frac] gauge) via
+    {!Compiled.of_scenario}, [rejection.sample] spans and sampling
+    metrics on every draw. *)
+let create ?prune ?propagate ?prune_options ?prune_fn ?max_iters ?timeout
+    ?clock ?budget ?on_exhausted ?probe ~seed scenario =
+  of_compiled ?max_iters ?timeout ?clock ?budget ?on_exhausted ?probe ~seed
+    (Compiled.of_scenario ?prune ?propagate ?prune_options ?prune_fn ?probe
+       scenario)
 
 (** Compile Scenic source and build a sampler for it. *)
 let of_source ?prune ?propagate ?prune_options ?max_iters ?timeout ?clock
-    ?budget ?on_exhausted ?(probe = Probe.noop) ?file ?search_path ~seed src =
-  let scenario =
-    probe.Probe.span "compile" (fun () ->
-        Scenic_core.Eval.compile ~probe ?file ?search_path src)
-  in
-  create ?prune ?propagate ?prune_options ?max_iters ?timeout ?clock ?budget
-    ?on_exhausted ~probe ~seed scenario
+    ?budget ?on_exhausted ?probe ?file ?search_path ~seed src =
+  of_compiled ?max_iters ?timeout ?clock ?budget ?on_exhausted ?probe ~seed
+    (Compiled.of_source ?prune ?propagate ?prune_options ?probe ?file
+       ?search_path src)
 
 (** The supervised entry point: never raises on budget exhaustion. *)
 let sample_outcome t = Rejection.sample_outcome t.rejection

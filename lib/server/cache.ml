@@ -1,0 +1,123 @@
+(** Bounded LRU, content-addressed cache of compiled scenarios — the
+    heart of the compile-once, sample-forever serving path.
+
+    {b Key.}  The lowercase-hex SHA-256 of the {e normalized} source:
+    CRLF line endings are rewritten to LF before hashing, so the same
+    scenario authored on different platforms shares one cache entry
+    (and the compiler sees the same bytes the key was derived from —
+    {!normalize}d source is what callers must compile).  Nothing else
+    is normalized: whitespace and comments are semantically inert but
+    cheap to keep significant, and a stable, dumb key function is
+    easier to reproduce client-side than a clever one.
+
+    {b Safety.}  Values are {!Scenic_sampler.Compiled} handles, which
+    are immutable after construction and pre-slotted, so one cached
+    handle can feed any number of concurrent batches.  The cache's own
+    state (table, recency, counters) is guarded by a mutex; lookups and
+    insertions are cheap, so the lock is never held across a compile.
+    Two requests racing on the same cold key may both compile — the
+    second insert finds the entry present and drops its own handle,
+    which is sound because compilation is deterministic.
+
+    {b Eviction.}  Least-recently-used by lookup/insert order, evicted
+    only on insertion beyond [capacity]; a capacity of 0 disables
+    retention (every lookup misses, nothing is stored) without
+    disabling the keying.  Recency is a monotonic tick per entry and
+    eviction scans for the minimum — O(size), which at the bounded
+    capacities this cache runs at (tens to hundreds of scenarios) is
+    noise next to a single compile. *)
+
+module Compiled = Scenic_sampler.Compiled
+
+type entry = { compiled : Compiled.t; mutable tick : int }
+
+type t = {
+  capacity : int;
+  table : (string, entry) Hashtbl.t;
+  mutable ticks : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mx : Mutex.t;
+}
+
+type stats = { s_hits : int; s_misses : int; s_evictions : int; s_size : int }
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Cache.create: capacity must be >= 0";
+  {
+    capacity;
+    table = Hashtbl.create (max 16 capacity);
+    ticks = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    mx = Mutex.create ();
+  }
+
+(** CRLF → LF. *)
+let normalize (src : string) : string =
+  if not (String.contains src '\r') then src
+  else begin
+    let buf = Buffer.create (String.length src) in
+    let n = String.length src in
+    let i = ref 0 in
+    while !i < n do
+      (* drop the '\r' of a CRLF pair; the '\n' is kept next round *)
+      if not (src.[!i] = '\r' && !i + 1 < n && src.[!i + 1] = '\n') then
+        Buffer.add_char buf src.[!i];
+      incr i
+    done;
+    Buffer.contents buf
+  end
+
+(** The cache key of [source]: SHA-256 hex of the normalized bytes. *)
+let key source = Sha256.hex (normalize source)
+
+(** Look up a compiled handle by key, counting a hit or a miss and
+    refreshing recency on hit. *)
+let find t hash : Compiled.t option =
+  Mutex.protect t.mx (fun () ->
+      match Hashtbl.find_opt t.table hash with
+      | Some e ->
+          t.hits <- t.hits + 1;
+          t.ticks <- t.ticks + 1;
+          e.tick <- t.ticks;
+          Some e.compiled
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+(** Insert a freshly-compiled handle, evicting the least-recently-used
+    entry if the cache is full.  A concurrent insert of the same key
+    wins ties by keeping the entry already present. *)
+let add t hash compiled =
+  if t.capacity > 0 then
+    Mutex.protect t.mx (fun () ->
+        if not (Hashtbl.mem t.table hash) then begin
+          if Hashtbl.length t.table >= t.capacity then begin
+            let victim = ref None in
+            Hashtbl.iter
+              (fun k e ->
+                match !victim with
+                | Some (_, best) when e.tick >= best -> ()
+                | _ -> victim := Some (k, e.tick))
+              t.table;
+            match !victim with
+            | Some (k, _) ->
+                Hashtbl.remove t.table k;
+                t.evictions <- t.evictions + 1
+            | None -> ()
+          end;
+          t.ticks <- t.ticks + 1;
+          Hashtbl.add t.table hash { compiled; tick = t.ticks }
+        end)
+
+let stats t : stats =
+  Mutex.protect t.mx (fun () ->
+      {
+        s_hits = t.hits;
+        s_misses = t.misses;
+        s_evictions = t.evictions;
+        s_size = Hashtbl.length t.table;
+      })

@@ -1,0 +1,97 @@
+(** Client side of the {!Protocol}: connect, one request/response
+    exchange at a time, structured results.  Used by [scenic client],
+    by [scenic bench serve]'s load generator, and by the server tests. *)
+
+type t = { fd : Unix.file_descr; max_frame : int }
+
+let connect ?(max_frame = Protocol.default_max_frame) (addr : Protocol.addr) =
+  (* writing to a server that died mid-exchange should surface as
+     EPIPE/[None], not kill the client process *)
+  (if Sys.os_type = "Unix" then
+     try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+     with Invalid_argument _ | Sys_error _ -> ());
+  let fd = Unix.socket (Protocol.socket_domain addr) Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Protocol.sockaddr_of_addr addr)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; max_frame }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let with_connection ?max_frame addr f =
+  let c = connect ?max_frame addr in
+  Fun.protect ~finally:(fun () -> close c) (fun () -> f c)
+
+(** One exchange: write the request frame, read the response frame.
+    [None] when the server closed without answering (e.g. it was
+    already gone). *)
+let exchange t (request : Sjson.t) : Sjson.t option =
+  Protocol.write_frame t.fd (Sjson.to_string request);
+  match Protocol.read_frame ~max_frame:t.max_frame t.fd with
+  | None -> None
+  | Some payload -> Some (Sjson.parse payload)
+
+(** Write [n] raw bytes as a frame without JSON encoding — the tests'
+    malformed-request path. *)
+let exchange_raw t (payload : string) : string option =
+  Protocol.write_frame t.fd payload;
+  Protocol.read_frame ~max_frame:t.max_frame t.fd
+
+type sample_result = {
+  status : string;  (** "ok" | "exhausted" | "error" | "overloaded" *)
+  hash : string option;  (** cache key; resend by hash to skip the source *)
+  cache : string option;  (** "hit" | "miss" *)
+  scenes : string list;  (** raw scene JSON, byte-identical to the CLI's *)
+  detail : string option;  (** [error] message or [exhausted] reason *)
+}
+
+let sample_result_of_json (j : Sjson.t) : sample_result =
+  {
+    status =
+      Option.value ~default:"error" (Sjson.to_str (Sjson.member "status" j));
+    hash = Sjson.to_str (Sjson.member "hash" j);
+    cache = Sjson.to_str (Sjson.member "cache" j);
+    scenes =
+      (* scenes arrive as JSON strings of the CLI's exact scene text *)
+      List.filter_map
+        (function Sjson.Str s -> Some s | _ -> None)
+        (Sjson.to_list (Sjson.member "scenes" j));
+    detail =
+      (match Sjson.to_str (Sjson.member "error" j) with
+      | Some _ as e -> e
+      | None -> Sjson.to_str (Sjson.member "reason" j));
+  }
+
+(** Draw a batch.  Give [source] on first contact; afterwards [hash]
+    alone suffices while the server still caches the scenario. *)
+let sample ?source ?hash ?(seed = Protocol.default_seed) ?(n = 1) ?deadline_ms
+    ?max_iters t : sample_result option =
+  let field name v f = Option.map (fun v -> (name, f v)) v in
+  let request =
+    Sjson.Obj
+      (List.filter_map Fun.id
+         [
+           Some ("op", Sjson.Str "sample");
+           field "source" source Sjson.str;
+           field "hash" hash Sjson.str;
+           Some ("seed", Sjson.int seed);
+           Some ("n", Sjson.int n);
+           field "deadline_ms" deadline_ms (fun ms -> Sjson.Num ms);
+           field "max_iters" max_iters Sjson.int;
+         ])
+  in
+  Option.map sample_result_of_json (exchange t request)
+
+let ping t =
+  match exchange t (Sjson.Obj [ ("op", Sjson.Str "ping") ]) with
+  | Some j -> Protocol.status_of_json j = Some "ok"
+  | None -> false
+
+let stats t = exchange t (Sjson.Obj [ ("op", Sjson.Str "stats") ])
+
+(** Ask the server to drain and exit; [true] if it acknowledged. *)
+let shutdown t =
+  match exchange t (Sjson.Obj [ ("op", Sjson.Str "shutdown") ]) with
+  | Some j -> Protocol.status_of_json j = Some "ok"
+  | None -> false

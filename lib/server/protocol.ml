@@ -1,0 +1,196 @@
+(** The [scenic serve] wire protocol: length-prefixed JSON frames over
+    a Unix-domain or TCP stream socket.
+
+    {b Framing.}  Every message — request or response — is a 4-byte
+    big-endian unsigned payload length followed by that many bytes of
+    UTF-8 JSON.  A length of zero, or one above the receiver's
+    [max_frame] cap, is a protocol error: the server answers with a
+    final [error] / [overloaded]-style response and closes the
+    connection rather than attempting resynchronization (framing state
+    is unrecoverable once the prefix is untrusted).
+
+    {b Conversation.}  A connection carries any number of sequential
+    request/response exchanges (no pipelining: the client writes one
+    frame, reads one frame).  The client signals it is done by closing;
+    a server that is draining closes after the in-flight response.
+
+    {b Requests.}  [{"op": "ping"}], [{"op": "stats"}],
+    [{"op": "shutdown"}], or
+    [{"op": "sample", "source"?, "hash"?, "seed"?, "n"?,
+      "deadline_ms"?, "max_iters"?}] — [source] is inline Scenic
+    source; [hash] addresses a previously-compiled scenario by its
+    cache key (the lowercase-hex SHA-256 of the CRLF-normalized
+    source, see {!Cache.key}).  At least one of the two must be
+    present; when both are, [source] wins and [hash] is ignored.
+
+    {b Responses.}  [{"status": "ok" | "exhausted" | "error" |
+    "overloaded", ...}] — see {!Server} for the field inventory.
+    [exhausted] is the wire form of the CLI's exit code 3, [overloaded]
+    the backpressure fast-reject. *)
+
+(** Frame length prefix is malformed or the connection died mid-frame. *)
+exception Frame_error of string
+
+(** The peer announced a frame longer than the receiver's cap. *)
+exception Frame_too_large of int
+
+let default_max_frame = 4 * 1024 * 1024
+
+(* --- addresses ----------------------------------------------------------- *)
+
+type addr =
+  | Unix_socket of string  (** filesystem path *)
+  | Tcp of string * int  (** host, port *)
+
+(** ["host:port"] is TCP; anything else (in practice, anything with a
+    ['/'] or without a [':']) is a Unix-socket path. *)
+let addr_of_string s =
+  if String.contains s '/' then Unix_socket s
+  else
+    match String.rindex_opt s ':' with
+    | None -> Unix_socket s
+    | Some i -> (
+        let host = String.sub s 0 i in
+        let port = String.sub s (i + 1) (String.length s - i - 1) in
+        match int_of_string_opt port with
+        | Some p when p >= 0 && p < 65536 ->
+            Tcp ((if host = "" then "127.0.0.1" else host), p)
+        | _ -> Unix_socket s)
+
+let pp_addr ppf = function
+  | Unix_socket p -> Fmt.pf ppf "unix:%s" p
+  | Tcp (h, p) -> Fmt.pf ppf "%s:%d" h p
+
+let sockaddr_of_addr = function
+  | Unix_socket path -> Unix.ADDR_UNIX path
+  | Tcp (host, port) ->
+      let inet =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+          with Not_found | Invalid_argument _ ->
+            invalid_arg (Printf.sprintf "cannot resolve host %S" host))
+      in
+      Unix.ADDR_INET (inet, port)
+
+let socket_domain = function
+  | Unix_socket _ -> Unix.PF_UNIX
+  | Tcp _ -> Unix.PF_INET
+
+(* --- framing ------------------------------------------------------------- *)
+
+let really_write fd s =
+  let len = String.length s in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write_substring fd s !off (len - !off)
+  done
+
+(* Read exactly [len] bytes; [Ok false] on clean EOF before the first
+   byte, [Frame_error] on EOF mid-read. *)
+let really_read fd buf len =
+  let off = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !off < len do
+    match Unix.read fd buf !off (len - !off) with
+    | 0 -> eof := true
+    | n -> off := !off + n
+  done;
+  if !off = len then true
+  else if !off = 0 then false
+  else raise (Frame_error "connection closed mid-frame")
+
+(** Write one frame: 4-byte big-endian length, then the payload. *)
+let write_frame fd (payload : string) =
+  let len = String.length payload in
+  let hdr = Bytes.create 4 in
+  Bytes.set hdr 0 (Char.chr ((len lsr 24) land 0xFF));
+  Bytes.set hdr 1 (Char.chr ((len lsr 16) land 0xFF));
+  Bytes.set hdr 2 (Char.chr ((len lsr 8) land 0xFF));
+  Bytes.set hdr 3 (Char.chr (len land 0xFF));
+  really_write fd (Bytes.to_string hdr ^ payload)
+
+(** Read one frame.  [None] on clean EOF at a frame boundary;
+    {!Frame_error} on a torn frame or a zero length; {!Frame_too_large}
+    when the announced length exceeds [max_frame]. *)
+let read_frame ?(max_frame = default_max_frame) fd : string option =
+  let hdr = Bytes.create 4 in
+  if not (really_read fd hdr 4) then None
+  else begin
+    let len =
+      (Char.code (Bytes.get hdr 0) lsl 24)
+      lor (Char.code (Bytes.get hdr 1) lsl 16)
+      lor (Char.code (Bytes.get hdr 2) lsl 8)
+      lor Char.code (Bytes.get hdr 3)
+    in
+    if len = 0 then raise (Frame_error "zero-length frame");
+    if len > max_frame then raise (Frame_too_large len);
+    let buf = Bytes.create len in
+    if not (really_read fd buf len) then
+      raise (Frame_error "connection closed mid-frame");
+    Some (Bytes.to_string buf)
+  end
+
+(* --- requests ------------------------------------------------------------ *)
+
+type sample_request = {
+  source : string option;  (** inline Scenic source *)
+  hash : string option;  (** cache key of a previously-compiled source *)
+  seed : int;
+  n : int;
+  deadline_ms : float option;  (** wall-clock budget for the whole batch *)
+  max_iters : int option;  (** per-sample rejection-iteration cap *)
+}
+
+type request = Ping | Stats | Shutdown | Sample of sample_request
+
+let default_seed = 42
+
+(** Decode a request payload; [Error] carries a message suitable for an
+    [error] response. *)
+let request_of_json (j : Sjson.t) : (request, string) result =
+  match Sjson.to_str (Sjson.member "op" j) with
+  | None -> Error "missing or non-string \"op\""
+  | Some "ping" -> Ok Ping
+  | Some "stats" -> Ok Stats
+  | Some "shutdown" -> Ok Shutdown
+  | Some "sample" -> (
+      let source = Sjson.to_str (Sjson.member "source" j) in
+      let hash = Sjson.to_str (Sjson.member "hash" j) in
+      let seed =
+        Option.value ~default:default_seed
+          (Sjson.to_int (Sjson.member "seed" j))
+      in
+      let n = Option.value ~default:1 (Sjson.to_int (Sjson.member "n" j)) in
+      let deadline_ms = Sjson.to_num (Sjson.member "deadline_ms" j) in
+      let max_iters = Sjson.to_int (Sjson.member "max_iters" j) in
+      match (source, hash) with
+      | None, None -> Error "sample request needs \"source\" or \"hash\""
+      | _ when n < 0 -> Error "\"n\" must be non-negative"
+      | _ when (match deadline_ms with Some d -> d <= 0. | None -> false) ->
+          Error "\"deadline_ms\" must be positive"
+      | _ when (match max_iters with Some m -> m <= 0 | None -> false) ->
+          Error "\"max_iters\" must be positive"
+      | _ -> Ok (Sample { source; hash; seed; n; deadline_ms; max_iters }))
+  | Some op -> Error (Printf.sprintf "unknown op %S" op)
+
+let parse_request (payload : string) : (request, string) result =
+  match Sjson.parse payload with
+  | j -> request_of_json j
+  | exception Sjson.Parse_error msg -> Error ("malformed JSON: " ^ msg)
+
+(* --- responses ----------------------------------------------------------- *)
+
+let error_response msg =
+  Sjson.Obj [ ("status", Sjson.Str "error"); ("error", Sjson.Str msg) ]
+
+let overloaded_response =
+  Sjson.Obj
+    [
+      ("status", Sjson.Str "overloaded");
+      ("error", Sjson.Str "pending queue full");
+    ]
+
+(** Response [status] field; [None] when the payload is not a response
+    object. *)
+let status_of_json j = Sjson.to_str (Sjson.member "status" j)

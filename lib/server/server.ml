@@ -1,0 +1,487 @@
+(** The [scenic serve] daemon: a threaded accept loop over the
+    {!Protocol} framing, a bounded pending queue with fast-reject
+    backpressure, and the content-addressed {!Cache} of compiled
+    scenarios feeding the multicore batch sampler.
+
+    {b Architecture.}  One acceptor systhread plus [workers] handler
+    systhreads share a bounded queue of accepted connections.  The
+    systhreads only do protocol work (framing, JSON, cache lookups) —
+    the actual sampling parallelism stays on the persistent
+    {!Scenic_sampler.Pool} of OCaml domains, which every handler
+    multiplexes onto through {!Scenic_sampler.Parallel.run} with the
+    server's [jobs] setting.  OCaml systhreads interleave rather than
+    run in parallel, which is exactly right here: handler work is
+    I/O-and-bookkeeping, and the domains do the heavy lifting.
+
+    {b Determinism.}  A sample response embeds each scene's exact JSON
+    text as produced by {!Scenic_render.Export.json_of_scene} on
+    the batch drawn by [Parallel.run ~seed ~n] — the same code path as
+    [scenic sample --json], with the same per-index RNG streams — so a
+    served batch is byte-identical to the CLI's output for any [--jobs]
+    value, and identical whether the compiled scenario came from the
+    cache or a cold compile.
+
+    {b Backpressure.}  The acceptor never blocks on handlers: when the
+    pending queue is full the new connection gets one [overloaded]
+    frame and is closed immediately (fast-reject — the client learns in
+    one round trip instead of queueing blind).
+
+    {b Deadlines.}  A request's [deadline_ms] maps to an absolute
+    {!Scenic_sampler.Budget} deadline on the server's injectable clock,
+    bounding the {e whole} batch (not per-scene); exhaustion comes back
+    as a structured [exhausted] response — the wire form of the CLI's
+    exit code 3.
+
+    {b Shutdown.}  [shutdown] requests (or {!stop}) flip the draining
+    flag: the acceptor closes the listening socket, queued connections
+    are still served, in-flight requests complete and their connections
+    are then closed, and {!await} returns once every thread has joined
+    — no quarantined work is left behind in the domain pool. *)
+
+module S = Scenic_sampler
+module T = Scenic_telemetry
+
+let src_log = Logs.Src.create "scenic.server" ~doc:"scene-generation server"
+
+module Log = (val Logs.src_log src_log : Logs.LOG)
+
+type config = {
+  addr : Protocol.addr;
+  workers : int;  (** handler threads (default 4) *)
+  queue_cap : int;  (** pending connections before fast-reject (default 64) *)
+  cache_cap : int;  (** compiled scenarios retained (default 128) *)
+  jobs : int;  (** sampling domains per request batch (default 1) *)
+  max_frame : int;  (** request frames above this are rejected *)
+  max_scenes : int;  (** per-request [n] cap (default 100_000) *)
+  clock : S.Budget.clock;  (** injectable: deadlines and latency spans *)
+}
+
+let default_config addr =
+  {
+    addr;
+    workers = 4;
+    queue_cap = 64;
+    cache_cap = 128;
+    jobs = 1;
+    max_frame = Protocol.default_max_frame;
+    max_scenes = 100_000;
+    clock = S.Budget.default_clock;
+  }
+
+type t = {
+  config : config;
+  listen_fd : Unix.file_descr;
+  bound : Protocol.addr;  (** actual address (resolves TCP port 0) *)
+  cache : Cache.t;
+  metrics : T.Metrics.Locked.locked;
+  pending : Unix.file_descr Queue.t;
+  mx : Mutex.t;
+  nonempty : Condition.t;
+  mutable stopping : bool;
+  mutable threads : Thread.t list;  (** acceptor + workers, set by [start] *)
+  on_request : (unit -> unit) option;
+      (** test hook: runs on the handler thread after it claims a
+          connection, before the first frame is read — lets failure
+          tests hold a worker busy deterministically *)
+}
+
+let bound_addr t = t.bound
+let metrics t = t.metrics
+
+(* --- lifecycle ----------------------------------------------------------- *)
+
+let listen_socket (addr : Protocol.addr) =
+  let fd = Unix.socket (Protocol.socket_domain addr) Unix.SOCK_STREAM 0 in
+  (try
+     (match addr with
+     | Protocol.Unix_socket path ->
+         (* a stale socket file from a dead server would make bind fail *)
+         (try Unix.unlink path with Unix.Unix_error _ -> ())
+     | Protocol.Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true);
+     Unix.bind fd (Protocol.sockaddr_of_addr addr);
+     Unix.listen fd 128
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  fd
+
+let resolve_bound fd (addr : Protocol.addr) =
+  match addr with
+  | Protocol.Unix_socket _ -> addr
+  | Protocol.Tcp (host, _) -> (
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, port) -> Protocol.Tcp (host, port)
+      | _ -> addr)
+
+let create ?(config = fun c -> c) ?on_request addr =
+  let config = config (default_config addr) in
+  if config.workers < 1 then invalid_arg "Server: workers must be positive";
+  if config.queue_cap < 1 then invalid_arg "Server: queue_cap must be positive";
+  if config.jobs < 1 then invalid_arg "Server: jobs must be positive";
+  let listen_fd = listen_socket config.addr in
+  {
+    config;
+    listen_fd;
+    bound = resolve_bound listen_fd config.addr;
+    cache = Cache.create ~capacity:config.cache_cap;
+    metrics = T.Metrics.Locked.create ();
+    pending = Queue.create ();
+    mx = Mutex.create ();
+    nonempty = Condition.create ();
+    stopping = false;
+    threads = [];
+    on_request = on_request;
+  }
+
+(** Flip the draining flag and wake everything: idle workers via the
+    condition, and the acceptor via a throwaway self-connection —
+    closing a socket does {e not} interrupt a thread already blocked in
+    [accept] on Linux, so the wakeup has to arrive as a connection.
+    Idempotent and thread-safe; in-flight and queued requests still
+    complete. *)
+let stop t =
+  let first =
+    Mutex.protect t.mx (fun () ->
+        if t.stopping then false
+        else begin
+          t.stopping <- true;
+          Condition.broadcast t.nonempty;
+          true
+        end)
+  in
+  if first then begin
+    Log.info (fun m -> m "draining");
+    try
+      let fd =
+        Unix.socket (Protocol.socket_domain t.bound) Unix.SOCK_STREAM 0
+      in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () -> Unix.connect fd (Protocol.sockaddr_of_addr t.bound))
+    with Unix.Unix_error _ | Invalid_argument _ -> ()
+  end
+
+(* --- request handling ---------------------------------------------------- *)
+
+let locked = T.Metrics.Locked.add
+
+let publish_cache_stats t =
+  let s = Cache.stats t.cache in
+  T.Metrics.Locked.with_registry t.metrics (fun m ->
+      T.Metrics.set_gauge m "compile.cache.hits" (float_of_int s.Cache.s_hits);
+      T.Metrics.set_gauge m "compile.cache.misses"
+        (float_of_int s.Cache.s_misses);
+      T.Metrics.set_gauge m "compile.cache.evictions"
+        (float_of_int s.Cache.s_evictions);
+      T.Metrics.set_gauge m "compile.cache.size" (float_of_int s.Cache.s_size))
+
+(* Resolve a sample request to a compiled handle: by source (computing
+   the key, compiling on miss) or by hash (cache only — a miss is the
+   client's cue to resend with source). *)
+let resolve_compiled t (r : Protocol.sample_request) =
+  match (r.Protocol.source, r.Protocol.hash) with
+  | Some source, _ -> (
+      let source = Cache.normalize source in
+      let hash = Sha256.hex source in
+      match Cache.find t.cache hash with
+      | Some c -> Ok (hash, c, `Hit)
+      | None -> (
+          let t0 = t.config.clock () in
+          match
+            S.Compiled.of_source
+              ~file:(Printf.sprintf "<serve:%s>" (String.sub hash 0 12))
+              source
+          with
+          | compiled ->
+              Cache.add t.cache hash compiled;
+              T.Metrics.Locked.observe t.metrics "serve.compile_ms"
+                ((t.config.clock () -. t0) *. 1000.);
+              Ok (hash, compiled, `Miss)
+          | exception Scenic_core.Errors.Scenic_error (kind, loc) ->
+              Error
+                ("compile error: " ^ Scenic_core.Errors.to_string (kind, loc))
+          | exception Scenic_lang.Lexer.Error (msg, loc) ->
+              Error (Fmt.str "lexical error: %s at %a" msg Scenic_lang.Loc.pp loc)
+          | exception Scenic_lang.Parser.Error (msg, loc) ->
+              Error (Fmt.str "syntax error: %s at %a" msg Scenic_lang.Loc.pp loc)
+          ))
+  | None, Some hash -> (
+      match Cache.find t.cache hash with
+      | Some c -> Ok (hash, c, `Hit)
+      | None -> Error (Printf.sprintf "unknown hash %S: resend with source" hash)
+      )
+  | None, None -> Error "sample request needs \"source\" or \"hash\""
+
+let handle_sample t (r : Protocol.sample_request) : Sjson.t =
+  if r.Protocol.n > t.config.max_scenes then
+    Protocol.error_response
+      (Printf.sprintf "\"n\" exceeds the per-request cap of %d"
+         t.config.max_scenes)
+  else
+    match resolve_compiled t r with
+    | Error msg ->
+        locked t.metrics "serve.errors" 1;
+        Protocol.error_response msg
+    | Ok (hash, compiled, hit) -> (
+        (match hit with
+        | `Hit -> locked t.metrics "serve.cache.hits" 1
+        | `Miss -> locked t.metrics "serve.cache.misses" 1);
+        publish_cache_stats t;
+        (* [deadline_ms] bounds the whole batch via an absolute-deadline
+           budget; an explicit iteration cap always rides along so a
+           deadline-free infeasible request cannot spin forever. *)
+        let budget =
+          match (r.Protocol.deadline_ms, r.Protocol.max_iters) with
+          | None, None -> None
+          | deadline_ms, max_iters ->
+              let deadline =
+                Option.map
+                  (fun ms -> t.config.clock () +. (ms /. 1000.))
+                  deadline_ms
+              in
+              Some
+                (S.Budget.create
+                   ~max_iters:
+                     (Option.value ~default:S.Rejection.default_max_iters
+                        max_iters)
+                   ?deadline ~clock:t.config.clock ())
+        in
+        let batch =
+          S.Parallel.run ~jobs:t.config.jobs ?budget ~seed:r.Protocol.seed
+            ~n:r.Protocol.n
+            (S.Compiled.scenario compiled)
+        in
+        let base =
+          [
+            ("hash", Sjson.Str hash);
+            ( "cache",
+              Sjson.Str (match hit with `Hit -> "hit" | `Miss -> "miss") );
+            ("seed", Sjson.int r.Protocol.seed);
+            ("n", Sjson.int r.Protocol.n);
+            ( "iterations",
+              Sjson.int batch.S.Parallel.usage.S.Budget.total_iterations );
+          ]
+        in
+        (* first failure in index order decides the response status, as
+           the CLI's exit code does *)
+        let first_failure =
+          Array.to_seqi batch.S.Parallel.outcomes
+          |> Seq.find_map (fun (i, o) ->
+                 match o with
+                 | S.Parallel.Scene _ -> None
+                 | S.Parallel.Exhausted e ->
+                     Some
+                       (`Exhausted
+                         (i, Fmt.str "%a" S.Budget.pp_stop_reason
+                              e.S.Rejection.reason))
+                 | S.Parallel.Faulted f ->
+                     Some
+                       (`Faulted
+                         (i, Fmt.str "%a" Scenic_core.Errors.pp_fault
+                              f.S.Parallel.f_fault)))
+        in
+        match first_failure with
+        | None ->
+            locked t.metrics "serve.scenes" r.Protocol.n;
+            (* each scene travels as a JSON *string* holding the exact
+               [Export.json_of_scene] text: string escape/unescape is a
+               byte-exact round trip, so the client recovers the very
+               bytes [scenic sample --json] would have printed — a Raw
+               object splice would force clients to re-render floats *)
+            let scenes =
+              List.map
+                (fun scene ->
+                  Sjson.Str (Scenic_render.Export.json_of_scene scene))
+                (S.Parallel.scenes batch)
+            in
+            Sjson.Obj
+              ((("status", Sjson.Str "ok") :: base)
+              @ [ ("scenes", Sjson.List scenes) ])
+        | Some (`Exhausted (i, reason)) ->
+            locked t.metrics "serve.exhausted" 1;
+            Sjson.Obj
+              ((("status", Sjson.Str "exhausted") :: base)
+              @ [ ("index", Sjson.int i); ("reason", Sjson.Str reason) ])
+        | Some (`Faulted (i, fault)) ->
+            locked t.metrics "serve.errors" 1;
+            Sjson.Obj
+              ((("status", Sjson.Str "error") :: base)
+              @ [
+                  ("index", Sjson.int i);
+                  ("error", Sjson.Str ("sample faulted: " ^ fault));
+                ]))
+
+let handle_request t (payload : string) : Sjson.t =
+  let t0 = t.config.clock () in
+  let response =
+    match Protocol.parse_request payload with
+    | Error msg ->
+        locked t.metrics "serve.errors" 1;
+        Protocol.error_response msg
+    | Ok Protocol.Ping ->
+        locked t.metrics "serve.ping.requests" 1;
+        Sjson.Obj [ ("status", Sjson.Str "ok"); ("pong", Sjson.Bool true) ]
+    | Ok Protocol.Stats ->
+        locked t.metrics "serve.stats.requests" 1;
+        publish_cache_stats t;
+        let s = Cache.stats t.cache in
+        Sjson.Obj
+          [
+            ("status", Sjson.Str "ok");
+            ( "cache",
+              Sjson.Obj
+                [
+                  ("hits", Sjson.int s.Cache.s_hits);
+                  ("misses", Sjson.int s.Cache.s_misses);
+                  ("evictions", Sjson.int s.Cache.s_evictions);
+                  ("size", Sjson.int s.Cache.s_size);
+                ] );
+            ("stats", Sjson.Raw (T.Metrics.Locked.to_json t.metrics));
+          ]
+    | Ok Protocol.Shutdown ->
+        locked t.metrics "serve.shutdown.requests" 1;
+        stop t;
+        Sjson.Obj [ ("status", Sjson.Str "ok"); ("draining", Sjson.Bool true) ]
+    | Ok (Protocol.Sample r) ->
+        locked t.metrics "serve.sample.requests" 1;
+        handle_sample t r
+  in
+  T.Metrics.Locked.observe t.metrics "serve.request_ms"
+    ((t.config.clock () -. t0) *. 1000.);
+  locked t.metrics "serve.requests" 1;
+  response
+
+(* --- connection + thread loops ------------------------------------------- *)
+
+let send_response fd (j : Sjson.t) =
+  Protocol.write_frame fd (Sjson.to_string j)
+
+(* Serve one connection to completion: sequential request/response
+   until EOF, a protocol error (answered then closed), or drain. *)
+let serve_connection t fd =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let continue = ref true in
+      while !continue do
+        match Protocol.read_frame ~max_frame:t.config.max_frame fd with
+        | None -> continue := false
+        | Some payload ->
+            send_response fd (handle_request t payload);
+            (* draining: finish the in-flight exchange, then close the
+               connection instead of waiting for more requests *)
+            if t.stopping then continue := false
+        | exception Protocol.Frame_too_large len ->
+            locked t.metrics "serve.oversized" 1;
+            send_response fd
+              (Protocol.error_response
+                 (Printf.sprintf "frame of %d bytes exceeds the %d-byte limit"
+                    len t.config.max_frame));
+            continue := false
+        | exception Protocol.Frame_error msg ->
+            locked t.metrics "serve.malformed" 1;
+            (* best-effort: the peer may already be gone *)
+            (try
+               send_response fd
+                 (Protocol.error_response ("malformed frame: " ^ msg))
+             with Unix.Unix_error _ | Sys_error _ -> ());
+            continue := false
+        | exception (Unix.Unix_error _ | Sys_error _) -> continue := false
+      done)
+
+let worker_loop t =
+  let rec next () =
+    let claim =
+      Mutex.protect t.mx (fun () ->
+          let rec wait () =
+            if not (Queue.is_empty t.pending) then
+              Some (Queue.pop t.pending)
+            else if t.stopping then None
+            else begin
+              Condition.wait t.nonempty t.mx;
+              wait ()
+            end
+          in
+          wait ())
+    in
+    match claim with
+    | None -> ()
+    | Some fd ->
+        (match t.on_request with Some f -> f () | None -> ());
+        (try serve_connection t fd
+         with exn ->
+           Log.err (fun m ->
+               m "handler thread: uncaught %s" (Printexc.to_string exn)));
+        next ()
+  in
+  next ()
+
+(* The acceptor owns the listening socket: it is the only closer, once
+   the drain flag (plus [stop]'s wakeup connection) gets it out of
+   [accept]. *)
+let accept_loop t =
+  while not t.stopping do
+    match Unix.accept t.listen_fd with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ -> Thread.yield ()
+    | fd, _ ->
+        let enqueued =
+          Mutex.protect t.mx (fun () ->
+              if t.stopping then `Draining
+              else if Queue.length t.pending >= t.config.queue_cap then
+                `Overloaded
+              else begin
+                Queue.push fd t.pending;
+                Condition.signal t.nonempty;
+                `Queued
+              end)
+        in
+        (match enqueued with
+        | `Queued -> ()
+        | `Draining ->
+            (* [stop]'s wakeup connection, or a client that raced the
+               drain: no more work is admitted *)
+            (try Unix.close fd with Unix.Unix_error _ -> ())
+        | `Overloaded ->
+            locked t.metrics "serve.overloaded" 1;
+            (* fast-reject: one frame, then close — the client learns
+               immediately instead of queueing blind *)
+            (try send_response fd Protocol.overloaded_response
+             with Unix.Unix_error _ | Sys_error _ -> ());
+            (try Unix.close fd with Unix.Unix_error _ -> ()))
+  done;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  match t.config.addr with
+  | Protocol.Unix_socket path ->
+      (try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Protocol.Tcp _ -> ()
+
+(** Spawn the acceptor and handler threads.  Returns immediately; use
+    {!await} to block until shutdown completes. *)
+let start t =
+  if t.threads <> [] then invalid_arg "Server.start: already started";
+  (* a peer that hangs up mid-response must cost one EPIPE, not the
+     whole process: without this, the best-effort error reply to an
+     already-closed connection would SIGPIPE the daemon *)
+  (if Sys.os_type = "Unix" then
+     try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+     with Invalid_argument _ | Sys_error _ -> ());
+  let acceptor = Thread.create accept_loop t in
+  let workers =
+    List.init t.config.workers (fun _ -> Thread.create worker_loop t)
+  in
+  t.threads <- acceptor :: workers;
+  Log.info (fun m ->
+      m "listening on %a (%d workers, queue %d, cache %d, jobs %d)"
+        Protocol.pp_addr t.bound t.config.workers t.config.queue_cap
+        t.config.cache_cap t.config.jobs)
+
+(** Block until the server has fully drained: every queued connection
+    served, every thread joined. *)
+let await t =
+  List.iter Thread.join t.threads;
+  t.threads <- [];
+  publish_cache_stats t;
+  Log.info (fun m -> m "drained: all handler threads joined")
+
+let cache_stats t = Cache.stats t.cache

@@ -269,3 +269,30 @@ let to_json t =
               (fun (k, h) -> Tjson.field k (hist_json h))
               (sorted_bindings t.hists)));
     ]
+
+(* --- multi-threaded writers ----------------------------------------------- *)
+
+(** A mutex-guarded view over a registry, for processes whose writers
+    are systhreads rather than the one-recorder-per-domain discipline
+    of {!Scenic_sampler.Parallel}: the serving daemon's handler threads
+    all record per-endpoint counters and latency histograms into a
+    single registry through one of these.  Every operation takes the
+    lock; the registry itself stays a plain {!t} so [to_json] output is
+    indistinguishable from the single-threaded path. *)
+module Locked = struct
+  type locked = { t : t; mx : Mutex.t }
+
+  let create () = { t = create (); mx = Mutex.create () }
+
+  (** Run [f] on the underlying registry under the lock — for compound
+      updates that must be atomic (e.g. publishing a consistent set of
+      cache gauges). *)
+  let with_registry l f = Mutex.protect l.mx (fun () -> f l.t)
+
+  let add l name by = with_registry l (fun t -> add t name by)
+  let incr l name = add l name 1
+  let observe l name v = with_registry l (fun t -> observe t name v)
+  let set_gauge l name v = with_registry l (fun t -> set_gauge t name v)
+  let counter l name = with_registry l (fun t -> counter t name)
+  let to_json l = with_registry l to_json
+end

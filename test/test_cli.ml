@@ -432,4 +432,137 @@ let suite =
           (contains ~needle:"import confLib" out));
   ]
 
-let suites = [ ("cli", suite) ]
+(* --- scenic serve / scenic client round trips --------------------------- *)
+
+(* Start a real [scenic serve] daemon on a throwaway unix socket, run
+   [f addr], then shut it down via the client op and reap the
+   process.  Waits for the readiness line's side effect — the socket
+   appearing on disk — before handing control to [f]. *)
+let with_serve ?(args = []) f =
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "scenic-cli-serve-%d.sock" (Unix.getpid ()))
+  in
+  (try Sys.remove sock with Sys_error _ -> ());
+  let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid =
+    Unix.create_process scenic
+      (Array.of_list (([ scenic; "serve"; sock ] @ args)))
+      Unix.stdin null null
+  in
+  Unix.close null;
+  Fun.protect
+    ~finally:(fun () ->
+      (* best-effort: ask politely, then reap (kill if it ignores us) *)
+      ignore (run [ "client"; sock; "shutdown" ]);
+      let deadline = Unix.gettimeofday () +. 10. in
+      let rec reap () =
+        match Unix.waitpid [ Unix.WNOHANG ] pid with
+        | 0, _ when Unix.gettimeofday () < deadline ->
+            ignore (Unix.select [] [] [] 0.05);
+            reap ()
+        | 0, _ ->
+            Unix.kill pid Sys.sigkill;
+            ignore (Unix.waitpid [] pid)
+        | _ -> ()
+      in
+      reap ();
+      try Sys.remove sock with Sys_error _ -> ())
+    (fun () ->
+      let deadline = Unix.gettimeofday () +. 10. in
+      while
+        (not (Sys.file_exists sock)) && Unix.gettimeofday () < deadline
+      do
+        ignore (Unix.select [] [] [] 0.02)
+      done;
+      if not (Sys.file_exists sock) then
+        Alcotest.fail "scenic serve never created its socket";
+      f sock)
+
+let serve_suite =
+  [
+    test_case "served batch is byte-identical to scenic sample" `Quick
+      (fun () ->
+        (* the PR's headline contract: for every --jobs value, a batch
+           served over the wire equals `scenic sample --json --seed S
+           -n N` byte for byte — cold compile, cache hit, and
+           hash-addressed requests alike *)
+        let f = scenario_file feasible in
+        let oracle jobs =
+          let r =
+            run
+              [
+                "sample"; "--json"; "--seed"; "9"; "-n"; "6"; "--jobs";
+                string_of_int jobs; f;
+              ]
+          in
+          check_code "scenic sample" 0 r;
+          let _, out, _ = r in
+          out
+        in
+        let o1 = oracle 1 and o2 = oracle 2 and o4 = oracle 4 in
+        Alcotest.(check string) "CLI stable across --jobs" o1 o2;
+        Alcotest.(check string) "CLI stable across --jobs 4" o1 o4;
+        with_serve (fun sock ->
+            let serve args =
+              let r =
+                run
+                  ([ "client"; sock; "sample"; f; "--seed"; "9"; "-n"; "6" ]
+                  @ args)
+              in
+              check_code "scenic client sample" 0 r;
+              r
+            in
+            let _, cold, cold_err = serve [] in
+            Alcotest.(check string) "cold serve = CLI bytes" o1 cold;
+            Alcotest.(check bool) "first contact is a miss" true
+              (contains ~needle:"cache miss" cold_err);
+            let _, hot, hot_err = serve [] in
+            Alcotest.(check string) "hot serve = CLI bytes" o1 hot;
+            Alcotest.(check bool) "second contact hits" true
+              (contains ~needle:"cache hit" hot_err);
+            let _, by_hash, _ = serve [ "--by-hash" ] in
+            Alcotest.(check string) "hash-addressed = CLI bytes" o1 by_hash);
+        Sys.remove f);
+    test_case "client surfaces exhausted as exit 3" `Quick (fun () ->
+        let f = scenario_file infeasible in
+        with_serve (fun sock ->
+            let r =
+              run
+                [
+                  "client"; sock; "sample"; f; "--max-iters"; "40"; "-n"; "1";
+                ]
+            in
+            check_code "exhausted over the wire" 3 r;
+            check_stderr "names the budget" "iteration limit" r;
+            (* ping still answers: exhaustion is a response, not a crash *)
+            check_code "ping after exhaustion" 0
+              (run [ "client"; sock; "ping" ]));
+        Sys.remove f);
+    test_case "bench serve --tiny emits a gated record" `Quick (fun () ->
+        (* the smoke version of the load generator: the record it
+           writes must carry the serve schema and pass the checked-in
+           thresholds via `bench diff --assert` (family-scoped) *)
+        let out = Filename.temp_file "scenic_cli" ".json" in
+        let r = run [ "bench"; "serve"; "--tiny"; "-o"; out ] in
+        check_code "bench serve" 0 r;
+        let record = read_all out in
+        Alcotest.(check bool) "serve schema" true
+          (contains ~needle:"scenic-bench-serve/1" record);
+        Alcotest.(check bool) "has percentiles" true
+          (contains ~needle:"p99_ms" record);
+        (* same gates as the checked-in bench/thresholds.json serve
+           entries, inline because the test cwd is the build tree *)
+        let gates = Filename.temp_file "scenic_cli" ".json" in
+        let oc = open_out gates in
+        output_string oc
+          {|{"schema": "scenic-bench-thresholds/1", "scenarios": {"serve:mars-bottleneck": {"min_cold_over_hit": 10}}}|};
+        close_out oc;
+        let gate = run [ "bench"; "diff"; out; "--assert"; gates ] in
+        Sys.remove out;
+        Sys.remove gates;
+        check_code "cache hit is >=10x faster than cold compile" 0 gate);
+  ]
+
+let suites = [ ("cli", suite); ("cli.serve", serve_suite) ]

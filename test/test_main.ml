@@ -3,4 +3,4 @@
 let () =
   Scenic_worlds.Scenic_worlds_init.init ();
   Alcotest.run "scenic"
-    (Test_geometry.suites @ Test_prob.suites @ Test_lang.suites @ Test_core.suites @ Test_sampler.suites @ Test_diagnose.suites @ Test_robustness.suites @ Test_pool.suites @ Test_parallel.suites @ Test_telemetry.suites @ Test_worlds.suites @ Test_render.suites @ Test_detector.suites @ Test_integration.suites @ Test_properties.suites @ Test_mcmc.suites @ Test_dynamics.suites @ Test_extract.suites @ Test_roundtrip.suites @ Test_lint.suites @ Test_propagate.suites @ Test_conformance.suites @ Test_cli.suites)
+    (Test_geometry.suites @ Test_prob.suites @ Test_lang.suites @ Test_core.suites @ Test_sampler.suites @ Test_diagnose.suites @ Test_robustness.suites @ Test_pool.suites @ Test_parallel.suites @ Test_telemetry.suites @ Test_worlds.suites @ Test_render.suites @ Test_detector.suites @ Test_integration.suites @ Test_properties.suites @ Test_mcmc.suites @ Test_dynamics.suites @ Test_extract.suites @ Test_roundtrip.suites @ Test_lint.suites @ Test_propagate.suites @ Test_conformance.suites @ Test_server.suites @ Test_cli.suites)

@@ -86,6 +86,32 @@ let budget_tests =
           (1 + S.Budget.max_deadline_overshoot)
           e.S.Rejection.used;
         Alcotest.(check int) "exactly three clock reads" 3 !reads);
+    test_case "adaptive stride tightens near the deadline" `Quick (fun () ->
+        (* the clock advances exactly 0.125 s per read (binary-exact,
+           so the arithmetic below has no rounding), and the timeout is
+           0.5 s: after the iteration-1 consultation measures 0.125 s
+           per iteration, the aim-for-half-the-remaining-budget rule
+           clamps every subsequent stride to 1, so expiry is detected
+           on the very next consultation after it happens — 4
+           iterations in, not up to [clock_stride] = 64 later.
+           Consultation schedule: reads at start (0.125) and before
+           iterations 1..5 (0.250 .. 0.750); remaining time hits
+           -0.125 on the sixth read, stopping iteration 5. *)
+        let reads = ref 0 in
+        let clock () =
+          incr reads;
+          0.125 *. float_of_int !reads
+        in
+        let e =
+          R.exhaust ~max_iters:1_000_000 ~timeout:0.5 ~clock ~seed:1 unsat
+        in
+        (match e.S.Rejection.reason with
+        | S.Budget.Deadline elapsed ->
+            Alcotest.(check (float 1e-9)) "elapsed at detection" 0.625 elapsed
+        | S.Budget.Iteration_limit _ -> Alcotest.fail "expected deadline");
+        Alcotest.(check int) "stopped within a handful of iterations" 4
+          e.S.Rejection.used;
+        Alcotest.(check int) "one read per shrunk stride" 6 !reads);
     test_case "deadline unchanged at iteration 1" `Quick (fun () ->
         (* the stride always checks iteration 1, so an already-expired
            deadline still stops the very first iteration *)

@@ -1,0 +1,580 @@
+(* In-process tests for the [scenic serve] stack: hashing, JSON,
+   compiled-scenario cache, wire framing, request decoding, and
+   end-to-end server behaviour — determinism against the library
+   sampler, cache hit/miss byte-identity, failure paths (malformed,
+   oversized, truncated, deadline-exhausted, overloaded) and graceful
+   drain.  The CLI-level round trip (a real [scenic serve] process
+   against [scenic client]) lives in test_cli.ml. *)
+
+open Alcotest
+module Srv = Scenic_server
+module S = Scenic_sampler
+module J = Srv.Sjson
+
+let () = Scenic_worlds.Scenic_worlds_init.init ()
+
+let feasible = "import mars\nego = Rover\nRock\n"
+let feasible2 = "import gtaLib\nego = Car\nCar ahead of ego by (5, 10)\n"
+let infeasible = "import mars\nego = Rover\nx = (0, 1)\nrequire x > 2\n"
+
+(* --- sha256 -------------------------------------------------------------- *)
+
+let sha256_tests =
+  [
+    test_case "NIST FIPS 180-4 vectors" `Quick (fun () ->
+        let check_vec input expect =
+          Alcotest.(check string) (String.sub expect 0 12) expect
+            (Srv.Sha256.digest input)
+        in
+        check_vec ""
+          "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855";
+        check_vec "abc"
+          "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad";
+        (* two-block message *)
+        check_vec "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+          "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1";
+        (* one million 'a's: exercises many-block scheduling *)
+        check_vec
+          (String.make 1_000_000 'a')
+          "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+    test_case "padding boundary lengths" `Quick (fun () ->
+        (* lengths 55/56/64 straddle the padding block split; pin them
+           so a padding regression cannot hide behind short inputs *)
+        Alcotest.(check string) "55 bytes"
+          "9f4390f8d30c2dd92ec9f095b65e2b9ae9b0a925a5258e241c9f1e910f734318"
+          (Srv.Sha256.digest (String.make 55 'a'));
+        Alcotest.(check string) "56 bytes"
+          "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a"
+          (Srv.Sha256.digest (String.make 56 'a'));
+        Alcotest.(check string) "64 bytes"
+          "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb"
+          (Srv.Sha256.digest (String.make 64 'a')));
+  ]
+
+(* --- sjson --------------------------------------------------------------- *)
+
+let sjson_tests =
+  [
+    test_case "parse and access" `Quick (fun () ->
+        let j =
+          J.parse
+            {|{"op": "sample", "n": 3, "neg": -2.5e1, "flag": true, "xs": [1, 2], "nul": null}|}
+        in
+        Alcotest.(check (option string)) "op" (Some "sample")
+          (J.to_str (J.member "op" j));
+        Alcotest.(check (option int)) "n" (Some 3) (J.to_int (J.member "n" j));
+        Alcotest.(check (option (float 1e-9))) "neg" (Some (-25.))
+          (J.to_num (J.member "neg" j));
+        Alcotest.(check (option bool)) "flag" (Some true)
+          (J.to_bool (J.member "flag" j));
+        Alcotest.(check int) "xs" 2 (List.length (J.to_list (J.member "xs" j)));
+        Alcotest.(check bool) "nul present" true (J.member "nul" j <> None);
+        Alcotest.(check bool) "absent" true (J.member "zzz" j = None));
+    test_case "string escaping round-trips all bytes" `Quick (fun () ->
+        (* the byte-identity of served scenes rests on this: a scene
+           travels as a JSON string, so escape→parse must be exact *)
+        let all = String.init 256 Char.chr in
+        let wire = J.to_string (J.Str all) in
+        (match J.parse wire with
+        | J.Str back ->
+            Alcotest.(check string) "all 256 bytes survive" all back
+        | _ -> Alcotest.fail "expected a string");
+        let nested = "line1\nline2\t\"quoted\" \\slash\\ \x00\x1f" in
+        match J.parse (J.to_string (J.Str nested)) with
+        | J.Str back -> Alcotest.(check string) "controls survive" nested back
+        | _ -> Alcotest.fail "expected a string");
+    test_case "malformed input raises Parse_error" `Quick (fun () ->
+        let bad s =
+          match J.parse s with
+          | exception J.Parse_error _ -> ()
+          | _ -> Alcotest.fail (Printf.sprintf "parsed %S" s)
+        in
+        bad "";
+        bad "{oops";
+        bad "[1, 2";
+        bad "\"unterminated";
+        bad "{\"a\": }";
+        bad "nul";
+        bad "{} trailing");
+    test_case "Raw splices verbatim" `Quick (fun () ->
+        let j = J.Obj [ ("stats", J.Raw "{\"x\": 1}") ] in
+        Alcotest.(check string) "verbatim" "{\"stats\": {\"x\": 1}}"
+          (J.to_string j));
+  ]
+
+(* --- cache --------------------------------------------------------------- *)
+
+let cache_tests =
+  [
+    test_case "key normalizes CRLF, distinguishes content" `Quick (fun () ->
+        Alcotest.(check string) "CRLF = LF"
+          (Srv.Cache.key "ego = Rover\nRock\n")
+          (Srv.Cache.key "ego = Rover\r\nRock\r\n");
+        Alcotest.(check bool) "different source, different key" true
+          (Srv.Cache.key feasible <> Srv.Cache.key infeasible);
+        Alcotest.(check int) "lowercase hex" 64
+          (String.length (Srv.Cache.key feasible)))
+    ;
+    test_case "hit/miss counters and LRU eviction" `Quick (fun () ->
+        let c = Srv.Cache.create ~capacity:2 in
+        let compiled = S.Compiled.of_source feasible in
+        let k s = Srv.Cache.key s in
+        Alcotest.(check bool) "cold miss" true
+          (Srv.Cache.find c (k "a") = None);
+        Srv.Cache.add c (k "a") compiled;
+        Srv.Cache.add c (k "b") compiled;
+        Alcotest.(check bool) "a hits" true (Srv.Cache.find c (k "a") <> None);
+        (* a was just touched, so adding c evicts b (the LRU entry) *)
+        Srv.Cache.add c (k "c") compiled;
+        Alcotest.(check bool) "b evicted" true
+          (Srv.Cache.find c (k "b") = None);
+        Alcotest.(check bool) "a survives" true
+          (Srv.Cache.find c (k "a") <> None);
+        Alcotest.(check bool) "c survives" true
+          (Srv.Cache.find c (k "c") <> None);
+        let s = Srv.Cache.stats c in
+        Alcotest.(check int) "size" 2 s.Srv.Cache.s_size;
+        Alcotest.(check int) "evictions" 1 s.Srv.Cache.s_evictions;
+        Alcotest.(check int) "hits" 3 s.Srv.Cache.s_hits;
+        Alcotest.(check int) "misses" 2 s.Srv.Cache.s_misses);
+    test_case "capacity 0 disables retention" `Quick (fun () ->
+        let c = Srv.Cache.create ~capacity:0 in
+        let compiled = S.Compiled.of_source feasible in
+        Srv.Cache.add c "k" compiled;
+        Alcotest.(check bool) "never stored" true (Srv.Cache.find c "k" = None);
+        Alcotest.(check int) "size 0" 0 (Srv.Cache.stats c).Srv.Cache.s_size);
+  ]
+
+(* --- framing ------------------------------------------------------------- *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> f a b)
+
+let framing_tests =
+  [
+    test_case "round trip, then clean EOF" `Quick (fun () ->
+        with_socketpair (fun a b ->
+            Srv.Protocol.write_frame a "hello";
+            Srv.Protocol.write_frame a "";
+            (* empty payload is a zero length: must be rejected below *)
+            Alcotest.(check (option string)) "payload" (Some "hello")
+              (Srv.Protocol.read_frame b);
+            (match Srv.Protocol.read_frame b with
+            | exception Srv.Protocol.Frame_error _ -> ()
+            | _ -> Alcotest.fail "zero-length frame accepted");
+            Unix.close a;
+            Alcotest.(check (option string)) "clean EOF" None
+              (Srv.Protocol.read_frame b)));
+    test_case "oversized frame raises Frame_too_large" `Quick (fun () ->
+        with_socketpair (fun a b ->
+            Srv.Protocol.write_frame a (String.make 100 'x');
+            match Srv.Protocol.read_frame ~max_frame:64 b with
+            | exception Srv.Protocol.Frame_too_large n ->
+                Alcotest.(check int) "announced length" 100 n
+            | _ -> Alcotest.fail "oversized frame accepted"));
+    test_case "torn frame raises Frame_error" `Quick (fun () ->
+        with_socketpair (fun a b ->
+            (* header promises 100 bytes, deliver 10, hang up *)
+            let hdr = Bytes.of_string "\x00\x00\x00\x64" in
+            ignore (Unix.write a hdr 0 4);
+            ignore (Unix.write_substring a "0123456789" 0 10);
+            Unix.close a;
+            match Srv.Protocol.read_frame b with
+            | exception Srv.Protocol.Frame_error _ -> ()
+            | _ -> Alcotest.fail "torn frame accepted");
+        with_socketpair (fun a b ->
+            (* EOF inside the header itself *)
+            ignore (Unix.write_substring a "\x00\x00" 0 2);
+            Unix.close a;
+            match Srv.Protocol.read_frame b with
+            | exception Srv.Protocol.Frame_error _ -> ()
+            | _ -> Alcotest.fail "torn header accepted"));
+  ]
+
+(* --- request decoding ---------------------------------------------------- *)
+
+let decode_err payload =
+  match Srv.Protocol.parse_request payload with
+  | Error e -> e
+  | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %S" payload)
+
+let protocol_tests =
+  [
+    test_case "addr_of_string" `Quick (fun () ->
+        let open Srv.Protocol in
+        Alcotest.(check bool) "path" true
+          (addr_of_string "/tmp/s.sock" = Unix_socket "/tmp/s.sock");
+        Alcotest.(check bool) "host:port" true
+          (addr_of_string "127.0.0.1:9000" = Tcp ("127.0.0.1", 9000));
+        Alcotest.(check bool) "bare :port defaults host" true
+          (addr_of_string ":0" = Tcp ("127.0.0.1", 0));
+        Alcotest.(check bool) "no colon is a path" true
+          (addr_of_string "scenic.sock" = Unix_socket "scenic.sock"));
+    test_case "sample request defaults and validation" `Quick (fun () ->
+        (match
+           Srv.Protocol.parse_request {|{"op": "sample", "source": "x"}|}
+         with
+        | Ok (Srv.Protocol.Sample r) ->
+            Alcotest.(check int) "default seed" Srv.Protocol.default_seed
+              r.Srv.Protocol.seed;
+            Alcotest.(check int) "default n" 1 r.Srv.Protocol.n;
+            Alcotest.(check bool) "no deadline" true
+              (r.Srv.Protocol.deadline_ms = None)
+        | _ -> Alcotest.fail "well-formed sample rejected");
+        let contains needle hay =
+          let nl = String.length needle and hl = String.length hay in
+          let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool) "missing op" true
+          (contains "op" (decode_err {|{"n": 1}|}));
+        Alcotest.(check bool) "unknown op" true
+          (contains "unknown op" (decode_err {|{"op": "launch"}|}));
+        Alcotest.(check bool) "needs source or hash" true
+          (contains "source" (decode_err {|{"op": "sample"}|}));
+        Alcotest.(check bool) "negative n" true
+          (contains "non-negative"
+             (decode_err {|{"op": "sample", "source": "x", "n": -1}|}));
+        Alcotest.(check bool) "bad deadline" true
+          (contains "deadline_ms"
+             (decode_err
+                {|{"op": "sample", "source": "x", "deadline_ms": 0}|}));
+        Alcotest.(check bool) "bad max_iters" true
+          (contains "max_iters"
+             (decode_err {|{"op": "sample", "source": "x", "max_iters": 0}|}));
+        Alcotest.(check bool) "malformed JSON" true
+          (contains "malformed" (decode_err "{nope")));
+  ]
+
+(* --- end-to-end ---------------------------------------------------------- *)
+
+let fresh_sock name =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "scenic-test-%d-%s.sock" (Unix.getpid ()) name)
+
+let with_server ?(config = fun c -> c) ?on_request name f =
+  let addr = Srv.Protocol.Unix_socket (fresh_sock name) in
+  let server = Srv.Server.create ~config ?on_request addr in
+  Srv.Server.start server;
+  Fun.protect
+    ~finally:(fun () ->
+      Srv.Server.stop server;
+      Srv.Server.await server)
+    (fun () -> f server (Srv.Server.bound_addr server))
+
+(* The byte-identity oracle: what `scenic sample --json --seed S -n N`
+   renders, computed in-process through the same library path. *)
+let expected_scenes ~source ~seed ~n ~jobs =
+  let compiled = S.Compiled.of_source source in
+  let batch = S.Parallel.run ~jobs ~seed ~n (S.Compiled.scenario compiled) in
+  List.map Scenic_render.Export.json_of_scene (S.Parallel.scenes batch)
+
+let must_sample ?source ?hash ?deadline_ms ?max_iters ~seed ~n addr =
+  Srv.Client.with_connection addr (fun c ->
+      match Srv.Client.sample ?source ?hash ?deadline_ms ?max_iters ~seed ~n c with
+      | Some r -> r
+      | None -> Alcotest.fail "server closed the connection")
+
+let counter_value server name =
+  Scenic_telemetry.Metrics.Locked.counter (Srv.Server.metrics server) name
+
+let e2e_tests =
+  [
+    test_case "served batches are byte-identical across jobs" `Quick (fun () ->
+        (* server samples with jobs=2 (multiplexing the domain pool);
+           the oracle runs at jobs 1, 2 and 4 — all four must agree
+           byte for byte, which is the PR's determinism contract *)
+        with_server ~config:(fun c -> { c with Srv.Server.jobs = 2 })
+          "determinism" (fun _server addr ->
+            let seed = 9 and n = 6 in
+            let oracle = expected_scenes ~source:feasible ~seed ~n ~jobs:1 in
+            List.iter
+              (fun jobs ->
+                Alcotest.(check (list string))
+                  (Printf.sprintf "oracle stable at jobs=%d" jobs)
+                  oracle
+                  (expected_scenes ~source:feasible ~seed ~n ~jobs))
+              [ 2; 4 ];
+            let cold = must_sample ~source:feasible ~seed ~n addr in
+            Alcotest.(check string) "ok" "ok" cold.Srv.Client.status;
+            Alcotest.(check (option string)) "first contact misses"
+              (Some "miss") cold.Srv.Client.cache;
+            Alcotest.(check (list string)) "cold bytes = CLI bytes" oracle
+              cold.Srv.Client.scenes;
+            let hit = must_sample ~source:feasible ~seed ~n addr in
+            Alcotest.(check (option string)) "second contact hits"
+              (Some "hit") hit.Srv.Client.cache;
+            Alcotest.(check (list string)) "hit bytes = cold bytes" oracle
+              hit.Srv.Client.scenes;
+            (* resend by hash alone: same bytes without the source *)
+            let h = Option.get cold.Srv.Client.hash in
+            Alcotest.(check string) "hash is the cache key"
+              (Srv.Cache.key feasible) h;
+            let by_hash = must_sample ~hash:h ~seed ~n addr in
+            Alcotest.(check (list string)) "hash-addressed bytes" oracle
+              by_hash.Srv.Client.scenes));
+    test_case "concurrent requests stay isolated" `Quick (fun () ->
+        with_server
+          ~config:(fun c -> { c with Srv.Server.workers = 3 })
+          "concurrent" (fun _server addr ->
+            let plans =
+              [
+                (feasible, 3, 4); (feasible2, 11, 3); (feasible, 7, 5);
+              ]
+            in
+            let failures = Queue.create () in
+            let fmx = Mutex.create () in
+            let worker (source, seed, n) =
+              let want = expected_scenes ~source ~seed ~n ~jobs:1 in
+              let got = must_sample ~source ~seed ~n addr in
+              if got.Srv.Client.scenes <> want then begin
+                Mutex.lock fmx;
+                Queue.add (seed, n) failures;
+                Mutex.unlock fmx
+              end
+            in
+            let threads =
+              List.map (fun p -> Thread.create worker p) (plans @ plans)
+            in
+            List.iter Thread.join threads;
+            Alcotest.(check int) "every interleaved batch matched" 0
+              (Queue.length failures)));
+    test_case "unknown hash and bad source answer error" `Quick (fun () ->
+        with_server "errors" (fun _server addr ->
+            let r =
+              must_sample ~hash:(String.make 64 '0') ~seed:1 ~n:1 addr
+            in
+            Alcotest.(check string) "unknown hash" "error" r.Srv.Client.status;
+            let r = must_sample ~source:"ego = = =\n" ~seed:1 ~n:1 addr in
+            Alcotest.(check string) "compile failure" "error"
+              r.Srv.Client.status;
+            (* the connection survives an error response *)
+            Srv.Client.with_connection addr (fun c ->
+                Alcotest.(check bool) "still serving" true (Srv.Client.ping c))));
+    test_case "deadline and iteration budgets answer exhausted" `Quick
+      (fun () ->
+        with_server "exhausted" (fun server addr ->
+            let r =
+              must_sample ~source:infeasible ~max_iters:50 ~seed:1 ~n:2 addr
+            in
+            Alcotest.(check string) "iteration cap" "exhausted"
+              r.Srv.Client.status;
+            (match r.Srv.Client.detail with
+            | Some reason ->
+                Alcotest.(check bool) "names the iteration limit" true
+                  (let n = "iteration limit" in
+                   let rec go i =
+                     i + String.length n <= String.length reason
+                     && (String.sub reason i (String.length n) = n || go (i + 1))
+                   in
+                   go 0)
+            | None -> Alcotest.fail "exhausted response carries no reason");
+            let r =
+              must_sample ~source:infeasible ~deadline_ms:40. ~seed:1 ~n:1 addr
+            in
+            Alcotest.(check string) "wall-clock deadline" "exhausted"
+              r.Srv.Client.status;
+            Alcotest.(check bool) "exhaustions counted" true
+              (counter_value server "serve.exhausted" >= 2)));
+    test_case "malformed and oversized frames" `Quick (fun () ->
+        with_server
+          ~config:(fun c -> { c with Srv.Server.max_frame = 256 })
+          "frames" (fun server addr ->
+            (* valid frame, invalid JSON *)
+            let c = Srv.Client.connect addr in
+            (match Srv.Client.exchange_raw c "{not json" with
+            | Some reply ->
+                Alcotest.(check (option string)) "error status" (Some "error")
+                  (Srv.Protocol.status_of_json (J.parse reply))
+            | None -> Alcotest.fail "no response to malformed JSON");
+            Srv.Client.close c;
+            (* oversized: announced length above the server's cap gets a
+               final error response, then the server closes *)
+            let c = Srv.Client.connect addr in
+            (match Srv.Client.exchange_raw c (String.make 1000 ' ') with
+            | Some reply ->
+                let j = J.parse reply in
+                Alcotest.(check (option string)) "oversized rejected"
+                  (Some "error")
+                  (Srv.Protocol.status_of_json j);
+                Alcotest.(check bool) "names the limit" true
+                  (match J.to_str (J.member "error" j) with
+                  | Some m ->
+                      let rec has i =
+                        i + 5 <= String.length m
+                        && (String.sub m i 5 = "limit" || has (i + 1))
+                      in
+                      has 0
+                  | None -> false)
+            | None -> Alcotest.fail "no response to oversized frame");
+            Srv.Client.close c;
+            (* torn frame: promise 100 bytes, send 3, hang up — the
+               server must log-and-close, not die *)
+            let fd =
+              Unix.socket
+                (Srv.Protocol.socket_domain addr)
+                Unix.SOCK_STREAM 0
+            in
+            Unix.connect fd (Srv.Protocol.sockaddr_of_addr addr);
+            ignore (Unix.write_substring fd "\x00\x00\x00\x64abc" 0 7);
+            Unix.close fd;
+            (* the server is still alive and serving afterwards *)
+            Srv.Client.with_connection addr (fun c ->
+                Alcotest.(check bool) "alive after torn frame" true
+                  (Srv.Client.ping c));
+            Alcotest.(check bool) "malformed counted" true
+              (counter_value server "serve.malformed" >= 1);
+            Alcotest.(check bool) "oversized counted" true
+              (counter_value server "serve.oversized" >= 1)));
+    test_case "full queue answers overloaded" `Quick (fun () ->
+        let gate = Mutex.create () in
+        let cv = Condition.create () in
+        let entered = ref 0 in
+        let release = ref false in
+        let hook () =
+          Mutex.lock gate;
+          incr entered;
+          Condition.broadcast cv;
+          while not !release do
+            Condition.wait cv gate
+          done;
+          Mutex.unlock gate
+        in
+        with_server
+          ~config:(fun c ->
+            { c with Srv.Server.workers = 1; queue_cap = 1 })
+          ~on_request:hook "overload" (fun server addr ->
+            (* first connection: claimed by the only worker, which then
+               blocks in the hook *)
+            let held = Srv.Client.connect addr in
+            Mutex.lock gate;
+            while !entered < 1 do
+              Condition.wait cv gate
+            done;
+            Mutex.unlock gate;
+            (* with the worker held and queue_cap=1, of the next three
+               connections one is queued and two must be fast-rejected
+               with an immediate overloaded frame *)
+            let extras = List.init 3 (fun _ -> Srv.Client.connect addr) in
+            let deadline = Unix.gettimeofday () +. 5. in
+            while
+              counter_value server "serve.overloaded" < 2
+              && Unix.gettimeofday () < deadline
+            do
+              Thread.yield ();
+              ignore (Unix.select [] [] [] 0.01)
+            done;
+            Alcotest.(check bool) "two rejections counted" true
+              (counter_value server "serve.overloaded" >= 2);
+            (* rejected sockets have the overloaded frame waiting (then
+               EOF); the queued one stays silent — select tells them
+               apart without blocking *)
+            let overloaded_replies =
+              List.fold_left
+                (fun acc c ->
+                  let readable, _, _ =
+                    Unix.select [ c.Srv.Client.fd ] [] [] 0.5
+                  in
+                  if readable = [] then acc
+                  else
+                    match Srv.Protocol.read_frame c.Srv.Client.fd with
+                    | Some reply
+                      when Srv.Protocol.status_of_json (J.parse reply)
+                           = Some "overloaded" ->
+                        acc + 1
+                    | _ -> acc
+                    | exception _ -> acc)
+                0 extras
+            in
+            Alcotest.(check int) "overloaded frames delivered" 2
+              overloaded_replies;
+            Mutex.lock gate;
+            release := true;
+            Condition.broadcast cv;
+            Mutex.unlock gate;
+            Srv.Client.close held;
+            List.iter Srv.Client.close extras;
+            (* once the holder drains, the server serves normally *)
+            Srv.Client.with_connection addr (fun c ->
+                Alcotest.(check bool) "recovered after overload" true
+                  (Srv.Client.ping c))));
+    test_case "shutdown drains and leaves the pool healthy" `Quick (fun () ->
+        let sock = fresh_sock "drain" in
+        let addr = Srv.Protocol.Unix_socket sock in
+        let server =
+          Srv.Server.create
+            ~config:(fun c -> { c with Srv.Server.jobs = 2 })
+            addr
+        in
+        Srv.Server.start server;
+        let r = must_sample ~source:feasible ~seed:3 ~n:4 addr in
+        Alcotest.(check string) "served before shutdown" "ok"
+          r.Srv.Client.status;
+        Srv.Client.with_connection addr (fun c ->
+            Alcotest.(check bool) "shutdown acknowledged" true
+              (Srv.Client.shutdown c));
+        Srv.Server.await server;
+        Alcotest.(check bool) "socket unlinked" false (Sys.file_exists sock);
+        (* the shared domain pool must still work after the server is
+           gone: a drain that leaked pool workers would fail here *)
+        let compiled = S.Compiled.of_source feasible in
+        let batch =
+          S.Parallel.run ~jobs:2 ~seed:3 ~n:4 (S.Compiled.scenario compiled)
+        in
+        Alcotest.(check int) "pool still samples" 4
+          (List.length (S.Parallel.scenes batch));
+        Alcotest.(check int) "no spawn failures" 0 (S.Pool.spawn_failures ()));
+    test_case "n=0, scene cap, and stats op" `Quick (fun () ->
+        with_server
+          ~config:(fun c -> { c with Srv.Server.max_scenes = 8 })
+          "edges" (fun _server addr ->
+            let r = must_sample ~source:feasible ~seed:1 ~n:0 addr in
+            Alcotest.(check string) "n=0 is ok" "ok" r.Srv.Client.status;
+            Alcotest.(check int) "no scenes" 0
+              (List.length r.Srv.Client.scenes);
+            let r = must_sample ~source:feasible ~seed:1 ~n:9 addr in
+            Alcotest.(check string) "above cap rejected" "error"
+              r.Srv.Client.status;
+            Srv.Client.with_connection addr (fun c ->
+                match Srv.Client.stats c with
+                | Some j ->
+                    Alcotest.(check (option string)) "stats ok" (Some "ok")
+                      (Srv.Protocol.status_of_json j);
+                    Alcotest.(check bool) "cache stats present" true
+                      (J.member "cache" j <> None)
+                | None -> Alcotest.fail "no stats response")));
+    test_case "TCP port 0 binds and serves" `Quick (fun () ->
+        let server = Srv.Server.create (Srv.Protocol.Tcp ("127.0.0.1", 0)) in
+        Srv.Server.start server;
+        Fun.protect
+          ~finally:(fun () ->
+            Srv.Server.stop server;
+            Srv.Server.await server)
+          (fun () ->
+            match Srv.Server.bound_addr server with
+            | Srv.Protocol.Tcp (_, port) ->
+                Alcotest.(check bool) "real port resolved" true (port > 0);
+                Srv.Client.with_connection
+                  (Srv.Server.bound_addr server)
+                  (fun c ->
+                    Alcotest.(check bool) "ping over TCP" true
+                      (Srv.Client.ping c))
+            | Srv.Protocol.Unix_socket _ ->
+                Alcotest.fail "expected a TCP bound address"));
+  ]
+
+let suites =
+  [
+    ("server.sha256", sha256_tests);
+    ("server.sjson", sjson_tests);
+    ("server.cache", cache_tests);
+    ("server.framing", framing_tests);
+    ("server.protocol", protocol_tests);
+    ("server.e2e", e2e_tests);
+  ]
