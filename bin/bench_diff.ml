@@ -221,6 +221,7 @@ let load_record path : string * row list =
     match to_str (member "schema" root) with
     | Some s when has_prefix ~prefix:"scenic-bench-sampling" s -> "sampling"
     | Some s when has_prefix ~prefix:"scenic-bench-serve" s -> "serve"
+    | Some s when has_prefix ~prefix:"scenic-bench-falsify" s -> "falsify"
     | Some s -> raise (Parse_error (path ^ ": unexpected schema " ^ s))
     | None -> raise (Parse_error (path ^ ": missing schema field"))
   in

@@ -1,0 +1,119 @@
+(** [scenic bench falsify]: the falsification-path benchmark behind
+    [BENCH_falsify.json] (schema [scenic-bench-falsify/1]).
+
+    Drives {!Scenic_dynamics.Falsify.run_batch} over a known-falsifiable
+    cut-in/brake scenario (the lead car carries a [brake_after]
+    behavior with a random trigger time, so a slice of the seed space
+    violates [no_collision]) and records, per scenario:
+
+    - [rollouts] / [ticks] — work done: seed rollouts sampled and
+      simulation frames monitored;
+    - [counterexamples] — negative-robustness rollouts found;
+    - [rollouts_per_sec] / [ticks_per_sec] — end-to-end falsification
+      throughput (sampling + simulation + monitoring);
+    - [ms_to_first_counterexample] — wall time of a sequential
+      sample-and-evaluate loop until the first violation ([-1] when the
+      budget runs dry first), the latency a falsification user feels.
+
+    Gate it with [scenic bench diff --assert]; falsify-scoped threshold
+    entries use the [falsify:] name prefix. *)
+
+module Dyn = Scenic_dynamics
+module S = Scenic_sampler
+
+(* the lead cuts in close and brakes after a random delay; ego runs the
+   deliberately-imperfect ACC controller, so some seeds collide *)
+let cutin_brake =
+  "import gtaLib\n\
+   ego = EgoCar at 1.75 @ -60, facing roadDirection, with speed (11, 14)\n\
+   lead = Car ahead of ego by (6, 12), with speed (3, 6), with behavior \
+   brake_after((0.2, 1.0))\n"
+
+let scenarios = [ ("cutin-brake", cutin_brake) ]
+
+type row = {
+  r_name : string;
+  r_rollouts : int;
+  r_ticks : int;
+  r_counterexamples : int;
+  r_rollouts_per_sec : float;
+  r_ticks_per_sec : float;
+  r_first_ms : float;  (** -1 when no counterexample was found *)
+}
+
+let drive_scenario ~rollouts ~jobs (name, source) : row =
+  Printf.eprintf "bench falsify: driving %s (%d rollouts)...\n%!" name rollouts;
+  let compiled = S.Compiled.of_source ~file:("bench-falsify-" ^ name) source in
+  let formula = Dyn.Falsify.const_formula (Dyn.Monitor.no_collision ()) in
+  let t0 = Unix.gettimeofday () in
+  let batch =
+    Dyn.Falsify.run_batch ~jobs ~seed:5 ~rollouts ~formula compiled
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (* latency to the first violation: the sequential loop a user at the
+     CLI experiences, measured separately from the batch throughput *)
+  let first_ms =
+    let world = Dyn.Falsify.default_world () in
+    let sampler = S.Sampler.of_compiled ~seed:5 compiled in
+    let t0 = Unix.gettimeofday () in
+    let rec go i =
+      if i >= rollouts then -1.
+      else
+        let o =
+          Dyn.Falsify.evaluate ~world
+            ~formula:(Dyn.Monitor.no_collision ())
+            (S.Sampler.sample sampler)
+        in
+        if o.Dyn.Falsify.rob <= 0. then (Unix.gettimeofday () -. t0) *. 1000.
+        else go (i + 1)
+    in
+    go 0
+  in
+  {
+    r_name = name;
+    r_rollouts = rollouts;
+    r_ticks = batch.Dyn.Falsify.b_ticks;
+    r_counterexamples = List.length batch.Dyn.Falsify.b_counterexamples;
+    r_rollouts_per_sec =
+      (if elapsed > 0. then float_of_int rollouts /. elapsed else 0.);
+    r_ticks_per_sec =
+      (if elapsed > 0. then float_of_int batch.Dyn.Falsify.b_ticks /. elapsed
+       else 0.);
+    r_first_ms = first_ms;
+  }
+
+let json_of_row r =
+  Printf.sprintf
+    "    {\"name\": \"%s\", \"rollouts\": %d, \"ticks\": %d, \
+     \"counterexamples\": %d, \"rollouts_per_sec\": %.2f, \"ticks_per_sec\": \
+     %.1f, \"ms_to_first_counterexample\": %.2f}"
+    r.r_name r.r_rollouts r.r_ticks r.r_counterexamples r.r_rollouts_per_sec
+    r.r_ticks_per_sec r.r_first_ms
+
+(** Run the benchmark; returns the process exit code.  [tiny] shrinks
+    the rollout budget for CI smoke runs. *)
+let run ?(tiny = false) ~out () : int =
+  let rollouts = if tiny then 30 else 200 in
+  let jobs = S.Parallel.default_jobs () in
+  let rows =
+    List.map (drive_scenario ~rollouts ~jobs) scenarios
+  in
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n  \"schema\": \"scenic-bench-falsify/1\",\n  \"generated_unix\": \
+         %.0f,\n  \"scenarios\": [\n%s\n  ]\n}\n"
+        (Unix.time ())
+        (String.concat ",\n" (List.map json_of_row rows)));
+  Printf.printf "wrote %s (%d scenarios)\n" out (List.length rows);
+  List.iter
+    (fun r ->
+      Printf.printf
+        "  %-14s %4d rollouts  %6d ticks  %3d counterexamples  %7.1f \
+         rollouts/s  first in %.0f ms\n"
+        r.r_name r.r_rollouts r.r_ticks r.r_counterexamples
+        r.r_rollouts_per_sec r.r_first_ms)
+    rows;
+  0

@@ -741,10 +741,40 @@ let bench_cmd =
             $(b,serve:) name prefix)")
       Term.(const run $ out_arg $ tiny_arg)
   in
+  let falsify_bench_cmd =
+    let out_arg =
+      Arg.(
+        value
+        & opt string "BENCH_falsify.json"
+        & info [ "o"; "out" ] ~docv:"FILE"
+            ~doc:"output record (schema scenic-bench-falsify/1)")
+    in
+    let tiny_arg =
+      Arg.(
+        value & flag
+        & info [ "tiny" ] ~doc:"shrunken rollout budget for CI smoke runs")
+    in
+    let run out tiny =
+      init ();
+      handle_errors (fun () -> exit (Bench_falsify.run ~tiny ~out ()))
+    in
+    Cmd.v
+      (Cmd.info "falsify"
+         ~doc:
+           "run the batched falsification driver over a known-falsifiable \
+            cut-in/brake scenario and record rollouts/sec, ticks/sec, \
+            counterexample counts and time-to-first-counterexample into a \
+            scenic-bench-falsify/1 JSON record (gate it with `scenic bench \
+            diff --assert`; falsify-scoped threshold entries use the \
+            $(b,falsify:) name prefix)")
+      Term.(const run $ out_arg $ tiny_arg)
+  in
   Cmd.group
     (Cmd.info "bench"
-       ~doc:"benchmark utilities (see $(b,bench diff), $(b,bench serve))")
-    [ diff_cmd; serve_bench_cmd ]
+       ~doc:
+         "benchmark utilities (see $(b,bench diff), $(b,bench serve), \
+          $(b,bench falsify))")
+    [ diff_cmd; serve_bench_cmd; falsify_bench_cmd ]
 
 let lint_cmd =
   let run file =
@@ -759,47 +789,129 @@ let lint_cmd =
     (Cmd.info "lint" ~doc:"static diagnostics without evaluating the scenario")
     Term.(const run $ file_arg)
 
+(* --formula FORM: the temporal property to falsify.  "auto" uses the
+   scenario's own [require always/eventually] statements (falling back
+   to no-collision); the named forms cover the standard atoms. *)
+let parse_formula_spec scenario spec :
+    Scenic_dynamics.Falsify.formula_fn =
+  let module Dyn = Scenic_dynamics in
+  let bad () =
+    Fmt.epr
+      "error: unknown --formula %S (expected auto, no-collision[:MARGIN] or \
+       reaches-speed:V)@."
+      spec;
+    exit exit_error
+  in
+  match String.split_on_char ':' spec with
+  | [ "auto" ] -> Dyn.Falsify.auto_formula scenario
+  | [ "no-collision" ] -> Dyn.Falsify.const_formula (Dyn.Monitor.no_collision ())
+  | [ "no-collision"; m ] -> (
+      match float_of_string_opt m with
+      | Some margin ->
+          Dyn.Falsify.const_formula (Dyn.Monitor.no_collision ~margin ())
+      | None -> bad ())
+  | [ "reaches-speed"; v ] -> (
+      match float_of_string_opt v with
+      | Some v -> Dyn.Falsify.const_formula (Dyn.Monitor.reaches_speed v)
+      | None -> bad ())
+  | _ -> bad ()
+
 let falsify_cmd =
-  let seeds_arg =
-    Arg.(value & opt int 30 & info [ "seeds" ] ~docv:"N" ~doc:"seed scenes to try")
+  let module Dyn = Scenic_dynamics in
+  let rollouts_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "rollouts"; "seeds" ] ~docv:"N"
+          ~doc:"seed scenes to sample and roll out")
+  in
+  let refine_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "refine" ] ~docv:"N"
+          ~doc:
+            "extra rollouts of a mutated variant of the worst seed \
+             (default: half the rollout budget)")
   in
   let duration_arg =
     Arg.(value & opt float 8. & info [ "duration" ] ~docv:"S" ~doc:"rollout seconds")
   in
-  let run file seed n_seeds duration =
+  let formula_arg =
+    Arg.(
+      value & opt string "auto"
+      & info [ "formula" ] ~docv:"FORM"
+          ~doc:
+            "property to falsify: $(b,auto) (the scenario's own `require \
+             always / eventually' statements, else no-collision), \
+             $(b,no-collision)[:MARGIN], or $(b,reaches-speed):V")
+  in
+  let run file seed rollouts refine duration formula_spec jobs no_prune stats =
     init ();
     handle_errors (fun () ->
-        let result =
-          Scenic_dynamics.Falsify.run ~n_seeds ~n_refine:(n_seeds / 2) ~seed
-            ~duration
-            ~formula:(Scenic_dynamics.Monitor.no_collision ())
-            (read_file file)
+        let _, metrics, probe, finish_telemetry =
+          make_telemetry ~trace_file:None ~stats ()
         in
-        Printf.printf "%d / %d seed scenes violate 'always no collision'\n"
-          result.Scenic_dynamics.Falsify.counterexamples n_seeds;
-        List.iteri
-          (fun i (o : Scenic_dynamics.Falsify.outcome) ->
-            if i < 5 then
-              Printf.printf "  #%d robustness %+.2f m\n" (i + 1)
-                o.Scenic_dynamics.Falsify.rob)
-          result.outcomes;
+        ignore metrics;
+        let n_refine = match refine with Some r -> r | None -> rollouts / 2 in
+        let jobs = Option.value jobs ~default:1 in
+        if jobs < 1 then begin
+          Fmt.epr "error: --jobs must be positive@.";
+          exit exit_error
+        end;
+        let compiled = make_compiled ~probe ~no_prune file in
+        let scenario = Scenic_sampler.Compiled.scenario compiled in
+        let formula = parse_formula_spec scenario formula_spec in
+        let batch =
+          Dyn.Falsify.run_batch ~jobs ~n_refine ~probe ~seed ~duration
+            ~rollouts ~formula compiled
+        in
+        let n_cex = List.length batch.Dyn.Falsify.b_counterexamples in
+        Printf.printf "%d / %d rollouts violate the property\n" n_cex rollouts;
+        (match Dyn.Falsify.b_first_counterexample batch with
+        | Some i ->
+            Printf.printf "first counterexample: rollout %d (robustness %+.4f)\n"
+              i batch.Dyn.Falsify.b_robs.(i)
+        | None -> ());
+        Printf.printf "worst rollout: %d (robustness %+.4f)\n"
+          batch.Dyn.Falsify.b_worst
+          (Dyn.Falsify.b_worst_rob batch);
         let refined_bad =
-          List.length
-            (List.filter
-               (fun (o : Scenic_dynamics.Falsify.outcome) -> o.rob <= 0.)
-               result.refined)
+          Array.fold_left
+            (fun acc r -> if r <= 0. then acc + 1 else acc)
+            0 batch.Dyn.Falsify.b_refined
         in
-        Printf.printf
-          "mutation refinement around the worst seed: %d / %d variants violate\n"
-          refined_bad
-          (List.length result.refined))
+        if Array.length batch.Dyn.Falsify.b_refined > 0 then
+          Printf.printf
+            "mutation refinement around the worst seed: %d / %d variants \
+             violate\n"
+            refined_bad
+            (Array.length batch.Dyn.Falsify.b_refined);
+        finish_telemetry ();
+        if n_cex = 0 then begin
+          Fmt.epr
+            "falsify: no counterexample in %d rollouts (worst robustness \
+             %+.4f)@."
+            rollouts
+            (Dyn.Falsify.b_worst_rob batch);
+          exit exit_exhausted
+        end)
   in
   Cmd.v
     (Cmd.info "falsify"
        ~doc:
          "sample scenes as falsification seeds, roll them out under the \
-          collision-avoidance controller, and report violations")
-    Term.(const run $ file_arg $ seed_arg $ seeds_arg $ duration_arg)
+          collision-avoidance controller, and search for a \
+          property-violating trajectory"
+       ~man:
+         [
+           `S Manpage.s_exit_status;
+           `P
+             "Exits 0 when a counterexample (negative-robustness rollout) \
+              was found, 3 when the rollout budget was exhausted without \
+              one, and 1 on errors.";
+         ])
+    Term.(
+      const run $ file_arg $ seed_arg $ rollouts_arg $ refine_arg
+      $ duration_arg $ formula_arg $ jobs_arg $ no_prune_arg $ stats_arg)
 
 let worlds_cmd =
   let run () =

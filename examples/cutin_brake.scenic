@@ -1,0 +1,21 @@
+# The classic cut-in/brake falsification scenario (paper Sec. 8):
+# a lead car cuts in close ahead of the ego and brakes hard after a
+# random delay, while the ego runs the collision-avoidance controller
+# under test.  Run with:
+#
+#   scenic falsify examples/cutin_brake.scenic --rollouts 50 --jobs 2
+#
+# Exit 0 means a counterexample (negative-robustness rollout) was
+# found; the temporal requirements below are monitored over each
+# rollout via --formula auto (the default).
+import gtaLib
+
+behavior cut_in_and_brake(delay):
+    do drive for delay
+    do brake
+
+ego = EgoCar at 1.75 @ -60, facing roadDirection, with speed (11, 14)
+lead = Car ahead of ego by (6, 12), with speed (3, 6), with behavior cut_in_and_brake((0.2, 1.0))
+
+# the safety margin the falsifier tries to violate
+require always (distance to lead) > 4.5

@@ -1,0 +1,221 @@
+(** Behavior values: step programs attached to scene objects.
+
+    The journal version of the paper (arXiv 2010.06580) extends Scenic
+    with dynamic agent behaviors — named, parameterized programs that
+    control an agent during simulation.  This module defines the value
+    representation those language constructs compile to.
+
+    A behavior is a sequence of {e phase nodes}; each node is either a
+    leaf primitive ([drive] / [brake] / [follow_field], optionally with
+    a target speed and a duration) or a duration-capped sub-sequence
+    (produced by [do B for T]).  Because the program is evaluated once
+    into a value DAG (Sec. 5.1) and the sampler resolves random nodes
+    later, a behavior is encoded as an ordinary {!Value.Vdict} whose
+    fields may hold random values: [Rejection.force] deep-resolves
+    dicts, so every sampled scene carries a fully concrete behavior in
+    its [behavior] property with no special-casing anywhere in the
+    sampling pipeline.
+
+    The simulator flattens the concrete tree into a {!timeline} of
+    segments and looks up the {!active} leaf per tick; after the last
+    phase ends, the final primitive is held forever. *)
+
+open Value
+
+type prim = Drive | Brake | Follow_field
+
+(* concrete (post-sampling) phase tree *)
+type node =
+  | Leaf of { prim : prim; speed : float option; dur : float option }
+  | Seq of node list * float option  (** [do B for T]: capped sub-sequence *)
+
+type leaf = { l_prim : prim; l_speed : float option }
+
+let prim_name = function
+  | Drive -> "drive"
+  | Brake -> "brake"
+  | Follow_field -> "follow_field"
+
+let prim_of_name = function
+  | "drive" -> Some Drive
+  | "brake" -> Some Brake
+  | "follow_field" -> Some Follow_field
+  | _ -> None
+
+(* --- value encoding (pre-sampling; fields may be random) --------------- *)
+
+let dict_find key kvs =
+  List.find_map
+    (function Vstr k, v when String.equal k key -> Some v | _ -> None)
+    kvs
+
+(** A leaf phase as a value; [speed] / [dur] default to [Vnone] and may
+    be random nodes (resolved by the sampler like any other property). *)
+let leaf_value ?(speed = Vnone) ?(dur = Vnone) prim =
+  Vdict
+    [
+      (Vstr "prim", Vstr (prim_name prim));
+      (Vstr "speed", speed);
+      (Vstr "dur", dur);
+    ]
+
+(** A capped sub-sequence ([do B for T]) as a value. *)
+let seq_value ~dur nodes = Vdict [ (Vstr "sub", Vlist nodes); (Vstr "dur", dur) ]
+
+(** Wrap phase nodes into a behavior value. *)
+let wrap nodes = Vdict [ (Vstr "__behavior__", Vlist nodes) ]
+
+(** The phase-node list of a behavior value ([None] when [v] is not
+    one).  Used by the evaluator to splice [do]-ed behaviors. *)
+let value_nodes = function
+  | Vdict kvs -> (
+      match dict_find "__behavior__" kvs with
+      | Some (Vlist nodes) -> Some nodes
+      | _ -> None)
+  | _ -> None
+
+let is_behavior v = value_nodes v <> None
+
+(* --- decoding a concrete (sampled) behavior ---------------------------- *)
+
+exception Malformed
+
+let float_field kvs key =
+  match dict_find key kvs with
+  | None | Some Vnone -> None
+  | Some (Vfloat f) -> Some f
+  | Some _ -> raise Malformed
+
+let rec node_of_value v =
+  match v with
+  | Vdict kvs -> (
+      match dict_find "prim" kvs with
+      | Some (Vstr name) -> (
+          match prim_of_name name with
+          | Some prim ->
+              Leaf
+                {
+                  prim;
+                  speed = float_field kvs "speed";
+                  dur = float_field kvs "dur";
+                }
+          | None -> raise Malformed)
+      | _ -> (
+          match (dict_find "sub" kvs, float_field kvs "dur") with
+          | Some (Vlist subs), dur -> Seq (List.map node_of_value subs, dur)
+          | _ -> raise Malformed))
+  | _ -> raise Malformed
+
+(** Decode a fully concrete behavior value; [None] when [v] is not a
+    (well-formed) behavior. *)
+let of_value v : node list option =
+  match value_nodes v with
+  | None -> None
+  | Some nodes -> ( try Some (List.map node_of_value nodes) with Malformed -> None)
+
+(* --- timeline flattening ------------------------------------------------ *)
+
+type segment = {
+  s_start : float;
+  s_stop : float;  (** [infinity] for the final, held phase *)
+  s_leaf : leaf;
+}
+
+(** Flatten a phase tree into time-ordered segments.  Durations
+    accumulate left to right; a [Seq] cap truncates its sub-segments
+    (and extends the last one if the body under-runs the cap).  The
+    last segment is always extended to [infinity]: after the program
+    ends, the agent holds its final primitive. *)
+let timeline (nodes : node list) : segment list =
+  let segs = ref [] in
+  let rec seq t ns = List.fold_left node t ns
+  and node t n =
+    if t = infinity then t
+    else
+      match n with
+      | Leaf { prim; speed; dur } ->
+          let stop =
+            match dur with None -> infinity | Some d -> t +. Float.max 0. d
+          in
+          segs :=
+            { s_start = t; s_stop = stop; s_leaf = { l_prim = prim; l_speed = speed } }
+            :: !segs;
+          stop
+      | Seq (subs, dur) -> (
+          match dur with
+          | None -> seq t subs
+          | Some d ->
+              let cap = t +. Float.max 0. d in
+              let saved = !segs in
+              segs := [];
+              let t' = seq t subs in
+              let inner = List.rev !segs in
+              let clipped =
+                List.filter_map
+                  (fun s ->
+                    if s.s_start >= cap then None
+                    else Some { s with s_stop = Float.min s.s_stop cap })
+                  inner
+              in
+              (* body under-ran the cap: hold its last phase to the cap *)
+              let clipped =
+                if t' < cap then
+                  match List.rev clipped with
+                  | last :: rest -> List.rev ({ last with s_stop = cap } :: rest)
+                  | [] -> []
+                else clipped
+              in
+              segs := List.rev_append clipped saved;
+              cap)
+  in
+  let _end = seq 0. nodes in
+  (* [!segs] is reverse-chronological: its head is the final phase *)
+  match !segs with
+  | [] -> []
+  | last :: rest -> List.rev ({ last with s_stop = infinity } :: rest)
+
+(** The leaf active at time [t] ([None] only for the empty timeline):
+    the first segment whose stop lies beyond [t], else the last. *)
+let rec active (segs : segment list) t : leaf option =
+  match segs with
+  | [] -> None
+  | [ s ] -> Some s.s_leaf
+  | s :: rest -> if t < s.s_stop then Some s.s_leaf else active rest t
+
+(* --- re-encoding as Scenic source --------------------------------------- *)
+
+(** Print a concrete behavior (or any dict/list/scalar value) as a
+    Scenic literal, for scene re-encoding in the falsification
+    refinement loop ([None] when the value contains something with no
+    literal syntax). *)
+let rec value_source v =
+  match v with
+  | Vnone -> Some "None"
+  | Vbool b -> Some (if b then "True" else "False")
+  | Vfloat f -> Some (Printf.sprintf "%.17g" f)
+  | Vstr s -> Some (Printf.sprintf "%S" s)
+  | Vlist vs ->
+      Option.map
+        (fun parts -> "[" ^ String.concat ", " parts ^ "]")
+        (all_sources vs)
+  | Vdict kvs ->
+      let pair (k, v) =
+        match (value_source k, value_source v) with
+        | Some ks, Some vs -> Some (ks ^ ": " ^ vs)
+        | _ -> None
+      in
+      let rec go acc = function
+        | [] -> Some (List.rev acc)
+        | kv :: rest -> (
+            match pair kv with None -> None | Some s -> go (s :: acc) rest)
+      in
+      Option.map (fun parts -> "{" ^ String.concat ", " parts ^ "}") (go [] kvs)
+  | _ -> None
+
+and all_sources vs =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | v :: rest -> (
+        match value_source v with None -> None | Some s -> go (s :: acc) rest)
+  in
+  go [] vs

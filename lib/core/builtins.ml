@@ -134,6 +134,35 @@ let table : (string * Value.value) list =
             match args with
             | [ v ] -> Vstr (Value.to_string v)
             | _ -> err "str expects one argument" ) );
+    (* primitive behaviors (dynamic scenarios): constant values and
+       parameterized constructors usable directly in [with behavior]
+       or via [do] inside a behavior body *)
+    ("drive", Behavior.wrap [ Behavior.leaf_value Behavior.Drive ]);
+    ("brake", Behavior.wrap [ Behavior.leaf_value Behavior.Brake ]);
+    ("follow_field", Behavior.wrap [ Behavior.leaf_value Behavior.Follow_field ]);
+    ( "drive_at",
+      Vbuiltin
+        ( "drive_at",
+          fun args kw ->
+            no_kw "drive_at" kw;
+            match args with
+            | [ speed ] ->
+                Behavior.wrap [ Behavior.leaf_value ~speed Behavior.Drive ]
+            | _ -> err "drive_at expects one argument (target speed)" ) );
+    ( "brake_after",
+      Vbuiltin
+        ( "brake_after",
+          fun args kw ->
+            no_kw "brake_after" kw;
+            match args with
+            | [ dur ] ->
+                (* cruise for [dur] seconds, then brake to a stop *)
+                Behavior.wrap
+                  [
+                    Behavior.leaf_value ~dur Behavior.Drive;
+                    Behavior.leaf_value Behavior.Brake;
+                  ]
+            | _ -> err "brake_after expects one argument (seconds)" ) );
   ]
 
 (** Environment pre-populated with builtins and the three built-in

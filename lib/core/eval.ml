@@ -15,8 +15,12 @@ type ctx = {
   globals : Env.t;
   mutable objects : Value.obj list;  (** scene objects, reverse order *)
   mutable requirements : Scenario.requirement list;  (** reverse order *)
+  mutable temporal : Temporal.req list;  (** reverse order *)
   mutable params : (string * Value.value) list;
   mutable loaded : string list;  (** modules already imported *)
+  mutable collecting : Value.value list ref option;
+      (** the phase collector of the behavior body currently executing;
+          [None] outside behaviors ([do] is an error there) *)
   search_path : string list;
 }
 
@@ -29,8 +33,10 @@ let create_ctx ?(search_path = [ "." ]) () =
     globals = Builtins.base_env ();
     objects = [];
     requirements = [];
+    temporal = [];
     params = [];
     loaded = [];
+    collecting = None;
     search_path;
   }
 
@@ -349,6 +355,24 @@ and exec_stmt ctx env (s : Ast.stmt) : unit =
       let label = Scenic_lang.Pretty.expr_to_string cond in
       ctx.requirements <-
         Scenario.user_requirement ~label ~span:loc v :: ctx.requirements
+  | Require_temporal (kind, cond) ->
+      let t_kind =
+        match kind with
+        | Ast.T_always -> Temporal.Always
+        | Ast.T_eventually -> Temporal.Eventually
+      in
+      let t_expr =
+        try
+          Temporal.compile
+            ~ev:(fun e -> eval_expr ctx env e)
+            ~ego:(fun () -> ego_value env loc)
+            cond
+        with Temporal.Unsupported msg ->
+          err ~loc "in a temporal requirement: %s" msg
+      in
+      let t_label = Scenic_lang.Pretty.expr_to_string cond in
+      ctx.temporal <-
+        { Temporal.t_kind; t_expr; t_label; t_span = loc } :: ctx.temporal
   | Require_p (prob, cond) ->
       let pv = ev prob in
       if deeply_random pv then
@@ -420,6 +444,68 @@ and exec_stmt ctx env (s : Ast.stmt) : unit =
       in
       Env.set env fname
         (Vclosure { fn_name = fname; fn_params; fn_body = body; fn_env = env })
+  | Behavior_def { bname; params; body } ->
+      (* A behavior declaration binds a callable: calling it runs the
+         body at compile time with a phase collector, so [do]s append
+         phase-node values (whose durations may be random — resolved by
+         the sampler per scene) and the call returns a behavior value. *)
+      let fn_params =
+        List.map (fun (p : Ast.param) -> (p.pname, Option.map ev p.pdefault)) params
+      in
+      let fn pos kw =
+        let benv = Env.create ~parent:env () in
+        if List.length pos > List.length fn_params then
+          err ~loc "behavior %s expects at most %d arguments, got %d" bname
+            (List.length fn_params) (List.length pos);
+        List.iteri
+          (fun i (name, _) ->
+            if i < List.length pos then Env.set benv name (List.nth pos i))
+          fn_params;
+        List.iter
+          (fun (n, v) ->
+            if not (List.mem_assoc n fn_params) then
+              err ~loc "behavior %s has no parameter '%s'" bname n
+            else if Env.mem_local benv n then
+              err ~loc "duplicate argument '%s' in call to behavior %s" n bname
+            else Env.set benv n v)
+          kw;
+        List.iter
+          (fun (n, default) ->
+            if not (Env.mem_local benv n) then
+              match default with
+              | Some v -> Env.set benv n v
+              | None ->
+                  err ~loc "missing argument '%s' in call to behavior %s" n bname)
+          fn_params;
+        let acc = ref [] in
+        let saved = ctx.collecting in
+        ctx.collecting <- Some acc;
+        Fun.protect
+          ~finally:(fun () -> ctx.collecting <- saved)
+          (fun () ->
+            try exec_block ctx benv body with Return_exc _ -> ());
+        Behavior.wrap (List.rev !acc)
+      in
+      Env.set env bname (Vbuiltin (bname, fn))
+  | Do (be, dur) -> (
+      match ctx.collecting with
+      | None ->
+          err ~loc "'do' is only allowed inside a behavior body"
+      | Some acc ->
+          let bv = ev be in
+          let nodes =
+            match Behavior.value_nodes bv with
+            | Some nodes -> nodes
+            | None ->
+                err ~loc "'do' expects a behavior, got %s (did you forget to \
+                          call it?)" (type_name bv)
+          in
+          let appended =
+            match dur with
+            | None -> List.rev nodes  (* splice the phases in order *)
+            | Some d -> [ Behavior.seq_value ~dur:(ev d) nodes ]
+          in
+          acc := appended @ !acc)
   | Return e ->
       let v = match e with Some e -> ev e | None -> Vnone in
       raise (Return_exc v)
@@ -511,10 +597,12 @@ let compile_program ?search_path (prog : Ast.program) : Scenario.t =
     | Some (Vregion r) -> r
     | _ -> Scenic_geometry.Region.everywhere
   in
-  Scenario.finalize ~objects:(List.rev ctx.objects) ~ego
+  Scenario.finalize
+    ~temporal:(List.rev ctx.temporal)
+    ~objects:(List.rev ctx.objects) ~ego
     ~params:(List.rev ctx.params)
     ~user_requirements:(List.rev ctx.requirements)
-    ~workspace
+    ~workspace ()
 
 (** Parse and evaluate Scenic source into a scenario.  [probe] times
     the two phases as [compile.parse] / [compile.eval] spans (no-op by

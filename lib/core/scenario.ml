@@ -31,6 +31,10 @@ type t = {
   ego : Value.obj;
   params : (string * Value.value) list;
   requirements : requirement list;
+  temporal : Temporal.req list;
+      (** [require always/eventually] constraints, in program order:
+          checked over each scene's {e rollout} by the dynamics layer,
+          never by rejection sampling *)
   workspace : G.Region.t;
   mutable n_slots : int;
       (** number of dense memo slots assigned to this scenario's nodes;
@@ -152,7 +156,8 @@ let visibility_req ~ego obj =
 
 (** Finalise a scenario: apply mutations, then append the built-in
     default requirements over the (post-noise) object properties. *)
-let finalize ~objects ~ego ~params ~user_requirements ~workspace =
+let finalize ?(temporal = []) ~objects ~ego ~params ~user_requirements
+    ~workspace () =
   apply_mutations objects;
   let containment = List.filter_map (containment_req ~workspace) objects in
   let rec pairs = function
@@ -172,6 +177,7 @@ let finalize ~objects ~ego ~params ~user_requirements ~workspace =
     ego;
     params;
     requirements = user_requirements @ containment @ collisions @ visibility;
+    temporal;
     workspace;
     n_slots = 0;
     static_true = [];

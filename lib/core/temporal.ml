@@ -1,0 +1,125 @@
+(** Temporal requirements: [require always/eventually EXPR] compiled to
+    a closed quantitative IR over trajectory frames.
+
+    Static [require] conditions become boolean value-DAG nodes checked
+    by rejection sampling; temporal requirements instead constrain the
+    {e rollout} of a scene, so they cannot live in the DAG (the DAG is
+    resolved once per scene, before time exists).  This module compiles
+    the requirement's expression {e syntactically} into {!texpr}, a
+    small margin arithmetic: comparisons become signed margins
+    ([a > b] ↦ [a - b]), [and]/[or] become [min]/[max] (the standard
+    STL robustness semantics), and object references are resolved to
+    their object ids at compile time — ids are stable across samples of
+    a compiled scenario, so the simulator can map them to vehicle
+    indices per scene.
+
+    Unsupported constructs (including anything that would sample {e
+    new} randomness inside the requirement) raise {!Unsupported} with a
+    message; the evaluator re-raises it as a located error at the
+    [require]'s source span. *)
+
+module Ast = Scenic_lang.Ast
+
+type kind = Always | Eventually
+
+type texpr =
+  | T_const of float
+  | T_speed of int  (** simulated speed of the object with this id *)
+  | T_dist of int * int  (** center distance between two objects *)
+  | T_neg of texpr
+  | T_add of texpr * texpr
+  | T_sub of texpr * texpr
+  | T_mul of texpr * texpr
+  | T_min of texpr * texpr
+  | T_max of texpr * texpr
+
+type req = {
+  t_kind : kind;
+  t_expr : texpr;  (** satisfied when positive; magnitude = margin *)
+  t_label : string;
+  t_span : Scenic_lang.Loc.span;
+}
+
+exception Unsupported of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Unsupported m)) fmt
+
+(** Compile a requirement body.  [ev] evaluates a subexpression with
+    the ordinary interpreter (used to resolve object references and
+    constant subtrees); [ego] supplies the implicit ego object. *)
+let compile ~(ev : Ast.expr -> Value.value) ~(ego : unit -> Value.value)
+    (e : Ast.expr) : texpr =
+  let oid_of what v =
+    match v with
+    | Value.Vobj o -> o.Value.oid
+    | v -> fail "%s must be an object, got %s" what (Value.type_name v)
+  in
+  (* constant fallback: any subtree the interpreter can reduce to a
+     concrete float is usable; fresh randomness is not (each frame
+     would need its own draw, which the two-phase evaluation of
+     Sec. 5.1 has no place for) *)
+  let const_of e =
+    match ev e with
+    | Value.Vfloat f -> T_const f
+    | v when Value.deeply_random v ->
+        fail "random values cannot appear in a temporal requirement"
+    | v -> fail "unsupported term of type %s" (Value.type_name v)
+  in
+  let rec num e =
+    match e.Ast.desc with
+    | Ast.Num f -> T_const f
+    | Ast.Binop (Ast.Add, a, b) -> T_add (num a, num b)
+    | Ast.Binop (Ast.Sub, a, b) -> T_sub (num a, num b)
+    | Ast.Binop (Ast.Mul, a, b) -> T_mul (num a, num b)
+    | Ast.Unop (Ast.Neg, a) -> T_neg (num a)
+    | Ast.Attr (o, "speed") -> T_speed (oid_of "the receiver of .speed" (ev o))
+    | Ast.Distance_to (from, x) ->
+        let f = match from with Some f -> ev f | None -> ego () in
+        T_dist (oid_of "the 'from' of distance" f, oid_of "the target of distance" (ev x))
+    | _ -> const_of e
+  (* boolean level: comparisons become margins, connectives min/max *)
+  and margin e =
+    match e.Ast.desc with
+    | Ast.Binop (Ast.And, a, b) -> T_min (margin a, margin b)
+    | Ast.Binop (Ast.Or, a, b) -> T_max (margin a, margin b)
+    | Ast.Unop (Ast.Not, a) -> T_neg (margin a)
+    | Ast.Binop (Ast.Gt, a, b) | Ast.Binop (Ast.Ge, a, b) ->
+        T_sub (num a, num b)
+    | Ast.Binop (Ast.Lt, a, b) | Ast.Binop (Ast.Le, a, b) ->
+        T_sub (num b, num a)
+    | Ast.Binop ((Ast.Eq | Ast.Ne), _, _) ->
+        fail "equality has no useful margin; use an inequality"
+    | _ ->
+        fail
+          "a temporal requirement must be a comparison (or and/or/not of \
+           comparisons)"
+  in
+  margin e
+
+(** Evaluate a compiled margin given per-object accessors. *)
+let rec eval ~(speed : int -> float) ~(dist : int -> int -> float) t =
+  let e t = eval ~speed ~dist t in
+  match t with
+  | T_const f -> f
+  | T_speed oid -> speed oid
+  | T_dist (a, b) -> dist a b
+  | T_neg a -> -.e a
+  | T_add (a, b) -> e a +. e b
+  | T_sub (a, b) -> e a -. e b
+  | T_mul (a, b) -> e a *. e b
+  | T_min (a, b) -> Float.min (e a) (e b)
+  | T_max (a, b) -> Float.max (e a) (e b)
+
+(** Object ids referenced by a compiled margin, ascending and unique —
+    the simulator checks they all map to scene objects up front. *)
+let oids t =
+  let rec go acc = function
+    | T_const _ -> acc
+    | T_speed o -> o :: acc
+    | T_dist (a, b) -> a :: b :: acc
+    | T_neg a -> go acc a
+    | T_add (a, b) | T_sub (a, b) | T_mul (a, b) | T_min (a, b) | T_max (a, b)
+      ->
+        go (go acc a) b
+  in
+  List.sort_uniq compare (go [] t)

@@ -7,6 +7,8 @@
 
 module G = Scenic_geometry
 module C = Scenic_core
+module S = Scenic_sampler
+module Probe = Scenic_telemetry.Probe
 
 type outcome = {
   scene : C.Scene.t;
@@ -48,14 +50,28 @@ let mutation_scenario ?(scale = 1.0) (scene : C.Scene.t) : string =
       | Some v -> ( try C.Ops.as_float v with _ -> d)
       | None -> d
     in
+    (* dynamic properties survive the re-encoding: a mutated variant
+       must brake / behave like the seed it perturbs *)
+    let extra = Buffer.create 32 in
+    (match List.assoc_opt "brakeAt" o.C.Scene.c_props with
+    | Some (C.Value.Vfloat t) ->
+        Buffer.add_string extra (Printf.sprintf ", with brakeAt %.17g" t)
+    | _ -> ());
+    (match List.assoc_opt "behavior" o.C.Scene.c_props with
+    | Some bv when C.Behavior.is_behavior bv -> (
+        match C.Behavior.value_source bv with
+        | Some src -> Buffer.add_string extra (", with behavior " ^ src)
+        | None -> ())
+    | _ -> ());
     Buffer.add_string b
       (Printf.sprintf
          "%sCar at %.4f @ %.4f, facing %.4f deg, with speed %.3f, with \
-          requireVisible False, with allowCollisions True\n"
+          requireVisible False, with allowCollisions True%s\n"
          (if is_ego then "ego = " else "")
          (G.Vec.x p) (G.Vec.y p)
          (h *. 180. /. Float.pi)
-         (fprop "speed" Simulate.default_speed))
+         (fprop "speed" Simulate.default_speed)
+         (Buffer.contents extra))
   in
   emit ~is_ego:true (C.Scene.ego scene);
   List.iter (emit ~is_ego:false) (C.Scene.non_ego scene);
@@ -95,4 +111,162 @@ let run ?controller ?world ?(duration = 8.) ?(n_seeds = 30) ?(n_refine = 15)
     outcomes;
     counterexamples = List.length (List.filter (fun o -> o.rob <= 0.) outcomes);
     refined;
+  }
+
+(* --- batched falsification ---------------------------------------------- *)
+
+(** A per-scene formula builder: the monitor may depend on the
+    simulation (e.g. to map object ids to vehicle indices). *)
+type formula_fn = Simulate.t -> Monitor.formula
+
+let const_formula f : formula_fn = fun _ -> f
+
+(** The scenario's own property: the conjunction of its
+    [require always / eventually] statements, or [no_collision] when it
+    declares none.
+
+    Object ids are resolved {e positionally} against the scenario's
+    creation order (ego = vehicle 0, then the non-ego objects in
+    order), not against each scene: {!mutation_scenario} re-encodes
+    scenes in the same ego-first order but under fresh object ids, so a
+    positional mapping is the one that stays valid for the refined
+    rollouts too. *)
+let auto_formula (scenario : C.Scenario.t) : formula_fn =
+  match scenario.C.Scenario.temporal with
+  | [] -> const_formula (Monitor.no_collision ())
+  | reqs ->
+      let ego_oid = scenario.C.Scenario.ego.C.Value.oid in
+      let tbl = Hashtbl.create 8 in
+      Hashtbl.replace tbl ego_oid 0;
+      let next = ref 1 in
+      List.iter
+        (fun (o : C.Value.obj) ->
+          if o.C.Value.oid <> ego_oid then begin
+            Hashtbl.replace tbl o.C.Value.oid !next;
+            incr next
+          end)
+        scenario.C.Scenario.objects;
+      let index_of_oid oid = Hashtbl.find tbl oid in
+      let fs = List.map (Monitor.of_temporal ~index_of_oid) reqs in
+      const_formula
+        (List.fold_left
+           (fun a b -> Monitor.And (a, b))
+           (List.hd fs) (List.tl fs))
+
+type batch = {
+  b_robs : float array;  (** robustness of rollout [i], in seed order *)
+  b_ticks : int;  (** total simulation frames monitored *)
+  b_worst : int;  (** index of the lowest-robustness rollout *)
+  b_worst_scene : C.Scene.t;
+  b_counterexamples : int list;  (** ascending indices with rob <= 0 *)
+  b_refined : float array;
+      (** robustness of the mutated-worst-seed variants, in order *)
+}
+
+let b_worst_rob b = b.b_robs.(b.b_worst)
+let b_first_counterexample b =
+  match b.b_counterexamples with [] -> None | i :: _ -> Some i
+
+(** One line per rollout ("%.17g" robustness), the worst index, then
+    the refined rollouts — byte-identical across runs iff the batch is
+    deterministic, which the jobs-independence tests pin. *)
+let fingerprint (b : batch) : string =
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun i r -> Buffer.add_string buf (Printf.sprintf "%d %.17g\n" i r))
+    b.b_robs;
+  Buffer.add_string buf (Printf.sprintf "worst %d\n" b.b_worst);
+  Array.iteri
+    (fun i r ->
+      Buffer.add_string buf (Printf.sprintf "refined %d %.17g\n" i r))
+    b.b_refined;
+  Buffer.contents buf
+
+(* Draw [n] scenes from [compiled] with the batch runtime (stream-per-
+   index; bit-identical at any [jobs]), failing fast on exhaustion or
+   faults — falsification wants every seed, not a partial batch. *)
+let draw_scenes ~jobs ~seed ~n compiled : C.Scene.t array =
+  let b = S.Parallel.run ~jobs ~seed ~n (S.Compiled.scenario compiled) in
+  Array.mapi
+    (fun i -> function
+      | S.Parallel.Scene (s, _) -> s
+      | S.Parallel.Exhausted e ->
+          failwith
+            (Fmt.str "falsify: sampling budget exhausted on seed scene %d (%a)"
+               i S.Budget.pp_stop_reason e.S.Rejection.reason)
+      | S.Parallel.Faulted f ->
+          failwith
+            (Fmt.str "falsify: seed scene %d faulted (%a)" i C.Errors.pp_fault
+               f.S.Parallel.f_fault))
+    b.S.Parallel.outcomes
+
+(* Roll out [scenes.(i)] for every index across the domain pool.
+   Rollouts are pure per scene (no RNG), so index-slot writes commute
+   and the result is independent of [jobs]. *)
+let rollout_all ?controller ~jobs ~duration ~world ~(formula : formula_fn)
+    (scenes : C.Scene.t array) : float array * int array =
+  let n = Array.length scenes in
+  let robs = Array.make n nan and ticks = Array.make n 0 in
+  let failures =
+    S.Pool.run ~helpers:(max 0 (jobs - 1)) ~n (fun i ->
+        let sim = Simulate.of_scene ~world scenes.(i) in
+        let f = formula sim in
+        let trace = Simulate.rollout ?controller ~duration sim in
+        robs.(i) <- Monitor.robustness f trace;
+        ticks.(i) <- List.length trace)
+  in
+  (match failures with
+  | [] -> ()
+  | (i, exn) :: _ ->
+      failwith (Fmt.str "falsify: rollout %d failed: %s" i (Printexc.to_string exn)));
+  (robs, ticks)
+
+(** Batched falsification over a prebuilt {!Scenic_sampler.Compiled}
+    handle: sample [rollouts] seed scenes with per-index RNG streams,
+    roll each out for [duration] seconds, monitor [formula], and mutate
+    around the worst seed for [n_refine] extra rollouts.  Results are
+    a pure function of [(seed, rollouts, n_refine)] — bit-identical for
+    every [jobs].  [probe] receives [falsify.*] counters. *)
+let run_batch ?controller ?world ?(duration = 8.) ?(jobs = 1) ?(n_refine = 0)
+    ?(probe = Probe.noop) ?(seed = 1) ~rollouts
+    ~(formula : formula_fn) compiled : batch =
+  if rollouts <= 0 then invalid_arg "Falsify.run_batch: rollouts must be positive";
+  Scenic_worlds.Scenic_worlds_init.init ();
+  let world = match world with Some w -> w | None -> default_world () in
+  let scenes = draw_scenes ~jobs ~seed ~n:rollouts compiled in
+  let robs, ticks =
+    rollout_all ?controller ~jobs ~duration ~world ~formula scenes
+  in
+  let worst = ref 0 in
+  Array.iteri (fun i r -> if r < robs.(!worst) then worst := i) robs;
+  let counterexamples =
+    List.filter (fun i -> robs.(i) <= 0.) (List.init rollouts Fun.id)
+  in
+  let refined, refined_ticks =
+    if n_refine <= 0 then ([||], 0)
+    else begin
+      let src = mutation_scenario scenes.(!worst) in
+      let refine_compiled = S.Compiled.of_source ~file:"refine.scenic" src in
+      let rscenes =
+        (* a distinct, seed-derived stream family for the refinement *)
+        draw_scenes ~jobs ~seed:(seed + 0x9e37) ~n:n_refine refine_compiled
+      in
+      let rrobs, rticks =
+        rollout_all ?controller ~jobs ~duration ~world ~formula rscenes
+      in
+      (rrobs, Array.fold_left ( + ) 0 rticks)
+    end
+  in
+  let total_ticks = Array.fold_left ( + ) 0 ticks + refined_ticks in
+  probe.Probe.add "falsify.rollouts" (rollouts + Array.length refined);
+  probe.Probe.add "falsify.ticks" total_ticks;
+  probe.Probe.add "falsify.counterexamples" (List.length counterexamples);
+  probe.Probe.set_gauge "falsify.worst_robustness" robs.(!worst);
+  {
+    b_robs = robs;
+    b_ticks = total_ticks;
+    b_worst = !worst;
+    b_worst_scene = scenes.(!worst);
+    b_counterexamples = counterexamples;
+    b_refined = refined;
   }

@@ -1,8 +1,16 @@
 (** Temporal-logic monitoring over trajectories: a small STL-style
     fragment with quantitative (robustness) semantics, as used by
-    VerifAI-style falsification (paper Sec. 8). *)
+    VerifAI-style falsification (paper Sec. 8).
+
+    {b Empty traces.}  Robustness over an empty trace is undefined: the
+    old implementation returned [neg_infinity] for atoms, which made
+    [Not (Atom _)] claim [+infinity] — an asymmetry where a formula and
+    its negation both "failed" or both "passed" depending on polarity.
+    {!robustness} now raises [Invalid_argument] on an empty trace, for
+    every formula shape. *)
 
 module G = Scenic_geometry
+module C = Scenic_core
 
 type trace = Simulate.frame list
 
@@ -22,24 +30,31 @@ type formula =
 
 let atom name f = Atom (name, f)
 
-let rec robustness (f : formula) (trace : trace) : float =
+(* robustness on a non-empty trace; the suffix folds of Always /
+   Eventually only ever recurse on non-empty suffixes *)
+let rec eval_f (f : formula) (trace : trace) : float =
   match f with
-  | Atom (_, a) -> ( match trace with [] -> neg_infinity | fr :: _ -> a fr)
-  | Not f -> -.robustness f trace
-  | And (a, b) -> Float.min (robustness a trace) (robustness b trace)
-  | Or (a, b) -> Float.max (robustness a trace) (robustness b trace)
+  | Atom (_, a) -> ( match trace with [] -> assert false | fr :: _ -> a fr)
+  | Not f -> -.eval_f f trace
+  | And (a, b) -> Float.min (eval_f a trace) (eval_f b trace)
+  | Or (a, b) -> Float.max (eval_f a trace) (eval_f b trace)
   | Always f ->
       let rec go acc = function
         | [] -> acc
-        | _ :: rest as tr -> go (Float.min acc (robustness f tr)) rest
+        | _ :: rest as tr -> go (Float.min acc (eval_f f tr)) rest
       in
       go infinity trace
   | Eventually f ->
       let rec go acc = function
         | [] -> acc
-        | _ :: rest as tr -> go (Float.max acc (robustness f tr)) rest
+        | _ :: rest as tr -> go (Float.max acc (eval_f f tr)) rest
       in
       go neg_infinity trace
+
+let robustness (f : formula) (trace : trace) : float =
+  match trace with
+  | [] -> invalid_arg "Monitor.robustness: empty trace"
+  | _ -> eval_f f trace
 
 let satisfied f trace = robustness f trace > 0.
 
@@ -57,9 +72,9 @@ let box_separation a b =
     G.Vec.dist (G.Rect.center a) (G.Rect.center b)
     -. G.Rect.circumradius a -. G.Rect.circumradius b
 
-(** Margin (meters, conservative) between the ego and its nearest
-    vehicle; negative on collision. *)
-let ego_separation : atom =
+(** Linear-scan separation oracle: the pre-index implementation, kept
+    as the reference the indexed atom is tested against. *)
+let ego_separation_linear : atom =
  fun fr ->
   let ego = fr.Simulate.f_boxes.(0) in
   let best = ref infinity in
@@ -67,6 +82,26 @@ let ego_separation : atom =
     (fun i b -> if i > 0 then best := Float.min !best (box_separation ego b))
     fr.Simulate.f_boxes;
   !best
+
+(** Margin (meters, conservative) between the ego and its nearest
+    vehicle; negative on collision.  Queries the frame's point index:
+    [box_separation] is bounded below by center distance minus
+    [r_ego + max_radius + 1] (the intersecting branch subtracts exactly
+    one more than the disjoint one), so that slack makes the ring
+    search exact — equal to {!ego_separation_linear} on every frame. *)
+let ego_separation : atom =
+ fun fr ->
+  let boxes = fr.Simulate.f_boxes in
+  if Array.length boxes <= 1 then infinity
+  else begin
+    let ego = boxes.(0) in
+    let pts = Lazy.force fr.Simulate.f_centers in
+    let slack =
+      G.Rect.circumradius ego +. fr.Simulate.f_max_radius +. 1.
+    in
+    G.Spatial_index.fold_near pts ~slack (G.Rect.center ego)
+      ~score:(fun i -> if i = 0 then infinity else box_separation ego boxes.(i))
+  end
 
 (** "The ego never gets within [margin] of another vehicle" — the
     collision-avoidance safety property. *)
@@ -77,3 +112,26 @@ let no_collision ?(margin = 0.) () =
     controller must not satisfy safety by refusing to drive). *)
 let reaches_speed v =
   Eventually (atom "speed" (fun fr -> fr.Simulate.f_speeds.(0) -. v))
+
+(* --- compiling [require always/eventually] ------------------------------- *)
+
+(** Compile a temporal requirement from the evaluator into a monitor
+    formula over trajectory frames.  [index_of_oid] maps scene object
+    ids to vehicle indices (see {!Simulate.index_of_oid}); an object
+    that never became a vehicle makes the atom raise [Not_found] at
+    monitoring time. *)
+let of_temporal ~(index_of_oid : int -> int) (req : C.Temporal.req) : formula =
+  let a : atom =
+   fun fr ->
+    C.Temporal.eval
+      ~speed:(fun oid -> fr.Simulate.f_speeds.(index_of_oid oid))
+      ~dist:(fun o1 o2 ->
+        let b1 = fr.Simulate.f_boxes.(index_of_oid o1)
+        and b2 = fr.Simulate.f_boxes.(index_of_oid o2) in
+        G.Vec.dist (G.Rect.center b1) (G.Rect.center b2))
+      req.C.Temporal.t_expr
+  in
+  let inner = atom req.C.Temporal.t_label a in
+  match req.C.Temporal.t_kind with
+  | C.Temporal.Always -> Always inner
+  | C.Temporal.Eventually -> Eventually inner

@@ -9,11 +9,21 @@
     dynamical simulations" are listed in Sec. 1 as a supported data
     type); this module supplies the dynamics.
 
-    Vehicles follow the world's traffic-direction field at their
-    individual speeds (the scene's [speed] property when present); a
-    vehicle with a [brakeAt] property decelerates hard from that time
-    on — the classic cut-in/brake scenario for collision-avoidance
-    testing.  The ego runs a pluggable controller. *)
+    Two stepping regimes coexist per vehicle:
+
+    - {b behavior-driven}: objects constructed [with behavior ...]
+      carry a concrete behavior value in the sampled scene; it is
+      flattened into a {!Scenic_core.Behavior.timeline} and the active
+      leaf primitive steers the vehicle each tick.
+    - {b legacy}: vehicles without a behavior follow the world's
+      traffic-direction field at their initial speed, and a [brakeAt]
+      property triggers a hard deceleration from that time on — the
+      classic cut-in/brake scenario.
+
+    The ego always runs a pluggable controller.  Each {!frame} also
+    carries a lazily-built point index over vehicle centers so trace
+    monitors (collision / separation atoms) query the PR 4 spatial
+    index instead of scanning all vehicles. *)
 
 module G = Scenic_geometry
 module C = Scenic_core
@@ -24,7 +34,10 @@ type vehicle = {
   mutable speed : float;
   width : float;
   length : float;
+  cruise : float;  (** initial speed: the behavior's default target *)
   brake_at : float option;  (** seconds; then decelerate at [brake_rate] *)
+  timeline : C.Behavior.segment list;  (** [[]] = legacy field-follower *)
+  v_oid : int;  (** the scene object id, for temporal-atom lookup *)
   is_ego : bool;
 }
 
@@ -38,6 +51,7 @@ type t = {
 }
 
 let brake_rate = 6.0 (* m/s² *)
+let max_accel = 2.5 (* m/s², behavior speed tracking *)
 let default_speed = 8.0
 
 let box v =
@@ -46,7 +60,8 @@ let box v =
 
 (** Build the simulation from a sampled scene.  Speeds come from each
     object's [speed] property when present (settable in Scenic with
-    [with speed (6, 12)]), else [default_speed]; [brakeAt] likewise. *)
+    [with speed (6, 12)]), else [default_speed]; [brakeAt] and
+    [behavior] likewise. *)
 let of_scene ?(dt = 0.1) ~(world : world) (scene : C.Scene.t) : t =
   let mk is_ego (o : C.Scene.cobj) =
     let fprop name d =
@@ -54,22 +69,45 @@ let of_scene ?(dt = 0.1) ~(world : world) (scene : C.Scene.t) : t =
       | Some v -> ( try C.Ops.as_float v with _ -> d)
       | None -> d
     in
+    let speed = fprop "speed" default_speed in
+    let timeline =
+      match List.assoc_opt "behavior" o.C.Scene.c_props with
+      | Some v -> (
+          match C.Behavior.of_value v with
+          | Some nodes -> C.Behavior.timeline nodes
+          | None -> [])
+      | None -> []
+    in
     {
       position = C.Scene.position o;
       heading = C.Scene.heading o;
-      speed = fprop "speed" default_speed;
+      speed;
       width = C.Scene.width o;
       length = C.Scene.height o;
+      cruise = speed;
       brake_at =
         (match List.assoc_opt "brakeAt" o.C.Scene.c_props with
         | Some v -> ( try Some (C.Ops.as_float v) with _ -> None)
         | None -> None);
+      timeline;
+      v_oid = o.C.Scene.c_oid;
       is_ego;
     }
   in
   let ego = mk true (C.Scene.ego scene) in
   let others = List.map (mk false) (C.Scene.non_ego scene) in
   { vehicles = Array.of_list (ego :: others); world; time = 0.; dt }
+
+(** Vehicle index (0 = ego) of the scene object [oid]; raises
+    [Not_found] when no vehicle came from that object. *)
+let index_of_oid t oid =
+  let n = Array.length t.vehicles in
+  let rec go i =
+    if i >= n then raise Not_found
+    else if t.vehicles.(i).v_oid = oid then i
+    else go (i + 1)
+  in
+  go 0
 
 (** A controller maps the simulation state to an ego acceleration
     (m/s², negative = braking). *)
@@ -113,25 +151,59 @@ let acc_controller ?(target_speed = 10.) ?(headway = 1.0) ?(max_brake = 5.)
       else 0.
   | None -> if ego.speed < target_speed then max_accel else 0.
 
+(* acceleration that tracks [target] speed within one tick, clamped to
+   the vehicle envelope *)
+let track_speed v ~dt target =
+  let wanted = (target -. v.speed) /. dt in
+  Float.max (-.brake_rate) (Float.min max_accel wanted)
+
 (** Advance one time step. *)
 let step ?(controller = acc_controller ()) t =
-  let accel_of v =
-    if v.is_ego then controller t
-    else
-      match v.brake_at with
-      | Some at when t.time >= at -> -.brake_rate
-      | _ -> 0.
-  in
   Array.iter
     (fun v ->
-      let a = accel_of v in
-      v.speed <- Float.max 0. (v.speed +. (a *. t.dt));
-      (* follow the traffic field: heading relaxes toward the field *)
-      let desired = G.Vectorfield.at t.world.field v.position in
-      let err = G.Angle.diff desired v.heading in
-      v.heading <- v.heading +. (Float.max (-0.5) (Float.min 0.5 err) *. t.dt *. 2.);
-      v.position <-
-        G.Vec.add v.position (G.Vec.scale (v.speed *. t.dt) (G.Vec.of_heading v.heading)))
+      (* an explicit behavior wins, even on the ego: [with behavior]
+         is an opt-in override of the controller under test *)
+      match C.Behavior.active v.timeline t.time with
+      | Some { C.Behavior.l_prim; l_speed } ->
+          (* behavior-driven stepping *)
+          let a =
+            match l_prim with
+            | C.Behavior.Brake -> -.brake_rate
+            | C.Behavior.Drive | C.Behavior.Follow_field ->
+                track_speed v ~dt:t.dt
+                  (Option.value l_speed ~default:v.cruise)
+          in
+          v.speed <- Float.max 0. (v.speed +. (a *. t.dt));
+          let desired = G.Vectorfield.at t.world.field v.position in
+          (match l_prim with
+          | C.Behavior.Follow_field ->
+              (* snap to the traffic field *)
+              v.heading <- desired
+          | C.Behavior.Drive | C.Behavior.Brake ->
+              let err = G.Angle.diff desired v.heading in
+              v.heading <-
+                v.heading +. (Float.max (-0.5) (Float.min 0.5 err) *. t.dt *. 2.));
+          v.position <-
+            G.Vec.add v.position
+              (G.Vec.scale (v.speed *. t.dt) (G.Vec.of_heading v.heading))
+      | None ->
+          (* legacy stepping: controller for the ego, [brakeAt] for the
+             rest; unchanged from the pre-behavior simulator *)
+          let a =
+            if v.is_ego then controller t
+            else
+              match v.brake_at with
+              | Some at when t.time >= at -> -.brake_rate
+              | _ -> 0.
+          in
+          v.speed <- Float.max 0. (v.speed +. (a *. t.dt));
+          let desired = G.Vectorfield.at t.world.field v.position in
+          let err = G.Angle.diff desired v.heading in
+          v.heading <-
+            v.heading +. (Float.max (-0.5) (Float.min 0.5 err) *. t.dt *. 2.);
+          v.position <-
+            G.Vec.add v.position
+              (G.Vec.scale (v.speed *. t.dt) (G.Vec.of_heading v.heading)))
     t.vehicles;
   t.time <- t.time +. t.dt
 
@@ -140,13 +212,25 @@ type frame = {
   f_time : float;
   f_boxes : G.Rect.t array;  (** index 0 = ego *)
   f_speeds : float array;
+  f_max_radius : float;  (** largest box circumradius in this frame *)
+  f_centers : G.Spatial_index.pts Lazy.t;
+      (** point index over box centers, built on first monitor query *)
 }
 
 let frame t =
+  let f_boxes = Array.map box t.vehicles in
+  let f_max_radius =
+    Array.fold_left
+      (fun acc b -> Float.max acc (G.Rect.circumradius b))
+      0. f_boxes
+  in
   {
     f_time = t.time;
-    f_boxes = Array.map box t.vehicles;
+    f_boxes;
     f_speeds = Array.map (fun v -> v.speed) t.vehicles;
+    f_max_radius;
+    f_centers =
+      lazy (G.Spatial_index.build_pts (Array.map G.Rect.center f_boxes));
   }
 
 (** Roll out for [duration] seconds, returning the trajectory. *)

@@ -476,3 +476,103 @@ let nearest_dist t p =
       (* distance queries have no AABB narrow phase; count the query only *)
       flush_query 0 0;
       !best
+
+(* --- point index --------------------------------------------------------- *)
+
+type pts = { points : Vec.t array; tgrid : grid option }
+
+(* Each point's AABB is padded by [extent / (2 sqrt n)] per axis so the
+   sizing heuristic of {!build_grid} (cells ~ half the mean extent)
+   yields roughly [2 sqrt n] cells per axis — right-sized for the small,
+   dense point sets of a simulation tick, where zero-width boxes would
+   force the 128-cell cap. *)
+let build_pts (points : Vec.t array) : pts =
+  let t0 = Sys.time () in
+  let n = Array.length points in
+  if n = 0 then { points; tgrid = None }
+  else begin
+    let x0 = ref infinity and y0 = ref infinity in
+    let x1 = ref neg_infinity and y1 = ref neg_infinity in
+    Array.iter
+      (fun p ->
+        let x = Vec.x p and y = Vec.y p in
+        if x < !x0 then x0 := x;
+        if x > !x1 then x1 := x;
+        if y < !y0 then y0 := y;
+        if y > !y1 then y1 := y)
+      points;
+    let denom = 2. *. sqrt (float_of_int n) in
+    let padx = Float.max 1e-9 ((!x1 -. !x0) /. denom)
+    and pady = Float.max 1e-9 ((!y1 -. !y0) /. denom) in
+    let aabbs =
+      Array.map
+        (fun p ->
+          let x = Vec.x p and y = Vec.y p in
+          { ax0 = x -. padx; ay0 = y -. pady; ax1 = x +. padx; ay1 = y +. pady })
+        points
+    in
+    let tgrid = build_grid aabbs (List.init n Fun.id) in
+    ignore (note_build t0 tgrid);
+    { points; tgrid }
+  end
+
+(** Exact minimum of [score i] over every point index, visited in
+    expanding rings around [q].  Requires [score i >= dist (q, points.(i))
+    -. slack] for every [i]; under that bound the running best is final
+    as soon as it beats [ring_distance -. slack], so the result equals
+    the full linear fold.  [infinity] when the set is empty.  Padding
+    may place one index in several cells — re-scoring is harmless for a
+    minimum. *)
+let fold_near (t : pts) ~(slack : float) (q : Vec.t) ~(score : int -> float) :
+    float =
+  match t.tgrid with
+  | None ->
+      (* no grid: an empty set or degenerate bounds; plain fold *)
+      let best = ref infinity in
+      Array.iteri
+        (fun i _ ->
+          let s = score i in
+          if s < !best then best := s)
+        t.points;
+      !best
+  | Some g ->
+      let px = Vec.x q and py = Vec.y q in
+      let clampx v = max 0 (min (g.nx - 1) v)
+      and clampy v = max 0 (min (g.ny - 1) v) in
+      let cx = clampx (int_of_float (floor ((px -. g.gx0) *. g.inv_cw)))
+      and cy = clampy (int_of_float (floor ((py -. g.gy0) *. g.inv_ch))) in
+      let best = ref infinity in
+      let visit ix iy =
+        if ix >= 0 && ix < g.nx && iy >= 0 && iy < g.ny then
+          Array.iter
+            (fun i ->
+              let s = score i in
+              if s < !best then best := s)
+            g.cell.((iy * g.nx) + ix)
+      in
+      let rmax = max (max cx (g.nx - 1 - cx)) (max cy (g.ny - 1 - cy)) in
+      let min_cell = Float.min g.cw g.ch in
+      let r = ref 0 and finished = ref false in
+      while (not !finished) && !r <= rmax do
+        let rr = !r in
+        if rr = 0 then visit cx cy
+        else begin
+          for ix = cx - rr to cx + rr do
+            visit ix (cy - rr);
+            visit ix (cy + rr)
+          done;
+          for iy = cy - rr + 1 to cy + rr - 1 do
+            visit (cx - rr) iy;
+            visit (cx + rr) iy
+          done
+        end;
+        (* an index scored zero times has all its cells unvisited —
+           including the cell holding its actual point — so it lies at
+           Chebyshev ring >= rr + 1, i.e. at least [rr * min_cell] from
+           q, and its score is at least that minus the slack *)
+        if !best <= (float_of_int rr *. min_cell) -. slack then
+          finished := true;
+        incr r
+      done;
+      flush_query 0 0;
+      !best

@@ -92,6 +92,8 @@ and spec_desc =
 
 type param = { pname : string; pdefault : expr option }
 
+type temporal_kind = T_always | T_eventually
+
 type stmt = { sdesc : stmt_desc; sloc : Loc.span }
 
 and stmt_desc =
@@ -101,6 +103,9 @@ and stmt_desc =
   | Param_stmt of (string * expr) list
   | Require of expr
   | Require_p of expr * expr  (** probability expression, condition *)
+  | Require_temporal of temporal_kind * expr
+      (** [require always C] / [require eventually C]: a constraint on
+          the rollout of every sampled scene (journal extension) *)
   | Mutate of string list * expr option  (** empty list = all objects *)
   | Import of string
   | Class_def of {
@@ -110,6 +115,10 @@ and stmt_desc =
       methods : (string * param list * stmt list) list;
     }
   | Func_def of { fname : string; params : param list; body : stmt list }
+  | Behavior_def of { bname : string; params : param list; body : stmt list }
+      (** a named, parameterized step program ([behavior name(...):]) *)
+  | Do of expr * expr option
+      (** [do B [for T]], only inside a behavior body *)
   | Return of expr option
   | If of (expr * stmt list) list * stmt list  (** branches, else *)
   | For of string * expr * stmt list

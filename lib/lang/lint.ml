@@ -48,6 +48,7 @@ let initial_names extra =
     "Uniform"; "Discrete"; "Normal"; "resample"; "range"; "len"; "abs"; "min";
     "max"; "sqrt"; "sin"; "cos"; "tan"; "round"; "floor"; "ceil"; "atan2";
     "hypot"; "pow"; "str"; "Point"; "OrientedPoint"; "Object"; "self";
+    "drive"; "brake"; "follow_field"; "drive_at"; "brake_after";
   ]
   @ extra
 
@@ -141,6 +142,7 @@ let lint ?(extra_names = []) (prog : Ast.program) : diagnostic list =
     | Attr_assign (o, _, e) -> walk_expr scope o; walk_expr scope e
     | Param_stmt ps -> List.iter (fun (_, e) -> walk_expr scope e) ps
     | Require e -> walk_expr scope e
+    | Require_temporal (_, e) -> walk_expr scope e
     | Require_p (p, e) ->
         (match p.Ast.desc with
         | Num v when v < 0. || v > 1. ->
@@ -189,6 +191,22 @@ let lint ?(extra_names = []) (prog : Ast.program) : diagnostic list =
             Hashtbl.replace inner.names p.pname (ref None))
           params;
         List.iter (walk_stmt inner) body
+    | Behavior_def { bname; params; body } ->
+        define scope bname s.sloc;
+        (* behaviors are referenced via [with behavior]; don't flag *)
+        (match Hashtbl.find_opt scope.names bname with
+        | Some r -> r := None
+        | None -> ());
+        let inner = new_scope ~parent:scope () in
+        List.iter
+          (fun (p : Ast.param) ->
+            Option.iter (walk_expr scope) p.pdefault;
+            Hashtbl.replace inner.names p.pname (ref None))
+          params;
+        List.iter (walk_stmt inner) body
+    | Do (b, dur) ->
+        walk_expr scope b;
+        Option.iter (walk_expr scope) dur
     | Return e -> Option.iter (walk_expr scope) e
     | If (branches, els) ->
         List.iter

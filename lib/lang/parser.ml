@@ -459,7 +459,7 @@ and parse_specifier p : Ast.specifier =
         | Token.IDENT n ->
             ignore (advance p);
             n
-        | Token.KW (("heading" | "visible") as n) ->
+        | Token.KW (("heading" | "visible" | "behavior") as n) ->
             (* property names may collide with soft keywords *)
             ignore (advance p);
             n
@@ -608,6 +608,18 @@ and parse_stmt p : Ast.stmt =
         end_stmt p;
         mk (Ast.Require_p (prob, cond))
       end
+      else if is_kw p "always" then begin
+        ignore (advance p);
+        let cond = parse_expr p in
+        end_stmt p;
+        mk (Ast.Require_temporal (Ast.T_always, cond))
+      end
+      else if is_kw p "eventually" then begin
+        ignore (advance p);
+        let cond = parse_expr p in
+        end_stmt p;
+        mk (Ast.Require_temporal (Ast.T_eventually, cond))
+      end
       else begin
         let cond = parse_expr p in
         end_stmt p;
@@ -662,7 +674,7 @@ and parse_stmt p : Ast.stmt =
             let e = parse_expr p in
             end_stmt p;
             props := (n, e) :: !props
-        | Token.KW (("heading" | "visible") as n) ->
+        | Token.KW (("heading" | "visible" | "behavior") as n) ->
             ignore (advance p);
             expect p Token.COLON "':'";
             let e = parse_expr p in
@@ -712,6 +724,43 @@ and parse_stmt p : Ast.stmt =
       expect p Token.RPAREN "')'";
       let body = parse_block p in
       mk (Ast.Func_def { fname; params = List.rev !params; body })
+  | Token.KW "behavior" ->
+      (* [behavior name(params):] — same shape as a function definition *)
+      ignore (advance p);
+      let bname = expect_ident p "behavior name" in
+      expect p Token.LPAREN "'('";
+      let params = ref [] in
+      if peek p <> Token.RPAREN then begin
+        let one () =
+          let n = expect_ident p "parameter name" in
+          let d =
+            if peek p = Token.ASSIGN then begin
+              ignore (advance p);
+              let saved = p.allow_spec in
+              p.allow_spec <- false;
+              let e = parse_expr p in
+              p.allow_spec <- saved;
+              Some e
+            end
+            else None
+          in
+          { Ast.pname = n; pdefault = d }
+        in
+        params := [ one () ];
+        while peek p = Token.COMMA do
+          ignore (advance p);
+          params := one () :: !params
+        done
+      end;
+      expect p Token.RPAREN "')'";
+      let body = parse_block p in
+      mk (Ast.Behavior_def { bname; params = List.rev !params; body })
+  | Token.KW "do" ->
+      ignore (advance p);
+      let b = parse_expr p in
+      let dur = if eat_kw p "for" then Some (parse_expr p) else None in
+      end_stmt p;
+      mk (Ast.Do (b, dur))
   | Token.KW "return" ->
       ignore (advance p);
       let e =

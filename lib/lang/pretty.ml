@@ -109,6 +109,10 @@ let rec pp_stmt ?(indent = 0) ppf s =
         ps
   | Require e -> Fmt.pf ppf "%srequire %a@." pad pp_expr e
   | Require_p (prob, e) -> Fmt.pf ppf "%srequire[%a] %a@." pad pp_expr prob pp_expr e
+  | Require_temporal (k, e) ->
+      Fmt.pf ppf "%srequire %s %a@." pad
+        (match k with T_always -> "always" | T_eventually -> "eventually")
+        pp_expr e
   | Mutate ([], None) -> Fmt.pf ppf "%smutate@." pad
   | Mutate (ns, None) ->
       Fmt.pf ppf "%smutate %a@." pad (Fmt.list ~sep:(Fmt.any ", ") Fmt.string) ns
@@ -140,6 +144,16 @@ let rec pp_stmt ?(indent = 0) ppf s =
              | Some d -> Fmt.pf ppf "%s=%a" p.pname pp_expr d))
         params;
       block ppf body
+  | Behavior_def { bname; params; body } ->
+      Fmt.pf ppf "%sbehavior %s(%a):@." pad bname
+        (Fmt.list ~sep:(Fmt.any ", ") (fun ppf p ->
+             match p.pdefault with
+             | None -> Fmt.string ppf p.pname
+             | Some d -> Fmt.pf ppf "%s=%a" p.pname pp_expr d))
+        params;
+      block ppf body
+  | Do (b, None) -> Fmt.pf ppf "%sdo %a@." pad pp_expr b
+  | Do (b, Some d) -> Fmt.pf ppf "%sdo %a for %a@." pad pp_expr b pp_expr d
   | Return None -> Fmt.pf ppf "%sreturn@." pad
   | Return (Some e) -> Fmt.pf ppf "%sreturn %a@." pad pp_expr e
   | If (branches, els) ->

@@ -49,6 +49,8 @@ let keywords =
     "True"; "False"; "None"; "and"; "or"; "not"; "if"; "elif"; "else"; "for";
     "while"; "in"; "is"; "def"; "return"; "class"; "import"; "param";
     "require"; "mutate"; "pass"; "break"; "continue";
+    (* dynamic scenarios (journal extension): behaviors + temporal require *)
+    "behavior"; "do"; "always"; "eventually";
     (* specifier / operator words *)
     "at"; "offset"; "by"; "along"; "left"; "right"; "ahead"; "behind";
     "beyond"; "visible"; "from"; "following"; "facing"; "apparently";

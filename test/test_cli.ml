@@ -565,4 +565,113 @@ let serve_suite =
         check_code "cache hit is >=10x faster than cold compile" 0 gate);
   ]
 
-let suites = [ ("cli", suite); ("cli.serve", serve_suite) ]
+(* --- scenic falsify ------------------------------------------------------ *)
+
+(* a seeded cut-in that the collision-avoidance controller cannot
+   always survive: behavior-driven lead, temporal safety margin *)
+let unsafe_cutin =
+  "import gtaLib\n\
+   behavior cut_in_and_brake(delay):\n\
+  \    do drive for delay\n\
+  \    do brake\n\
+   ego = EgoCar at 1.75 @ -60, facing roadDirection, with speed (11, 14)\n\
+   lead = Car ahead of ego by (6, 12), with speed (3, 6), with behavior \
+   cut_in_and_brake((0.2, 1.0))\n\
+   require always (distance to lead) > 4.5\n"
+
+(* a lead far ahead at matched speed: the margin is never violated *)
+let safe_cutin =
+  "import gtaLib\n\
+   ego = EgoCar at 1.75 @ -60, facing roadDirection, with speed 10\n\
+   lead = Car ahead of ego by 30, with speed 10, with requireVisible False\n\
+   require always (distance to lead) > 1.0\n"
+
+let falsify_suite =
+  [
+    test_case "counterexample found is exit 0" `Quick (fun () ->
+        let f = scenario_file unsafe_cutin in
+        let r =
+          run [ "falsify"; f; "--rollouts"; "10"; "--seed"; "5" ]
+        in
+        Sys.remove f;
+        check_code "falsify" 0 r;
+        let _, out, _ = r in
+        Alcotest.(check bool) "reports violations" true
+          (contains ~needle:"violate the property" out);
+        Alcotest.(check bool) "reports the first counterexample" true
+          (contains ~needle:"first counterexample" out));
+    test_case "budget exhausted without counterexample is exit 3" `Quick
+      (fun () ->
+        let f = scenario_file safe_cutin in
+        let r =
+          run
+            [
+              "falsify"; f; "--rollouts"; "5"; "--refine"; "0"; "--seed"; "5";
+            ]
+        in
+        Sys.remove f;
+        check_code "safe falsify" 3 r;
+        check_stderr "names the outcome" "no counterexample" r);
+    test_case "--jobs J output is byte-identical" `Quick (fun () ->
+        let f = scenario_file unsafe_cutin in
+        let go jobs =
+          let r =
+            run
+              [
+                "falsify"; f; "--rollouts"; "8"; "--seed"; "5"; "--jobs";
+                string_of_int jobs;
+              ]
+          in
+          check_code (Printf.sprintf "falsify --jobs %d" jobs) 0 r;
+          let _, out, _ = r in
+          out
+        in
+        let o1 = go 1 and o2 = go 2 in
+        Sys.remove f;
+        Alcotest.(check string) "jobs 1 = jobs 2" o1 o2);
+    test_case "bad --formula is exit 1" `Quick (fun () ->
+        let f = scenario_file unsafe_cutin in
+        let r =
+          run
+            [
+              "falsify"; f; "--rollouts"; "2"; "--formula"; "no-such-property";
+            ]
+        in
+        Sys.remove f;
+        check_code "bad formula" 1 r;
+        check_stderr "names the spec" "no-such-property" r);
+    test_case "--stats reports falsify counters" `Quick (fun () ->
+        let f = scenario_file unsafe_cutin in
+        let r =
+          run
+            [ "falsify"; f; "--rollouts"; "6"; "--seed"; "5"; "--stats" ]
+        in
+        Sys.remove f;
+        check_code "falsify --stats" 0 r;
+        check_stderr "rollout counter" "falsify.rollouts" r;
+        check_stderr "tick counter" "falsify.ticks" r);
+    test_case "bench falsify --tiny emits a gated record" `Quick (fun () ->
+        let out = Filename.temp_file "scenic_cli" ".json" in
+        let r = run [ "bench"; "falsify"; "--tiny"; "-o"; out ] in
+        check_code "bench falsify" 0 r;
+        let record = read_all out in
+        Alcotest.(check bool) "falsify schema" true
+          (contains ~needle:"scenic-bench-falsify/1" record);
+        Alcotest.(check bool) "has throughput" true
+          (contains ~needle:"rollouts_per_sec" record);
+        Alcotest.(check bool) "has time-to-first" true
+          (contains ~needle:"ms_to_first_counterexample" record);
+        (* the tiny record must clear the checked-in falsify gates *)
+        let gates = Filename.temp_file "scenic_cli" ".json" in
+        let oc = open_out gates in
+        output_string oc
+          {|{"schema": "scenic-bench-thresholds/1", "scenarios": {"falsify:cutin-brake": {"min_counterexamples": 1, "min_rollouts_per_sec": 1}}}|};
+        close_out oc;
+        let gate = run [ "bench"; "diff"; out; "--assert"; gates ] in
+        Sys.remove out;
+        Sys.remove gates;
+        check_code "falsify gates hold on the tiny run" 0 gate);
+  ]
+
+let suites =
+  [ ("cli", suite); ("cli.serve", serve_suite); ("cli.falsify", falsify_suite) ]

@@ -152,9 +152,542 @@ let falsify_tests =
         Alcotest.(check bool) "close" true (d < 2.));
   ]
 
+(* --- STL semantics: empty traces and property tests ---------------------- *)
+
+(* a synthetic single-vehicle frame: atoms over it read f_speeds.(0) *)
+let mk_frame t speed =
+  let b = G.Rect.make ~center:G.Vec.zero ~heading:0. ~width:1. ~height:1. in
+  {
+    Dyn.Simulate.f_time = t;
+    f_boxes = [| b |];
+    f_speeds = [| speed |];
+    f_max_radius = G.Rect.circumradius b;
+    f_centers = lazy (G.Spatial_index.build_pts [| G.Vec.zero |]);
+  }
+
+(* a random trace / formula pair, pure in (seed, index) *)
+let random_trace rng =
+  let n = 1 + Scenic_prob.Rng.int rng 12 in
+  List.init n (fun i ->
+      mk_frame (float_of_int i) ((Scenic_prob.Rng.float rng *. 20.) -. 10.))
+
+let speed_atom c =
+  Dyn.Monitor.atom
+    (Printf.sprintf "v-%g" c)
+    (fun fr -> fr.Dyn.Simulate.f_speeds.(0) -. c)
+
+let rec random_formula rng depth : Dyn.Monitor.formula =
+  if depth = 0 then speed_atom ((Scenic_prob.Rng.float rng *. 10.) -. 5.)
+  else
+    match Scenic_prob.Rng.int rng 6 with
+    | 0 -> speed_atom ((Scenic_prob.Rng.float rng *. 10.) -. 5.)
+    | 1 -> Not (random_formula rng (depth - 1))
+    | 2 -> And (random_formula rng (depth - 1), random_formula rng (depth - 1))
+    | 3 -> Or (random_formula rng (depth - 1), random_formula rng (depth - 1))
+    | 4 -> Always (random_formula rng (depth - 1))
+    | _ -> Eventually (random_formula rng (depth - 1))
+
+(* definitional brute-force oracle: temporal operators fold over the
+   explicit list of non-empty suffixes, each scored independently *)
+let rec suffixes = function
+  | [] -> []
+  | _ :: rest as tr -> tr :: suffixes rest
+
+let rec oracle (f : Dyn.Monitor.formula) tr =
+  match f with
+  | Atom (_, a) -> a (List.hd tr)
+  | Not f -> -.oracle f tr
+  | And (a, b) -> Float.min (oracle a tr) (oracle b tr)
+  | Or (a, b) -> Float.max (oracle a tr) (oracle b tr)
+  | Always f ->
+      List.fold_left Float.min infinity (List.map (oracle f) (suffixes tr))
+  | Eventually f ->
+      List.fold_left Float.max neg_infinity (List.map (oracle f) (suffixes tr))
+
+let stl_property_tests =
+  let check_equal what a b =
+    (* robustness values must agree exactly, not approximately: both
+       sides compute the same min/max/neg lattice over the same floats *)
+    if not (Float.equal a b) then
+      Alcotest.failf "%s: %.17g <> %.17g" what a b
+  in
+  [
+    test_case "empty trace raises, in both polarities" `Quick (fun () ->
+        let a = speed_atom 0. in
+        let expect_invalid what f =
+          match Dyn.Monitor.robustness f [] with
+          | exception Invalid_argument _ -> ()
+          | r -> Alcotest.failf "%s on [] returned %g instead of raising" what r
+        in
+        (* the old semantics returned neg_infinity for the atom, which
+           made the negation claim +infinity: an asymmetry where each
+           polarity saw a different verdict on the same empty evidence *)
+        expect_invalid "atom" a;
+        expect_invalid "not atom" (Not a);
+        expect_invalid "always" (Always a);
+        expect_invalid "not always" (Not (Always a)));
+    test_case "De Morgan: not always = eventually not (100 random cases)"
+      `Quick (fun () ->
+        for i = 0 to 99 do
+          let rng = Scenic_prob.Rng.create ~stream:i 77 in
+          let tr = random_trace rng in
+          let f = random_formula rng 3 in
+          check_equal
+            (Printf.sprintf "case %d" i)
+            (Dyn.Monitor.robustness (Not (Always f)) tr)
+            (Dyn.Monitor.robustness (Eventually (Not f)) tr)
+        done);
+    test_case "and/or are min/max of operand robustness" `Quick (fun () ->
+        for i = 0 to 99 do
+          let rng = Scenic_prob.Rng.create ~stream:i 78 in
+          let tr = random_trace rng in
+          let f = random_formula rng 2 and g = random_formula rng 2 in
+          let rf = Dyn.Monitor.robustness f tr
+          and rg = Dyn.Monitor.robustness g tr in
+          check_equal
+            (Printf.sprintf "and %d" i)
+            (Float.min rf rg)
+            (Dyn.Monitor.robustness (And (f, g)) tr);
+          check_equal
+            (Printf.sprintf "or %d" i)
+            (Float.max rf rg)
+            (Dyn.Monitor.robustness (Or (f, g)) tr)
+        done);
+    test_case "random formulas agree with the all-suffixes oracle" `Quick
+      (fun () ->
+        for i = 0 to 199 do
+          let rng = Scenic_prob.Rng.create ~stream:i 79 in
+          let tr = random_trace rng in
+          let f = random_formula rng 4 in
+          check_equal
+            (Printf.sprintf "case %d" i)
+            (oracle f tr)
+            (Dyn.Monitor.robustness f tr)
+        done);
+  ]
+
+(* --- per-tick spatial index vs linear oracle ----------------------------- *)
+
+let index_tests =
+  [
+    test_case "indexed ego_separation equals the linear oracle" `Quick
+      (fun () ->
+        for i = 0 to 149 do
+          let rng = Scenic_prob.Rng.create ~stream:i 80 in
+          let k = 2 + Scenic_prob.Rng.int rng 14 in
+          let boxes =
+            Array.init k (fun _ ->
+                G.Rect.make
+                  ~center:
+                    (G.Vec.make
+                       ((Scenic_prob.Rng.float rng *. 200.) -. 100.)
+                       ((Scenic_prob.Rng.float rng *. 200.) -. 100.))
+                  ~heading:(Scenic_prob.Rng.float rng *. 6.3)
+                  ~width:(0.5 +. (Scenic_prob.Rng.float rng *. 3.))
+                  ~height:(0.5 +. (Scenic_prob.Rng.float rng *. 5.)))
+          in
+          let fr =
+            {
+              Dyn.Simulate.f_time = 0.;
+              f_boxes = boxes;
+              f_speeds = Array.make k 0.;
+              f_max_radius =
+                Array.fold_left
+                  (fun acc b -> Float.max acc (G.Rect.circumradius b))
+                  0. boxes;
+              f_centers =
+                lazy (G.Spatial_index.build_pts (Array.map G.Rect.center boxes));
+            }
+          in
+          let fast = Dyn.Monitor.ego_separation fr
+          and slow = Dyn.Monitor.ego_separation_linear fr in
+          if not (Float.equal fast slow) then
+            Alcotest.failf "frame %d (%d vehicles): index %.17g <> linear %.17g"
+              i k fast slow
+        done);
+    test_case "clustered frames (dense cells) stay exact" `Quick (fun () ->
+        for i = 0 to 49 do
+          let rng = Scenic_prob.Rng.create ~stream:i 81 in
+          let k = 3 + Scenic_prob.Rng.int rng 8 in
+          (* all vehicles inside a 10m square: everything intersects *)
+          let boxes =
+            Array.init k (fun _ ->
+                G.Rect.make
+                  ~center:
+                    (G.Vec.make
+                       (Scenic_prob.Rng.float rng *. 10.)
+                       (Scenic_prob.Rng.float rng *. 10.))
+                  ~heading:0. ~width:2. ~height:4.5)
+          in
+          let fr =
+            {
+              Dyn.Simulate.f_time = 0.;
+              f_boxes = boxes;
+              f_speeds = Array.make k 0.;
+              f_max_radius =
+                Array.fold_left
+                  (fun acc b -> Float.max acc (G.Rect.circumradius b))
+                  0. boxes;
+              f_centers =
+                lazy (G.Spatial_index.build_pts (Array.map G.Rect.center boxes));
+            }
+          in
+          if
+            not
+              (Float.equal
+                 (Dyn.Monitor.ego_separation fr)
+                 (Dyn.Monitor.ego_separation_linear fr))
+          then Alcotest.failf "clustered frame %d diverged" i
+        done);
+  ]
+
+(* --- behaviors: language, timeline, simulation --------------------------- *)
+
+module B = Scenic_core.Behavior
+
+let behavior_tests =
+  [
+    test_case "behavior/do/require-always round-trips through the printer"
+      `Quick (fun () ->
+        let src =
+          "behavior cut_in(delay):\n\
+          \    do drive for delay\n\
+          \    do brake\n\
+           ego = Object\n\
+           require always ego.speed > 2\n\
+           require eventually ego.speed > 5\n"
+        in
+        let p1 = Scenic_lang.Parser.parse src in
+        let printed = Scenic_lang.Pretty.program_to_string p1 in
+        let p2 = Scenic_lang.Parser.parse printed in
+        Alcotest.(check string)
+          "print . parse . print is stable" printed
+          (Scenic_lang.Pretty.program_to_string p2));
+    test_case "lint accepts behaviors and temporal requires" `Quick (fun () ->
+        let src =
+          "behavior cut_in(delay):\n\
+          \    do drive for delay\n\
+          \    do brake\n\
+           ego = Object with behavior cut_in(0.5)\n\
+           require always ego.speed > 0\n"
+        in
+        let diags = Scenic_lang.Lint.lint (Scenic_lang.Parser.parse src) in
+        Alcotest.(check bool) "no errors" false (Scenic_lang.Lint.has_errors diags));
+    test_case "brake_after timeline: drive segment then held brake" `Quick
+      (fun () ->
+        let scene =
+          sample_scene ~seed:3
+            "import testLib\n\
+             ego = Object at 0 @ 0\n\
+             Object at 0 @ 10, with behavior brake_after(0.5), with \
+             requireVisible False\n"
+        in
+        let o = the_object scene in
+        match
+          List.assoc_opt "behavior" o.Scenic_core.Scene.c_props
+          |> Option.map B.of_value
+        with
+        | Some (Some nodes) -> (
+            match B.timeline nodes with
+            | [ d; b ] ->
+                check_float "drive start" 0. d.B.s_start;
+                check_float "drive stop" 0.5 d.B.s_stop;
+                Alcotest.(check bool) "drive prim" true (d.B.s_leaf.B.l_prim = B.Drive);
+                check_float "brake start" 0.5 b.B.s_start;
+                Alcotest.(check bool) "brake held" true (b.B.s_stop = infinity);
+                Alcotest.(check bool) "brake prim" true (b.B.s_leaf.B.l_prim = B.Brake)
+            | segs -> Alcotest.failf "expected 2 segments, got %d" (List.length segs))
+        | _ -> Alcotest.fail "expected a decodable behavior property");
+    test_case "do ... for caps a sub-sequence; under-run extends" `Quick
+      (fun () ->
+        (* [do drive for 1.0] where drive is unbounded: clipped at 1.0 *)
+        let capped =
+          B.timeline
+            [ B.Seq ([ B.Leaf { prim = B.Drive; speed = None; dur = None } ], Some 1.0);
+              B.Leaf { prim = B.Brake; speed = None; dur = None } ]
+        in
+        (match capped with
+        | [ d; b ] ->
+            check_float "cap" 1.0 d.B.s_stop;
+            check_float "brake starts at cap" 1.0 b.B.s_start
+        | _ -> Alcotest.fail "expected 2 segments");
+        (* body under-runs the cap: its last phase is held to the cap *)
+        let extended =
+          B.timeline
+            [ B.Seq ([ B.Leaf { prim = B.Drive; speed = None; dur = Some 0.3 } ], Some 1.0);
+              B.Leaf { prim = B.Brake; speed = None; dur = None } ]
+        in
+        match extended with
+        | [ d; b ] ->
+            check_float "extended to cap" 1.0 d.B.s_stop;
+            check_float "brake after cap" 1.0 b.B.s_start
+        | _ -> Alcotest.fail "expected 2 segments (extended)");
+    test_case "behavior declaration collects do-phases via the evaluator"
+      `Quick (fun () ->
+        let scene =
+          sample_scene ~seed:3
+            "import testLib\n\
+             behavior cut_in(delay):\n\
+            \    do drive for delay\n\
+            \    do brake\n\
+             ego = Object at 0 @ 0\n\
+             Object at 0 @ 10, with behavior cut_in(0.7), with requireVisible \
+             False\n"
+        in
+        let o = the_object scene in
+        match
+          List.assoc_opt "behavior" o.Scenic_core.Scene.c_props
+          |> Option.map B.of_value
+        with
+        | Some (Some nodes) -> (
+            match B.timeline nodes with
+            | [ d; b ] ->
+                check_float "cap from parameter" 0.7 d.B.s_stop;
+                Alcotest.(check bool) "then brake" true (b.B.s_leaf.B.l_prim = B.Brake)
+            | segs -> Alcotest.failf "expected 2 segments, got %d" (List.length segs))
+        | _ -> Alcotest.fail "expected a decodable behavior property");
+    test_case "'do' outside a behavior body is an error" `Quick (fun () ->
+        expect_error "do outside behavior"
+          (function Scenic_core.Errors.Type_error _ -> true | _ -> false)
+          (fun () -> compile "do drive\nego = Object\n"));
+    test_case "brake_after vehicle cruises then stops in simulation" `Quick
+      (fun () ->
+        let scene =
+          sample_scene ~seed:3
+            "import testLib\n\
+             ego = Object at 0 @ -40, facing 0 deg, with speed 8\n\
+             Object at 0 @ -20, facing 0 deg, with speed 8, with behavior \
+             brake_after(1.0), with requireVisible False\n"
+        in
+        let sim = Dyn.Simulate.of_scene ~world:north scene in
+        let frames =
+          Dyn.Simulate.rollout ~controller:(fun _ -> 0.) ~duration:4. sim
+        in
+        (* at t=0.5 it still cruises; by t=4 it has long stopped *)
+        let speed_at time =
+          let fr =
+            List.find
+              (fun f -> Float.abs (f.Dyn.Simulate.f_time -. time) < 1e-6)
+              frames
+          in
+          fr.Dyn.Simulate.f_speeds.(1)
+        in
+        check_float ~eps:1e-6 "cruising at 0.5s" 8. (speed_at 0.5);
+        check_float ~eps:1e-6 "stopped at 4s" 0. (speed_at 4.0));
+    test_case "drive with a target speed tracks it" `Quick (fun () ->
+        let scene =
+          sample_scene ~seed:3
+            "import testLib\n\
+             ego = Object at 0 @ -40, facing 0 deg\n\
+             Object at 0 @ -20, facing 0 deg, with speed 2, with behavior \
+             drive_at(12), with requireVisible False\n"
+        in
+        let sim = Dyn.Simulate.of_scene ~world:north scene in
+        let frames =
+          Dyn.Simulate.rollout ~controller:(fun _ -> 0.) ~duration:8. sim
+        in
+        let last = List.nth frames (List.length frames - 1) in
+        check_float ~eps:0.1 "reached 12 m/s" 12. last.Dyn.Simulate.f_speeds.(1));
+    test_case "follow_field snaps heading to the traffic field" `Quick
+      (fun () ->
+        let scene =
+          sample_scene ~seed:3
+            "import testLib\n\
+             ego = Object at 0 @ -40, facing 0 deg\n\
+             Object at 10 @ -20, facing 90 deg, with speed 5, with behavior \
+             follow_field, with requireVisible False\n"
+        in
+        let sim = Dyn.Simulate.of_scene ~world:north scene in
+        ignore (Dyn.Simulate.rollout ~controller:(fun _ -> 0.) ~duration:0.5 sim);
+        (* the north field has heading 0; one behavior tick snaps to it *)
+        check_float ~eps:1e-9 "snapped" 0. sim.Dyn.Simulate.vehicles.(1).Dyn.Simulate.heading);
+    test_case "vehicles without behaviors keep the legacy dynamics" `Quick
+      (fun () ->
+        (* byte-for-byte the same trajectory as the pre-behavior code
+           path: brakeAt still works, the controller still drives *)
+        let scene =
+          two_car_scene ~gap:30. ~ego_speed:8. ~lead_speed:8. ~brake_at:"2.0" ()
+        in
+        let sim = Dyn.Simulate.of_scene ~world:north scene in
+        let frames = Dyn.Simulate.rollout ~duration:8. sim in
+        Alcotest.(check bool) "no collision" true
+          (Dyn.Monitor.robustness (Dyn.Monitor.no_collision ()) frames > 0.));
+  ]
+
+(* --- temporal requirements ----------------------------------------------- *)
+
+let temporal_tests =
+  [
+    test_case "require always/eventually land in scenario.temporal" `Quick
+      (fun () ->
+        let scenario =
+          compile
+            "import testLib\n\
+             ego = Object at 0 @ 0, with speed 8\n\
+             other = Object at 0 @ 10, with requireVisible False\n\
+             require always (distance to other) > 2\n\
+             require eventually ego.speed > 5\n"
+        in
+        match scenario.Scenic_core.Scenario.temporal with
+        | [ a; e ] ->
+            Alcotest.(check bool) "first is always" true
+              (a.Scenic_core.Temporal.t_kind = Scenic_core.Temporal.Always);
+            Alcotest.(check bool) "second is eventually" true
+              (e.Scenic_core.Temporal.t_kind = Scenic_core.Temporal.Eventually);
+            (* temporal requirements never join the rejection loop *)
+            Alcotest.(check bool) "no static requirement grew" true
+              (List.for_all
+                 (fun (r : Scenic_core.Scenario.requirement) ->
+                   r.kind <> Scenic_core.Scenario.User
+                   || not (String.length r.label > 6 && String.sub r.label 0 6 = "always"))
+                 scenario.requirements)
+        | l -> Alcotest.failf "expected 2 temporal reqs, got %d" (List.length l));
+    test_case "random values inside a temporal require are rejected" `Quick
+      (fun () ->
+        expect_error "random in temporal"
+          (function Scenic_core.Errors.Type_error _ -> true | _ -> false)
+          (fun () ->
+            compile
+              "import testLib\n\
+               ego = Object at 0 @ 0\n\
+               require always (0, 1) > 0.5\n"));
+    test_case "non-comparison temporal bodies are rejected" `Quick (fun () ->
+        expect_error "non-comparison"
+          (function Scenic_core.Errors.Type_error _ -> true | _ -> false)
+          (fun () ->
+            compile
+              "import testLib\nego = Object at 0 @ 0\nrequire always ego\n"));
+    test_case "of_temporal monitors distance over the rollout" `Quick
+      (fun () ->
+        let scenario =
+          compile
+            "import testLib\n\
+             ego = Object at 0 @ -40, facing 0 deg, with speed 10\n\
+             lead = Object at 0 @ -20, facing 0 deg, with speed 10, with \
+             requireVisible False\n\
+             require always (distance to lead) > 5\n"
+        in
+        let rng = Scenic_prob.Rng.create 3 in
+        let scene =
+          Scenic_sampler.Rejection.sample
+            (Scenic_sampler.Rejection.create ~rng scenario)
+        in
+        let sim = Dyn.Simulate.of_scene ~world:north scene in
+        let req = List.hd scenario.Scenic_core.Scenario.temporal in
+        let f =
+          Dyn.Monitor.of_temporal
+            ~index_of_oid:(Dyn.Simulate.index_of_oid sim) req
+        in
+        let frames =
+          Dyn.Simulate.rollout ~controller:(fun _ -> 0.) ~duration:2. sim
+        in
+        (* both cars hold 10 m/s with a 20 m gap: margin stays 20-5 = 15 *)
+        check_float ~eps:0.5 "margin" 15. (Dyn.Monitor.robustness f frames));
+  ]
+
+(* --- batched falsification ----------------------------------------------- *)
+
+let cutin_src =
+  "import gtaLib\n\
+   ego = EgoCar at 1.75 @ -60, facing roadDirection, with speed (11, 14)\n\
+   lead = Car ahead of ego by (6, 12), with speed (3, 6), with behavior \
+   brake_after((0.2, 1.0))\n\
+   require always (distance to lead) > 4.5\n"
+
+let run_batch_tests =
+  [
+    test_case "run_batch fingerprints are byte-identical at jobs 1/2/4" `Slow
+      (fun () ->
+        Scenic_worlds.Scenic_worlds_init.init ();
+        let compiled =
+          Scenic_sampler.Compiled.of_source ~file:"cutin.scenic" cutin_src
+        in
+        let formula =
+          Dyn.Falsify.auto_formula (Scenic_sampler.Compiled.scenario compiled)
+        in
+        let fp jobs =
+          Dyn.Falsify.fingerprint
+            (Dyn.Falsify.run_batch ~jobs ~n_refine:4 ~seed:5 ~rollouts:12
+               ~formula compiled)
+        in
+        let f1 = fp 1 in
+        Alcotest.(check string) "jobs 2" f1 (fp 2);
+        Alcotest.(check string) "jobs 4" f1 (fp 4));
+    test_case "run_batch finds the seeded counterexample" `Slow (fun () ->
+        Scenic_worlds.Scenic_worlds_init.init ();
+        let compiled =
+          Scenic_sampler.Compiled.of_source ~file:"cutin.scenic" cutin_src
+        in
+        let formula =
+          Dyn.Falsify.auto_formula (Scenic_sampler.Compiled.scenario compiled)
+        in
+        let batch =
+          Dyn.Falsify.run_batch ~jobs:2 ~n_refine:5 ~seed:5 ~rollouts:15
+            ~formula compiled
+        in
+        Alcotest.(check bool) "found counterexamples" true
+          (batch.Dyn.Falsify.b_counterexamples <> []);
+        Alcotest.(check bool) "worst is a counterexample" true
+          (Dyn.Falsify.b_worst_rob batch <= 0.);
+        Alcotest.(check bool) "ticks counted" true (batch.Dyn.Falsify.b_ticks > 0);
+        (* the worst seed's robustness is the minimum of the array *)
+        Array.iter
+          (fun r ->
+            Alcotest.(check bool) "worst is min" true
+              (r >= Dyn.Falsify.b_worst_rob batch))
+          batch.Dyn.Falsify.b_robs);
+    test_case "mutation scenario re-encodes behaviors and brakeAt" `Quick
+      (fun () ->
+        Scenic_worlds.Scenic_worlds_init.init ();
+        let scene =
+          sample_scene ~seed:5
+            "import gtaLib\n\
+             ego = EgoCar at 1.75 @ -20, facing roadDirection\n\
+             Car ahead of ego by 10, with behavior brake_after(0.5), with \
+             brakeAt 2.0\n"
+        in
+        let src = Dyn.Falsify.mutation_scenario scene in
+        let has needle =
+          let n = String.length needle and h = String.length src in
+          let rec go i = i + n <= h && (String.sub src i n = needle || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool) "emits behavior" true (has "with behavior");
+        Alcotest.(check bool) "emits brakeAt" true (has "with brakeAt");
+        (* and the re-encoded source still compiles and samples *)
+        let again = sample_scene ~seed:9 src in
+        let o =
+          List.find
+            (fun (o : Scenic_core.Scene.cobj) ->
+              List.mem_assoc "behavior" o.c_props)
+            again.Scenic_core.Scene.objs
+        in
+        match B.of_value (List.assoc "behavior" o.c_props) with
+        | Some nodes ->
+            Alcotest.(check int) "two phases" 2 (List.length (B.timeline nodes))
+        | None -> Alcotest.fail "re-encoded behavior does not decode");
+    test_case "auto_formula falls back to no_collision" `Quick (fun () ->
+        let scenario =
+          compile "import testLib\nego = Object at 0 @ 0\n"
+        in
+        (* no temporal requirements: the fallback is a Monitor.Always *)
+        match
+          Dyn.Falsify.auto_formula scenario
+            (Dyn.Simulate.of_scene ~world:north
+               (sample_scene ~seed:3 "import testLib\nego = Object at 0 @ 0\n"))
+        with
+        | Dyn.Monitor.Always _ -> ()
+        | _ -> Alcotest.fail "expected Always (no_collision)");
+  ]
+
 let suites =
   [
     ("dynamics.simulate", simulate_tests);
     ("dynamics.monitor", monitor_tests);
+    ("dynamics.stl", stl_property_tests);
+    ("dynamics.index", index_tests);
+    ("dynamics.behavior", behavior_tests);
+    ("dynamics.temporal", temporal_tests);
+    ("dynamics.run_batch", run_batch_tests);
     ("dynamics.falsify", falsify_tests);
   ]
